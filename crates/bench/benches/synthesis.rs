@@ -1,0 +1,94 @@
+//! Criterion benchmarks over the core algorithms and the per-figure
+//! experiments (micro-level companions to the printable bins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milo_bench::metarule_rules::metarule_rule_set;
+use milo_circuits::{fig19::circuit3, random_logic};
+use milo_core::{Constraints, Milo};
+use milo_logic::{espresso, Cover, TruthTable};
+use milo_rules::{Engine, HashRuleTable, LibraryRef};
+use milo_techmap::{cmos_library, dagon_map, ecl_library, map_netlist, Objective};
+use milo_timing::analyze;
+
+fn bench_espresso(c: &mut Criterion) {
+    let mut group = c.benchmark_group("espresso");
+    for vars in [4u8, 5, 6] {
+        // Parity-ish dense function: worst-case-ish two-level form.
+        let tt = TruthTable::from_fn(vars, |r| (r.count_ones() % 3) != 0);
+        let cover = Cover::from_truth(&tt);
+        group.bench_with_input(BenchmarkId::new("minimize", vars), &cover, |b, cover| {
+            b.iter(|| espresso::minimize(cover, None));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping");
+    let nl = random_logic(200, 12, 3);
+    let cmos = cmos_library();
+    group.bench_function("lookup_table_200", |b| {
+        b.iter(|| map_netlist(&nl, &cmos).expect("maps"));
+    });
+    group.bench_function("dagon_200", |b| {
+        b.iter(|| dagon_map(&nl, &cmos, Objective::Area).expect("maps"));
+    });
+    group.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta");
+    for gates in [200usize, 800] {
+        let nl = map_netlist(&random_logic(gates, 12, 5), &cmos_library()).expect("maps");
+        group.bench_with_input(BenchmarkId::new("analyze", gates), &nl, |b, nl| {
+            b.iter(|| analyze(nl).expect("analyzes"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash_lookup(c: &mut Criterion) {
+    let lib = cmos_library();
+    let table = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
+    let tt = TruthTable::from_fn(3, |r| !((r & 1 == 1 && r >> 1 & 1 == 1) || r >> 2 & 1 == 1));
+    c.bench_function("hash_lookup_aoi21", |b| {
+        b.iter(|| table.lookup(&tt).len());
+    });
+}
+
+fn bench_fig19_pipeline(c: &mut Criterion) {
+    c.bench_function("fig19_circuit3_pipeline", |b| {
+        b.iter(|| {
+            let mut milo = Milo::new(ecl_library());
+            milo.synthesize(&circuit3(), &Constraints::none()).expect("synthesizes")
+        });
+    });
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_scaling");
+    group.sample_size(10);
+    let lib = cmos_library();
+    for gates in [200usize, 800] {
+        let mapped = map_netlist(&random_logic(gates, 16, 9), &lib).expect("maps");
+        group.bench_with_input(BenchmarkId::new("logic_sweeps", gates), &mapped, |b, nl| {
+            b.iter(|| {
+                let mut work = nl.clone();
+                let mut engine = Engine::new(metarule_rule_set(&lib));
+                engine.run_sweeps(&mut work, None, 20)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_espresso,
+    bench_mapping,
+    bench_sta,
+    bench_hash_lookup,
+    bench_fig19_pipeline,
+    bench_sweep_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Characterizes the eight delay-reduction strategies of Fig. 9.
+//!
+//! ```text
+//! cargo run -p milo-bench --bin strategies --release
+//! ```
+
+use milo_bench::strategies_experiment;
+use milo_core::{f2, Table};
+
+fn main() {
+    println!("Figure 9 / §4.1.2: measured gain/cost profile per strategy (ECL library)\n");
+    let rows = strategies_experiment();
+    let mut table = Table::new(&["Strategy", "Δdelay (ns)", "Δarea (cells)", "Δpower (mA)", "CPU (µs)"]);
+    for r in &rows {
+        table.row_owned(vec![
+            r.strategy.label().to_owned(),
+            f2(r.delay_gain),
+            f2(r.area_cost),
+            f2(r.power_cost),
+            r.micros.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape (paper): S1/S2 small gain (S1 zero cost); S3 small gain;");
+    println!("S4 moderate gain zero cost; S5 small gain with area cost; S6 moderate gain");
+    println!("with cost; S7 large gain, most CPU; S8 large gain, large area/power cost.");
+}

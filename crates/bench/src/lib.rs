@@ -1,0 +1,17 @@
+//! # milo-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index). The binaries print
+//! the tables; the shared logic here is also reused by the Criterion
+//! benches.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod metarule_rules;
+
+pub use experiments::{
+    fig19_experiment, hash_vs_rules_experiment, hierarchy_experiment, metarules_experiment,
+    scaling_experiment, strategies_experiment, Fig19Row, HashVsRulesResult, HierarchyResult,
+    MetarulesRow, ScalingRow, StrategyRow,
+};

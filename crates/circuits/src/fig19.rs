@@ -1,0 +1,484 @@
+//! The eight Fig.-19 test cases.
+//!
+//! The paper's own circuits are not published, so these are synthetic
+//! designs with the same *complexities* (≈ 48, 52, 13, 47, 18, 288, 442,
+//! 149 two-input-equivalent gates), the same entry styles ("a number of
+//! small examples were run at both a gate level and a microarchitecture
+//! level"), and the same improvement head-room: gate-level circuits are
+//! entered in naive two-level / schematic form, microarchitecture-level
+//! circuits use 4–15 logic-compiler components and contain the Fig. 14
+//! adder+register pattern.
+
+use crate::sop::{gate, gate_tree, input_bus, insert_inv_pair, sop_design};
+use milo_netlist::{
+    ArithOps, CarryMode, CmpOp, ComponentKind, ControlSet, GateFn, GenericMacro, MicroComponent,
+    Netlist, PinDir, RegFunctions, Trigger,
+};
+
+/// A Fig.-19 test case.
+pub struct TestCase {
+    /// Row number in the paper's table (1–8).
+    pub index: usize,
+    /// The entry netlist (gate or microarchitecture level).
+    pub netlist: Netlist,
+    /// Whether the design was entered at the microarchitecture level.
+    pub micro_level: bool,
+    /// Timing-constraint factor applied to the baseline delay (a tight
+    /// factor forces the timing strategies to fire).
+    pub delay_factor: f64,
+}
+
+/// All eight test cases, in table order.
+pub fn all() -> Vec<TestCase> {
+    vec![
+        TestCase { index: 1, netlist: circuit1(), micro_level: false, delay_factor: 0.75 },
+        TestCase { index: 2, netlist: circuit2(), micro_level: false, delay_factor: 0.80 },
+        TestCase { index: 3, netlist: circuit3(), micro_level: false, delay_factor: 0.70 },
+        TestCase { index: 4, netlist: circuit4(), micro_level: false, delay_factor: 0.70 },
+        TestCase { index: 5, netlist: circuit5(), micro_level: false, delay_factor: 0.80 },
+        TestCase { index: 6, netlist: circuit6(), micro_level: true, delay_factor: 0.95 },
+        TestCase { index: 7, netlist: circuit7(), micro_level: true, delay_factor: 0.90 },
+        TestCase { index: 8, netlist: circuit8(), micro_level: true, delay_factor: 0.95 },
+    ]
+}
+
+/// Circuit 1 (≈ 48 gates): three control outputs over five inputs,
+/// entered as raw two-level minterm logic.
+pub fn circuit1() -> Netlist {
+    // Functions chosen to minimize well (shared cubes, redundant
+    // minterms).
+    let f1: Vec<u32> = (0..32).filter(|r| (r & 0b11) == 0b11 || (r >> 2 & 0b111) == 0b101).collect();
+    let f2: Vec<u32> = (0..32).filter(|r| (r & 0b101) == 0b101 || (r >> 1 & 0b11) == 0b11).collect();
+    let f3: Vec<u32> = (0..32u32).filter(|r| r.count_ones() >= 4).collect();
+    sop_design("fig19_1", 5, &[("f1", f1), ("f2", f2), ("f3", f3)])
+}
+
+/// Circuit 2 (≈ 52 gates): an 8:1 multiplexor entered as gates, plus a
+/// parity tree, with schematic-entry inverter noise.
+pub fn circuit2() -> Netlist {
+    let mut nl = Netlist::new("fig19_2");
+    let data = input_bus(&mut nl, "d", 8);
+    let sel = input_bus(&mut nl, "s", 3);
+    let nsel: Vec<_> = sel
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| gate(&mut nl, GateFn::Inv, &[s], &format!("ns{i}")))
+        .collect();
+    let mut terms = Vec::new();
+    for (i, &d) in data.iter().enumerate() {
+        let lits: Vec<_> = (0..3)
+            .map(|b| if i >> b & 1 == 1 { sel[b] } else { nsel[b] })
+            .chain([d])
+            .collect();
+        terms.push(gate(&mut nl, GateFn::And, &lits, &format!("t{i}")));
+    }
+    let y = gate_tree(&mut nl, GateFn::Or, &terms, "or");
+    nl.add_port("y", PinDir::Out, y);
+    // Parity of the data byte.
+    let parity = gate_tree(&mut nl, GateFn::Xor, &data, "par");
+    nl.add_port("p", PinDir::Out, parity);
+    // Schematic noise: inverter pairs on two internal nets.
+    insert_inv_pair(&mut nl, terms[0], "n0");
+    insert_inv_pair(&mut nl, parity, "n1");
+    nl
+}
+
+/// Circuit 3 (≈ 13 gates): the classic redundant SOP
+/// `f = ab + a!b + bc`, `g = a ⊕ c`, entered literally.
+pub fn circuit3() -> Netlist {
+    let mut nl = Netlist::new("fig19_3");
+    let v = input_bus(&mut nl, "x", 3);
+    let (a, b, c) = (v[0], v[1], v[2]);
+    let nb = gate(&mut nl, GateFn::Inv, &[b], "nb");
+    let t1 = gate(&mut nl, GateFn::And, &[a, b], "t1");
+    let t2 = gate(&mut nl, GateFn::And, &[a, nb], "t2");
+    let t3 = gate(&mut nl, GateFn::And, &[b, c], "t3");
+    let f = gate(&mut nl, GateFn::Or, &[t1, t2, t3], "f");
+    nl.add_port("f", PinDir::Out, f);
+    let g = gate(&mut nl, GateFn::Xor, &[a, c], "g");
+    let g2 = insert_inv_pair(&mut nl, g, "n");
+    nl.add_port("g", PinDir::Out, g2);
+    nl
+}
+
+/// Circuit 4 (≈ 47 gates): a 4-bit magnitude comparator entered as naive
+/// gate logic (per-bit XNOR equality, cascaded less-than chain) with
+/// duplicated subterms a schematic-entry designer would produce.
+pub fn circuit4() -> Netlist {
+    let mut nl = Netlist::new("fig19_4");
+    let a = input_bus(&mut nl, "a", 4);
+    let b = input_bus(&mut nl, "b", 4);
+    let na: Vec<_> =
+        a.iter().enumerate().map(|(i, &x)| gate(&mut nl, GateFn::Inv, &[x], &format!("na{i}"))).collect();
+    let nb: Vec<_> =
+        b.iter().enumerate().map(|(i, &x)| gate(&mut nl, GateFn::Inv, &[x], &format!("nb{i}"))).collect();
+    // Equality per bit — entered twice (once for EQ, once re-derived for
+    // the LT chain: the duplication MILO's duplicate-gate merge removes).
+    let eq: Vec<_> = (0..4)
+        .map(|i| gate(&mut nl, GateFn::Xnor, &[a[i], b[i]], &format!("eq{i}")))
+        .collect();
+    let eq_dup: Vec<_> = (0..4)
+        .map(|i| gate(&mut nl, GateFn::Xnor, &[a[i], b[i]], &format!("eqd{i}")))
+        .collect();
+    let eq_all = gate(&mut nl, GateFn::And, &[eq[0], eq[1], eq[2], eq[3]], "eq_all");
+    nl.add_port("eq", PinDir::Out, eq_all);
+    // lt = !a3 b3 | eq3 (!a2 b2) | eq3 eq2 (!a1 b1) | eq3 eq2 eq1 (!a0 b0)
+    let lt3 = gate(&mut nl, GateFn::And, &[na[3], b[3]], "lt3");
+    let lt2i = gate(&mut nl, GateFn::And, &[na[2], b[2]], "lt2i");
+    let lt2 = gate(&mut nl, GateFn::And, &[eq_dup[3], lt2i], "lt2");
+    let lt1i = gate(&mut nl, GateFn::And, &[na[1], b[1]], "lt1i");
+    let lt1 = gate(&mut nl, GateFn::And, &[eq_dup[3], eq_dup[2], lt1i], "lt1");
+    let lt0i = gate(&mut nl, GateFn::And, &[na[0], b[0]], "lt0i");
+    let lt0 = gate(&mut nl, GateFn::And, &[eq_dup[3], eq_dup[2], eq_dup[1], lt0i], "lt0");
+    let lt = gate(&mut nl, GateFn::Or, &[lt3, lt2, lt1, lt0], "lt");
+    nl.add_port("lt", PinDir::Out, lt);
+    // gt similarly (duplicating the AND terms once more).
+    let gt3 = gate(&mut nl, GateFn::And, &[a[3], nb[3]], "gt3");
+    let gt2i = gate(&mut nl, GateFn::And, &[a[2], nb[2]], "gt2i");
+    let gt2 = gate(&mut nl, GateFn::And, &[eq_dup[3], gt2i], "gt2");
+    let gt1i = gate(&mut nl, GateFn::And, &[a[1], nb[1]], "gt1i");
+    let gt1 = gate(&mut nl, GateFn::And, &[eq_dup[3], eq_dup[2], gt1i], "gt1");
+    let gt0i = gate(&mut nl, GateFn::And, &[a[0], nb[0]], "gt0i");
+    let gt0 = gate(&mut nl, GateFn::And, &[eq_dup[3], eq_dup[2], eq_dup[1], gt0i], "gt0");
+    let gt = gate(&mut nl, GateFn::Or, &[gt3, gt2, gt1, gt0], "gt");
+    nl.add_port("gt", PinDir::Out, gt);
+    nl
+}
+
+/// Circuit 5 (≈ 18 gates): address-decode logic — a 2-bit decoder with
+/// OR-combined outputs (the LSS Fig. 7a pattern) and a small SOP.
+pub fn circuit5() -> Netlist {
+    let mut nl = Netlist::new("fig19_5");
+    let addr = input_bus(&mut nl, "a", 2);
+    let dec = nl.add_component(
+        "dec",
+        ComponentKind::Micro(MicroComponent::Decoder { bits: 2, enable: false }),
+    );
+    nl.connect_named(dec, "A0", addr[0]).unwrap();
+    nl.connect_named(dec, "A1", addr[1]).unwrap();
+    let mut ys = Vec::new();
+    for i in 0..4 {
+        let y = nl.add_net(format!("dy{i}"));
+        nl.connect_named(dec, &format!("Y{i}"), y).unwrap();
+        ys.push(y);
+    }
+    // OR of the odd outputs = a0 (decoder-OR simplification target).
+    let odd = gate(&mut nl, GateFn::Or, &[ys[1], ys[3]], "odd");
+    nl.add_port("odd", PinDir::Out, odd);
+    // Keep remaining outputs used.
+    let other = gate(&mut nl, GateFn::Or, &[ys[0], ys[2]], "even");
+    let extra = input_bus(&mut nl, "e", 3);
+    let nb = gate(&mut nl, GateFn::Inv, &[extra[1]], "ne1");
+    let t1 = gate(&mut nl, GateFn::And, &[extra[0], extra[1]], "t1");
+    let t2 = gate(&mut nl, GateFn::And, &[extra[0], nb], "t2");
+    let t3 = gate(&mut nl, GateFn::And, &[other, extra[2]], "t3");
+    let f = gate(&mut nl, GateFn::Or, &[t1, t2, t3], "f");
+    nl.add_port("f", PinDir::Out, f);
+    nl
+}
+
+fn wire_all_ports(nl: &mut Netlist, id: milo_netlist::ComponentId, skip: &[&str]) {
+    let pins: Vec<(String, PinDir)> = nl
+        .component(id)
+        .unwrap()
+        .pins
+        .iter()
+        .filter(|p| p.net.is_none())
+        .map(|p| (p.name.clone(), p.dir))
+        .collect();
+    let cname = nl.component(id).unwrap().name.clone();
+    for (pin, dir) in pins {
+        if skip.contains(&pin.as_str()) {
+            continue;
+        }
+        let net = nl.add_net(format!("{cname}_{pin}"));
+        nl.connect_named(id, &pin, net).unwrap();
+        nl.add_port(format!("{cname}_{pin}"), dir, net);
+    }
+}
+
+/// Circuit 6 (≈ 288 gates): an 8-bit microarchitecture datapath —
+/// add/sub ALU, operand register, result register, operand-select mux,
+/// bus comparator (6 compiler-generated components).
+pub fn circuit6() -> Netlist {
+    let mut nl = Netlist::new("fig19_6");
+    let bits = 8u8;
+    let au = nl.add_component(
+        "alu",
+        ComponentKind::Micro(MicroComponent::ArithmeticUnit {
+            bits,
+            ops: ArithOps::ADD_SUB,
+            mode: CarryMode::Ripple,
+        }),
+    );
+    let mux = nl.add_component(
+        "opmux",
+        ComponentKind::Micro(MicroComponent::Multiplexor { bits, inputs: 2, enable: false }),
+    );
+    let rega = nl.add_component(
+        "rega",
+        ComponentKind::Micro(MicroComponent::Register {
+            bits,
+            trigger: Trigger::EdgeTriggered,
+            funcs: RegFunctions::LOAD,
+            ctrl: ControlSet::NONE,
+        }),
+    );
+    let regr = nl.add_component(
+        "regr",
+        ComponentKind::Micro(MicroComponent::Register {
+            bits,
+            trigger: Trigger::EdgeTriggered,
+            funcs: RegFunctions::LOAD,
+            ctrl: ControlSet::NONE,
+        }),
+    );
+    let cmp = nl.add_component(
+        "cmp",
+        ComponentKind::Micro(MicroComponent::Comparator { bits, function: CmpOp::Eq }),
+    );
+    // rega.Q -> alu.A and cmp.A ; mux.Y -> alu.B ; alu.S -> regr.D ;
+    // regr.Q -> cmp.B and output.
+    for i in 0..bits {
+        let qa = nl.add_net(format!("qa{i}"));
+        nl.connect_named(rega, &format!("Q{i}"), qa).unwrap();
+        nl.connect_named(au, &format!("A{i}"), qa).unwrap();
+        nl.connect_named(cmp, &format!("A{i}"), qa).unwrap();
+        let my = nl.add_net(format!("my{i}"));
+        nl.connect_named(mux, &format!("Y{i}"), my).unwrap();
+        nl.connect_named(au, &format!("B{i}"), my).unwrap();
+        let s = nl.add_net(format!("alus{i}"));
+        nl.connect_named(au, &format!("S{i}"), s).unwrap();
+        nl.connect_named(regr, &format!("D{i}"), s).unwrap();
+        let qr = nl.add_net(format!("qr{i}"));
+        nl.connect_named(regr, &format!("Q{i}"), qr).unwrap();
+        nl.connect_named(cmp, &format!("B{i}"), qr).unwrap();
+        nl.add_port(format!("r{i}"), PinDir::Out, qr);
+    }
+    let eq = nl.add_net("eqf");
+    nl.connect_named(cmp, "F", eq).unwrap();
+    nl.add_port("zero", PinDir::Out, eq);
+    wire_all_ports(&mut nl, au, &[]);
+    wire_all_ports(&mut nl, mux, &[]);
+    wire_all_ports(&mut nl, rega, &[]);
+    wire_all_ports(&mut nl, regr, &[]);
+    nl
+}
+
+/// Circuit 7 (≈ 442 gates): a 16-bit datapath with two registers, an
+/// add/sub ALU, a 4:1 result mux, a logic unit and a comparator
+/// (8 compiler-generated components; the largest design).
+pub fn circuit7() -> Netlist {
+    let mut nl = Netlist::new("fig19_7");
+    let bits = 16u8;
+    let au = nl.add_component(
+        "alu",
+        ComponentKind::Micro(MicroComponent::ArithmeticUnit {
+            bits,
+            ops: ArithOps::ADD_SUB,
+            mode: CarryMode::Ripple,
+        }),
+    );
+    let lu = nl.add_component(
+        "lu",
+        ComponentKind::Micro(MicroComponent::LogicUnit { function: GateFn::Xor, inputs: 2, bits }),
+    );
+    let mux = nl.add_component(
+        "resmux",
+        ComponentKind::Micro(MicroComponent::Multiplexor { bits, inputs: 4, enable: false }),
+    );
+    let rega = nl.add_component(
+        "rega",
+        ComponentKind::Micro(MicroComponent::Register {
+            bits,
+            trigger: Trigger::EdgeTriggered,
+            funcs: RegFunctions::LOAD,
+            ctrl: ControlSet::NONE,
+        }),
+    );
+    let regb = nl.add_component(
+        "regb",
+        ComponentKind::Micro(MicroComponent::Register {
+            bits,
+            trigger: Trigger::EdgeTriggered,
+            funcs: RegFunctions { load: true, shift_left: false, shift_right: true },
+            ctrl: ControlSet::NONE,
+        }),
+    );
+    let cmp = nl.add_component(
+        "cmp",
+        ComponentKind::Micro(MicroComponent::Comparator { bits: 8, function: CmpOp::Lt }),
+    );
+    for i in 0..bits {
+        let qa = nl.add_net(format!("qa{i}"));
+        nl.connect_named(rega, &format!("Q{i}"), qa).unwrap();
+        nl.connect_named(au, &format!("A{i}"), qa).unwrap();
+        nl.connect_named(lu, &format!("A0_{i}"), qa).unwrap();
+        let qb = nl.add_net(format!("qb{i}"));
+        nl.connect_named(regb, &format!("Q{i}"), qb).unwrap();
+        nl.connect_named(au, &format!("B{i}"), qb).unwrap();
+        nl.connect_named(lu, &format!("A1_{i}"), qb).unwrap();
+        if i < 8 {
+            nl.connect_named(cmp, &format!("A{i}"), qa).unwrap();
+            nl.connect_named(cmp, &format!("B{i}"), qb).unwrap();
+        }
+        let s = nl.add_net(format!("s{i}"));
+        nl.connect_named(au, &format!("S{i}"), s).unwrap();
+        nl.connect_named(mux, &format!("D0_{i}"), s).unwrap();
+        let l = nl.add_net(format!("l{i}"));
+        nl.connect_named(lu, &format!("Y{i}"), l).unwrap();
+        nl.connect_named(mux, &format!("D1_{i}"), l).unwrap();
+        // D2: pass-through of A; D3: pass-through of B.
+        nl.connect_named(mux, &format!("D2_{i}"), qa).unwrap();
+        nl.connect_named(mux, &format!("D3_{i}"), qb).unwrap();
+        let y = nl.add_net(format!("y{i}"));
+        nl.connect_named(mux, &format!("Y{i}"), y).unwrap();
+        nl.connect_named(rega, &format!("D{i}"), y).unwrap();
+        nl.add_port(format!("out{i}"), PinDir::Out, y);
+    }
+    let f = nl.add_net("ltf");
+    nl.connect_named(cmp, "F", f).unwrap();
+    nl.add_port("lt", PinDir::Out, f);
+    wire_all_ports(&mut nl, au, &[]);
+    wire_all_ports(&mut nl, mux, &[]);
+    wire_all_ports(&mut nl, rega, &[]);
+    wire_all_ports(&mut nl, regb, &[]);
+    nl
+}
+
+/// Circuit 8 (≈ 149 gates): a timer block — an 8-bit adder+register
+/// increment loop (the Fig. 14 pattern, left for the microarchitecture
+/// critic to find), a terminal-count comparator and an output decoder
+/// (5 compiler-generated components).
+pub fn circuit8() -> Netlist {
+    let mut nl = Netlist::new("fig19_8");
+    let bits = 8u8;
+    let au = nl.add_component(
+        "inc",
+        ComponentKind::Micro(MicroComponent::ArithmeticUnit {
+            bits,
+            ops: ArithOps::ADD,
+            mode: CarryMode::Ripple,
+        }),
+    );
+    let reg = nl.add_component(
+        "treg",
+        ComponentKind::Micro(MicroComponent::Register {
+            bits,
+            trigger: Trigger::EdgeTriggered,
+            funcs: RegFunctions::LOAD,
+            ctrl: ControlSet::RESET,
+        }),
+    );
+    let vdd = nl.add_component("vdd", ComponentKind::Generic(GenericMacro::Vdd));
+    let vss = nl.add_component("vss", ComponentKind::Generic(GenericMacro::Vss));
+    let one = nl.add_net("one");
+    let zero = nl.add_net("zero");
+    nl.connect_named(vdd, "Y", one).unwrap();
+    nl.connect_named(vss, "Y", zero).unwrap();
+    let cmp = nl.add_component(
+        "tc",
+        ComponentKind::Micro(MicroComponent::Comparator { bits, function: CmpOp::Eq }),
+    );
+    for i in 0..bits {
+        let q = nl.add_net(format!("q{i}"));
+        nl.connect_named(reg, &format!("Q{i}"), q).unwrap();
+        nl.connect_named(au, &format!("A{i}"), q).unwrap();
+        nl.connect_named(cmp, &format!("A{i}"), q).unwrap();
+        nl.add_port(format!("count{i}"), PinDir::Out, q);
+        let s = nl.add_net(format!("s{i}"));
+        nl.connect_named(au, &format!("S{i}"), s).unwrap();
+        nl.connect_named(reg, &format!("D{i}"), s).unwrap();
+        nl.connect_named(au, &format!("B{i}"), if i == 0 { one } else { zero }).unwrap();
+        // Match value from ports.
+        let m = nl.add_net(format!("match{i}"));
+        nl.connect_named(cmp, &format!("B{i}"), m).unwrap();
+        nl.add_port(format!("match{i}"), PinDir::In, m);
+    }
+    nl.connect_named(au, "CIN", zero).unwrap();
+    nl.connect_named(reg, "F0", one).unwrap();
+    let rst = nl.add_net("rst");
+    let clk = nl.add_net("clk");
+    nl.connect_named(reg, "RST", rst).unwrap();
+    nl.connect_named(reg, "CLK", clk).unwrap();
+    nl.add_port("rst", PinDir::In, rst);
+    nl.add_port("clk", PinDir::In, clk);
+    let tc = nl.add_net("tcf");
+    nl.connect_named(cmp, "F", tc).unwrap();
+    // Decode the low count bits for phase outputs.
+    let dec = nl.add_component(
+        "phase",
+        ComponentKind::Micro(MicroComponent::Decoder { bits: 2, enable: true }),
+    );
+    let q0 = nl.port("count0").unwrap().net;
+    let q1 = nl.port("count1").unwrap().net;
+    nl.connect_named(dec, "A0", q0).unwrap();
+    nl.connect_named(dec, "A1", q1).unwrap();
+    nl.connect_named(dec, "EN", tc).unwrap();
+    for i in 0..4 {
+        let y = nl.add_net(format!("ph{i}"));
+        nl.connect_named(dec, &format!("Y{i}"), y).unwrap();
+        nl.add_port(format!("phase{i}"), PinDir::Out, y);
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::validate;
+
+    #[test]
+    fn all_eight_build_cleanly() {
+        let cases = all();
+        assert_eq!(cases.len(), 8);
+        for case in &cases {
+            let violations: Vec<_> = validate(&case.netlist, false)
+                .into_iter()
+                .filter(|v| !matches!(v, milo_netlist::Violation::DanglingOutput { .. }))
+                .collect();
+            assert!(violations.is_empty(), "circuit {}: {violations:?}", case.index);
+        }
+    }
+
+    #[test]
+    fn micro_flags_match_entry_style() {
+        for case in all() {
+            let has_micro = case.netlist.component_ids().any(|id| {
+                matches!(
+                    case.netlist.component(id).map(|c| &c.kind),
+                    Ok(ComponentKind::Micro(_))
+                )
+            });
+            if case.micro_level {
+                assert!(has_micro, "circuit {} should be micro-level", case.index);
+            }
+        }
+    }
+
+    #[test]
+    fn gate_level_circuits_simulate() {
+        use milo_netlist::Simulator;
+        for case in all().into_iter().filter(|c| !c.micro_level && c.index != 5) {
+            let mut sim = Simulator::new(&case.netlist)
+                .unwrap_or_else(|e| panic!("circuit {}: {e}", case.index));
+            sim.settle();
+        }
+    }
+
+    #[test]
+    fn circuit3_function() {
+        use milo_netlist::Simulator;
+        let nl = circuit3();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for row in 0..8u32 {
+            let (a, b, c) = (row & 1 == 1, row >> 1 & 1 == 1, row >> 2 & 1 == 1);
+            sim.set_input("x0", a).unwrap();
+            sim.set_input("x1", b).unwrap();
+            sim.set_input("x2", c).unwrap();
+            sim.settle();
+            assert_eq!(sim.output("f").unwrap(), (a && b) || (a && !b) || (b && c));
+            assert_eq!(sim.output("g").unwrap(), a ^ c);
+        }
+    }
+}

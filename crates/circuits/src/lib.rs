@@ -1,0 +1,20 @@
+//! # milo-circuits
+//!
+//! Benchmark circuits for the MILO reproduction:
+//!
+//! * [`fig19`] — the eight test cases of the paper's results table
+//!   (synthetic designs with the published complexities and entry styles);
+//! * [`random_logic`] — seeded random logic for the scaling and metarule
+//!   experiments;
+//! * [`sop`]-style construction helpers are internal to the circuits.
+
+#![warn(missing_docs)]
+
+pub mod datapath;
+pub mod fig19;
+mod random;
+mod sop;
+
+pub use datapath::{abadd, abadd_load_register, datapath};
+pub use fig19::{all as fig19_all, TestCase};
+pub use random::random_logic;

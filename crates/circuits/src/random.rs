@@ -1,0 +1,113 @@
+//! Seeded random-logic generation for the scaling and metarule
+//! experiments (§2.2.2 claims).
+
+use milo_netlist::{ComponentKind, GateFn, GenericMacro, NetId, Netlist, PinDir};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a layered random-logic netlist of approximately `gates`
+/// two-to-three-input gates over `inputs` primary inputs. Deterministic
+/// for a given seed.
+///
+/// The generator sprinkles optimizable structure (inverter chains,
+/// duplicate gates) at a fixed rate so optimizers have realistic work.
+pub fn random_logic(gates: usize, inputs: usize, seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = Netlist::new(format!("rand{gates}_{seed}"));
+    let mut nets: Vec<NetId> = (0..inputs)
+        .map(|i| {
+            let net = nl.add_net(format!("in{i}"));
+            nl.add_port(format!("in{i}"), PinDir::In, net);
+            net
+        })
+        .collect();
+    let functions = [GateFn::And, GateFn::Or, GateFn::Nand, GateFn::Nor, GateFn::Xor, GateFn::Inv];
+    let mut made = 0usize;
+    while made < gates {
+        let f = functions[rng.gen_range(0..functions.len())];
+        let n: usize = match f {
+            GateFn::Inv => 1,
+            _ => rng.gen_range(2..=3),
+        };
+        // Bias input choice toward recent nets for depth.
+        let pick = |rng: &mut StdRng, nets: &[NetId]| -> NetId {
+            let lo = nets.len().saturating_sub(nets.len() / 2 + 4);
+            nets[rng.gen_range(lo..nets.len())]
+        };
+        let chosen: Vec<NetId> = (0..n).map(|_| pick(&mut rng, &nets)).collect();
+        let g = nl.add_component(
+            format!("g{made}"),
+            ComponentKind::Generic(GenericMacro::Gate(f, n as u8)),
+        );
+        for (i, net) in chosen.iter().enumerate() {
+            nl.connect_named(g, &format!("A{i}"), *net).expect("fresh pin");
+        }
+        let y = nl.add_net(format!("n{made}"));
+        nl.connect_named(g, "Y", y).expect("fresh pin");
+        made += 1;
+        // 1-in-8: follow with an inverter pair (removable redundancy).
+        if rng.gen_range(0..8) == 0 && made + 2 <= gates {
+            let mut prev = y;
+            for k in 0..2 {
+                let iv = nl.add_component(
+                    format!("g{made}_{k}"),
+                    ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+                );
+                nl.connect_named(iv, "A0", prev).expect("fresh pin");
+                let ny = nl.add_net(format!("n{made}_{k}"));
+                nl.connect_named(iv, "Y", ny).expect("fresh pin");
+                prev = ny;
+                made += 1;
+            }
+            nets.push(prev);
+        } else {
+            nets.push(y);
+        }
+    }
+    // Expose dangling nets as outputs.
+    let mut out_count = 0usize;
+    for net in nets.iter().skip(inputs) {
+        if nl.fanout(*net) == 0 {
+            nl.add_port(format!("out{out_count}"), PinDir::Out, *net);
+            out_count += 1;
+        }
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::{validate, Simulator, Violation};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_logic(60, 8, 42);
+        let b = random_logic(60, 8, 42);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = random_logic(60, 8, 43);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn structurally_clean() {
+        let nl = random_logic(120, 10, 7);
+        assert!(nl.component_count() >= 120);
+        let v: Vec<_> = validate(&nl, false)
+            .into_iter()
+            .filter(|x| !matches!(x, Violation::DanglingOutput { .. }))
+            .collect();
+        assert!(v.is_empty(), "{v:?}");
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.settle();
+    }
+
+    #[test]
+    fn scales_roughly_linearly_in_size() {
+        for n in [50, 200, 800] {
+            let nl = random_logic(n, 12, 1);
+            let count = nl.component_count();
+            assert!(count >= n && count < n + n / 4, "asked {n}, got {count}");
+        }
+    }
+}

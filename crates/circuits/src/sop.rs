@@ -1,0 +1,149 @@
+//! "Human schematic entry" helpers: naive two-level (SOP) gate
+//! construction from minterm specifications, the way Fig. 19's reference
+//! circuits would have been entered by a designer working from truth
+//! tables. The deliberate two-level redundancy is what MILO's optimizers
+//! then remove.
+
+use milo_netlist::{ComponentKind, GateFn, GenericMacro, NetId, Netlist, PinDir};
+
+/// Adds an n-input generic gate over `inputs`, returning the output net.
+pub(crate) fn gate(nl: &mut Netlist, f: GateFn, inputs: &[NetId], name: &str) -> NetId {
+    let n = inputs.len() as u8;
+    let g = nl.add_component(name, ComponentKind::Generic(GenericMacro::Gate(f, n)));
+    for (i, net) in inputs.iter().enumerate() {
+        nl.connect_named(g, &format!("A{i}"), *net).expect("fresh pin");
+    }
+    let y = nl.add_net(format!("{name}_y"));
+    nl.connect_named(g, "Y", y).expect("fresh pin");
+    y
+}
+
+/// Tree of gates with fanin ≤ 4.
+pub(crate) fn gate_tree(nl: &mut Netlist, f: GateFn, inputs: &[NetId], prefix: &str) -> NetId {
+    let mut level: Vec<NetId> = inputs.to_vec();
+    let mut l = 0;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for (g, chunk) in level.chunks(4).enumerate() {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+            } else {
+                next.push(gate(nl, f, chunk, &format!("{prefix}_l{l}g{g}")));
+            }
+        }
+        level = next;
+        l += 1;
+    }
+    level[0]
+}
+
+/// Declares `n` input ports named `prefix0..`, returning their nets.
+pub(crate) fn input_bus(nl: &mut Netlist, prefix: &str, n: usize) -> Vec<NetId> {
+    (0..n)
+        .map(|i| {
+            let net = nl.add_net(format!("{prefix}{i}"));
+            nl.add_port(format!("{prefix}{i}"), PinDir::In, net);
+            net
+        })
+        .collect()
+}
+
+/// Builds a single-output SOP circuit: inverters for the complemented
+/// literals, one AND per minterm, an OR tree. Returns the output net.
+///
+/// `minterms` are rows of the truth table over `vars` (bit `i` of a row is
+/// variable `i`); `vars[i]` are the input nets.
+pub(crate) fn sop_output(
+    nl: &mut Netlist,
+    vars: &[NetId],
+    inverted: &[NetId],
+    minterms: &[u32],
+    prefix: &str,
+) -> NetId {
+    assert!(!minterms.is_empty(), "constant outputs not supported here");
+    let mut terms = Vec::new();
+    for (t, &m) in minterms.iter().enumerate() {
+        let literals: Vec<NetId> = (0..vars.len())
+            .map(|v| if m >> v & 1 == 1 { vars[v] } else { inverted[v] })
+            .collect();
+        terms.push(gate_tree(nl, GateFn::And, &literals, &format!("{prefix}_t{t}")));
+    }
+    gate_tree(nl, GateFn::Or, &terms, &format!("{prefix}_or"))
+}
+
+/// Builds a complete multi-output SOP design over shared input inverters.
+pub(crate) fn sop_design(
+    name: &str,
+    nvars: usize,
+    outputs: &[(&str, Vec<u32>)],
+) -> Netlist {
+    let mut nl = Netlist::new(name);
+    let vars = input_bus(&mut nl, "x", nvars);
+    let inverted: Vec<NetId> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| gate(&mut nl, GateFn::Inv, &[v], &format!("nx{i}")))
+        .collect();
+    for (oname, minterms) in outputs {
+        let y = sop_output(&mut nl, &vars, &inverted, minterms, oname);
+        nl.add_port((*oname).to_owned(), PinDir::Out, y);
+    }
+    nl
+}
+
+/// Inserts a pair of inverters in series on a net's loads ("schematic
+/// entry noise" found in real hand-entered designs).
+pub(crate) fn insert_inv_pair(nl: &mut Netlist, net: NetId, tag: &str) -> NetId {
+    let a = gate(nl, GateFn::Inv, &[net], &format!("{tag}_p1"));
+    let b = gate(nl, GateFn::Inv, &[a], &format!("{tag}_p2"));
+    // Move original loads (except the first inverter) behind the pair.
+    let loads: Vec<_> = nl
+        .loads(net)
+        .into_iter()
+        .filter(|p| {
+            nl.component(p.component)
+                .map(|c| !c.name.starts_with(&format!("{tag}_p1")))
+                .unwrap_or(true)
+        })
+        .collect();
+    for pin in loads {
+        nl.disconnect(pin).expect("connected load");
+        nl.connect(pin, b).expect("fresh net");
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::Simulator;
+
+    #[test]
+    fn sop_design_computes_minterms() {
+        // f = minterms {3} over 2 vars = a & b.
+        let nl = sop_design("t", 2, &[("f", vec![3])]);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for row in 0..4u32 {
+            sim.set_input("x0", row & 1 == 1).unwrap();
+            sim.set_input("x1", row >> 1 & 1 == 1).unwrap();
+            sim.settle();
+            assert_eq!(sim.output("f").unwrap(), row == 3, "row {row}");
+        }
+    }
+
+    #[test]
+    fn inv_pair_preserves_function() {
+        let mut nl = sop_design("t", 2, &[("f", vec![1, 2])]);
+        let before = nl.component_count();
+        let x0 = nl.port("x0").unwrap().net;
+        insert_inv_pair(&mut nl, x0, "noise");
+        assert_eq!(nl.component_count(), before + 2);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for row in 0..4u32 {
+            sim.set_input("x0", row & 1 == 1).unwrap();
+            sim.set_input("x1", row >> 1 & 1 == 1).unwrap();
+            sim.settle();
+            assert_eq!(sim.output("f").unwrap(), row == 1 || row == 2, "row {row}");
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Compilers for arithmetic units and comparators (Fig. 12
+//! `ARITHMETIC UNIT` and `COMPARATOR`).
+//!
+//! Arithmetic units are built from the generic ADD1/ADD4/ADD4CLA macros
+//! ("a 32-bit adder can be decomposed into eight 4-bit adders", §5) with a
+//! B-operand conditioning network that selects between B, !B, 0 and 1 to
+//! realize add / subtract / increment / decrement on one carry chain.
+
+use crate::helpers::{gate, input_ports, inv, net_bus, output_ports, vdd, vss};
+use crate::{design_name, CompileError};
+use milo_netlist::{
+    ArithOp, ArithOps, CarryMode, CmpOp, ComponentKind, DesignDb, GateFn, GenericMacro,
+    MicroComponent, NetId, Netlist, PinDir,
+};
+
+/// Compiles an arithmetic unit.
+pub(crate) fn compile_arith(
+    bits: u8,
+    ops: ArithOps,
+    mode: CarryMode,
+    db: &mut DesignDb,
+) -> Result<String, CompileError> {
+    let micro = MicroComponent::ArithmeticUnit { bits, ops, mode };
+    let name = design_name(&micro);
+    if db.contains(&name) {
+        return Ok(name);
+    }
+    let op_list = ops.ops();
+    if bits == 0 || op_list.is_empty() {
+        return Err(CompileError::InvalidParams(
+            "arithmetic unit needs bits >= 1 and at least one operation".into(),
+        ));
+    }
+    let mut nl = Netlist::new(name.clone());
+    let a = net_bus(&mut nl, "A", bits);
+    let b = if ops.needs_b() { net_bus(&mut nl, "B", bits) } else { Vec::new() };
+    let op_pins = if op_list.len() > 1 { net_bus(&mut nl, "OP", ops.select_pins()) } else { Vec::new() };
+    let cin_net = nl.add_net("CIN");
+
+    // Conditioned B operand and carry-in.
+    let (b_cond, cin_cond) = condition_operand(&mut nl, bits, &op_list, &b, &op_pins, cin_net);
+
+    // Carry chain out of ADD4/ADD4CLA/ADD1 slices.
+    let a_nets: Vec<NetId> = a.iter().map(|(_, n)| *n).collect();
+    let (sums, cout) = adder_chain(&mut nl, &a_nets, &b_cond, cin_cond, mode);
+
+    input_ports(&mut nl, &a);
+    input_ports(&mut nl, &b);
+    input_ports(&mut nl, &op_pins);
+    nl.add_port("CIN", PinDir::In, cin_net);
+    let outs: Vec<(String, NetId)> =
+        sums.iter().enumerate().map(|(i, s)| (format!("S{i}"), *s)).collect();
+    output_ports(&mut nl, &outs);
+    nl.add_port("COUT", PinDir::Out, cout);
+    db.insert(nl);
+    Ok(name)
+}
+
+/// Per-operation B-bit source.
+fn b_source(nl: &mut Netlist, op: ArithOp, b_bit: Option<NetId>, bit: usize) -> NetId {
+    match op {
+        ArithOp::Add => b_bit.expect("add requires a B bus"),
+        ArithOp::Sub => {
+            let b = b_bit.expect("sub requires a B bus");
+            inv(nl, b, &format!("nb{bit}"))
+        }
+        ArithOp::Inc => vss(nl),
+        ArithOp::Dec => vdd(nl),
+    }
+}
+
+/// Per-operation carry-in source.
+fn cin_source(nl: &mut Netlist, op: ArithOp, cin: NetId) -> NetId {
+    match op {
+        ArithOp::Add | ArithOp::Sub => cin,
+        ArithOp::Inc => vdd(nl),
+        ArithOp::Dec => vss(nl),
+    }
+}
+
+/// Builds the operand-conditioning network, returning the conditioned B
+/// bits and carry-in.
+fn condition_operand(
+    nl: &mut Netlist,
+    bits: u8,
+    op_list: &[ArithOp],
+    b: &[(String, NetId)],
+    op_pins: &[(String, NetId)],
+    cin: NetId,
+) -> (Vec<NetId>, NetId) {
+    let b_bit = |i: usize| b.get(i).map(|(_, n)| *n);
+    if op_list.len() == 1 {
+        let op = op_list[0];
+        let b_cond = (0..bits as usize).map(|i| b_source(nl, op, b_bit(i), i)).collect();
+        let cin_cond = cin_source(nl, op, cin);
+        return (b_cond, cin_cond);
+    }
+    // Special case the classic add/sub unit: B ^ OP, carry-in passes.
+    if op_list == [ArithOp::Add, ArithOp::Sub] {
+        let sel = op_pins[0].1;
+        let b_cond = (0..bits as usize)
+            .map(|i| gate(nl, GateFn::Xor, &[b_bit(i).expect("add/sub has B"), sel], &format!("bx{i}")))
+            .collect();
+        return (b_cond, cin);
+    }
+    // General: a mux per bit over per-op sources (padded with the last op
+    // so out-of-range selects clamp, matching the simulator).
+    let selects = if op_list.len() <= 2 { 1 } else { 2 };
+    let ways = 1usize << selects;
+    let mut b_cond = Vec::with_capacity(bits as usize);
+    for i in 0..bits as usize {
+        let mut data = Vec::with_capacity(ways);
+        for k in 0..ways {
+            let op = op_list[k.min(op_list.len() - 1)];
+            data.push(b_source(nl, op, b_bit(i), i));
+        }
+        let sels: Vec<NetId> = op_pins.iter().take(selects).map(|(_, n)| *n).collect();
+        b_cond.push(crate::datapath::mux_tree(nl, &data, &sels, &format!("bm{i}")));
+    }
+    let mut cin_data = Vec::with_capacity(ways);
+    for k in 0..ways {
+        let op = op_list[k.min(op_list.len() - 1)];
+        cin_data.push(cin_source(nl, op, cin));
+    }
+    let sels: Vec<NetId> = op_pins.iter().take(selects).map(|(_, n)| *n).collect();
+    let cin_cond = crate::datapath::mux_tree(nl, &cin_data, &sels, "cm");
+    (b_cond, cin_cond)
+}
+
+/// Chains ADD4/ADD4CLA and ADD1 slices; returns (sum bits, carry out).
+pub(crate) fn adder_chain(
+    nl: &mut Netlist,
+    a: &[NetId],
+    b: &[NetId],
+    cin: NetId,
+    mode: CarryMode,
+) -> (Vec<NetId>, NetId) {
+    assert_eq!(a.len(), b.len());
+    let bits = a.len();
+    let mut sums = Vec::with_capacity(bits);
+    let mut carry = cin;
+    let mut i = 0usize;
+    let mut slice = 0usize;
+    while i < bits {
+        let take = if bits - i >= 4 { 4 } else { 1 };
+        let macro_ = match (take, mode) {
+            (4, CarryMode::CarryLookahead) => GenericMacro::Adder { bits: 4, cla: true },
+            (4, CarryMode::Ripple) => GenericMacro::Adder { bits: 4, cla: false },
+            _ => GenericMacro::Adder { bits: 1, cla: false },
+        };
+        let add = nl.add_component(format!("add{slice}"), ComponentKind::Generic(macro_));
+        for k in 0..take {
+            nl.connect_named(add, &format!("A{k}"), a[i + k]).expect("fresh adder pin");
+            nl.connect_named(add, &format!("B{k}"), b[i + k]).expect("fresh adder pin");
+        }
+        nl.connect_named(add, "CIN", carry).expect("fresh adder pin");
+        for k in 0..take {
+            let s = nl.add_net(format!("s{}", i + k));
+            nl.connect_named(add, &format!("S{k}"), s).expect("fresh adder pin");
+            sums.push(s);
+        }
+        let co = nl.add_net(format!("c{slice}"));
+        nl.connect_named(add, "COUT", co).expect("fresh adder pin");
+        carry = co;
+        i += take;
+        slice += 1;
+    }
+    (sums, carry)
+}
+
+/// Compiles a comparator for a single predicate, built from generic
+/// CMP4/CMP2 slices combined most-significant-first.
+pub(crate) fn compile_comparator(
+    bits: u8,
+    function: CmpOp,
+    db: &mut DesignDb,
+) -> Result<String, CompileError> {
+    let micro = MicroComponent::Comparator { bits, function };
+    let name = design_name(&micro);
+    if db.contains(&name) {
+        return Ok(name);
+    }
+    if bits == 0 {
+        return Err(CompileError::InvalidParams("comparator needs bits >= 1".into()));
+    }
+    let mut nl = Netlist::new(name.clone());
+    let a = net_bus(&mut nl, "A", bits);
+    let b = net_bus(&mut nl, "B", bits);
+    let a_nets: Vec<NetId> = a.iter().map(|(_, n)| *n).collect();
+    let b_nets: Vec<NetId> = b.iter().map(|(_, n)| *n).collect();
+
+    // Build per-slice (eq, lt, gt) triples, LSB slice first.
+    let mut slices: Vec<(NetId, NetId, NetId)> = Vec::new();
+    let mut i = 0usize;
+    let mut s = 0usize;
+    while i < bits as usize {
+        let take = if bits as usize - i >= 4 {
+            4
+        } else if bits as usize - i >= 2 {
+            2
+        } else {
+            1
+        };
+        let triple = if take == 1 {
+            let na = inv(&mut nl, a_nets[i], &format!("na{s}"));
+            let nb = inv(&mut nl, b_nets[i], &format!("nb{s}"));
+            let eq = gate(&mut nl, GateFn::Xnor, &[a_nets[i], b_nets[i]], &format!("eq{s}"));
+            let lt = gate(&mut nl, GateFn::And, &[na, b_nets[i]], &format!("lt{s}"));
+            let gt = gate(&mut nl, GateFn::And, &[a_nets[i], nb], &format!("gt{s}"));
+            (eq, lt, gt)
+        } else {
+            let cmp = nl.add_component(
+                format!("cmp{s}"),
+                ComponentKind::Generic(GenericMacro::Comparator { bits: take as u8 }),
+            );
+            for k in 0..take {
+                nl.connect_named(cmp, &format!("A{k}"), a_nets[i + k]).expect("fresh cmp pin");
+                nl.connect_named(cmp, &format!("B{k}"), b_nets[i + k]).expect("fresh cmp pin");
+            }
+            let eq = nl.add_net(format!("eq{s}"));
+            let lt = nl.add_net(format!("lt{s}"));
+            let gt = nl.add_net(format!("gt{s}"));
+            nl.connect_named(cmp, "EQ", eq).expect("fresh cmp pin");
+            nl.connect_named(cmp, "LT", lt).expect("fresh cmp pin");
+            nl.connect_named(cmp, "GT", gt).expect("fresh cmp pin");
+            (eq, lt, gt)
+        };
+        slices.push(triple);
+        i += take;
+        s += 1;
+    }
+    // Combine, most significant slice dominating.
+    let (mut eq, mut lt, mut gt) = slices.pop().expect("at least one slice");
+    let mut c = 0usize;
+    while let Some((eq_lo, lt_lo, gt_lo)) = slices.pop() {
+        let lt_low = gate(&mut nl, GateFn::And, &[eq, lt_lo], &format!("ltl{c}"));
+        let gt_low = gate(&mut nl, GateFn::And, &[eq, gt_lo], &format!("gtl{c}"));
+        lt = gate(&mut nl, GateFn::Or, &[lt, lt_low], &format!("ltc{c}"));
+        gt = gate(&mut nl, GateFn::Or, &[gt, gt_low], &format!("gtc{c}"));
+        eq = gate(&mut nl, GateFn::And, &[eq, eq_lo], &format!("eqc{c}"));
+        c += 1;
+    }
+    let f = match function {
+        CmpOp::Eq => eq,
+        CmpOp::Lt => lt,
+        CmpOp::Gt => gt,
+        CmpOp::Ne => inv(&mut nl, eq, "ne"),
+        CmpOp::Le => inv(&mut nl, gt, "le"),
+        CmpOp::Ge => inv(&mut nl, lt, "ge"),
+    };
+    input_ports(&mut nl, &a);
+    input_ports(&mut nl, &b);
+    nl.add_port("F", PinDir::Out, f);
+    db.insert(nl);
+    Ok(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::verify::{check_comb_equivalence, micro_wrapper};
+
+    fn check_au(bits: u8, ops: ArithOps, mode: CarryMode) {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::ArithmeticUnit { bits, ops, mode };
+        let name = compile(&micro, &mut db).unwrap();
+        let flat = db.flatten(&name).unwrap();
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 4096)
+            .unwrap_or_else(|e| panic!("{}: {e}", micro.describe()));
+    }
+
+    #[test]
+    fn adder_ripple_and_cla() {
+        check_au(4, ArithOps::ADD, CarryMode::Ripple);
+        check_au(4, ArithOps::ADD, CarryMode::CarryLookahead);
+        check_au(5, ArithOps::ADD, CarryMode::Ripple); // 4 + 1 slicing
+    }
+
+    #[test]
+    fn add_sub_unit() {
+        check_au(4, ArithOps::ADD_SUB, CarryMode::Ripple);
+    }
+
+    #[test]
+    fn inc_only_unit() {
+        check_au(4, ArithOps::INC, CarryMode::Ripple);
+        check_au(6, ArithOps::INC, CarryMode::Ripple);
+    }
+
+    #[test]
+    fn dec_only_unit() {
+        let ops = ArithOps { dec: true, ..ArithOps::default() };
+        check_au(4, ops, CarryMode::Ripple);
+    }
+
+    #[test]
+    fn inc_dec_unit() {
+        let ops = ArithOps { inc: true, dec: true, ..ArithOps::default() };
+        check_au(3, ops, CarryMode::Ripple);
+    }
+
+    #[test]
+    fn four_op_alu() {
+        let ops = ArithOps { add: true, sub: true, inc: true, dec: true };
+        check_au(3, ops, CarryMode::Ripple);
+        check_au(4, ops, CarryMode::CarryLookahead);
+    }
+
+    #[test]
+    fn comparators_all_ops() {
+        let mut db = DesignDb::new();
+        for f in [CmpOp::Eq, CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge, CmpOp::Ne] {
+            let micro = MicroComponent::Comparator { bits: 5, function: f };
+            let name = compile(&micro, &mut db).unwrap();
+            let flat = db.flatten(&name).unwrap();
+            check_comb_equivalence(&micro_wrapper(micro), &flat, 2048)
+                .unwrap_or_else(|e| panic!("{f:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn comparator_one_bit() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Comparator { bits: 1, function: CmpOp::Gt };
+        let name = compile(&micro, &mut db).unwrap();
+        let flat = db.flatten(&name).unwrap();
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
+    }
+
+    #[test]
+    fn cla_uses_cla_macros() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::ArithmeticUnit {
+            bits: 8,
+            ops: ArithOps::ADD,
+            mode: CarryMode::CarryLookahead,
+        };
+        let name = compile(&micro, &mut db).unwrap();
+        let design = db.get(&name).unwrap();
+        let cla_count = design
+            .component_ids()
+            .filter(|&id| {
+                matches!(
+                    design.component(id).map(|c| &c.kind),
+                    Ok(ComponentKind::Generic(GenericMacro::Adder { cla: true, .. }))
+                )
+            })
+            .count();
+        assert_eq!(cla_count, 2, "8-bit CLA adder should use two ADD4CLA slices");
+    }
+}

@@ -1,0 +1,251 @@
+//! Compilers for word multiplexors and decoders (Fig. 12 `MULTIPLEXOR`
+//! and `DECODER`).
+
+use crate::helpers::{gate, input_ports, net_bus, output_ports};
+use crate::{design_name, CompileError};
+use milo_netlist::{
+    sel_bits, ComponentKind, DesignDb, GateFn, GenericMacro, MicroComponent, NetId, Netlist,
+    PinDir,
+};
+
+/// Builds a 1-bit `n`-to-1 mux tree from generic MUX2TO1/MUX4TO1 macros.
+/// `data` are the n data nets, `sel` the log2(n) select nets (LSB first).
+pub(crate) fn mux_tree(nl: &mut Netlist, data: &[NetId], sel: &[NetId], prefix: &str) -> NetId {
+    assert!(data.len().is_power_of_two() && data.len() >= 2);
+    assert_eq!(1usize << sel.len(), data.len());
+    if data.len() == 2 {
+        let m = nl.add_component(
+            format!("{prefix}_m2"),
+            ComponentKind::Generic(GenericMacro::Mux { selects: 1 }),
+        );
+        nl.connect_named(m, "D0", data[0]).expect("fresh mux pin");
+        nl.connect_named(m, "D1", data[1]).expect("fresh mux pin");
+        nl.connect_named(m, "S0", sel[0]).expect("fresh mux pin");
+        let y = nl.add_net(format!("{prefix}_y"));
+        nl.connect_named(m, "Y", y).expect("fresh mux pin");
+        return y;
+    }
+    if data.len() == 4 {
+        let m = nl.add_component(
+            format!("{prefix}_m4"),
+            ComponentKind::Generic(GenericMacro::Mux { selects: 2 }),
+        );
+        for (i, d) in data.iter().enumerate() {
+            nl.connect_named(m, &format!("D{i}"), *d).expect("fresh mux pin");
+        }
+        nl.connect_named(m, "S0", sel[0]).expect("fresh mux pin");
+        nl.connect_named(m, "S1", sel[1]).expect("fresh mux pin");
+        let y = nl.add_net(format!("{prefix}_y"));
+        nl.connect_named(m, "Y", y).expect("fresh mux pin");
+        return y;
+    }
+    // > 4 inputs: four groups selected by the low bits, a MUX4TO1 on the
+    // two high bits.
+    let group = data.len() / 4;
+    let low_sel = &sel[..sel.len() - 2];
+    let high_sel = &sel[sel.len() - 2..];
+    let mut groups = Vec::with_capacity(4);
+    for g in 0..4 {
+        let slice = &data[g * group..(g + 1) * group];
+        groups.push(mux_tree(nl, slice, low_sel, &format!("{prefix}_g{g}")));
+    }
+    mux_tree(nl, &groups, high_sel, &format!("{prefix}_top"))
+}
+
+/// Compiles a word multiplexor: one mux tree per bit, sharing the select
+/// lines; optional output enable gates every bit with AND.
+pub(crate) fn compile_mux(
+    bits: u8,
+    inputs: u8,
+    enable: bool,
+    db: &mut DesignDb,
+) -> Result<String, CompileError> {
+    let micro = MicroComponent::Multiplexor { bits, inputs, enable };
+    let name = design_name(&micro);
+    if db.contains(&name) {
+        return Ok(name);
+    }
+    if bits == 0 || inputs < 2 || !inputs.is_power_of_two() {
+        return Err(CompileError::InvalidParams(format!(
+            "mux needs bits >= 1 and a power-of-two input count >= 2, got {bits}/{inputs}"
+        )));
+    }
+    let mut nl = Netlist::new(name.clone());
+    let mut word_nets = Vec::new();
+    for i in 0..inputs {
+        word_nets.push(net_bus(&mut nl, &format!("D{i}_"), bits));
+    }
+    let selects = sel_bits(inputs);
+    let sels = net_bus(&mut nl, "S", selects);
+    let sel_nets: Vec<NetId> = sels.iter().map(|(_, n)| *n).collect();
+    let en = enable.then(|| {
+        let n = nl.add_net("EN");
+        n
+    });
+    let mut outs = Vec::new();
+    for j in 0..bits as usize {
+        let data: Vec<NetId> = word_nets.iter().map(|w| w[j].1).collect();
+        let mut y = mux_tree(&mut nl, &data, &sel_nets, &format!("b{j}"));
+        if let Some(en_net) = en {
+            y = gate(&mut nl, GateFn::And, &[y, en_net], &format!("en{j}"));
+        }
+        outs.push((format!("Y{j}"), y));
+    }
+    for w in &word_nets {
+        input_ports(&mut nl, w);
+    }
+    input_ports(&mut nl, &sels);
+    if let Some(en_net) = en {
+        nl.add_port("EN", PinDir::In, en_net);
+    }
+    output_ports(&mut nl, &outs);
+    db.insert(nl);
+    Ok(name)
+}
+
+/// Compiles a decoder. 1- and 2-bit decoders map to the generic macros;
+/// wider ones are composed from two half decoders and an AND grid.
+pub(crate) fn compile_decoder(
+    bits: u8,
+    enable: bool,
+    db: &mut DesignDb,
+) -> Result<String, CompileError> {
+    let micro = MicroComponent::Decoder { bits, enable };
+    let name = design_name(&micro);
+    if db.contains(&name) {
+        return Ok(name);
+    }
+    if bits == 0 || bits > 5 {
+        return Err(CompileError::InvalidParams(format!("decoder bits must be 1..=5, got {bits}")));
+    }
+    let mut nl = Netlist::new(name.clone());
+    let addr = net_bus(&mut nl, "A", bits);
+    let addr_nets: Vec<NetId> = addr.iter().map(|(_, n)| *n).collect();
+    let en = enable.then(|| nl.add_net("EN"));
+    let raw = decode_nets(&mut nl, &addr_nets, "d");
+    let mut outs = Vec::new();
+    for (i, y) in raw.into_iter().enumerate() {
+        let out = match en {
+            Some(en_net) => gate(&mut nl, GateFn::And, &[y, en_net], &format!("en{i}")),
+            None => y,
+        };
+        outs.push((format!("Y{i}"), out));
+    }
+    input_ports(&mut nl, &addr);
+    if let Some(en_net) = en {
+        nl.add_port("EN", PinDir::In, en_net);
+    }
+    output_ports(&mut nl, &outs);
+    db.insert(nl);
+    Ok(name)
+}
+
+/// Produces the `2^k` one-hot nets for an address bus.
+fn decode_nets(nl: &mut Netlist, addr: &[NetId], prefix: &str) -> Vec<NetId> {
+    match addr.len() {
+        1 => {
+            let d = nl.add_component(
+                format!("{prefix}_d1"),
+                ComponentKind::Generic(GenericMacro::Decoder { inputs: 1 }),
+            );
+            nl.connect_named(d, "A0", addr[0]).expect("fresh decoder pin");
+            let y0 = nl.add_net(format!("{prefix}_y0"));
+            let y1 = nl.add_net(format!("{prefix}_y1"));
+            nl.connect_named(d, "Y0", y0).expect("fresh decoder pin");
+            nl.connect_named(d, "Y1", y1).expect("fresh decoder pin");
+            vec![y0, y1]
+        }
+        2 => {
+            let d = nl.add_component(
+                format!("{prefix}_d2"),
+                ComponentKind::Generic(GenericMacro::Decoder { inputs: 2 }),
+            );
+            nl.connect_named(d, "A0", addr[0]).expect("fresh decoder pin");
+            nl.connect_named(d, "A1", addr[1]).expect("fresh decoder pin");
+            let mut ys = Vec::new();
+            for i in 0..4 {
+                let y = nl.add_net(format!("{prefix}_y{i}"));
+                nl.connect_named(d, &format!("Y{i}"), y).expect("fresh decoder pin");
+                ys.push(y);
+            }
+            ys
+        }
+        k => {
+            // Split into low 2 bits and the rest; AND grid combines them.
+            let low = decode_nets(nl, &addr[..2], &format!("{prefix}_lo"));
+            let high = decode_nets(nl, &addr[2..], &format!("{prefix}_hi"));
+            let mut ys = Vec::with_capacity(1 << k);
+            for (hi, h) in high.iter().enumerate() {
+                for (lo, l) in low.iter().enumerate() {
+                    let idx = (hi << 2) | lo;
+                    ys.push(gate(nl, GateFn::And, &[*h, *l], &format!("{prefix}_y{idx}")));
+                }
+            }
+            ys
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::verify::{check_comb_equivalence, micro_wrapper};
+
+    #[test]
+    fn mux_2_and_4_way() {
+        let mut db = DesignDb::new();
+        for inputs in [2u8, 4] {
+            let micro = MicroComponent::Multiplexor { bits: 2, inputs, enable: false };
+            let name = compile(&micro, &mut db).unwrap();
+            let flat = db.flatten(&name).unwrap();
+            check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn mux_8_way_two_levels() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Multiplexor { bits: 1, inputs: 8, enable: false };
+        let name = compile(&micro, &mut db).unwrap();
+        let flat = db.flatten(&name).unwrap();
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
+    }
+
+    #[test]
+    fn mux_with_enable() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Multiplexor { bits: 2, inputs: 2, enable: true };
+        let name = compile(&micro, &mut db).unwrap();
+        let flat = db.flatten(&name).unwrap();
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
+    }
+
+    #[test]
+    fn decoders_equivalent() {
+        let mut db = DesignDb::new();
+        for bits in [1u8, 2, 3, 4] {
+            let micro = MicroComponent::Decoder { bits, enable: false };
+            let name = compile(&micro, &mut db).unwrap();
+            let flat = db.flatten(&name).unwrap();
+            check_comb_equivalence(&micro_wrapper(micro), &flat, 0)
+                .unwrap_or_else(|e| panic!("bits={bits}: {e}"));
+        }
+    }
+
+    #[test]
+    fn decoder_with_enable() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Decoder { bits: 3, enable: true };
+        let name = compile(&micro, &mut db).unwrap();
+        let flat = db.flatten(&name).unwrap();
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
+    }
+
+    #[test]
+    fn mux_rejects_non_power_of_two() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Multiplexor { bits: 1, inputs: 3, enable: false };
+        assert!(matches!(compile(&micro, &mut db), Err(CompileError::InvalidParams(_))));
+    }
+}

@@ -1,0 +1,172 @@
+//! Compilers for wide gates and logic units (Fig. 12 `GATES` and
+//! `LOGIC UNIT`).
+//!
+//! The gate compiler is a direct implementation of the paper's level-based
+//! OR-compiler algorithm (§6.1): pack each level's leftover outputs into
+//! the widest gates available in the generic library.
+
+use crate::helpers::{gate_tree, input_ports, inverting_gate_tree, net_bus, output_ports};
+use crate::{design_name, CompileError};
+use milo_netlist::{DesignDb, GateFn, MicroComponent, NetId, Netlist, PinDir};
+
+/// Widest gate in the generic library (Fig. 13 lists 2-, 3- and 4-input
+/// gates).
+pub const MAX_GENERIC_FANIN: usize = 4;
+
+/// Compiles a wide gate into a tree of 2–4-input generic gates.
+pub(crate) fn compile_gate(
+    function: GateFn,
+    inputs: u8,
+    db: &mut DesignDb,
+) -> Result<String, CompileError> {
+    let micro = MicroComponent::Gate { function, inputs };
+    let name = design_name(&micro);
+    if db.contains(&name) {
+        return Ok(name);
+    }
+    if inputs == 0 || (matches!(function, GateFn::Inv | GateFn::Buf) && inputs != 1) {
+        return Err(CompileError::InvalidParams(format!(
+            "{function} gate cannot take {inputs} inputs"
+        )));
+    }
+    let mut nl = Netlist::new(name.clone());
+    let ins = net_bus(&mut nl, "A", inputs);
+    let nets: Vec<NetId> = ins.iter().map(|(_, n)| *n).collect();
+    let y = if function.is_associative() {
+        if function.deinverted().is_some() {
+            inverting_gate_tree(&mut nl, function, &nets, MAX_GENERIC_FANIN, "t")
+        } else {
+            gate_tree(&mut nl, function, &nets, MAX_GENERIC_FANIN, "t")
+        }
+    } else {
+        crate::helpers::gate(&mut nl, function, &nets, "t")
+    };
+    input_ports(&mut nl, &ins);
+    nl.add_port("Y", PinDir::Out, y);
+    db.insert(nl);
+    Ok(name)
+}
+
+/// Compiles a logic unit: `bits` parallel copies of the gate function over
+/// `inputs` words. Wide slices (> 4 inputs) are built by a hierarchical
+/// call to the gate compiler.
+pub(crate) fn compile_logic_unit(
+    function: GateFn,
+    inputs: u8,
+    bits: u8,
+    db: &mut DesignDb,
+) -> Result<String, CompileError> {
+    let micro = MicroComponent::LogicUnit { function, inputs, bits };
+    let name = design_name(&micro);
+    if db.contains(&name) {
+        return Ok(name);
+    }
+    if bits == 0 || inputs == 0 {
+        return Err(CompileError::InvalidParams("logic unit needs bits >= 1, inputs >= 1".into()));
+    }
+    let mut nl = Netlist::new(name.clone());
+    // Input buses A{i}_{j}: word i, bit j.
+    let mut word_nets: Vec<Vec<(String, NetId)>> = Vec::new();
+    for i in 0..inputs {
+        word_nets.push(net_bus(&mut nl, &format!("A{i}_"), bits));
+    }
+    let mut outs = Vec::new();
+    // Wide slices instantiate the compiled wide-gate design.
+    let wide = inputs as usize > MAX_GENERIC_FANIN && function.is_associative();
+    let slice_design = if wide { Some(compile_gate(function, inputs, db)?) } else { None };
+    for j in 0..bits as usize {
+        let slice_inputs: Vec<NetId> = word_nets.iter().map(|w| w[j].1).collect();
+        let y = match &slice_design {
+            Some(design) => {
+                let kind = db.instance_kind(design).expect("just compiled");
+                let inst = nl.add_component(format!("slice{j}"), kind);
+                for (i, net) in slice_inputs.iter().enumerate() {
+                    nl.connect_named(inst, &format!("A{i}"), *net).expect("fresh instance pin");
+                }
+                let y = nl.add_net(format!("y{j}"));
+                nl.connect_named(inst, "Y", y).expect("fresh instance pin");
+                y
+            }
+            None => crate::helpers::gate(&mut nl, function, &slice_inputs, &format!("y{j}")),
+        };
+        outs.push((format!("Y{j}"), y));
+    }
+    for w in &word_nets {
+        input_ports(&mut nl, w);
+    }
+    output_ports(&mut nl, &outs);
+    db.insert(nl);
+    Ok(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_comb_equivalence, micro_wrapper};
+    use crate::compile;
+
+    #[test]
+    fn wide_or_gate_equivalent() {
+        let mut db = DesignDb::new();
+        for n in [2u8, 4, 5, 9] {
+            let micro = MicroComponent::Gate { function: GateFn::Or, inputs: n };
+            let name = compile(&micro, &mut db).unwrap();
+            let flat = db.flatten(&name).unwrap();
+            let golden = micro_wrapper(micro);
+            check_comb_equivalence(&golden, &flat, 64).unwrap();
+        }
+    }
+
+    #[test]
+    fn wide_nand_and_xnor_equivalent() {
+        let mut db = DesignDb::new();
+        for f in [GateFn::Nand, GateFn::Nor, GateFn::Xnor, GateFn::Xor, GateFn::And] {
+            let micro = MicroComponent::Gate { function: f, inputs: 7 };
+            let name = compile(&micro, &mut db).unwrap();
+            let flat = db.flatten(&name).unwrap();
+            let golden = micro_wrapper(micro);
+            check_comb_equivalence(&golden, &flat, 200)
+                .unwrap_or_else(|e| panic!("{f}: {e}"));
+        }
+    }
+
+    #[test]
+    fn cache_hit_returns_same_design() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Gate { function: GateFn::Or, inputs: 9 };
+        let n1 = compile(&micro, &mut db).unwrap();
+        let count = db.len();
+        let n2 = compile(&micro, &mut db).unwrap();
+        assert_eq!(n1, n2);
+        assert_eq!(db.len(), count, "second compile must hit the cache");
+    }
+
+    #[test]
+    fn logic_unit_bitwise_equivalent() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::LogicUnit { function: GateFn::Xor, inputs: 2, bits: 4 };
+        let name = compile(&micro, &mut db).unwrap();
+        let flat = db.flatten(&name).unwrap();
+        let golden = micro_wrapper(micro);
+        check_comb_equivalence(&golden, &flat, 64).unwrap();
+    }
+
+    #[test]
+    fn wide_logic_unit_uses_hierarchy() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::LogicUnit { function: GateFn::And, inputs: 6, bits: 2 };
+        let name = compile(&micro, &mut db).unwrap();
+        // The wide-gate sub-design must be in the database too.
+        assert!(db.contains("AND6"));
+        let flat = db.flatten(&name).unwrap();
+        let golden = micro_wrapper(micro);
+        check_comb_equivalence(&golden, &flat, 4096).unwrap();
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Gate { function: GateFn::Inv, inputs: 3 };
+        assert!(matches!(compile(&micro, &mut db), Err(CompileError::InvalidParams(_))));
+    }
+}

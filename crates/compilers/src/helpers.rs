@@ -1,0 +1,260 @@
+//! Small netlist-construction helpers shared by all logic compilers.
+
+use milo_netlist::{ComponentId, ComponentKind, GateFn, GenericMacro, NetId, Netlist, PinDir};
+
+/// Adds an `n`-input generic gate fed by `inputs`, returning its output net.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` does not match `n`, or `n` is outside the
+/// generic library's 1–4 range.
+pub fn gate(nl: &mut Netlist, f: GateFn, inputs: &[NetId], out_name: &str) -> NetId {
+    let n = inputs.len() as u8;
+    match f {
+        GateFn::Inv | GateFn::Buf => assert_eq!(n, 1, "{f} takes one input"),
+        _ => assert!((2..=4).contains(&n), "generic {f} gates take 2-4 inputs, got {n}"),
+    }
+    let g = nl.add_component(
+        format!("{}_{}", f.mnemonic(), out_name),
+        ComponentKind::Generic(GenericMacro::Gate(f, n)),
+    );
+    for (i, net) in inputs.iter().enumerate() {
+        nl.connect_named(g, &format!("A{i}"), *net).expect("fresh gate pin");
+    }
+    let y = nl.add_net(out_name);
+    nl.connect_named(g, "Y", y).expect("fresh gate pin");
+    y
+}
+
+/// Adds an inverter on `input`.
+pub fn inv(nl: &mut Netlist, input: NetId, out_name: &str) -> NetId {
+    gate(nl, GateFn::Inv, &[input], out_name)
+}
+
+/// Adds (or reuses) a constant-high net.
+pub fn vdd(nl: &mut Netlist) -> NetId {
+    constant(nl, true)
+}
+
+/// Adds (or reuses) a constant-low net.
+pub fn vss(nl: &mut Netlist) -> NetId {
+    constant(nl, false)
+}
+
+fn constant(nl: &mut Netlist, high: bool) -> NetId {
+    let (macro_, name) = if high { (GenericMacro::Vdd, "vdd") } else { (GenericMacro::Vss, "vss") };
+    // Reuse an existing constant driver if present.
+    for id in nl.component_ids() {
+        if let Ok(c) = nl.component(id) {
+            if c.kind == ComponentKind::Generic(macro_) {
+                if let Some(net) = c.pins[0].net {
+                    return net;
+                }
+            }
+        }
+    }
+    let c = nl.add_component(name, ComponentKind::Generic(macro_));
+    let net = nl.add_net(name);
+    nl.connect_named(c, "Y", net).expect("fresh constant pin");
+    net
+}
+
+/// Builds a balanced tree of `f` gates (max fanin `max_fanin`) over
+/// `inputs`, returning the root output net. This is the paper's level-based
+/// OR-compiler algorithm (§6.1): each level packs the leftover outputs of
+/// the previous level into the widest available gates.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or `f` is not associative.
+pub fn gate_tree(
+    nl: &mut Netlist,
+    f: GateFn,
+    inputs: &[NetId],
+    max_fanin: usize,
+    prefix: &str,
+) -> NetId {
+    assert!(f.is_associative(), "{f} cannot form a tree");
+    assert!(!inputs.is_empty(), "need at least one input");
+    let mut level: Vec<NetId> = inputs.to_vec();
+    let mut level_count = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2 + 1);
+        let mut i = 0;
+        let mut g = 0usize;
+        while i < level.len() {
+            let remaining = level.len() - i;
+            if remaining == 1 {
+                // Carry the odd signal up unchanged.
+                next.push(level[i]);
+                break;
+            }
+            let take = remaining.min(max_fanin);
+            let out = gate(nl, f, &level[i..i + take], &format!("{prefix}_l{level_count}g{g}"));
+            next.push(out);
+            i += take;
+            g += 1;
+        }
+        level = next;
+        level_count += 1;
+    }
+    level[0]
+}
+
+/// Like [`gate_tree`] but for an inverting function (NAND/NOR/XNOR): builds
+/// the de-inverted tree and makes the *root* gate the inverting variant,
+/// or adds an inverter for a single input.
+pub fn inverting_gate_tree(
+    nl: &mut Netlist,
+    f: GateFn,
+    inputs: &[NetId],
+    max_fanin: usize,
+    prefix: &str,
+) -> NetId {
+    let base = f.deinverted().expect("inverting function expected");
+    if inputs.len() == 1 {
+        return inv(nl, inputs[0], &format!("{prefix}_inv"));
+    }
+    if inputs.len() <= max_fanin {
+        return gate(nl, f, inputs, &format!("{prefix}_root"));
+    }
+    // Build the bulk with the base function, finishing with an inverting
+    // root gate over the last level.
+    let mut level: Vec<NetId> = inputs.to_vec();
+    let mut level_count = 0usize;
+    while level.len() > max_fanin {
+        let mut next = Vec::new();
+        let mut i = 0;
+        let mut g = 0usize;
+        while i < level.len() {
+            let remaining = level.len() - i;
+            if remaining == 1 {
+                next.push(level[i]);
+                break;
+            }
+            let take = remaining.min(max_fanin);
+            let out =
+                gate(nl, base, &level[i..i + take], &format!("{prefix}_l{level_count}g{g}"));
+            next.push(out);
+            i += take;
+            g += 1;
+        }
+        level = next;
+        level_count += 1;
+    }
+    gate(nl, f, &level, &format!("{prefix}_root"))
+}
+
+/// Adds a D flip-flop with optional controls; returns `(component, q_net)`.
+pub fn dff(
+    nl: &mut Netlist,
+    d: NetId,
+    clk: NetId,
+    set: Option<NetId>,
+    reset: Option<NetId>,
+    enable: Option<NetId>,
+    name: &str,
+) -> (ComponentId, NetId) {
+    let ff = nl.add_component(
+        name,
+        ComponentKind::Generic(GenericMacro::Dff {
+            set: set.is_some(),
+            reset: reset.is_some(),
+            enable: enable.is_some(),
+        }),
+    );
+    nl.connect_named(ff, "D", d).expect("fresh dff pin");
+    nl.connect_named(ff, "CLK", clk).expect("fresh dff pin");
+    if let Some(s) = set {
+        nl.connect_named(ff, "SET", s).expect("fresh dff pin");
+    }
+    if let Some(r) = reset {
+        nl.connect_named(ff, "RST", r).expect("fresh dff pin");
+    }
+    if let Some(e) = enable {
+        nl.connect_named(ff, "EN", e).expect("fresh dff pin");
+    }
+    let q = nl.add_net(format!("{name}_q"));
+    nl.connect_named(ff, "Q", q).expect("fresh dff pin");
+    (ff, q)
+}
+
+/// Declares input ports for a list of `(name, net)` pairs.
+pub fn input_ports(nl: &mut Netlist, pairs: &[(String, NetId)]) {
+    for (name, net) in pairs {
+        nl.add_port(name.clone(), PinDir::In, *net);
+    }
+}
+
+/// Declares output ports for a list of `(name, net)` pairs.
+pub fn output_ports(nl: &mut Netlist, pairs: &[(String, NetId)]) {
+    for (name, net) in pairs {
+        nl.add_port(name.clone(), PinDir::Out, *net);
+    }
+}
+
+/// Creates `n` fresh nets named `prefix0..prefix{n-1}` and the matching
+/// `(name, net)` pairs.
+pub fn net_bus(nl: &mut Netlist, prefix: &str, n: u8) -> Vec<(String, NetId)> {
+    (0..n)
+        .map(|i| {
+            let name = format!("{prefix}{i}");
+            let net = nl.add_net(name.clone());
+            (name, net)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::Simulator;
+
+    #[test]
+    fn gate_tree_or_9_inputs() {
+        let mut nl = Netlist::new("or9");
+        let ins = net_bus(&mut nl, "a", 9);
+        let nets: Vec<NetId> = ins.iter().map(|(_, n)| *n).collect();
+        let y = gate_tree(&mut nl, GateFn::Or, &nets, 4, "t");
+        input_ports(&mut nl, &ins);
+        nl.add_port("y", PinDir::Out, y);
+        // 9 inputs with fanin-4: 4+4+1 -> 2 gates + carry, then 3 -> 1 gate.
+        assert_eq!(nl.component_count(), 3);
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.settle();
+        assert!(!sim.output("y").unwrap());
+        sim.set_input("a7", true).unwrap();
+        sim.settle();
+        assert!(sim.output("y").unwrap());
+    }
+
+    #[test]
+    fn inverting_tree_matches_nor() {
+        let mut nl = Netlist::new("nor6");
+        let ins = net_bus(&mut nl, "a", 6);
+        let nets: Vec<NetId> = ins.iter().map(|(_, n)| *n).collect();
+        let y = inverting_gate_tree(&mut nl, GateFn::Nor, &nets, 4, "t");
+        input_ports(&mut nl, &ins);
+        nl.add_port("y", PinDir::Out, y);
+        let mut sim = Simulator::new(&nl).unwrap();
+        for pattern in 0..64u32 {
+            for i in 0..6 {
+                sim.set_input(&format!("a{i}"), pattern >> i & 1 == 1).unwrap();
+            }
+            sim.settle();
+            assert_eq!(sim.output("y").unwrap(), pattern == 0, "pattern {pattern:b}");
+        }
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let mut nl = Netlist::new("c");
+        let v1 = vdd(&mut nl);
+        let v2 = vdd(&mut nl);
+        assert_eq!(v1, v2);
+        let g1 = vss(&mut nl);
+        let g2 = vss(&mut nl);
+        assert_eq!(g1, g2);
+        assert_eq!(nl.component_count(), 2);
+    }
+}

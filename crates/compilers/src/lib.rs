@@ -1,0 +1,309 @@
+//! # milo-compilers
+//!
+//! The *logic compilers* of the MILO system (§6.1, Figs. 12 and 16): one
+//! parameterized generator per microarchitecture component, expanding it
+//! into generic SSI/MSI macros (Fig. 13) in a hierarchical fashion, with a
+//! design-database cache ("see if the requested design already exists in
+//! the database; if so, exit").
+//!
+//! The single entry point is [`compile`], which dispatches on the
+//! [`MicroComponent`] variant and returns the name of the produced design
+//! inside the caller's [`DesignDb`].
+//!
+//! # Examples
+//!
+//! ```
+//! use milo_compilers::compile;
+//! use milo_netlist::{ArithOps, CarryMode, DesignDb, MicroComponent};
+//!
+//! let mut db = DesignDb::new();
+//! let adder = MicroComponent::ArithmeticUnit {
+//!     bits: 4,
+//!     ops: ArithOps::ADD,
+//!     mode: CarryMode::Ripple,
+//! };
+//! let name = compile(&adder, &mut db)?;
+//! assert!(db.contains(&name));
+//! # Ok::<(), milo_compilers::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod arith;
+mod datapath;
+mod gates;
+pub mod helpers;
+mod storage;
+pub mod verify;
+
+use milo_netlist::{DesignDb, MicroComponent, Trigger};
+use std::fmt;
+
+/// Errors from the logic compilers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// The component parameters are outside what the compiler supports.
+    InvalidParams(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidParams(s) => write!(f, "invalid compiler parameters: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Canonical design-database name for a microarchitecture component.
+///
+/// Names are unique per parameter set so the database cache is sound.
+/// The MSI-style names of Fig. 16 (`ADD4`, `MUX2:1:4`, `REG4`) are used
+/// where the paper shows them.
+pub fn design_name(micro: &MicroComponent) -> String {
+    match *micro {
+        MicroComponent::Gate { function, inputs } => {
+            format!("{}{}", function.mnemonic().to_uppercase(), inputs)
+        }
+        MicroComponent::Multiplexor { bits, inputs, enable } => {
+            format!("MUX{inputs}:1:{bits}{}", if enable { "E" } else { "" })
+        }
+        MicroComponent::Decoder { bits, enable } => {
+            format!("DEC{bits}TO{}{}", 1u8 << bits, if enable { "E" } else { "" })
+        }
+        MicroComponent::Comparator { bits, function } => {
+            format!("CMP{bits}_{function:?}").to_uppercase()
+        }
+        MicroComponent::LogicUnit { function, inputs, bits } => {
+            format!("LU{bits}_{}{}", function.mnemonic().to_uppercase(), inputs)
+        }
+        MicroComponent::ArithmeticUnit { bits, ops, mode } => {
+            let mut s = format!("AU{bits}_");
+            if ops.add {
+                s.push('A');
+            }
+            if ops.sub {
+                s.push('S');
+            }
+            if ops.inc {
+                s.push('I');
+            }
+            if ops.dec {
+                s.push('D');
+            }
+            s.push_str(match mode {
+                milo_netlist::CarryMode::Ripple => "_RPL",
+                milo_netlist::CarryMode::CarryLookahead => "_CLA",
+            });
+            // Fig. 16 shows the plain ripple adder as ADD4.
+            if ops == milo_netlist::ArithOps::ADD && mode == milo_netlist::CarryMode::Ripple {
+                return format!("ADD{bits}");
+            }
+            s
+        }
+        MicroComponent::Register { bits, trigger, funcs, ctrl } => {
+            let mut s = format!("REG{bits}");
+            if trigger == Trigger::Latch {
+                s.push('L');
+            }
+            s.push('_');
+            if funcs.load {
+                s.push('l');
+            }
+            if funcs.shift_left {
+                s.push('<');
+            }
+            if funcs.shift_right {
+                s.push('>');
+            }
+            if ctrl.set {
+                s.push('S');
+            }
+            if ctrl.reset {
+                s.push('R');
+            }
+            if ctrl.enable {
+                s.push('E');
+            }
+            // Fig. 16 shows the plain load register as REG4.
+            if funcs == milo_netlist::RegFunctions::LOAD
+                && ctrl == milo_netlist::ControlSet::NONE
+                && trigger == Trigger::EdgeTriggered
+            {
+                return format!("REG{bits}");
+            }
+            s
+        }
+        MicroComponent::Counter { bits, funcs, ctrl } => {
+            let mut s = format!("CTR{bits}_");
+            if funcs.load {
+                s.push('l');
+            }
+            if funcs.up {
+                s.push('u');
+            }
+            if funcs.down {
+                s.push('d');
+            }
+            if ctrl.set {
+                s.push('S');
+            }
+            if ctrl.reset {
+                s.push('R');
+            }
+            if ctrl.enable {
+                s.push('E');
+            }
+            s
+        }
+    }
+}
+
+/// Compiles a microarchitecture component into the design database,
+/// returning the design name. A cache hit returns immediately.
+///
+/// # Errors
+///
+/// [`CompileError::InvalidParams`] when the parameters are unsupported
+/// (zero widths, non-power-of-two mux inputs, multi-input inverters, …).
+pub fn compile(micro: &MicroComponent, db: &mut DesignDb) -> Result<String, CompileError> {
+    match *micro {
+        MicroComponent::Gate { function, inputs } => gates::compile_gate(function, inputs, db),
+        MicroComponent::LogicUnit { function, inputs, bits } => {
+            gates::compile_logic_unit(function, inputs, bits, db)
+        }
+        MicroComponent::Multiplexor { bits, inputs, enable } => {
+            datapath::compile_mux(bits, inputs, enable, db)
+        }
+        MicroComponent::Decoder { bits, enable } => datapath::compile_decoder(bits, enable, db),
+        MicroComponent::Comparator { bits, function } => {
+            arith::compile_comparator(bits, function, db)
+        }
+        MicroComponent::ArithmeticUnit { bits, ops, mode } => {
+            arith::compile_arith(bits, ops, mode, db)
+        }
+        MicroComponent::Register { bits, trigger, funcs, ctrl } => {
+            storage::compile_register(bits, trigger, funcs, ctrl, db)
+        }
+        MicroComponent::Counter { bits, funcs, ctrl } => {
+            storage::compile_counter(bits, funcs, ctrl, db)
+        }
+    }
+}
+
+/// Expands every [`milo_netlist::ComponentKind::Micro`] component of a
+/// netlist into an instance of its compiled design, in place.
+///
+/// The netlist afterwards contains [`milo_netlist::ComponentKind::Instance`]
+/// components; flatten through the database for a gate-level view.
+///
+/// # Errors
+///
+/// Propagates compiler and netlist errors.
+pub fn expand_micro_components(
+    nl: &mut milo_netlist::Netlist,
+    db: &mut DesignDb,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let micro_ids: Vec<milo_netlist::ComponentId> = nl
+        .component_ids()
+        .filter(|&id| {
+            matches!(
+                nl.component(id).map(|c| &c.kind),
+                Ok(milo_netlist::ComponentKind::Micro(_))
+            )
+        })
+        .collect();
+    for id in micro_ids {
+        let (micro, name, pin_nets) = {
+            let comp = nl.component(id)?;
+            let milo_netlist::ComponentKind::Micro(m) = &comp.kind else { unreachable!() };
+            let pin_nets: Vec<(String, Option<milo_netlist::NetId>)> =
+                comp.pins.iter().map(|p| (p.name.clone(), p.net)).collect();
+            (*m, comp.name.clone(), pin_nets)
+        };
+        let design = compile(&micro, db)?;
+        nl.remove_component(id)?;
+        let kind = db.instance_kind(&design).expect("just compiled");
+        let inst = nl.add_component(name, kind);
+        for (pin, net) in pin_nets {
+            if let Some(net) = net {
+                nl.connect_named(inst, &pin, net)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::{ArithOps, CarryMode, ComponentKind, ControlSet, PinDir, RegFunctions};
+
+    #[test]
+    fn design_names_match_fig16() {
+        assert_eq!(
+            design_name(&MicroComponent::ArithmeticUnit {
+                bits: 4,
+                ops: ArithOps::ADD,
+                mode: CarryMode::Ripple
+            }),
+            "ADD4"
+        );
+        assert_eq!(
+            design_name(&MicroComponent::Multiplexor { bits: 4, inputs: 2, enable: false }),
+            "MUX2:1:4"
+        );
+        assert_eq!(
+            design_name(&MicroComponent::Register {
+                bits: 4,
+                trigger: Trigger::EdgeTriggered,
+                funcs: RegFunctions::LOAD,
+                ctrl: ControlSet::NONE
+            }),
+            "REG4"
+        );
+    }
+
+    #[test]
+    fn names_distinguish_parameters() {
+        let a = design_name(&MicroComponent::ArithmeticUnit {
+            bits: 4,
+            ops: ArithOps::ADD,
+            mode: CarryMode::CarryLookahead,
+        });
+        let b = design_name(&MicroComponent::ArithmeticUnit {
+            bits: 4,
+            ops: ArithOps::ADD,
+            mode: CarryMode::Ripple,
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expand_micro_components_leaves_instances() {
+        let mut nl = milo_netlist::Netlist::new("top");
+        let micro = MicroComponent::ArithmeticUnit {
+            bits: 4,
+            ops: ArithOps::ADD,
+            mode: CarryMode::Ripple,
+        };
+        let c = nl.add_component("au", ComponentKind::Micro(micro));
+        let pins: Vec<(String, PinDir)> = nl
+            .component(c)
+            .unwrap()
+            .pins
+            .iter()
+            .map(|p| (p.name.clone(), p.dir))
+            .collect();
+        for (pin, dir) in pins {
+            let net = nl.add_net(pin.clone());
+            nl.connect_named(c, &pin, net).unwrap();
+            nl.add_port(pin, dir, net);
+        }
+        let mut db = DesignDb::new();
+        expand_micro_components(&mut nl, &mut db).unwrap();
+        assert!(nl.has_hierarchy());
+        assert!(db.contains("ADD4"));
+    }
+}

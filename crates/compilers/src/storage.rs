@@ -1,0 +1,486 @@
+//! Compilers for registers and counters (Fig. 12 `REGISTER` and
+//! `COUNTER`).
+//!
+//! Following §6.1, "the design compiler places a multiplexor in front of
+//! each flip-flop. In the course of creating the register, the register
+//! compiler will call the multiplexor compiler" — the register compiler
+//! here makes exactly that hierarchical call and instantiates the compiled
+//! `MUXn:1:1` design per bit (visible in Fig. 16's REG4 → MUX2:1:1).
+
+use crate::datapath::compile_mux;
+use crate::helpers::{gate, gate_tree, input_ports, inv, inverting_gate_tree, net_bus, vdd, vss};
+use crate::{design_name, CompileError};
+use milo_netlist::{
+    ComponentKind, ControlSet, CounterFunctions, DesignDb, GateFn, GenericMacro, MicroComponent,
+    NetId, Netlist, PinDir, RegFunctions, Trigger,
+};
+
+/// Compiles a register.
+pub(crate) fn compile_register(
+    bits: u8,
+    trigger: Trigger,
+    funcs: RegFunctions,
+    ctrl: ControlSet,
+    db: &mut DesignDb,
+) -> Result<String, CompileError> {
+    let micro = MicroComponent::Register { bits, trigger, funcs, ctrl };
+    let name = design_name(&micro);
+    if db.contains(&name) {
+        return Ok(name);
+    }
+    if bits == 0 {
+        return Err(CompileError::InvalidParams("register needs bits >= 1".into()));
+    }
+    let mut nl = Netlist::new(name.clone());
+
+    // Ports, in the micro component's pin order.
+    let d = if funcs.load { net_bus(&mut nl, "D", bits) } else { Vec::new() };
+    let sil = funcs.shift_left.then(|| nl.add_net("SIL"));
+    let sir = funcs.shift_right.then(|| nl.add_net("SIR"));
+    let sel_count = if funcs.source_count() > 1 { funcs.select_pins() } else { 0 };
+    let f_pins = net_bus(&mut nl, "F", sel_count);
+    let set = ctrl.set.then(|| nl.add_net("SET"));
+    let rst = ctrl.reset.then(|| nl.add_net("RST"));
+    let en = ctrl.enable.then(|| nl.add_net("EN"));
+    let clk = nl.add_net("CLK");
+
+    // Next-state nets and storage bits.
+    let next: Vec<NetId> = (0..bits).map(|i| nl.add_net(format!("next{i}"))).collect();
+    let mut q = Vec::with_capacity(bits as usize);
+    for i in 0..bits as usize {
+        let q_net = match trigger {
+            Trigger::EdgeTriggered => {
+                let (_, qn) = crate::helpers::dff(
+                    &mut nl,
+                    next[i],
+                    clk,
+                    set,
+                    rst,
+                    en,
+                    &format!("ff{i}"),
+                );
+                qn
+            }
+            Trigger::Latch => {
+                // Latch gate = CLK (AND-ed with EN when present).
+                let g = match en {
+                    Some(e) => gate(&mut nl, GateFn::And, &[clk, e], &format!("g{i}")),
+                    None => clk,
+                };
+                let lat = nl.add_component(
+                    format!("lat{i}"),
+                    ComponentKind::Generic(GenericMacro::Latch {
+                        set: set.is_some(),
+                        reset: rst.is_some(),
+                    }),
+                );
+                nl.connect_named(lat, "D", next[i]).expect("fresh latch pin");
+                nl.connect_named(lat, "G", g).expect("fresh latch pin");
+                if let Some(s) = set {
+                    nl.connect_named(lat, "SET", s).expect("fresh latch pin");
+                }
+                if let Some(r) = rst {
+                    nl.connect_named(lat, "RST", r).expect("fresh latch pin");
+                }
+                let qn = nl.add_net(format!("lat{i}_q"));
+                nl.connect_named(lat, "Q", qn).expect("fresh latch pin");
+                qn
+            }
+        };
+        q.push(q_net);
+    }
+
+    // Input multiplexors — hierarchical call to the multiplexor compiler.
+    if sel_count == 0 {
+        // Single source: hold (or plain load if that is the only function).
+        for i in 0..bits as usize {
+            let src = if funcs.load { d[i].1 } else { q[i] };
+            // next_i is just the source: splice with a buffer to keep the
+            // net distinct and the DFF input driven.
+            let g = nl.add_component(
+                format!("buf{i}"),
+                ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+            );
+            nl.connect_named(g, "A0", src).expect("fresh buf pin");
+            nl.connect_named(g, "Y", next[i]).expect("fresh buf pin");
+        }
+    } else {
+        let ways = 1u8 << sel_count;
+        let mux_design = compile_mux(1, ways, false, db)?;
+        for i in 0..bits as usize {
+            // Source order: hold, load, shift-left, shift-right; pad with
+            // hold (matches the simulator's out-of-range rule).
+            let mut sources: Vec<NetId> = vec![q[i]];
+            if funcs.load {
+                sources.push(d[i].1);
+            }
+            if funcs.shift_left {
+                sources.push(if i == 0 { sil.expect("SIL present") } else { q[i - 1] });
+            }
+            if funcs.shift_right {
+                sources.push(if i == bits as usize - 1 {
+                    sir.expect("SIR present")
+                } else {
+                    q[i + 1]
+                });
+            }
+            while sources.len() < ways as usize {
+                sources.push(q[i]);
+            }
+            let kind = db.instance_kind(&mux_design).expect("just compiled");
+            let m = nl.add_component(format!("mux{i}"), kind);
+            for (k, src) in sources.iter().enumerate() {
+                nl.connect_named(m, &format!("D{k}_0"), *src).expect("fresh mux pin");
+            }
+            for (k, (_, s)) in f_pins.iter().enumerate() {
+                nl.connect_named(m, &format!("S{k}"), *s).expect("fresh mux pin");
+            }
+            nl.connect_named(m, "Y0", next[i]).expect("fresh mux pin");
+        }
+    }
+
+    input_ports(&mut nl, &d);
+    if let Some(n) = sil {
+        nl.add_port("SIL", PinDir::In, n);
+    }
+    if let Some(n) = sir {
+        nl.add_port("SIR", PinDir::In, n);
+    }
+    input_ports(&mut nl, &f_pins);
+    if let Some(n) = set {
+        nl.add_port("SET", PinDir::In, n);
+    }
+    if let Some(n) = rst {
+        nl.add_port("RST", PinDir::In, n);
+    }
+    if let Some(n) = en {
+        nl.add_port("EN", PinDir::In, n);
+    }
+    nl.add_port("CLK", PinDir::In, clk);
+    for (i, qn) in q.iter().enumerate() {
+        nl.add_port(format!("Q{i}"), PinDir::Out, *qn);
+    }
+    db.insert(nl);
+    Ok(name)
+}
+
+/// Compiles a counter: flip-flops, an ADD1-chain increment/decrement
+/// network on Q, per-bit next-state multiplexors and terminal-count logic.
+pub(crate) fn compile_counter(
+    bits: u8,
+    funcs: CounterFunctions,
+    ctrl: ControlSet,
+    db: &mut DesignDb,
+) -> Result<String, CompileError> {
+    let micro = MicroComponent::Counter { bits, funcs, ctrl };
+    let name = design_name(&micro);
+    if db.contains(&name) {
+        return Ok(name);
+    }
+    if bits == 0 {
+        return Err(CompileError::InvalidParams("counter needs bits >= 1".into()));
+    }
+    let mut nl = Netlist::new(name.clone());
+
+    let d = if funcs.load { net_bus(&mut nl, "D", bits) } else { Vec::new() };
+    let load = funcs.load.then(|| nl.add_net("LOAD"));
+    let up = (funcs.up && funcs.down).then(|| nl.add_net("UP"));
+    let set = ctrl.set.then(|| nl.add_net("SET"));
+    let rst = ctrl.reset.then(|| nl.add_net("RST"));
+    let en = ctrl.enable.then(|| nl.add_net("EN"));
+    let clk = nl.add_net("CLK");
+
+    let next: Vec<NetId> = (0..bits).map(|i| nl.add_net(format!("next{i}"))).collect();
+    let mut q = Vec::with_capacity(bits as usize);
+    for i in 0..bits as usize {
+        let (_, qn) = crate::helpers::dff(&mut nl, next[i], clk, set, rst, None, &format!("ff{i}"));
+        q.push(qn);
+    }
+
+    let counts = if funcs.up || funcs.down {
+        // B operand and carry-in of the ±1 adder chain.
+        let (b_net, cin) = match (funcs.up, funcs.down) {
+            (true, true) => {
+                let u = up.expect("UP port present");
+                (inv(&mut nl, u, "nup"), u)
+            }
+            (true, false) => (vss(&mut nl), vdd(&mut nl)),
+            (false, true) => (vdd(&mut nl), vss(&mut nl)),
+            (false, false) => unreachable!(),
+        };
+        let b: Vec<NetId> = vec![b_net; bits as usize];
+        let (sums, _co) =
+            crate::arith::adder_chain(&mut nl, &q, &b, cin, milo_netlist::CarryMode::Ripple);
+        Some(sums)
+    } else {
+        None
+    };
+
+    // Per-bit next-state selection, specialized on the available
+    // controls so that e.g. a free-running up counter needs no muxes.
+    let mux2 = |nl: &mut Netlist, i: usize, d0: NetId, d1: NetId, s0: NetId, y: NetId| {
+        let m = nl
+            .add_component(format!("nm{i}"), ComponentKind::Generic(GenericMacro::Mux { selects: 1 }));
+        nl.connect_named(m, "D0", d0).expect("fresh mux pin");
+        nl.connect_named(m, "D1", d1).expect("fresh mux pin");
+        nl.connect_named(m, "S0", s0).expect("fresh mux pin");
+        nl.connect_named(m, "Y", y).expect("fresh mux pin");
+    };
+    let buf_to = |nl: &mut Netlist, i: usize, src: NetId, y: NetId| {
+        let g = nl.add_component(
+            format!("buf{i}"),
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+        );
+        nl.connect_named(g, "A0", src).expect("fresh buf pin");
+        nl.connect_named(g, "Y", y).expect("fresh buf pin");
+    };
+    for i in 0..bits as usize {
+        match (&counts, load, en) {
+            (Some(c), Some(l), Some(e)) => {
+                // 4:1 mux: S0 = EN, S1 = LOAD & EN.
+                let s1 = gate(&mut nl, GateFn::And, &[l, e], &format!("ld_en{i}"));
+                let m = nl.add_component(
+                    format!("nm{i}"),
+                    ComponentKind::Generic(GenericMacro::Mux { selects: 2 }),
+                );
+                nl.connect_named(m, "D0", q[i]).expect("fresh mux pin"); // hold
+                nl.connect_named(m, "D1", c[i]).expect("fresh mux pin"); // count
+                nl.connect_named(m, "D2", d[i].1).expect("fresh mux pin"); // (unreachable)
+                nl.connect_named(m, "D3", d[i].1).expect("fresh mux pin"); // load
+                nl.connect_named(m, "S0", e).expect("fresh mux pin");
+                nl.connect_named(m, "S1", s1).expect("fresh mux pin");
+                nl.connect_named(m, "Y", next[i]).expect("fresh mux pin");
+            }
+            (Some(c), Some(l), None) => mux2(&mut nl, i, c[i], d[i].1, l, next[i]),
+            (Some(c), None, Some(e)) => mux2(&mut nl, i, q[i], c[i], e, next[i]),
+            (Some(c), None, None) => buf_to(&mut nl, i, c[i], next[i]),
+            (None, Some(l), Some(e)) => {
+                let s0 = gate(&mut nl, GateFn::And, &[l, e], &format!("ld_en{i}"));
+                mux2(&mut nl, i, q[i], d[i].1, s0, next[i]);
+            }
+            (None, Some(l), None) => mux2(&mut nl, i, q[i], d[i].1, l, next[i]),
+            (None, None, _) => buf_to(&mut nl, i, q[i], next[i]),
+        }
+    }
+
+    // Terminal-count / carry-out.
+    let co = {
+        let tc = match (funcs.up, funcs.down) {
+            (false, false) => vss(&mut nl),
+            (true, false) => all_ones(&mut nl, &q),
+            (false, true) => all_zeros(&mut nl, &q),
+            (true, true) => {
+                let tc_up = all_ones(&mut nl, &q);
+                let tc_dn = all_zeros(&mut nl, &q);
+                let m = nl.add_component(
+                    "tcm",
+                    ComponentKind::Generic(GenericMacro::Mux { selects: 1 }),
+                );
+                nl.connect_named(m, "D0", tc_dn).expect("fresh mux pin");
+                nl.connect_named(m, "D1", tc_up).expect("fresh mux pin");
+                nl.connect_named(m, "S0", up.expect("UP present")).expect("fresh mux pin");
+                let y = nl.add_net("tc");
+                nl.connect_named(m, "Y", y).expect("fresh mux pin");
+                y
+            }
+        };
+        let mut co = tc;
+        if let Some(e) = en {
+            co = gate(&mut nl, GateFn::And, &[co, e], "co_en");
+        }
+        if let Some(l) = load {
+            let nl_load = inv(&mut nl, l, "nload");
+            co = gate(&mut nl, GateFn::And, &[co, nl_load], "co_ld");
+        }
+        co
+    };
+
+    input_ports(&mut nl, &d);
+    if let Some(n) = load {
+        nl.add_port("LOAD", PinDir::In, n);
+    }
+    if let Some(n) = up {
+        nl.add_port("UP", PinDir::In, n);
+    }
+    if let Some(n) = set {
+        nl.add_port("SET", PinDir::In, n);
+    }
+    if let Some(n) = rst {
+        nl.add_port("RST", PinDir::In, n);
+    }
+    if let Some(n) = en {
+        nl.add_port("EN", PinDir::In, n);
+    }
+    nl.add_port("CLK", PinDir::In, clk);
+    for (i, qn) in q.iter().enumerate() {
+        nl.add_port(format!("Q{i}"), PinDir::Out, *qn);
+    }
+    nl.add_port("CO", PinDir::Out, co);
+    db.insert(nl);
+    Ok(name)
+}
+
+fn all_ones(nl: &mut Netlist, q: &[NetId]) -> NetId {
+    if q.len() == 1 {
+        let g = nl.add_component("tc1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)));
+        nl.connect_named(g, "A0", q[0]).expect("fresh buf pin");
+        let y = nl.add_net("tc1_y");
+        nl.connect_named(g, "Y", y).expect("fresh buf pin");
+        return y;
+    }
+    gate_tree(nl, GateFn::And, q, 4, "tcu")
+}
+
+fn all_zeros(nl: &mut Netlist, q: &[NetId]) -> NetId {
+    if q.len() == 1 {
+        return inv(nl, q[0], "tcd");
+    }
+    inverting_gate_tree(nl, GateFn::Nor, q, 4, "tcd")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::verify::{check_seq_equivalence, micro_wrapper};
+
+    fn check_reg(bits: u8, funcs: RegFunctions, ctrl: ControlSet) {
+        let mut db = DesignDb::new();
+        let micro =
+            MicroComponent::Register { bits, trigger: Trigger::EdgeTriggered, funcs, ctrl };
+        let name = compile(&micro, &mut db).unwrap();
+        let flat = db.flatten(&name).unwrap();
+        check_seq_equivalence(&micro_wrapper(micro), &flat, 200, 7)
+            .unwrap_or_else(|e| panic!("{}: {e}", micro.describe()));
+    }
+
+    #[test]
+    fn plain_load_register() {
+        check_reg(4, RegFunctions::LOAD, ControlSet::NONE);
+    }
+
+    #[test]
+    fn register_with_reset_enable() {
+        check_reg(4, RegFunctions::LOAD, ControlSet { set: false, reset: true, enable: true });
+    }
+
+    #[test]
+    fn register_with_set() {
+        check_reg(2, RegFunctions::LOAD, ControlSet { set: true, reset: true, enable: false });
+    }
+
+    #[test]
+    fn shift_right_register() {
+        check_reg(
+            4,
+            RegFunctions { load: true, shift_left: false, shift_right: true },
+            ControlSet::RESET,
+        );
+    }
+
+    #[test]
+    fn full_shift_register() {
+        check_reg(
+            3,
+            RegFunctions { load: true, shift_left: true, shift_right: true },
+            ControlSet::NONE,
+        );
+    }
+
+    #[test]
+    fn shift_only_register() {
+        check_reg(
+            4,
+            RegFunctions { load: false, shift_left: false, shift_right: true },
+            ControlSet::NONE,
+        );
+    }
+
+    #[test]
+    fn register_hierarchy_calls_mux_compiler() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Register {
+            bits: 4,
+            trigger: Trigger::EdgeTriggered,
+            funcs: RegFunctions { load: true, shift_left: false, shift_right: true },
+            ctrl: ControlSet::NONE,
+        };
+        compile(&micro, &mut db).unwrap();
+        // Fig. 16: REG4 requires MUX4:1:1 (3 sources round up to 4 ways).
+        assert!(db.contains("MUX4:1:1"), "designs: {:?}", db.names().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latch_register_is_structural() {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Register {
+            bits: 2,
+            trigger: Trigger::Latch,
+            funcs: RegFunctions::LOAD,
+            ctrl: ControlSet::NONE,
+        };
+        let name = compile(&micro, &mut db).unwrap();
+        let flat = db.flatten(&name).unwrap();
+        let latches = flat
+            .component_ids()
+            .filter(|&id| {
+                matches!(
+                    flat.component(id).map(|c| &c.kind),
+                    Ok(ComponentKind::Generic(GenericMacro::Latch { .. }))
+                )
+            })
+            .count();
+        assert_eq!(latches, 2);
+    }
+
+    fn check_ctr(bits: u8, funcs: CounterFunctions, ctrl: ControlSet) {
+        let mut db = DesignDb::new();
+        let micro = MicroComponent::Counter { bits, funcs, ctrl };
+        let name = compile(&micro, &mut db).unwrap();
+        let flat = db.flatten(&name).unwrap();
+        check_seq_equivalence(&micro_wrapper(micro), &flat, 300, 11)
+            .unwrap_or_else(|e| panic!("{}: {e}", micro.describe()));
+    }
+
+    #[test]
+    fn up_counter() {
+        check_ctr(4, CounterFunctions::UP, ControlSet::NONE);
+    }
+
+    #[test]
+    fn up_counter_with_reset() {
+        check_ctr(4, CounterFunctions::UP, ControlSet::RESET);
+    }
+
+    #[test]
+    fn loadable_up_down_counter() {
+        check_ctr(
+            4,
+            CounterFunctions { load: true, up: true, down: true },
+            ControlSet { set: false, reset: true, enable: true },
+        );
+    }
+
+    #[test]
+    fn down_counter() {
+        check_ctr(3, CounterFunctions { load: false, up: false, down: true }, ControlSet::NONE);
+    }
+
+    #[test]
+    fn load_only_counter_acts_as_register() {
+        check_ctr(
+            2,
+            CounterFunctions { load: true, up: false, down: false },
+            ControlSet { set: false, reset: false, enable: true },
+        );
+    }
+
+    #[test]
+    fn counter_with_set() {
+        check_ctr(
+            2,
+            CounterFunctions::UP,
+            ControlSet { set: true, reset: true, enable: false },
+        );
+    }
+}

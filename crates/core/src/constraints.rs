@@ -1,0 +1,109 @@
+//! User design constraints (§6: "included in the input are parameters for
+//! path delays, area, and power consumption that must be met by the
+//! design optimizers").
+
+/// Optimization constraints handed to the MILO pipeline.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Constraints {
+    /// Maximum worst-path delay in ns (`None` = optimize area only).
+    pub max_delay: Option<f64>,
+    /// Per-output-port path-delay constraints in ns (§6: "a time
+    /// constraint from the input A to the output C"). Paths to ports not
+    /// listed here fall back to `max_delay`, or are unconstrained.
+    pub path_delays: Vec<(String, f64)>,
+    /// Area budget in cell units (reported against, not enforced).
+    pub max_area: Option<f64>,
+    /// Power budget in mA (reported against, not enforced).
+    pub max_power: Option<f64>,
+}
+
+impl Constraints {
+    /// No constraints: pure area optimization.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder: sets the delay constraint.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use milo_core::Constraints;
+    /// let c = Constraints::none().with_max_delay(12.5);
+    /// assert_eq!(c.max_delay, Some(12.5));
+    /// ```
+    #[must_use]
+    pub fn with_max_delay(mut self, ns: f64) -> Self {
+        self.max_delay = Some(ns);
+        self
+    }
+
+    /// Builder: sets the area budget.
+    #[must_use]
+    pub fn with_max_area(mut self, cells: f64) -> Self {
+        self.max_area = Some(cells);
+        self
+    }
+
+    /// Builder: sets the power budget.
+    #[must_use]
+    pub fn with_max_power(mut self, ma: f64) -> Self {
+        self.max_power = Some(ma);
+        self
+    }
+
+    /// Builder: constrains the worst path *into one output port*.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use milo_core::Constraints;
+    /// let c = Constraints::none().with_path_delay("C0", 4.5);
+    /// assert_eq!(c.required_for("C0"), Some(4.5));
+    /// assert_eq!(c.required_for("other"), None);
+    /// ```
+    #[must_use]
+    pub fn with_path_delay(mut self, output_port: impl Into<String>, ns: f64) -> Self {
+        self.path_delays.push((output_port.into(), ns));
+        self
+    }
+
+    /// The required time for a path ending at `output_port` (the
+    /// port-specific constraint, falling back to `max_delay`).
+    pub fn required_for(&self, output_port: &str) -> Option<f64> {
+        self.path_delays
+            .iter()
+            .find(|(p, _)| p == output_port)
+            .map(|(_, ns)| *ns)
+            .or(self.max_delay)
+    }
+
+    /// The tightest delay constraint present, if any (used where a single
+    /// scalar bound is needed, e.g. the microarchitecture critic's
+    /// carry-mode tradeoff loop).
+    pub fn tightest_delay(&self) -> Option<f64> {
+        self.path_delays
+            .iter()
+            .map(|(_, ns)| *ns)
+            .chain(self.max_delay)
+            .min_by(|a, b| a.partial_cmp(b).expect("constraints are not NaN"))
+    }
+
+    /// Whether any timing constraint is present.
+    pub fn has_timing(&self) -> bool {
+        self.max_delay.is_some() || !self.path_delays.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = Constraints::none().with_max_delay(3.0).with_max_area(50.0).with_max_power(9.0);
+        assert_eq!(c.max_delay, Some(3.0));
+        assert_eq!(c.max_area, Some(50.0));
+        assert_eq!(c.max_power, Some(9.0));
+    }
+}

@@ -1,0 +1,52 @@
+//! # milo-core
+//!
+//! The MILO system facade — a Rust reproduction of *MILO: A
+//! Microarchitecture and Logic Optimizer* (Vander Zanden & Gajski, 1988).
+//!
+//! MILO accepts a microarchitecture- or gate-level netlist plus design
+//! constraints, optimizes at the microarchitecture level (with feedback
+//! from compiled, technology-mapped statistics), expands components
+//! through parameterized logic compilers into generic SSI/MSI macros,
+//! maps them into a technology library, and optimizes the result with
+//! rule-based critics and the eight delay-reduction strategies.
+//!
+//! # Examples
+//!
+//! ```
+//! use milo_core::{parse_netlist, Constraints, Milo};
+//! use milo_techmap::ecl_library;
+//!
+//! let nl = parse_netlist("
+//! design demo
+//! input a b c
+//! output y
+//! comp and2 g1 A0=a A1=b Y=t
+//! comp or2  g2 A0=t A1=c Y=y
+//! ")?;
+//! let mut milo = Milo::new(ecl_library());
+//! let result = milo.synthesize(&nl, &Constraints::none())?;
+//! assert!(result.stats.area > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod constraints;
+mod parse;
+mod pipeline;
+mod report;
+
+pub use constraints::Constraints;
+pub use parse::{emit_netlist, parse_netlist, ParseError};
+pub use pipeline::{Milo, MiloError, SynthesisResult};
+pub use report::{f2, pct, Table};
+
+// Re-export the workspace API for single-dependency consumers.
+pub use milo_compilers as compilers;
+pub use milo_logic as logic;
+pub use milo_microarch as microarch;
+pub use milo_netlist as netlist;
+pub use milo_opt as opt;
+pub use milo_rules as rules;
+pub use milo_techmap as techmap;
+pub use milo_timing as timing;

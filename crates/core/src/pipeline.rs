@@ -1,0 +1,376 @@
+//! The MILO pipeline (Fig. 11): microarchitecture critic → logic
+//! compilers → technology mapper → logic optimizer, with the statistics
+//! generator feeding back at every stage.
+
+use crate::constraints::Constraints;
+use milo_compilers::expand_micro_components;
+use milo_microarch::{CriticReport, FeedbackError};
+use milo_netlist::{validate, DesignDb, Netlist, Violation};
+use milo_opt::{optimize_bottom_up, LevelReport, TimingReport};
+use milo_techmap::{enforce_fanout, map_netlist, TechLibrary};
+use milo_timing::{statistics, DesignStats};
+use std::fmt;
+
+/// Errors from the synthesis pipeline.
+#[derive(Debug)]
+pub enum MiloError {
+    /// Microarchitecture critic / feedback failure.
+    Feedback(FeedbackError),
+    /// Hierarchical optimization failure.
+    Hierarchy(milo_opt::HierarchyError),
+    /// Mapping failure.
+    Map(milo_techmap::MapError),
+    /// Netlist failure.
+    Netlist(milo_netlist::NetlistError),
+    /// Compilation failure.
+    Compile(String),
+}
+
+impl fmt::Display for MiloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiloError::Feedback(e) => write!(f, "feedback: {e}"),
+            MiloError::Hierarchy(e) => write!(f, "hierarchy: {e}"),
+            MiloError::Map(e) => write!(f, "map: {e}"),
+            MiloError::Netlist(e) => write!(f, "netlist: {e}"),
+            MiloError::Compile(e) => write!(f, "compile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MiloError {}
+
+impl From<FeedbackError> for MiloError {
+    fn from(e: FeedbackError) -> Self {
+        MiloError::Feedback(e)
+    }
+}
+impl From<milo_opt::HierarchyError> for MiloError {
+    fn from(e: milo_opt::HierarchyError) -> Self {
+        MiloError::Hierarchy(e)
+    }
+}
+impl From<milo_techmap::MapError> for MiloError {
+    fn from(e: milo_techmap::MapError) -> Self {
+        MiloError::Map(e)
+    }
+}
+impl From<milo_netlist::NetlistError> for MiloError {
+    fn from(e: milo_netlist::NetlistError) -> Self {
+        MiloError::Netlist(e)
+    }
+}
+
+/// Everything a synthesis run produces.
+#[derive(Debug)]
+pub struct SynthesisResult {
+    /// The optimized technology-specific netlist.
+    pub netlist: Netlist,
+    /// Statistics of the optimized design.
+    pub stats: DesignStats,
+    /// Statistics of the unoptimized direct mapping (the comparison
+    /// baseline of Fig. 19).
+    pub baseline: DesignStats,
+    /// Microarchitecture critic report (None when the input had no
+    /// microarchitecture components).
+    pub critic: Option<CriticReport>,
+    /// Per-level hierarchy optimization reports.
+    pub levels: Vec<LevelReport>,
+    /// Timing-optimizer report.
+    pub timing: TimingReport,
+    /// Electric violations remaining after repair (should be only
+    /// benign dangling outputs).
+    pub violations: Vec<Violation>,
+    /// Buffers inserted by the electric critic.
+    pub buffers_inserted: usize,
+}
+
+impl SynthesisResult {
+    /// Delay improvement over the baseline in percent.
+    pub fn delay_improvement_pct(&self) -> f64 {
+        self.stats.delay_improvement_pct(&self.baseline)
+    }
+
+    /// Area improvement over the baseline in percent.
+    pub fn area_improvement_pct(&self) -> f64 {
+        self.stats.area_improvement_pct(&self.baseline)
+    }
+}
+
+/// The MILO system: a technology library plus the design database the
+/// logic compilers populate.
+///
+/// # Examples
+///
+/// ```
+/// use milo_core::{Constraints, Milo};
+/// use milo_techmap::ecl_library;
+/// use milo_netlist::{ComponentKind, GateFn, GenericMacro, Netlist, PinDir};
+///
+/// let mut nl = Netlist::new("inv");
+/// let a = nl.add_net("a");
+/// let y = nl.add_net("y");
+/// let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+/// nl.connect_named(g, "A0", a)?;
+/// nl.connect_named(g, "Y", y)?;
+/// nl.add_port("a", PinDir::In, a);
+/// nl.add_port("y", PinDir::Out, y);
+///
+/// let mut milo = Milo::new(ecl_library());
+/// let result = milo.synthesize(&nl, &Constraints::none())?;
+/// assert_eq!(result.stats.cells, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Milo {
+    lib: TechLibrary,
+    db: DesignDb,
+}
+
+impl Milo {
+    /// Creates a MILO instance targeting `lib`.
+    pub fn new(lib: TechLibrary) -> Self {
+        Self { lib, db: DesignDb::new() }
+    }
+
+    /// The target library.
+    pub fn library(&self) -> &TechLibrary {
+        &self.lib
+    }
+
+    /// The design database (compiled designs accumulate across runs, as
+    /// in the paper's compiler cache).
+    pub fn database(&self) -> &DesignDb {
+        &self.db
+    }
+
+    /// The "human designer" reference flow: compile and map the entry
+    /// as-is, with no optimization. Used as the comparison baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler / mapping errors.
+    pub fn elaborate_unoptimized(&mut self, nl: &Netlist) -> Result<Netlist, MiloError> {
+        let mut work = nl.clone();
+        work.name = format!("{}__base", nl.name);
+        expand_micro_components(&mut work, &mut self.db)
+            .map_err(|e| MiloError::Compile(e.to_string()))?;
+        let name = self.db.insert(work);
+        let flat = self.db.flatten(&name)?;
+        let mapped = map_netlist(&flat, &self.lib)?;
+        Ok(mapped)
+    }
+
+    /// Runs the full MILO pipeline on a microarchitecture- or gate-level
+    /// netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures.
+    pub fn synthesize(
+        &mut self,
+        nl: &Netlist,
+        constraints: &Constraints,
+    ) -> Result<SynthesisResult, MiloError> {
+        // Baseline for comparison.
+        let baseline_nl = self.elaborate_unoptimized(nl)?;
+        let baseline = statistics(&baseline_nl)?;
+
+        // 1. Microarchitecture critic (only meaningful when micro
+        //    components are present).
+        let mut work = nl.clone();
+        let has_micro = work.component_ids().any(|id| {
+            matches!(
+                work.component(id).map(|c| &c.kind),
+                Ok(milo_netlist::ComponentKind::Micro(_))
+            )
+        });
+        let critic = if has_micro {
+            Some(milo_microarch::optimize(
+                &mut work,
+                &mut self.db,
+                &self.lib,
+                constraints.tightest_delay(),
+            )?)
+        } else {
+            None
+        };
+
+        // 2. Logic compilers + hierarchical bottom-up logic optimization
+        //    (Fig. 18).
+        let mut compiled = work.clone();
+        compiled.name = format!("{}__milo", nl.name);
+        expand_micro_components(&mut compiled, &mut self.db)
+            .map_err(|e| MiloError::Compile(e.to_string()))?;
+        let top_name = self.db.insert(compiled);
+        let (mut mapped, levels) = optimize_bottom_up(&top_name, &mut self.db, &self.lib)?;
+
+        // 3. Electric critic: fanout repair.
+        let buffers_inserted = enforce_fanout(&mut mapped, &self.lib)?;
+
+        // 4. Time optimizer (per-path constraints, §6's path-delay
+        //    parameters), then area/power on the slack.
+        let hash = milo_rules::HashRuleTable::from_library(&milo_rules::LibraryRef {
+            cells: self.lib.cells(),
+        });
+        let timing = if constraints.has_timing() {
+            let c = constraints.clone();
+            milo_opt::optimize_timing_paths(
+                &mut mapped,
+                &self.lib,
+                &hash,
+                &move |e| match e {
+                    milo_timing::Endpoint::Port(p) => c.required_for(p),
+                    milo_timing::Endpoint::SeqInput(_) => c.max_delay,
+                },
+                200,
+            )
+        } else {
+            let d = milo_timing::analyze(&mapped).map(|s| s.worst_delay()).unwrap_or(0.0);
+            milo_opt::TimingReport {
+                met: true,
+                initial_delay: d,
+                final_delay: d,
+                applied: Vec::new(),
+            }
+        };
+        {
+            let c = constraints.clone();
+            milo_opt::optimize_area_paths(
+                &mut mapped,
+                &self.lib,
+                &move |e| match e {
+                    milo_timing::Endpoint::Port(p) => c.required_for(p),
+                    milo_timing::Endpoint::SeqInput(_) => c.max_delay,
+                },
+                200,
+            );
+        }
+
+        // 5. Final electric check.
+        let buffers2 = enforce_fanout(&mut mapped, &self.lib)?;
+        mapped.sweep_dead_nets();
+        let violations: Vec<Violation> = validate(&mapped, true)
+            .into_iter()
+            .filter(|v| !matches!(v, Violation::DanglingOutput { .. }))
+            .collect();
+        let stats = statistics(&mapped)?;
+        Ok(SynthesisResult {
+            netlist: mapped,
+            stats,
+            baseline,
+            critic,
+            levels,
+            timing,
+            violations,
+            buffers_inserted: buffers_inserted + buffers2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_compilers::verify::check_seq_equivalence;
+    use milo_netlist::{
+        ArithOps, CarryMode, ComponentKind, ControlSet, MicroComponent, PinDir, RegFunctions,
+        Trigger,
+    };
+    use milo_techmap::ecl_library;
+
+    /// A small micro design: adder + register feedback (Fig. 14 shape).
+    fn counterish() -> Netlist {
+        let mut nl = Netlist::new("cnt");
+        let au = nl.add_component(
+            "add",
+            ComponentKind::Micro(MicroComponent::ArithmeticUnit {
+                bits: 4,
+                ops: ArithOps::ADD,
+                mode: CarryMode::Ripple,
+            }),
+        );
+        let reg = nl.add_component(
+            "reg",
+            ComponentKind::Micro(MicroComponent::Register {
+                bits: 4,
+                trigger: Trigger::EdgeTriggered,
+                funcs: RegFunctions::LOAD,
+                ctrl: ControlSet::RESET,
+            }),
+        );
+        let vdd = nl.add_component("vdd", ComponentKind::Generic(milo_netlist::GenericMacro::Vdd));
+        let vss = nl.add_component("vss", ComponentKind::Generic(milo_netlist::GenericMacro::Vss));
+        let one = nl.add_net("one");
+        let zero = nl.add_net("zero");
+        nl.connect_named(vdd, "Y", one).unwrap();
+        nl.connect_named(vss, "Y", zero).unwrap();
+        for i in 0..4 {
+            let q = nl.add_net(format!("q{i}"));
+            nl.connect_named(reg, &format!("Q{i}"), q).unwrap();
+            nl.connect_named(au, &format!("A{i}"), q).unwrap();
+            nl.add_port(format!("q{i}"), PinDir::Out, q);
+            let s = nl.add_net(format!("s{i}"));
+            nl.connect_named(au, &format!("S{i}"), s).unwrap();
+            nl.connect_named(reg, &format!("D{i}"), s).unwrap();
+            nl.connect_named(au, &format!("B{i}"), if i == 0 { one } else { zero }).unwrap();
+        }
+        nl.connect_named(au, "CIN", zero).unwrap();
+        nl.connect_named(reg, "F0", one).unwrap();
+        let rst = nl.add_net("rst");
+        let clk = nl.add_net("clk");
+        nl.connect_named(reg, "RST", rst).unwrap();
+        nl.connect_named(reg, "CLK", clk).unwrap();
+        nl.add_port("rst", PinDir::In, rst);
+        nl.add_port("clk", PinDir::In, clk);
+        nl
+    }
+
+    #[test]
+    fn full_pipeline_improves_counterish_design() {
+        let mut milo = Milo::new(ecl_library());
+        let entry = counterish();
+        let result = milo.synthesize(&entry, &Constraints::none()).unwrap();
+        assert!(
+            result.critic.as_ref().unwrap().fired.contains(&"adder-register-to-counter"),
+            "{:?}",
+            result.critic
+        );
+        assert!(result.stats.area < result.baseline.area, "{result:?}");
+        assert!(result.violations.is_empty(), "{:?}", result.violations);
+        // Function preserved vs the unoptimized elaboration.
+        let baseline_nl = milo.elaborate_unoptimized(&entry).unwrap();
+        check_seq_equivalence(&baseline_nl, &result.netlist, 60, 17).unwrap();
+        assert!(result.area_improvement_pct() > 0.0);
+    }
+
+    #[test]
+    fn timing_constraint_drives_cla() {
+        let mut milo = Milo::new(ecl_library());
+        let mut nl = Netlist::new("addpath");
+        let au = nl.add_component(
+            "au",
+            ComponentKind::Micro(MicroComponent::ArithmeticUnit {
+                bits: 8,
+                ops: ArithOps::ADD,
+                mode: CarryMode::Ripple,
+            }),
+        );
+        let pins: Vec<(String, PinDir)> = nl
+            .component(au)
+            .unwrap()
+            .pins
+            .iter()
+            .map(|p| (p.name.clone(), p.dir))
+            .collect();
+        for (pin, dir) in pins {
+            let net = nl.add_net(pin.clone());
+            nl.connect_named(au, &pin, net).unwrap();
+            nl.add_port(pin, dir, net);
+        }
+        let loose = milo.synthesize(&nl, &Constraints::none()).unwrap();
+        let tight = milo
+            .synthesize(&nl, &Constraints::none().with_max_delay(loose.stats.delay * 0.7))
+            .unwrap();
+        assert!(tight.stats.delay < loose.stats.delay, "{tight:?}");
+        assert_eq!(tight.critic.as_ref().unwrap().met_timing, Some(true));
+    }
+}

@@ -1,0 +1,111 @@
+//! Plain-text table rendering for the bench harness reports.
+
+/// A fixed-width text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use milo_core::Table;
+/// let mut t = Table::new(&["Design", "Delay"]);
+/// t.row(&["1", "19.76"]);
+/// let s = t.render();
+/// assert!(s.contains("Design"));
+/// assert!(s.contains("19.76"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (short rows are padded).
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect::<Vec<String>>());
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                s.push_str(&format!("{cell:>w$}  ", w = *w));
+            }
+            s.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::iter::FromIterator<String> for Table {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let header: Vec<String> = iter.into_iter().collect();
+        Self { header, rows: Vec::new() }
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage with no decimals (as Fig. 19 does).
+pub fn pct(x: f64) -> String {
+    format!("{x:.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(&["A", "Bee"]);
+        t.row(&["1234", "5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("Bee"));
+        assert!(lines[2].contains("1234"));
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(pct(24.7), "25");
+    }
+}

@@ -1,0 +1,449 @@
+//! Sum-of-products covers and the unate-recursive tautology / complement
+//! operations that the ESPRESSO-style minimizer is built on.
+
+use crate::{Cube, Phase, TruthTable};
+use std::fmt;
+
+/// A two-level sum-of-products form over `nvars` variables.
+///
+/// # Examples
+///
+/// ```
+/// use milo_logic::{Cover, Cube};
+///
+/// // f = x0 & x1  |  !x2
+/// let f = Cover::from_cubes(3, vec![
+///     Cube::top().with_pos(0).with_pos(1),
+///     Cube::top().with_neg(2),
+/// ]);
+/// assert!(f.eval(0b011));
+/// assert!(!f.eval(0b100));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cover {
+    nvars: u8,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty (constant-false) cover.
+    pub fn zero(nvars: u8) -> Self {
+        assert!(nvars <= Cube::MAX_VARS);
+        Self { nvars, cubes: Vec::new() }
+    }
+
+    /// The constant-true cover (single universal cube).
+    pub fn one(nvars: u8) -> Self {
+        Self { nvars, cubes: vec![Cube::top()] }
+    }
+
+    /// Builds a cover from cubes, dropping empty ones.
+    pub fn from_cubes(nvars: u8, cubes: Vec<Cube>) -> Self {
+        assert!(nvars <= Cube::MAX_VARS);
+        let cubes = cubes.into_iter().filter(|c| !c.is_empty()).collect();
+        Self { nvars, cubes }
+    }
+
+    /// Single-cube cover.
+    pub fn from_cube(nvars: u8, cube: Cube) -> Self {
+        Self::from_cubes(nvars, vec![cube])
+    }
+
+    /// Cover of a single literal.
+    pub fn literal(nvars: u8, var: u8, phase: Phase) -> Self {
+        Self::from_cube(nvars, Cube::top().with_literal(var, phase))
+    }
+
+    /// Exact cover of a truth table (one cube per minterm, unmerged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tt.vars() > Cube::MAX_VARS` (cannot happen: truth tables
+    /// hold at most six variables).
+    pub fn from_truth(tt: &TruthTable) -> Self {
+        let n = tt.vars();
+        let mut cubes = Vec::new();
+        for row in 0..(1u32 << n) {
+            if tt.eval(row) {
+                let mut c = Cube::top();
+                for v in 0..n {
+                    c = if row >> v & 1 == 1 { c.with_pos(v) } else { c.with_neg(v) };
+                }
+                cubes.push(c);
+            }
+        }
+        Self { nvars: n, cubes }
+    }
+
+    /// Converts back to a truth table (only for `nvars <= 6`).
+    pub fn to_truth(&self) -> TruthTable {
+        assert!(self.nvars <= TruthTable::MAX_VARS, "cover too wide for a truth table");
+        TruthTable::from_fn(self.nvars, |row| self.eval(row))
+    }
+
+    /// Number of variables the cover ranges over.
+    pub fn nvars(&self) -> u8 {
+        self.nvars
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Whether the cover has no cubes (constant false).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Total number of literals (the cost function used throughout the
+    /// optimizer).
+    pub fn literal_count(&self) -> u32 {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Adds a cube (ignored if empty).
+    pub fn push(&mut self, cube: Cube) {
+        if !cube.is_empty() {
+            self.cubes.push(cube);
+        }
+    }
+
+    /// Evaluates the disjunction under an assignment.
+    pub fn eval(&self, row: u32) -> bool {
+        self.cubes.iter().any(|c| c.eval(row))
+    }
+
+    /// Cofactor of the whole cover with respect to one literal.
+    #[must_use]
+    pub fn cofactor(&self, var: u8, phase: bool) -> Self {
+        let cubes = self.cubes.iter().filter_map(|c| c.cofactor(var, phase)).collect();
+        Self { nvars: self.nvars, cubes }
+    }
+
+    /// Cofactor with respect to a cube (Shannon restriction to the subspace
+    /// where `cube` holds).
+    #[must_use]
+    pub fn cofactor_cube(&self, cube: &Cube) -> Self {
+        let mut out = self.clone();
+        for (v, phase) in cube.literals() {
+            out = out.cofactor(v, phase == Phase::Pos);
+        }
+        out
+    }
+
+    /// Removes cubes covered by another single cube of the cover.
+    pub fn single_cube_containment(&mut self) {
+        let cubes = std::mem::take(&mut self.cubes);
+        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+        'outer: for (i, c) in cubes.iter().enumerate() {
+            for (j, d) in cubes.iter().enumerate() {
+                if i != j && d.contains(c) && !(c.contains(d) && i < j) {
+                    continue 'outer;
+                }
+            }
+            kept.push(*c);
+        }
+        self.cubes = kept;
+    }
+
+    /// Picks the most-binate variable (appears in both phases in the most
+    /// cubes), for Shannon branching. Returns `None` if the cover is unate.
+    pub fn binate_select(&self) -> Option<u8> {
+        let mut best: Option<(u8, u32)> = None;
+        for v in 0..self.nvars {
+            let bit = 1u32 << v;
+            let p = self.cubes.iter().filter(|c| c.pos() & bit != 0).count() as u32;
+            let n = self.cubes.iter().filter(|c| c.neg() & bit != 0).count() as u32;
+            if p > 0 && n > 0 {
+                let score = p + n;
+                if best.map_or(true, |(_, s)| score > s) {
+                    best = Some((v, score));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Any variable appearing in any cube (used to branch when unate but not
+    /// trivially decidable). Returns `None` if all cubes are universal/empty.
+    fn any_active_var(&self) -> Option<u8> {
+        for c in &self.cubes {
+            let m = c.support_mask();
+            if m != 0 {
+                return Some(m.trailing_zeros() as u8);
+            }
+        }
+        None
+    }
+
+    /// Tautology check: is the cover identically true? Unate-recursive
+    /// paradigm as in ESPRESSO.
+    pub fn is_tautology(&self) -> bool {
+        // Fast exits.
+        if self.cubes.iter().any(Cube::is_top) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        // Unate reduction: in a unate cover, tautology iff it contains the
+        // universal cube (already checked above) — but only when every
+        // variable is unate.
+        match self.binate_select() {
+            Some(v) => self.cofactor(v, true).is_tautology() && self.cofactor(v, false).is_tautology(),
+            None => {
+                // Unate cover without a universal cube: can still be a
+                // tautology only if splitting exhausts variables; for a
+                // unate cover the theorem says tautology iff some cube is
+                // universal, except the degenerate multi-cube cases handled
+                // by recursion on an active variable.
+                match self.any_active_var() {
+                    None => false, // only empty cubes remain
+                    Some(_) => false,
+                }
+            }
+        }
+    }
+
+    /// Complement of the cover, by Shannon recursion with unate shortcuts.
+    #[must_use]
+    pub fn complement(&self) -> Self {
+        self.complement_inner()
+    }
+
+    fn complement_inner(&self) -> Self {
+        // Terminal cases.
+        if self.cubes.is_empty() {
+            return Self::one(self.nvars);
+        }
+        if self.cubes.iter().any(Cube::is_top) {
+            return Self::zero(self.nvars);
+        }
+        if self.cubes.len() == 1 {
+            return self.complement_single_cube();
+        }
+        let var = self.binate_select().or_else(|| self.any_active_var());
+        match var {
+            None => Self::zero(self.nvars),
+            Some(v) => {
+                let c1 = self.cofactor(v, true).complement_inner();
+                let c0 = self.cofactor(v, false).complement_inner();
+                let mut cubes = Vec::with_capacity(c1.len() + c0.len());
+                for c in c1.cubes {
+                    cubes.push(c.with_pos(v));
+                }
+                for c in c0.cubes {
+                    cubes.push(c.with_neg(v));
+                }
+                let mut out = Self { nvars: self.nvars, cubes };
+                out.single_cube_containment();
+                out
+            }
+        }
+    }
+
+    /// De Morgan complement of a single cube.
+    fn complement_single_cube(&self) -> Self {
+        let c = self.cubes[0];
+        let mut cubes = Vec::new();
+        for (v, phase) in c.literals() {
+            let flipped = match phase {
+                Phase::Pos => Cube::top().with_neg(v),
+                Phase::Neg => Cube::top().with_pos(v),
+            };
+            cubes.push(flipped);
+        }
+        Self { nvars: self.nvars, cubes }
+    }
+
+    /// Whether `cube` is covered by this cover (cofactor tautology test).
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        self.cofactor_cube(cube).is_tautology()
+    }
+
+    /// Disjunction of two covers over the same variables.
+    #[must_use]
+    pub fn or(&self, other: &Self) -> Self {
+        assert_eq!(self.nvars, other.nvars);
+        let mut cubes = self.cubes.clone();
+        cubes.extend_from_slice(&other.cubes);
+        Self { nvars: self.nvars, cubes }
+    }
+
+    /// Conjunction of two covers (cartesian product of cubes).
+    #[must_use]
+    pub fn and(&self, other: &Self) -> Self {
+        assert_eq!(self.nvars, other.nvars);
+        let mut cubes = Vec::new();
+        for a in &self.cubes {
+            for b in &other.cubes {
+                let c = a.intersect(b);
+                if !c.is_empty() {
+                    cubes.push(c);
+                }
+            }
+        }
+        let mut out = Self { nvars: self.nvars, cubes };
+        out.single_cube_containment();
+        out
+    }
+
+    /// Semantic equivalence test against another cover (via tautology of
+    /// mutual implication — works for any `nvars`).
+    pub fn equivalent(&self, other: &Self) -> bool {
+        assert_eq!(self.nvars, other.nvars);
+        // self => other  iff  !other & self == 0
+        let not_other = other.complement();
+        if !self.and(&not_other).is_empty_function() {
+            return false;
+        }
+        let not_self = self.complement();
+        other.and(&not_self).is_empty_function()
+    }
+
+    /// Whether the cover denotes the constant-false function (no satisfying
+    /// assignment).
+    pub fn is_empty_function(&self) -> bool {
+        self.cubes.iter().all(Cube::is_empty)
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cover({} vars: ", self.nvars)?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    /// Collects cubes into a cover over [`Cube::MAX_VARS`] variables.
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        Self::from_cubes(Cube::MAX_VARS, iter.into_iter().collect())
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        for c in iter {
+            self.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor2() -> Cover {
+        Cover::from_cubes(2, vec![
+            Cube::top().with_pos(0).with_neg(1),
+            Cube::top().with_neg(0).with_pos(1),
+        ])
+    }
+
+    #[test]
+    fn truth_roundtrip() {
+        let tt = TruthTable::from_fn(3, |r| (r.count_ones() & 1) == 1);
+        let cover = Cover::from_truth(&tt);
+        assert_eq!(cover.to_truth(), tt);
+    }
+
+    #[test]
+    fn tautology_cases() {
+        assert!(Cover::one(3).is_tautology());
+        assert!(!Cover::zero(3).is_tautology());
+        assert!(!xor2().is_tautology());
+        // x0 | !x0 is a tautology
+        let t = Cover::from_cubes(1, vec![Cube::top().with_pos(0), Cube::top().with_neg(0)]);
+        assert!(t.is_tautology());
+    }
+
+    #[test]
+    fn complement_is_involutive_on_truth() {
+        let f = xor2();
+        let g = f.complement();
+        let expect = f.to_truth().not();
+        assert_eq!(g.to_truth(), expect);
+        assert_eq!(g.complement().to_truth(), f.to_truth());
+    }
+
+    #[test]
+    fn complement_wide_cover() {
+        // 8-variable cover: x0x1 | x2x3 | ... | x6x7 — beyond truth tables.
+        let mut cubes = Vec::new();
+        for i in (0..8).step_by(2) {
+            cubes.push(Cube::top().with_pos(i).with_pos(i + 1));
+        }
+        let f = Cover::from_cubes(8, cubes);
+        let g = f.complement();
+        for row in [0u32, 0b11, 0b1100_0000, 0b0101_0101, 0xff] {
+            assert_eq!(g.eval(row), !f.eval(row), "row {row:b}");
+        }
+    }
+
+    #[test]
+    fn covers_cube_test() {
+        let f = xor2();
+        assert!(f.covers_cube(&Cube::top().with_pos(0).with_neg(1)));
+        assert!(!f.covers_cube(&Cube::top().with_pos(0)));
+    }
+
+    #[test]
+    fn and_or_eval() {
+        let a = Cover::literal(3, 0, Phase::Pos);
+        let b = Cover::literal(3, 1, Phase::Neg);
+        let f = a.and(&b).or(&Cover::literal(3, 2, Phase::Pos));
+        for row in 0..8 {
+            let expect = ((row & 1) == 1 && (row >> 1 & 1) == 0) || (row >> 2 & 1) == 1;
+            assert_eq!(f.eval(row), expect);
+        }
+    }
+
+    #[test]
+    fn containment_removal() {
+        let mut f = Cover::from_cubes(2, vec![
+            Cube::top().with_pos(0),
+            Cube::top().with_pos(0).with_pos(1),
+        ]);
+        f.single_cube_containment();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.cubes()[0], Cube::top().with_pos(0));
+    }
+
+    #[test]
+    fn equivalence() {
+        let f = xor2();
+        let g = Cover::from_truth(&f.to_truth());
+        assert!(f.equivalent(&g));
+        assert!(!f.equivalent(&Cover::one(2)));
+    }
+
+    #[test]
+    fn duplicate_cubes_containment_keeps_one() {
+        let mut f = Cover::from_cubes(2, vec![Cube::top().with_pos(0), Cube::top().with_pos(0)]);
+        f.single_cube_containment();
+        assert_eq!(f.len(), 1);
+    }
+}

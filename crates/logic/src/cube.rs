@@ -1,0 +1,290 @@
+//! Cubes: products of literals over up to 32 variables.
+//!
+//! A cube is the basic unit of the two-level (sum-of-products)
+//! representation used by the ESPRESSO-style minimizer (§2.1.1 of the paper)
+//! and the weak-division factorizer (strategies 3 and 7, §4.1.2).
+
+use std::fmt;
+
+/// A product term. Bit `v` of `pos` means literal `x_v` appears; bit `v` of
+/// `neg` means `!x_v` appears. A variable with both bits clear is absent
+/// (don't-care); both bits set makes the cube empty (contradiction).
+///
+/// # Examples
+///
+/// ```
+/// use milo_logic::Cube;
+///
+/// let c = Cube::top().with_pos(0).with_neg(2); // x0 & !x2
+/// assert!(c.eval(0b001));
+/// assert!(!c.eval(0b101));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cube {
+    pos: u32,
+    neg: u32,
+}
+
+/// Phase of a literal inside a [`Cube`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    /// The variable appears uncomplemented.
+    Pos,
+    /// The variable appears complemented.
+    Neg,
+}
+
+impl Cube {
+    /// Maximum variable index a cube can mention.
+    pub const MAX_VARS: u8 = 32;
+
+    /// The universal cube (empty product, covers everything).
+    pub fn top() -> Self {
+        Self { pos: 0, neg: 0 }
+    }
+
+    /// Builds a cube from raw literal masks.
+    pub fn from_masks(pos: u32, neg: u32) -> Self {
+        Self { pos, neg }
+    }
+
+    /// Positive-literal mask.
+    pub fn pos(&self) -> u32 {
+        self.pos
+    }
+
+    /// Negative-literal mask.
+    pub fn neg(&self) -> u32 {
+        self.neg
+    }
+
+    /// Adds the positive literal `x_var`.
+    #[must_use]
+    pub fn with_pos(mut self, var: u8) -> Self {
+        self.pos |= 1 << var;
+        self
+    }
+
+    /// Adds the negative literal `!x_var`.
+    #[must_use]
+    pub fn with_neg(mut self, var: u8) -> Self {
+        self.neg |= 1 << var;
+        self
+    }
+
+    /// Adds a literal of the given phase.
+    #[must_use]
+    pub fn with_literal(self, var: u8, phase: Phase) -> Self {
+        match phase {
+            Phase::Pos => self.with_pos(var),
+            Phase::Neg => self.with_neg(var),
+        }
+    }
+
+    /// Removes any literal of `var` (makes the variable free).
+    #[must_use]
+    pub fn without(mut self, var: u8) -> Self {
+        self.pos &= !(1 << var);
+        self.neg &= !(1 << var);
+        self
+    }
+
+    /// The phase with which `var` occurs, if it occurs.
+    pub fn literal(&self, var: u8) -> Option<Phase> {
+        match (self.pos >> var & 1, self.neg >> var & 1) {
+            (1, 0) => Some(Phase::Pos),
+            (0, 1) => Some(Phase::Neg),
+            _ => None,
+        }
+    }
+
+    /// Whether the cube is the empty set (some variable appears in both
+    /// phases).
+    pub fn is_empty(&self) -> bool {
+        self.pos & self.neg != 0
+    }
+
+    /// Whether the cube is the universal cube.
+    pub fn is_top(&self) -> bool {
+        self.pos == 0 && self.neg == 0
+    }
+
+    /// Number of literals.
+    pub fn literal_count(&self) -> u32 {
+        self.pos.count_ones() + self.neg.count_ones()
+    }
+
+    /// Mask of variables mentioned (either phase).
+    pub fn support_mask(&self) -> u32 {
+        self.pos | self.neg
+    }
+
+    /// Evaluates the product under an assignment (bit `v` of `row` is `x_v`).
+    pub fn eval(&self, row: u32) -> bool {
+        (self.pos & !row) == 0 && (self.neg & row) == 0
+    }
+
+    /// Set containment: does `self` cover every minterm of `other`?
+    ///
+    /// True iff every literal of `self` also constrains `other`.
+    pub fn contains(&self, other: &Self) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        (self.pos & !other.pos) == 0 && (self.neg & !other.neg) == 0
+    }
+
+    /// Intersection of the two products (may be empty).
+    #[must_use]
+    pub fn intersect(&self, other: &Self) -> Self {
+        Self { pos: self.pos | other.pos, neg: self.neg | other.neg }
+    }
+
+    /// Number of variables in which the two cubes have opposite phases.
+    ///
+    /// Distance 0 means the cubes intersect; distance 1 admits a consensus.
+    pub fn distance(&self, other: &Self) -> u32 {
+        ((self.pos & other.neg) | (self.neg & other.pos)).count_ones()
+    }
+
+    /// Consensus of two distance-1 cubes, if it exists.
+    pub fn consensus(&self, other: &Self) -> Option<Self> {
+        let conflict = (self.pos & other.neg) | (self.neg & other.pos);
+        if conflict.count_ones() != 1 {
+            return None;
+        }
+        let merged = self.intersect(other);
+        Some(Self { pos: merged.pos & !conflict, neg: merged.neg & !conflict })
+    }
+
+    /// Smallest cube containing both (bitwise AND of literal sets).
+    #[must_use]
+    pub fn supercube(&self, other: &Self) -> Self {
+        Self { pos: self.pos & other.pos, neg: self.neg & other.neg }
+    }
+
+    /// Cofactor with respect to a single literal: restricts the space to
+    /// `var == phase` and drops the variable. Returns `None` if the cube is
+    /// false in that subspace.
+    pub fn cofactor(&self, var: u8, phase: bool) -> Option<Self> {
+        let bit = 1u32 << var;
+        let against = if phase { self.neg } else { self.pos };
+        if against & bit != 0 {
+            return None;
+        }
+        Some(Self { pos: self.pos & !bit, neg: self.neg & !bit })
+    }
+
+    /// Algebraic-division quotient of `self` by the product `divisor`:
+    /// `self = divisor * q` when `divisor`'s literals are a subset of
+    /// `self`'s. Returns the remaining literals, or `None` if not divisible.
+    pub fn algebraic_quotient(&self, divisor: &Self) -> Option<Self> {
+        if (divisor.pos & !self.pos) != 0 || (divisor.neg & !self.neg) != 0 {
+            return None;
+        }
+        Some(Self { pos: self.pos & !divisor.pos, neg: self.neg & !divisor.neg })
+    }
+
+    /// Iterator over `(var, phase)` literals in ascending variable order.
+    pub fn literals(&self) -> impl Iterator<Item = (u8, Phase)> + '_ {
+        (0..Self::MAX_VARS).filter_map(move |v| self.literal(v).map(|p| (v, p)))
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube(")?;
+        fmt::Display::fmt(self, f)?;
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_top() {
+            return write!(f, "1");
+        }
+        if self.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (v, phase) in self.literals() {
+            if !first {
+                write!(f, "&")?;
+            }
+            first = false;
+            match phase {
+                Phase::Pos => write!(f, "x{v}")?,
+                Phase::Neg => write!(f, "!x{v}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic() {
+        let c = Cube::top().with_pos(1).with_neg(3);
+        assert!(c.eval(0b0010));
+        assert!(c.eval(0b0110));
+        assert!(!c.eval(0b1010));
+        assert!(!c.eval(0b0000));
+    }
+
+    #[test]
+    fn containment() {
+        let big = Cube::top().with_pos(0);
+        let small = Cube::top().with_pos(0).with_neg(1);
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+    }
+
+    #[test]
+    fn empty_cube_contained_by_all() {
+        let empty = Cube::top().with_pos(2).with_neg(2);
+        assert!(empty.is_empty());
+        assert!(Cube::top().with_pos(5).contains(&empty));
+    }
+
+    #[test]
+    fn distance_and_consensus() {
+        let a = Cube::top().with_pos(0).with_pos(1); // x0 x1
+        let b = Cube::top().with_neg(0).with_pos(2); // !x0 x2
+        assert_eq!(a.distance(&b), 1);
+        let c = a.consensus(&b).expect("consensus exists");
+        assert_eq!(c, Cube::top().with_pos(1).with_pos(2));
+        // distance 2 -> no consensus
+        let d = Cube::top().with_neg(1).with_neg(0);
+        assert_eq!(a.distance(&d), 2);
+        assert!(a.consensus(&d).is_none());
+    }
+
+    #[test]
+    fn supercube_drops_conflicts() {
+        let a = Cube::top().with_pos(0).with_pos(1);
+        let b = Cube::top().with_neg(0).with_pos(1);
+        assert_eq!(a.supercube(&b), Cube::top().with_pos(1));
+    }
+
+    #[test]
+    fn cofactor_literal() {
+        let c = Cube::top().with_pos(0).with_pos(1);
+        assert_eq!(c.cofactor(0, true), Some(Cube::top().with_pos(1)));
+        assert_eq!(c.cofactor(0, false), None);
+        assert_eq!(c.cofactor(2, false), Some(c));
+    }
+
+    #[test]
+    fn algebraic_quotient() {
+        let c = Cube::top().with_pos(0).with_pos(1).with_neg(2);
+        let d = Cube::top().with_pos(1);
+        assert_eq!(c.algebraic_quotient(&d), Some(Cube::top().with_pos(0).with_neg(2)));
+        let e = Cube::top().with_neg(1);
+        assert_eq!(c.algebraic_quotient(&e), None);
+    }
+}

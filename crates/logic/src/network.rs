@@ -1,0 +1,413 @@
+//! A multi-level Boolean network: the intermediate form for strategy 7
+//! ("minimize into a two level circuit … then expand through weak division
+//! into multiple levels", §4.1.3).
+//!
+//! Nodes hold sum-of-products covers over their fanins; primary inputs are
+//! leaves. The network supports evaluation, node collapsing (full collapse
+//! gives the two-level form), and re-synthesis by kernel extraction.
+
+use crate::divide::best_kernel;
+use crate::espresso;
+use crate::{Cover, Cube, Phase};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a network node (primary input or internal node).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+/// What a node computes.
+#[derive(Clone, Debug)]
+enum NodeKind {
+    /// Primary input with a display name.
+    Input(String),
+    /// Internal node: a cover over the node's `fanins` (cover variable `i`
+    /// is `fanins[i]`).
+    Logic { cover: Cover, fanins: Vec<NodeId> },
+}
+
+/// A Boolean network.
+///
+/// # Examples
+///
+/// ```
+/// use milo_logic::{Network, Cover, Cube};
+///
+/// let mut net = Network::new();
+/// let a = net.add_input("a");
+/// let b = net.add_input("b");
+/// let f = net.add_node(
+///     Cover::from_cube(2, Cube::top().with_pos(0).with_pos(1)),
+///     vec![a, b],
+/// );
+/// net.add_output("f", f);
+/// assert!(net.eval(&[("a", true), ("b", true)].into_iter().collect())["f"]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    nodes: Vec<NodeKind>,
+    outputs: Vec<(String, NodeId)>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a primary input.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        self.nodes.push(NodeKind::Input(name.into()));
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Adds an internal node computing `cover` over `fanins`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cover mentions a variable `>= fanins.len()` or a fanin
+    /// id is out of range.
+    pub fn add_node(&mut self, cover: Cover, fanins: Vec<NodeId>) -> NodeId {
+        for c in cover.cubes() {
+            assert!(
+                (c.support_mask() >> fanins.len()) == 0,
+                "cover mentions variables beyond the fanin list"
+            );
+        }
+        for f in &fanins {
+            assert!((f.0 as usize) < self.nodes.len(), "fanin out of range");
+        }
+        self.nodes.push(NodeKind::Logic { cover, fanins });
+        NodeId(self.nodes.len() as u32 - 1)
+    }
+
+    /// Declares `node` as a primary output called `name`.
+    pub fn add_output(&mut self, name: impl Into<String>, node: NodeId) {
+        self.outputs.push((name.into(), node));
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[(String, NodeId)] {
+        &self.outputs
+    }
+
+    /// Names of the primary inputs in id order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match n {
+                NodeKind::Input(s) => Some(s.as_str()),
+                NodeKind::Logic { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Number of internal (logic) nodes.
+    pub fn logic_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, NodeKind::Logic { .. })).count()
+    }
+
+    /// Total factored/SOP literal count over all logic nodes.
+    pub fn literal_count(&self) -> u32 {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                NodeKind::Input(_) => 0,
+                NodeKind::Logic { cover, .. } => cover.literal_count(),
+            })
+            .sum()
+    }
+
+    /// Evaluates all outputs under named input values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input name is missing from `values`.
+    pub fn eval(&self, values: &HashMap<&str, bool>) -> HashMap<String, bool> {
+        let mut memo: Vec<Option<bool>> = vec![None; self.nodes.len()];
+        let mut out = HashMap::new();
+        for (name, id) in &self.outputs {
+            out.insert(name.clone(), self.eval_node(*id, values, &mut memo));
+        }
+        out
+    }
+
+    fn eval_node(
+        &self,
+        id: NodeId,
+        values: &HashMap<&str, bool>,
+        memo: &mut Vec<Option<bool>>,
+    ) -> bool {
+        if let Some(v) = memo[id.0 as usize] {
+            return v;
+        }
+        let v = match &self.nodes[id.0 as usize] {
+            NodeKind::Input(name) => *values
+                .get(name.as_str())
+                .unwrap_or_else(|| panic!("missing value for input {name}")),
+            NodeKind::Logic { cover, fanins } => {
+                let mut row = 0u32;
+                for (i, f) in fanins.iter().enumerate() {
+                    if self.eval_node(*f, values, memo) {
+                        row |= 1 << i;
+                    }
+                }
+                cover.eval(row)
+            }
+        };
+        memo[id.0 as usize] = Some(v);
+        v
+    }
+
+    /// Collapses `node` so that it is expressed directly over primary
+    /// inputs. Only usable when the transitive input support is at most
+    /// [`Cube::MAX_VARS`] inputs.
+    ///
+    /// Returns the collapsed cover together with the primary-input ids it
+    /// ranges over (cover variable `i` = returned id `i`).
+    pub fn collapse_to_inputs(&self, node: NodeId) -> (Cover, Vec<NodeId>) {
+        let support = self.input_support(node);
+        assert!(
+            support.len() <= Cube::MAX_VARS as usize,
+            "support of {} inputs exceeds the cube width",
+            support.len()
+        );
+        let index: HashMap<NodeId, u8> =
+            support.iter().enumerate().map(|(i, id)| (*id, i as u8)).collect();
+        let cover = self.collapse_rec(node, &index, support.len() as u8, &mut HashMap::new());
+        (cover, support)
+    }
+
+    fn collapse_rec(
+        &self,
+        node: NodeId,
+        index: &HashMap<NodeId, u8>,
+        nvars: u8,
+        memo: &mut HashMap<NodeId, Cover>,
+    ) -> Cover {
+        if let Some(c) = memo.get(&node) {
+            return c.clone();
+        }
+        let result = match &self.nodes[node.0 as usize] {
+            NodeKind::Input(_) => Cover::literal(nvars, index[&node], Phase::Pos),
+            NodeKind::Logic { cover, fanins } => {
+                let fanin_covers: Vec<(Cover, Cover)> = fanins
+                    .iter()
+                    .map(|f| {
+                        let c = self.collapse_rec(*f, index, nvars, memo);
+                        let n = c.complement();
+                        (c, n)
+                    })
+                    .collect();
+                let mut acc = Cover::zero(nvars);
+                for cube in cover.cubes() {
+                    let mut term = Cover::one(nvars);
+                    for (v, phase) in cube.literals() {
+                        let (pos, neg) = &fanin_covers[v as usize];
+                        term = term.and(if phase == Phase::Pos { pos } else { neg });
+                        if term.is_empty() {
+                            break;
+                        }
+                    }
+                    acc = acc.or(&term);
+                }
+                acc.single_cube_containment();
+                acc
+            }
+        };
+        memo.insert(node, result.clone());
+        result
+    }
+
+    /// Transitive primary-input support of `node`, in ascending id order.
+    pub fn input_support(&self, node: NodeId) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![node];
+        let mut support = Vec::new();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.0 as usize], true) {
+                continue;
+            }
+            match &self.nodes[n.0 as usize] {
+                NodeKind::Input(_) => support.push(n),
+                NodeKind::Logic { fanins, .. } => stack.extend(fanins.iter().copied()),
+            }
+        }
+        support.sort();
+        support
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, n) in self.nodes.iter().enumerate() {
+            match n {
+                NodeKind::Input(name) => writeln!(f, "n{i}: input {name}")?,
+                NodeKind::Logic { cover, fanins } => {
+                    writeln!(f, "n{i}: {cover} over {fanins:?}")?
+                }
+            }
+        }
+        for (name, id) in &self.outputs {
+            writeln!(f, "output {name} = n{}", id.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Strategy-7 style re-synthesis of a single-output function: collapse to
+/// two-level, minimize with [`espresso`], then rebuild a multi-level
+/// network by repeated kernel extraction (weak division).
+///
+/// Returns a fresh network whose inputs are named after `input_names`.
+pub fn resynthesize(cover: &Cover, input_names: &[&str]) -> Network {
+    let min = espresso::minimize(cover, None).cover;
+    let mut net = Network::new();
+    let inputs: Vec<NodeId> = input_names.iter().map(|n| net.add_input(*n)).collect();
+    let root = build_factored(&mut net, &min, &inputs);
+    net.add_output("f", root);
+    net
+}
+
+/// Recursively extracts the best kernel of `f`, materializing divisor and
+/// quotient as separate nodes.
+fn build_factored(net: &mut Network, f: &Cover, vars: &[NodeId]) -> NodeId {
+    if let Some(k) = best_kernel(f) {
+        let div = crate::divide::divide(f, &k.kernel);
+        if !div.quotient.is_empty() && k.kernel.len() >= 2 && div.quotient.literal_count() >= 1 {
+            let d_node = build_factored(net, &k.kernel, vars);
+            let q_node = build_factored(net, &div.quotient, vars);
+            // product node: d & q, plus the remainder as extra cubes.
+            let mut fanins = vec![d_node, q_node];
+            let mut cubes = vec![Cube::top().with_pos(0).with_pos(1)];
+            if !div.remainder.is_empty() {
+                let r_node = build_factored(net, &div.remainder, vars);
+                fanins.push(r_node);
+                cubes.push(Cube::top().with_pos(2));
+            }
+            return net.add_node(Cover::from_cubes(fanins.len() as u8, cubes), fanins);
+        }
+    }
+    // Base case: materialize the SOP directly over the primary inputs that
+    // actually appear.
+    let mut used: Vec<u8> = Vec::new();
+    for c in f.cubes() {
+        for (v, _) in c.literals() {
+            if !used.contains(&v) {
+                used.push(v);
+            }
+        }
+    }
+    used.sort_unstable();
+    let remap: HashMap<u8, u8> = used.iter().enumerate().map(|(i, v)| (*v, i as u8)).collect();
+    let cubes: Vec<Cube> = f
+        .cubes()
+        .iter()
+        .map(|c| {
+            let mut nc = Cube::top();
+            for (v, p) in c.literals() {
+                nc = nc.with_literal(remap[&v], p);
+            }
+            nc
+        })
+        .collect();
+    let fanins: Vec<NodeId> = used.iter().map(|v| vars[*v as usize]).collect();
+    let width = used.len().max(1) as u8;
+    net.add_node(Cover::from_cubes(width, cubes), fanins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(pos: &[u8]) -> Cube {
+        let mut c = Cube::top();
+        for &v in pos {
+            c = c.with_pos(v);
+        }
+        c
+    }
+
+    #[test]
+    fn eval_two_level() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        // g = a & b ; f = g | c
+        let g = net.add_node(Cover::from_cube(2, cube(&[0, 1])), vec![a, b]);
+        let f = net.add_node(
+            Cover::from_cubes(2, vec![cube(&[0]), cube(&[1])]),
+            vec![g, c],
+        );
+        net.add_output("f", f);
+        let mut vals = HashMap::new();
+        for row in 0..8u32 {
+            vals.insert("a", row & 1 == 1);
+            vals.insert("b", row >> 1 & 1 == 1);
+            vals.insert("c", row >> 2 & 1 == 1);
+            let expect = (row & 0b11 == 0b11) || row >> 2 == 1;
+            assert_eq!(net.eval(&vals)["f"], expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn collapse_matches_eval() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g = net.add_node(
+            Cover::from_cubes(2, vec![cube(&[0]), cube(&[1])]),
+            vec![a, b],
+        );
+        // f = g ^ c expressed as SOP over (g, c)
+        let f = net.add_node(
+            Cover::from_cubes(2, vec![
+                Cube::top().with_pos(0).with_neg(1),
+                Cube::top().with_neg(0).with_pos(1),
+            ]),
+            vec![g, c],
+        );
+        net.add_output("f", f);
+        let (cover, support) = net.collapse_to_inputs(f);
+        assert_eq!(support, vec![a, b, c]);
+        let mut vals = HashMap::new();
+        for row in 0..8u32 {
+            vals.insert("a", row & 1 == 1);
+            vals.insert("b", row >> 1 & 1 == 1);
+            vals.insert("c", row >> 2 & 1 == 1);
+            assert_eq!(cover.eval(row), net.eval(&vals)["f"], "row {row}");
+        }
+    }
+
+    #[test]
+    fn resynthesize_preserves_function_and_shrinks() {
+        // Messy minterm cover of (a|b)&(c|d).
+        let target = |row: u32| (row & 0b11 != 0) && (row >> 2 & 0b11 != 0);
+        let tt = crate::TruthTable::from_fn(4, target);
+        let flat = Cover::from_truth(&tt);
+        let net = resynthesize(&flat, &["a", "b", "c", "d"]);
+        let mut vals = HashMap::new();
+        for row in 0..16u32 {
+            vals.insert("a", row & 1 == 1);
+            vals.insert("b", row >> 1 & 1 == 1);
+            vals.insert("c", row >> 2 & 1 == 1);
+            vals.insert("d", row >> 3 & 1 == 1);
+            assert_eq!(net.eval(&vals)["f"], target(row), "row {row}");
+        }
+        assert!(net.literal_count() <= flat.literal_count());
+    }
+
+    #[test]
+    fn input_support_is_transitive() {
+        let mut net = Network::new();
+        let a = net.add_input("a");
+        let b = net.add_input("b");
+        let c = net.add_input("c");
+        let g = net.add_node(Cover::from_cube(2, cube(&[0, 1])), vec![a, b]);
+        let f = net.add_node(Cover::from_cube(2, cube(&[0, 1])), vec![g, c]);
+        assert_eq!(net.input_support(f), vec![a, b, c]);
+        assert_eq!(net.input_support(g), vec![a, b]);
+    }
+}

@@ -1,0 +1,196 @@
+//! The microarchitecture critic (§6.3): local word-level rewrites, plus
+//! constraint-driven time/area tradeoffs informed by the compile→map→
+//! measure feedback loop of Fig. 16.
+
+use crate::feedback::{measure, FeedbackError};
+use crate::rules::{standard_rules, ClaToRipple, RippleToCla};
+use milo_netlist::{DesignDb, Netlist};
+use milo_rules::{Engine, Rule, RuleCtx, Selection};
+use milo_techmap::TechLibrary;
+use milo_timing::DesignStats;
+
+/// Report from one critic run.
+#[derive(Clone, Debug)]
+pub struct CriticReport {
+    /// Names of rules fired during the unconditional rewrite phase.
+    pub fired: Vec<&'static str>,
+    /// Mapped-design statistics before the critic ran.
+    pub before: DesignStats,
+    /// Mapped-design statistics after.
+    pub after: DesignStats,
+    /// Ripple→CLA upgrades made to meet timing.
+    pub cla_upgrades: usize,
+    /// CLA→ripple downgrades made to recover area under slack.
+    pub ripple_downgrades: usize,
+    /// Whether the timing constraint was met (None = unconstrained).
+    pub met_timing: Option<bool>,
+}
+
+/// Runs the microarchitecture critic on a micro-level netlist.
+///
+/// Phase 1 applies the always-beneficial structural rewrites (counter
+/// recognition, mux merging, decoder/OR simplification, constant
+/// propagation, dead-logic cleanup). Phase 2, when `max_delay` is given,
+/// uses the feedback loop: upgrade ripple adders to carry-lookahead while
+/// the measured mapped delay misses the constraint, then downgrade CLA
+/// adders back where slack allows, recovering area — exactly the Fig. 16
+/// flow ("changing the parameters of the adder to instantiate a
+/// carry-lookahead model").
+///
+/// # Errors
+///
+/// Propagates feedback-measurement failures.
+pub fn optimize(
+    nl: &mut Netlist,
+    db: &mut DesignDb,
+    lib: &TechLibrary,
+    max_delay: Option<f64>,
+) -> Result<CriticReport, FeedbackError> {
+    let before = measure(nl, db, lib)?;
+
+    // Phase 1: unconditional microarchitecture rewrites.
+    let mut engine = Engine::new(standard_rules());
+    engine.run(nl, Selection::OpsOrder, None, 1000);
+    let fired: Vec<&'static str> = engine.firings.iter().map(|f| f.rule).collect();
+
+    // Phase 2: constraint-driven carry-mode tradeoffs via feedback.
+    let mut cla_upgrades = 0usize;
+    let mut ripple_downgrades = 0usize;
+    let mut met_timing = None;
+    if let Some(limit) = max_delay {
+        let mut stats = measure(nl, db, lib)?;
+        // Upgrade while failing.
+        while stats.delay > limit {
+            let rule = RippleToCla;
+            let candidates = rule.matches(&RuleCtx { nl, sta: None });
+            // Try each candidate, keep the one with the best measured
+            // delay (the critic evaluates through the compilers).
+            let mut best: Option<(f64, milo_rules::RuleMatch)> = None;
+            for m in candidates {
+                let mut trial = nl.clone();
+                let mut tx = milo_rules::Tx::new(&mut trial);
+                if rule.apply(&mut tx, &m).is_err() {
+                    continue;
+                }
+                tx.commit();
+                if let Ok(s) = measure(&trial, db, lib) {
+                    if best.as_ref().map_or(true, |(d, _)| s.delay < *d) {
+                        best = Some((s.delay, m));
+                    }
+                }
+            }
+            match best {
+                Some((_, m)) => {
+                    let mut tx = milo_rules::Tx::new(nl);
+                    rule.apply(&mut tx, &m).map_err(FeedbackError::Netlist)?;
+                    tx.commit();
+                    cla_upgrades += 1;
+                    stats = measure(nl, db, lib)?;
+                }
+                None => break, // no more adders to upgrade
+            }
+        }
+        // Downgrade where slack allows.
+        loop {
+            let rule = ClaToRipple;
+            let candidates = rule.matches(&RuleCtx { nl, sta: None });
+            let mut applied = false;
+            for m in candidates {
+                let mut trial = nl.clone();
+                let mut tx = milo_rules::Tx::new(&mut trial);
+                if rule.apply(&mut tx, &m).is_err() {
+                    continue;
+                }
+                tx.commit();
+                if let Ok(s) = measure(&trial, db, lib) {
+                    if s.delay <= limit {
+                        *nl = trial;
+                        ripple_downgrades += 1;
+                        applied = true;
+                        break;
+                    }
+                }
+            }
+            if !applied {
+                break;
+            }
+        }
+        let final_stats = measure(nl, db, lib)?;
+        met_timing = Some(final_stats.delay <= limit);
+    }
+
+    let after = measure(nl, db, lib)?;
+    Ok(CriticReport { fired, before, after, cla_upgrades, ripple_downgrades, met_timing })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::{
+        ArithOps, CarryMode, ComponentKind, MicroComponent, PinDir,
+    };
+    use milo_techmap::ecl_library;
+
+    /// A 8-bit ripple adder between ports — timing-constrainable.
+    fn adder_netlist(bits: u8) -> Netlist {
+        let mut nl = Netlist::new("addtop");
+        let au = nl.add_component(
+            "au",
+            ComponentKind::Micro(MicroComponent::ArithmeticUnit {
+                bits,
+                ops: ArithOps::ADD,
+                mode: CarryMode::Ripple,
+            }),
+        );
+        let pins: Vec<(String, PinDir)> = nl
+            .component(au)
+            .unwrap()
+            .pins
+            .iter()
+            .map(|p| (p.name.clone(), p.dir))
+            .collect();
+        for (pin, dir) in pins {
+            let net = nl.add_net(pin.clone());
+            nl.connect_named(au, &pin, net).unwrap();
+            nl.add_port(pin, dir, net);
+        }
+        nl
+    }
+
+    #[test]
+    fn critic_upgrades_to_cla_under_tight_constraint() {
+        let mut nl = adder_netlist(8);
+        let mut db = DesignDb::new();
+        let lib = ecl_library();
+        let unconstrained = measure(&nl, &mut db, &lib).unwrap();
+        // Pick a limit between CLA and ripple delay.
+        let report = optimize(&mut nl, &mut db, &lib, Some(unconstrained.delay * 0.7)).unwrap();
+        assert!(report.cla_upgrades >= 1, "{report:?}");
+        assert_eq!(report.met_timing, Some(true), "{report:?}");
+        assert!(report.after.delay < report.before.delay);
+        assert!(report.after.area > report.before.area, "speed was bought with area");
+    }
+
+    #[test]
+    fn critic_keeps_ripple_under_loose_constraint() {
+        let mut nl = adder_netlist(8);
+        let mut db = DesignDb::new();
+        let lib = ecl_library();
+        let report = optimize(&mut nl, &mut db, &lib, Some(1e6)).unwrap();
+        assert_eq!(report.cla_upgrades, 0);
+        assert_eq!(report.met_timing, Some(true));
+    }
+
+    #[test]
+    fn critic_recognizes_counter_and_shrinks_design() {
+        let mut nl = crate::rules::tests::fig14_netlist(4);
+        let mut db = DesignDb::new();
+        let lib = ecl_library();
+        let report = optimize(&mut nl, &mut db, &lib, None).unwrap();
+        assert!(report.fired.contains(&"adder-register-to-counter"), "{report:?}");
+        assert!(
+            report.after.area < report.before.area,
+            "counter beats adder+register: {report:?}"
+        );
+    }
+}

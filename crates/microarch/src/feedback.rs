@@ -1,0 +1,149 @@
+//! The statistics feedback loop of §6.3: "the critic calls upon the logic
+//! compilers to generate the low-level generic designs … a technology
+//! mapper converts these … statistics can then be generated from this
+//! design."
+
+use milo_compilers::expand_micro_components;
+use milo_netlist::{DesignDb, Netlist};
+use milo_techmap::{map_netlist, TechLibrary};
+use milo_timing::{statistics, DesignStats};
+
+/// Errors from the feedback measurement.
+#[derive(Debug)]
+pub enum FeedbackError {
+    /// Logic compilation failed.
+    Compile(milo_compilers::CompileError),
+    /// Technology mapping failed.
+    Map(milo_techmap::MapError),
+    /// Netlist manipulation failed.
+    Netlist(milo_netlist::NetlistError),
+    /// Other error.
+    Other(String),
+}
+
+impl std::fmt::Display for FeedbackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FeedbackError::Compile(e) => write!(f, "compile: {e}"),
+            FeedbackError::Map(e) => write!(f, "map: {e}"),
+            FeedbackError::Netlist(e) => write!(f, "netlist: {e}"),
+            FeedbackError::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+impl std::error::Error for FeedbackError {}
+
+impl From<milo_compilers::CompileError> for FeedbackError {
+    fn from(e: milo_compilers::CompileError) -> Self {
+        FeedbackError::Compile(e)
+    }
+}
+
+impl From<milo_techmap::MapError> for FeedbackError {
+    fn from(e: milo_techmap::MapError) -> Self {
+        FeedbackError::Map(e)
+    }
+}
+
+impl From<milo_netlist::NetlistError> for FeedbackError {
+    fn from(e: milo_netlist::NetlistError) -> Self {
+        FeedbackError::Netlist(e)
+    }
+}
+
+/// Compiles, flattens and maps a microarchitecture-level netlist into
+/// `lib`, returning the mapped netlist.
+///
+/// # Errors
+///
+/// Propagates compiler / flattening / mapping errors.
+pub fn elaborate(
+    nl: &Netlist,
+    db: &mut DesignDb,
+    lib: &TechLibrary,
+) -> Result<Netlist, FeedbackError> {
+    let mut work = nl.clone();
+    work.name = format!("{}__elab", nl.name);
+    expand_micro_components(&mut work, db)
+        .map_err(|e| FeedbackError::Other(e.to_string()))?;
+    let tmp = db.insert(work);
+    let flat = db.flatten(&tmp)?;
+    let mapped = map_netlist(&flat, lib)?;
+    Ok(mapped)
+}
+
+/// The feedback measurement: true design statistics of a micro-level
+/// netlist, obtained through compilation and technology mapping.
+///
+/// # Errors
+///
+/// Propagates elaboration errors.
+pub fn measure(
+    nl: &Netlist,
+    db: &mut DesignDb,
+    lib: &TechLibrary,
+) -> Result<DesignStats, FeedbackError> {
+    let mapped = elaborate(nl, db, lib)?;
+    Ok(statistics(&mapped)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::{
+        ArithOps, CarryMode, ComponentKind, MicroComponent, PinDir,
+    };
+    use milo_techmap::ecl_library;
+
+    #[test]
+    fn measure_adder_through_pipeline() {
+        let mut nl = Netlist::new("top");
+        let micro = MicroComponent::ArithmeticUnit {
+            bits: 4,
+            ops: ArithOps::ADD,
+            mode: CarryMode::Ripple,
+        };
+        let c = nl.add_component("au", ComponentKind::Micro(micro));
+        let pins: Vec<(String, PinDir)> = nl
+            .component(c)
+            .unwrap()
+            .pins
+            .iter()
+            .map(|p| (p.name.clone(), p.dir))
+            .collect();
+        for (pin, dir) in pins {
+            let net = nl.add_net(pin.clone());
+            nl.connect_named(c, &pin, net).unwrap();
+            nl.add_port(pin, dir, net);
+        }
+        let mut db = DesignDb::new();
+        let lib = ecl_library();
+        let stats = measure(&nl, &mut db, &lib).unwrap();
+        assert!(stats.cells >= 1, "expanded to cells");
+        assert!(stats.delay > 0.0 && stats.area > 0.0);
+        // CLA version should elaborate faster but bigger.
+        let mut nl2 = Netlist::new("top2");
+        let micro2 = MicroComponent::ArithmeticUnit {
+            bits: 4,
+            ops: ArithOps::ADD,
+            mode: CarryMode::CarryLookahead,
+        };
+        let c2 = nl2.add_component("au", ComponentKind::Micro(micro2));
+        let pins: Vec<(String, PinDir)> = nl2
+            .component(c2)
+            .unwrap()
+            .pins
+            .iter()
+            .map(|p| (p.name.clone(), p.dir))
+            .collect();
+        for (pin, dir) in pins {
+            let net = nl2.add_net(pin.clone());
+            nl2.connect_named(c2, &pin, net).unwrap();
+            nl2.add_port(pin, dir, net);
+        }
+        let stats2 = measure(&nl2, &mut db, &lib).unwrap();
+        assert!(stats2.delay < stats.delay, "CLA faster: {stats2:?} vs {stats:?}");
+        assert!(stats2.area > stats.area, "CLA bigger");
+    }
+}

@@ -1,0 +1,24 @@
+//! # milo-microarch
+//!
+//! The microarchitecture critic of MILO (§6.3, Figs. 14–16): word-level
+//! rewrite rules over parameterized components, plus the statistics
+//! feedback loop that compiles and technology-maps the design to obtain
+//! true delay/area/power numbers before making tradeoffs.
+//!
+//! * [`rules`] — the rule set: adder+register→counter (Fig. 14/15), mux
+//!   cascade merging, decoder/OR simplification (LSS Fig. 7a), word-level
+//!   constant propagation, dead-logic cleanup, and the ripple↔CLA
+//!   tradeoff pair;
+//! * [`feedback`] — compile → flatten → map → measure (Fig. 16);
+//! * [`critic::optimize`] — the full critic: unconditional rewrites, then
+//!   constraint-driven carry-mode tradeoffs.
+
+#![warn(missing_docs)]
+
+pub mod critic;
+pub mod feedback;
+pub mod rules;
+
+pub use critic::{optimize, CriticReport};
+pub use feedback::{elaborate, measure, FeedbackError};
+pub use rules::{standard_rules, AdderRegToCounter, ClaToRipple, RippleToCla};

@@ -1,0 +1,122 @@
+//! Graphviz DOT export for netlists (debugging / documentation aid).
+
+use crate::kind::PinDir;
+use crate::netlist::Netlist;
+use std::fmt::Write;
+
+/// Renders the netlist as a Graphviz digraph: one node per component
+/// (labelled with its kind), one node per port, edges following signal
+/// flow from drivers to loads.
+///
+/// # Examples
+///
+/// ```
+/// use milo_netlist::{to_dot, ComponentKind, GateFn, GenericMacro, Netlist, PinDir};
+///
+/// let mut nl = Netlist::new("d");
+/// let a = nl.add_net("a");
+/// let y = nl.add_net("y");
+/// let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+/// nl.connect_named(g, "A0", a)?;
+/// nl.connect_named(g, "Y", y)?;
+/// nl.add_port("a", PinDir::In, a);
+/// nl.add_port("y", PinDir::Out, y);
+/// let dot = to_dot(&nl);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("INV"));
+/// # Ok::<(), milo_netlist::NetlistError>(())
+/// ```
+pub fn to_dot(nl: &Netlist) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", nl.name).expect("string write");
+    writeln!(out, "  rankdir=LR;").expect("string write");
+    writeln!(out, "  node [shape=box, fontname=\"monospace\"];").expect("string write");
+    // Ports.
+    for (i, p) in nl.ports().iter().enumerate() {
+        let shape = match p.dir {
+            PinDir::In => "invhouse",
+            PinDir::Out => "house",
+        };
+        writeln!(out, "  p{i} [label=\"{}\", shape={shape}];", p.name).expect("string write");
+    }
+    // Components.
+    for id in nl.component_ids() {
+        let comp = nl.component(id).expect("live id");
+        writeln!(
+            out,
+            "  c{} [label=\"{}\\n{}\"];",
+            id.index(),
+            comp.name,
+            comp.kind.label()
+        )
+        .expect("string write");
+    }
+    // Edges: driver → loads per net (labelled with the net name).
+    for net in nl.net_ids() {
+        let n = nl.net(net).expect("live net");
+        // Sources: driving output pin and/or input ports.
+        let mut sources: Vec<String> = Vec::new();
+        if let Some(drv) = nl.driver(net) {
+            sources.push(format!("c{}", drv.component.index()));
+        }
+        for (i, p) in nl.ports().iter().enumerate() {
+            if p.net == net && p.dir == PinDir::In {
+                sources.push(format!("p{i}"));
+            }
+        }
+        // Sinks: loading input pins and output ports.
+        let mut sinks: Vec<String> = Vec::new();
+        for load in nl.loads(net) {
+            sinks.push(format!("c{}", load.component.index()));
+        }
+        for (i, p) in nl.ports().iter().enumerate() {
+            if p.net == net && p.dir == PinDir::Out {
+                sinks.push(format!("p{i}"));
+            }
+        }
+        for s in &sources {
+            for t in &sinks {
+                writeln!(out, "  {s} -> {t} [label=\"{}\"];", n.name).expect("string write");
+            }
+        }
+    }
+    writeln!(out, "}}").expect("string write");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{GateFn, GenericMacro};
+    use crate::netlist::ComponentKind;
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let mut nl = Netlist::new("dot");
+        let a = nl.add_net("sig_a");
+        let y = nl.add_net("sig_y");
+        let g = nl.add_component("u1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Nand, 2)));
+        nl.connect_named(g, "A0", a).unwrap();
+        nl.connect_named(g, "A1", a).unwrap();
+        nl.connect_named(g, "Y", y).unwrap();
+        nl.add_port("a", PinDir::In, a);
+        nl.add_port("y", PinDir::Out, y);
+        let dot = to_dot(&nl);
+        assert!(dot.contains("digraph \"dot\""));
+        assert!(dot.contains("NAND2"));
+        assert!(dot.contains("sig_a"));
+        assert!(dot.contains("invhouse"));
+        assert!(dot.contains("house"));
+        // One edge from the input port to the gate, one from the gate to
+        // the output port.
+        assert!(dot.contains("-> c0"));
+        assert!(dot.contains("c0 ->"));
+    }
+
+    #[test]
+    fn dot_of_empty_netlist() {
+        let dot = to_dot(&Netlist::new("empty"));
+        assert!(dot.starts_with("digraph \"empty\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

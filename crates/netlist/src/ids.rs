@@ -1,0 +1,72 @@
+//! Typed identifiers for netlist entities.
+
+use std::fmt;
+
+/// Identifier of a component inside a [`crate::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub(crate) u32);
+
+/// Identifier of a net inside a [`crate::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// A pin, addressed as a component plus the pin's index within it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PinRef {
+    /// Owning component.
+    pub component: ComponentId,
+    /// Index into the component's pin list.
+    pub pin: u16,
+}
+
+impl ComponentId {
+    /// Raw index value (stable for the lifetime of the component).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl NetId {
+    /// Raw index value (stable for the lifetime of the net).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PinRef {
+    /// Creates a pin reference.
+    pub fn new(component: ComponentId, pin: u16) -> Self {
+        Self { component, pin }
+    }
+}
+
+impl fmt::Debug for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Debug for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for PinRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}.p{}", self.component.0, self.pin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        let p = PinRef::new(ComponentId(3), 1);
+        assert_eq!(format!("{p:?}"), "c3.p1");
+        assert_eq!(format!("{:?}", ComponentId(7)), "c7");
+        assert_eq!(format!("{:?}", NetId(9)), "n9");
+    }
+}

@@ -1,0 +1,1036 @@
+//! Component kinds: microarchitecture components (paper Fig. 12), generic
+//! library macros (Fig. 13), and technology-specific cells.
+
+use milo_logic::TruthTable;
+use std::fmt;
+
+/// Basic gate functions shared by generic macros and technology cells.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GateFn {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Exclusive-or.
+    Xor,
+    /// Negated exclusive-or.
+    Xnor,
+    /// Inverter (1 input).
+    Inv,
+    /// Buffer (1 input).
+    Buf,
+}
+
+impl GateFn {
+    /// Evaluates the gate over `n` input bits packed into `inputs`.
+    pub fn eval(self, inputs: u64, n: u8) -> bool {
+        let mask = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let bits = inputs & mask;
+        match self {
+            GateFn::And => bits == mask,
+            GateFn::Nand => bits != mask,
+            GateFn::Or => bits != 0,
+            GateFn::Nor => bits == 0,
+            GateFn::Xor => bits.count_ones() & 1 == 1,
+            GateFn::Xnor => bits.count_ones() & 1 == 0,
+            GateFn::Inv => bits & 1 == 0,
+            GateFn::Buf => bits & 1 == 1,
+        }
+    }
+
+    /// Whether the function is associative/decomposable into a gate tree
+    /// (AND/OR/XOR families).
+    pub fn is_associative(self) -> bool {
+        !matches!(self, GateFn::Inv | GateFn::Buf)
+    }
+
+    /// The non-inverting base of an inverted gate (`Nand → And`), if any.
+    pub fn deinverted(self) -> Option<GateFn> {
+        match self {
+            GateFn::Nand => Some(GateFn::And),
+            GateFn::Nor => Some(GateFn::Or),
+            GateFn::Xnor => Some(GateFn::Xor),
+            GateFn::Inv => Some(GateFn::Buf),
+            _ => None,
+        }
+    }
+
+    /// The inverted variant (`And → Nand`), if it exists in the family.
+    pub fn inverted(self) -> GateFn {
+        match self {
+            GateFn::And => GateFn::Nand,
+            GateFn::Nand => GateFn::And,
+            GateFn::Or => GateFn::Nor,
+            GateFn::Nor => GateFn::Or,
+            GateFn::Xor => GateFn::Xnor,
+            GateFn::Xnor => GateFn::Xor,
+            GateFn::Inv => GateFn::Buf,
+            GateFn::Buf => GateFn::Inv,
+        }
+    }
+
+    /// Short lowercase mnemonic (`and`, `nor`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateFn::And => "and",
+            GateFn::Or => "or",
+            GateFn::Nand => "nand",
+            GateFn::Nor => "nor",
+            GateFn::Xor => "xor",
+            GateFn::Xnor => "xnor",
+            GateFn::Inv => "inv",
+            GateFn::Buf => "buf",
+        }
+    }
+}
+
+impl fmt::Display for GateFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Pin direction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PinDir {
+    /// Signal flows into the component.
+    In,
+    /// Signal flows out of the component.
+    Out,
+}
+
+/// Static description of one pin of a component kind.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PinSpec {
+    /// Pin name, unique within the component.
+    pub name: String,
+    /// Direction.
+    pub dir: PinDir,
+}
+
+impl PinSpec {
+    fn input(name: impl Into<String>) -> Self {
+        Self { name: name.into(), dir: PinDir::In }
+    }
+
+    fn output(name: impl Into<String>) -> Self {
+        Self { name: name.into(), dir: PinDir::Out }
+    }
+}
+
+fn bus(prefix: &str, n: u8, dir: PinDir) -> impl Iterator<Item = PinSpec> + '_ {
+    (0..n).map(move |i| PinSpec { name: format!("{prefix}{i}"), dir })
+}
+
+/// Generic library macros — Fig. 13 of the paper.
+///
+/// These are the technology-independent SSI/MSI elements the logic
+/// compilers emit: gates of 2–4 inputs, constants, small muxes, decoders,
+/// adders (including the 4-bit carry-lookahead variant), comparators,
+/// counters, and single-bit storage elements.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GenericMacro {
+    /// An `n`-input gate (`Inv`/`Buf` take 1 input, others 2–4).
+    Gate(GateFn, u8),
+    /// Logic high constant.
+    Vdd,
+    /// Logic low constant.
+    Vss,
+    /// A `2^selects`-to-1 single-bit multiplexor (selects ∈ {1, 2}).
+    Mux {
+        /// Number of select inputs.
+        selects: u8,
+    },
+    /// A `inputs`-to-`2^inputs` decoder (inputs ∈ {1, 2}).
+    Decoder {
+        /// Number of address inputs.
+        inputs: u8,
+    },
+    /// A ripple or carry-lookahead binary adder (bits ∈ {1, 4}).
+    Adder {
+        /// Word width.
+        bits: u8,
+        /// Carry-lookahead implementation (only for 4 bits).
+        cla: bool,
+    },
+    /// An equality/magnitude comparator (bits ∈ {2, 4}).
+    Comparator {
+        /// Word width.
+        bits: u8,
+    },
+    /// An up/down counter with reset/load/enable (bits ∈ {2, 4}).
+    Counter {
+        /// Word width.
+        bits: u8,
+    },
+    /// An edge-triggered D flip-flop.
+    Dff {
+        /// Asynchronous set pin present.
+        set: bool,
+        /// Asynchronous reset pin present.
+        reset: bool,
+        /// Clock-enable pin present.
+        enable: bool,
+    },
+    /// A level-sensitive latch.
+    Latch {
+        /// Asynchronous set pin present.
+        set: bool,
+        /// Asynchronous reset pin present.
+        reset: bool,
+    },
+}
+
+impl GenericMacro {
+    /// Pin layout of the macro.
+    pub fn pin_specs(&self) -> Vec<PinSpec> {
+        match *self {
+            GenericMacro::Gate(_, n) => {
+                let mut pins: Vec<PinSpec> = bus("A", n, PinDir::In).collect();
+                pins.push(PinSpec::output("Y"));
+                pins
+            }
+            GenericMacro::Vdd | GenericMacro::Vss => vec![PinSpec::output("Y")],
+            GenericMacro::Mux { selects } => {
+                let data = 1u8 << selects;
+                let mut pins: Vec<PinSpec> = bus("D", data, PinDir::In).collect();
+                pins.extend(bus("S", selects, PinDir::In));
+                pins.push(PinSpec::output("Y"));
+                pins
+            }
+            GenericMacro::Decoder { inputs } => {
+                let outs = 1u8 << inputs;
+                let mut pins: Vec<PinSpec> = bus("A", inputs, PinDir::In).collect();
+                pins.extend(bus("Y", outs, PinDir::Out));
+                pins
+            }
+            GenericMacro::Adder { bits, .. } => {
+                let mut pins: Vec<PinSpec> = bus("A", bits, PinDir::In).collect();
+                pins.extend(bus("B", bits, PinDir::In));
+                pins.push(PinSpec::input("CIN"));
+                pins.extend(bus("S", bits, PinDir::Out));
+                pins.push(PinSpec::output("COUT"));
+                pins
+            }
+            GenericMacro::Comparator { bits } => {
+                let mut pins: Vec<PinSpec> = bus("A", bits, PinDir::In).collect();
+                pins.extend(bus("B", bits, PinDir::In));
+                pins.push(PinSpec::output("EQ"));
+                pins.push(PinSpec::output("LT"));
+                pins.push(PinSpec::output("GT"));
+                pins
+            }
+            GenericMacro::Counter { bits } => {
+                let mut pins: Vec<PinSpec> = bus("D", bits, PinDir::In).collect();
+                pins.push(PinSpec::input("LOAD"));
+                pins.push(PinSpec::input("UP"));
+                pins.push(PinSpec::input("EN"));
+                pins.push(PinSpec::input("RST"));
+                pins.push(PinSpec::input("CLK"));
+                pins.extend(bus("Q", bits, PinDir::Out));
+                pins
+            }
+            GenericMacro::Dff { set, reset, enable } => {
+                let mut pins = vec![PinSpec::input("D"), PinSpec::input("CLK")];
+                if set {
+                    pins.push(PinSpec::input("SET"));
+                }
+                if reset {
+                    pins.push(PinSpec::input("RST"));
+                }
+                if enable {
+                    pins.push(PinSpec::input("EN"));
+                }
+                pins.push(PinSpec::output("Q"));
+                pins
+            }
+            GenericMacro::Latch { set, reset } => {
+                let mut pins = vec![PinSpec::input("D"), PinSpec::input("G")];
+                if set {
+                    pins.push(PinSpec::input("SET"));
+                }
+                if reset {
+                    pins.push(PinSpec::input("RST"));
+                }
+                pins.push(PinSpec::output("Q"));
+                pins
+            }
+        }
+    }
+
+    /// Whether the macro holds state across clock edges.
+    pub fn is_sequential(&self) -> bool {
+        matches!(
+            self,
+            GenericMacro::Counter { .. } | GenericMacro::Dff { .. } | GenericMacro::Latch { .. }
+        )
+    }
+
+    /// Catalog name, e.g. `AND3`, `MUX4TO1`, `ADD4CLA`.
+    pub fn catalog_name(&self) -> String {
+        match *self {
+            GenericMacro::Gate(f, n) => match f {
+                GateFn::Inv => "INV".to_owned(),
+                GateFn::Buf => "BUF".to_owned(),
+                other => format!("{}{n}", other.mnemonic().to_uppercase()),
+            },
+            GenericMacro::Vdd => "VDD".to_owned(),
+            GenericMacro::Vss => "VSS".to_owned(),
+            GenericMacro::Mux { selects } => format!("MUX{}TO1", 1u8 << selects),
+            GenericMacro::Decoder { inputs } => format!("DEC{}TO{}", inputs, 1u8 << inputs),
+            GenericMacro::Adder { bits, cla } => {
+                format!("ADD{bits}{}", if cla { "CLA" } else { "" })
+            }
+            GenericMacro::Comparator { bits } => format!("CMP{bits}"),
+            GenericMacro::Counter { bits } => format!("CTR{bits}"),
+            GenericMacro::Dff { set, reset, enable } => {
+                let mut s = "DFF".to_owned();
+                if set {
+                    s.push('S');
+                }
+                if reset {
+                    s.push('R');
+                }
+                if enable {
+                    s.push('E');
+                }
+                s
+            }
+            GenericMacro::Latch { set, reset } => {
+                let mut s = "LATCH".to_owned();
+                if set {
+                    s.push('S');
+                }
+                if reset {
+                    s.push('R');
+                }
+                s
+            }
+        }
+    }
+}
+
+/// Carry-chain structure of an arithmetic unit (Fig. 12).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CarryMode {
+    /// Ripple-carry: small, slow.
+    Ripple,
+    /// Carry-lookahead: larger, faster.
+    CarryLookahead,
+}
+
+/// Comparison predicate computed by a microarchitectural comparator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Strictly less-than.
+    Lt,
+    /// Strictly greater-than.
+    Gt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-or-equal.
+    Ge,
+    /// Inequality.
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluates the predicate on unsigned words.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Lt => a < b,
+            CmpOp::Gt => a > b,
+            CmpOp::Le => a <= b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// The operations an arithmetic unit supports (at least one).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ArithOps {
+    /// Two-operand addition.
+    pub add: bool,
+    /// Two-operand subtraction.
+    pub sub: bool,
+    /// Increment (A + 1).
+    pub inc: bool,
+    /// Decrement (A − 1).
+    pub dec: bool,
+}
+
+impl ArithOps {
+    /// Add-only unit.
+    pub const ADD: Self = Self { add: true, sub: false, inc: false, dec: false };
+    /// Add/subtract unit.
+    pub const ADD_SUB: Self = Self { add: true, sub: true, inc: false, dec: false };
+    /// Increment-only unit.
+    pub const INC: Self = Self { add: false, sub: false, inc: true, dec: false };
+
+    /// The enabled operations in canonical order.
+    pub fn ops(&self) -> Vec<ArithOp> {
+        let mut v = Vec::new();
+        if self.add {
+            v.push(ArithOp::Add);
+        }
+        if self.sub {
+            v.push(ArithOp::Sub);
+        }
+        if self.inc {
+            v.push(ArithOp::Inc);
+        }
+        if self.dec {
+            v.push(ArithOp::Dec);
+        }
+        v
+    }
+
+    /// Number of operation-select pins (`ceil(log2(#ops))`).
+    pub fn select_pins(&self) -> u8 {
+        let n = self.ops().len();
+        assert!(n >= 1, "arithmetic unit needs at least one operation");
+        (usize::BITS - (n - 1).leading_zeros()) as u8
+    }
+
+    /// Whether any two-operand op (add/sub) is present (B bus needed).
+    pub fn needs_b(&self) -> bool {
+        self.add || self.sub
+    }
+}
+
+/// One arithmetic operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArithOp {
+    /// A + B.
+    Add,
+    /// A − B.
+    Sub,
+    /// A + 1.
+    Inc,
+    /// A − 1.
+    Dec,
+}
+
+/// Storage-element trigger style (Fig. 12 register `type`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Trigger {
+    /// Level-sensitive latch.
+    Latch,
+    /// Edge-triggered flip-flop.
+    EdgeTriggered,
+}
+
+/// Register data functions (Fig. 12 register `function`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct RegFunctions {
+    /// Parallel load.
+    pub load: bool,
+    /// Shift toward the MSB.
+    pub shift_left: bool,
+    /// Shift toward the LSB.
+    pub shift_right: bool,
+}
+
+impl RegFunctions {
+    /// Plain parallel-load register.
+    pub const LOAD: Self = Self { load: true, shift_left: false, shift_right: false };
+
+    /// The selectable data sources in canonical order: hold, load, shl, shr.
+    /// Hold is always available (the register keeps its value).
+    pub fn source_count(&self) -> u8 {
+        1 + u8::from(self.load) + u8::from(self.shift_left) + u8::from(self.shift_right)
+    }
+
+    /// Select pins needed by the input multiplexors.
+    pub fn select_pins(&self) -> u8 {
+        let n = self.source_count();
+        (u8::BITS - (n - 1).leading_zeros()) as u8
+    }
+}
+
+/// Counter functions (Fig. 12 counter `function`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct CounterFunctions {
+    /// Parallel load.
+    pub load: bool,
+    /// Count up.
+    pub up: bool,
+    /// Count down.
+    pub down: bool,
+}
+
+impl CounterFunctions {
+    /// Up-only counter with load.
+    pub const UP_LOAD: Self = Self { load: true, up: true, down: false };
+    /// Up-only counter.
+    pub const UP: Self = Self { load: false, up: true, down: false };
+}
+
+/// Control pins shared by registers and counters (Fig. 12 `control`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ControlSet {
+    /// Synchronous/asynchronous set-to-ones.
+    pub set: bool,
+    /// Reset-to-zero.
+    pub reset: bool,
+    /// Clock/count enable.
+    pub enable: bool,
+}
+
+impl ControlSet {
+    /// Reset only.
+    pub const RESET: Self = Self { set: false, reset: true, enable: false };
+    /// No controls.
+    pub const NONE: Self = Self { set: false, reset: false, enable: false };
+}
+
+/// Parameterized microarchitecture components — Fig. 12 of the paper.
+///
+/// These are what the designer enters at the microarchitecture level; the
+/// logic compilers expand each into generic macros.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MicroComponent {
+    /// A wide gate (`#inputs` beyond the generic library's 4).
+    Gate {
+        /// Gate function.
+        function: GateFn,
+        /// Number of inputs.
+        inputs: u8,
+    },
+    /// A word-wide multiplexor.
+    Multiplexor {
+        /// Word width (#bits).
+        bits: u8,
+        /// Number of data inputs (power of two).
+        inputs: u8,
+        /// Output-enable control.
+        enable: bool,
+    },
+    /// An address decoder.
+    Decoder {
+        /// Number of address bits.
+        bits: u8,
+        /// Enable control.
+        enable: bool,
+    },
+    /// A word comparator.
+    Comparator {
+        /// Word width.
+        bits: u8,
+        /// Predicate.
+        function: CmpOp,
+    },
+    /// A bitwise logic unit applying `function` across `inputs` words.
+    LogicUnit {
+        /// Bitwise function.
+        function: GateFn,
+        /// Number of input words.
+        inputs: u8,
+        /// Word width.
+        bits: u8,
+    },
+    /// An arithmetic unit.
+    ArithmeticUnit {
+        /// Word width.
+        bits: u8,
+        /// Supported operations.
+        ops: ArithOps,
+        /// Carry structure.
+        mode: CarryMode,
+    },
+    /// A register.
+    Register {
+        /// Word width.
+        bits: u8,
+        /// Latch or edge-triggered.
+        trigger: Trigger,
+        /// Data functions.
+        funcs: RegFunctions,
+        /// Control pins.
+        ctrl: ControlSet,
+    },
+    /// A counter.
+    Counter {
+        /// Word width.
+        bits: u8,
+        /// Count/load functions.
+        funcs: CounterFunctions,
+        /// Control pins.
+        ctrl: ControlSet,
+    },
+}
+
+impl MicroComponent {
+    /// Pin layout of the component.
+    pub fn pin_specs(&self) -> Vec<PinSpec> {
+        match *self {
+            MicroComponent::Gate { inputs, .. } => {
+                let mut pins: Vec<PinSpec> = bus("A", inputs, PinDir::In).collect();
+                pins.push(PinSpec::output("Y"));
+                pins
+            }
+            MicroComponent::Multiplexor { bits, inputs, enable } => {
+                let mut pins = Vec::new();
+                for i in 0..inputs {
+                    pins.extend(bus(&format!("D{i}_"), bits, PinDir::In));
+                }
+                let selects = sel_bits(inputs);
+                pins.extend(bus("S", selects, PinDir::In));
+                if enable {
+                    pins.push(PinSpec::input("EN"));
+                }
+                pins.extend(bus("Y", bits, PinDir::Out));
+                pins
+            }
+            MicroComponent::Decoder { bits, enable } => {
+                let outs = 1u8 << bits;
+                let mut pins: Vec<PinSpec> = bus("A", bits, PinDir::In).collect();
+                if enable {
+                    pins.push(PinSpec::input("EN"));
+                }
+                pins.extend(bus("Y", outs, PinDir::Out));
+                pins
+            }
+            MicroComponent::Comparator { bits, .. } => {
+                let mut pins: Vec<PinSpec> = bus("A", bits, PinDir::In).collect();
+                pins.extend(bus("B", bits, PinDir::In));
+                pins.push(PinSpec::output("F"));
+                pins
+            }
+            MicroComponent::LogicUnit { inputs, bits, .. } => {
+                let mut pins = Vec::new();
+                for i in 0..inputs {
+                    pins.extend(bus(&format!("A{i}_"), bits, PinDir::In));
+                }
+                pins.extend(bus("Y", bits, PinDir::Out));
+                pins
+            }
+            MicroComponent::ArithmeticUnit { bits, ops, .. } => {
+                let mut pins: Vec<PinSpec> = bus("A", bits, PinDir::In).collect();
+                if ops.needs_b() {
+                    pins.extend(bus("B", bits, PinDir::In));
+                }
+                if ops.ops().len() > 1 {
+                    pins.extend(bus("OP", ops.select_pins(), PinDir::In));
+                }
+                pins.push(PinSpec::input("CIN"));
+                pins.extend(bus("S", bits, PinDir::Out));
+                pins.push(PinSpec::output("COUT"));
+                pins
+            }
+            MicroComponent::Register { bits, funcs, ctrl, .. } => {
+                let mut pins = Vec::new();
+                if funcs.load {
+                    pins.extend(bus("D", bits, PinDir::In));
+                }
+                if funcs.shift_left {
+                    pins.push(PinSpec::input("SIL")); // serial in, shifting left
+                }
+                if funcs.shift_right {
+                    pins.push(PinSpec::input("SIR"));
+                }
+                if funcs.source_count() > 1 {
+                    pins.extend(bus("F", funcs.select_pins(), PinDir::In));
+                }
+                if ctrl.set {
+                    pins.push(PinSpec::input("SET"));
+                }
+                if ctrl.reset {
+                    pins.push(PinSpec::input("RST"));
+                }
+                if ctrl.enable {
+                    pins.push(PinSpec::input("EN"));
+                }
+                pins.push(PinSpec::input("CLK"));
+                pins.extend(bus("Q", bits, PinDir::Out));
+                pins
+            }
+            MicroComponent::Counter { bits, funcs, ctrl } => {
+                let mut pins = Vec::new();
+                if funcs.load {
+                    pins.extend(bus("D", bits, PinDir::In));
+                    pins.push(PinSpec::input("LOAD"));
+                }
+                if funcs.up && funcs.down {
+                    pins.push(PinSpec::input("UP"));
+                }
+                if ctrl.set {
+                    pins.push(PinSpec::input("SET"));
+                }
+                if ctrl.reset {
+                    pins.push(PinSpec::input("RST"));
+                }
+                if ctrl.enable {
+                    pins.push(PinSpec::input("EN"));
+                }
+                pins.push(PinSpec::input("CLK"));
+                pins.extend(bus("Q", bits, PinDir::Out));
+                pins.push(PinSpec::output("CO"));
+                pins
+            }
+        }
+    }
+
+    /// Whether the component holds state.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, MicroComponent::Register { .. } | MicroComponent::Counter { .. })
+    }
+
+    /// Word width of the component's primary output.
+    pub fn bits(&self) -> u8 {
+        match *self {
+            MicroComponent::Gate { .. } | MicroComponent::Comparator { .. } => 1,
+            MicroComponent::Multiplexor { bits, .. }
+            | MicroComponent::LogicUnit { bits, .. }
+            | MicroComponent::ArithmeticUnit { bits, .. }
+            | MicroComponent::Register { bits, .. }
+            | MicroComponent::Counter { bits, .. } => bits,
+            MicroComponent::Decoder { bits, .. } => 1 << bits,
+        }
+    }
+
+    /// Descriptive name, e.g. `AU4(add,ripple)`.
+    pub fn describe(&self) -> String {
+        match *self {
+            MicroComponent::Gate { function, inputs } => format!("{function}{inputs}"),
+            MicroComponent::Multiplexor { bits, inputs, enable } => {
+                format!("MUX{inputs}:1:{bits}{}", if enable { "E" } else { "" })
+            }
+            MicroComponent::Decoder { bits, enable } => {
+                format!("DEC{bits}:{}{}", 1u8 << bits, if enable { "E" } else { "" })
+            }
+            MicroComponent::Comparator { bits, function } => format!("CMP{bits}({function:?})"),
+            MicroComponent::LogicUnit { function, inputs, bits } => {
+                format!("LU{bits}({function}x{inputs})")
+            }
+            MicroComponent::ArithmeticUnit { bits, ops, mode } => {
+                let mut s = format!("AU{bits}(");
+                for (i, op) in ops.ops().iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(match op {
+                        ArithOp::Add => "add",
+                        ArithOp::Sub => "sub",
+                        ArithOp::Inc => "inc",
+                        ArithOp::Dec => "dec",
+                    });
+                }
+                s.push_str(match mode {
+                    CarryMode::Ripple => ",ripple)",
+                    CarryMode::CarryLookahead => ",cla)",
+                });
+                s
+            }
+            MicroComponent::Register { bits, .. } => format!("REG{bits}"),
+            MicroComponent::Counter { bits, .. } => format!("CTR{bits}"),
+        }
+    }
+}
+
+/// Number of select lines for an `inputs`-way mux.
+pub fn sel_bits(inputs: u8) -> u8 {
+    assert!(inputs >= 2 && inputs.is_power_of_two(), "mux inputs must be a power of two >= 2");
+    inputs.trailing_zeros() as u8
+}
+
+/// Relative power/speed grade of a technology cell (strategy 2 replaces a
+/// standard macro with a high-power, higher-speed one — ECL only).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum PowerLevel {
+    /// Low power, slowest.
+    Low,
+    /// Standard.
+    Standard,
+    /// High power, fastest.
+    High,
+}
+
+/// The logic function a technology cell computes.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CellFunction {
+    /// Simple gate of `n` inputs.
+    Gate(GateFn, u8),
+    /// Arbitrary single-output function (complex cells such as AOI).
+    /// Inputs map to truth-table variables in pin order.
+    Table(TruthTable),
+    /// `2^selects`-to-1 multiplexor.
+    Mux {
+        /// Number of select pins.
+        selects: u8,
+    },
+    /// D flip-flop.
+    Dff {
+        /// Asynchronous set.
+        set: bool,
+        /// Asynchronous reset.
+        reset: bool,
+        /// Clock enable.
+        enable: bool,
+    },
+    /// D flip-flop with a `2^selects`-to-1 input multiplexor (the merged
+    /// mux-FF macros used in the Fig. 18 hierarchy optimization).
+    MuxDff {
+        /// Number of select pins.
+        selects: u8,
+    },
+    /// Level-sensitive latch.
+    Latch {
+        /// Asynchronous set.
+        set: bool,
+        /// Asynchronous reset.
+        reset: bool,
+    },
+    /// Constant output.
+    Const(bool),
+    /// MSI adder macro (mirrors [`GenericMacro::Adder`]).
+    Adder {
+        /// Word width.
+        bits: u8,
+        /// Carry-lookahead internals (affects delay, not function).
+        cla: bool,
+    },
+    /// MSI decoder macro (mirrors [`GenericMacro::Decoder`]).
+    Decoder {
+        /// Address inputs.
+        inputs: u8,
+    },
+    /// MSI comparator macro (mirrors [`GenericMacro::Comparator`]).
+    Comparator {
+        /// Word width.
+        bits: u8,
+    },
+    /// MSI counter macro (mirrors [`GenericMacro::Counter`]).
+    Counter {
+        /// Word width.
+        bits: u8,
+    },
+}
+
+impl CellFunction {
+    /// Pin layout implied by the function.
+    pub fn pin_specs(&self) -> Vec<PinSpec> {
+        match self {
+            CellFunction::Gate(_, n) => {
+                let mut pins: Vec<PinSpec> = bus("A", *n, PinDir::In).collect();
+                pins.push(PinSpec::output("Y"));
+                pins
+            }
+            CellFunction::Table(tt) => {
+                let mut pins: Vec<PinSpec> = bus("A", tt.vars(), PinDir::In).collect();
+                pins.push(PinSpec::output("Y"));
+                pins
+            }
+            CellFunction::Mux { selects } => GenericMacro::Mux { selects: *selects }.pin_specs(),
+            CellFunction::Dff { set, reset, enable } => {
+                GenericMacro::Dff { set: *set, reset: *reset, enable: *enable }.pin_specs()
+            }
+            CellFunction::MuxDff { selects } => {
+                let data = 1u8 << *selects;
+                let mut pins: Vec<PinSpec> = bus("D", data, PinDir::In).collect();
+                pins.extend(bus("S", *selects, PinDir::In));
+                pins.push(PinSpec::input("CLK"));
+                pins.push(PinSpec::output("Q"));
+                pins
+            }
+            CellFunction::Latch { set, reset } => {
+                GenericMacro::Latch { set: *set, reset: *reset }.pin_specs()
+            }
+            CellFunction::Const(_) => vec![PinSpec::output("Y")],
+            CellFunction::Adder { bits, cla } => {
+                GenericMacro::Adder { bits: *bits, cla: *cla }.pin_specs()
+            }
+            CellFunction::Decoder { inputs } => {
+                GenericMacro::Decoder { inputs: *inputs }.pin_specs()
+            }
+            CellFunction::Comparator { bits } => {
+                GenericMacro::Comparator { bits: *bits }.pin_specs()
+            }
+            CellFunction::Counter { bits } => GenericMacro::Counter { bits: *bits }.pin_specs(),
+        }
+    }
+
+    /// Whether the cell holds state.
+    pub fn is_sequential(&self) -> bool {
+        matches!(
+            self,
+            CellFunction::Dff { .. }
+                | CellFunction::MuxDff { .. }
+                | CellFunction::Latch { .. }
+                | CellFunction::Counter { .. }
+        )
+    }
+}
+
+/// A technology-specific cell instance descriptor.
+///
+/// The descriptor is self-contained (the netlist does not reference the
+/// library object) so that timing/power analysis and simulation need only
+/// the netlist. Libraries in `milo-techmap` are collections of these.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TechCell {
+    /// Library-unique cell name, e.g. `NAND3H`.
+    pub name: String,
+    /// Library family this cell belongs to, e.g. `ecl-ga`.
+    pub family: String,
+    /// Logic function.
+    pub function: CellFunction,
+    /// Area in cell units.
+    pub area: f64,
+    /// Intrinsic pin-to-output delay in ns.
+    pub delay: f64,
+    /// Optional per-input-pin delays in ns (empty = uniform `delay`).
+    /// Strategy 1 ("swap equivalent signals on the same component",
+    /// Fig. 9a) exploits cells whose inputs have different delays.
+    pub pin_delay: Vec<f64>,
+    /// Additional delay per fanout load in ns.
+    pub load_delay: f64,
+    /// Static power draw in mA.
+    pub power: f64,
+    /// Maximum fanout before the electric critic flags the net.
+    pub max_fanout: u32,
+    /// Power/speed grade.
+    pub level: PowerLevel,
+}
+
+impl TechCell {
+    /// Pin layout of the cell.
+    pub fn pin_specs(&self) -> Vec<PinSpec> {
+        self.function.pin_specs()
+    }
+
+    /// Intrinsic delay from the `i`-th *input* pin to the output.
+    pub fn input_delay(&self, input_index: usize) -> f64 {
+        self.pin_delay.get(input_index).copied().unwrap_or(self.delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_eval() {
+        assert!(GateFn::And.eval(0b111, 3));
+        assert!(!GateFn::And.eval(0b101, 3));
+        assert!(GateFn::Nor.eval(0, 2));
+        assert!(GateFn::Xor.eval(0b100, 3));
+        assert!(!GateFn::Xor.eval(0b11, 2));
+        assert!(GateFn::Inv.eval(0, 1));
+        assert!(GateFn::Buf.eval(1, 1));
+    }
+
+    #[test]
+    fn gate_inversion_roundtrip() {
+        for f in [GateFn::And, GateFn::Or, GateFn::Nand, GateFn::Nor, GateFn::Xor, GateFn::Xnor] {
+            assert_eq!(f.inverted().inverted(), f);
+        }
+        assert_eq!(GateFn::Nand.deinverted(), Some(GateFn::And));
+        assert_eq!(GateFn::And.deinverted(), None);
+    }
+
+    #[test]
+    fn generic_pin_counts() {
+        assert_eq!(GenericMacro::Gate(GateFn::And, 3).pin_specs().len(), 4);
+        assert_eq!(GenericMacro::Mux { selects: 2 }.pin_specs().len(), 7); // 4 data + 2 sel + Y
+        assert_eq!(GenericMacro::Decoder { inputs: 2 }.pin_specs().len(), 6);
+        assert_eq!(GenericMacro::Adder { bits: 4, cla: true }.pin_specs().len(), 14);
+        assert_eq!(GenericMacro::Dff { set: false, reset: true, enable: false }.pin_specs().len(), 4);
+    }
+
+    #[test]
+    fn catalog_names() {
+        assert_eq!(GenericMacro::Gate(GateFn::Nand, 3).catalog_name(), "NAND3");
+        assert_eq!(GenericMacro::Gate(GateFn::Inv, 1).catalog_name(), "INV");
+        assert_eq!(GenericMacro::Adder { bits: 4, cla: true }.catalog_name(), "ADD4CLA");
+        assert_eq!(GenericMacro::Mux { selects: 1 }.catalog_name(), "MUX2TO1");
+        assert_eq!(
+            GenericMacro::Dff { set: true, reset: true, enable: false }.catalog_name(),
+            "DFFSR"
+        );
+    }
+
+    #[test]
+    fn micro_pin_counts() {
+        let mux = MicroComponent::Multiplexor { bits: 4, inputs: 2, enable: false };
+        // 2 data words of 4 + 1 select + 4 outputs = 13
+        assert_eq!(mux.pin_specs().len(), 13);
+
+        let au = MicroComponent::ArithmeticUnit {
+            bits: 4,
+            ops: ArithOps::ADD,
+            mode: CarryMode::Ripple,
+        };
+        // A4 + B4 + CIN + S4 + COUT = 14 (single op: no OP pins)
+        assert_eq!(au.pin_specs().len(), 14);
+
+        let inc = MicroComponent::ArithmeticUnit {
+            bits: 4,
+            ops: ArithOps::INC,
+            mode: CarryMode::Ripple,
+        };
+        // A4 + CIN + S4 + COUT = 10 (no B bus for inc-only)
+        assert_eq!(inc.pin_specs().len(), 10);
+    }
+
+    #[test]
+    fn register_pins_include_mux_controls() {
+        let reg = MicroComponent::Register {
+            bits: 4,
+            trigger: Trigger::EdgeTriggered,
+            funcs: RegFunctions { load: true, shift_left: false, shift_right: true },
+            ctrl: ControlSet::RESET,
+        };
+        let pins = reg.pin_specs();
+        let names: Vec<&str> = pins.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"D0"));
+        assert!(names.contains(&"SIR"));
+        assert!(names.contains(&"F0"), "select pins: {names:?}"); // 3 sources -> 2 select pins
+        assert!(names.contains(&"F1"));
+        assert!(names.contains(&"RST"));
+        assert!(names.contains(&"CLK"));
+        assert!(names.contains(&"Q3"));
+    }
+
+    #[test]
+    fn arith_select_pins() {
+        assert_eq!(ArithOps::ADD.select_pins(), 0);
+        assert_eq!(ArithOps::ADD_SUB.select_pins(), 1);
+        let all = ArithOps { add: true, sub: true, inc: true, dec: true };
+        assert_eq!(all.select_pins(), 2);
+    }
+
+    #[test]
+    fn sequential_flags() {
+        assert!(GenericMacro::Dff { set: false, reset: false, enable: false }.is_sequential());
+        assert!(!GenericMacro::Gate(GateFn::And, 2).is_sequential());
+        assert!(MicroComponent::Counter {
+            bits: 4,
+            funcs: CounterFunctions::UP,
+            ctrl: ControlSet::NONE
+        }
+        .is_sequential());
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval(2, 5));
+        assert!(!CmpOp::Gt.eval(2, 5));
+        assert!(CmpOp::Ge.eval(5, 5));
+    }
+
+    #[test]
+    fn sel_bits_powers() {
+        assert_eq!(sel_bits(2), 1);
+        assert_eq!(sel_bits(4), 2);
+        assert_eq!(sel_bits(8), 3);
+    }
+}

@@ -1,0 +1,708 @@
+//! The netlist graph: components with pins, nets, and top-level ports.
+
+use crate::kind::{GenericMacro, MicroComponent, PinDir, PinSpec, TechCell};
+use crate::{ComponentId, NetId, PinRef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What a component is.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ComponentKind {
+    /// A generic library macro (Fig. 13).
+    Generic(GenericMacro),
+    /// A parameterized microarchitecture component (Fig. 12).
+    Micro(MicroComponent),
+    /// A technology-specific cell.
+    Tech(TechCell),
+    /// An instance of a named design in a [`crate::DesignDb`].
+    Instance {
+        /// Name of the instantiated design.
+        design: String,
+        /// Port layout copied from the design at instantiation time.
+        ports: Vec<PinSpec>,
+    },
+}
+
+impl ComponentKind {
+    /// Pin layout of the component.
+    pub fn pin_specs(&self) -> Vec<PinSpec> {
+        match self {
+            ComponentKind::Generic(m) => m.pin_specs(),
+            ComponentKind::Micro(m) => m.pin_specs(),
+            ComponentKind::Tech(c) => c.pin_specs(),
+            ComponentKind::Instance { ports, .. } => ports.clone(),
+        }
+    }
+
+    /// Whether the component holds state across clock edges.
+    pub fn is_sequential(&self) -> bool {
+        match self {
+            ComponentKind::Generic(m) => m.is_sequential(),
+            ComponentKind::Micro(m) => m.is_sequential(),
+            ComponentKind::Tech(c) => c.function.is_sequential(),
+            // Conservative: treat unexpanded instances as sequential
+            // boundaries so analyses do not look through them.
+            ComponentKind::Instance { .. } => true,
+        }
+    }
+
+    /// Short label for display.
+    pub fn label(&self) -> String {
+        match self {
+            ComponentKind::Generic(m) => m.catalog_name(),
+            ComponentKind::Micro(m) => m.describe(),
+            ComponentKind::Tech(c) => c.name.clone(),
+            ComponentKind::Instance { design, .. } => format!("@{design}"),
+        }
+    }
+}
+
+/// One pin of a placed component.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Pin {
+    /// Pin name (from the kind's pin spec).
+    pub name: String,
+    /// Direction.
+    pub dir: PinDir,
+    /// Net the pin is attached to, if any.
+    pub net: Option<NetId>,
+}
+
+/// A placed component.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Component {
+    /// Instance name (unique within the netlist by convention, not
+    /// enforced).
+    pub name: String,
+    /// What the component is.
+    pub kind: ComponentKind,
+    /// Pins, in the order given by the kind's pin specs.
+    pub pins: Vec<Pin>,
+}
+
+impl Component {
+    fn new(name: String, kind: ComponentKind) -> Self {
+        let pins = kind
+            .pin_specs()
+            .into_iter()
+            .map(|s| Pin { name: s.name, dir: s.dir, net: None })
+            .collect();
+        Self { name, kind, pins }
+    }
+
+    /// Index of the pin called `name`.
+    pub fn pin_index(&self, name: &str) -> Option<u16> {
+        self.pins.iter().position(|p| p.name == name).map(|i| i as u16)
+    }
+
+    /// Indices of all input pins.
+    pub fn input_pins(&self) -> impl Iterator<Item = u16> + '_ {
+        self.pins
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dir == PinDir::In)
+            .map(|(i, _)| i as u16)
+    }
+
+    /// Indices of all output pins.
+    pub fn output_pins(&self) -> impl Iterator<Item = u16> + '_ {
+        self.pins
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dir == PinDir::Out)
+            .map(|(i, _)| i as u16)
+    }
+}
+
+/// A net (electrical node).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Attached pins (drivers and loads).
+    pub connections: Vec<PinRef>,
+}
+
+/// A top-level port of the design.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction, from outside the design: `In` ports drive their net.
+    pub dir: PinDir,
+    /// The net the port is bound to.
+    pub net: NetId,
+}
+
+/// Errors from netlist operations.
+#[derive(Clone, PartialEq, Debug)]
+pub enum NetlistError {
+    /// A referenced component does not exist (or was removed).
+    NoSuchComponent(ComponentId),
+    /// A referenced net does not exist (or was removed).
+    NoSuchNet(NetId),
+    /// Pin index out of range for the component.
+    NoSuchPin(PinRef),
+    /// The pin is already connected to a net.
+    PinAlreadyConnected(PinRef),
+    /// The pin is not connected to a net.
+    PinNotConnected(PinRef),
+    /// Removing a net that still has connections or ports.
+    NetInUse(NetId),
+    /// No port by that name.
+    NoSuchPort(String),
+    /// The combinational part of the netlist has a cycle.
+    CombinationalCycle,
+    /// The operation requires a flat netlist but an instance was found.
+    HierarchyPresent(ComponentId),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::NoSuchComponent(c) => write!(f, "no such component {c:?}"),
+            NetlistError::NoSuchNet(n) => write!(f, "no such net {n:?}"),
+            NetlistError::NoSuchPin(p) => write!(f, "no such pin {p:?}"),
+            NetlistError::PinAlreadyConnected(p) => write!(f, "pin {p:?} already connected"),
+            NetlistError::PinNotConnected(p) => write!(f, "pin {p:?} not connected"),
+            NetlistError::NetInUse(n) => write!(f, "net {n:?} still has connections"),
+            NetlistError::NoSuchPort(s) => write!(f, "no such port {s}"),
+            NetlistError::CombinationalCycle => write!(f, "combinational cycle detected"),
+            NetlistError::HierarchyPresent(c) => {
+                write!(f, "unexpanded design instance {c:?} present")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// The netlist: a flat (or hierarchical, via [`ComponentKind::Instance`])
+/// graph of components and nets with named top-level ports.
+///
+/// # Examples
+///
+/// ```
+/// use milo_netlist::{Netlist, ComponentKind, GenericMacro, GateFn, PinDir};
+///
+/// let mut nl = Netlist::new("demo");
+/// let a = nl.add_net("a");
+/// let y = nl.add_net("y");
+/// let inv = nl.add_component("u1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+/// nl.connect_named(inv, "A0", a)?;
+/// nl.connect_named(inv, "Y", y)?;
+/// nl.add_port("a", PinDir::In, a);
+/// nl.add_port("y", PinDir::Out, y);
+/// assert_eq!(nl.component_count(), 1);
+/// # Ok::<(), milo_netlist::NetlistError>(())
+/// ```
+#[derive(Clone, Default)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    components: Vec<Option<Component>>,
+    nets: Vec<Option<Net>>,
+    ports: Vec<Port>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), components: Vec::new(), nets: Vec::new(), ports: Vec::new() }
+    }
+
+    /// Adds a net and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        self.nets.push(Some(Net { name: name.into(), connections: Vec::new() }));
+        NetId(self.nets.len() as u32 - 1)
+    }
+
+    /// Adds a component (all pins unconnected) and returns its id.
+    pub fn add_component(&mut self, name: impl Into<String>, kind: ComponentKind) -> ComponentId {
+        self.components.push(Some(Component::new(name.into(), kind)));
+        ComponentId(self.components.len() as u32 - 1)
+    }
+
+    /// Declares a top-level port bound to `net`.
+    pub fn add_port(&mut self, name: impl Into<String>, dir: PinDir, net: NetId) {
+        self.ports.push(Port { name: name.into(), dir, net });
+    }
+
+    /// The component with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NoSuchComponent`] if absent.
+    pub fn component(&self, id: ComponentId) -> Result<&Component, NetlistError> {
+        self.components
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(NetlistError::NoSuchComponent(id))
+    }
+
+    /// Mutable access to a component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NoSuchComponent`] if absent.
+    pub fn component_mut(&mut self, id: ComponentId) -> Result<&mut Component, NetlistError> {
+        self.components
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(NetlistError::NoSuchComponent(id))
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NoSuchNet`] if absent.
+    pub fn net(&self, id: NetId) -> Result<&Net, NetlistError> {
+        self.nets.get(id.index()).and_then(Option::as_ref).ok_or(NetlistError::NoSuchNet(id))
+    }
+
+    /// Iterates live component ids.
+    pub fn component_ids(&self) -> impl Iterator<Item = ComponentId> + '_ {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_some())
+            .map(|(i, _)| ComponentId(i as u32))
+    }
+
+    /// Iterates live net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.nets.iter().enumerate().filter(|(_, n)| n.is_some()).map(|(i, _)| NetId(i as u32))
+    }
+
+    /// Number of live components.
+    pub fn component_count(&self) -> usize {
+        self.components.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Number of live nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Top-level ports.
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Finds a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+
+    /// Connects a pin to a net.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pin/net does not exist or the pin is already connected.
+    pub fn connect(&mut self, pin: PinRef, net: NetId) -> Result<(), NetlistError> {
+        self.net(net)?;
+        let comp = self.component_mut(pin.component)?;
+        let p = comp.pins.get_mut(pin.pin as usize).ok_or(NetlistError::NoSuchPin(pin))?;
+        if p.net.is_some() {
+            return Err(NetlistError::PinAlreadyConnected(pin));
+        }
+        p.net = Some(net);
+        self.nets[net.index()]
+            .as_mut()
+            .expect("checked above")
+            .connections
+            .push(pin);
+        Ok(())
+    }
+
+    /// Connects a pin (looked up by name) to a net.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`Netlist::connect`], or with [`NetlistError::NoSuchPin`]
+    /// for an unknown pin name.
+    pub fn connect_named(
+        &mut self,
+        component: ComponentId,
+        pin_name: &str,
+        net: NetId,
+    ) -> Result<(), NetlistError> {
+        let idx = self
+            .component(component)?
+            .pin_index(pin_name)
+            .ok_or(NetlistError::NoSuchPin(PinRef::new(component, u16::MAX)))?;
+        self.connect(PinRef::new(component, idx), net)
+    }
+
+    /// Disconnects a pin, returning the net it was attached to.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pin does not exist or is not connected.
+    pub fn disconnect(&mut self, pin: PinRef) -> Result<NetId, NetlistError> {
+        let comp = self.component_mut(pin.component)?;
+        let p = comp.pins.get_mut(pin.pin as usize).ok_or(NetlistError::NoSuchPin(pin))?;
+        let net = p.net.take().ok_or(NetlistError::PinNotConnected(pin))?;
+        let n = self.nets[net.index()].as_mut().expect("net exists while referenced");
+        n.connections.retain(|c| *c != pin);
+        Ok(net)
+    }
+
+    /// Removes a component, disconnecting all its pins first. Returns the
+    /// removed component.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the component does not exist.
+    pub fn remove_component(&mut self, id: ComponentId) -> Result<Component, NetlistError> {
+        let pin_count = self.component(id)?.pins.len();
+        for pin in 0..pin_count {
+            let r = PinRef::new(id, pin as u16);
+            if self.component(id)?.pins[pin].net.is_some() {
+                self.disconnect(r)?;
+            }
+        }
+        Ok(self.components[id.index()].take().expect("checked above"))
+    }
+
+    /// Re-inserts a previously removed component under its old id
+    /// (used by the undo log). The slot must be empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied or out of range.
+    pub fn restore_component(&mut self, id: ComponentId, component: Component) {
+        let slot = &mut self.components[id.index()];
+        assert!(slot.is_none(), "restore into occupied slot");
+        *slot = Some(component);
+    }
+
+    /// Removes an unused net.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the net does not exist, still has connections, or is bound
+    /// to a port.
+    pub fn remove_net(&mut self, id: NetId) -> Result<Net, NetlistError> {
+        let net = self.net(id)?;
+        if !net.connections.is_empty() || self.ports.iter().any(|p| p.net == id) {
+            return Err(NetlistError::NetInUse(id));
+        }
+        Ok(self.nets[id.index()].take().expect("checked above"))
+    }
+
+    /// Re-inserts a previously removed net under its old id (undo log).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied.
+    pub fn restore_net(&mut self, id: NetId, net: Net) {
+        let slot = &mut self.nets[id.index()];
+        assert!(slot.is_none(), "restore into occupied slot");
+        *slot = Some(net);
+    }
+
+    /// Frees the (already removed) component slot `id`, which must be the
+    /// last arena slot. Used by undo logs so that future id allocation is
+    /// deterministic after a rollback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied or not the last one.
+    pub fn free_component_slot(&mut self, id: ComponentId) {
+        assert_eq!(id.index() + 1, self.components.len(), "only the tail slot can be freed");
+        assert!(self.components[id.index()].is_none(), "slot still occupied");
+        self.components.pop();
+    }
+
+    /// Frees the (already removed) net slot `id`, which must be the last
+    /// arena slot. See [`Netlist::free_component_slot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied or not the last one.
+    pub fn free_net_slot(&mut self, id: NetId) {
+        assert_eq!(id.index() + 1, self.nets.len(), "only the tail slot can be freed");
+        assert!(self.nets[id.index()].is_none(), "slot still occupied");
+        self.nets.pop();
+    }
+
+    /// The output pin driving `net`, if any. Input *ports* also drive their
+    /// nets but are not pins; see [`Netlist::net_is_port_driven`].
+    pub fn driver(&self, net: NetId) -> Option<PinRef> {
+        let n = self.nets.get(net.index())?.as_ref()?;
+        n.connections.iter().copied().find(|p| {
+            self.component(p.component)
+                .ok()
+                .and_then(|c| c.pins.get(p.pin as usize))
+                .map_or(false, |pin| pin.dir == PinDir::Out)
+        })
+    }
+
+    /// Whether an input port drives this net.
+    pub fn net_is_port_driven(&self, net: NetId) -> bool {
+        self.ports.iter().any(|p| p.net == net && p.dir == PinDir::In)
+    }
+
+    /// The input pins loading `net`.
+    pub fn loads(&self, net: NetId) -> Vec<PinRef> {
+        match self.nets.get(net.index()).and_then(Option::as_ref) {
+            None => Vec::new(),
+            Some(n) => n
+                .connections
+                .iter()
+                .copied()
+                .filter(|p| {
+                    self.component(p.component)
+                        .ok()
+                        .and_then(|c| c.pins.get(p.pin as usize))
+                        .map_or(false, |pin| pin.dir == PinDir::In)
+                })
+                .collect(),
+        }
+    }
+
+    /// Fanout of a net: input pins plus output ports attached.
+    pub fn fanout(&self, net: NetId) -> usize {
+        self.loads(net).len()
+            + self.ports.iter().filter(|p| p.net == net && p.dir == PinDir::Out).count()
+    }
+
+    /// The net attached to a named pin of a component, if connected.
+    pub fn pin_net(&self, component: ComponentId, pin_name: &str) -> Option<NetId> {
+        let c = self.component(component).ok()?;
+        let idx = c.pin_index(pin_name)?;
+        c.pins[idx as usize].net
+    }
+
+    /// Topological order of the combinational components. Sequential
+    /// components appear first (their outputs are sources); their inputs do
+    /// not create dependency edges.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::CombinationalCycle`] if the combinational part is
+    /// cyclic.
+    pub fn topo_order(&self) -> Result<Vec<ComponentId>, NetlistError> {
+        let ids: Vec<ComponentId> = self.component_ids().collect();
+        let index: HashMap<ComponentId, usize> =
+            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let mut indegree = vec![0usize; ids.len()];
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+        for (i, id) in ids.iter().enumerate() {
+            let comp = self.component(*id)?;
+            if comp.kind.is_sequential() {
+                continue; // no incoming combinational edges
+            }
+            for pin_idx in comp.input_pins() {
+                if let Some(net) = comp.pins[pin_idx as usize].net {
+                    if let Some(drv) = self.driver(net) {
+                        let j = index[&drv.component];
+                        edges[j].push(i);
+                        indegree[i] += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..ids.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(ids.len());
+        while let Some(i) = queue.pop() {
+            order.push(ids[i]);
+            for &j in &edges[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if order.len() != ids.len() {
+            return Err(NetlistError::CombinationalCycle);
+        }
+        Ok(order)
+    }
+
+    /// Whether the netlist contains unexpanded design instances.
+    pub fn has_hierarchy(&self) -> bool {
+        self.component_ids().any(|id| {
+            matches!(
+                self.component(id).map(|c| &c.kind),
+                Ok(ComponentKind::Instance { .. })
+            )
+        })
+    }
+
+    /// Removes nets that have no connections and no port bindings.
+    /// Returns how many were removed.
+    pub fn sweep_dead_nets(&mut self) -> usize {
+        let dead: Vec<NetId> = self
+            .net_ids()
+            .filter(|&n| {
+                self.nets[n.index()].as_ref().is_some_and(|net| net.connections.is_empty())
+                    && !self.ports.iter().any(|p| p.net == n)
+            })
+            .collect();
+        for n in &dead {
+            self.nets[n.index()] = None;
+        }
+        dead.len()
+    }
+}
+
+impl fmt::Debug for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Netlist {} ({} components, {} nets, {} ports)",
+            self.name,
+            self.component_count(),
+            self.net_count(),
+            self.ports.len()
+        )?;
+        for id in self.component_ids() {
+            let c = self.component(id).expect("live id");
+            write!(f, "  {id:?} {} [{}]:", c.name, c.kind.label())?;
+            for p in &c.pins {
+                match p.net {
+                    Some(n) => write!(f, " {}={:?}", p.name, n)?,
+                    None => write!(f, " {}=-", p.name)?,
+                }
+            }
+            writeln!(f)?;
+        }
+        for p in &self.ports {
+            writeln!(f, "  port {} {:?} -> {:?}", p.name, p.dir, p.net)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::GateFn;
+
+    fn gate(nl: &mut Netlist, name: &str, f: GateFn, n: u8) -> ComponentId {
+        nl.add_component(name, ComponentKind::Generic(GenericMacro::Gate(f, n)))
+    }
+
+    #[test]
+    fn connect_and_query() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let y = nl.add_net("y");
+        let g = gate(&mut nl, "g", GateFn::And, 2);
+        nl.connect_named(g, "A0", a).unwrap();
+        nl.connect_named(g, "A1", b).unwrap();
+        nl.connect_named(g, "Y", y).unwrap();
+        assert_eq!(nl.driver(y), Some(PinRef::new(g, 2)));
+        assert_eq!(nl.loads(a).len(), 1);
+        assert_eq!(nl.fanout(a), 1);
+        assert_eq!(nl.pin_net(g, "Y"), Some(y));
+    }
+
+    #[test]
+    fn double_connect_fails() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let g = gate(&mut nl, "g", GateFn::Inv, 1);
+        nl.connect_named(g, "A0", a).unwrap();
+        let err = nl.connect_named(g, "A0", b).unwrap_err();
+        assert!(matches!(err, NetlistError::PinAlreadyConnected(_)));
+    }
+
+    #[test]
+    fn remove_component_detaches_pins() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let g = gate(&mut nl, "g", GateFn::Inv, 1);
+        nl.connect_named(g, "A0", a).unwrap();
+        let removed = nl.remove_component(g).unwrap();
+        assert_eq!(removed.name, "g");
+        assert!(nl.net(a).unwrap().connections.is_empty());
+        assert!(nl.component(g).is_err());
+    }
+
+    #[test]
+    fn restore_after_remove() {
+        let mut nl = Netlist::new("t");
+        let g = gate(&mut nl, "g", GateFn::Inv, 1);
+        let removed = nl.remove_component(g).unwrap();
+        nl.restore_component(g, removed);
+        assert!(nl.component(g).is_ok());
+    }
+
+    #[test]
+    fn remove_net_in_use_fails() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let g = gate(&mut nl, "g", GateFn::Inv, 1);
+        nl.connect_named(g, "A0", a).unwrap();
+        assert!(matches!(nl.remove_net(a), Err(NetlistError::NetInUse(_))));
+        nl.disconnect(PinRef::new(g, 0)).unwrap();
+        assert!(nl.remove_net(a).is_ok());
+    }
+
+    #[test]
+    fn topo_order_chain() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let m = nl.add_net("m");
+        let y = nl.add_net("y");
+        let g1 = gate(&mut nl, "g1", GateFn::Inv, 1);
+        let g2 = gate(&mut nl, "g2", GateFn::Inv, 1);
+        nl.connect_named(g1, "A0", a).unwrap();
+        nl.connect_named(g1, "Y", m).unwrap();
+        nl.connect_named(g2, "A0", m).unwrap();
+        nl.connect_named(g2, "Y", y).unwrap();
+        let order = nl.topo_order().unwrap();
+        let p1 = order.iter().position(|&c| c == g1).unwrap();
+        let p2 = order.iter().position(|&c| c == g2).unwrap();
+        assert!(p1 < p2);
+    }
+
+    #[test]
+    fn topo_detects_cycle() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let g1 = gate(&mut nl, "g1", GateFn::Inv, 1);
+        let g2 = gate(&mut nl, "g2", GateFn::Inv, 1);
+        nl.connect_named(g1, "A0", a).unwrap();
+        nl.connect_named(g1, "Y", b).unwrap();
+        nl.connect_named(g2, "A0", b).unwrap();
+        nl.connect_named(g2, "Y", a).unwrap();
+        assert_eq!(nl.topo_order().unwrap_err(), NetlistError::CombinationalCycle);
+    }
+
+    #[test]
+    fn sequential_breaks_cycle() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_net("d");
+        let q = nl.add_net("q");
+        let ff = nl.add_component(
+            "ff",
+            ComponentKind::Generic(GenericMacro::Dff { set: false, reset: false, enable: false }),
+        );
+        let g = gate(&mut nl, "g", GateFn::Inv, 1);
+        let clk = nl.add_net("clk");
+        nl.connect_named(ff, "D", d).unwrap();
+        nl.connect_named(ff, "CLK", clk).unwrap();
+        nl.connect_named(ff, "Q", q).unwrap();
+        nl.connect_named(g, "A0", q).unwrap();
+        nl.connect_named(g, "Y", d).unwrap();
+        assert!(nl.topo_order().is_ok());
+    }
+
+    #[test]
+    fn sweep_dead_nets() {
+        let mut nl = Netlist::new("t");
+        let _a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_port("b", PinDir::In, b);
+        assert_eq!(nl.sweep_dead_nets(), 1);
+        assert_eq!(nl.net_count(), 1);
+    }
+}

@@ -1,0 +1,776 @@
+//! The five critics of the logic optimizer (§6.4, Fig. 17) as rule sets:
+//! logic (always improves), timing (speed for area/power), area, power,
+//! and electric (rule checking / repair).
+
+use milo_netlist::{
+    CellFunction, ComponentId, ComponentKind, GateFn, NetId, Netlist, NetlistError, PinDir,
+    PowerLevel, TechCell,
+};
+use milo_rules::{Rule, RuleClass, RuleCtx, RuleMatch, Tx};
+use milo_techmap::TechLibrary;
+use milo_timing::on_critical_path;
+
+fn tech_cell_of(nl: &Netlist, id: ComponentId) -> Option<TechCell> {
+    match &nl.component(id).ok()?.kind {
+        ComponentKind::Tech(c) => Some(c.clone()),
+        _ => None,
+    }
+}
+
+fn is_inv(nl: &Netlist, id: ComponentId) -> bool {
+    matches!(
+        tech_cell_of(nl, id).map(|c| c.function),
+        Some(CellFunction::Gate(GateFn::Inv, 1))
+    )
+}
+
+fn single_output_net(nl: &Netlist, id: ComponentId) -> Option<NetId> {
+    let comp = nl.component(id).ok()?;
+    let outs: Vec<_> = comp.output_pins().collect();
+    if outs.len() == 1 {
+        comp.pins[outs[0] as usize].net
+    } else {
+        None
+    }
+}
+
+/// Logic critic: inverter-pair elimination (Fig. 17a is a double-negation
+/// cleanup of exactly this shape).
+pub struct InvPairElimination;
+
+impl Rule for InvPairElimination {
+    fn name(&self) -> &'static str {
+        "inverter-pair-elimination"
+    }
+    fn class(&self) -> RuleClass {
+        RuleClass::Logic
+    }
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        let nl = ctx.nl;
+        let mut out = Vec::new();
+        for id in nl.component_ids() {
+            if !is_inv(nl, id) {
+                continue;
+            }
+            let Some(y) = single_output_net(nl, id) else { continue };
+            if nl.fanout(y) != 1 || nl.ports().iter().any(|p| p.net == y) {
+                continue;
+            }
+            let Some(load) = nl.loads(y).first().copied() else { continue };
+            if is_inv(nl, load.component) {
+                // Second inverter's output must not be a port either when
+                // the first's input is port-driven... moving loads is safe
+                // regardless; only skip if the PAIR shares a component.
+                if load.component != id {
+                    out.push(
+                        RuleMatch::at(id)
+                            .with_aux(vec![load.component])
+                            .with_note("INV-INV pair removed"),
+                    );
+                }
+            }
+        }
+        out
+    }
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+        let nl = tx.netlist();
+        let input = nl.pin_net(m.site, "A0").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let second = m.aux[0];
+        let out = nl.pin_net(second, "Y").ok_or(NetlistError::NoSuchComponent(second))?;
+        // If the second inverter's output is a port net, keep the net and
+        // fail the rule (a buffer would be needed — no gain).
+        if nl.ports().iter().any(|p| p.net == out) {
+            return Err(NetlistError::NetInUse(out));
+        }
+        tx.remove_component(m.site)?;
+        tx.remove_component(second)?;
+        tx.move_loads(out, input)?;
+        Ok(())
+    }
+}
+
+/// Logic critic: drop buffers (their drive role is re-established by the
+/// electric critic where needed).
+pub struct BufferElimination;
+
+impl Rule for BufferElimination {
+    fn name(&self) -> &'static str {
+        "buffer-elimination"
+    }
+    fn class(&self) -> RuleClass {
+        RuleClass::Logic
+    }
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        let nl = ctx.nl;
+        let mut out = Vec::new();
+        for id in nl.component_ids() {
+            let Some(cell) = tech_cell_of(nl, id) else { continue };
+            if !matches!(cell.function, CellFunction::Gate(GateFn::Buf, 1)) {
+                continue;
+            }
+            let Some(y) = single_output_net(nl, id) else { continue };
+            if nl.ports().iter().any(|p| p.net == y) {
+                continue;
+            }
+            out.push(RuleMatch::at(id).with_note("buffer removed"));
+        }
+        out
+    }
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+        let nl = tx.netlist();
+        let input = nl.pin_net(m.site, "A0").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let y = nl.pin_net(m.site, "Y").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        tx.remove_component(m.site)?;
+        tx.move_loads(y, input)?;
+        Ok(())
+    }
+}
+
+/// Logic critic: merge structurally identical gates driving separate nets
+/// (common-subexpression elimination at cell level).
+pub struct DuplicateGateMerge;
+
+impl Rule for DuplicateGateMerge {
+    fn name(&self) -> &'static str {
+        "duplicate-gate-merge"
+    }
+    fn class(&self) -> RuleClass {
+        RuleClass::Logic
+    }
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        let nl = ctx.nl;
+        let signature = |id: ComponentId| -> Option<(String, Vec<NetId>)> {
+            let comp = nl.component(id).ok()?;
+            let cell = tech_cell_of(nl, id)?;
+            if !matches!(cell.function, CellFunction::Gate(..) | CellFunction::Table(_)) {
+                return None;
+            }
+            let ins: Option<Vec<NetId>> = comp
+                .pins
+                .iter()
+                .filter(|p| p.dir == PinDir::In)
+                .map(|p| p.net)
+                .collect();
+            Some((cell.name, ins?))
+        };
+        // Hash by signature so matching stays linear in design size.
+        let mut by_sig: std::collections::HashMap<(String, Vec<NetId>), ComponentId> =
+            std::collections::HashMap::new();
+        let mut out = Vec::new();
+        for id in nl.component_ids() {
+            let Some(sig) = signature(id) else { continue };
+            match by_sig.get(&sig) {
+                None => {
+                    by_sig.insert(sig, id);
+                }
+                Some(&keep) => {
+                    // Do not merge when the duplicate's output is a port
+                    // net (the port binding cannot be moved).
+                    if let Some(y) = single_output_net(nl, id) {
+                        if !nl.ports().iter().any(|p| p.net == y) {
+                            out.push(
+                                RuleMatch::at(keep)
+                                    .with_aux(vec![id])
+                                    .with_note("identical gates merged"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+        let nl = tx.netlist();
+        let keep_y = nl.pin_net(m.site, "Y").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let dup = m.aux[0];
+        let dup_y = nl.pin_net(dup, "Y").ok_or(NetlistError::NoSuchComponent(dup))?;
+        tx.remove_component(dup)?;
+        tx.move_loads(dup_y, keep_y)?;
+        Ok(())
+    }
+}
+
+/// Logic/area critic: merge a mux cell that exclusively feeds a plain DFF's
+/// D input into the library's merged mux-FF macro — the optimization of
+/// Fig. 18 ("each multiplexor and flip-flop set can be combined into a
+/// single technology-specific element, providing a decrease in area").
+pub struct MuxDffMerge {
+    lib: TechLibrary,
+}
+
+impl MuxDffMerge {
+    /// Creates the rule bound to a library (it needs the MXFF cells).
+    pub fn new(lib: TechLibrary) -> Self {
+        Self { lib }
+    }
+}
+
+impl Rule for MuxDffMerge {
+    fn name(&self) -> &'static str {
+        "mux-dff-merge"
+    }
+    fn class(&self) -> RuleClass {
+        RuleClass::Logic
+    }
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        let nl = ctx.nl;
+        let mut out = Vec::new();
+        for id in nl.component_ids() {
+            let Some(cell) = tech_cell_of(nl, id) else { continue };
+            let CellFunction::Mux { selects } = cell.function else { continue };
+            if self.lib.cell_at_level(&CellFunction::MuxDff { selects }, PowerLevel::Standard).is_none()
+            {
+                continue;
+            }
+            let Some(y) = single_output_net(nl, id) else { continue };
+            if nl.fanout(y) != 1 || nl.ports().iter().any(|p| p.net == y) {
+                continue;
+            }
+            let Some(load) = nl.loads(y).first().copied() else { continue };
+            let Some(ff) = tech_cell_of(nl, load.component) else { continue };
+            if !matches!(ff.function, CellFunction::Dff { set: false, reset: false, enable: false })
+            {
+                continue;
+            }
+            let Ok(ff_comp) = nl.component(load.component) else { continue };
+            if ff_comp.pins[load.pin as usize].name != "D" {
+                continue;
+            }
+            out.push(
+                RuleMatch::at(id)
+                    .with_aux(vec![load.component])
+                    .with_choice(selects as usize)
+                    .with_note(format!("mux{}+DFF -> MXFF", 1 << selects)),
+            );
+        }
+        out
+    }
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+        let selects = m.choice as u8;
+        let merged = self
+            .lib
+            .cell_at_level(&CellFunction::MuxDff { selects }, PowerLevel::Standard)
+            .ok_or(NetlistError::NoSuchComponent(m.site))?
+            .clone();
+        let nl = tx.netlist();
+        let data = 1usize << selects;
+        let d_nets: Vec<NetId> = (0..data)
+            .map(|i| nl.pin_net(m.site, &format!("D{i}")).expect("matched mux"))
+            .collect();
+        let s_nets: Vec<NetId> = (0..selects)
+            .map(|i| nl.pin_net(m.site, &format!("S{i}")).expect("matched mux"))
+            .collect();
+        let ff = m.aux[0];
+        let clk = nl.pin_net(ff, "CLK").ok_or(NetlistError::NoSuchComponent(ff))?;
+        let q = nl.pin_net(ff, "Q").ok_or(NetlistError::NoSuchComponent(ff))?;
+        tx.remove_component(m.site)?;
+        tx.remove_component(ff)?;
+        let c = tx.add_component(format!("mxff{}", m.site.index()), ComponentKind::Tech(merged));
+        for (i, n) in d_nets.iter().enumerate() {
+            tx.connect_named(c, &format!("D{i}"), *n)?;
+        }
+        for (i, n) in s_nets.iter().enumerate() {
+            tx.connect_named(c, &format!("S{i}"), *n)?;
+        }
+        tx.connect_named(c, "CLK", clk)?;
+        tx.connect_named(c, "Q", q)?;
+        Ok(())
+    }
+}
+
+/// Second-level Fig. 18 merge: a 2:1 mux feeding a data input of an MXFF2
+/// becomes an MXFF4 ("making use of high-level macros that have 4-1
+/// multiplexors combined with a flip-flop").
+pub struct MuxIntoMuxDff {
+    lib: TechLibrary,
+}
+
+impl MuxIntoMuxDff {
+    /// Creates the rule bound to a library.
+    pub fn new(lib: TechLibrary) -> Self {
+        Self { lib }
+    }
+}
+
+impl Rule for MuxIntoMuxDff {
+    fn name(&self) -> &'static str {
+        "mux-into-muxdff"
+    }
+    fn class(&self) -> RuleClass {
+        RuleClass::Logic
+    }
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        let nl = ctx.nl;
+        let mut out = Vec::new();
+        for id in nl.component_ids() {
+            let Some(cell) = tech_cell_of(nl, id) else { continue };
+            if !matches!(cell.function, CellFunction::Mux { selects: 1 }) {
+                continue;
+            }
+            if self.lib.cell_at_level(&CellFunction::MuxDff { selects: 2 }, PowerLevel::Standard).is_none()
+            {
+                continue;
+            }
+            let Some(y) = single_output_net(nl, id) else { continue };
+            if nl.fanout(y) != 1 || nl.ports().iter().any(|p| p.net == y) {
+                continue;
+            }
+            let Some(load) = nl.loads(y).first().copied() else { continue };
+            let Some(mxff) = tech_cell_of(nl, load.component) else { continue };
+            if !matches!(mxff.function, CellFunction::MuxDff { selects: 1 }) {
+                continue;
+            }
+            let Ok(mx_comp) = nl.component(load.component) else { continue };
+            let pin_name = mx_comp.pins[load.pin as usize].name.clone();
+            let word = match pin_name.as_str() {
+                "D0" => 0usize,
+                "D1" => 1,
+                _ => continue,
+            };
+            out.push(
+                RuleMatch::at(id)
+                    .with_aux(vec![load.component])
+                    .with_choice(word)
+                    .with_note("2:1 mux + MXFF2 -> MXFF4"),
+            );
+        }
+        out
+    }
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+        let merged = self
+            .lib
+            .cell_at_level(&CellFunction::MuxDff { selects: 2 }, PowerLevel::Standard)
+            .ok_or(NetlistError::NoSuchComponent(m.site))?
+            .clone();
+        let nl = tx.netlist();
+        let word = m.choice; // which MXFF2 data pin the mux feeds
+        let a = nl.pin_net(m.site, "D0").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let b = nl.pin_net(m.site, "D1").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let t = nl.pin_net(m.site, "S0").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let mxff = m.aux[0];
+        let other = nl
+            .pin_net(mxff, &format!("D{}", 1 - word))
+            .ok_or(NetlistError::NoSuchComponent(mxff))?;
+        let s = nl.pin_net(mxff, "S0").ok_or(NetlistError::NoSuchComponent(mxff))?;
+        let clk = nl.pin_net(mxff, "CLK").ok_or(NetlistError::NoSuchComponent(mxff))?;
+        let q = nl.pin_net(mxff, "Q").ok_or(NetlistError::NoSuchComponent(mxff))?;
+        tx.remove_component(m.site)?;
+        tx.remove_component(mxff)?;
+        let c = tx.add_component(format!("mxff4_{}", m.site.index()), ComponentKind::Tech(merged));
+        // Result: S ? D1' : D0' where D{word}' = (T ? b : a), D{other}' = other.
+        // Encode as 4:1 with S0=T, S1=S.
+        let words: [NetId; 4] = if word == 0 {
+            [a, b, other, other] // S=0 -> T?b:a ; S=1 -> other
+        } else {
+            [other, other, a, b]
+        };
+        for (i, n) in words.iter().enumerate() {
+            tx.connect_named(c, &format!("D{i}"), *n)?;
+        }
+        tx.connect_named(c, "S0", t)?;
+        tx.connect_named(c, "S1", s)?;
+        tx.connect_named(c, "CLK", clk)?;
+        tx.connect_named(c, "Q", q)?;
+        Ok(())
+    }
+}
+
+/// Timing critic: replace a standard/low-power macro with its high-power,
+/// faster variant when the cell is on the critical path — strategy 2,
+/// "only applicable to ECL logic" (Fig. 9b, Fig. 17b analog).
+pub struct PowerUpCritical {
+    lib: TechLibrary,
+}
+
+impl PowerUpCritical {
+    /// Creates the rule bound to a library.
+    pub fn new(lib: TechLibrary) -> Self {
+        Self { lib }
+    }
+}
+
+impl Rule for PowerUpCritical {
+    fn name(&self) -> &'static str {
+        "power-up-critical-macro"
+    }
+    fn class(&self) -> RuleClass {
+        RuleClass::Timing
+    }
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        let Some(sta) = ctx.sta else { return Vec::new() };
+        let nl = ctx.nl;
+        let mut out = Vec::new();
+        for id in nl.component_ids() {
+            let Some(cell) = tech_cell_of(nl, id) else { continue };
+            if self.lib.faster_variant(&cell).is_none() {
+                continue;
+            }
+            if on_critical_path(nl, sta, id) {
+                out.push(RuleMatch::at(id).with_note(format!("{} -> high power", cell.name)));
+            }
+        }
+        out
+    }
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+        let cell = tech_cell_of(tx.netlist(), m.site)
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let faster = self
+            .lib
+            .faster_variant(&cell)
+            .ok_or(NetlistError::NoSuchComponent(m.site))?
+            .clone();
+        tx.change_kind(m.site, ComponentKind::Tech(faster))
+    }
+}
+
+/// Power critic: replace macros off the critical path with lower-power,
+/// slower variants (Fig. 17d analog).
+pub struct PowerDownSlack {
+    lib: TechLibrary,
+}
+
+impl PowerDownSlack {
+    /// Creates the rule bound to a library.
+    pub fn new(lib: TechLibrary) -> Self {
+        Self { lib }
+    }
+}
+
+impl Rule for PowerDownSlack {
+    fn name(&self) -> &'static str {
+        "power-down-slack-macro"
+    }
+    fn class(&self) -> RuleClass {
+        RuleClass::Power
+    }
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        let Some(sta) = ctx.sta else { return Vec::new() };
+        let nl = ctx.nl;
+        let mut out = Vec::new();
+        for id in nl.component_ids() {
+            let Some(cell) = tech_cell_of(nl, id) else { continue };
+            if self.lib.slower_variant(&cell).is_none() {
+                continue;
+            }
+            if !on_critical_path(nl, sta, id) {
+                out.push(RuleMatch::at(id).with_note(format!("{} -> low power", cell.name)));
+            }
+        }
+        out
+    }
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+        let cell = tech_cell_of(tx.netlist(), m.site)
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let slower = self
+            .lib
+            .slower_variant(&cell)
+            .ok_or(NetlistError::NoSuchComponent(m.site))?
+            .clone();
+        tx.change_kind(m.site, ComponentKind::Tech(slower))
+    }
+}
+
+/// Electric critic: insert a buffer on a net whose fanout exceeds the
+/// driving cell's limit (Fig. 17e analog; detection shared with
+/// [`milo_netlist::validate`]).
+pub struct FanoutRepair {
+    lib: TechLibrary,
+}
+
+impl FanoutRepair {
+    /// Creates the rule bound to a library.
+    pub fn new(lib: TechLibrary) -> Self {
+        Self { lib }
+    }
+}
+
+impl Rule for FanoutRepair {
+    fn name(&self) -> &'static str {
+        "fanout-repair"
+    }
+    fn class(&self) -> RuleClass {
+        RuleClass::Electric
+    }
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        let nl = ctx.nl;
+        let mut out = Vec::new();
+        for net in nl.net_ids() {
+            let Some(drv) = nl.driver(net) else { continue };
+            let Some(cell) = tech_cell_of(nl, drv.component) else { continue };
+            if nl.fanout(net) > cell.max_fanout as usize {
+                out.push(
+                    RuleMatch::at(drv.component)
+                        .with_pins(vec![drv])
+                        .with_note(format!("fanout {} > {}", nl.fanout(net), cell.max_fanout)),
+                );
+            }
+        }
+        out
+    }
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+        let buf = self
+            .lib
+            .buffer()
+            .ok_or(NetlistError::NoSuchComponent(m.site))?
+            .clone();
+        let nl = tx.netlist();
+        let drv = m.pins[0];
+        let net = nl
+            .component(drv.component)?
+            .pins
+            .get(drv.pin as usize)
+            .and_then(|p| p.net)
+            .ok_or(NetlistError::NoSuchPin(drv))?;
+        let cell = tech_cell_of(nl, drv.component).ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let limit = cell.max_fanout as usize;
+        let loads = nl.loads(net);
+        let moved: Vec<_> = loads.into_iter().skip(limit.saturating_sub(1)).collect();
+        let b = tx.add_component(format!("fo{}", m.site.index()), ComponentKind::Tech(buf));
+        tx.connect_named(b, "A0", net)?;
+        let out = tx.add_net(format!("fo{}_y", m.site.index()));
+        tx.connect_named(b, "Y", out)?;
+        for pin in moved {
+            tx.disconnect(pin)?;
+            tx.connect(pin, out)?;
+        }
+        Ok(())
+    }
+}
+
+/// Cleanup: dead combinational logic at the technology level.
+pub struct DeadCellRemoval;
+
+impl Rule for DeadCellRemoval {
+    fn name(&self) -> &'static str {
+        "dead-cell-removal"
+    }
+    fn class(&self) -> RuleClass {
+        RuleClass::Cleanup
+    }
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        let nl = ctx.nl;
+        let mut out = Vec::new();
+        for id in nl.component_ids() {
+            let Ok(comp) = nl.component(id) else { continue };
+            if comp.kind.is_sequential() {
+                continue;
+            }
+            let mut has_out = false;
+            let mut dead = true;
+            for p in &comp.pins {
+                if p.dir == PinDir::Out {
+                    has_out = true;
+                    if let Some(net) = p.net {
+                        if nl.fanout(net) > 0 || nl.ports().iter().any(|port| port.net == net) {
+                            dead = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if has_out && dead {
+                out.push(RuleMatch::at(id).with_note("dead cell"));
+            }
+        }
+        out
+    }
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+        tx.remove_component(m.site)
+    }
+}
+
+/// The logic-critic rule set (always-beneficial cleanups).
+pub fn logic_rules(lib: &TechLibrary) -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(InvPairElimination),
+        Box::new(BufferElimination),
+        Box::new(DuplicateGateMerge),
+        Box::new(MuxDffMerge::new(lib.clone())),
+        Box::new(MuxIntoMuxDff::new(lib.clone())),
+        Box::new(DeadCellRemoval),
+    ]
+}
+
+/// The full five-critic rule set.
+pub fn all_rules(lib: &TechLibrary) -> Vec<Box<dyn Rule>> {
+    let mut rules = logic_rules(lib);
+    rules.push(Box::new(PowerUpCritical::new(lib.clone())));
+    rules.push(Box::new(PowerDownSlack::new(lib.clone())));
+    rules.push(Box::new(FanoutRepair::new(lib.clone())));
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_compilers::verify::check_comb_equivalence;
+    use milo_rules::{Engine, Selection};
+    use milo_techmap::{cmos_library, ecl_library, map_netlist};
+    use milo_netlist::GenericMacro;
+
+    fn tech(nl: &Netlist, lib: &TechLibrary) -> Netlist {
+        map_netlist(nl, lib).unwrap()
+    }
+
+    #[test]
+    fn inv_pair_removed_and_equivalent() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let m1 = nl.add_net("m1");
+        let m2 = nl.add_net("m2");
+        let y = nl.add_net("y");
+        for (name, i, o) in [("i1", a, m1), ("i2", m1, m2), ("i3", m2, y)] {
+            let g = nl.add_component(name, ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+            nl.connect_named(g, "A0", i).unwrap();
+            nl.connect_named(g, "Y", o).unwrap();
+        }
+        nl.add_port("a", PinDir::In, a);
+        nl.add_port("y", PinDir::Out, y);
+        let lib = cmos_library();
+        let mut mapped = tech(&nl, &lib);
+        let golden = mapped.clone();
+        let mut engine = Engine::new(logic_rules(&lib));
+        let fired = engine.run(&mut mapped, Selection::OpsOrder, None, 50);
+        assert!(fired >= 1);
+        assert_eq!(mapped.component_count(), 1);
+        check_comb_equivalence(&golden, &mapped, 0).unwrap();
+    }
+
+    #[test]
+    fn duplicate_gates_merge() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let y1 = nl.add_net("y1");
+        let y2 = nl.add_net("y2");
+        let o1 = nl.add_net("o1");
+        for (name, out) in [("g1", y1), ("g2", y2)] {
+            let g = nl.add_component(name, ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)));
+            nl.connect_named(g, "A0", a).unwrap();
+            nl.connect_named(g, "A1", b).unwrap();
+            nl.connect_named(g, "Y", out).unwrap();
+        }
+        // y2 feeds an inverter so it is not port-bound.
+        let inv = nl.add_component("i", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        nl.connect_named(inv, "A0", y2).unwrap();
+        nl.connect_named(inv, "Y", o1).unwrap();
+        nl.add_port("a", PinDir::In, a);
+        nl.add_port("b", PinDir::In, b);
+        nl.add_port("y1", PinDir::Out, y1);
+        nl.add_port("o1", PinDir::Out, o1);
+        let lib = cmos_library();
+        let mut mapped = tech(&nl, &lib);
+        let golden = mapped.clone();
+        let mut engine = Engine::new(logic_rules(&lib));
+        engine.run(&mut mapped, Selection::OpsOrder, None, 50);
+        assert_eq!(mapped.component_count(), 2, "{mapped:?}");
+        check_comb_equivalence(&golden, &mapped, 0).unwrap();
+    }
+
+    #[test]
+    fn mux_dff_merges_fig18() {
+        let lib = ecl_library();
+        let mut nl = Netlist::new("t");
+        let mux_cell = lib.get("MUX2TO1").unwrap().clone();
+        let dff_cell = lib.get("DFF").unwrap().clone();
+        let m = nl.add_component("m", ComponentKind::Tech(mux_cell));
+        let f = nl.add_component("f", ComponentKind::Tech(dff_cell));
+        let d0 = nl.add_net("d0");
+        let d1 = nl.add_net("d1");
+        let s = nl.add_net("s");
+        let md = nl.add_net("md");
+        let clk = nl.add_net("clk");
+        let q = nl.add_net("q");
+        nl.connect_named(m, "D0", d0).unwrap();
+        nl.connect_named(m, "D1", d1).unwrap();
+        nl.connect_named(m, "S0", s).unwrap();
+        nl.connect_named(m, "Y", md).unwrap();
+        nl.connect_named(f, "D", md).unwrap();
+        nl.connect_named(f, "CLK", clk).unwrap();
+        nl.connect_named(f, "Q", q).unwrap();
+        for (n, net) in [("d0", d0), ("d1", d1), ("s", s), ("clk", clk)] {
+            nl.add_port(n, PinDir::In, net);
+        }
+        nl.add_port("q", PinDir::Out, q);
+
+        let golden = nl.clone();
+        let before = milo_timing::statistics(&nl).unwrap();
+        let mut engine = Engine::new(logic_rules(&lib));
+        let fired = engine.run(&mut nl, Selection::OpsOrder, None, 10);
+        assert!(fired >= 1);
+        assert_eq!(nl.component_count(), 1);
+        let after = milo_timing::statistics(&nl).unwrap();
+        assert!(after.area < before.area, "Fig. 18: merged macro is smaller");
+        milo_compilers::verify::check_seq_equivalence(&golden, &nl, 50, 5).unwrap();
+    }
+
+    #[test]
+    fn power_up_only_on_critical_path() {
+        let lib = ecl_library();
+        // Chain of 3 NOR2 (critical), plus one INV on a short path.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        nl.add_port("a", PinDir::In, a);
+        let mut prev = a;
+        for i in 0..3 {
+            let g = nl.add_component(
+                format!("n{i}"),
+                ComponentKind::Tech(lib.get("NOR2").unwrap().clone()),
+            );
+            nl.connect_named(g, "A0", prev).unwrap();
+            nl.connect_named(g, "A1", a).unwrap();
+            let y = nl.add_net(format!("y{i}"));
+            nl.connect_named(g, "Y", y).unwrap();
+            prev = y;
+        }
+        nl.add_port("y", PinDir::Out, prev);
+        let short = nl.add_component("s", ComponentKind::Tech(lib.get("INV").unwrap().clone()));
+        nl.connect_named(short, "A0", a).unwrap();
+        let z = nl.add_net("z");
+        nl.connect_named(short, "Y", z).unwrap();
+        nl.add_port("z", PinDir::Out, z);
+
+        let mut engine = Engine::new(vec![Box::new(PowerUpCritical::new(lib.clone())) as Box<dyn Rule>]);
+        let before = milo_timing::statistics(&nl).unwrap();
+        let fired = engine.run(&mut nl, Selection::MaxGain { delay: 1.0, area: 0.0, power: 0.01 }, None, 10);
+        assert!(fired >= 1);
+        let after = milo_timing::statistics(&nl).unwrap();
+        assert!(after.delay < before.delay);
+        assert!(after.power > before.power, "speed bought with power");
+        // The short-path inverter must still be standard power.
+        let ComponentKind::Tech(c) = &nl.component(short).unwrap().kind else { panic!() };
+        assert_eq!(c.level, PowerLevel::Standard);
+    }
+
+    #[test]
+    fn fanout_repair_via_engine() {
+        let lib = cmos_library();
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        nl.add_port("a", PinDir::In, a);
+        let drv = nl.add_component("d", ComponentKind::Tech(lib.get("INV").unwrap().clone()));
+        nl.connect_named(drv, "A0", a).unwrap();
+        let mid = nl.add_net("mid");
+        nl.connect_named(drv, "Y", mid).unwrap();
+        for i in 0..14 {
+            let g = nl.add_component(
+                format!("l{i}"),
+                ComponentKind::Tech(lib.get("BUF").unwrap().clone()),
+            );
+            nl.connect_named(g, "A0", mid).unwrap();
+            let y = nl.add_net(format!("o{i}"));
+            nl.connect_named(g, "Y", y).unwrap();
+            nl.add_port(format!("o{i}"), PinDir::Out, y);
+        }
+        let golden = nl.clone();
+        let mut engine = Engine::new(vec![Box::new(FanoutRepair::new(lib.clone())) as Box<dyn Rule>]);
+        let fired = engine.run(&mut nl, Selection::OpsOrder, None, 10);
+        assert!(fired >= 1);
+        let violations = milo_netlist::validate(&nl, true);
+        assert!(!violations
+            .iter()
+            .any(|v| matches!(v, milo_netlist::Violation::FanoutExceeded { .. })));
+        check_comb_equivalence(&golden, &nl, 64).unwrap();
+    }
+}

@@ -1,0 +1,414 @@
+//! The time-optimizer control flow of Fig. 8, and the overall
+//! time → area → power optimization order that SOCRATES popularized
+//! (§2.2.2: "rules are applied that optimize time … until all timing
+//! constraints are satisfied. Finally, area optimizations are made on
+//! noncritical paths").
+
+use crate::critics::{logic_rules, PowerDownSlack};
+use crate::strategies::{apply_strategy, StrategyCtx, StrategyId};
+use milo_netlist::{ComponentId, Netlist};
+use milo_rules::{Engine, HashRuleTable, LibraryRef, Rule, RuleCtx, Selection, Tx};
+use milo_techmap::TechLibrary;
+use milo_timing::{analyze, statistics, DesignStats};
+use std::collections::HashSet;
+
+/// One successful strategy application, for traces.
+#[derive(Clone, Debug)]
+pub struct StrategyFiring {
+    /// Which strategy fired.
+    pub strategy: StrategyId,
+    /// Where.
+    pub site: ComponentId,
+    /// Worst constraint violation (ns) before the application.
+    pub before: f64,
+    /// Worst constraint violation (ns) after.
+    pub after: f64,
+}
+
+/// Result of a timing-optimization run.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    /// Whether the constraint was met.
+    pub met: bool,
+    /// Worst delay at entry.
+    pub initial_delay: f64,
+    /// Worst delay at exit.
+    pub final_delay: f64,
+    /// Applied strategies in order.
+    pub applied: Vec<StrategyFiring>,
+}
+
+/// Chooses the strategy ordering from the slack magnitude (§4.1.3:
+/// "the control strategy can be changed depending on how far the critical
+/// path is from the timing constraints").
+pub fn strategy_order(deficit_ratio: f64) -> Vec<StrategyId> {
+    use StrategyId::*;
+    if deficit_ratio < 0.08 {
+        // "When the time difference is small, a local optimization can be
+        // attempted using some combination of strategies 1 - 4" — no-cost
+        // rules before tradeoff rules.
+        vec![S1PinSwap, S4BetterMacro, S2PowerUp, S3Factor, S5Duplicate]
+    } else if deficit_ratio < 0.25 {
+        // Moderate slack: strategy 4 "will be the first strategy examined
+        // for moderate gain", then 6.
+        vec![S4BetterMacro, S6BetterMacroCost, S3Factor, S2PowerUp, S5Duplicate, S1PinSwap]
+    } else {
+        // "When the time difference is great … the circuit can be
+        // minimized into a two level circuit using strategy 7"; strategy 8
+        // "will be examined for a large slack but … after less costly
+        // strategies".
+        vec![
+            S4BetterMacro,
+            S7Minimize,
+            S6BetterMacroCost,
+            S8ShannonMux,
+            S3Factor,
+            S2PowerUp,
+            S5Duplicate,
+            S1PinSwap,
+        ]
+    }
+}
+
+/// The Fig. 8 loop with a single global required time. See
+/// [`optimize_timing_paths`] for per-path constraints.
+pub fn optimize_timing(
+    nl: &mut Netlist,
+    lib: &TechLibrary,
+    hash: &HashRuleTable,
+    required: f64,
+    max_iters: usize,
+) -> TimingReport {
+    optimize_timing_paths(nl, lib, hash, &|_| Some(required), max_iters)
+}
+
+/// Worst violation (arrival − required) over constrained endpoints, and
+/// the nets of the endpoints within `margin` of that violation.
+fn violations(
+    sta: &milo_timing::Sta,
+    required_at: &dyn Fn(&milo_timing::Endpoint) -> Option<f64>,
+    margin: f64,
+) -> (f64, Vec<milo_netlist::NetId>) {
+    let mut worst = f64::MIN;
+    let mut per_endpoint: Vec<(f64, milo_netlist::NetId)> = Vec::new();
+    for (e, arrival, net) in sta.endpoints() {
+        let Some(r) = required_at(e) else { continue };
+        let v = arrival - r;
+        per_endpoint.push((v, *net));
+        worst = worst.max(v);
+    }
+    if per_endpoint.is_empty() {
+        return (f64::MIN, Vec::new());
+    }
+    let nets = per_endpoint
+        .into_iter()
+        .filter(|(v, _)| *v >= worst - margin)
+        .map(|(_, n)| n)
+        .collect();
+    (worst, nets)
+}
+
+/// The Fig. 8 loop: analyze → select critical path → select point of
+/// optimization → select strategy → select rule → evaluate → iterate.
+///
+/// `required_at` returns the required time per timing endpoint
+/// (per-path constraints, §6's "parameters for path delays"); `None`
+/// leaves an endpoint unconstrained. Criticality is measured by
+/// violation (arrival − required), so the "critical path … whose delay
+/// is furthest from the user's specifications" is selected first, exactly
+/// as §4 describes. Strategies whose measured result does not reduce the
+/// worst violation are undone via the change log.
+pub fn optimize_timing_paths(
+    nl: &mut Netlist,
+    lib: &TechLibrary,
+    hash: &HashRuleTable,
+    required_at: &dyn Fn(&milo_timing::Endpoint) -> Option<f64>,
+    max_iters: usize,
+) -> TimingReport {
+    let ctx = StrategyCtx { lib, hash };
+    let initial_delay = analyze(nl).map(|s| s.worst_delay()).unwrap_or(0.0);
+    let mut applied = Vec::new();
+    let mut exhausted: HashSet<(ComponentId, StrategyId)> = HashSet::new();
+    let mut blacklist: HashSet<ComponentId> = HashSet::new();
+
+    for _ in 0..max_iters {
+        let Ok(sta) = analyze(nl) else { break };
+        let worst_delay = sta.worst_delay();
+        let (violation, critical_nets) = violations(&sta, required_at, worst_delay * 0.02);
+        if violation <= 0.0 || critical_nets.is_empty() {
+            return TimingReport {
+                met: true,
+                initial_delay,
+                final_delay: analyze(nl).map(|s| s.worst_delay()).unwrap_or(0.0),
+                applied,
+            };
+        }
+        let deficit_ratio = violation / worst_delay.max(1e-9);
+        // Point of optimization (§4 criteria) over the violating paths,
+        // skipping blacklisted components.
+        let mut counts: std::collections::HashMap<ComponentId, usize> =
+            std::collections::HashMap::new();
+        for net in &critical_nets {
+            for c in sta.critical_path_components(nl, *net) {
+                if nl.component(c).is_ok_and(|x| !x.kind.is_sequential()) && !blacklist.contains(&c)
+                {
+                    *counts.entry(c).or_insert(0) += 1;
+                }
+            }
+        }
+        let point = counts
+            .into_iter()
+            .map(|(id, count)| {
+                let out_arrival = nl
+                    .component(id)
+                    .ok()
+                    .and_then(|c| {
+                        c.pins
+                            .iter()
+                            .find(|p| p.dir == milo_netlist::PinDir::Out)
+                            .and_then(|p| p.net)
+                            .map(|n| sta.arrival(n))
+                    })
+                    .unwrap_or(f64::MAX);
+                (id, count, out_arrival)
+            })
+            .max_by(|a, b| {
+                a.1.cmp(&b.1).then(b.2.partial_cmp(&a.2).expect("arrivals are not NaN"))
+            })
+            .map(|(id, _, _)| id);
+        let Some(site) = point else { break };
+        let mut progressed = false;
+        for strategy in strategy_order(deficit_ratio) {
+            if exhausted.contains(&(site, strategy)) {
+                continue;
+            }
+            exhausted.insert((site, strategy));
+            let Some(log) = apply_strategy(strategy, nl, site, &sta, &ctx) else { continue };
+            let new_violation = analyze(nl)
+                .map(|s| violations(&s, required_at, 0.0).0)
+                .unwrap_or(f64::MAX);
+            if new_violation < violation - 1e-9 {
+                applied.push(StrategyFiring {
+                    strategy,
+                    site,
+                    before: violation,
+                    after: new_violation,
+                });
+                progressed = true;
+                break;
+            }
+            // "If the cost of applying the rule is too great or the rule
+            // fails to achieve a sizeable gain, a new rule will be
+            // selected" — undo and try the next strategy.
+            log.undo(nl);
+        }
+        if !progressed {
+            // "If the strategy has exhausted all possible rules without
+            // solving the critical path, a new strategy will be selected"
+            // — and ultimately a new point.
+            blacklist.insert(site);
+        }
+    }
+    let final_delay = analyze(nl).map(|s| s.worst_delay()).unwrap_or(0.0);
+    let met = analyze(nl)
+        .map(|s| violations(&s, required_at, 0.0).0 <= 0.0)
+        .unwrap_or(false);
+    TimingReport { met, initial_delay, final_delay, applied }
+}
+
+/// Area pass: logic-critic cleanups plus power-down on slack paths, never
+/// letting the worst delay exceed `required`.
+pub fn optimize_area(
+    nl: &mut Netlist,
+    lib: &TechLibrary,
+    required: f64,
+    max_steps: usize,
+) -> usize {
+    optimize_area_paths(nl, lib, &|_| Some(required), max_steps)
+}
+
+/// Per-path variant of the area pass: applies area/power transformations
+/// everywhere they do not create or worsen a constraint violation
+/// ("area optimizations are made on noncritical paths, possibly at the
+/// expense of time").
+pub fn optimize_area_paths(
+    nl: &mut Netlist,
+    lib: &TechLibrary,
+    required_at: &dyn Fn(&milo_timing::Endpoint) -> Option<f64>,
+    max_steps: usize,
+) -> usize {
+    let allowed = |nl: &Netlist, baseline: f64| -> bool {
+        analyze(nl)
+            .map(|s| violations(&s, required_at, 0.0).0 <= baseline.max(0.0) + 1e-9)
+            .unwrap_or(false)
+    };
+    let baseline_violation = analyze(nl)
+        .map(|s| violations(&s, required_at, 0.0).0)
+        .unwrap_or(f64::MIN);
+    let mut fired_total = 0usize;
+    // Logic critic first: always-beneficial cleanups.
+    let mut engine = Engine::new(logic_rules(lib));
+    fired_total += engine.run(nl, Selection::OpsOrder, None, max_steps);
+    // Area critic: cone merges into smaller macros, guarded by the timing
+    // constraints.
+    let hash = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
+    let ctx = crate::strategies::StrategyCtx { lib, hash: &hash };
+    for _ in 0..max_steps {
+        let sites: Vec<_> = nl.component_ids().collect();
+        let mut fired = false;
+        for site in sites {
+            let Some(log) = crate::strategies::area_macro_merge(nl, site, &ctx) else { continue };
+            if allowed(nl, baseline_violation) {
+                fired = true;
+                fired_total += 1;
+                break;
+            }
+            log.undo(nl);
+        }
+        if !fired {
+            break;
+        }
+    }
+    // Re-run the cleanups the merges may have enabled.
+    fired_total += engine.run(nl, Selection::OpsOrder, None, max_steps);
+    // Power/area downsizing under the timing guard.
+    let rule = PowerDownSlack::new(lib.clone());
+    for _ in 0..max_steps {
+        let Ok(sta) = analyze(nl) else { break };
+        let candidates = rule.matches(&RuleCtx { nl, sta: Some(&sta) });
+        let mut fired = false;
+        for m in candidates {
+            let mut tx = Tx::new(nl);
+            if rule.apply(&mut tx, &m).is_err() {
+                continue;
+            }
+            let log = tx.commit();
+            if allowed(nl, baseline_violation) {
+                fired = true;
+                fired_total += 1;
+                break;
+            }
+            log.undo(nl);
+        }
+        if !fired {
+            break;
+        }
+    }
+    fired_total
+}
+
+/// Full optimization: timing until the constraint is met (or no progress),
+/// then area/power on the slack that remains — the SOCRATES phase order.
+pub fn optimize(
+    nl: &mut Netlist,
+    lib: &TechLibrary,
+    required: Option<f64>,
+    max_iters: usize,
+) -> (TimingReport, DesignStats) {
+    let hash = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
+    // With no explicit constraint, optimize area only (every path is
+    // "non-critical").
+    let required_time = required.unwrap_or(f64::INFINITY);
+    let report = if required.is_some() {
+        optimize_timing(nl, lib, &hash, required_time, max_iters)
+    } else {
+        let d = analyze(nl).map(|s| s.worst_delay()).unwrap_or(0.0);
+        TimingReport { met: true, initial_delay: d, final_delay: d, applied: Vec::new() }
+    };
+    optimize_area(nl, lib, required_time, max_iters);
+    let stats = statistics(nl).unwrap_or_default();
+    (report, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_compilers::verify::check_comb_equivalence;
+    use milo_netlist::{ComponentKind, PinDir};
+    use milo_techmap::{cmos_library, ecl_library};
+
+    /// A deliberately bad circuit: redundant cone + pessimal pin use.
+    fn sloppy_circuit(lib: &TechLibrary) -> Netlist {
+        let mut nl = Netlist::new("sloppy");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        for (n, net) in [("a", a), ("b", b), ("c", c)] {
+            nl.add_port(n, PinDir::In, net);
+        }
+        // (a & b) | (a & !b) | c  — reduces to a | c.
+        let nb = nl.add_net("nb");
+        let i1 = nl.add_component("i1", ComponentKind::Tech(lib.get("INV").unwrap().clone()));
+        nl.connect_named(i1, "A0", b).unwrap();
+        nl.connect_named(i1, "Y", nb).unwrap();
+        let t1 = nl.add_net("t1");
+        let g1 = nl.add_component("g1", ComponentKind::Tech(lib.get("AND2").unwrap().clone()));
+        nl.connect_named(g1, "A0", a).unwrap();
+        nl.connect_named(g1, "A1", b).unwrap();
+        nl.connect_named(g1, "Y", t1).unwrap();
+        let t2 = nl.add_net("t2");
+        let g2 = nl.add_component("g2", ComponentKind::Tech(lib.get("AND2").unwrap().clone()));
+        nl.connect_named(g2, "A0", a).unwrap();
+        nl.connect_named(g2, "A1", nb).unwrap();
+        nl.connect_named(g2, "Y", t2).unwrap();
+        let y = nl.add_net("y");
+        let g3 = nl.add_component("g3", ComponentKind::Tech(lib.get("OR3").unwrap().clone()));
+        nl.connect_named(g3, "A0", t1).unwrap();
+        nl.connect_named(g3, "A1", t2).unwrap();
+        nl.connect_named(g3, "A2", c).unwrap();
+        nl.connect_named(g3, "Y", y).unwrap();
+        nl.add_port("y", PinDir::Out, y);
+        nl
+    }
+
+    #[test]
+    fn timing_optimizer_improves_and_preserves() {
+        for lib in [cmos_library(), ecl_library()] {
+            let mut nl = sloppy_circuit(&lib);
+            let golden = nl.clone();
+            let before = analyze(&nl).unwrap().worst_delay();
+            let hash = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
+            let report = optimize_timing(&mut nl, &lib, &hash, before * 0.5, 40);
+            assert!(
+                report.final_delay < before,
+                "{}: {report:?}",
+                lib.name
+            );
+            assert!(!report.applied.is_empty());
+            check_comb_equivalence(&golden, &nl, 0).unwrap_or_else(|e| panic!("{}: {e}", lib.name));
+        }
+    }
+
+    #[test]
+    fn already_met_constraint_is_a_noop() {
+        let lib = cmos_library();
+        let mut nl = sloppy_circuit(&lib);
+        let hash = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
+        let report = optimize_timing(&mut nl, &lib, &hash, 1e9, 40);
+        assert!(report.met);
+        assert!(report.applied.is_empty());
+    }
+
+    #[test]
+    fn full_optimize_reduces_area_without_breaking_timing() {
+        let lib = ecl_library();
+        let mut nl = sloppy_circuit(&lib);
+        let golden = nl.clone();
+        let before = statistics(&nl).unwrap();
+        let (report, after) = optimize(&mut nl, &lib, Some(before.delay * 0.8), 60);
+        assert!(report.final_delay <= before.delay);
+        assert!(after.delay <= before.delay * 0.8 + 1e-9 || !report.met);
+        check_comb_equivalence(&golden, &nl, 0).unwrap();
+    }
+
+    #[test]
+    fn strategy_order_changes_with_deficit() {
+        let small = strategy_order(0.02);
+        let large = strategy_order(0.5);
+        assert_eq!(small[0], StrategyId::S1PinSwap);
+        assert!(small.len() < large.len());
+        assert!(large.contains(&StrategyId::S7Minimize));
+        assert!(large.contains(&StrategyId::S8ShannonMux));
+        assert!(!small.contains(&StrategyId::S7Minimize));
+    }
+}

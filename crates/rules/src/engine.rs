@@ -1,0 +1,481 @@
+//! The OPS-style rule engine: rule trait, conflict set, conflict
+//! resolution and the recognize–act cycle (§2.2.1).
+
+use crate::undo::{Tx, UndoLog};
+use milo_netlist::{ComponentId, Netlist, NetlistError, PinRef};
+use milo_timing::{analyze, statistics, DesignStats, Sta};
+use std::collections::HashSet;
+
+/// The rule classification of §6.4 (Fig. 17) plus the Logic Consultant's
+/// high-priority "clean up" class (§2.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RuleClass {
+    /// Always decreases both delay and area (the logic critic).
+    Logic,
+    /// Decreases delay at the expense of area/power (the timing critic).
+    Timing,
+    /// Decreases area at the expense of delay/power (the area critic).
+    Area,
+    /// Decreases power at the expense of delay (the power critic).
+    Power,
+    /// Spots and corrects electrical errors (the electric critic).
+    Electric,
+    /// High-priority clean-up rules, examined after regular applications.
+    Cleanup,
+    /// Microarchitecture-level rewrites (§6.3).
+    Micro,
+}
+
+/// A located rule application opportunity.
+#[derive(Clone, Debug)]
+pub struct RuleMatch {
+    /// Primary component the rule fires on.
+    pub site: ComponentId,
+    /// Other components involved.
+    pub aux: Vec<ComponentId>,
+    /// Pins involved (e.g. the pair to swap for strategy 1).
+    pub pins: Vec<PinRef>,
+    /// Rule-specific selector (e.g. index of the chosen replacement cell).
+    pub choice: usize,
+    /// Human-readable description for traces.
+    pub note: String,
+}
+
+impl RuleMatch {
+    /// A match on a single component.
+    pub fn at(site: ComponentId) -> Self {
+        Self { site, aux: Vec::new(), pins: Vec::new(), choice: 0, note: String::new() }
+    }
+
+    /// Builder: attach auxiliary components.
+    #[must_use]
+    pub fn with_aux(mut self, aux: Vec<ComponentId>) -> Self {
+        self.aux = aux;
+        self
+    }
+
+    /// Builder: attach pins.
+    #[must_use]
+    pub fn with_pins(mut self, pins: Vec<PinRef>) -> Self {
+        self.pins = pins;
+        self
+    }
+
+    /// Builder: attach a choice index.
+    #[must_use]
+    pub fn with_choice(mut self, choice: usize) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Builder: attach a note.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+
+    /// Specificity ≈ number of conditions — OPS conflict resolution
+    /// prefers more specific rules.
+    pub fn specificity(&self) -> usize {
+        1 + self.aux.len() + self.pins.len()
+    }
+
+    fn fingerprint(&self, rule_name: &str) -> (String, ComponentId, Vec<ComponentId>, usize) {
+        (rule_name.to_owned(), self.site, self.aux.clone(), self.choice)
+    }
+}
+
+/// Context handed to rules during matching.
+pub struct RuleCtx<'a> {
+    /// The design under optimization.
+    pub nl: &'a Netlist,
+    /// Current timing analysis, when the caller has one.
+    pub sta: Option<&'a Sta>,
+}
+
+/// A transformation rule.
+pub trait Rule {
+    /// Unique rule name.
+    fn name(&self) -> &'static str;
+    /// Classification (which critic owns it).
+    fn class(&self) -> RuleClass;
+    /// Finds all applicable sites.
+    fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch>;
+    /// Applies the rule at a match, inside a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Netlist manipulation errors abort (and the engine undoes) the
+    /// application.
+    fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError>;
+}
+
+/// Measured effect of one rule application.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Effect {
+    /// Reduction in worst delay (positive = faster).
+    pub delay_gain: f64,
+    /// Increase in area (negative = smaller).
+    pub area_cost: f64,
+    /// Increase in power (negative = less power).
+    pub power_cost: f64,
+}
+
+impl Effect {
+    /// Computes the effect between two statistics snapshots.
+    pub fn between(before: &DesignStats, after: &DesignStats) -> Self {
+        Self {
+            delay_gain: before.delay - after.delay,
+            area_cost: after.area - before.area,
+            power_cost: after.power - before.power,
+        }
+    }
+
+    /// Scalar figure of merit under objective weights (bigger = better).
+    pub fn merit(&self, delay_weight: f64, area_weight: f64, power_weight: f64) -> f64 {
+        self.delay_gain * delay_weight - self.area_cost * area_weight
+            - self.power_cost * power_weight
+    }
+}
+
+/// How the conflict set is resolved.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Selection {
+    /// OPS ordering: refraction, then specificity, then recency
+    /// (§2.2.1) — no gain evaluation.
+    OpsOrder,
+    /// Logic Consultant style: evaluate every candidate and fire the one
+    /// with the largest gain under the given objective weights.
+    MaxGain {
+        /// Weight of delay improvement.
+        delay: f64,
+        /// Weight of area increase (cost).
+        area: f64,
+        /// Weight of power increase (cost).
+        power: f64,
+    },
+}
+
+/// One fired rule, for traces and reports.
+#[derive(Clone, Debug)]
+pub struct Firing {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Rule class.
+    pub class: RuleClass,
+    /// The match description.
+    pub note: String,
+    /// Measured effect.
+    pub effect: Effect,
+}
+
+/// The recognize–act engine.
+pub struct Engine {
+    rules: Vec<Box<dyn Rule>>,
+    refraction: HashSet<(String, ComponentId, Vec<ComponentId>, usize)>,
+    /// Trace of fired rules.
+    pub firings: Vec<Firing>,
+}
+
+impl Engine {
+    /// Creates an engine over a rule set.
+    pub fn new(rules: Vec<Box<dyn Rule>>) -> Self {
+        Self { rules, refraction: HashSet::new(), firings: Vec::new() }
+    }
+
+    /// The rules, for inspection.
+    pub fn rules(&self) -> &[Box<dyn Rule>] {
+        &self.rules
+    }
+
+    /// Clears refraction memory (e.g. between optimization phases).
+    pub fn reset_refraction(&mut self) {
+        self.refraction.clear();
+    }
+
+    /// Builds the conflict set: all (rule, match) pairs, refraction
+    /// filtered, optionally restricted to one class.
+    pub fn conflict_set(
+        &self,
+        nl: &Netlist,
+        sta: Option<&Sta>,
+        class: Option<RuleClass>,
+    ) -> Vec<(usize, RuleMatch)> {
+        let ctx = RuleCtx { nl, sta };
+        let mut out = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            if class.is_some_and(|c| rule.class() != c) {
+                continue;
+            }
+            for m in rule.matches(&ctx) {
+                if !self.refraction.contains(&m.fingerprint(rule.name())) {
+                    out.push((i, m));
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies `(rule, match)` and measures the effect; on failure the
+    /// change is undone and `None` returned.
+    pub fn try_apply(&self, nl: &mut Netlist, rule_idx: usize, m: &RuleMatch) -> Option<(Effect, UndoLog)> {
+        let before = statistics(nl).ok()?;
+        let mut tx = Tx::new(nl);
+        let result = self.rules[rule_idx].apply(&mut tx, m);
+        let log = tx.commit();
+        match result {
+            Ok(()) => match statistics(nl) {
+                Ok(after) => Some((Effect::between(&before, &after), log)),
+                Err(_) => {
+                    log.undo(nl);
+                    None
+                }
+            },
+            Err(_) => {
+                log.undo(nl);
+                None
+            }
+        }
+    }
+
+    /// One recognize–act cycle: build the conflict set, pick a rule per
+    /// `selection`, fire it. Returns `false` when nothing fired.
+    pub fn step(
+        &mut self,
+        nl: &mut Netlist,
+        selection: Selection,
+        class: Option<RuleClass>,
+    ) -> bool {
+        let sta = analyze(nl).ok();
+        let conflict = self.conflict_set(nl, sta.as_ref(), class);
+        if conflict.is_empty() {
+            return false;
+        }
+        match selection {
+            Selection::OpsOrder => {
+                // Refraction is already applied; prefer specificity, then
+                // recency (later matches first).
+                let mut ordered: Vec<&(usize, RuleMatch)> = conflict.iter().collect();
+                ordered.sort_by_key(|(_, m)| std::cmp::Reverse(m.specificity()));
+                for (idx, m) in ordered {
+                    if let Some((effect, _log)) = self.try_apply(nl, *idx, m) {
+                        self.record(*idx, m, effect);
+                        return true;
+                    }
+                }
+                false
+            }
+            Selection::MaxGain { delay, area, power } => {
+                // Evaluate each candidate by applying + undoing, fire the
+                // best positive-merit one.
+                let mut best: Option<(f64, usize, RuleMatch)> = None;
+                for (idx, m) in &conflict {
+                    if let Some((effect, log)) = self.try_apply(nl, *idx, m) {
+                        log.undo(nl);
+                        let merit = effect.merit(delay, area, power);
+                        if merit > 1e-9 && best.as_ref().map_or(true, |(b, _, _)| merit > *b) {
+                            best = Some((merit, *idx, m.clone()));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, idx, m)) => {
+                        if let Some((effect, _log)) = self.try_apply(nl, idx, &m) {
+                            self.record(idx, &m, effect);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, rule_idx: usize, m: &RuleMatch, effect: Effect) {
+        let rule = &self.rules[rule_idx];
+        self.refraction.insert(m.fingerprint(rule.name()));
+        self.firings.push(Firing {
+            rule: rule.name(),
+            class: rule.class(),
+            note: m.note.clone(),
+            effect,
+        });
+    }
+
+    /// One *sweep*: builds the conflict set once and applies every match
+    /// whose components are still untouched in this pass. This amortizes
+    /// matching the way Rete does for OPS (§2.2.1: "once a test has been
+    /// performed … it is not redone until a change in data occurs") and
+    /// keeps local-transformation synthesis time near-linear in design
+    /// size — the LSS observation of §2.2.2.
+    pub fn sweep(&mut self, nl: &mut Netlist, class: Option<RuleClass>) -> usize {
+        let sta = analyze(nl).ok();
+        let conflict = self.conflict_set(nl, sta.as_ref(), class);
+        let mut touched: HashSet<ComponentId> = HashSet::new();
+        let mut fired = 0usize;
+        for (idx, m) in conflict {
+            if touched.contains(&m.site) || m.aux.iter().any(|a| touched.contains(a)) {
+                continue;
+            }
+            // Apply without per-candidate statistics measurement — sweep
+            // mode is for always-beneficial local transformations, and the
+            // O(design) cost of measuring every firing would defeat the
+            // linearity the mode exists to provide.
+            let mut tx = Tx::new(nl);
+            let result = self.rules[idx].apply(&mut tx, &m);
+            let log = tx.commit();
+            match result {
+                Ok(()) => {
+                    touched.insert(m.site);
+                    touched.extend(m.aux.iter().copied());
+                    self.record(idx, &m, Effect::default());
+                    fired += 1;
+                }
+                Err(_) => log.undo(nl),
+            }
+        }
+        fired
+    }
+
+    /// Repeats [`Engine::sweep`] until quiescence or `max_passes`.
+    pub fn run_sweeps(
+        &mut self,
+        nl: &mut Netlist,
+        class: Option<RuleClass>,
+        max_passes: usize,
+    ) -> usize {
+        let mut total = 0;
+        for _ in 0..max_passes {
+            let fired = self.sweep(nl, class);
+            if fired == 0 {
+                break;
+            }
+            total += fired;
+        }
+        total
+    }
+
+    /// Runs recognize–act cycles until quiescence or `max_steps`.
+    /// Returns the number of rules fired.
+    pub fn run(
+        &mut self,
+        nl: &mut Netlist,
+        selection: Selection,
+        class: Option<RuleClass>,
+        max_steps: usize,
+    ) -> usize {
+        let mut fired = 0;
+        while fired < max_steps && self.step(nl, selection, class) {
+            fired += 1;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::{ComponentKind, GateFn, GenericMacro, PinDir};
+
+    /// Toy rule: remove double inverters (INV feeding INV with fanout 1).
+    struct DoubleInv;
+
+    impl Rule for DoubleInv {
+        fn name(&self) -> &'static str {
+            "double-inverter-elimination"
+        }
+        fn class(&self) -> RuleClass {
+            RuleClass::Logic
+        }
+        fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+            let nl = ctx.nl;
+            let mut out = Vec::new();
+            for id in nl.component_ids() {
+                let Ok(c) = nl.component(id) else { continue };
+                if !matches!(c.kind, ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))) {
+                    continue;
+                }
+                let Some(y) = nl.pin_net(id, "Y") else { continue };
+                if nl.fanout(y) != 1 {
+                    continue;
+                }
+                let Some(load) = nl.loads(y).first().copied() else { continue };
+                let Ok(next) = nl.component(load.component) else { continue };
+                if matches!(next.kind, ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))) {
+                    out.push(RuleMatch::at(id).with_aux(vec![load.component]));
+                }
+            }
+            out
+        }
+        fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+            let nl = tx.netlist();
+            let input = nl.pin_net(m.site, "A0").expect("matched");
+            let second = m.aux[0];
+            let out = nl.pin_net(second, "Y").expect("matched");
+            tx.remove_component(m.site)?;
+            tx.remove_component(second)?;
+            tx.move_loads(out, input)?;
+            Ok(())
+        }
+    }
+
+    fn inv_chain(n: usize) -> Netlist {
+        let mut nl = Netlist::new("c");
+        let mut prev = nl.add_net("a");
+        nl.add_port("a", PinDir::In, prev);
+        for i in 0..n {
+            let g = nl.add_component(
+                format!("g{i}"),
+                ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+            );
+            nl.connect_named(g, "A0", prev).unwrap();
+            let y = nl.add_net(format!("n{i}"));
+            nl.connect_named(g, "Y", y).unwrap();
+            prev = y;
+        }
+        nl.add_port("y", PinDir::Out, prev);
+        nl
+    }
+
+    #[test]
+    fn engine_removes_inverter_pairs() {
+        let mut nl = inv_chain(5);
+        let mut engine = Engine::new(vec![Box::new(DoubleInv)]);
+        let fired = engine.run(&mut nl, Selection::OpsOrder, None, 100);
+        assert_eq!(fired, 2, "two pairs removed from a 5-chain");
+        assert_eq!(nl.component_count(), 1);
+    }
+
+    #[test]
+    fn max_gain_selection_fires_too() {
+        let mut nl = inv_chain(4);
+        let mut engine = Engine::new(vec![Box::new(DoubleInv)]);
+        let fired = engine.run(
+            &mut nl,
+            Selection::MaxGain { delay: 1.0, area: 1.0, power: 0.1 },
+            None,
+            100,
+        );
+        assert_eq!(fired, 2);
+        assert_eq!(nl.component_count(), 0);
+        assert!(engine.firings.iter().all(|f| f.effect.area_cost < 0.0));
+    }
+
+    #[test]
+    fn class_filter_blocks_rules() {
+        let mut nl = inv_chain(2);
+        let mut engine = Engine::new(vec![Box::new(DoubleInv)]);
+        let fired = engine.run(&mut nl, Selection::OpsOrder, Some(RuleClass::Timing), 100);
+        assert_eq!(fired, 0);
+    }
+
+    #[test]
+    fn effect_merit() {
+        let e = Effect { delay_gain: 2.0, area_cost: 1.0, power_cost: 0.5 };
+        assert!(e.merit(1.0, 0.1, 0.1) > 0.0);
+        assert!(e.merit(0.0, 1.0, 1.0) < 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # milo-rules
+//!
+//! The expert-system machinery of the MILO reproduction (§2.2):
+//!
+//! * [`Rule`] / [`Engine`] — an OPS-style recognize–act cycle with
+//!   conflict-set construction, refraction, specificity ordering and
+//!   Logic-Consultant-style maximum-gain selection (§2.2.1);
+//! * [`Tx`] / [`UndoLog`] — transactional netlist mutation with the change
+//!   log SOCRATES uses for backtracking (§2.2.2);
+//! * [`lookahead_optimize`] — the SOCRATES search tree with the metarule
+//!   parameters B, Dmax, Dapp, N and Δcost, plus dynamic metarules;
+//! * [`HashRuleTable`] — the 32-bit truth-table hash rules of strategy 4
+//!   (Fig. 10), with cone extraction ([`extract_cone`]).
+
+#![warn(missing_docs)]
+
+mod engine;
+mod hashrules;
+mod search;
+mod undo;
+
+pub use engine::{Effect, Engine, Firing, Rule, RuleClass, RuleCtx, RuleMatch, Selection};
+pub use hashrules::{cell_truth_table, extract_cone, HashEntry, HashRuleTable, LibraryRef};
+pub use search::{
+    component_distances, greedy_optimize, lookahead_optimize, MetaParams, SearchStats,
+};
+pub use undo::{Tx, UndoLog};

@@ -1,0 +1,44 @@
+//! # milo-timing
+//!
+//! Timing analysis and design statistics for the MILO reproduction:
+//!
+//! * [`analyze`] — static timing analysis with critical-path
+//!   reconstruction and the §4 point-of-optimization criteria
+//!   ([`point_of_optimization`]);
+//! * [`statistics`] — the Fig. 11 statistics generator (area, power,
+//!   delay, cell count) feeding the microarchitecture critic;
+//! * [`model`] — delay/area/power models for generic macros, technology
+//!   cells, and the §5 parameterized estimator for microarchitecture
+//!   components.
+//!
+//! # Examples
+//!
+//! ```
+//! use milo_netlist::{ComponentKind, GateFn, GenericMacro, Netlist, PinDir};
+//! use milo_timing::{analyze, statistics};
+//!
+//! let mut nl = Netlist::new("inv");
+//! let a = nl.add_net("a");
+//! let y = nl.add_net("y");
+//! let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+//! nl.connect_named(g, "A0", a)?;
+//! nl.connect_named(g, "Y", y)?;
+//! nl.add_port("a", PinDir::In, a);
+//! nl.add_port("y", PinDir::Out, y);
+//!
+//! let sta = analyze(&nl)?;
+//! assert!(sta.worst_delay() > 0.0);
+//! let stats = statistics(&nl)?;
+//! assert_eq!(stats.cells, 1);
+//! # Ok::<(), milo_netlist::NetlistError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+mod sta;
+mod stats;
+
+pub use model::{estimate_generic, estimate_kind, estimate_micro, Estimate};
+pub use sta::{analyze, on_critical_path, point_of_optimization, Endpoint, Sta};
+pub use stats::{gate_equivalents, statistics, DesignStats};

@@ -1,0 +1,405 @@
+//! Static timing analysis: arrival times, critical paths, slacks and the
+//! point-of-optimization selection criteria of §4.
+
+use crate::model::{input_pin_delay, load_delay};
+use milo_netlist::{ComponentId, NetId, Netlist, NetlistError, PinDir, PinRef};
+use std::collections::HashMap;
+
+/// A timing endpoint: where a path terminates.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Endpoint {
+    /// A primary output port, by name.
+    Port(String),
+    /// An input pin of a sequential element.
+    SeqInput(PinRef),
+}
+
+/// Result of a timing run.
+#[derive(Clone, Debug)]
+pub struct Sta {
+    arrival: HashMap<NetId, f64>,
+    /// The driving pin whose input determined each net's arrival.
+    pred: HashMap<NetId, PinRef>,
+    endpoints: Vec<(Endpoint, f64, NetId)>,
+}
+
+/// Runs static timing analysis.
+///
+/// Launch points (arrival 0): input-port nets and sequential-element
+/// outputs. Capture points: output ports and sequential-element inputs.
+/// Component delays come from [`crate::model`]; each output additionally
+/// pays `load_delay × fanout`.
+///
+/// # Errors
+///
+/// Propagates topological-order failures (combinational cycles).
+pub fn analyze(nl: &Netlist) -> Result<Sta, NetlistError> {
+    let mut arrival: HashMap<NetId, f64> = HashMap::new();
+    let mut pred: HashMap<NetId, PinRef> = HashMap::new();
+    for p in nl.ports() {
+        if p.dir == PinDir::In {
+            arrival.insert(p.net, 0.0);
+        }
+    }
+    let order = nl.topo_order()?;
+    for id in &order {
+        let comp = nl.component(*id)?;
+        if comp.kind.is_sequential() {
+            for (pin_idx, pin) in comp.pins.iter().enumerate() {
+                if pin.dir == PinDir::Out {
+                    if let Some(net) = pin.net {
+                        arrival.insert(net, 0.0);
+                        pred.insert(net, PinRef::new(*id, pin_idx as u16));
+                    }
+                }
+            }
+        }
+    }
+    for id in &order {
+        let comp = nl.component(*id)?;
+        if comp.kind.is_sequential() {
+            continue;
+        }
+        // Worst input arrival + per-pin delay.
+        let mut worst: Option<(f64, PinRef)> = None;
+        let mut input_index = 0usize;
+        for (pin_idx, pin) in comp.pins.iter().enumerate() {
+            if pin.dir != PinDir::In {
+                continue;
+            }
+            let a = pin
+                .net
+                .and_then(|n| arrival.get(&n).copied())
+                .unwrap_or(0.0)
+                + input_pin_delay(&comp.kind, input_index);
+            input_index += 1;
+            if worst.map_or(true, |(w, _)| a > w) {
+                worst = Some((a, PinRef::new(*id, pin_idx as u16)));
+            }
+        }
+        let (base, through) = worst.unwrap_or((
+            0.0,
+            PinRef::new(*id, 0), // source-like component (constants)
+        ));
+        for (pin_idx, pin) in comp.pins.iter().enumerate() {
+            if pin.dir != PinDir::Out {
+                continue;
+            }
+            if let Some(net) = pin.net {
+                let a = base + load_delay(&comp.kind) * nl.fanout(net) as f64;
+                let entry = arrival.entry(net).or_insert(f64::MIN);
+                if a > *entry {
+                    *entry = a;
+                    let _ = pin_idx;
+                    pred.insert(net, through);
+                }
+            }
+        }
+    }
+    // Endpoints.
+    let mut endpoints = Vec::new();
+    for p in nl.ports() {
+        if p.dir == PinDir::Out {
+            let a = arrival.get(&p.net).copied().unwrap_or(0.0);
+            endpoints.push((Endpoint::Port(p.name.clone()), a, p.net));
+        }
+    }
+    for id in nl.component_ids() {
+        let comp = nl.component(id)?;
+        if !comp.kind.is_sequential() {
+            continue;
+        }
+        for (pin_idx, pin) in comp.pins.iter().enumerate() {
+            if pin.dir == PinDir::In {
+                if let Some(net) = pin.net {
+                    let a = arrival.get(&net).copied().unwrap_or(0.0);
+                    endpoints.push((Endpoint::SeqInput(PinRef::new(id, pin_idx as u16)), a, net));
+                }
+            }
+        }
+    }
+    Ok(Sta { arrival, pred, endpoints })
+}
+
+impl Sta {
+    /// Arrival time at a net (0 if unknown).
+    pub fn arrival(&self, net: NetId) -> f64 {
+        self.arrival.get(&net).copied().unwrap_or(0.0)
+    }
+
+    /// All endpoints with their arrival times.
+    pub fn endpoints(&self) -> &[(Endpoint, f64, NetId)] {
+        &self.endpoints
+    }
+
+    /// The worst (latest) endpoint.
+    pub fn worst(&self) -> Option<(&Endpoint, f64)> {
+        self.endpoints
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("arrivals are not NaN"))
+            .map(|(e, a, _)| (e, *a))
+    }
+
+    /// Worst combinational delay of the design (0 for empty designs).
+    pub fn worst_delay(&self) -> f64 {
+        self.worst().map_or(0.0, |(_, a)| a)
+    }
+
+    /// Reconstructs the component chain of the worst path into `endpoint`
+    /// (from launch to capture).
+    pub fn critical_path_components(&self, nl: &Netlist, end_net: NetId) -> Vec<ComponentId> {
+        let mut out = Vec::new();
+        let mut net = end_net;
+        let mut guard = 0usize;
+        while let Some(pin) = self.pred.get(&net) {
+            guard += 1;
+            if guard > nl.component_count() + 2 {
+                break;
+            }
+            let Ok(comp) = nl.component(pin.component) else { break };
+            out.push(pin.component);
+            if comp.kind.is_sequential() {
+                break; // reached a launch point
+            }
+            // Continue from the net feeding the recorded input pin.
+            match comp.pins.get(pin.pin as usize).and_then(|p| p.net) {
+                Some(prev) if prev != net => net = prev,
+                _ => break,
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Endpoints within `margin` of the worst arrival — the critical-path
+    /// set of Fig. 8.
+    pub fn critical_endpoints(&self, margin: f64) -> Vec<(&Endpoint, f64, NetId)> {
+        let worst = self.worst_delay();
+        self.endpoints
+            .iter()
+            .filter(|(_, a, _)| *a >= worst - margin)
+            .map(|(e, a, n)| (e, *a, *n))
+            .collect()
+    }
+
+    /// Required-time map given per-endpoint required times; nets not on any
+    /// constrained cone get `f64::INFINITY`.
+    pub fn required_times(
+        &self,
+        nl: &Netlist,
+        required_at: impl Fn(&Endpoint) -> Option<f64>,
+    ) -> HashMap<NetId, f64> {
+        let mut required: HashMap<NetId, f64> = HashMap::new();
+        for (e, _, net) in &self.endpoints {
+            if let Some(r) = required_at(e) {
+                let entry = required.entry(*net).or_insert(f64::INFINITY);
+                *entry = entry.min(r);
+            }
+        }
+        // Backward propagation over the reversed topological order.
+        let Ok(order) = nl.topo_order() else { return required };
+        for id in order.iter().rev() {
+            let Ok(comp) = nl.component(*id) else { continue };
+            if comp.kind.is_sequential() {
+                continue;
+            }
+            // Required at the component's output nets.
+            let mut out_req = f64::INFINITY;
+            for pin in &comp.pins {
+                if pin.dir == PinDir::Out {
+                    if let Some(net) = pin.net {
+                        out_req = out_req
+                            .min(required.get(&net).copied().unwrap_or(f64::INFINITY));
+                    }
+                }
+            }
+            if out_req == f64::INFINITY {
+                continue;
+            }
+            let mut input_index = 0usize;
+            for pin in &comp.pins {
+                if pin.dir != PinDir::In {
+                    continue;
+                }
+                let d = input_pin_delay(&comp.kind, input_index);
+                input_index += 1;
+                if let Some(net) = pin.net {
+                    let load = load_delay(&comp.kind) * nl.fanout(net) as f64;
+                    let r = out_req - d - load;
+                    let entry = required.entry(net).or_insert(f64::INFINITY);
+                    *entry = entry.min(r);
+                }
+            }
+        }
+        required
+    }
+
+    /// Slack of a net under a required-time map.
+    pub fn slack(&self, net: NetId, required: &HashMap<NetId, f64>) -> f64 {
+        required.get(&net).copied().unwrap_or(f64::INFINITY) - self.arrival(net)
+    }
+}
+
+/// Selects the point of optimization per §4: "the component which the most
+/// critical paths pass through", ties broken by "the component … closest
+/// to an external input".
+pub fn point_of_optimization(
+    nl: &Netlist,
+    sta: &Sta,
+    margin: f64,
+) -> Option<ComponentId> {
+    let mut counts: HashMap<ComponentId, usize> = HashMap::new();
+    for (_, _, net) in sta.critical_endpoints(margin) {
+        for comp in sta.critical_path_components(nl, net) {
+            if nl.component(comp).is_ok_and(|c| !c.kind.is_sequential()) {
+                *counts.entry(comp).or_insert(0) += 1;
+            }
+        }
+    }
+    // Criterion 1: max path count. Criterion 2: earliest output arrival
+    // (closest to an external input).
+    counts
+        .into_iter()
+        .map(|(id, count)| {
+            let out_arrival = nl
+                .component(id)
+                .ok()
+                .and_then(|c| {
+                    c.pins
+                        .iter()
+                        .find(|p| p.dir == PinDir::Out)
+                        .and_then(|p| p.net)
+                        .map(|n| sta.arrival(n))
+                })
+                .unwrap_or(f64::MAX);
+            (id, count, out_arrival)
+        })
+        .max_by(|a, b| {
+            a.1.cmp(&b.1)
+                .then(b.2.partial_cmp(&a.2).expect("arrivals are not NaN"))
+        })
+        .map(|(id, _, _)| id)
+}
+
+/// True when the component lies on the worst critical path.
+pub fn on_critical_path(nl: &Netlist, sta: &Sta, id: ComponentId) -> bool {
+    let Some((_, _)) = sta.worst() else { return false };
+    let worst_net = sta
+        .endpoints()
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("not NaN"))
+        .map(|(_, _, n)| *n);
+    match worst_net {
+        Some(n) => sta.critical_path_components(nl, n).contains(&id),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::{ComponentKind, GateFn, GenericMacro, Netlist};
+
+    /// in -> INV -> INV -> out, plus a short side branch.
+    fn chain() -> (Netlist, ComponentId, ComponentId, ComponentId) {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_net("a");
+        let m = nl.add_net("m");
+        let y = nl.add_net("y");
+        let z = nl.add_net("z");
+        let g1 = nl.add_component("g1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g2 = nl.add_component("g2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g3 = nl.add_component("g3", ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)));
+        nl.connect_named(g1, "A0", a).unwrap();
+        nl.connect_named(g1, "Y", m).unwrap();
+        nl.connect_named(g2, "A0", m).unwrap();
+        nl.connect_named(g2, "Y", y).unwrap();
+        nl.connect_named(g3, "A0", a).unwrap();
+        nl.connect_named(g3, "Y", z).unwrap();
+        nl.add_port("a", PinDir::In, a);
+        nl.add_port("y", PinDir::Out, y);
+        nl.add_port("z", PinDir::Out, z);
+        (nl, g1, g2, g3)
+    }
+
+    #[test]
+    fn chain_has_two_gate_path() {
+        let (nl, g1, g2, _) = chain();
+        let sta = analyze(&nl).unwrap();
+        let (e, a) = sta.worst().unwrap();
+        assert_eq!(*e, Endpoint::Port("y".into()));
+        assert!(a > 0.0);
+        let worst_net = nl.port("y").unwrap().net;
+        let path = sta.critical_path_components(&nl, worst_net);
+        assert_eq!(path, vec![g1, g2]);
+    }
+
+    #[test]
+    fn point_of_optimization_picks_shared_component() {
+        // Two outputs sharing g1: g1 is on both critical paths.
+        let mut nl = Netlist::new("c");
+        let a = nl.add_net("a");
+        let m = nl.add_net("m");
+        let y1 = nl.add_net("y1");
+        let y2 = nl.add_net("y2");
+        let g1 = nl.add_component("g1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g2 = nl.add_component("g2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g3 = nl.add_component("g3", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        nl.connect_named(g1, "A0", a).unwrap();
+        nl.connect_named(g1, "Y", m).unwrap();
+        nl.connect_named(g2, "A0", m).unwrap();
+        nl.connect_named(g2, "Y", y1).unwrap();
+        nl.connect_named(g3, "A0", m).unwrap();
+        nl.connect_named(g3, "Y", y2).unwrap();
+        nl.add_port("a", PinDir::In, a);
+        nl.add_port("y1", PinDir::Out, y1);
+        nl.add_port("y2", PinDir::Out, y2);
+        let sta = analyze(&nl).unwrap();
+        assert_eq!(point_of_optimization(&nl, &sta, 0.01), Some(g1));
+    }
+
+    #[test]
+    fn sequential_cuts_paths() {
+        let mut nl = Netlist::new("s");
+        let d = nl.add_net("d");
+        let q = nl.add_net("q");
+        let y = nl.add_net("y");
+        let clk = nl.add_net("clk");
+        let ff = nl.add_component(
+            "ff",
+            ComponentKind::Generic(GenericMacro::Dff { set: false, reset: false, enable: false }),
+        );
+        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        nl.connect_named(ff, "D", d).unwrap();
+        nl.connect_named(ff, "CLK", clk).unwrap();
+        nl.connect_named(ff, "Q", q).unwrap();
+        nl.connect_named(g, "A0", q).unwrap();
+        nl.connect_named(g, "Y", y).unwrap();
+        nl.add_port("d", PinDir::In, d);
+        nl.add_port("clk", PinDir::In, clk);
+        nl.add_port("y", PinDir::Out, y);
+        let sta = analyze(&nl).unwrap();
+        // Endpoints: port y, plus the DFF's D and CLK inputs.
+        assert_eq!(sta.endpoints().len(), 3);
+        // Path to y starts at the DFF output (arrival 0) + one inverter.
+        let y_net = nl.port("y").unwrap().net;
+        assert!(sta.arrival(y_net) > 0.0);
+        assert!(sta.arrival(y_net) < 1.0);
+    }
+
+    #[test]
+    fn required_and_slack() {
+        let (nl, _, _, _) = chain();
+        let sta = analyze(&nl).unwrap();
+        let req = sta.required_times(&nl, |e| match e {
+            Endpoint::Port(p) if p == "y" => Some(10.0),
+            _ => None,
+        });
+        let y_net = nl.port("y").unwrap().net;
+        let slack = sta.slack(y_net, &req);
+        assert!(slack > 0.0 && slack < 10.0);
+        // Unconstrained output has infinite slack.
+        let z_net = nl.port("z").unwrap().net;
+        assert_eq!(sta.slack(z_net, &req), f64::INFINITY);
+    }
+}

@@ -1,0 +1,167 @@
+//! The statistics generator of Fig. 11: area / power / delay / size
+//! numbers for a design, used by the microarchitecture critic's feedback
+//! loop and by every report in the bench harness.
+
+use crate::model::estimate_kind;
+use crate::sta::analyze;
+use milo_netlist::{ComponentKind, Netlist, NetlistError};
+
+/// Aggregate statistics of a design.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct DesignStats {
+    /// Total area in cell units.
+    pub area: f64,
+    /// Total static power in mA.
+    pub power: f64,
+    /// Number of components.
+    pub cells: usize,
+    /// Worst combinational path delay in ns.
+    pub delay: f64,
+}
+
+impl DesignStats {
+    /// Percentage improvement of `self` over `baseline` for delay
+    /// (positive = faster).
+    pub fn delay_improvement_pct(&self, baseline: &DesignStats) -> f64 {
+        if baseline.delay == 0.0 {
+            return 0.0;
+        }
+        (baseline.delay - self.delay) / baseline.delay * 100.0
+    }
+
+    /// Percentage improvement of `self` over `baseline` for area.
+    pub fn area_improvement_pct(&self, baseline: &DesignStats) -> f64 {
+        if baseline.area == 0.0 {
+            return 0.0;
+        }
+        (baseline.area - self.area) / baseline.area * 100.0
+    }
+}
+
+/// Computes the design statistics (Fig. 11's statistics generator).
+///
+/// # Errors
+///
+/// Fails on combinational cycles (the timing pass needs a topological
+/// order).
+pub fn statistics(nl: &Netlist) -> Result<DesignStats, NetlistError> {
+    let mut area = 0.0;
+    let mut power = 0.0;
+    let mut cells = 0usize;
+    for id in nl.component_ids() {
+        let comp = nl.component(id)?;
+        if matches!(comp.kind, ComponentKind::Instance { .. }) {
+            return Err(NetlistError::HierarchyPresent(id));
+        }
+        let e = estimate_kind(&comp.kind);
+        area += e.area;
+        power += e.power;
+        cells += 1;
+    }
+    let sta = analyze(nl)?;
+    Ok(DesignStats { area, power, cells, delay: sta.worst_delay() })
+}
+
+/// Two-input-equivalent gate count — the complexity measure of Fig. 19
+/// ("Complexity (gates)"). MSI macros are weighted by the gate content of
+/// their discrete equivalents (an ADD4 macro *replaces* ~24 gates even if
+/// its silicon is denser).
+pub fn gate_equivalents(nl: &Netlist) -> f64 {
+    use milo_netlist::{CellFunction, GateFn, GenericMacro};
+    fn gate_cost(f: GateFn, n: u8) -> f64 {
+        match f {
+            GateFn::Inv | GateFn::Buf => 0.5,
+            GateFn::Xor | GateFn::Xnor => 3.0 * f64::from(n.saturating_sub(1)).max(1.0),
+            _ => f64::from(n.saturating_sub(1)).max(1.0),
+        }
+    }
+    let kind_cost = |kind: &ComponentKind| -> f64 {
+        match kind {
+            ComponentKind::Generic(m) => match *m {
+                GenericMacro::Gate(f, n) => gate_cost(f, n),
+                GenericMacro::Vdd | GenericMacro::Vss => 0.0,
+                GenericMacro::Mux { selects } => 3.0 * f64::from((1u8 << selects) - 1),
+                GenericMacro::Decoder { inputs } => f64::from(1u8 << inputs) + f64::from(inputs),
+                GenericMacro::Adder { bits, cla } => {
+                    f64::from(bits) * if cla { 8.0 } else { 6.0 }
+                }
+                GenericMacro::Comparator { bits } => 5.0 * f64::from(bits),
+                GenericMacro::Counter { bits } => 10.0 * f64::from(bits),
+                GenericMacro::Dff { set, reset, enable } => {
+                    6.0 + f64::from(u8::from(set) + u8::from(reset) + u8::from(enable))
+                }
+                GenericMacro::Latch { set, reset } => {
+                    4.0 + f64::from(u8::from(set) + u8::from(reset))
+                }
+            },
+            ComponentKind::Tech(c) => match &c.function {
+                CellFunction::Gate(f, n) => gate_cost(*f, *n),
+                CellFunction::Table(tt) => f64::from(tt.vars()),
+                CellFunction::Mux { selects } => 3.0 * f64::from((1u8 << selects) - 1),
+                CellFunction::Dff { set, reset, enable } => {
+                    6.0 + f64::from(u8::from(*set) + u8::from(*reset) + u8::from(*enable))
+                }
+                CellFunction::MuxDff { selects } => {
+                    6.0 + 3.0 * f64::from((1u8 << selects) - 1)
+                }
+                CellFunction::Latch { set, reset } => {
+                    4.0 + f64::from(u8::from(*set) + u8::from(*reset))
+                }
+                CellFunction::Const(_) => 0.0,
+                CellFunction::Adder { bits, cla } => {
+                    f64::from(*bits) * if *cla { 8.0 } else { 6.0 }
+                }
+                CellFunction::Decoder { inputs } => {
+                    f64::from(1u8 << *inputs) + f64::from(*inputs)
+                }
+                CellFunction::Comparator { bits } => 5.0 * f64::from(*bits),
+                CellFunction::Counter { bits } => 10.0 * f64::from(*bits),
+            },
+            // Micro components / instances: fall back to the area estimate.
+            other => estimate_kind(other).area / 1.4,
+        }
+    };
+    nl.component_ids()
+        .filter_map(|id| nl.component(id).ok())
+        .map(|c| kind_cost(&c.kind))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::{GateFn, GenericMacro, PinDir};
+
+    fn small() -> Netlist {
+        let mut nl = Netlist::new("s");
+        let a = nl.add_net("a");
+        let y = nl.add_net("y");
+        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        nl.connect_named(g, "A0", a).unwrap();
+        nl.connect_named(g, "Y", y).unwrap();
+        nl.add_port("a", PinDir::In, a);
+        nl.add_port("y", PinDir::Out, y);
+        nl
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let nl = small();
+        let s = statistics(&nl).unwrap();
+        assert_eq!(s.cells, 1);
+        assert!(s.area > 0.0 && s.power > 0.0 && s.delay > 0.0);
+    }
+
+    #[test]
+    fn improvement_percentages() {
+        let base = DesignStats { area: 10.0, power: 1.0, cells: 5, delay: 4.0 };
+        let opt = DesignStats { area: 8.0, power: 1.0, cells: 4, delay: 3.0 };
+        assert!((opt.delay_improvement_pct(&base) - 25.0).abs() < 1e-9);
+        assert!((opt.area_improvement_pct(&base) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_equivalents_positive() {
+        assert!(gate_equivalents(&small()) > 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: parse a textual netlist, run the MILO pipeline, and print
+//! the before/after statistics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use milo::{parse_netlist, Constraints, Milo};
+use milo_techmap::ecl_library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small control block, entered the way a schematic designer would:
+    // literal two-level logic with some redundancy.
+    let source = "
+design quickstart
+input a b c sel
+output f g
+# f = (a & b) | (a & !b) | (b & c)   -- reduces to a | (b & c)
+comp inv   n1 A0=b Y=nb
+comp and2  t1 A0=a  A1=b  Y=p1
+comp and2  t2 A0=a  A1=nb Y=p2
+comp and2  t3 A0=b  A1=c  Y=p3
+comp or3   o1 A0=p1 A1=p2 A2=p3 Y=f
+# g: a 2:1 mux built from gates
+comp inv   n2 A0=sel Y=nsel
+comp and2  m1 A0=a A1=nsel Y=q1
+comp and2  m2 A0=c A1=sel  Y=q2
+comp or2   m3 A0=q1 A1=q2  Y=g
+";
+    let netlist = parse_netlist(source)?;
+    println!("Parsed `{}`: {} components, {} nets", netlist.name,
+             netlist.component_count(), netlist.net_count());
+
+    let mut milo = Milo::new(ecl_library());
+    // Hold the baseline delay while minimizing area and power.
+    let baseline = milo.elaborate_unoptimized(&netlist)?;
+    let baseline_delay = milo_timing::statistics(&baseline)?.delay;
+    let result = milo.synthesize(&netlist, &Constraints::none().with_max_delay(baseline_delay))?;
+
+    println!("\n             baseline    MILO");
+    println!("delay (ns)   {:>8.2}  {:>8.2}   ({:.0} % better)",
+             result.baseline.delay, result.stats.delay, result.delay_improvement_pct());
+    println!("area (cells) {:>8.2}  {:>8.2}   ({:.0} % better)",
+             result.baseline.area, result.stats.area, result.area_improvement_pct());
+    println!("power (mA)   {:>8.2}  {:>8.2}",
+             result.baseline.power, result.stats.power);
+    println!("cells        {:>8}  {:>8}", result.baseline.cells, result.stats.cells);
+    println!("\ntiming strategies applied: {}", result.timing.applied.len());
+    for firing in &result.timing.applied {
+        println!("  {} at {:?}: {:.2} -> {:.2} ns",
+                 firing.strategy.label(), firing.site, firing.before, firing.after);
+    }
+    assert!(result.stats.area <= result.baseline.area);
+    Ok(())
+}

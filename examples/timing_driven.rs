@@ -1,0 +1,33 @@
+//! Constraint-driven synthesis: the same 8-bit adder datapath under a
+//! loose and a tight timing constraint. The tight run makes the
+//! microarchitecture critic swap the ripple adder for carry-lookahead
+//! (the Fig. 16 tradeoff), buying speed with area.
+//!
+//! ```text
+//! cargo run --example timing_driven
+//! ```
+
+use milo::circuits::datapath;
+use milo_core::{Constraints, Milo};
+use milo_techmap::ecl_library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entry = datapath(8);
+    let mut milo = Milo::new(ecl_library());
+
+    let loose = milo.synthesize(&entry, &Constraints::none())?;
+    println!("unconstrained: delay {:.2} ns, area {:.1}", loose.stats.delay, loose.stats.area);
+
+    let target = loose.stats.delay * 0.75;
+    let tight = milo.synthesize(&entry, &Constraints::none().with_max_delay(target))?;
+    let critic = tight.critic.as_ref().expect("micro entry");
+    println!(
+        "constrained to {target:.2} ns: delay {:.2} ns, area {:.1} ({} CLA upgrades)",
+        tight.stats.delay, tight.stats.area, critic.cla_upgrades
+    );
+    println!("timing met: {:?}", critic.met_timing);
+    assert!(tight.stats.delay < loose.stats.delay);
+    assert!(tight.stats.area > loose.stats.area, "speed was bought with area");
+    assert_eq!(critic.met_timing, Some(true));
+    Ok(())
+}

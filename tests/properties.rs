@@ -1,0 +1,214 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use milo_compilers::verify::{check_comb_equivalence, check_seq_equivalence, micro_wrapper};
+use milo_logic::{espresso, good_factor, Cover, TruthTable};
+use milo_netlist::{
+    ArithOps, CarryMode, CmpOp, ControlSet, CounterFunctions, DesignDb, GateFn, MicroComponent,
+    RegFunctions, Trigger,
+};
+use milo_rules::{Engine, Selection};
+use milo_techmap::{cmos_library, ecl_library, map_netlist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ESPRESSO minimization preserves the function exactly and never
+    /// increases the literal count.
+    #[test]
+    fn espresso_preserves_function(vars in 2u8..=5, bits in any::<u64>()) {
+        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1u32 << vars)) - 1 };
+        let tt = TruthTable::new(vars, bits & mask);
+        let flat = Cover::from_truth(&tt);
+        let res = espresso::minimize(&flat, None);
+        prop_assert_eq!(res.cover.to_truth(), tt);
+        prop_assert!(res.literals_after <= res.literals_before);
+        prop_assert!(espresso::verify(&res.cover, &flat, None));
+    }
+
+    /// Weak-division factoring preserves the function.
+    #[test]
+    fn factoring_preserves_function(vars in 2u8..=5, bits in any::<u64>()) {
+        let mask = if vars == 6 { u64::MAX } else { (1u64 << (1u32 << vars)) - 1 };
+        let tt = TruthTable::new(vars, bits & mask);
+        let cover = espresso::minimize(&Cover::from_truth(&tt), None).cover;
+        let expr = good_factor(&cover);
+        for row in 0..(1u32 << vars) {
+            prop_assert_eq!(expr.eval(row), tt.eval(row), "row {}", row);
+        }
+        prop_assert!(expr.literal_count() <= cover.literal_count());
+    }
+
+    /// The arithmetic-unit compiler is correct for every parameter
+    /// combination (checked against the word-level model by simulation).
+    #[test]
+    fn arith_compiler_correct(
+        bits in 1u8..=5,
+        add in any::<bool>(),
+        sub in any::<bool>(),
+        inc in any::<bool>(),
+        dec in any::<bool>(),
+        cla in any::<bool>(),
+    ) {
+        let ops = ArithOps { add, sub, inc, dec };
+        prop_assume!(!ops.ops().is_empty());
+        let mode = if cla { CarryMode::CarryLookahead } else { CarryMode::Ripple };
+        let micro = MicroComponent::ArithmeticUnit { bits, ops, mode };
+        let mut db = DesignDb::new();
+        let name = milo_compilers::compile(&micro, &mut db).expect("compiles");
+        let flat = db.flatten(&name).expect("flattens");
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 2000)
+            .map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// The register compiler is correct for every parameter combination.
+    #[test]
+    fn register_compiler_correct(
+        bits in 1u8..=4,
+        shift_left in any::<bool>(),
+        shift_right in any::<bool>(),
+        set in any::<bool>(),
+        reset in any::<bool>(),
+        enable in any::<bool>(),
+    ) {
+        let funcs = RegFunctions { load: true, shift_left, shift_right };
+        let ctrl = ControlSet { set, reset, enable };
+        let micro = MicroComponent::Register {
+            bits,
+            trigger: Trigger::EdgeTriggered,
+            funcs,
+            ctrl,
+        };
+        let mut db = DesignDb::new();
+        let name = milo_compilers::compile(&micro, &mut db).expect("compiles");
+        let flat = db.flatten(&name).expect("flattens");
+        check_seq_equivalence(&micro_wrapper(micro), &flat, 120, 5)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// The counter compiler is correct for every parameter combination.
+    #[test]
+    fn counter_compiler_correct(
+        bits in 1u8..=4,
+        load in any::<bool>(),
+        up in any::<bool>(),
+        down in any::<bool>(),
+        reset in any::<bool>(),
+        enable in any::<bool>(),
+    ) {
+        let funcs = CounterFunctions { load, up, down };
+        let ctrl = ControlSet { set: false, reset, enable };
+        let micro = MicroComponent::Counter { bits, funcs, ctrl };
+        let mut db = DesignDb::new();
+        let name = milo_compilers::compile(&micro, &mut db).expect("compiles");
+        let flat = db.flatten(&name).expect("flattens");
+        check_seq_equivalence(&micro_wrapper(micro), &flat, 150, 9)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// The comparator compiler is correct for every predicate and width.
+    #[test]
+    fn comparator_compiler_correct(bits in 1u8..=5, op_idx in 0usize..6) {
+        let function = [CmpOp::Eq, CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge, CmpOp::Ne][op_idx];
+        let micro = MicroComponent::Comparator { bits, function };
+        let mut db = DesignDb::new();
+        let name = milo_compilers::compile(&micro, &mut db).expect("compiles");
+        let flat = db.flatten(&name).expect("flattens");
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 2000)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// Technology mapping preserves combinational behaviour on random
+    /// logic, in both libraries.
+    #[test]
+    fn mapping_preserves_random_logic(seed in 0u64..5000, ecl in any::<bool>()) {
+        let nl = milo::circuits::random_logic(40, 8, seed);
+        let lib = if ecl { ecl_library() } else { cmos_library() };
+        let mapped = map_netlist(&nl, &lib).expect("maps");
+        check_comb_equivalence(&nl, &mapped, 300).map_err(TestCaseError::fail)?;
+    }
+
+    /// The logic-critic rule engine never changes circuit behaviour.
+    #[test]
+    fn logic_rules_preserve_function(seed in 0u64..5000) {
+        let lib = cmos_library();
+        let nl = milo::circuits::random_logic(50, 8, seed);
+        let mapped = map_netlist(&nl, &lib).expect("maps");
+        let mut work = mapped.clone();
+        let mut engine = Engine::new(milo_opt::logic_rules(&lib));
+        engine.run(&mut work, Selection::OpsOrder, None, 500);
+        check_comb_equivalence(&mapped, &work, 300).map_err(TestCaseError::fail)?;
+    }
+
+    /// Wide-gate compilation matches the gate function for every width.
+    #[test]
+    fn wide_gate_compiler_correct(inputs in 2u8..=10, fn_idx in 0usize..6) {
+        let function = [GateFn::And, GateFn::Or, GateFn::Nand, GateFn::Nor, GateFn::Xor, GateFn::Xnor][fn_idx];
+        let micro = MicroComponent::Gate { function, inputs };
+        let mut db = DesignDb::new();
+        let name = milo_compilers::compile(&micro, &mut db).expect("compiles");
+        let flat = db.flatten(&name).expect("flattens");
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 1024)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// The multiplexor compiler is correct for every width/way/enable
+    /// combination the generic library supports.
+    #[test]
+    fn mux_compiler_correct(
+        bits in 1u8..=3,
+        ways_log in 1u32..=3,
+        enable in any::<bool>(),
+    ) {
+        let inputs = 1u8 << ways_log;
+        let micro = MicroComponent::Multiplexor { bits, inputs, enable };
+        let mut db = DesignDb::new();
+        let name = milo_compilers::compile(&micro, &mut db).expect("compiles");
+        let flat = db.flatten(&name).expect("flattens");
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 2000)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// The decoder compiler is correct for every width/enable combination.
+    #[test]
+    fn decoder_compiler_correct(bits in 1u8..=4, enable in any::<bool>()) {
+        let micro = MicroComponent::Decoder { bits, enable };
+        let mut db = DesignDb::new();
+        let name = milo_compilers::compile(&micro, &mut db).expect("compiles");
+        let flat = db.flatten(&name).expect("flattens");
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 0)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// The logic-unit compiler is correct across functions/widths/fanins.
+    #[test]
+    fn logic_unit_compiler_correct(
+        bits in 1u8..=3,
+        inputs in 2u8..=6,
+        fn_idx in 0usize..6,
+    ) {
+        let function = [GateFn::And, GateFn::Or, GateFn::Nand, GateFn::Nor, GateFn::Xor, GateFn::Xnor][fn_idx];
+        let micro = MicroComponent::LogicUnit { function, inputs, bits };
+        let mut db = DesignDb::new();
+        let name = milo_compilers::compile(&micro, &mut db).expect("compiles");
+        let flat = db.flatten(&name).expect("flattens");
+        check_comb_equivalence(&micro_wrapper(micro), &flat, 2000)
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// The LSS-style universal-gate conversion preserves behaviour and the
+    /// follow-up inverter cleanup never changes it either.
+    #[test]
+    fn universal_conversion_preserves_function(seed in 0u64..5000, nor in any::<bool>()) {
+        let nl = milo::circuits::random_logic(30, 6, seed);
+        let family = if nor {
+            milo_techmap::UniversalGate::Nor
+        } else {
+            milo_techmap::UniversalGate::Nand
+        };
+        let mut converted = milo_techmap::to_universal(&nl, family).expect("converts");
+        check_comb_equivalence(&nl, &converted, 200).map_err(TestCaseError::fail)?;
+        milo_techmap::simplify_inverters(&mut converted);
+        check_comb_equivalence(&nl, &converted, 200).map_err(TestCaseError::fail)?;
+    }
+}
