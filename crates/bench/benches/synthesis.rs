@@ -60,7 +60,8 @@ fn bench_fig19_pipeline(c: &mut Criterion) {
     c.bench_function("fig19_circuit3_pipeline", |b| {
         b.iter(|| {
             let mut milo = Milo::new(ecl_library());
-            milo.synthesize(&circuit3(), &Constraints::none()).expect("synthesizes")
+            milo.synthesize(&circuit3(), &Constraints::none())
+                .expect("synthesizes")
         });
     });
 }

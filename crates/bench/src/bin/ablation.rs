@@ -48,7 +48,9 @@ fn main() {
 
     // (c) + microarchitecture critic (no timing constraint).
     let mut milo2 = Milo::new(ecl_library());
-    let unconstrained = milo2.synthesize(&case, &Constraints::none()).expect("synthesizes");
+    let unconstrained = milo2
+        .synthesize(&case, &Constraints::none())
+        .expect("synthesizes");
     table.row_owned(vec![
         "+ microarchitecture critic".into(),
         f2(unconstrained.stats.delay),
@@ -77,6 +79,9 @@ fn main() {
     println!("(Note: after the counter rewrite there is no adder left to CLA-swap, so very");
     println!("tight constraints on this circuit become infeasible — the flip side of the");
     println!("microarchitecture restructuring the paper advocates.)");
-    assert!(unconstrained.stats.area < logic_stats.area, "critic must add area savings");
+    assert!(
+        unconstrained.stats.area < logic_stats.area,
+        "critic must add area savings"
+    );
     assert!(full.stats.delay <= target + 1e-9, "constraint met");
 }

@@ -12,9 +12,19 @@ fn main() {
     println!("Baseline = direct technology mapping of the same entry (\"human\" proxy).\n");
     let rows = fig19_experiment();
     let mut table = Table::new(&[
-        "Design", "Complexity", "Delay (ns)", "", "Percent", "Area (cells)", "", "Percent", "Entry",
+        "Design",
+        "Complexity",
+        "Delay (ns)",
+        "",
+        "Percent",
+        "Area (cells)",
+        "",
+        "Percent",
+        "Entry",
     ]);
-    table.row(&["", "(gates)", "Human", "MILO", "Improv", "Human", "MILO", "Improv", "level"]);
+    table.row(&[
+        "", "(gates)", "Human", "MILO", "Improv", "Human", "MILO", "Improv", "level",
+    ]);
     let mut delay_improvements = Vec::new();
     let mut area_improvements = Vec::new();
     for r in &rows {
@@ -47,5 +57,7 @@ fn main() {
     let (amin, amax) = span(&area_improvements);
     println!("Improvement ranges: delay {dmin:.0}..{dmax:.0} %, area {amin:.0}..{amax:.0} %");
     println!("Paper reports: \"generally MILO was able to improve designs 2 to 40 percent\";");
-    println!("microarchitecture-level improvements are the less dramatic ones (regular structures).");
+    println!(
+        "microarchitecture-level improvements are the less dramatic ones (regular structures)."
+    );
 }

@@ -11,7 +11,10 @@ fn main() {
     println!("Figure 10: hash-table lookup vs rule scanning (CMOS library)\n");
     let r = hash_vs_rules_experiment(20_000);
     println!("hash-table keys:            {}", r.table_entries);
-    println!("hash lookup:                {:.0} ns/query (single probe)", r.hash_ns);
+    println!(
+        "hash lookup:                {:.0} ns/query (single probe)",
+        r.hash_ns
+    );
     println!("rule scan with permutations:{:.0} ns/query", r.scan_ns);
     println!("speedup:                    {:.1}x", r.speedup);
     println!();

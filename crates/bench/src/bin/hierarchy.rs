@@ -24,12 +24,18 @@ fn main() {
     println!("direct-mapped area:   {:.2}", r.direct_area);
     println!("bottom-up optimized:  {:.2}", r.optimized_area);
     println!("merged MXFF macros:   {}", r.mxff_count);
-    println!("two-stage MXFF4s (load-register variant): {}", r.two_stage_mxff4);
+    println!(
+        "two-stage MXFF4s (load-register variant): {}",
+        r.two_stage_mxff4
+    );
     println!();
     println!("Paper: \"each multiplexor and flip-flop set can be combined into a single");
     println!("technology-specific element, providing a decrease in area … making use of");
     println!("high-level macros that have 4-1 multiplexors combined with a flip-flop.\"");
     assert!(r.optimized_area < r.direct_area);
     assert!(r.mxff_count >= 4);
-    assert!(r.two_stage_mxff4 >= 4, "the Fig. 18 two-stage merge must produce MXFF4s");
+    assert!(
+        r.two_stage_mxff4 >= 4,
+        "the Fig. 18 two-stage merge must produce MXFF4s"
+    );
 }

@@ -11,8 +11,13 @@ use milo_core::{f2, Table};
 fn main() {
     println!("§2.2.2 metarules ablation (de-Morgan opportunity circuit, CMOS library)\n");
     let rows = metarules_experiment(10);
-    let mut table =
-        Table::new(&["Configuration", "Time (ms)", "Final area", "Area reduction %", "States"]);
+    let mut table = Table::new(&[
+        "Configuration",
+        "Time (ms)",
+        "Final area",
+        "Area reduction %",
+        "States",
+    ]);
     for r in &rows {
         table.row_owned(vec![
             r.config.to_owned(),

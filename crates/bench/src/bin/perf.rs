@@ -1,0 +1,157 @@
+//! The core performance snapshot: times the synthesis hot paths and
+//! writes `BENCH_core.json` so the perf trajectory is tracked across PRs.
+//!
+//! Run with `cargo run --release -p milo-bench --bin perf`. Environment:
+//!
+//! * `MILO_PERF_MS` — per-benchmark measurement window in milliseconds
+//!   (default 300; the CI smoke run uses a smaller value);
+//! * `MILO_PERF_OUT` — output path (default `BENCH_core.json`).
+//!
+//! Output format (`schema: milo-bench-core-v1`): a JSON object with the
+//! snapshot metadata and one entry per benchmark carrying the mean
+//! nanoseconds per iteration and the iteration count. See
+//! `docs/PERFORMANCE.md` for the format contract.
+
+use milo_circuits::{fig19::circuit3, random_logic};
+use milo_core::{Constraints, Milo};
+use milo_logic::{espresso, Cover, TruthTable};
+use milo_rules::{Engine, HashRuleTable, LibraryRef};
+use milo_techmap::{cmos_library, ecl_library, map_netlist};
+use milo_timing::{analyze, IncrementalSta};
+use std::time::{Duration, Instant};
+
+struct Snapshot {
+    entries: Vec<(String, f64, u64)>,
+    window: Duration,
+}
+
+impl Snapshot {
+    fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warmup + estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.window / 4 || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let iters = if est.is_zero() {
+            1_000_000
+        } else {
+            (self.window.as_nanos() / est.as_nanos().max(1)).clamp(1, 5_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        println!("{name:<32} {:>12.1} ns/iter  ({iters} iterations)", mean_ns);
+        self.entries.push((name.to_owned(), mean_ns, iters));
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"milo-bench-core-v1\",\n");
+        out.push_str(&format!(
+            "  \"window_ms\": {},\n  \"benches\": [\n",
+            self.window.as_millis()
+        ));
+        for (i, (name, mean_ns, iters)) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"name\": \"{name}\", \"mean_ns\": {mean_ns:.1}, \"iters\": {iters} }}{}\n",
+                if i + 1 == self.entries.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn main() {
+    let window_ms = std::env::var("MILO_PERF_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    let out_path = std::env::var("MILO_PERF_OUT").unwrap_or_else(|_| "BENCH_core.json".to_owned());
+    let mut snap = Snapshot {
+        entries: Vec::new(),
+        window: Duration::from_millis(window_ms),
+    };
+
+    // Two-level minimization (strategy 7 / SOCRATES core).
+    for vars in [4u8, 5, 6] {
+        let tt = TruthTable::from_fn(vars, |r| (r.count_ones() % 3) != 0);
+        let cover = Cover::from_truth(&tt);
+        snap.bench(&format!("espresso/minimize/{vars}"), || {
+            espresso::minimize(&cover, None)
+        });
+    }
+
+    // Per-output parallel minimization over a batch of dense covers.
+    let batch: Vec<Cover> = (0..16u32)
+        .map(|k| {
+            Cover::from_truth(&TruthTable::from_fn(6, move |r| {
+                (r.count_ones() + k) % 3 != 0
+            }))
+        })
+        .collect();
+    snap.bench("espresso/minimize_many/16x6", || {
+        espresso::minimize_many(&batch)
+    });
+
+    // Static timing analysis, from scratch.
+    for gates in [200usize, 800] {
+        let nl = map_netlist(&random_logic(gates, 12, 5), &cmos_library()).expect("maps");
+        snap.bench(&format!("sta/analyze/{gates}"), || {
+            analyze(&nl).expect("analyzes")
+        });
+    }
+
+    // Incremental STA: one local rewrite (kind change) + cone refresh,
+    // versus the full re-analysis above.
+    {
+        let nl = map_netlist(&random_logic(800, 12, 5), &cmos_library()).expect("maps");
+        let mut inc = IncrementalSta::new(&nl).expect("analyzes");
+        let victim = nl.component_ids().nth(400).expect("has components");
+        let ts = {
+            let mut t = milo_netlist::TouchSet::new();
+            t.component(victim);
+            t
+        };
+        snap.bench("sta/incremental_refresh/800", || {
+            inc.refresh(&nl, &ts).expect("refreshes");
+        });
+    }
+
+    // The end-to-end Fig. 19 pipeline.
+    snap.bench("fig19_circuit3_pipeline", || {
+        let mut milo = Milo::new(ecl_library());
+        milo.synthesize(&circuit3(), &Constraints::none())
+            .expect("synthesizes")
+    });
+
+    // Rule-engine sweeps at scale.
+    {
+        let lib = cmos_library();
+        let mapped = map_netlist(&random_logic(800, 16, 9), &lib).expect("maps");
+        snap.bench("engine/logic_sweeps/800", || {
+            let mut work = mapped.clone();
+            let mut engine = Engine::new(milo_opt::logic_rules(&lib));
+            engine.run_sweeps(&mut work, None, 20)
+        });
+    }
+
+    // Hash-rule table construction (cached) and lookup.
+    {
+        let lib = cmos_library();
+        snap.bench("hashrules/cached_build", || {
+            HashRuleTable::cached(&LibraryRef { cells: lib.cells() }).len()
+        });
+    }
+
+    let json = snap.to_json();
+    std::fs::write(&out_path, &json).expect("writes snapshot");
+    println!("wrote {out_path}");
+}

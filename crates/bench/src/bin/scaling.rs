@@ -29,5 +29,7 @@ fn main() {
         "Size grew {size_ratio:.0}x; time grew {time_ratio:.1}x (linear would be {size_ratio:.0}x)."
     );
     println!("Paper (quoting LSS): \"the use of local transformations … tends to keep");
-    println!("synthesis times linear for increasing design sizes\" (~9 gates/s on a 1988 IBM 3081).");
+    println!(
+        "synthesis times linear for increasing design sizes\" (~9 gates/s on a 1988 IBM 3081)."
+    );
 }

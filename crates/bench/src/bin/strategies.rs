@@ -10,7 +10,13 @@ use milo_core::{f2, Table};
 fn main() {
     println!("Figure 9 / §4.1.2: measured gain/cost profile per strategy (ECL library)\n");
     let rows = strategies_experiment();
-    let mut table = Table::new(&["Strategy", "Δdelay (ns)", "Δarea (cells)", "Δpower (mA)", "CPU (µs)"]);
+    let mut table = Table::new(&[
+        "Strategy",
+        "Δdelay (ns)",
+        "Δarea (cells)",
+        "Δpower (mA)",
+        "CPU (µs)",
+    ]);
     for r in &rows {
         table.row_owned(vec![
             r.strategy.label().to_owned(),

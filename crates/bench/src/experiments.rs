@@ -50,10 +50,14 @@ pub fn fig19_experiment() -> Vec<Fig19Row> {
     let mut rows = Vec::new();
     for case in fig19_all() {
         let mut milo = Milo::new(ecl_library());
-        let baseline_nl = milo.elaborate_unoptimized(&case.netlist).expect("baseline elaborates");
+        let baseline_nl = milo
+            .elaborate_unoptimized(&case.netlist)
+            .expect("baseline elaborates");
         let baseline = statistics(&baseline_nl).expect("baseline stats");
         let constraint = Constraints::none().with_max_delay(baseline.delay * case.delay_factor);
-        let result = milo.synthesize(&case.netlist, &constraint).expect("synthesis succeeds");
+        let result = milo
+            .synthesize(&case.netlist, &constraint)
+            .expect("synthesis succeeds");
         let compiler_components = case
             .netlist
             .component_ids()
@@ -245,7 +249,10 @@ fn strategy_case(strategy: StrategyId, lib: &TechLibrary) -> (Netlist, milo_netl
 pub fn strategies_experiment() -> Vec<StrategyRow> {
     let lib = ecl_library();
     let hash = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
-    let ctx = StrategyCtx { lib: &lib, hash: &hash };
+    let ctx = StrategyCtx {
+        lib: &lib,
+        hash: &hash,
+    };
     let mut rows = Vec::new();
     for strategy in StrategyId::ALL {
         let (mut nl, site) = strategy_case(strategy, &lib);
@@ -255,7 +262,11 @@ pub fn strategies_experiment() -> Vec<StrategyRow> {
         let applied = milo_opt::apply_strategy(strategy, &mut nl, site, &sta, &ctx);
         let micros = t0.elapsed().as_micros();
         let after = statistics(&nl).expect("stats");
-        assert!(applied.is_some(), "{} must apply on its case", strategy.label());
+        assert!(
+            applied.is_some(),
+            "{} must apply on its case",
+            strategy.label()
+        );
         rows.push(StrategyRow {
             strategy,
             delay_gain: before.delay - after.delay,
@@ -293,7 +304,12 @@ pub fn metarules_experiment(copies: usize) -> Vec<MetarulesRow> {
     let entry = lookahead_opportunity_circuit(copies);
     let mapped = map_netlist(&entry, &lib).expect("maps");
     let entry_area = statistics(&mapped).expect("stats").area;
-    let params = MetaParams { depth: 4, breadth: 4, apply_depth: 3, ..MetaParams::default() };
+    let params = MetaParams {
+        depth: 4,
+        breadth: 4,
+        apply_depth: 3,
+        ..MetaParams::default()
+    };
     let mut rows = Vec::new();
 
     let mut nl = mapped.clone();
@@ -310,9 +326,7 @@ pub fn metarules_experiment(copies: usize) -> Vec<MetarulesRow> {
         states: 0,
     });
 
-    for (config, dynamic) in
-        [("lookahead", false), ("lookahead + metarules", true)]
-    {
+    for (config, dynamic) in [("lookahead", false), ("lookahead + metarules", true)] {
         let mut nl = mapped.clone();
         let mut engine = Engine::new(metarule_rule_set(&lib));
         let t0 = Instant::now();
@@ -394,8 +408,9 @@ pub fn hash_vs_rules_experiment(queries: u32) -> HashVsRulesResult {
     let lib = milo_techmap::cmos_library();
     let table = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
     // Query functions: all 3-variable truth tables cycled.
-    let functions: Vec<milo_logic::TruthTable> =
-        (0..=255u32).map(|bits| milo_logic::TruthTable::new(3, u64::from(bits))).collect();
+    let functions: Vec<milo_logic::TruthTable> = (0..=255u32)
+        .map(|bits| milo_logic::TruthTable::new(3, u64::from(bits)))
+        .collect();
 
     let t0 = Instant::now();
     let mut hits = 0usize;
@@ -520,7 +535,13 @@ pub fn hierarchy_experiment() -> HierarchyResult {
             )
         })
         .count();
-    HierarchyResult { direct_area, optimized_area, mxff_count, levels, two_stage_mxff4 }
+    HierarchyResult {
+        direct_area,
+        optimized_area,
+        mxff_count,
+        levels,
+        two_stage_mxff4,
+    }
 }
 
 #[cfg(test)]
@@ -534,14 +555,20 @@ mod tests {
         // Paper shape spot-checks.
         let get = |id: StrategyId| rows.iter().find(|r| r.strategy == id).expect("row");
         let s1 = get(StrategyId::S1PinSwap);
-        assert!(s1.delay_gain > 0.0 && s1.area_cost.abs() < 1e-9, "S1 zero cost: {s1:?}");
+        assert!(
+            s1.delay_gain > 0.0 && s1.area_cost.abs() < 1e-9,
+            "S1 zero cost: {s1:?}"
+        );
         let s7 = get(StrategyId::S7Minimize);
         assert!(
             rows.iter().all(|r| r.delay_gain <= s7.delay_gain + 1e-9),
             "S7 largest gain: {rows:?}"
         );
         let s8 = get(StrategyId::S8ShannonMux);
-        assert!(s8.delay_gain > 0.0 && s8.area_cost > 0.0, "S8 gain at cost: {s8:?}");
+        assert!(
+            s8.delay_gain > 0.0 && s8.area_cost > 0.0,
+            "S8 gain at cost: {s8:?}"
+        );
     }
 
     #[test]

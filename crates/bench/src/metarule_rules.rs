@@ -38,7 +38,9 @@ impl Rule for NandToInvOr {
         let mut out = Vec::new();
         for id in nl.component_ids() {
             let Ok(c) = nl.component(id) else { continue };
-            let ComponentKind::Tech(cell) = &c.kind else { continue };
+            let ComponentKind::Tech(cell) = &c.kind else {
+                continue;
+            };
             if !matches!(cell.function, CellFunction::Gate(GateFn::Nand, 2)) {
                 continue;
             }
@@ -58,11 +60,20 @@ impl Rule for NandToInvOr {
             .ok_or(NetlistError::NoSuchPort("INV".into()))?
             .clone();
         let nl = tx.netlist();
-        let a = nl.pin_net(m.site, "A0").ok_or(NetlistError::NoSuchComponent(m.site))?;
-        let b = nl.pin_net(m.site, "A1").ok_or(NetlistError::NoSuchComponent(m.site))?;
-        let y = nl.pin_net(m.site, "Y").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let a = nl
+            .pin_net(m.site, "A0")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let b = nl
+            .pin_net(m.site, "A1")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let y = nl
+            .pin_net(m.site, "Y")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
         tx.remove_component(m.site)?;
-        let ia = tx.add_component(format!("dm{}a", m.site.index()), ComponentKind::Tech(inv.clone()));
+        let ia = tx.add_component(
+            format!("dm{}a", m.site.index()),
+            ComponentKind::Tech(inv.clone()),
+        );
         let ib = tx.add_component(format!("dm{}b", m.site.index()), ComponentKind::Tech(inv));
         let na = tx.add_net(format!("dm{}na", m.site.index()));
         let nb = tx.add_net(format!("dm{}nb", m.site.index()));
@@ -157,7 +168,12 @@ mod tests {
 
         let mut look_nl = mapped.clone();
         let mut engine2 = Engine::new(metarule_rule_set(&lib));
-        let params = MetaParams { depth: 4, breadth: 4, apply_depth: 3, ..MetaParams::default() };
+        let params = MetaParams {
+            depth: 4,
+            breadth: 4,
+            apply_depth: 3,
+            ..MetaParams::default()
+        };
         lookahead_optimize(&mut look_nl, &mut engine2, params, false, 100);
         let look_area = statistics(&look_nl).unwrap().area;
 

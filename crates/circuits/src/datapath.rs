@@ -1,8 +1,8 @@
 //! The ABADD design of Fig. 16 and a parameterized datapath generator.
 
 use milo_netlist::{
-    ArithOps, CarryMode, ComponentKind, ControlSet, MicroComponent, Netlist, PinDir,
-    RegFunctions, Trigger,
+    ArithOps, CarryMode, ComponentKind, ControlSet, MicroComponent, Netlist, PinDir, RegFunctions,
+    Trigger,
 };
 
 /// Builds the ABADD design of Fig. 16 at the microarchitecture level:
@@ -32,8 +32,12 @@ pub fn abadd_load_register(bits: u8) -> Netlist {
         })
         .expect("datapath has a register");
     // Capture D/Q/F0/CLK connections.
-    let d: Vec<_> = (0..bits).map(|i| nl.pin_net(reg_id, &format!("D{i}")).expect("wired")).collect();
-    let q: Vec<_> = (0..bits).map(|i| nl.pin_net(reg_id, &format!("Q{i}")).expect("wired")).collect();
+    let d: Vec<_> = (0..bits)
+        .map(|i| nl.pin_net(reg_id, &format!("D{i}")).expect("wired"))
+        .collect();
+    let q: Vec<_> = (0..bits)
+        .map(|i| nl.pin_net(reg_id, &format!("Q{i}")).expect("wired"))
+        .collect();
     let f0 = nl.pin_net(reg_id, "F0").expect("wired");
     let clk = nl.pin_net(reg_id, "CLK").expect("wired");
     nl.remove_component(reg_id).expect("removable");
@@ -47,8 +51,10 @@ pub fn abadd_load_register(bits: u8) -> Netlist {
         }),
     );
     for i in 0..bits as usize {
-        nl.connect_named(new_reg, &format!("D{i}"), d[i]).expect("fresh pin");
-        nl.connect_named(new_reg, &format!("Q{i}"), q[i]).expect("fresh pin");
+        nl.connect_named(new_reg, &format!("D{i}"), d[i])
+            .expect("fresh pin");
+        nl.connect_named(new_reg, &format!("Q{i}"), q[i])
+            .expect("fresh pin");
     }
     nl.connect_named(new_reg, "F0", f0).expect("fresh pin");
     nl.connect_named(new_reg, "CLK", clk).expect("fresh pin");
@@ -59,17 +65,29 @@ pub fn abadd_load_register(bits: u8) -> Netlist {
 /// shift-right register. The A→C path is the timing-constrained path of
 /// the paper's walkthrough.
 pub fn datapath(bits: u8) -> Netlist {
-    let mut nl = Netlist::new(if bits == 4 { "ABADD".into() } else { format!("ABADD{bits}") });
+    let mut nl = Netlist::new(if bits == 4 {
+        "ABADD".into()
+    } else {
+        format!("ABADD{bits}")
+    });
     let au = MicroComponent::ArithmeticUnit {
         bits,
         ops: ArithOps::ADD,
         mode: CarryMode::Ripple,
     };
-    let mux = MicroComponent::Multiplexor { bits, inputs: 2, enable: false };
+    let mux = MicroComponent::Multiplexor {
+        bits,
+        inputs: 2,
+        enable: false,
+    };
     let reg = MicroComponent::Register {
         bits,
         trigger: Trigger::EdgeTriggered,
-        funcs: RegFunctions { load: true, shift_left: false, shift_right: true },
+        funcs: RegFunctions {
+            load: true,
+            shift_left: false,
+            shift_right: true,
+        },
         ctrl: ControlSet::NONE,
     };
     let a_c = nl.add_component("add", ComponentKind::Micro(au));

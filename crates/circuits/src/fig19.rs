@@ -31,14 +31,54 @@ pub struct TestCase {
 /// All eight test cases, in table order.
 pub fn all() -> Vec<TestCase> {
     vec![
-        TestCase { index: 1, netlist: circuit1(), micro_level: false, delay_factor: 0.75 },
-        TestCase { index: 2, netlist: circuit2(), micro_level: false, delay_factor: 0.80 },
-        TestCase { index: 3, netlist: circuit3(), micro_level: false, delay_factor: 0.70 },
-        TestCase { index: 4, netlist: circuit4(), micro_level: false, delay_factor: 0.70 },
-        TestCase { index: 5, netlist: circuit5(), micro_level: false, delay_factor: 0.80 },
-        TestCase { index: 6, netlist: circuit6(), micro_level: true, delay_factor: 0.95 },
-        TestCase { index: 7, netlist: circuit7(), micro_level: true, delay_factor: 0.90 },
-        TestCase { index: 8, netlist: circuit8(), micro_level: true, delay_factor: 0.95 },
+        TestCase {
+            index: 1,
+            netlist: circuit1(),
+            micro_level: false,
+            delay_factor: 0.75,
+        },
+        TestCase {
+            index: 2,
+            netlist: circuit2(),
+            micro_level: false,
+            delay_factor: 0.80,
+        },
+        TestCase {
+            index: 3,
+            netlist: circuit3(),
+            micro_level: false,
+            delay_factor: 0.70,
+        },
+        TestCase {
+            index: 4,
+            netlist: circuit4(),
+            micro_level: false,
+            delay_factor: 0.70,
+        },
+        TestCase {
+            index: 5,
+            netlist: circuit5(),
+            micro_level: false,
+            delay_factor: 0.80,
+        },
+        TestCase {
+            index: 6,
+            netlist: circuit6(),
+            micro_level: true,
+            delay_factor: 0.95,
+        },
+        TestCase {
+            index: 7,
+            netlist: circuit7(),
+            micro_level: true,
+            delay_factor: 0.90,
+        },
+        TestCase {
+            index: 8,
+            netlist: circuit8(),
+            micro_level: true,
+            delay_factor: 0.95,
+        },
     ]
 }
 
@@ -47,8 +87,12 @@ pub fn all() -> Vec<TestCase> {
 pub fn circuit1() -> Netlist {
     // Functions chosen to minimize well (shared cubes, redundant
     // minterms).
-    let f1: Vec<u32> = (0..32).filter(|r| (r & 0b11) == 0b11 || (r >> 2 & 0b111) == 0b101).collect();
-    let f2: Vec<u32> = (0..32).filter(|r| (r & 0b101) == 0b101 || (r >> 1 & 0b11) == 0b11).collect();
+    let f1: Vec<u32> = (0..32)
+        .filter(|r| (r & 0b11) == 0b11 || (r >> 2 & 0b111) == 0b101)
+        .collect();
+    let f2: Vec<u32> = (0..32)
+        .filter(|r| (r & 0b101) == 0b101 || (r >> 1 & 0b11) == 0b11)
+        .collect();
     let f3: Vec<u32> = (0..32u32).filter(|r| r.count_ones() >= 4).collect();
     sop_design("fig19_1", 5, &[("f1", f1), ("f2", f2), ("f3", f3)])
 }
@@ -108,10 +152,16 @@ pub fn circuit4() -> Netlist {
     let mut nl = Netlist::new("fig19_4");
     let a = input_bus(&mut nl, "a", 4);
     let b = input_bus(&mut nl, "b", 4);
-    let na: Vec<_> =
-        a.iter().enumerate().map(|(i, &x)| gate(&mut nl, GateFn::Inv, &[x], &format!("na{i}"))).collect();
-    let nb: Vec<_> =
-        b.iter().enumerate().map(|(i, &x)| gate(&mut nl, GateFn::Inv, &[x], &format!("nb{i}"))).collect();
+    let na: Vec<_> = a
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| gate(&mut nl, GateFn::Inv, &[x], &format!("na{i}")))
+        .collect();
+    let nb: Vec<_> = b
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| gate(&mut nl, GateFn::Inv, &[x], &format!("nb{i}")))
+        .collect();
     // Equality per bit — entered twice (once for EQ, once re-derived for
     // the LT chain: the duplication MILO's duplicate-gate merge removes).
     let eq: Vec<_> = (0..4)
@@ -120,7 +170,12 @@ pub fn circuit4() -> Netlist {
     let eq_dup: Vec<_> = (0..4)
         .map(|i| gate(&mut nl, GateFn::Xnor, &[a[i], b[i]], &format!("eqd{i}")))
         .collect();
-    let eq_all = gate(&mut nl, GateFn::And, &[eq[0], eq[1], eq[2], eq[3]], "eq_all");
+    let eq_all = gate(
+        &mut nl,
+        GateFn::And,
+        &[eq[0], eq[1], eq[2], eq[3]],
+        "eq_all",
+    );
     nl.add_port("eq", PinDir::Out, eq_all);
     // lt = !a3 b3 | eq3 (!a2 b2) | eq3 eq2 (!a1 b1) | eq3 eq2 eq1 (!a0 b0)
     let lt3 = gate(&mut nl, GateFn::And, &[na[3], b[3]], "lt3");
@@ -129,7 +184,12 @@ pub fn circuit4() -> Netlist {
     let lt1i = gate(&mut nl, GateFn::And, &[na[1], b[1]], "lt1i");
     let lt1 = gate(&mut nl, GateFn::And, &[eq_dup[3], eq_dup[2], lt1i], "lt1");
     let lt0i = gate(&mut nl, GateFn::And, &[na[0], b[0]], "lt0i");
-    let lt0 = gate(&mut nl, GateFn::And, &[eq_dup[3], eq_dup[2], eq_dup[1], lt0i], "lt0");
+    let lt0 = gate(
+        &mut nl,
+        GateFn::And,
+        &[eq_dup[3], eq_dup[2], eq_dup[1], lt0i],
+        "lt0",
+    );
     let lt = gate(&mut nl, GateFn::Or, &[lt3, lt2, lt1, lt0], "lt");
     nl.add_port("lt", PinDir::Out, lt);
     // gt similarly (duplicating the AND terms once more).
@@ -139,7 +199,12 @@ pub fn circuit4() -> Netlist {
     let gt1i = gate(&mut nl, GateFn::And, &[a[1], nb[1]], "gt1i");
     let gt1 = gate(&mut nl, GateFn::And, &[eq_dup[3], eq_dup[2], gt1i], "gt1");
     let gt0i = gate(&mut nl, GateFn::And, &[a[0], nb[0]], "gt0i");
-    let gt0 = gate(&mut nl, GateFn::And, &[eq_dup[3], eq_dup[2], eq_dup[1], gt0i], "gt0");
+    let gt0 = gate(
+        &mut nl,
+        GateFn::And,
+        &[eq_dup[3], eq_dup[2], eq_dup[1], gt0i],
+        "gt0",
+    );
     let gt = gate(&mut nl, GateFn::Or, &[gt3, gt2, gt1, gt0], "gt");
     nl.add_port("gt", PinDir::Out, gt);
     nl
@@ -152,7 +217,10 @@ pub fn circuit5() -> Netlist {
     let addr = input_bus(&mut nl, "a", 2);
     let dec = nl.add_component(
         "dec",
-        ComponentKind::Micro(MicroComponent::Decoder { bits: 2, enable: false }),
+        ComponentKind::Micro(MicroComponent::Decoder {
+            bits: 2,
+            enable: false,
+        }),
     );
     nl.connect_named(dec, "A0", addr[0]).unwrap();
     nl.connect_named(dec, "A1", addr[1]).unwrap();
@@ -213,7 +281,11 @@ pub fn circuit6() -> Netlist {
     );
     let mux = nl.add_component(
         "opmux",
-        ComponentKind::Micro(MicroComponent::Multiplexor { bits, inputs: 2, enable: false }),
+        ComponentKind::Micro(MicroComponent::Multiplexor {
+            bits,
+            inputs: 2,
+            enable: false,
+        }),
     );
     let rega = nl.add_component(
         "rega",
@@ -235,7 +307,10 @@ pub fn circuit6() -> Netlist {
     );
     let cmp = nl.add_component(
         "cmp",
-        ComponentKind::Micro(MicroComponent::Comparator { bits, function: CmpOp::Eq }),
+        ComponentKind::Micro(MicroComponent::Comparator {
+            bits,
+            function: CmpOp::Eq,
+        }),
     );
     // rega.Q -> alu.A and cmp.A ; mux.Y -> alu.B ; alu.S -> regr.D ;
     // regr.Q -> cmp.B and output.
@@ -281,11 +356,19 @@ pub fn circuit7() -> Netlist {
     );
     let lu = nl.add_component(
         "lu",
-        ComponentKind::Micro(MicroComponent::LogicUnit { function: GateFn::Xor, inputs: 2, bits }),
+        ComponentKind::Micro(MicroComponent::LogicUnit {
+            function: GateFn::Xor,
+            inputs: 2,
+            bits,
+        }),
     );
     let mux = nl.add_component(
         "resmux",
-        ComponentKind::Micro(MicroComponent::Multiplexor { bits, inputs: 4, enable: false }),
+        ComponentKind::Micro(MicroComponent::Multiplexor {
+            bits,
+            inputs: 4,
+            enable: false,
+        }),
     );
     let rega = nl.add_component(
         "rega",
@@ -301,13 +384,20 @@ pub fn circuit7() -> Netlist {
         ComponentKind::Micro(MicroComponent::Register {
             bits,
             trigger: Trigger::EdgeTriggered,
-            funcs: RegFunctions { load: true, shift_left: false, shift_right: true },
+            funcs: RegFunctions {
+                load: true,
+                shift_left: false,
+                shift_right: true,
+            },
             ctrl: ControlSet::NONE,
         }),
     );
     let cmp = nl.add_component(
         "cmp",
-        ComponentKind::Micro(MicroComponent::Comparator { bits: 8, function: CmpOp::Lt }),
+        ComponentKind::Micro(MicroComponent::Comparator {
+            bits: 8,
+            function: CmpOp::Lt,
+        }),
     );
     for i in 0..bits {
         let qa = nl.add_net(format!("qa{i}"));
@@ -378,7 +468,10 @@ pub fn circuit8() -> Netlist {
     nl.connect_named(vss, "Y", zero).unwrap();
     let cmp = nl.add_component(
         "tc",
-        ComponentKind::Micro(MicroComponent::Comparator { bits, function: CmpOp::Eq }),
+        ComponentKind::Micro(MicroComponent::Comparator {
+            bits,
+            function: CmpOp::Eq,
+        }),
     );
     for i in 0..bits {
         let q = nl.add_net(format!("q{i}"));
@@ -389,7 +482,8 @@ pub fn circuit8() -> Netlist {
         let s = nl.add_net(format!("s{i}"));
         nl.connect_named(au, &format!("S{i}"), s).unwrap();
         nl.connect_named(reg, &format!("D{i}"), s).unwrap();
-        nl.connect_named(au, &format!("B{i}"), if i == 0 { one } else { zero }).unwrap();
+        nl.connect_named(au, &format!("B{i}"), if i == 0 { one } else { zero })
+            .unwrap();
         // Match value from ports.
         let m = nl.add_net(format!("match{i}"));
         nl.connect_named(cmp, &format!("B{i}"), m).unwrap();
@@ -408,7 +502,10 @@ pub fn circuit8() -> Netlist {
     // Decode the low count bits for phase outputs.
     let dec = nl.add_component(
         "phase",
-        ComponentKind::Micro(MicroComponent::Decoder { bits: 2, enable: true }),
+        ComponentKind::Micro(MicroComponent::Decoder {
+            bits: 2,
+            enable: true,
+        }),
     );
     let q0 = nl.port("count0").unwrap().net;
     let q1 = nl.port("count1").unwrap().net;
@@ -437,7 +534,11 @@ mod tests {
                 .into_iter()
                 .filter(|v| !matches!(v, milo_netlist::Violation::DanglingOutput { .. }))
                 .collect();
-            assert!(violations.is_empty(), "circuit {}: {violations:?}", case.index);
+            assert!(
+                violations.is_empty(),
+                "circuit {}: {violations:?}",
+                case.index
+            );
         }
     }
 
@@ -477,7 +578,7 @@ mod tests {
             sim.set_input("x1", b).unwrap();
             sim.set_input("x2", c).unwrap();
             sim.settle();
-            assert_eq!(sim.output("f").unwrap(), (a && b) || (a && !b) || (b && c));
+            assert_eq!(sim.output("f").unwrap(), a || (b && c));
             assert_eq!(sim.output("g").unwrap(), a ^ c);
         }
     }

@@ -21,7 +21,14 @@ pub fn random_logic(gates: usize, inputs: usize, seed: u64) -> Netlist {
             net
         })
         .collect();
-    let functions = [GateFn::And, GateFn::Or, GateFn::Nand, GateFn::Nor, GateFn::Xor, GateFn::Inv];
+    let functions = [
+        GateFn::And,
+        GateFn::Or,
+        GateFn::Nand,
+        GateFn::Nor,
+        GateFn::Xor,
+        GateFn::Inv,
+    ];
     let mut made = 0usize;
     while made < gates {
         let f = functions[rng.gen_range(0..functions.len())];
@@ -40,7 +47,8 @@ pub fn random_logic(gates: usize, inputs: usize, seed: u64) -> Netlist {
             ComponentKind::Generic(GenericMacro::Gate(f, n as u8)),
         );
         for (i, net) in chosen.iter().enumerate() {
-            nl.connect_named(g, &format!("A{i}"), *net).expect("fresh pin");
+            nl.connect_named(g, &format!("A{i}"), *net)
+                .expect("fresh pin");
         }
         let y = nl.add_net(format!("n{made}"));
         nl.connect_named(g, "Y", y).expect("fresh pin");

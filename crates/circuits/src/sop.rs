@@ -11,7 +11,8 @@ pub(crate) fn gate(nl: &mut Netlist, f: GateFn, inputs: &[NetId], name: &str) ->
     let n = inputs.len() as u8;
     let g = nl.add_component(name, ComponentKind::Generic(GenericMacro::Gate(f, n)));
     for (i, net) in inputs.iter().enumerate() {
-        nl.connect_named(g, &format!("A{i}"), *net).expect("fresh pin");
+        nl.connect_named(g, &format!("A{i}"), *net)
+            .expect("fresh pin");
     }
     let y = nl.add_net(format!("{name}_y"));
     nl.connect_named(g, "Y", y).expect("fresh pin");
@@ -64,19 +65,26 @@ pub(crate) fn sop_output(
     let mut terms = Vec::new();
     for (t, &m) in minterms.iter().enumerate() {
         let literals: Vec<NetId> = (0..vars.len())
-            .map(|v| if m >> v & 1 == 1 { vars[v] } else { inverted[v] })
+            .map(|v| {
+                if m >> v & 1 == 1 {
+                    vars[v]
+                } else {
+                    inverted[v]
+                }
+            })
             .collect();
-        terms.push(gate_tree(nl, GateFn::And, &literals, &format!("{prefix}_t{t}")));
+        terms.push(gate_tree(
+            nl,
+            GateFn::And,
+            &literals,
+            &format!("{prefix}_t{t}"),
+        ));
     }
     gate_tree(nl, GateFn::Or, &terms, &format!("{prefix}_or"))
 }
 
 /// Builds a complete multi-output SOP design over shared input inverters.
-pub(crate) fn sop_design(
-    name: &str,
-    nvars: usize,
-    outputs: &[(&str, Vec<u32>)],
-) -> Netlist {
+pub(crate) fn sop_design(name: &str, nvars: usize, outputs: &[(&str, Vec<u32>)]) -> Netlist {
     let mut nl = Netlist::new(name);
     let vars = input_bus(&mut nl, "x", nvars);
     let inverted: Vec<NetId> = vars

@@ -33,8 +33,16 @@ pub(crate) fn compile_arith(
     }
     let mut nl = Netlist::new(name.clone());
     let a = net_bus(&mut nl, "A", bits);
-    let b = if ops.needs_b() { net_bus(&mut nl, "B", bits) } else { Vec::new() };
-    let op_pins = if op_list.len() > 1 { net_bus(&mut nl, "OP", ops.select_pins()) } else { Vec::new() };
+    let b = if ops.needs_b() {
+        net_bus(&mut nl, "B", bits)
+    } else {
+        Vec::new()
+    };
+    let op_pins = if op_list.len() > 1 {
+        net_bus(&mut nl, "OP", ops.select_pins())
+    } else {
+        Vec::new()
+    };
     let cin_net = nl.add_net("CIN");
 
     // Conditioned B operand and carry-in.
@@ -48,8 +56,11 @@ pub(crate) fn compile_arith(
     input_ports(&mut nl, &b);
     input_ports(&mut nl, &op_pins);
     nl.add_port("CIN", PinDir::In, cin_net);
-    let outs: Vec<(String, NetId)> =
-        sums.iter().enumerate().map(|(i, s)| (format!("S{i}"), *s)).collect();
+    let outs: Vec<(String, NetId)> = sums
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("S{i}"), *s))
+        .collect();
     output_ports(&mut nl, &outs);
     nl.add_port("COUT", PinDir::Out, cout);
     db.insert(nl);
@@ -91,7 +102,9 @@ fn condition_operand(
     let b_bit = |i: usize| b.get(i).map(|(_, n)| *n);
     if op_list.len() == 1 {
         let op = op_list[0];
-        let b_cond = (0..bits as usize).map(|i| b_source(nl, op, b_bit(i), i)).collect();
+        let b_cond = (0..bits as usize)
+            .map(|i| b_source(nl, op, b_bit(i), i))
+            .collect();
         let cin_cond = cin_source(nl, op, cin);
         return (b_cond, cin_cond);
     }
@@ -99,7 +112,14 @@ fn condition_operand(
     if op_list == [ArithOp::Add, ArithOp::Sub] {
         let sel = op_pins[0].1;
         let b_cond = (0..bits as usize)
-            .map(|i| gate(nl, GateFn::Xor, &[b_bit(i).expect("add/sub has B"), sel], &format!("bx{i}")))
+            .map(|i| {
+                gate(
+                    nl,
+                    GateFn::Xor,
+                    &[b_bit(i).expect("add/sub has B"), sel],
+                    &format!("bx{i}"),
+                )
+            })
             .collect();
         return (b_cond, cin);
     }
@@ -115,7 +135,12 @@ fn condition_operand(
             data.push(b_source(nl, op, b_bit(i), i));
         }
         let sels: Vec<NetId> = op_pins.iter().take(selects).map(|(_, n)| *n).collect();
-        b_cond.push(crate::datapath::mux_tree(nl, &data, &sels, &format!("bm{i}")));
+        b_cond.push(crate::datapath::mux_tree(
+            nl,
+            &data,
+            &sels,
+            &format!("bm{i}"),
+        ));
     }
     let mut cin_data = Vec::with_capacity(ways);
     for k in 0..ways {
@@ -145,18 +170,28 @@ pub(crate) fn adder_chain(
         let take = if bits - i >= 4 { 4 } else { 1 };
         let macro_ = match (take, mode) {
             (4, CarryMode::CarryLookahead) => GenericMacro::Adder { bits: 4, cla: true },
-            (4, CarryMode::Ripple) => GenericMacro::Adder { bits: 4, cla: false },
-            _ => GenericMacro::Adder { bits: 1, cla: false },
+            (4, CarryMode::Ripple) => GenericMacro::Adder {
+                bits: 4,
+                cla: false,
+            },
+            _ => GenericMacro::Adder {
+                bits: 1,
+                cla: false,
+            },
         };
         let add = nl.add_component(format!("add{slice}"), ComponentKind::Generic(macro_));
         for k in 0..take {
-            nl.connect_named(add, &format!("A{k}"), a[i + k]).expect("fresh adder pin");
-            nl.connect_named(add, &format!("B{k}"), b[i + k]).expect("fresh adder pin");
+            nl.connect_named(add, &format!("A{k}"), a[i + k])
+                .expect("fresh adder pin");
+            nl.connect_named(add, &format!("B{k}"), b[i + k])
+                .expect("fresh adder pin");
         }
-        nl.connect_named(add, "CIN", carry).expect("fresh adder pin");
+        nl.connect_named(add, "CIN", carry)
+            .expect("fresh adder pin");
         for k in 0..take {
             let s = nl.add_net(format!("s{}", i + k));
-            nl.connect_named(add, &format!("S{k}"), s).expect("fresh adder pin");
+            nl.connect_named(add, &format!("S{k}"), s)
+                .expect("fresh adder pin");
             sums.push(s);
         }
         let co = nl.add_net(format!("c{slice}"));
@@ -181,7 +216,9 @@ pub(crate) fn compile_comparator(
         return Ok(name);
     }
     if bits == 0 {
-        return Err(CompileError::InvalidParams("comparator needs bits >= 1".into()));
+        return Err(CompileError::InvalidParams(
+            "comparator needs bits >= 1".into(),
+        ));
     }
     let mut nl = Netlist::new(name.clone());
     let a = net_bus(&mut nl, "A", bits);
@@ -204,7 +241,12 @@ pub(crate) fn compile_comparator(
         let triple = if take == 1 {
             let na = inv(&mut nl, a_nets[i], &format!("na{s}"));
             let nb = inv(&mut nl, b_nets[i], &format!("nb{s}"));
-            let eq = gate(&mut nl, GateFn::Xnor, &[a_nets[i], b_nets[i]], &format!("eq{s}"));
+            let eq = gate(
+                &mut nl,
+                GateFn::Xnor,
+                &[a_nets[i], b_nets[i]],
+                &format!("eq{s}"),
+            );
             let lt = gate(&mut nl, GateFn::And, &[na, b_nets[i]], &format!("lt{s}"));
             let gt = gate(&mut nl, GateFn::And, &[a_nets[i], nb], &format!("gt{s}"));
             (eq, lt, gt)
@@ -214,8 +256,10 @@ pub(crate) fn compile_comparator(
                 ComponentKind::Generic(GenericMacro::Comparator { bits: take as u8 }),
             );
             for k in 0..take {
-                nl.connect_named(cmp, &format!("A{k}"), a_nets[i + k]).expect("fresh cmp pin");
-                nl.connect_named(cmp, &format!("B{k}"), b_nets[i + k]).expect("fresh cmp pin");
+                nl.connect_named(cmp, &format!("A{k}"), a_nets[i + k])
+                    .expect("fresh cmp pin");
+                nl.connect_named(cmp, &format!("B{k}"), b_nets[i + k])
+                    .expect("fresh cmp pin");
             }
             let eq = nl.add_net(format!("eq{s}"));
             let lt = nl.add_net(format!("lt{s}"));
@@ -290,19 +334,31 @@ mod tests {
 
     #[test]
     fn dec_only_unit() {
-        let ops = ArithOps { dec: true, ..ArithOps::default() };
+        let ops = ArithOps {
+            dec: true,
+            ..ArithOps::default()
+        };
         check_au(4, ops, CarryMode::Ripple);
     }
 
     #[test]
     fn inc_dec_unit() {
-        let ops = ArithOps { inc: true, dec: true, ..ArithOps::default() };
+        let ops = ArithOps {
+            inc: true,
+            dec: true,
+            ..ArithOps::default()
+        };
         check_au(3, ops, CarryMode::Ripple);
     }
 
     #[test]
     fn four_op_alu() {
-        let ops = ArithOps { add: true, sub: true, inc: true, dec: true };
+        let ops = ArithOps {
+            add: true,
+            sub: true,
+            inc: true,
+            dec: true,
+        };
         check_au(3, ops, CarryMode::Ripple);
         check_au(4, ops, CarryMode::CarryLookahead);
     }
@@ -310,8 +366,18 @@ mod tests {
     #[test]
     fn comparators_all_ops() {
         let mut db = DesignDb::new();
-        for f in [CmpOp::Eq, CmpOp::Lt, CmpOp::Gt, CmpOp::Le, CmpOp::Ge, CmpOp::Ne] {
-            let micro = MicroComponent::Comparator { bits: 5, function: f };
+        for f in [
+            CmpOp::Eq,
+            CmpOp::Lt,
+            CmpOp::Gt,
+            CmpOp::Le,
+            CmpOp::Ge,
+            CmpOp::Ne,
+        ] {
+            let micro = MicroComponent::Comparator {
+                bits: 5,
+                function: f,
+            };
             let name = compile(&micro, &mut db).unwrap();
             let flat = db.flatten(&name).unwrap();
             check_comb_equivalence(&micro_wrapper(micro), &flat, 2048)
@@ -322,7 +388,10 @@ mod tests {
     #[test]
     fn comparator_one_bit() {
         let mut db = DesignDb::new();
-        let micro = MicroComponent::Comparator { bits: 1, function: CmpOp::Gt };
+        let micro = MicroComponent::Comparator {
+            bits: 1,
+            function: CmpOp::Gt,
+        };
         let name = compile(&micro, &mut db).unwrap();
         let flat = db.flatten(&name).unwrap();
         check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
@@ -343,10 +412,16 @@ mod tests {
             .filter(|&id| {
                 matches!(
                     design.component(id).map(|c| &c.kind),
-                    Ok(ComponentKind::Generic(GenericMacro::Adder { cla: true, .. }))
+                    Ok(ComponentKind::Generic(GenericMacro::Adder {
+                        cla: true,
+                        ..
+                    }))
                 )
             })
             .count();
-        assert_eq!(cla_count, 2, "8-bit CLA adder should use two ADD4CLA slices");
+        assert_eq!(
+            cla_count, 2,
+            "8-bit CLA adder should use two ADD4CLA slices"
+        );
     }
 }

@@ -4,8 +4,7 @@
 use crate::helpers::{gate, input_ports, net_bus, output_ports};
 use crate::{design_name, CompileError};
 use milo_netlist::{
-    sel_bits, ComponentKind, DesignDb, GateFn, GenericMacro, MicroComponent, NetId, Netlist,
-    PinDir,
+    sel_bits, ComponentKind, DesignDb, GateFn, GenericMacro, MicroComponent, NetId, Netlist, PinDir,
 };
 
 /// Builds a 1-bit `n`-to-1 mux tree from generic MUX2TO1/MUX4TO1 macros.
@@ -31,7 +30,8 @@ pub(crate) fn mux_tree(nl: &mut Netlist, data: &[NetId], sel: &[NetId], prefix: 
             ComponentKind::Generic(GenericMacro::Mux { selects: 2 }),
         );
         for (i, d) in data.iter().enumerate() {
-            nl.connect_named(m, &format!("D{i}"), *d).expect("fresh mux pin");
+            nl.connect_named(m, &format!("D{i}"), *d)
+                .expect("fresh mux pin");
         }
         nl.connect_named(m, "S0", sel[0]).expect("fresh mux pin");
         nl.connect_named(m, "S1", sel[1]).expect("fresh mux pin");
@@ -60,7 +60,11 @@ pub(crate) fn compile_mux(
     enable: bool,
     db: &mut DesignDb,
 ) -> Result<String, CompileError> {
-    let micro = MicroComponent::Multiplexor { bits, inputs, enable };
+    let micro = MicroComponent::Multiplexor {
+        bits,
+        inputs,
+        enable,
+    };
     let name = design_name(&micro);
     if db.contains(&name) {
         return Ok(name);
@@ -78,10 +82,7 @@ pub(crate) fn compile_mux(
     let selects = sel_bits(inputs);
     let sels = net_bus(&mut nl, "S", selects);
     let sel_nets: Vec<NetId> = sels.iter().map(|(_, n)| *n).collect();
-    let en = enable.then(|| {
-        let n = nl.add_net("EN");
-        n
-    });
+    let en = enable.then(|| nl.add_net("EN"));
     let mut outs = Vec::new();
     for j in 0..bits as usize {
         let data: Vec<NetId> = word_nets.iter().map(|w| w[j].1).collect();
@@ -116,7 +117,9 @@ pub(crate) fn compile_decoder(
         return Ok(name);
     }
     if bits == 0 || bits > 5 {
-        return Err(CompileError::InvalidParams(format!("decoder bits must be 1..=5, got {bits}")));
+        return Err(CompileError::InvalidParams(format!(
+            "decoder bits must be 1..=5, got {bits}"
+        )));
     }
     let mut nl = Netlist::new(name.clone());
     let addr = net_bus(&mut nl, "A", bits);
@@ -148,7 +151,8 @@ fn decode_nets(nl: &mut Netlist, addr: &[NetId], prefix: &str) -> Vec<NetId> {
                 format!("{prefix}_d1"),
                 ComponentKind::Generic(GenericMacro::Decoder { inputs: 1 }),
             );
-            nl.connect_named(d, "A0", addr[0]).expect("fresh decoder pin");
+            nl.connect_named(d, "A0", addr[0])
+                .expect("fresh decoder pin");
             let y0 = nl.add_net(format!("{prefix}_y0"));
             let y1 = nl.add_net(format!("{prefix}_y1"));
             nl.connect_named(d, "Y0", y0).expect("fresh decoder pin");
@@ -160,12 +164,15 @@ fn decode_nets(nl: &mut Netlist, addr: &[NetId], prefix: &str) -> Vec<NetId> {
                 format!("{prefix}_d2"),
                 ComponentKind::Generic(GenericMacro::Decoder { inputs: 2 }),
             );
-            nl.connect_named(d, "A0", addr[0]).expect("fresh decoder pin");
-            nl.connect_named(d, "A1", addr[1]).expect("fresh decoder pin");
+            nl.connect_named(d, "A0", addr[0])
+                .expect("fresh decoder pin");
+            nl.connect_named(d, "A1", addr[1])
+                .expect("fresh decoder pin");
             let mut ys = Vec::new();
             for i in 0..4 {
                 let y = nl.add_net(format!("{prefix}_y{i}"));
-                nl.connect_named(d, &format!("Y{i}"), y).expect("fresh decoder pin");
+                nl.connect_named(d, &format!("Y{i}"), y)
+                    .expect("fresh decoder pin");
                 ys.push(y);
             }
             ys
@@ -178,7 +185,12 @@ fn decode_nets(nl: &mut Netlist, addr: &[NetId], prefix: &str) -> Vec<NetId> {
             for (hi, h) in high.iter().enumerate() {
                 for (lo, l) in low.iter().enumerate() {
                     let idx = (hi << 2) | lo;
-                    ys.push(gate(nl, GateFn::And, &[*h, *l], &format!("{prefix}_y{idx}")));
+                    ys.push(gate(
+                        nl,
+                        GateFn::And,
+                        &[*h, *l],
+                        &format!("{prefix}_y{idx}"),
+                    ));
                 }
             }
             ys
@@ -196,7 +208,11 @@ mod tests {
     fn mux_2_and_4_way() {
         let mut db = DesignDb::new();
         for inputs in [2u8, 4] {
-            let micro = MicroComponent::Multiplexor { bits: 2, inputs, enable: false };
+            let micro = MicroComponent::Multiplexor {
+                bits: 2,
+                inputs,
+                enable: false,
+            };
             let name = compile(&micro, &mut db).unwrap();
             let flat = db.flatten(&name).unwrap();
             check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
@@ -206,7 +222,11 @@ mod tests {
     #[test]
     fn mux_8_way_two_levels() {
         let mut db = DesignDb::new();
-        let micro = MicroComponent::Multiplexor { bits: 1, inputs: 8, enable: false };
+        let micro = MicroComponent::Multiplexor {
+            bits: 1,
+            inputs: 8,
+            enable: false,
+        };
         let name = compile(&micro, &mut db).unwrap();
         let flat = db.flatten(&name).unwrap();
         check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
@@ -215,7 +235,11 @@ mod tests {
     #[test]
     fn mux_with_enable() {
         let mut db = DesignDb::new();
-        let micro = MicroComponent::Multiplexor { bits: 2, inputs: 2, enable: true };
+        let micro = MicroComponent::Multiplexor {
+            bits: 2,
+            inputs: 2,
+            enable: true,
+        };
         let name = compile(&micro, &mut db).unwrap();
         let flat = db.flatten(&name).unwrap();
         check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
@@ -225,7 +249,10 @@ mod tests {
     fn decoders_equivalent() {
         let mut db = DesignDb::new();
         for bits in [1u8, 2, 3, 4] {
-            let micro = MicroComponent::Decoder { bits, enable: false };
+            let micro = MicroComponent::Decoder {
+                bits,
+                enable: false,
+            };
             let name = compile(&micro, &mut db).unwrap();
             let flat = db.flatten(&name).unwrap();
             check_comb_equivalence(&micro_wrapper(micro), &flat, 0)
@@ -236,7 +263,10 @@ mod tests {
     #[test]
     fn decoder_with_enable() {
         let mut db = DesignDb::new();
-        let micro = MicroComponent::Decoder { bits: 3, enable: true };
+        let micro = MicroComponent::Decoder {
+            bits: 3,
+            enable: true,
+        };
         let name = compile(&micro, &mut db).unwrap();
         let flat = db.flatten(&name).unwrap();
         check_comb_equivalence(&micro_wrapper(micro), &flat, 0).unwrap();
@@ -245,7 +275,14 @@ mod tests {
     #[test]
     fn mux_rejects_non_power_of_two() {
         let mut db = DesignDb::new();
-        let micro = MicroComponent::Multiplexor { bits: 1, inputs: 3, enable: false };
-        assert!(matches!(compile(&micro, &mut db), Err(CompileError::InvalidParams(_))));
+        let micro = MicroComponent::Multiplexor {
+            bits: 1,
+            inputs: 3,
+            enable: false,
+        };
+        assert!(matches!(
+            compile(&micro, &mut db),
+            Err(CompileError::InvalidParams(_))
+        ));
     }
 }

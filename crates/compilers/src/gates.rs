@@ -56,13 +56,19 @@ pub(crate) fn compile_logic_unit(
     bits: u8,
     db: &mut DesignDb,
 ) -> Result<String, CompileError> {
-    let micro = MicroComponent::LogicUnit { function, inputs, bits };
+    let micro = MicroComponent::LogicUnit {
+        function,
+        inputs,
+        bits,
+    };
     let name = design_name(&micro);
     if db.contains(&name) {
         return Ok(name);
     }
     if bits == 0 || inputs == 0 {
-        return Err(CompileError::InvalidParams("logic unit needs bits >= 1, inputs >= 1".into()));
+        return Err(CompileError::InvalidParams(
+            "logic unit needs bits >= 1, inputs >= 1".into(),
+        ));
     }
     let mut nl = Netlist::new(name.clone());
     // Input buses A{i}_{j}: word i, bit j.
@@ -73,7 +79,11 @@ pub(crate) fn compile_logic_unit(
     let mut outs = Vec::new();
     // Wide slices instantiate the compiled wide-gate design.
     let wide = inputs as usize > MAX_GENERIC_FANIN && function.is_associative();
-    let slice_design = if wide { Some(compile_gate(function, inputs, db)?) } else { None };
+    let slice_design = if wide {
+        Some(compile_gate(function, inputs, db)?)
+    } else {
+        None
+    };
     for j in 0..bits as usize {
         let slice_inputs: Vec<NetId> = word_nets.iter().map(|w| w[j].1).collect();
         let y = match &slice_design {
@@ -81,7 +91,8 @@ pub(crate) fn compile_logic_unit(
                 let kind = db.instance_kind(design).expect("just compiled");
                 let inst = nl.add_component(format!("slice{j}"), kind);
                 for (i, net) in slice_inputs.iter().enumerate() {
-                    nl.connect_named(inst, &format!("A{i}"), *net).expect("fresh instance pin");
+                    nl.connect_named(inst, &format!("A{i}"), *net)
+                        .expect("fresh instance pin");
                 }
                 let y = nl.add_net(format!("y{j}"));
                 nl.connect_named(inst, "Y", y).expect("fresh instance pin");
@@ -102,14 +113,17 @@ pub(crate) fn compile_logic_unit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::{check_comb_equivalence, micro_wrapper};
     use crate::compile;
+    use crate::verify::{check_comb_equivalence, micro_wrapper};
 
     #[test]
     fn wide_or_gate_equivalent() {
         let mut db = DesignDb::new();
         for n in [2u8, 4, 5, 9] {
-            let micro = MicroComponent::Gate { function: GateFn::Or, inputs: n };
+            let micro = MicroComponent::Gate {
+                function: GateFn::Or,
+                inputs: n,
+            };
             let name = compile(&micro, &mut db).unwrap();
             let flat = db.flatten(&name).unwrap();
             let golden = micro_wrapper(micro);
@@ -120,20 +134,31 @@ mod tests {
     #[test]
     fn wide_nand_and_xnor_equivalent() {
         let mut db = DesignDb::new();
-        for f in [GateFn::Nand, GateFn::Nor, GateFn::Xnor, GateFn::Xor, GateFn::And] {
-            let micro = MicroComponent::Gate { function: f, inputs: 7 };
+        for f in [
+            GateFn::Nand,
+            GateFn::Nor,
+            GateFn::Xnor,
+            GateFn::Xor,
+            GateFn::And,
+        ] {
+            let micro = MicroComponent::Gate {
+                function: f,
+                inputs: 7,
+            };
             let name = compile(&micro, &mut db).unwrap();
             let flat = db.flatten(&name).unwrap();
             let golden = micro_wrapper(micro);
-            check_comb_equivalence(&golden, &flat, 200)
-                .unwrap_or_else(|e| panic!("{f}: {e}"));
+            check_comb_equivalence(&golden, &flat, 200).unwrap_or_else(|e| panic!("{f}: {e}"));
         }
     }
 
     #[test]
     fn cache_hit_returns_same_design() {
         let mut db = DesignDb::new();
-        let micro = MicroComponent::Gate { function: GateFn::Or, inputs: 9 };
+        let micro = MicroComponent::Gate {
+            function: GateFn::Or,
+            inputs: 9,
+        };
         let n1 = compile(&micro, &mut db).unwrap();
         let count = db.len();
         let n2 = compile(&micro, &mut db).unwrap();
@@ -144,7 +169,11 @@ mod tests {
     #[test]
     fn logic_unit_bitwise_equivalent() {
         let mut db = DesignDb::new();
-        let micro = MicroComponent::LogicUnit { function: GateFn::Xor, inputs: 2, bits: 4 };
+        let micro = MicroComponent::LogicUnit {
+            function: GateFn::Xor,
+            inputs: 2,
+            bits: 4,
+        };
         let name = compile(&micro, &mut db).unwrap();
         let flat = db.flatten(&name).unwrap();
         let golden = micro_wrapper(micro);
@@ -154,7 +183,11 @@ mod tests {
     #[test]
     fn wide_logic_unit_uses_hierarchy() {
         let mut db = DesignDb::new();
-        let micro = MicroComponent::LogicUnit { function: GateFn::And, inputs: 6, bits: 2 };
+        let micro = MicroComponent::LogicUnit {
+            function: GateFn::And,
+            inputs: 6,
+            bits: 2,
+        };
         let name = compile(&micro, &mut db).unwrap();
         // The wide-gate sub-design must be in the database too.
         assert!(db.contains("AND6"));
@@ -166,7 +199,13 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let mut db = DesignDb::new();
-        let micro = MicroComponent::Gate { function: GateFn::Inv, inputs: 3 };
-        assert!(matches!(compile(&micro, &mut db), Err(CompileError::InvalidParams(_))));
+        let micro = MicroComponent::Gate {
+            function: GateFn::Inv,
+            inputs: 3,
+        };
+        assert!(matches!(
+            compile(&micro, &mut db),
+            Err(CompileError::InvalidParams(_))
+        ));
     }
 }

@@ -12,14 +12,18 @@ pub fn gate(nl: &mut Netlist, f: GateFn, inputs: &[NetId], out_name: &str) -> Ne
     let n = inputs.len() as u8;
     match f {
         GateFn::Inv | GateFn::Buf => assert_eq!(n, 1, "{f} takes one input"),
-        _ => assert!((2..=4).contains(&n), "generic {f} gates take 2-4 inputs, got {n}"),
+        _ => assert!(
+            (2..=4).contains(&n),
+            "generic {f} gates take 2-4 inputs, got {n}"
+        ),
     }
     let g = nl.add_component(
         format!("{}_{}", f.mnemonic(), out_name),
         ComponentKind::Generic(GenericMacro::Gate(f, n)),
     );
     for (i, net) in inputs.iter().enumerate() {
-        nl.connect_named(g, &format!("A{i}"), *net).expect("fresh gate pin");
+        nl.connect_named(g, &format!("A{i}"), *net)
+            .expect("fresh gate pin");
     }
     let y = nl.add_net(out_name);
     nl.connect_named(g, "Y", y).expect("fresh gate pin");
@@ -42,7 +46,11 @@ pub fn vss(nl: &mut Netlist) -> NetId {
 }
 
 fn constant(nl: &mut Netlist, high: bool) -> NetId {
-    let (macro_, name) = if high { (GenericMacro::Vdd, "vdd") } else { (GenericMacro::Vss, "vss") };
+    let (macro_, name) = if high {
+        (GenericMacro::Vdd, "vdd")
+    } else {
+        (GenericMacro::Vss, "vss")
+    };
     // Reuse an existing constant driver if present.
     for id in nl.component_ids() {
         if let Ok(c) = nl.component(id) {
@@ -90,7 +98,12 @@ pub fn gate_tree(
                 break;
             }
             let take = remaining.min(max_fanin);
-            let out = gate(nl, f, &level[i..i + take], &format!("{prefix}_l{level_count}g{g}"));
+            let out = gate(
+                nl,
+                f,
+                &level[i..i + take],
+                &format!("{prefix}_l{level_count}g{g}"),
+            );
             next.push(out);
             i += take;
             g += 1;
@@ -133,8 +146,12 @@ pub fn inverting_gate_tree(
                 break;
             }
             let take = remaining.min(max_fanin);
-            let out =
-                gate(nl, base, &level[i..i + take], &format!("{prefix}_l{level_count}g{g}"));
+            let out = gate(
+                nl,
+                base,
+                &level[i..i + take],
+                &format!("{prefix}_l{level_count}g{g}"),
+            );
             next.push(out);
             i += take;
             g += 1;
@@ -239,10 +256,15 @@ mod tests {
         let mut sim = Simulator::new(&nl).unwrap();
         for pattern in 0..64u32 {
             for i in 0..6 {
-                sim.set_input(&format!("a{i}"), pattern >> i & 1 == 1).unwrap();
+                sim.set_input(&format!("a{i}"), pattern >> i & 1 == 1)
+                    .unwrap();
             }
             sim.settle();
-            assert_eq!(sim.output("y").unwrap(), pattern == 0, "pattern {pattern:b}");
+            assert_eq!(
+                sim.output("y").unwrap(),
+                pattern == 0,
+                "pattern {pattern:b}"
+            );
         }
     }
 

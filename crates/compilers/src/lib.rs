@@ -66,16 +66,28 @@ pub fn design_name(micro: &MicroComponent) -> String {
         MicroComponent::Gate { function, inputs } => {
             format!("{}{}", function.mnemonic().to_uppercase(), inputs)
         }
-        MicroComponent::Multiplexor { bits, inputs, enable } => {
+        MicroComponent::Multiplexor {
+            bits,
+            inputs,
+            enable,
+        } => {
             format!("MUX{inputs}:1:{bits}{}", if enable { "E" } else { "" })
         }
         MicroComponent::Decoder { bits, enable } => {
-            format!("DEC{bits}TO{}{}", 1u8 << bits, if enable { "E" } else { "" })
+            format!(
+                "DEC{bits}TO{}{}",
+                1u8 << bits,
+                if enable { "E" } else { "" }
+            )
         }
         MicroComponent::Comparator { bits, function } => {
             format!("CMP{bits}_{function:?}").to_uppercase()
         }
-        MicroComponent::LogicUnit { function, inputs, bits } => {
+        MicroComponent::LogicUnit {
+            function,
+            inputs,
+            bits,
+        } => {
             format!("LU{bits}_{}{}", function.mnemonic().to_uppercase(), inputs)
         }
         MicroComponent::ArithmeticUnit { bits, ops, mode } => {
@@ -102,7 +114,12 @@ pub fn design_name(micro: &MicroComponent) -> String {
             }
             s
         }
-        MicroComponent::Register { bits, trigger, funcs, ctrl } => {
+        MicroComponent::Register {
+            bits,
+            trigger,
+            funcs,
+            ctrl,
+        } => {
             let mut s = format!("REG{bits}");
             if trigger == Trigger::Latch {
                 s.push('L');
@@ -170,12 +187,16 @@ pub fn design_name(micro: &MicroComponent) -> String {
 pub fn compile(micro: &MicroComponent, db: &mut DesignDb) -> Result<String, CompileError> {
     match *micro {
         MicroComponent::Gate { function, inputs } => gates::compile_gate(function, inputs, db),
-        MicroComponent::LogicUnit { function, inputs, bits } => {
-            gates::compile_logic_unit(function, inputs, bits, db)
-        }
-        MicroComponent::Multiplexor { bits, inputs, enable } => {
-            datapath::compile_mux(bits, inputs, enable, db)
-        }
+        MicroComponent::LogicUnit {
+            function,
+            inputs,
+            bits,
+        } => gates::compile_logic_unit(function, inputs, bits, db),
+        MicroComponent::Multiplexor {
+            bits,
+            inputs,
+            enable,
+        } => datapath::compile_mux(bits, inputs, enable, db),
         MicroComponent::Decoder { bits, enable } => datapath::compile_decoder(bits, enable, db),
         MicroComponent::Comparator { bits, function } => {
             arith::compile_comparator(bits, function, db)
@@ -183,9 +204,12 @@ pub fn compile(micro: &MicroComponent, db: &mut DesignDb) -> Result<String, Comp
         MicroComponent::ArithmeticUnit { bits, ops, mode } => {
             arith::compile_arith(bits, ops, mode, db)
         }
-        MicroComponent::Register { bits, trigger, funcs, ctrl } => {
-            storage::compile_register(bits, trigger, funcs, ctrl, db)
-        }
+        MicroComponent::Register {
+            bits,
+            trigger,
+            funcs,
+            ctrl,
+        } => storage::compile_register(bits, trigger, funcs, ctrl, db),
         MicroComponent::Counter { bits, funcs, ctrl } => {
             storage::compile_counter(bits, funcs, ctrl, db)
         }
@@ -217,7 +241,9 @@ pub fn expand_micro_components(
     for id in micro_ids {
         let (micro, name, pin_nets) = {
             let comp = nl.component(id)?;
-            let milo_netlist::ComponentKind::Micro(m) = &comp.kind else { unreachable!() };
+            let milo_netlist::ComponentKind::Micro(m) = &comp.kind else {
+                unreachable!()
+            };
             let pin_nets: Vec<(String, Option<milo_netlist::NetId>)> =
                 comp.pins.iter().map(|p| (p.name.clone(), p.net)).collect();
             (*m, comp.name.clone(), pin_nets)
@@ -251,7 +277,11 @@ mod tests {
             "ADD4"
         );
         assert_eq!(
-            design_name(&MicroComponent::Multiplexor { bits: 4, inputs: 2, enable: false }),
+            design_name(&MicroComponent::Multiplexor {
+                bits: 4,
+                inputs: 2,
+                enable: false
+            }),
             "MUX2:1:4"
         );
         assert_eq!(

@@ -23,21 +23,36 @@ pub(crate) fn compile_register(
     ctrl: ControlSet,
     db: &mut DesignDb,
 ) -> Result<String, CompileError> {
-    let micro = MicroComponent::Register { bits, trigger, funcs, ctrl };
+    let micro = MicroComponent::Register {
+        bits,
+        trigger,
+        funcs,
+        ctrl,
+    };
     let name = design_name(&micro);
     if db.contains(&name) {
         return Ok(name);
     }
     if bits == 0 {
-        return Err(CompileError::InvalidParams("register needs bits >= 1".into()));
+        return Err(CompileError::InvalidParams(
+            "register needs bits >= 1".into(),
+        ));
     }
     let mut nl = Netlist::new(name.clone());
 
     // Ports, in the micro component's pin order.
-    let d = if funcs.load { net_bus(&mut nl, "D", bits) } else { Vec::new() };
+    let d = if funcs.load {
+        net_bus(&mut nl, "D", bits)
+    } else {
+        Vec::new()
+    };
     let sil = funcs.shift_left.then(|| nl.add_net("SIL"));
     let sir = funcs.shift_right.then(|| nl.add_net("SIR"));
-    let sel_count = if funcs.source_count() > 1 { funcs.select_pins() } else { 0 };
+    let sel_count = if funcs.source_count() > 1 {
+        funcs.select_pins()
+    } else {
+        0
+    };
     let f_pins = net_bus(&mut nl, "F", sel_count);
     let set = ctrl.set.then(|| nl.add_net("SET"));
     let rst = ctrl.reset.then(|| nl.add_net("RST"));
@@ -47,18 +62,11 @@ pub(crate) fn compile_register(
     // Next-state nets and storage bits.
     let next: Vec<NetId> = (0..bits).map(|i| nl.add_net(format!("next{i}"))).collect();
     let mut q = Vec::with_capacity(bits as usize);
-    for i in 0..bits as usize {
+    for (i, &next_i) in next.iter().enumerate() {
         let q_net = match trigger {
             Trigger::EdgeTriggered => {
-                let (_, qn) = crate::helpers::dff(
-                    &mut nl,
-                    next[i],
-                    clk,
-                    set,
-                    rst,
-                    en,
-                    &format!("ff{i}"),
-                );
+                let (_, qn) =
+                    crate::helpers::dff(&mut nl, next_i, clk, set, rst, en, &format!("ff{i}"));
                 qn
             }
             Trigger::Latch => {
@@ -74,7 +82,7 @@ pub(crate) fn compile_register(
                         reset: rst.is_some(),
                     }),
                 );
-                nl.connect_named(lat, "D", next[i]).expect("fresh latch pin");
+                nl.connect_named(lat, "D", next_i).expect("fresh latch pin");
                 nl.connect_named(lat, "G", g).expect("fresh latch pin");
                 if let Some(s) = set {
                     nl.connect_named(lat, "SET", s).expect("fresh latch pin");
@@ -115,7 +123,11 @@ pub(crate) fn compile_register(
                 sources.push(d[i].1);
             }
             if funcs.shift_left {
-                sources.push(if i == 0 { sil.expect("SIL present") } else { q[i - 1] });
+                sources.push(if i == 0 {
+                    sil.expect("SIL present")
+                } else {
+                    q[i - 1]
+                });
             }
             if funcs.shift_right {
                 sources.push(if i == bits as usize - 1 {
@@ -130,10 +142,12 @@ pub(crate) fn compile_register(
             let kind = db.instance_kind(&mux_design).expect("just compiled");
             let m = nl.add_component(format!("mux{i}"), kind);
             for (k, src) in sources.iter().enumerate() {
-                nl.connect_named(m, &format!("D{k}_0"), *src).expect("fresh mux pin");
+                nl.connect_named(m, &format!("D{k}_0"), *src)
+                    .expect("fresh mux pin");
             }
             for (k, (_, s)) in f_pins.iter().enumerate() {
-                nl.connect_named(m, &format!("S{k}"), *s).expect("fresh mux pin");
+                nl.connect_named(m, &format!("S{k}"), *s)
+                    .expect("fresh mux pin");
             }
             nl.connect_named(m, "Y0", next[i]).expect("fresh mux pin");
         }
@@ -178,11 +192,17 @@ pub(crate) fn compile_counter(
         return Ok(name);
     }
     if bits == 0 {
-        return Err(CompileError::InvalidParams("counter needs bits >= 1".into()));
+        return Err(CompileError::InvalidParams(
+            "counter needs bits >= 1".into(),
+        ));
     }
     let mut nl = Netlist::new(name.clone());
 
-    let d = if funcs.load { net_bus(&mut nl, "D", bits) } else { Vec::new() };
+    let d = if funcs.load {
+        net_bus(&mut nl, "D", bits)
+    } else {
+        Vec::new()
+    };
     let load = funcs.load.then(|| nl.add_net("LOAD"));
     let up = (funcs.up && funcs.down).then(|| nl.add_net("UP"));
     let set = ctrl.set.then(|| nl.add_net("SET"));
@@ -192,8 +212,8 @@ pub(crate) fn compile_counter(
 
     let next: Vec<NetId> = (0..bits).map(|i| nl.add_net(format!("next{i}"))).collect();
     let mut q = Vec::with_capacity(bits as usize);
-    for i in 0..bits as usize {
-        let (_, qn) = crate::helpers::dff(&mut nl, next[i], clk, set, rst, None, &format!("ff{i}"));
+    for (i, &next_i) in next.iter().enumerate() {
+        let (_, qn) = crate::helpers::dff(&mut nl, next_i, clk, set, rst, None, &format!("ff{i}"));
         q.push(qn);
     }
 
@@ -219,8 +239,10 @@ pub(crate) fn compile_counter(
     // Per-bit next-state selection, specialized on the available
     // controls so that e.g. a free-running up counter needs no muxes.
     let mux2 = |nl: &mut Netlist, i: usize, d0: NetId, d1: NetId, s0: NetId, y: NetId| {
-        let m = nl
-            .add_component(format!("nm{i}"), ComponentKind::Generic(GenericMacro::Mux { selects: 1 }));
+        let m = nl.add_component(
+            format!("nm{i}"),
+            ComponentKind::Generic(GenericMacro::Mux { selects: 1 }),
+        );
         nl.connect_named(m, "D0", d0).expect("fresh mux pin");
         nl.connect_named(m, "D1", d1).expect("fresh mux pin");
         nl.connect_named(m, "S0", s0).expect("fresh mux pin");
@@ -278,7 +300,8 @@ pub(crate) fn compile_counter(
                 );
                 nl.connect_named(m, "D0", tc_dn).expect("fresh mux pin");
                 nl.connect_named(m, "D1", tc_up).expect("fresh mux pin");
-                nl.connect_named(m, "S0", up.expect("UP present")).expect("fresh mux pin");
+                nl.connect_named(m, "S0", up.expect("UP present"))
+                    .expect("fresh mux pin");
                 let y = nl.add_net("tc");
                 nl.connect_named(m, "Y", y).expect("fresh mux pin");
                 y
@@ -322,7 +345,10 @@ pub(crate) fn compile_counter(
 
 fn all_ones(nl: &mut Netlist, q: &[NetId]) -> NetId {
     if q.len() == 1 {
-        let g = nl.add_component("tc1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)));
+        let g = nl.add_component(
+            "tc1",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+        );
         nl.connect_named(g, "A0", q[0]).expect("fresh buf pin");
         let y = nl.add_net("tc1_y");
         nl.connect_named(g, "Y", y).expect("fresh buf pin");
@@ -346,8 +372,12 @@ mod tests {
 
     fn check_reg(bits: u8, funcs: RegFunctions, ctrl: ControlSet) {
         let mut db = DesignDb::new();
-        let micro =
-            MicroComponent::Register { bits, trigger: Trigger::EdgeTriggered, funcs, ctrl };
+        let micro = MicroComponent::Register {
+            bits,
+            trigger: Trigger::EdgeTriggered,
+            funcs,
+            ctrl,
+        };
         let name = compile(&micro, &mut db).unwrap();
         let flat = db.flatten(&name).unwrap();
         check_seq_equivalence(&micro_wrapper(micro), &flat, 200, 7)
@@ -361,19 +391,39 @@ mod tests {
 
     #[test]
     fn register_with_reset_enable() {
-        check_reg(4, RegFunctions::LOAD, ControlSet { set: false, reset: true, enable: true });
+        check_reg(
+            4,
+            RegFunctions::LOAD,
+            ControlSet {
+                set: false,
+                reset: true,
+                enable: true,
+            },
+        );
     }
 
     #[test]
     fn register_with_set() {
-        check_reg(2, RegFunctions::LOAD, ControlSet { set: true, reset: true, enable: false });
+        check_reg(
+            2,
+            RegFunctions::LOAD,
+            ControlSet {
+                set: true,
+                reset: true,
+                enable: false,
+            },
+        );
     }
 
     #[test]
     fn shift_right_register() {
         check_reg(
             4,
-            RegFunctions { load: true, shift_left: false, shift_right: true },
+            RegFunctions {
+                load: true,
+                shift_left: false,
+                shift_right: true,
+            },
             ControlSet::RESET,
         );
     }
@@ -382,7 +432,11 @@ mod tests {
     fn full_shift_register() {
         check_reg(
             3,
-            RegFunctions { load: true, shift_left: true, shift_right: true },
+            RegFunctions {
+                load: true,
+                shift_left: true,
+                shift_right: true,
+            },
             ControlSet::NONE,
         );
     }
@@ -391,7 +445,11 @@ mod tests {
     fn shift_only_register() {
         check_reg(
             4,
-            RegFunctions { load: false, shift_left: false, shift_right: true },
+            RegFunctions {
+                load: false,
+                shift_left: false,
+                shift_right: true,
+            },
             ControlSet::NONE,
         );
     }
@@ -402,12 +460,20 @@ mod tests {
         let micro = MicroComponent::Register {
             bits: 4,
             trigger: Trigger::EdgeTriggered,
-            funcs: RegFunctions { load: true, shift_left: false, shift_right: true },
+            funcs: RegFunctions {
+                load: true,
+                shift_left: false,
+                shift_right: true,
+            },
             ctrl: ControlSet::NONE,
         };
         compile(&micro, &mut db).unwrap();
         // Fig. 16: REG4 requires MUX4:1:1 (3 sources round up to 4 ways).
-        assert!(db.contains("MUX4:1:1"), "designs: {:?}", db.names().collect::<Vec<_>>());
+        assert!(
+            db.contains("MUX4:1:1"),
+            "designs: {:?}",
+            db.names().collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -456,22 +522,46 @@ mod tests {
     fn loadable_up_down_counter() {
         check_ctr(
             4,
-            CounterFunctions { load: true, up: true, down: true },
-            ControlSet { set: false, reset: true, enable: true },
+            CounterFunctions {
+                load: true,
+                up: true,
+                down: true,
+            },
+            ControlSet {
+                set: false,
+                reset: true,
+                enable: true,
+            },
         );
     }
 
     #[test]
     fn down_counter() {
-        check_ctr(3, CounterFunctions { load: false, up: false, down: true }, ControlSet::NONE);
+        check_ctr(
+            3,
+            CounterFunctions {
+                load: false,
+                up: false,
+                down: true,
+            },
+            ControlSet::NONE,
+        );
     }
 
     #[test]
     fn load_only_counter_acts_as_register() {
         check_ctr(
             2,
-            CounterFunctions { load: true, up: false, down: false },
-            ControlSet { set: false, reset: false, enable: true },
+            CounterFunctions {
+                load: true,
+                up: false,
+                down: false,
+            },
+            ControlSet {
+                set: false,
+                reset: false,
+                enable: true,
+            },
         );
     }
 
@@ -480,7 +570,11 @@ mod tests {
         check_ctr(
             2,
             CounterFunctions::UP,
-            ControlSet { set: true, reset: true, enable: false },
+            ControlSet {
+                set: true,
+                reset: true,
+                enable: false,
+            },
         );
     }
 }

@@ -25,11 +25,19 @@ pub fn micro_wrapper(micro: MicroComponent) -> Netlist {
 }
 
 fn input_names(nl: &Netlist) -> Vec<String> {
-    nl.ports().iter().filter(|p| p.dir == PinDir::In).map(|p| p.name.clone()).collect()
+    nl.ports()
+        .iter()
+        .filter(|p| p.dir == PinDir::In)
+        .map(|p| p.name.clone())
+        .collect()
 }
 
 fn output_names(nl: &Netlist) -> Vec<String> {
-    nl.ports().iter().filter(|p| p.dir == PinDir::Out).map(|p| p.name.clone()).collect()
+    nl.ports()
+        .iter()
+        .filter(|p| p.dir == PinDir::Out)
+        .map(|p| p.name.clone())
+        .collect()
 }
 
 /// A simple deterministic xorshift generator so the crate needs no RNG
@@ -105,7 +113,9 @@ pub fn check_comb_equivalence(
             let g = sim_g.output(o).expect("output exists");
             let c = sim_c.output(o).expect("output exists");
             if g != c {
-                return Err(format!("output {o} differs under pattern {pat:#b}: golden={g} candidate={c}"));
+                return Err(format!(
+                    "output {o} differs under pattern {pat:#b}: golden={g} candidate={c}"
+                ));
             }
         }
     }
@@ -175,7 +185,10 @@ mod tests {
         let mut nl = Netlist::new(name);
         let a = nl.add_net("a");
         let y = nl.add_net("y");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         nl.connect_named(g, "Y", y).unwrap();
         nl.add_port("a", PinDir::In, a);
@@ -196,7 +209,10 @@ mod tests {
         let mut b = Netlist::new("b");
         let x = b.add_net("a");
         let y = b.add_net("y");
-        let g = b.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)));
+        let g = b.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+        );
         b.connect_named(g, "A0", x).unwrap();
         b.connect_named(g, "Y", y).unwrap();
         b.add_port("a", PinDir::In, x);
@@ -206,8 +222,14 @@ mod tests {
 
     #[test]
     fn micro_wrapper_has_matching_ports() {
-        let wrap = micro_wrapper(MicroComponent::Gate { function: GateFn::Or, inputs: 6 });
+        let wrap = micro_wrapper(MicroComponent::Gate {
+            function: GateFn::Or,
+            inputs: 6,
+        });
         assert_eq!(wrap.ports().len(), 7);
-        assert_eq!(wrap.ports().iter().filter(|p| p.dir == PinDir::In).count(), 6);
+        assert_eq!(
+            wrap.ports().iter().filter(|p| p.dir == PinDir::In).count(),
+            6
+        );
     }
 }

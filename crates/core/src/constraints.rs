@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let c = Constraints::none().with_max_delay(3.0).with_max_area(50.0).with_max_power(9.0);
+        let c = Constraints::none()
+            .with_max_delay(3.0)
+            .with_max_area(50.0)
+            .with_max_power(9.0);
         assert_eq!(c.max_delay, Some(3.0));
         assert_eq!(c.max_area, Some(50.0));
         assert_eq!(c.max_power, Some(9.0));

@@ -38,8 +38,8 @@
 //! | `ctr:<bits>:<funcs>:<ctrl>` | counter; funcs ⊆ `lud` |
 
 use milo_netlist::{
-    ArithOps, CarryMode, CmpOp, ComponentKind, ControlSet, CounterFunctions, GateFn,
-    GenericMacro, MicroComponent, Netlist, PinDir, RegFunctions, Trigger,
+    ArithOps, CarryMode, CmpOp, ComponentKind, ControlSet, CounterFunctions, GateFn, GenericMacro,
+    MicroComponent, Netlist, PinDir, RegFunctions, Trigger,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -62,7 +62,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn gate_fn(s: &str) -> Option<GateFn> {
@@ -85,7 +88,8 @@ fn parse_kind(spec: &str, line: usize) -> Result<ComponentKind, ParseError> {
     if let Some((head, rest)) = spec.split_once(':') {
         let parts: Vec<&str> = rest.split(':').collect();
         let int = |s: &str| -> Result<u8, ParseError> {
-            s.parse().map_err(|_| err(line, format!("bad number {s} in {spec}")))
+            s.parse()
+                .map_err(|_| err(line, format!("bad number {s} in {spec}")))
         };
         return match head {
             "au" => {
@@ -108,18 +112,29 @@ fn parse_kind(spec: &str, line: usize) -> Result<ComponentKind, ParseError> {
                     "c" => CarryMode::CarryLookahead,
                     other => return Err(err(line, format!("bad carry mode {other}"))),
                 };
-                Ok(ComponentKind::Micro(MicroComponent::ArithmeticUnit { bits, ops, mode }))
+                Ok(ComponentKind::Micro(MicroComponent::ArithmeticUnit {
+                    bits,
+                    ops,
+                    mode,
+                }))
             }
             "mux" => {
                 let inputs = int(parts[0])?;
                 let bits = int(parts.get(1).copied().unwrap_or("1"))?;
                 let enable = parts.get(2) == Some(&"e");
-                Ok(ComponentKind::Micro(MicroComponent::Multiplexor { bits, inputs, enable }))
+                Ok(ComponentKind::Micro(MicroComponent::Multiplexor {
+                    bits,
+                    inputs,
+                    enable,
+                }))
             }
             "dec" => {
                 let bits = int(parts[0])?;
                 let enable = parts.get(1) == Some(&"e");
-                Ok(ComponentKind::Micro(MicroComponent::Decoder { bits, enable }))
+                Ok(ComponentKind::Micro(MicroComponent::Decoder {
+                    bits,
+                    enable,
+                }))
             }
             "cmpu" => {
                 let bits = int(parts[0])?;
@@ -132,7 +147,10 @@ fn parse_kind(spec: &str, line: usize) -> Result<ComponentKind, ParseError> {
                     "ne" => CmpOp::Ne,
                     other => return Err(err(line, format!("bad cmp op {other}"))),
                 };
-                Ok(ComponentKind::Micro(MicroComponent::Comparator { bits, function }))
+                Ok(ComponentKind::Micro(MicroComponent::Comparator {
+                    bits,
+                    function,
+                }))
             }
             "lu" => {
                 if parts.len() != 3 {
@@ -152,7 +170,10 @@ fn parse_kind(spec: &str, line: usize) -> Result<ComponentKind, ParseError> {
                 }
                 let function =
                     gate_fn(parts[0]).ok_or_else(|| err(line, format!("bad fn {}", parts[0])))?;
-                Ok(ComponentKind::Micro(MicroComponent::Gate { function, inputs: int(parts[1])? }))
+                Ok(ComponentKind::Micro(MicroComponent::Gate {
+                    function,
+                    inputs: int(parts[1])?,
+                }))
             }
             "reg" => {
                 if parts.len() != 3 {
@@ -193,7 +214,11 @@ fn parse_kind(spec: &str, line: usize) -> Result<ComponentKind, ParseError> {
                     }
                 }
                 let ctrl = parse_ctrl(parts[2], line)?;
-                Ok(ComponentKind::Micro(MicroComponent::Counter { bits, funcs, ctrl }))
+                Ok(ComponentKind::Micro(MicroComponent::Counter {
+                    bits,
+                    funcs,
+                    ctrl,
+                }))
             }
             other => Err(err(line, format!("unknown micro kind {other}"))),
         };
@@ -208,8 +233,14 @@ fn parse_kind(spec: &str, line: usize) -> Result<ComponentKind, ParseError> {
         "mux4" => Some(GenericMacro::Mux { selects: 2 }),
         "dec1" => Some(GenericMacro::Decoder { inputs: 1 }),
         "dec2" => Some(GenericMacro::Decoder { inputs: 2 }),
-        "add1" => Some(GenericMacro::Adder { bits: 1, cla: false }),
-        "add4" => Some(GenericMacro::Adder { bits: 4, cla: false }),
+        "add1" => Some(GenericMacro::Adder {
+            bits: 1,
+            cla: false,
+        }),
+        "add4" => Some(GenericMacro::Adder {
+            bits: 4,
+            cla: false,
+        }),
         "add4cla" => Some(GenericMacro::Adder { bits: 4, cla: true }),
         "cmp2" => Some(GenericMacro::Comparator { bits: 2 }),
         "cmp4" => Some(GenericMacro::Comparator { bits: 4 }),
@@ -334,11 +365,15 @@ pub fn parse_netlist(src: &str) -> Result<Netlist, ParseError> {
         }
     }
     for name in inputs {
-        let net = *nets.entry(name.clone()).or_insert_with(|| nl.add_net(&name));
+        let net = *nets
+            .entry(name.clone())
+            .or_insert_with(|| nl.add_net(&name));
         nl.add_port(name, PinDir::In, net);
     }
     for name in outputs {
-        let net = *nets.entry(name.clone()).or_insert_with(|| nl.add_net(&name));
+        let net = *nets
+            .entry(name.clone())
+            .or_insert_with(|| nl.add_net(&name));
         nl.add_port(name, PinDir::Out, net);
     }
     Ok(nl)
@@ -376,8 +411,13 @@ pub fn emit_netlist(nl: &Netlist) -> Result<String, String> {
     }
     for id in nl.component_ids() {
         let comp = nl.component(id).expect("live id");
-        let spec = kind_spec(&comp.kind)
-            .ok_or_else(|| format!("component {} ({}) has no text form", comp.name, comp.kind.label()))?;
+        let spec = kind_spec(&comp.kind).ok_or_else(|| {
+            format!(
+                "component {} ({}) has no text form",
+                comp.name,
+                comp.kind.label()
+            )
+        })?;
         write!(out, "comp {spec} c{}", id.index()).expect("string write");
         for pin in &comp.pins {
             if let Some(net) = pin.net {
@@ -433,7 +473,11 @@ fn kind_spec(kind: &ComponentKind) -> Option<String> {
             MicroComponent::Gate { function, inputs } => {
                 format!("gate:{}:{inputs}", function.mnemonic())
             }
-            MicroComponent::Multiplexor { bits, inputs, enable } => {
+            MicroComponent::Multiplexor {
+                bits,
+                inputs,
+                enable,
+            } => {
                 format!("mux:{inputs}:{bits}{}", if enable { ":e" } else { "" })
             }
             MicroComponent::Decoder { bits, enable } => {
@@ -442,7 +486,11 @@ fn kind_spec(kind: &ComponentKind) -> Option<String> {
             MicroComponent::Comparator { bits, function } => {
                 format!("cmpu:{bits}:{}", format!("{function:?}").to_lowercase())
             }
-            MicroComponent::LogicUnit { function, inputs, bits } => {
+            MicroComponent::LogicUnit {
+                function,
+                inputs,
+                bits,
+            } => {
                 format!("lu:{}:{inputs}:{bits}", function.mnemonic())
             }
             MicroComponent::ArithmeticUnit { bits, ops, mode } => {
@@ -461,10 +509,16 @@ fn kind_spec(kind: &ComponentKind) -> Option<String> {
                 }
                 format!(
                     "au:{bits}:{f}:{}",
-                    if mode == CarryMode::CarryLookahead { "c" } else { "r" }
+                    if mode == CarryMode::CarryLookahead {
+                        "c"
+                    } else {
+                        "r"
+                    }
                 )
             }
-            MicroComponent::Register { bits, funcs, ctrl, .. } => {
+            MicroComponent::Register {
+                bits, funcs, ctrl, ..
+            } => {
                 format!("reg:{bits}:{}:{}", reg_funcs_spec(funcs), ctrl_spec(ctrl))
             }
             MicroComponent::Counter { bits, funcs, ctrl } => {
@@ -575,7 +629,6 @@ comp reg:2:l:R r1 D0=s0 D1=s1 F0=q0 RST=q0 CLK=clk Q0=q0 Q1=q1
         assert_eq!(nl.ports().len(), 2);
     }
 
-
     #[test]
     fn emit_parse_roundtrip_preserves_structure_and_behaviour() {
         let src = "
@@ -597,10 +650,18 @@ comp dffr f1 D=y CLK=a RST=b Q=z
         let mut sim_a = Simulator::new(&nl).unwrap();
         let mut sim_b = Simulator::new(&back).unwrap();
         let in_names = |n: &Netlist| -> Vec<String> {
-            n.ports().iter().filter(|p| p.dir == PinDir::In).map(|p| p.name.clone()).collect()
+            n.ports()
+                .iter()
+                .filter(|p| p.dir == PinDir::In)
+                .map(|p| p.name.clone())
+                .collect()
         };
         let out_names = |n: &Netlist| -> Vec<String> {
-            n.ports().iter().filter(|p| p.dir == PinDir::Out).map(|p| p.name.clone()).collect()
+            n.ports()
+                .iter()
+                .filter(|p| p.dir == PinDir::Out)
+                .map(|p| p.name.clone())
+                .collect()
         };
         let (ia, ib) = (in_names(&nl), in_names(&back));
         let (oa, ob) = (out_names(&nl), out_names(&back));
@@ -669,7 +730,9 @@ comp ctr:2:lud:SE c2 D0=x D1=x LOAD=x UP=x SET=x EN=x CLK=x Q0=c0 Q1=c1 CO=cc
 
     #[test]
     fn all_storage_kinds_parse() {
-        for spec in ["dff", "dffr", "dffsre", "latch", "latchsr", "ctr4", "add4cla"] {
+        for spec in [
+            "dff", "dffr", "dffsre", "latch", "latchsr", "ctr4", "add4cla",
+        ] {
             assert!(parse_kind(spec, 1).is_ok(), "{spec}");
         }
     }

@@ -129,7 +129,10 @@ pub struct Milo {
 impl Milo {
     /// Creates a MILO instance targeting `lib`.
     pub fn new(lib: TechLibrary) -> Self {
-        Self { lib, db: DesignDb::new() }
+        Self {
+            lib,
+            db: DesignDb::new(),
+        }
     }
 
     /// The target library.
@@ -171,45 +174,63 @@ impl Milo {
         nl: &Netlist,
         constraints: &Constraints,
     ) -> Result<SynthesisResult, MiloError> {
-        // Baseline for comparison.
-        let baseline_nl = self.elaborate_unoptimized(nl)?;
-        let baseline = statistics(&baseline_nl)?;
+        // The baseline ("human designer") elaboration is independent of
+        // the optimizing flow, so it runs on a database snapshot in a
+        // parallel fork while the critic/compile/bottom-up pipeline runs
+        // here. Joining preserves deterministic results — both arms are
+        // pure functions of their inputs.
+        let baseline_db = self.db.clone();
+        let baseline_lib = self.lib.clone();
+        let (baseline_res, main_res) = milo_par::join(
+            move || -> Result<DesignStats, MiloError> {
+                let mut side = Milo {
+                    lib: baseline_lib,
+                    db: baseline_db,
+                };
+                let baseline_nl = side.elaborate_unoptimized(nl)?;
+                Ok(statistics(&baseline_nl)?)
+            },
+            || -> Result<_, MiloError> {
+                // 1. Microarchitecture critic (only meaningful when micro
+                //    components are present).
+                let mut work = nl.clone();
+                let has_micro = work.component_ids().any(|id| {
+                    matches!(
+                        work.component(id).map(|c| &c.kind),
+                        Ok(milo_netlist::ComponentKind::Micro(_))
+                    )
+                });
+                let critic = if has_micro {
+                    Some(milo_microarch::optimize(
+                        &mut work,
+                        &mut self.db,
+                        &self.lib,
+                        constraints.tightest_delay(),
+                    )?)
+                } else {
+                    None
+                };
 
-        // 1. Microarchitecture critic (only meaningful when micro
-        //    components are present).
-        let mut work = nl.clone();
-        let has_micro = work.component_ids().any(|id| {
-            matches!(
-                work.component(id).map(|c| &c.kind),
-                Ok(milo_netlist::ComponentKind::Micro(_))
-            )
-        });
-        let critic = if has_micro {
-            Some(milo_microarch::optimize(
-                &mut work,
-                &mut self.db,
-                &self.lib,
-                constraints.tightest_delay(),
-            )?)
-        } else {
-            None
-        };
-
-        // 2. Logic compilers + hierarchical bottom-up logic optimization
-        //    (Fig. 18).
-        let mut compiled = work.clone();
-        compiled.name = format!("{}__milo", nl.name);
-        expand_micro_components(&mut compiled, &mut self.db)
-            .map_err(|e| MiloError::Compile(e.to_string()))?;
-        let top_name = self.db.insert(compiled);
-        let (mut mapped, levels) = optimize_bottom_up(&top_name, &mut self.db, &self.lib)?;
+                // 2. Logic compilers + hierarchical bottom-up logic
+                //    optimization (Fig. 18).
+                let mut compiled = work.clone();
+                compiled.name = format!("{}__milo", nl.name);
+                expand_micro_components(&mut compiled, &mut self.db)
+                    .map_err(|e| MiloError::Compile(e.to_string()))?;
+                let top_name = self.db.insert(compiled);
+                let (mapped, levels) = optimize_bottom_up(&top_name, &mut self.db, &self.lib)?;
+                Ok((mapped, levels, critic))
+            },
+        );
+        let baseline = baseline_res?;
+        let (mut mapped, levels, critic) = main_res?;
 
         // 3. Electric critic: fanout repair.
         let buffers_inserted = enforce_fanout(&mut mapped, &self.lib)?;
 
         // 4. Time optimizer (per-path constraints, §6's path-delay
         //    parameters), then area/power on the slack.
-        let hash = milo_rules::HashRuleTable::from_library(&milo_rules::LibraryRef {
+        let hash = milo_rules::HashRuleTable::cached(&milo_rules::LibraryRef {
             cells: self.lib.cells(),
         });
         let timing = if constraints.has_timing() {
@@ -225,7 +246,9 @@ impl Milo {
                 200,
             )
         } else {
-            let d = milo_timing::analyze(&mapped).map(|s| s.worst_delay()).unwrap_or(0.0);
+            let d = milo_timing::analyze(&mapped)
+                .map(|s| s.worst_delay())
+                .unwrap_or(0.0);
             milo_opt::TimingReport {
                 met: true,
                 initial_delay: d,
@@ -297,8 +320,14 @@ mod tests {
                 ctrl: ControlSet::RESET,
             }),
         );
-        let vdd = nl.add_component("vdd", ComponentKind::Generic(milo_netlist::GenericMacro::Vdd));
-        let vss = nl.add_component("vss", ComponentKind::Generic(milo_netlist::GenericMacro::Vss));
+        let vdd = nl.add_component(
+            "vdd",
+            ComponentKind::Generic(milo_netlist::GenericMacro::Vdd),
+        );
+        let vss = nl.add_component(
+            "vss",
+            ComponentKind::Generic(milo_netlist::GenericMacro::Vss),
+        );
         let one = nl.add_net("one");
         let zero = nl.add_net("zero");
         nl.connect_named(vdd, "Y", one).unwrap();
@@ -311,7 +340,8 @@ mod tests {
             let s = nl.add_net(format!("s{i}"));
             nl.connect_named(au, &format!("S{i}"), s).unwrap();
             nl.connect_named(reg, &format!("D{i}"), s).unwrap();
-            nl.connect_named(au, &format!("B{i}"), if i == 0 { one } else { zero }).unwrap();
+            nl.connect_named(au, &format!("B{i}"), if i == 0 { one } else { zero })
+                .unwrap();
         }
         nl.connect_named(au, "CIN", zero).unwrap();
         nl.connect_named(reg, "F0", one).unwrap();
@@ -330,7 +360,12 @@ mod tests {
         let entry = counterish();
         let result = milo.synthesize(&entry, &Constraints::none()).unwrap();
         assert!(
-            result.critic.as_ref().unwrap().fired.contains(&"adder-register-to-counter"),
+            result
+                .critic
+                .as_ref()
+                .unwrap()
+                .fired
+                .contains(&"adder-register-to-counter"),
             "{:?}",
             result.critic
         );
@@ -368,7 +403,10 @@ mod tests {
         }
         let loose = milo.synthesize(&nl, &Constraints::none()).unwrap();
         let tight = milo
-            .synthesize(&nl, &Constraints::none().with_max_delay(loose.stats.delay * 0.7))
+            .synthesize(
+                &nl,
+                &Constraints::none().with_max_delay(loose.stats.delay * 0.7),
+            )
             .unwrap();
         assert!(tight.stats.delay < loose.stats.delay, "{tight:?}");
         assert_eq!(tight.critic.as_ref().unwrap().met_timing, Some(true));

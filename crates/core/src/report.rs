@@ -21,12 +21,20 @@ pub struct Table {
 impl Table {
     /// Creates a table with column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| (*s).to_owned()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (short rows are padded).
     pub fn row(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect::<Vec<String>>());
+        self.rows.push(
+            cells
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect::<Vec<String>>(),
+        );
     }
 
     /// Appends a row of owned strings.
@@ -61,7 +69,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.header, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -74,7 +84,10 @@ impl Table {
 impl std::iter::FromIterator<String> for Table {
     fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let header: Vec<String> = iter.into_iter().collect();
-        Self { header, rows: Vec::new() }
+        Self {
+            header,
+            rows: Vec::new(),
+        }
     }
 }
 

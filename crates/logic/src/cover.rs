@@ -29,12 +29,18 @@ impl Cover {
     /// The empty (constant-false) cover.
     pub fn zero(nvars: u8) -> Self {
         assert!(nvars <= Cube::MAX_VARS);
-        Self { nvars, cubes: Vec::new() }
+        Self {
+            nvars,
+            cubes: Vec::new(),
+        }
     }
 
     /// The constant-true cover (single universal cube).
     pub fn one(nvars: u8) -> Self {
-        Self { nvars, cubes: vec![Cube::top()] }
+        Self {
+            nvars,
+            cubes: vec![Cube::top()],
+        }
     }
 
     /// Builds a cover from cubes, dropping empty ones.
@@ -67,7 +73,11 @@ impl Cover {
             if tt.eval(row) {
                 let mut c = Cube::top();
                 for v in 0..n {
-                    c = if row >> v & 1 == 1 { c.with_pos(v) } else { c.with_neg(v) };
+                    c = if row >> v & 1 == 1 {
+                        c.with_pos(v)
+                    } else {
+                        c.with_neg(v)
+                    };
                 }
                 cubes.push(c);
             }
@@ -77,7 +87,10 @@ impl Cover {
 
     /// Converts back to a truth table (only for `nvars <= 6`).
     pub fn to_truth(&self) -> TruthTable {
-        assert!(self.nvars <= TruthTable::MAX_VARS, "cover too wide for a truth table");
+        assert!(
+            self.nvars <= TruthTable::MAX_VARS,
+            "cover too wide for a truth table"
+        );
         TruthTable::from_fn(self.nvars, |row| self.eval(row))
     }
 
@@ -119,37 +132,153 @@ impl Cover {
         self.cubes.iter().any(|c| c.eval(row))
     }
 
+    /// Bitmask of all rows of an `nvars`-variable space (`nvars <= 6`).
+    pub(crate) fn full_row_mask(nvars: u8) -> u64 {
+        debug_assert!(nvars <= 6);
+        if nvars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1u32 << nvars)) - 1
+        }
+    }
+
+    /// Minterm set of one cube as a 64-row bitmask (`nvars <= 6` only).
+    /// Bit `r` is set iff the cube covers row `r`.
+    pub(crate) fn cube_row_mask(c: &Cube, nvars: u8) -> u64 {
+        // Rows (0..64) where variable v is 1, for v in 0..6.
+        const VAR_ROWS: [u64; 6] = [
+            0xAAAA_AAAA_AAAA_AAAA,
+            0xCCCC_CCCC_CCCC_CCCC,
+            0xF0F0_F0F0_F0F0_F0F0,
+            0xFF00_FF00_FF00_FF00,
+            0xFFFF_0000_FFFF_0000,
+            0xFFFF_FFFF_0000_0000,
+        ];
+        let mut m = Self::full_row_mask(nvars);
+        let (mut p, mut n) = (c.pos(), c.neg());
+        while p != 0 {
+            let v = p.trailing_zeros() as usize;
+            // A positive literal beyond the variable range can never be
+            // satisfied by an in-range row.
+            m &= if v < 6 { VAR_ROWS[v] } else { 0 };
+            p &= p - 1;
+        }
+        while n != 0 {
+            let v = n.trailing_zeros() as usize;
+            if v < 6 {
+                m &= !VAR_ROWS[v];
+            }
+            n &= n - 1;
+        }
+        m
+    }
+
+    /// Minterm set of the whole cover as a 64-row bitmask
+    /// (`nvars <= 6` only).
+    pub(crate) fn row_mask(&self) -> u64 {
+        debug_assert!(self.nvars <= 6);
+        let mut acc = 0u64;
+        for c in &self.cubes {
+            acc |= Self::cube_row_mask(c, self.nvars);
+        }
+        acc
+    }
+
     /// Cofactor of the whole cover with respect to one literal.
     #[must_use]
     pub fn cofactor(&self, var: u8, phase: bool) -> Self {
-        let cubes = self.cubes.iter().filter_map(|c| c.cofactor(var, phase)).collect();
-        Self { nvars: self.nvars, cubes }
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.cofactor(var, phase))
+            .collect();
+        Self {
+            nvars: self.nvars,
+            cubes,
+        }
     }
 
     /// Cofactor with respect to a cube (Shannon restriction to the subspace
-    /// where `cube` holds).
+    /// where `cube` holds). Single pass: a cube survives unless it
+    /// mentions some variable of `cube` in the opposite phase, and loses
+    /// `cube`'s variables.
     #[must_use]
     pub fn cofactor_cube(&self, cube: &Cube) -> Self {
-        let mut out = self.clone();
-        for (v, phase) in cube.literals() {
-            out = out.cofactor(v, phase == Phase::Pos);
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|c| {
+                if (c.pos() & cube.neg()) | (c.neg() & cube.pos()) != 0 {
+                    None
+                } else {
+                    Some(Cube::from_masks(
+                        c.pos() & !cube.pos(),
+                        c.neg() & !cube.neg(),
+                    ))
+                }
+            })
+            .collect();
+        Self {
+            nvars: self.nvars,
+            cubes,
         }
-        out
     }
 
     /// Removes cubes covered by another single cube of the cover.
+    ///
+    /// Exact duplicates are dropped through a hash set (keeping the first
+    /// occurrence), and the remaining containment checks are pruned by
+    /// literal count: a cube can only be contained by a cube with strictly
+    /// fewer literals, so candidates are probed in ascending-count order
+    /// and the scan stops at the current count. The surviving cubes keep
+    /// their original relative order.
     pub fn single_cube_containment(&mut self) {
+        if self.cubes.len() < 2 {
+            return;
+        }
         let cubes = std::mem::take(&mut self.cubes);
-        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
-        'outer: for (i, c) in cubes.iter().enumerate() {
-            for (j, d) in cubes.iter().enumerate() {
-                if i != j && d.contains(c) && !(c.contains(d) && i < j) {
-                    continue 'outer;
+        // Pass 1: hashed dedup, first occurrence wins.
+        let mut seen: std::collections::HashSet<Cube> =
+            std::collections::HashSet::with_capacity(cubes.len());
+        let mut unique: Vec<Cube> = Vec::with_capacity(cubes.len());
+        for c in cubes {
+            if seen.insert(c) {
+                unique.push(c);
+            }
+        }
+        // Pass 2: strict containment against kept cubes with fewer
+        // literals (containment is transitive, so dropped cubes never
+        // need to serve as containers).
+        let mut by_count: Vec<u32> = (0..unique.len() as u32).collect();
+        by_count.sort_by_key(|&i| unique[i as usize].literal_count());
+        let mut dropped = vec![false; unique.len()];
+        let mut kept_asc: Vec<u32> = Vec::with_capacity(unique.len());
+        for &i in &by_count {
+            let c = unique[i as usize];
+            let count = c.literal_count();
+            let mut contained = false;
+            for &j in &kept_asc {
+                let d = unique[j as usize];
+                if d.literal_count() >= count {
+                    break; // equal-count distinct cubes cannot contain c
+                }
+                if d.contains(&c) {
+                    contained = true;
+                    break;
                 }
             }
-            kept.push(*c);
+            if contained {
+                dropped[i as usize] = true;
+            } else {
+                kept_asc.push(i);
+            }
         }
-        self.cubes = kept;
+        self.cubes = unique
+            .into_iter()
+            .zip(dropped)
+            .filter(|(_, d)| !d)
+            .map(|(c, _)| c)
+            .collect();
     }
 
     /// Picks the most-binate variable (appears in both phases in the most
@@ -162,7 +291,7 @@ impl Cover {
             let n = self.cubes.iter().filter(|c| c.neg() & bit != 0).count() as u32;
             if p > 0 && n > 0 {
                 let score = p + n;
-                if best.map_or(true, |(_, s)| score > s) {
+                if best.is_none_or(|(_, s)| score > s) {
                     best = Some((v, score));
                 }
             }
@@ -185,6 +314,11 @@ impl Cover {
     /// Tautology check: is the cover identically true? Unate-recursive
     /// paradigm as in ESPRESSO.
     pub fn is_tautology(&self) -> bool {
+        // Dense fast path: for <= 6 variables the minterm set fits one
+        // 64-bit word, so the check is a linear OR over cube row masks.
+        if self.nvars <= 6 {
+            return self.row_mask() == Self::full_row_mask(self.nvars);
+        }
         // Fast exits.
         if self.cubes.iter().any(Cube::is_top) {
             return true;
@@ -196,7 +330,9 @@ impl Cover {
         // universal cube (already checked above) — but only when every
         // variable is unate.
         match self.binate_select() {
-            Some(v) => self.cofactor(v, true).is_tautology() && self.cofactor(v, false).is_tautology(),
+            Some(v) => {
+                self.cofactor(v, true).is_tautology() && self.cofactor(v, false).is_tautology()
+            }
             None => {
                 // Unate cover without a universal cube: can still be a
                 // tautology only if splitting exhausts variables; for a
@@ -241,7 +377,10 @@ impl Cover {
                 for c in c0.cubes {
                     cubes.push(c.with_neg(v));
                 }
-                let mut out = Self { nvars: self.nvars, cubes };
+                let mut out = Self {
+                    nvars: self.nvars,
+                    cubes,
+                };
                 out.single_cube_containment();
                 out
             }
@@ -259,11 +398,18 @@ impl Cover {
             };
             cubes.push(flipped);
         }
-        Self { nvars: self.nvars, cubes }
+        Self {
+            nvars: self.nvars,
+            cubes,
+        }
     }
 
-    /// Whether `cube` is covered by this cover (cofactor tautology test).
+    /// Whether `cube` is covered by this cover (cofactor tautology test;
+    /// dense minterm containment when the space fits a 64-bit word).
     pub fn covers_cube(&self, cube: &Cube) -> bool {
+        if self.nvars <= 6 {
+            return Self::cube_row_mask(cube, self.nvars) & !self.row_mask() == 0;
+        }
         self.cofactor_cube(cube).is_tautology()
     }
 
@@ -273,7 +419,10 @@ impl Cover {
         assert_eq!(self.nvars, other.nvars);
         let mut cubes = self.cubes.clone();
         cubes.extend_from_slice(&other.cubes);
-        Self { nvars: self.nvars, cubes }
+        Self {
+            nvars: self.nvars,
+            cubes,
+        }
     }
 
     /// Conjunction of two covers (cartesian product of cubes).
@@ -289,7 +438,10 @@ impl Cover {
                 }
             }
         }
-        let mut out = Self { nvars: self.nvars, cubes };
+        let mut out = Self {
+            nvars: self.nvars,
+            cubes,
+        };
         out.single_cube_containment();
         out
     }
@@ -357,10 +509,13 @@ mod tests {
     use super::*;
 
     fn xor2() -> Cover {
-        Cover::from_cubes(2, vec![
-            Cube::top().with_pos(0).with_neg(1),
-            Cube::top().with_neg(0).with_pos(1),
-        ])
+        Cover::from_cubes(
+            2,
+            vec![
+                Cube::top().with_pos(0).with_neg(1),
+                Cube::top().with_neg(0).with_pos(1),
+            ],
+        )
     }
 
     #[test]
@@ -423,10 +578,10 @@ mod tests {
 
     #[test]
     fn containment_removal() {
-        let mut f = Cover::from_cubes(2, vec![
-            Cube::top().with_pos(0),
-            Cube::top().with_pos(0).with_pos(1),
-        ]);
+        let mut f = Cover::from_cubes(
+            2,
+            vec![Cube::top().with_pos(0), Cube::top().with_pos(0).with_pos(1)],
+        );
         f.single_cube_containment();
         assert_eq!(f.len(), 1);
         assert_eq!(f.cubes()[0], Cube::top().with_pos(0));

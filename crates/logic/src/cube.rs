@@ -137,7 +137,10 @@ impl Cube {
     /// Intersection of the two products (may be empty).
     #[must_use]
     pub fn intersect(&self, other: &Self) -> Self {
-        Self { pos: self.pos | other.pos, neg: self.neg | other.neg }
+        Self {
+            pos: self.pos | other.pos,
+            neg: self.neg | other.neg,
+        }
     }
 
     /// Number of variables in which the two cubes have opposite phases.
@@ -154,13 +157,19 @@ impl Cube {
             return None;
         }
         let merged = self.intersect(other);
-        Some(Self { pos: merged.pos & !conflict, neg: merged.neg & !conflict })
+        Some(Self {
+            pos: merged.pos & !conflict,
+            neg: merged.neg & !conflict,
+        })
     }
 
     /// Smallest cube containing both (bitwise AND of literal sets).
     #[must_use]
     pub fn supercube(&self, other: &Self) -> Self {
-        Self { pos: self.pos & other.pos, neg: self.neg & other.neg }
+        Self {
+            pos: self.pos & other.pos,
+            neg: self.neg & other.neg,
+        }
     }
 
     /// Cofactor with respect to a single literal: restricts the space to
@@ -172,7 +181,10 @@ impl Cube {
         if against & bit != 0 {
             return None;
         }
-        Some(Self { pos: self.pos & !bit, neg: self.neg & !bit })
+        Some(Self {
+            pos: self.pos & !bit,
+            neg: self.neg & !bit,
+        })
     }
 
     /// Algebraic-division quotient of `self` by the product `divisor`:
@@ -182,7 +194,10 @@ impl Cube {
         if (divisor.pos & !self.pos) != 0 || (divisor.neg & !self.neg) != 0 {
             return None;
         }
-        Some(Self { pos: self.pos & !divisor.pos, neg: self.neg & !divisor.neg })
+        Some(Self {
+            pos: self.pos & !divisor.pos,
+            neg: self.neg & !divisor.neg,
+        })
     }
 
     /// Iterator over `(var, phase)` literals in ascending variable order.
@@ -283,7 +298,10 @@ mod tests {
     fn algebraic_quotient() {
         let c = Cube::top().with_pos(0).with_pos(1).with_neg(2);
         let d = Cube::top().with_pos(1);
-        assert_eq!(c.algebraic_quotient(&d), Some(Cube::top().with_pos(0).with_neg(2)));
+        assert_eq!(
+            c.algebraic_quotient(&d),
+            Some(Cube::top().with_pos(0).with_neg(2))
+        );
         let e = Cube::top().with_neg(1);
         assert_eq!(c.algebraic_quotient(&e), None);
     }

@@ -3,7 +3,7 @@
 //! strategies 3 and 7 (§4.1.2).
 
 use crate::{Cover, Cube};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Result of dividing a cover `f` by a divisor `d`: `f = d·q + r`
 /// (algebraically, i.e. treating cubes as products of distinct literals).
@@ -42,46 +42,61 @@ pub fn divide(f: &Cover, d: &Cover) -> Division {
     assert_eq!(f.nvars(), d.nvars());
     let nvars = f.nvars();
     if d.is_empty() {
-        return Division { quotient: Cover::zero(nvars), remainder: f.clone() };
+        return Division {
+            quotient: Cover::zero(nvars),
+            remainder: f.clone(),
+        };
     }
-    // For each divisor cube, the set of quotient candidates.
-    let mut candidate_sets: Vec<Vec<Cube>> = Vec::with_capacity(d.len());
-    for dc in d.cubes() {
-        let mut set: Vec<Cube> = Vec::new();
-        for fc in f.cubes() {
-            if let Some(q) = fc.algebraic_quotient(dc) {
-                // Algebraic division requires disjoint supports between the
-                // divisor cube and the quotient cube.
-                if q.support_mask() & dc.support_mask() == 0 && !set.contains(&q) {
-                    set.push(q);
-                }
+    // Candidate quotients for the first divisor cube, in f-order (this
+    // fixes the quotient's deterministic cube order); hashed candidate
+    // sets for the remaining divisor cubes so the intersection below is
+    // O(|f|·|d|) instead of the quadratic Vec::contains scan.
+    let (first_dc, rest_dc) = d.cubes().split_first().expect("divisor is non-empty");
+    let mut first_set: Vec<Cube> = Vec::new();
+    let mut first_seen: HashSet<Cube> = HashSet::new();
+    for fc in f.cubes() {
+        if let Some(q) = fc.algebraic_quotient(first_dc) {
+            // Algebraic division requires disjoint supports between the
+            // divisor cube and the quotient cube.
+            if q.support_mask() & first_dc.support_mask() == 0 && first_seen.insert(q) {
+                first_set.push(q);
             }
         }
-        candidate_sets.push(set);
     }
+    let rest_sets: Vec<HashSet<Cube>> = rest_dc
+        .iter()
+        .map(|dc| {
+            f.cubes()
+                .iter()
+                .filter_map(|fc| fc.algebraic_quotient(dc))
+                .filter(|q| q.support_mask() & dc.support_mask() == 0)
+                .collect()
+        })
+        .collect();
     // Quotient = intersection of candidate sets.
-    let mut quotient_cubes: Vec<Cube> = Vec::new();
-    if let Some((first, rest)) = candidate_sets.split_first() {
-        'cand: for q in first {
-            for set in rest {
-                if !set.contains(q) {
-                    continue 'cand;
-                }
-            }
-            quotient_cubes.push(*q);
-        }
-    }
+    let quotient_cubes: Vec<Cube> = first_set
+        .into_iter()
+        .filter(|q| rest_sets.iter().all(|set| set.contains(q)))
+        .collect();
     let quotient = Cover::from_cubes(nvars, quotient_cubes);
-    // Remainder = cubes of f not produced by d * quotient.
-    let mut produced: Vec<Cube> = Vec::new();
+    // Remainder = cubes of f not produced by d * quotient (hashed
+    // membership test instead of Vec::contains per f-cube).
+    let mut produced: HashSet<Cube> = HashSet::with_capacity(d.len() * quotient.len());
     for dc in d.cubes() {
         for qc in quotient.cubes() {
-            produced.push(dc.intersect(qc));
+            produced.insert(dc.intersect(qc));
         }
     }
-    let remainder_cubes: Vec<Cube> =
-        f.cubes().iter().filter(|fc| !produced.contains(fc)).copied().collect();
-    Division { quotient, remainder: Cover::from_cubes(nvars, remainder_cubes) }
+    let remainder_cubes: Vec<Cube> = f
+        .cubes()
+        .iter()
+        .filter(|fc| !produced.contains(fc))
+        .copied()
+        .collect();
+    Division {
+        quotient,
+        remainder: Cover::from_cubes(nvars, remainder_cubes),
+    }
 }
 
 /// A kernel of a cover together with its co-kernel cube.
@@ -107,7 +122,10 @@ pub fn kernels(f: &Cover) -> Vec<Kernel> {
     if largest_common_cube(f).is_top() && f.len() > 1 {
         let key = cover_key(f);
         if seen.insert(key) {
-            out.push(Kernel { kernel: f.clone(), co_kernel: Cube::top() });
+            out.push(Kernel {
+                kernel: f.clone(),
+                co_kernel: Cube::top(),
+            });
         }
     }
     out
@@ -127,11 +145,31 @@ fn kernels_rec(
     seen: &mut BTreeSet<Vec<(u32, u32)>>,
 ) {
     let nvars = f.nvars();
+    // One pass over the cubes counts every literal's occurrences, instead
+    // of re-scanning the cover once per (variable, phase) pair.
+    let mut pos_count = [0u32; Cube::MAX_VARS as usize];
+    let mut neg_count = [0u32; Cube::MAX_VARS as usize];
+    for c in f.cubes() {
+        let (mut p, mut n) = (c.pos(), c.neg());
+        while p != 0 {
+            let v = p.trailing_zeros() as usize;
+            pos_count[v] += 1;
+            p &= p - 1;
+        }
+        while n != 0 {
+            let v = n.trailing_zeros() as usize;
+            neg_count[v] += 1;
+            n &= n - 1;
+        }
+    }
     for v in start_var..nvars {
         for phase in [crate::Phase::Pos, crate::Phase::Neg] {
             let lit = Cube::top().with_literal(v, phase);
             // Count cubes containing this literal.
-            let count = f.cubes().iter().filter(|c| c.algebraic_quotient(&lit).is_some() && c.literal(v) == Some(phase)).count();
+            let count = match phase {
+                crate::Phase::Pos => pos_count[v as usize],
+                crate::Phase::Neg => neg_count[v as usize],
+            };
             if count < 2 {
                 continue;
             }
@@ -142,12 +180,19 @@ fn kernels_rec(
             }
             // Make the quotient cube-free.
             let lcc = largest_common_cube(&q);
-            let q = if lcc.is_top() { q } else { strip_cube(&q, &lcc) };
+            let q = if lcc.is_top() {
+                q
+            } else {
+                strip_cube(&q, &lcc)
+            };
             let new_cok = co_kernel.intersect(&lit).intersect(&lcc);
             if q.len() > 1 {
                 let key = cover_key(&q);
                 if seen.insert(key) {
-                    out.push(Kernel { kernel: q.clone(), co_kernel: new_cok });
+                    out.push(Kernel {
+                        kernel: q.clone(),
+                        co_kernel: new_cok,
+                    });
                 }
                 kernels_rec(&q, v + 1, new_cok, out, seen);
             }
@@ -202,11 +247,84 @@ pub fn best_kernel(f: &Cover) -> Option<Kernel> {
             + div.quotient.literal_count() as i64
             + div.remainder.literal_count() as i64;
         let saving = base - new_cost;
-        if saving > 0 && best.as_ref().map_or(true, |(s, _)| saving > *s) {
+        if saving > 0 && best.as_ref().is_none_or(|(s, _)| saving > *s) {
             best = Some((saving, k));
         }
     }
     best.map(|(_, k)| k)
+}
+
+/// Memo cache for kernel extraction and best-kernel selection.
+///
+/// Keys are canonical cover signatures (sorted `(pos, neg)` mask pairs
+/// plus the variable count), so structurally identical sub-covers reached
+/// from different co-kernels — or re-extracted on a later pass over the
+/// same network — reuse the previously computed result instead of
+/// re-running the recursive kernel search. The factoring entry points
+/// ([`crate::good_factor_with_cache`], [`crate::resynthesize_with_cache`])
+/// thread one cache through a whole network so repeated extraction is
+/// amortized, which is where strategies 3 and 7 spend their time.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    kernels: HashMap<CoverKey, Vec<Kernel>>,
+    best: HashMap<CoverKey, Option<Kernel>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Canonical cover signature: variable count plus sorted cube mask pairs.
+type CoverKey = (u8, Vec<(u32, u32)>);
+
+impl KernelCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses)` counters over both memo tables.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached entries across both tables.
+    pub fn len(&self) -> usize {
+        self.kernels.len() + self.best.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty() && self.best.is_empty()
+    }
+
+    fn key(f: &Cover) -> CoverKey {
+        (f.nvars(), cover_key(f))
+    }
+
+    /// Memoized [`kernels`].
+    pub fn kernels(&mut self, f: &Cover) -> Vec<Kernel> {
+        let key = Self::key(f);
+        if let Some(ks) = self.kernels.get(&key) {
+            self.hits += 1;
+            return ks.clone();
+        }
+        self.misses += 1;
+        let ks = kernels(f);
+        self.kernels.insert(key, ks.clone());
+        ks
+    }
+
+    /// Memoized [`best_kernel`].
+    pub fn best_kernel(&mut self, f: &Cover) -> Option<Kernel> {
+        let key = Self::key(f);
+        if let Some(k) = self.best.get(&key) {
+            self.hits += 1;
+            return k.clone();
+        }
+        self.misses += 1;
+        let k = best_kernel(f);
+        self.best.insert(key, k.clone());
+        k
+    }
 }
 
 #[cfg(test)]
@@ -256,10 +374,13 @@ mod tests {
     #[test]
     fn divide_respects_phases() {
         // f = a!b | ab — dividing by b must not pick up a!b.
-        let f = Cover::from_cubes(2, vec![
-            Cube::top().with_pos(0).with_neg(1),
-            Cube::top().with_pos(0).with_pos(1),
-        ]);
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::top().with_pos(0).with_neg(1),
+                Cube::top().with_pos(0).with_pos(1),
+            ],
+        );
         let d = Cover::literal(2, 1, Phase::Pos);
         let div = divide(&f, &d);
         assert_eq!(div.quotient.len(), 1);
@@ -272,15 +393,18 @@ mod tests {
         // f = adf + aef + bdf + bef + cdf + cef + g
         //   = ((a+b+c)(d+e))f + g
         let mk = |vs: &[u8]| cube(vs);
-        let f = Cover::from_cubes(7, vec![
-            mk(&[0, 3, 5]),
-            mk(&[0, 4, 5]),
-            mk(&[1, 3, 5]),
-            mk(&[1, 4, 5]),
-            mk(&[2, 3, 5]),
-            mk(&[2, 4, 5]),
-            mk(&[6]),
-        ]);
+        let f = Cover::from_cubes(
+            7,
+            vec![
+                mk(&[0, 3, 5]),
+                mk(&[0, 4, 5]),
+                mk(&[1, 3, 5]),
+                mk(&[1, 4, 5]),
+                mk(&[2, 3, 5]),
+                mk(&[2, 4, 5]),
+                mk(&[6]),
+            ],
+        );
         let ks = kernels(&f);
         // Expect kernels containing (a+b+c) and (d+e) among others.
         let has_abc = ks.iter().any(|k| {
@@ -296,12 +420,10 @@ mod tests {
     #[test]
     fn best_kernel_saves_literals() {
         // f = ac | ad | bc | bd: extracting (a+b) or (c+d) saves literals.
-        let f = Cover::from_cubes(4, vec![
-            cube(&[0, 2]),
-            cube(&[0, 3]),
-            cube(&[1, 2]),
-            cube(&[1, 3]),
-        ]);
+        let f = Cover::from_cubes(
+            4,
+            vec![cube(&[0, 2]), cube(&[0, 3]), cube(&[1, 2]), cube(&[1, 3])],
+        );
         let k = best_kernel(&f).expect("a kernel should save literals");
         assert_eq!(k.kernel.len(), 2);
         let div = divide(&f, &k.kernel);
@@ -320,5 +442,33 @@ mod tests {
     fn no_kernel_in_single_cube() {
         let f = Cover::from_cube(3, cube(&[0, 1, 2]));
         assert!(best_kernel(&f).is_none());
+    }
+
+    #[test]
+    fn cache_agrees_with_uncached() {
+        let f = Cover::from_cubes(
+            4,
+            vec![cube(&[0, 2]), cube(&[0, 3]), cube(&[1, 2]), cube(&[1, 3])],
+        );
+        let mut cache = KernelCache::new();
+        let cached = cache.kernels(&f);
+        let plain = kernels(&f);
+        assert_eq!(cached.len(), plain.len());
+        for (a, b) in cached.iter().zip(&plain) {
+            assert_eq!(cover_key(&a.kernel), cover_key(&b.kernel));
+            assert_eq!(a.co_kernel, b.co_kernel);
+        }
+        let best_cached = cache.best_kernel(&f).unwrap();
+        let best_plain = best_kernel(&f).unwrap();
+        assert_eq!(
+            cover_key(&best_cached.kernel),
+            cover_key(&best_plain.kernel)
+        );
+        // Second queries hit.
+        let (h0, _) = cache.stats();
+        cache.kernels(&f);
+        cache.best_kernel(&f);
+        let (h1, _) = cache.stats();
+        assert_eq!(h1, h0 + 2);
     }
 }

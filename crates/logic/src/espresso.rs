@@ -44,7 +44,11 @@ pub fn minimize(on: &Cover, dc: Option<&Cover>) -> MinimizeResult {
     let literals_before = on.literal_count();
     let nvars = on.nvars();
     let dc = dc.cloned().unwrap_or_else(|| Cover::zero(nvars));
-    assert_eq!(dc.nvars(), nvars, "don't-care set must range over the same variables");
+    assert_eq!(
+        dc.nvars(),
+        nvars,
+        "don't-care set must range over the same variables"
+    );
 
     // OFF-set = !(ON | DC).
     let off = on.or(&dc).complement();
@@ -77,7 +81,29 @@ pub fn minimize(on: &Cover, dc: Option<&Cover>) -> MinimizeResult {
         }
     }
     let literals_after = f.literal_count();
-    MinimizeResult { cover: f, passes, literals_before, literals_after }
+    MinimizeResult {
+        cover: f,
+        passes,
+        literals_before,
+        literals_after,
+    }
+}
+
+/// Minimizes many independent covers (one per circuit output), in
+/// parallel when enough work is available.
+///
+/// Results are returned in input order regardless of scheduling, so
+/// parallel runs are deterministic. This is the per-output entry point
+/// the multi-output resynthesis path uses.
+pub fn minimize_many(covers: &[Cover]) -> Vec<MinimizeResult> {
+    // Only fan out when there are enough independent outputs to amortize
+    // thread startup; tiny batches run inline.
+    let parallel = covers.len() >= 2 && covers.iter().map(|c| c.len()).sum::<usize>() >= 32;
+    if parallel {
+        milo_par::par_map(covers, |c| minimize(c, None))
+    } else {
+        covers.iter().map(|c| minimize(c, None)).collect()
+    }
 }
 
 /// Cost = (cubes, literals); lexicographic, fewer is better.
@@ -89,13 +115,34 @@ fn cost(f: &Cover) -> (usize, u32) {
 /// then removes single-cube containment.
 pub fn expand(f: &Cover, off: &Cover) -> Cover {
     let nvars = f.nvars();
-    let mut out = Cover::zero(nvars);
+    // Per-variable occupancy counts over the OFF-set, computed once for
+    // the whole pass (they used to be recomputed for every cube).
+    let mut off_counts = [0u32; Cube::MAX_VARS as usize];
+    for oc in off.cubes() {
+        let mut m = oc.support_mask();
+        while m != 0 {
+            off_counts[m.trailing_zeros() as usize] += 1;
+            m &= m - 1;
+        }
+    }
     // Expand biggest cubes first so smaller cubes are more likely to be
     // absorbed afterwards.
     let mut order: Vec<Cube> = f.cubes().to_vec();
     order.sort_by_key(|c| c.literal_count());
-    for cube in order {
-        out.push(expand_cube(cube, off, nvars));
+    // Cube expansions are independent; fan out across cores when the
+    // cover is large enough to amortize thread startup. Results land in
+    // input order either way (milo-par's determinism policy).
+    let expanded: Vec<Cube> = if order.len() >= 64 && off.len() >= 32 {
+        milo_par::par_map(&order, |&cube| expand_cube(cube, off, nvars, &off_counts))
+    } else {
+        order
+            .iter()
+            .map(|&cube| expand_cube(cube, off, nvars, &off_counts))
+            .collect()
+    };
+    let mut out = Cover::zero(nvars);
+    for cube in expanded {
+        out.push(cube);
     }
     out.single_cube_containment();
     out
@@ -103,15 +150,12 @@ pub fn expand(f: &Cover, off: &Cover) -> Cover {
 
 /// Greedily raises (removes) literals of `cube` while it stays disjoint from
 /// the OFF-set.
-fn expand_cube(cube: Cube, off: &Cover, nvars: u8) -> Cube {
+fn expand_cube(cube: Cube, off: &Cover, nvars: u8, off_counts: &[u32]) -> Cube {
     let mut c = cube;
     // Heuristic order: try to drop literals of variables that block the
     // fewest OFF cubes (approximated by occurrence count in OFF).
     let mut vars: Vec<u8> = (0..nvars).filter(|&v| c.literal(v).is_some()).collect();
-    vars.sort_by_key(|&v| {
-        let bit = 1u32 << v;
-        off.cubes().iter().filter(|oc| (oc.pos() | oc.neg()) & bit != 0).count()
-    });
+    vars.sort_by_key(|&v| off_counts[v as usize]);
     for v in vars {
         let candidate = c.without(v);
         if disjoint(&candidate, off) {
@@ -135,20 +179,47 @@ pub fn irredundant(f: &Cover, dc: &Cover) -> Cover {
     let mut order: Vec<usize> = (0..cubes.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(cubes[i].literal_count()));
     let mut removed = vec![false; cubes.len()];
-    for &i in &order {
-        let rest: Vec<Cube> = cubes
+    if nvars <= 6 {
+        // Dense path: the whole space fits one 64-bit word, so "rest
+        // covers cube i" is a bitmask containment test over precomputed
+        // per-cube row masks — no intermediate covers are built.
+        let masks: Vec<u64> = cubes
             .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i && !removed[j])
-            .map(|(_, c)| *c)
-            .chain(dc.cubes().iter().copied())
+            .map(|c| Cover::cube_row_mask(c, nvars))
             .collect();
-        let rest_cover = Cover::from_cubes(nvars, rest);
-        if rest_cover.covers_cube(&cubes[i]) {
-            removed[i] = true;
+        let dc_mask = dc.row_mask();
+        for &i in &order {
+            let mut rest = dc_mask;
+            for (j, m) in masks.iter().enumerate() {
+                if j != i && !removed[j] {
+                    rest |= m;
+                }
+            }
+            if masks[i] & !rest == 0 {
+                removed[i] = true;
+            }
+        }
+    } else {
+        for &i in &order {
+            let rest: Vec<Cube> = cubes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i && !removed[j])
+                .map(|(_, c)| *c)
+                .chain(dc.cubes().iter().copied())
+                .collect();
+            let rest_cover = Cover::from_cubes(nvars, rest);
+            if rest_cover.covers_cube(&cubes[i]) {
+                removed[i] = true;
+            }
         }
     }
-    cubes = cubes.into_iter().zip(removed).filter(|(_, r)| !r).map(|(c, _)| c).collect();
+    cubes = cubes
+        .into_iter()
+        .zip(removed)
+        .filter(|(_, r)| !r)
+        .map(|(c, _)| c)
+        .collect();
     Cover::from_cubes(nvars, cubes)
 }
 
@@ -160,6 +231,13 @@ pub fn reduce(f: &Cover, dc: &Cover) -> Cover {
     // Reduce in order of decreasing size.
     let mut order: Vec<usize> = (0..cubes.len()).collect();
     order.sort_by_key(|&i| cubes[i].literal_count());
+    if nvars <= 6 {
+        // Dense path: the residue (part of cube i the rest does not
+        // cover) is a row bitmask, and its enclosing supercube falls out
+        // of per-variable mask tests — no complement recursion.
+        reduce_dense(&mut cubes, &order, dc, nvars);
+        return Cover::from_cubes(nvars, cubes);
+    }
     for &i in &order {
         let c = cubes[i];
         let rest: Vec<Cube> = cubes
@@ -183,6 +261,59 @@ pub fn reduce(f: &Cover, dc: &Cover) -> Cover {
         cubes[i] = c.intersect(&sc);
     }
     Cover::from_cubes(nvars, cubes)
+}
+
+/// Dense (`nvars <= 6`) core of [`reduce`]: per-cube residue masks and
+/// supercube-by-bitmask.
+fn reduce_dense(cubes: &mut [Cube], order: &[usize], dc: &Cover, nvars: u8) {
+    // Rows (0..64) where variable v is 1.
+    const VAR_ROWS: [u64; 6] = [
+        0xAAAA_AAAA_AAAA_AAAA,
+        0xCCCC_CCCC_CCCC_CCCC,
+        0xF0F0_F0F0_F0F0_F0F0,
+        0xFF00_FF00_FF00_FF00,
+        0xFFFF_0000_FFFF_0000,
+        0xFFFF_FFFF_0000_0000,
+    ];
+    // Row mask of cube `d` cofactored by `c` (None if they conflict).
+    let cof_mask = |d: &Cube, c: &Cube| -> u64 {
+        if (d.pos() & c.neg()) | (d.neg() & c.pos()) != 0 {
+            return 0;
+        }
+        let cof = Cube::from_masks(d.pos() & !c.pos(), d.neg() & !c.neg());
+        Cover::cube_row_mask(&cof, nvars)
+    };
+    let full = Cover::full_row_mask(nvars);
+    for &i in order {
+        let c = cubes[i];
+        // (rest ∪ dc) cofactored by c, as a row mask. The residue —
+        // mirroring the cofactor-complement of the sparse path — ranges
+        // over the whole space; the final intersection with c restricts
+        // it.
+        let mut rest_cof = 0u64;
+        for (j, d) in cubes.iter().enumerate() {
+            if j != i {
+                rest_cof |= cof_mask(d, &c);
+            }
+        }
+        for d in dc.cubes() {
+            rest_cof |= cof_mask(d, &c);
+        }
+        let residue = full & !rest_cof;
+        if residue == 0 {
+            continue; // fully covered; irredundant should have caught it
+        }
+        // Smallest cube containing the residue rows.
+        let mut sc = Cube::top();
+        for (v, rows) in VAR_ROWS.iter().enumerate().take(nvars as usize) {
+            if residue & !rows == 0 {
+                sc = sc.with_pos(v as u8);
+            } else if residue & rows == 0 {
+                sc = sc.with_neg(v as u8);
+            }
+        }
+        cubes[i] = c.intersect(&sc);
+    }
 }
 
 /// Exact check (for tests / assertions): `candidate` equals `on` modulo the
@@ -267,11 +398,14 @@ mod tests {
     #[test]
     fn irredundant_removes_consensus_cube() {
         // x0x1 | !x0x2 | x1x2 — the last cube is redundant.
-        let f = Cover::from_cubes(3, vec![
-            Cube::top().with_pos(0).with_pos(1),
-            Cube::top().with_neg(0).with_pos(2),
-            Cube::top().with_pos(1).with_pos(2),
-        ]);
+        let f = Cover::from_cubes(
+            3,
+            vec![
+                Cube::top().with_pos(0).with_pos(1),
+                Cube::top().with_neg(0).with_pos(2),
+                Cube::top().with_pos(1).with_pos(2),
+            ],
+        );
         let out = irredundant(&f, &Cover::zero(3));
         assert_eq!(out.len(), 2);
         assert!(out.equivalent(&f));

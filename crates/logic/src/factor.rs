@@ -9,7 +9,7 @@
 //!   wide associative gate into a tree of narrower gates so that the
 //!   latest-arriving input passes through the fewest levels.
 
-use crate::divide::{best_kernel, divide, largest_common_cube};
+use crate::divide::{divide, largest_common_cube, KernelCache};
 use crate::{Cover, Cube, Phase};
 use std::fmt;
 
@@ -40,9 +40,7 @@ impl Expr {
     pub fn depth(&self) -> u32 {
         match self {
             Expr::Const(_) | Expr::Lit(..) => 0,
-            Expr::And(xs) | Expr::Or(xs) => {
-                1 + xs.iter().map(Expr::depth).max().unwrap_or(0)
-            }
+            Expr::And(xs) | Expr::Or(xs) => 1 + xs.iter().map(Expr::depth).max().unwrap_or(0),
         }
     }
 
@@ -126,12 +124,8 @@ fn cube_to_expr(c: &Cube) -> Expr {
     }
 }
 
-fn cover_sum_expr(f: &Cover, factor_cubes: bool) -> Expr {
-    let terms: Vec<Expr> = f
-        .cubes()
-        .iter()
-        .map(|c| if factor_cubes { cube_to_expr(c) } else { cube_to_expr(c) })
-        .collect();
+fn cover_sum_expr(f: &Cover) -> Expr {
+    let terms: Vec<Expr> = f.cubes().iter().map(cube_to_expr).collect();
     match terms.len() {
         0 => Expr::Const(false),
         1 => terms.into_iter().next().expect("one term"),
@@ -158,6 +152,16 @@ fn cover_sum_expr(f: &Cover, factor_cubes: bool) -> Expr {
 /// assert_eq!(e.literal_count(), 4);
 /// ```
 pub fn good_factor(f: &Cover) -> Expr {
+    good_factor_with_cache(f, &mut KernelCache::new())
+}
+
+/// [`good_factor`] with an explicit kernel memo cache.
+///
+/// Threading one [`KernelCache`] through many factoring calls (per
+/// network, per optimization pass) lets structurally identical sub-covers
+/// reuse previously computed kernel extractions — the quotient/remainder
+/// recursion revisits the same sub-covers constantly.
+pub fn good_factor_with_cache(f: &Cover, cache: &mut KernelCache) -> Expr {
     if f.is_empty() {
         return Expr::Const(false);
     }
@@ -172,7 +176,7 @@ pub fn good_factor(f: &Cover) -> Expr {
             .iter()
             .map(|c| c.algebraic_quotient(&lcc).expect("common cube divides"))
             .collect();
-        let inner = good_factor(&Cover::from_cubes(f.nvars(), stripped));
+        let inner = good_factor_with_cache(&Cover::from_cubes(f.nvars(), stripped), cache);
         let mut parts = vec![cube_to_expr(&lcc)];
         match inner {
             Expr::And(xs) => parts.extend(xs),
@@ -185,20 +189,20 @@ pub fn good_factor(f: &Cover) -> Expr {
             Expr::And(parts)
         };
     }
-    match best_kernel(f) {
-        None => cover_sum_expr(f, true),
+    match cache.best_kernel(f) {
+        None => cover_sum_expr(f),
         Some(k) => {
             let div = divide(f, &k.kernel);
             if div.quotient.is_empty() {
-                return cover_sum_expr(f, true);
+                return cover_sum_expr(f);
             }
-            let d_expr = good_factor(&k.kernel);
-            let q_expr = good_factor(&div.quotient);
+            let d_expr = good_factor_with_cache(&k.kernel, cache);
+            let q_expr = good_factor_with_cache(&div.quotient, cache);
             let product = Expr::And(vec![d_expr, q_expr]);
             if div.remainder.is_empty() {
                 product
             } else {
-                let r_expr = good_factor(&div.remainder);
+                let r_expr = good_factor_with_cache(&div.remainder, cache);
                 let mut terms = vec![product];
                 match r_expr {
                     Expr::Or(xs) => terms.extend(xs),
@@ -238,7 +242,10 @@ impl DecompTree {
         match self {
             DecompTree::Leaf(i) => arrival[*i],
             DecompTree::Node(children) => {
-                1.0 + children.iter().map(|c| c.ready_time(arrival)).fold(f64::MIN, f64::max)
+                1.0 + children
+                    .iter()
+                    .map(|c| c.ready_time(arrival))
+                    .fold(f64::MIN, f64::max)
             }
         }
     }
@@ -301,12 +308,10 @@ mod tests {
 
     #[test]
     fn factor_preserves_function() {
-        let f = Cover::from_cubes(4, vec![
-            cube(&[0, 2]),
-            cube(&[0, 3]),
-            cube(&[1, 2]),
-            cube(&[1, 3]),
-        ]);
+        let f = Cover::from_cubes(
+            4,
+            vec![cube(&[0, 2]), cube(&[0, 3]), cube(&[1, 2]), cube(&[1, 3])],
+        );
         let e = good_factor(&f);
         assert!(e.to_cover(4).equivalent(&f));
         assert_eq!(e.literal_count(), 4);

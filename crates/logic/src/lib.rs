@@ -18,6 +18,25 @@
 //! * [`Network`] — a multi-level Boolean network with collapse and
 //!   kernel-based re-synthesis.
 //!
+//! # Performance architecture
+//!
+//! The minimizer and factorizer are on the synthesis hot path and are
+//! engineered accordingly (see `docs/PERFORMANCE.md`):
+//!
+//! * covers of ≤ 6 variables use **dense 64-bit row masks** for
+//!   tautology, containment, irredundancy and reduction — the recursive
+//!   unate paradigm only runs for wider covers;
+//! * [`divide`] intersects candidate sets and filters the remainder via
+//!   **hashed cube sets** instead of quadratic scans, and
+//!   [`Cover::single_cube_containment`] dedups through a hash set with
+//!   literal-count-pruned containment checks;
+//! * [`KernelCache`] memoizes kernel extraction under canonical cover
+//!   signatures; [`good_factor_with_cache`] / [`resynthesize_with_cache`]
+//!   thread one cache across a whole network;
+//! * [`espresso::minimize_many`] and [`resynthesize_outputs`] fan
+//!   independent outputs across cores (via `milo-par`) with results in
+//!   input order, so parallel runs stay deterministic.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,6 +60,7 @@ mod truth;
 
 pub use cover::Cover;
 pub use cube::{Cube, Phase};
-pub use factor::{good_factor, timing_decompose, DecompTree, Expr};
-pub use network::{resynthesize, Network, NodeId};
+pub use divide::KernelCache;
+pub use factor::{good_factor, good_factor_with_cache, timing_decompose, DecompTree, Expr};
+pub use network::{resynthesize, resynthesize_outputs, resynthesize_with_cache, Network, NodeId};
 pub use truth::TruthTable;

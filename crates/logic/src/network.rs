@@ -6,7 +6,7 @@
 //! leaves. The network supports evaluation, node collapsing (full collapse
 //! gives the two-level form), and re-synthesis by kernel extraction.
 
-use crate::divide::best_kernel;
+use crate::divide::KernelCache;
 use crate::espresso;
 use crate::{Cover, Cube, Phase};
 use std::collections::HashMap;
@@ -104,7 +104,10 @@ impl Network {
 
     /// Number of internal (logic) nodes.
     pub fn logic_node_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, NodeKind::Logic { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, NodeKind::Logic { .. }))
+            .count()
     }
 
     /// Total factored/SOP literal count over all logic nodes.
@@ -172,8 +175,11 @@ impl Network {
             "support of {} inputs exceeds the cube width",
             support.len()
         );
-        let index: HashMap<NodeId, u8> =
-            support.iter().enumerate().map(|(i, id)| (*id, i as u8)).collect();
+        let index: HashMap<NodeId, u8> = support
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (*id, i as u8))
+            .collect();
         let cover = self.collapse_rec(node, &index, support.len() as u8, &mut HashMap::new());
         (cover, support)
     }
@@ -243,9 +249,7 @@ impl fmt::Display for Network {
         for (i, n) in self.nodes.iter().enumerate() {
             match n {
                 NodeKind::Input(name) => writeln!(f, "n{i}: input {name}")?,
-                NodeKind::Logic { cover, fanins } => {
-                    writeln!(f, "n{i}: {cover} over {fanins:?}")?
-                }
+                NodeKind::Logic { cover, fanins } => writeln!(f, "n{i}: {cover} over {fanins:?}")?,
             }
         }
         for (name, id) in &self.outputs {
@@ -261,27 +265,65 @@ impl fmt::Display for Network {
 ///
 /// Returns a fresh network whose inputs are named after `input_names`.
 pub fn resynthesize(cover: &Cover, input_names: &[&str]) -> Network {
+    resynthesize_with_cache(cover, input_names, &mut KernelCache::new())
+}
+
+/// [`resynthesize`] with an explicit kernel memo cache, so repeated
+/// re-synthesis over a network (or across strategy applications) reuses
+/// kernel extractions of structurally identical sub-covers.
+pub fn resynthesize_with_cache(
+    cover: &Cover,
+    input_names: &[&str],
+    cache: &mut KernelCache,
+) -> Network {
     let min = espresso::minimize(cover, None).cover;
     let mut net = Network::new();
     let inputs: Vec<NodeId> = input_names.iter().map(|n| net.add_input(*n)).collect();
-    let root = build_factored(&mut net, &min, &inputs);
+    let root = build_factored(&mut net, &min, &inputs, cache);
     net.add_output("f", root);
     net
 }
 
+/// Multi-output re-synthesis: minimizes every output cover in parallel
+/// (deterministically — results land in input order), then factors each
+/// minimized cover through one shared kernel cache.
+///
+/// Returns one network per `(cover, output name)` pair.
+pub fn resynthesize_outputs(outputs: &[(Cover, String)], input_names: &[&str]) -> Vec<Network> {
+    let minimized =
+        espresso::minimize_many(&outputs.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>());
+    let mut cache = KernelCache::new();
+    minimized
+        .into_iter()
+        .zip(outputs)
+        .map(|(min, (_, name))| {
+            let mut net = Network::new();
+            let inputs: Vec<NodeId> = input_names.iter().map(|n| net.add_input(*n)).collect();
+            let root = build_factored(&mut net, &min.cover, &inputs, &mut cache);
+            net.add_output(name.clone(), root);
+            net
+        })
+        .collect()
+}
+
 /// Recursively extracts the best kernel of `f`, materializing divisor and
 /// quotient as separate nodes.
-fn build_factored(net: &mut Network, f: &Cover, vars: &[NodeId]) -> NodeId {
-    if let Some(k) = best_kernel(f) {
+fn build_factored(
+    net: &mut Network,
+    f: &Cover,
+    vars: &[NodeId],
+    cache: &mut KernelCache,
+) -> NodeId {
+    if let Some(k) = cache.best_kernel(f) {
         let div = crate::divide::divide(f, &k.kernel);
         if !div.quotient.is_empty() && k.kernel.len() >= 2 && div.quotient.literal_count() >= 1 {
-            let d_node = build_factored(net, &k.kernel, vars);
-            let q_node = build_factored(net, &div.quotient, vars);
+            let d_node = build_factored(net, &k.kernel, vars, cache);
+            let q_node = build_factored(net, &div.quotient, vars, cache);
             // product node: d & q, plus the remainder as extra cubes.
             let mut fanins = vec![d_node, q_node];
             let mut cubes = vec![Cube::top().with_pos(0).with_pos(1)];
             if !div.remainder.is_empty() {
-                let r_node = build_factored(net, &div.remainder, vars);
+                let r_node = build_factored(net, &div.remainder, vars, cache);
                 fanins.push(r_node);
                 cubes.push(Cube::top().with_pos(2));
             }
@@ -299,7 +341,11 @@ fn build_factored(net: &mut Network, f: &Cover, vars: &[NodeId]) -> NodeId {
         }
     }
     used.sort_unstable();
-    let remap: HashMap<u8, u8> = used.iter().enumerate().map(|(i, v)| (*v, i as u8)).collect();
+    let remap: HashMap<u8, u8> = used
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, i as u8))
+        .collect();
     let cubes: Vec<Cube> = f
         .cubes()
         .iter()
@@ -363,10 +409,13 @@ mod tests {
         );
         // f = g ^ c expressed as SOP over (g, c)
         let f = net.add_node(
-            Cover::from_cubes(2, vec![
-                Cube::top().with_pos(0).with_neg(1),
-                Cube::top().with_neg(0).with_pos(1),
-            ]),
+            Cover::from_cubes(
+                2,
+                vec![
+                    Cube::top().with_pos(0).with_neg(1),
+                    Cube::top().with_neg(0).with_pos(1),
+                ],
+            ),
             vec![g, c],
         );
         net.add_output("f", f);

@@ -41,7 +41,11 @@ impl TruthTable {
     /// Panics if `vars > Self::MAX_VARS` or if `bits` has bits set beyond
     /// the `2^vars` rows of the table.
     pub fn new(vars: u8, bits: u64) -> Self {
-        assert!(vars <= Self::MAX_VARS, "at most {} variables", Self::MAX_VARS);
+        assert!(
+            vars <= Self::MAX_VARS,
+            "at most {} variables",
+            Self::MAX_VARS
+        );
         let mask = Self::row_mask(vars);
         assert_eq!(bits & !mask, 0, "bits beyond 2^vars rows");
         Self { vars, bits }
@@ -114,7 +118,10 @@ impl TruthTable {
     /// Complement (logical NOT).
     #[must_use]
     pub fn not(&self) -> Self {
-        Self { vars: self.vars, bits: !self.bits & Self::row_mask(self.vars) }
+        Self {
+            vars: self.vars,
+            bits: !self.bits & Self::row_mask(self.vars),
+        }
     }
 
     /// Conjunction with another table over the same variables.
@@ -125,21 +132,30 @@ impl TruthTable {
     #[must_use]
     pub fn and(&self, other: &Self) -> Self {
         assert_eq!(self.vars, other.vars);
-        Self { vars: self.vars, bits: self.bits & other.bits }
+        Self {
+            vars: self.vars,
+            bits: self.bits & other.bits,
+        }
     }
 
     /// Disjunction with another table over the same variables.
     #[must_use]
     pub fn or(&self, other: &Self) -> Self {
         assert_eq!(self.vars, other.vars);
-        Self { vars: self.vars, bits: self.bits | other.bits }
+        Self {
+            vars: self.vars,
+            bits: self.bits | other.bits,
+        }
     }
 
     /// Exclusive-or with another table over the same variables.
     #[must_use]
     pub fn xor(&self, other: &Self) -> Self {
         assert_eq!(self.vars, other.vars);
-        Self { vars: self.vars, bits: self.bits ^ other.bits }
+        Self {
+            vars: self.vars,
+            bits: self.bits ^ other.bits,
+        }
     }
 
     /// Positive (`phase == true`) or negative cofactor with respect to `var`.
@@ -150,7 +166,11 @@ impl TruthTable {
     pub fn cofactor(&self, var: u8, phase: bool) -> Self {
         assert!(var < self.vars);
         Self::from_fn(self.vars, |row| {
-            let fixed = if phase { row | (1 << var) } else { row & !(1 << var) };
+            let fixed = if phase {
+                row | (1 << var)
+            } else {
+                row & !(1 << var)
+            };
             self.eval(fixed)
         })
     }
@@ -201,7 +221,10 @@ impl TruthTable {
         assert_eq!(perm.len(), self.vars as usize);
         let mut seen = vec![false; self.vars as usize];
         for &p in perm {
-            assert!(!std::mem::replace(&mut seen[p as usize], true), "not a permutation");
+            assert!(
+                !std::mem::replace(&mut seen[p as usize], true),
+                "not a permutation"
+            );
         }
         Self::from_fn(self.vars, |row| {
             let mut orig = 0u32;
@@ -217,7 +240,13 @@ impl TruthTable {
 
 impl fmt::Debug for TruthTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "TruthTable({} vars, {:#0width$b})", self.vars, self.bits, width = (1usize << self.vars) + 2)
+        write!(
+            f,
+            "TruthTable({} vars, {:#0width$b})",
+            self.vars,
+            self.bits,
+            width = (1usize << self.vars) + 2
+        )
     }
 }
 
@@ -262,7 +291,9 @@ mod tests {
     #[test]
     fn cofactor_and_support() {
         // f = x0 & x1 | x2
-        let f = TruthTable::var(3, 0).and(&TruthTable::var(3, 1)).or(&TruthTable::var(3, 2));
+        let f = TruthTable::var(3, 0)
+            .and(&TruthTable::var(3, 1))
+            .or(&TruthTable::var(3, 2));
         assert_eq!(f.support(), vec![0, 1, 2]);
         let f_x2 = f.cofactor(2, true);
         assert_eq!(f_x2.as_const(), Some(true));

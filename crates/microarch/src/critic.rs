@@ -74,7 +74,7 @@ pub fn optimize(
                 }
                 tx.commit();
                 if let Ok(s) = measure(&trial, db, lib) {
-                    if best.as_ref().map_or(true, |(d, _)| s.delay < *d) {
+                    if best.as_ref().is_none_or(|(d, _)| s.delay < *d) {
                         best = Some((s.delay, m));
                     }
                 }
@@ -120,15 +120,20 @@ pub fn optimize(
     }
 
     let after = measure(nl, db, lib)?;
-    Ok(CriticReport { fired, before, after, cla_upgrades, ripple_downgrades, met_timing })
+    Ok(CriticReport {
+        fired,
+        before,
+        after,
+        cla_upgrades,
+        ripple_downgrades,
+        met_timing,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use milo_netlist::{
-        ArithOps, CarryMode, ComponentKind, MicroComponent, PinDir,
-    };
+    use milo_netlist::{ArithOps, CarryMode, ComponentKind, MicroComponent, PinDir};
     use milo_techmap::ecl_library;
 
     /// A 8-bit ripple adder between ports — timing-constrainable.
@@ -168,7 +173,10 @@ mod tests {
         assert!(report.cla_upgrades >= 1, "{report:?}");
         assert_eq!(report.met_timing, Some(true), "{report:?}");
         assert!(report.after.delay < report.before.delay);
-        assert!(report.after.area > report.before.area, "speed was bought with area");
+        assert!(
+            report.after.area > report.before.area,
+            "speed was bought with area"
+        );
     }
 
     #[test]
@@ -187,7 +195,10 @@ mod tests {
         let mut db = DesignDb::new();
         let lib = ecl_library();
         let report = optimize(&mut nl, &mut db, &lib, None).unwrap();
-        assert!(report.fired.contains(&"adder-register-to-counter"), "{report:?}");
+        assert!(
+            report.fired.contains(&"adder-register-to-counter"),
+            "{report:?}"
+        );
         assert!(
             report.after.area < report.before.area,
             "counter beats adder+register: {report:?}"

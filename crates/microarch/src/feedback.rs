@@ -65,8 +65,7 @@ pub fn elaborate(
 ) -> Result<Netlist, FeedbackError> {
     let mut work = nl.clone();
     work.name = format!("{}__elab", nl.name);
-    expand_micro_components(&mut work, db)
-        .map_err(|e| FeedbackError::Other(e.to_string()))?;
+    expand_micro_components(&mut work, db).map_err(|e| FeedbackError::Other(e.to_string()))?;
     let tmp = db.insert(work);
     let flat = db.flatten(&tmp)?;
     let mapped = map_netlist(&flat, lib)?;
@@ -91,9 +90,7 @@ pub fn measure(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use milo_netlist::{
-        ArithOps, CarryMode, ComponentKind, MicroComponent, PinDir,
-    };
+    use milo_netlist::{ArithOps, CarryMode, ComponentKind, MicroComponent, PinDir};
     use milo_techmap::ecl_library;
 
     #[test]
@@ -143,7 +140,10 @@ mod tests {
             nl2.add_port(pin, dir, net);
         }
         let stats2 = measure(&nl2, &mut db, &lib).unwrap();
-        assert!(stats2.delay < stats.delay, "CLA faster: {stats2:?} vs {stats:?}");
+        assert!(
+            stats2.delay < stats.delay,
+            "CLA faster: {stats2:?} vs {stats:?}"
+        );
         assert!(stats2.area > stats.area, "CLA bigger");
     }
 }

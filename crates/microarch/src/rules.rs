@@ -5,14 +5,13 @@
 //! primarily on the parameters that describe each component as well as
 //! their interconnection to other components".
 
-use milo_netlist::{
-    ArithOp, CarryMode, ComponentId, ComponentKind, ControlSet, CounterFunctions,
-    GateFn, GenericMacro, MicroComponent, NetId, Netlist, NetlistError, PinDir, RegFunctions,
-    Trigger,
-};
-use milo_rules::{Rule, RuleClass, RuleCtx, RuleMatch, Tx};
 #[cfg(test)]
 use milo_netlist::ArithOps;
+use milo_netlist::{
+    ArithOp, CarryMode, ComponentId, ComponentKind, ControlSet, CounterFunctions, GateFn,
+    GenericMacro, MicroComponent, NetId, Netlist, NetlistError, PinDir, RegFunctions, Trigger,
+};
+use milo_rules::{Rule, RuleClass, RuleCtx, RuleMatch, Tx};
 
 /// Constant value driven onto `net`, if its driver is a constant source.
 pub fn const_value(nl: &Netlist, net: NetId) -> Option<bool> {
@@ -44,7 +43,9 @@ pub struct AdderRegToCounter;
 impl AdderRegToCounter {
     fn match_at(nl: &Netlist, au_id: ComponentId) -> Option<RuleMatch> {
         let au = micro_of(nl, au_id)?;
-        let MicroComponent::ArithmeticUnit { bits, ops, .. } = au else { return None };
+        let MicroComponent::ArithmeticUnit { bits, ops, .. } = au else {
+            return None;
+        };
         let inc_only = ops.ops() == [ArithOp::Inc];
         let add_only = ops.ops() == [ArithOp::Add];
         if !inc_only && !add_only {
@@ -98,7 +99,13 @@ impl AdderRegToCounter {
         }
         let reg_id = reg_id?;
         let reg = micro_of(nl, reg_id)?;
-        let MicroComponent::Register { bits: rbits, trigger, funcs, ctrl } = reg else {
+        let MicroComponent::Register {
+            bits: rbits,
+            trigger,
+            funcs,
+            ctrl,
+        } = reg
+        else {
             return None;
         };
         if rbits != bits
@@ -134,7 +141,10 @@ impl Rule for AdderRegToCounter {
         RuleClass::Micro
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
-        ctx.nl.component_ids().filter_map(|id| Self::match_at(ctx.nl, id)).collect()
+        ctx.nl
+            .component_ids()
+            .filter_map(|id| Self::match_at(ctx.nl, id))
+            .collect()
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let nl = tx.netlist();
@@ -144,8 +154,12 @@ impl Rule for AdderRegToCounter {
             return Err(NetlistError::NoSuchComponent(au_id));
         };
         // Gather the register's nets.
-        let rst = nl.pin_net(reg_id, "RST").ok_or(NetlistError::NoSuchComponent(reg_id))?;
-        let clk = nl.pin_net(reg_id, "CLK").ok_or(NetlistError::NoSuchComponent(reg_id))?;
+        let rst = nl
+            .pin_net(reg_id, "RST")
+            .ok_or(NetlistError::NoSuchComponent(reg_id))?;
+        let clk = nl
+            .pin_net(reg_id, "CLK")
+            .ok_or(NetlistError::NoSuchComponent(reg_id))?;
         let f0 = nl.pin_net(reg_id, "F0");
         let q_nets: Vec<NetId> = (0..bits)
             .map(|i| nl.pin_net(reg_id, &format!("Q{i}")).expect("matched"))
@@ -156,7 +170,11 @@ impl Rule for AdderRegToCounter {
         let ctr = MicroComponent::Counter {
             bits,
             funcs: CounterFunctions::UP,
-            ctrl: ControlSet { set: false, reset: true, enable: enable_net.is_some() },
+            ctrl: ControlSet {
+                set: false,
+                reset: true,
+                enable: enable_net.is_some(),
+            },
         };
         tx.remove_component(au_id)?;
         tx.remove_component(reg_id)?;
@@ -198,8 +216,7 @@ impl Rule for RippleToCla {
             .collect()
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
-        let Some(MicroComponent::ArithmeticUnit { bits, ops, .. }) =
-            micro_of(tx.netlist(), m.site)
+        let Some(MicroComponent::ArithmeticUnit { bits, ops, .. }) = micro_of(tx.netlist(), m.site)
         else {
             return Err(NetlistError::NoSuchComponent(m.site));
         };
@@ -240,8 +257,7 @@ impl Rule for ClaToRipple {
             .collect()
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
-        let Some(MicroComponent::ArithmeticUnit { bits, ops, .. }) =
-            micro_of(tx.netlist(), m.site)
+        let Some(MicroComponent::ArithmeticUnit { bits, ops, .. }) = micro_of(tx.netlist(), m.site)
         else {
             return Err(NetlistError::NoSuchComponent(m.site));
         };
@@ -263,8 +279,11 @@ impl MuxCascadeMerge {
     /// Returns (inner, outer, feeds_d1) when `inner`'s outputs exclusively
     /// feed one data word of `outer`.
     fn match_at(nl: &Netlist, inner_id: ComponentId) -> Option<RuleMatch> {
-        let Some(MicroComponent::Multiplexor { bits, inputs: 2, enable: false }) =
-            micro_of(nl, inner_id)
+        let Some(MicroComponent::Multiplexor {
+            bits,
+            inputs: 2,
+            enable: false,
+        }) = micro_of(nl, inner_id)
         else {
             return None;
         };
@@ -291,8 +310,11 @@ impl MuxCascadeMerge {
             }
         }
         let (outer_id, word) = outer?;
-        let Some(MicroComponent::Multiplexor { bits: ob, inputs: 2, enable: false }) =
-            micro_of(nl, outer_id)
+        let Some(MicroComponent::Multiplexor {
+            bits: ob,
+            inputs: 2,
+            enable: false,
+        }) = micro_of(nl, outer_id)
         else {
             return None;
         };
@@ -316,7 +338,10 @@ impl Rule for MuxCascadeMerge {
         RuleClass::Micro
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
-        ctx.nl.component_ids().filter_map(|id| Self::match_at(ctx.nl, id)).collect()
+        ctx.nl
+            .component_ids()
+            .filter_map(|id| Self::match_at(ctx.nl, id))
+            .collect()
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let nl = tx.netlist();
@@ -327,23 +352,36 @@ impl Rule for MuxCascadeMerge {
             return Err(NetlistError::NoSuchComponent(inner));
         };
         let get = |id: ComponentId, pin: String| nl.pin_net(id, &pin);
-        let a: Vec<NetId> = (0..bits).map(|j| get(inner, format!("D0_{j}")).expect("matched")).collect();
-        let b: Vec<NetId> = (0..bits).map(|j| get(inner, format!("D1_{j}")).expect("matched")).collect();
+        let a: Vec<NetId> = (0..bits)
+            .map(|j| get(inner, format!("D0_{j}")).expect("matched"))
+            .collect();
+        let b: Vec<NetId> = (0..bits)
+            .map(|j| get(inner, format!("D1_{j}")).expect("matched"))
+            .collect();
         let other_word = 1 - feeds_word;
         let c: Vec<NetId> = (0..bits)
             .map(|j| get(outer, format!("D{other_word}_{j}")).expect("matched"))
             .collect();
-        let y: Vec<NetId> = (0..bits).map(|j| get(outer, format!("Y{j}")).expect("matched")).collect();
+        let y: Vec<NetId> = (0..bits)
+            .map(|j| get(outer, format!("Y{j}")).expect("matched"))
+            .collect();
         let s = get(inner, "S0".into()).expect("matched");
         let t = get(outer, "S0".into()).expect("matched");
         tx.remove_component(inner)?;
         tx.remove_component(outer)?;
-        let mux = MicroComponent::Multiplexor { bits, inputs: 4, enable: false };
+        let mux = MicroComponent::Multiplexor {
+            bits,
+            inputs: 4,
+            enable: false,
+        };
         let mid = tx.add_component(format!("mx4_{}", inner.index()), ComponentKind::Micro(mux));
         // Y = T ? C : (S?B:A) when inner feeds D0 → order (A,B,C,C);
         // Y = T ? (S?B:A) : C when inner feeds D1 → order (C,C,A,B).
-        let words: [&Vec<NetId>; 4] =
-            if feeds_word == 0 { [&a, &b, &c, &c] } else { [&c, &c, &a, &b] };
+        let words: [&Vec<NetId>; 4] = if feeds_word == 0 {
+            [&a, &b, &c, &c]
+        } else {
+            [&c, &c, &a, &b]
+        };
         for (w, nets) in words.iter().enumerate() {
             for (j, net) in nets.iter().enumerate() {
                 tx.connect_named(mid, &format!("D{w}_{j}"), *net)?;
@@ -380,9 +418,7 @@ impl DecoderOrSimplify {
             }
             let drv = nl.driver(net)?;
             let d = nl.component(drv.component).ok()?;
-            let Some(rest) = d.pins[drv.pin as usize].name.strip_prefix('Y') else {
-                return None;
-            };
+            let rest = d.pins[drv.pin as usize].name.strip_prefix('Y')?;
             let idx: u32 = rest.parse().ok()?;
             match &d.kind {
                 ComponentKind::Micro(MicroComponent::Decoder { enable: false, .. }) => {}
@@ -396,7 +432,9 @@ impl DecoderOrSimplify {
             minterms.push(idx);
         }
         let dec = dec?;
-        let Some(MicroComponent::Decoder { bits, .. }) = micro_of(nl, dec) else { return None };
+        let Some(MicroComponent::Decoder { bits, .. }) = micro_of(nl, dec) else {
+            return None;
+        };
         minterms.sort_unstable();
         minterms.dedup();
         // Single-literal check: S == {i : bit k of i == phase}.
@@ -430,14 +468,20 @@ impl Rule for DecoderOrSimplify {
         RuleClass::Micro
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
-        ctx.nl.component_ids().filter_map(|id| Self::match_at(ctx.nl, id)).collect()
+        ctx.nl
+            .component_ids()
+            .filter_map(|id| Self::match_at(ctx.nl, id))
+            .collect()
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let or_id = m.site;
         let dec = m.aux[0];
         let k = (m.choice >> 1) as u8;
         let phase = m.choice & 1 == 1;
-        let addr = tx.netlist().pin_net(dec, &format!("A{k}")).expect("matched");
+        let addr = tx
+            .netlist()
+            .pin_net(dec, &format!("A{k}"))
+            .expect("matched");
         let y = tx
             .netlist()
             .component(or_id)?
@@ -475,7 +519,11 @@ impl Rule for MuxConstSelect {
         let nl = ctx.nl;
         let mut out = Vec::new();
         for id in nl.component_ids() {
-            let Some(MicroComponent::Multiplexor { inputs, enable: false, .. }) = micro_of(nl, id)
+            let Some(MicroComponent::Multiplexor {
+                inputs,
+                enable: false,
+                ..
+            }) = micro_of(nl, id)
             else {
                 continue;
             };
@@ -483,7 +531,10 @@ impl Rule for MuxConstSelect {
             let mut sel = 0usize;
             let mut all_const = true;
             for s in 0..selects {
-                match nl.pin_net(id, &format!("S{s}")).and_then(|n| const_value(nl, n)) {
+                match nl
+                    .pin_net(id, &format!("S{s}"))
+                    .and_then(|n| const_value(nl, n))
+                {
                     Some(v) => sel |= usize::from(v) << s,
                     None => {
                         all_const = false;
@@ -513,8 +564,10 @@ impl Rule for MuxConstSelect {
         let y: Vec<NetId> = (0..bits)
             .map(|j| nl.pin_net(m.site, &format!("Y{j}")).expect("matched"))
             .collect();
-        let port_bound: Vec<bool> =
-            y.iter().map(|n| tx.netlist().ports().iter().any(|p| p.net == *n)).collect();
+        let port_bound: Vec<bool> = y
+            .iter()
+            .map(|n| tx.netlist().ports().iter().any(|p| p.net == *n))
+            .collect();
         tx.remove_component(m.site)?;
         for j in 0..bits as usize {
             if port_bound[j] {
@@ -558,9 +611,7 @@ impl Rule for DeadLogicRemoval {
                 if p.dir == PinDir::Out {
                     has_output = true;
                     if let Some(net) = p.net {
-                        if nl.fanout(net) > 0
-                            || nl.ports().iter().any(|port| port.net == net)
-                        {
+                        if nl.fanout(net) > 0 || nl.ports().iter().any(|port| port.net == net) {
                             dead = false;
                             break;
                         }
@@ -637,7 +688,8 @@ pub(crate) mod tests {
             let s = nl.add_net(format!("s{i}"));
             nl.connect_named(au, &format!("S{i}"), s).unwrap();
             nl.connect_named(reg, &format!("D{i}"), s).unwrap();
-            nl.connect_named(au, &format!("B{i}"), if i == 0 { one } else { zero }).unwrap();
+            nl.connect_named(au, &format!("B{i}"), if i == 0 { one } else { zero })
+                .unwrap();
         }
         nl.connect_named(au, "CIN", zero).unwrap();
         let rst = nl.add_net("rst");
@@ -669,7 +721,10 @@ pub(crate) mod tests {
         let aus = nl
             .component_ids()
             .filter(|&id| {
-                matches!(micro_of(&nl, id), Some(MicroComponent::ArithmeticUnit { .. }))
+                matches!(
+                    micro_of(&nl, id),
+                    Some(MicroComponent::ArithmeticUnit { .. })
+                )
             })
             .count();
         assert_eq!(aus, 0);
@@ -705,10 +760,16 @@ pub(crate) mod tests {
         // Drive CIN from a port instead of a constant.
         let au = nl
             .component_ids()
-            .find(|&id| matches!(micro_of(&nl, id), Some(MicroComponent::ArithmeticUnit { .. })))
+            .find(|&id| {
+                matches!(
+                    micro_of(&nl, id),
+                    Some(MicroComponent::ArithmeticUnit { .. })
+                )
+            })
             .unwrap();
         let cin_pin = nl.component(au).unwrap().pin_index("CIN").unwrap();
-        nl.disconnect(milo_netlist::PinRef::new(au, cin_pin)).unwrap();
+        nl.disconnect(milo_netlist::PinRef::new(au, cin_pin))
+            .unwrap();
         let ext = nl.add_net("ext_cin");
         nl.add_port("ext_cin", PinDir::In, ext);
         nl.connect_named(au, "CIN", ext).unwrap();
@@ -733,7 +794,10 @@ pub(crate) mod tests {
         tx.commit();
         assert!(matches!(
             micro_of(&nl, au),
-            Some(MicroComponent::ArithmeticUnit { mode: CarryMode::CarryLookahead, .. })
+            Some(MicroComponent::ArithmeticUnit {
+                mode: CarryMode::CarryLookahead,
+                ..
+            })
         ));
         let back = ClaToRipple;
         let mut tx = Tx::new(&mut nl);
@@ -741,7 +805,10 @@ pub(crate) mod tests {
         tx.commit();
         assert!(matches!(
             micro_of(&nl, au),
-            Some(MicroComponent::ArithmeticUnit { mode: CarryMode::Ripple, .. })
+            Some(MicroComponent::ArithmeticUnit {
+                mode: CarryMode::Ripple,
+                ..
+            })
         ));
     }
 
@@ -752,11 +819,19 @@ pub(crate) mod tests {
         let bits = 2u8;
         let m1 = nl.add_component(
             "m1",
-            ComponentKind::Micro(MicroComponent::Multiplexor { bits, inputs: 2, enable: false }),
+            ComponentKind::Micro(MicroComponent::Multiplexor {
+                bits,
+                inputs: 2,
+                enable: false,
+            }),
         );
         let m2 = nl.add_component(
             "m2",
-            ComponentKind::Micro(MicroComponent::Multiplexor { bits, inputs: 2, enable: false }),
+            ComponentKind::Micro(MicroComponent::Multiplexor {
+                bits,
+                inputs: 2,
+                enable: false,
+            }),
         );
         // a, b into m1; m1 -> m2.D0 ; c into m2.D1.
         for w in 0..2 {
@@ -791,7 +866,10 @@ pub(crate) mod tests {
         let mux4 = nl
             .component_ids()
             .filter(|&id| {
-                matches!(micro_of(&nl, id), Some(MicroComponent::Multiplexor { inputs: 4, .. }))
+                matches!(
+                    micro_of(&nl, id),
+                    Some(MicroComponent::Multiplexor { inputs: 4, .. })
+                )
             })
             .count();
         assert_eq!(mux4, 1);
@@ -804,7 +882,10 @@ pub(crate) mod tests {
         let mut nl = Netlist::new("d");
         let dec = nl.add_component(
             "dec",
-            ComponentKind::Micro(MicroComponent::Decoder { bits: 2, enable: false }),
+            ComponentKind::Micro(MicroComponent::Decoder {
+                bits: 2,
+                enable: false,
+            }),
         );
         let a0 = nl.add_net("a0");
         let a1 = nl.add_net("a1");
@@ -813,7 +894,10 @@ pub(crate) mod tests {
         nl.add_port("a0", PinDir::In, a0);
         nl.add_port("a1", PinDir::In, a1);
         // OR of Y1 and Y3 = minterms {1,3} = A0.
-        let or = nl.add_component("or", ComponentKind::Generic(GenericMacro::Gate(GateFn::Or, 2)));
+        let or = nl.add_component(
+            "or",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Or, 2)),
+        );
         let y1 = nl.add_net("y1");
         let y3 = nl.add_net("y3");
         nl.connect_named(dec, "Y1", y1).unwrap();
@@ -854,7 +938,11 @@ pub(crate) mod tests {
         let mut nl = Netlist::new("m");
         let m1 = nl.add_component(
             "m1",
-            ComponentKind::Micro(MicroComponent::Multiplexor { bits: 1, inputs: 2, enable: false }),
+            ComponentKind::Micro(MicroComponent::Multiplexor {
+                bits: 1,
+                inputs: 2,
+                enable: false,
+            }),
         );
         let vdd = nl.add_component("vdd", ComponentKind::Generic(GenericMacro::Vdd));
         let one = nl.add_net("one");

@@ -78,17 +78,21 @@ impl DesignDb {
         self.get(name).map(|d| {
             d.ports()
                 .iter()
-                .map(|p| PinSpec { name: p.name.clone(), dir: p.dir })
+                .map(|p| PinSpec {
+                    name: p.name.clone(),
+                    dir: p.dir,
+                })
                 .collect()
         })
     }
 
     /// Creates an instance component kind for `design`.
     pub fn instance_kind(&self, design: &str) -> Option<ComponentKind> {
-        self.instance_ports(design).map(|ports| ComponentKind::Instance {
-            design: design.to_owned(),
-            ports,
-        })
+        self.instance_ports(design)
+            .map(|ports| ComponentKind::Instance {
+                design: design.to_owned(),
+                ports,
+            })
     }
 
     /// Recursively flattens `design`: every [`ComponentKind::Instance`] is
@@ -107,7 +111,10 @@ impl DesignDb {
         // Iterate until no instances remain (handles nested hierarchy).
         loop {
             let instance = out.component_ids().find(|&id| {
-                matches!(out.component(id).map(|c| &c.kind), Ok(ComponentKind::Instance { .. }))
+                matches!(
+                    out.component(id).map(|c| &c.kind),
+                    Ok(ComponentKind::Instance { .. })
+                )
             });
             let Some(inst_id) = instance else { break };
             self.expand_instance(&mut out, inst_id)?;
@@ -142,7 +149,10 @@ impl DesignDb {
             let port = inner.ports().iter().find(|p| p.net == nid);
             let outer = match port {
                 Some(p) => {
-                    let bound = pin_nets.iter().find(|(n, _)| *n == p.name).and_then(|(_, net)| *net);
+                    let bound = pin_nets
+                        .iter()
+                        .find(|(n, _)| *n == p.name)
+                        .and_then(|(_, net)| *net);
                     match bound {
                         Some(net) => net,
                         None => nl.add_net(format!("{prefix}.{}", inner_net.name)),
@@ -179,7 +189,10 @@ mod tests {
         let a = nl.add_net("a");
         let b = nl.add_net("b");
         let y = nl.add_net("y");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Nand, 2)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Nand, 2)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         nl.connect_named(g, "A1", b).unwrap();
         nl.connect_named(g, "Y", y).unwrap();
@@ -233,7 +246,10 @@ mod tests {
         let n = mid.add_net("n");
         let y = mid.add_net("y");
         let u = mid.add_component("u", db.instance_kind("NAND2D").unwrap());
-        let inv = mid.add_component("i", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let inv = mid.add_component(
+            "i",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         mid.connect_named(u, "a", a).unwrap();
         mid.connect_named(u, "b", b).unwrap();
         mid.connect_named(u, "y", n).unwrap();

@@ -95,7 +95,10 @@ mod tests {
         let mut nl = Netlist::new("dot");
         let a = nl.add_net("sig_a");
         let y = nl.add_net("sig_y");
-        let g = nl.add_component("u1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Nand, 2)));
+        let g = nl.add_component(
+            "u1",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Nand, 2)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         nl.connect_named(g, "A1", a).unwrap();
         nl.connect_named(g, "Y", y).unwrap();

@@ -114,16 +114,25 @@ pub struct PinSpec {
 
 impl PinSpec {
     fn input(name: impl Into<String>) -> Self {
-        Self { name: name.into(), dir: PinDir::In }
+        Self {
+            name: name.into(),
+            dir: PinDir::In,
+        }
     }
 
     fn output(name: impl Into<String>) -> Self {
-        Self { name: name.into(), dir: PinDir::Out }
+        Self {
+            name: name.into(),
+            dir: PinDir::Out,
+        }
     }
 }
 
 fn bus(prefix: &str, n: u8, dir: PinDir) -> impl Iterator<Item = PinSpec> + '_ {
-    (0..n).map(move |i| PinSpec { name: format!("{prefix}{i}"), dir })
+    (0..n).map(move |i| PinSpec {
+        name: format!("{prefix}{i}"),
+        dir,
+    })
 }
 
 /// Generic library macros — Fig. 13 of the paper.
@@ -369,11 +378,26 @@ pub struct ArithOps {
 
 impl ArithOps {
     /// Add-only unit.
-    pub const ADD: Self = Self { add: true, sub: false, inc: false, dec: false };
+    pub const ADD: Self = Self {
+        add: true,
+        sub: false,
+        inc: false,
+        dec: false,
+    };
     /// Add/subtract unit.
-    pub const ADD_SUB: Self = Self { add: true, sub: true, inc: false, dec: false };
+    pub const ADD_SUB: Self = Self {
+        add: true,
+        sub: true,
+        inc: false,
+        dec: false,
+    };
     /// Increment-only unit.
-    pub const INC: Self = Self { add: false, sub: false, inc: true, dec: false };
+    pub const INC: Self = Self {
+        add: false,
+        sub: false,
+        inc: true,
+        dec: false,
+    };
 
     /// The enabled operations in canonical order.
     pub fn ops(&self) -> Vec<ArithOp> {
@@ -441,7 +465,11 @@ pub struct RegFunctions {
 
 impl RegFunctions {
     /// Plain parallel-load register.
-    pub const LOAD: Self = Self { load: true, shift_left: false, shift_right: false };
+    pub const LOAD: Self = Self {
+        load: true,
+        shift_left: false,
+        shift_right: false,
+    };
 
     /// The selectable data sources in canonical order: hold, load, shl, shr.
     /// Hold is always available (the register keeps its value).
@@ -469,9 +497,17 @@ pub struct CounterFunctions {
 
 impl CounterFunctions {
     /// Up-only counter with load.
-    pub const UP_LOAD: Self = Self { load: true, up: true, down: false };
+    pub const UP_LOAD: Self = Self {
+        load: true,
+        up: true,
+        down: false,
+    };
     /// Up-only counter.
-    pub const UP: Self = Self { load: false, up: true, down: false };
+    pub const UP: Self = Self {
+        load: false,
+        up: true,
+        down: false,
+    };
 }
 
 /// Control pins shared by registers and counters (Fig. 12 `control`).
@@ -487,9 +523,17 @@ pub struct ControlSet {
 
 impl ControlSet {
     /// Reset only.
-    pub const RESET: Self = Self { set: false, reset: true, enable: false };
+    pub const RESET: Self = Self {
+        set: false,
+        reset: true,
+        enable: false,
+    };
     /// No controls.
-    pub const NONE: Self = Self { set: false, reset: false, enable: false };
+    pub const NONE: Self = Self {
+        set: false,
+        reset: false,
+        enable: false,
+    };
 }
 
 /// Parameterized microarchitecture components — Fig. 12 of the paper.
@@ -577,7 +621,11 @@ impl MicroComponent {
                 pins.push(PinSpec::output("Y"));
                 pins
             }
-            MicroComponent::Multiplexor { bits, inputs, enable } => {
+            MicroComponent::Multiplexor {
+                bits,
+                inputs,
+                enable,
+            } => {
                 let mut pins = Vec::new();
                 for i in 0..inputs {
                     pins.extend(bus(&format!("D{i}_"), bits, PinDir::In));
@@ -626,7 +674,9 @@ impl MicroComponent {
                 pins.push(PinSpec::output("COUT"));
                 pins
             }
-            MicroComponent::Register { bits, funcs, ctrl, .. } => {
+            MicroComponent::Register {
+                bits, funcs, ctrl, ..
+            } => {
                 let mut pins = Vec::new();
                 if funcs.load {
                     pins.extend(bus("D", bits, PinDir::In));
@@ -681,7 +731,10 @@ impl MicroComponent {
 
     /// Whether the component holds state.
     pub fn is_sequential(&self) -> bool {
-        matches!(self, MicroComponent::Register { .. } | MicroComponent::Counter { .. })
+        matches!(
+            self,
+            MicroComponent::Register { .. } | MicroComponent::Counter { .. }
+        )
     }
 
     /// Word width of the component's primary output.
@@ -701,14 +754,22 @@ impl MicroComponent {
     pub fn describe(&self) -> String {
         match *self {
             MicroComponent::Gate { function, inputs } => format!("{function}{inputs}"),
-            MicroComponent::Multiplexor { bits, inputs, enable } => {
+            MicroComponent::Multiplexor {
+                bits,
+                inputs,
+                enable,
+            } => {
                 format!("MUX{inputs}:1:{bits}{}", if enable { "E" } else { "" })
             }
             MicroComponent::Decoder { bits, enable } => {
                 format!("DEC{bits}:{}{}", 1u8 << bits, if enable { "E" } else { "" })
             }
             MicroComponent::Comparator { bits, function } => format!("CMP{bits}({function:?})"),
-            MicroComponent::LogicUnit { function, inputs, bits } => {
+            MicroComponent::LogicUnit {
+                function,
+                inputs,
+                bits,
+            } => {
                 format!("LU{bits}({function}x{inputs})")
             }
             MicroComponent::ArithmeticUnit { bits, ops, mode } => {
@@ -738,7 +799,10 @@ impl MicroComponent {
 
 /// Number of select lines for an `inputs`-way mux.
 pub fn sel_bits(inputs: u8) -> u8 {
-    assert!(inputs >= 2 && inputs.is_power_of_two(), "mux inputs must be a power of two >= 2");
+    assert!(
+        inputs >= 2 && inputs.is_power_of_two(),
+        "mux inputs must be a power of two >= 2"
+    );
     inputs.trailing_zeros() as u8
 }
 
@@ -830,9 +894,12 @@ impl CellFunction {
                 pins
             }
             CellFunction::Mux { selects } => GenericMacro::Mux { selects: *selects }.pin_specs(),
-            CellFunction::Dff { set, reset, enable } => {
-                GenericMacro::Dff { set: *set, reset: *reset, enable: *enable }.pin_specs()
+            CellFunction::Dff { set, reset, enable } => GenericMacro::Dff {
+                set: *set,
+                reset: *reset,
+                enable: *enable,
             }
+            .pin_specs(),
             CellFunction::MuxDff { selects } => {
                 let data = 1u8 << *selects;
                 let mut pins: Vec<PinSpec> = bus("D", data, PinDir::In).collect();
@@ -841,13 +908,17 @@ impl CellFunction {
                 pins.push(PinSpec::output("Q"));
                 pins
             }
-            CellFunction::Latch { set, reset } => {
-                GenericMacro::Latch { set: *set, reset: *reset }.pin_specs()
+            CellFunction::Latch { set, reset } => GenericMacro::Latch {
+                set: *set,
+                reset: *reset,
             }
+            .pin_specs(),
             CellFunction::Const(_) => vec![PinSpec::output("Y")],
-            CellFunction::Adder { bits, cla } => {
-                GenericMacro::Adder { bits: *bits, cla: *cla }.pin_specs()
+            CellFunction::Adder { bits, cla } => GenericMacro::Adder {
+                bits: *bits,
+                cla: *cla,
             }
+            .pin_specs(),
             CellFunction::Decoder { inputs } => {
                 GenericMacro::Decoder { inputs: *inputs }.pin_specs()
             }
@@ -909,7 +980,10 @@ impl TechCell {
 
     /// Intrinsic delay from the `i`-th *input* pin to the output.
     pub fn input_delay(&self, input_index: usize) -> f64 {
-        self.pin_delay.get(input_index).copied().unwrap_or(self.delay)
+        self.pin_delay
+            .get(input_index)
+            .copied()
+            .unwrap_or(self.delay)
     }
 }
 
@@ -930,7 +1004,14 @@ mod tests {
 
     #[test]
     fn gate_inversion_roundtrip() {
-        for f in [GateFn::And, GateFn::Or, GateFn::Nand, GateFn::Nor, GateFn::Xor, GateFn::Xnor] {
+        for f in [
+            GateFn::And,
+            GateFn::Or,
+            GateFn::Nand,
+            GateFn::Nor,
+            GateFn::Xor,
+            GateFn::Xnor,
+        ] {
             assert_eq!(f.inverted().inverted(), f);
         }
         assert_eq!(GateFn::Nand.deinverted(), Some(GateFn::And));
@@ -942,25 +1023,49 @@ mod tests {
         assert_eq!(GenericMacro::Gate(GateFn::And, 3).pin_specs().len(), 4);
         assert_eq!(GenericMacro::Mux { selects: 2 }.pin_specs().len(), 7); // 4 data + 2 sel + Y
         assert_eq!(GenericMacro::Decoder { inputs: 2 }.pin_specs().len(), 6);
-        assert_eq!(GenericMacro::Adder { bits: 4, cla: true }.pin_specs().len(), 14);
-        assert_eq!(GenericMacro::Dff { set: false, reset: true, enable: false }.pin_specs().len(), 4);
+        assert_eq!(
+            GenericMacro::Adder { bits: 4, cla: true }.pin_specs().len(),
+            14
+        );
+        assert_eq!(
+            GenericMacro::Dff {
+                set: false,
+                reset: true,
+                enable: false
+            }
+            .pin_specs()
+            .len(),
+            4
+        );
     }
 
     #[test]
     fn catalog_names() {
         assert_eq!(GenericMacro::Gate(GateFn::Nand, 3).catalog_name(), "NAND3");
         assert_eq!(GenericMacro::Gate(GateFn::Inv, 1).catalog_name(), "INV");
-        assert_eq!(GenericMacro::Adder { bits: 4, cla: true }.catalog_name(), "ADD4CLA");
+        assert_eq!(
+            GenericMacro::Adder { bits: 4, cla: true }.catalog_name(),
+            "ADD4CLA"
+        );
         assert_eq!(GenericMacro::Mux { selects: 1 }.catalog_name(), "MUX2TO1");
         assert_eq!(
-            GenericMacro::Dff { set: true, reset: true, enable: false }.catalog_name(),
+            GenericMacro::Dff {
+                set: true,
+                reset: true,
+                enable: false
+            }
+            .catalog_name(),
             "DFFSR"
         );
     }
 
     #[test]
     fn micro_pin_counts() {
-        let mux = MicroComponent::Multiplexor { bits: 4, inputs: 2, enable: false };
+        let mux = MicroComponent::Multiplexor {
+            bits: 4,
+            inputs: 2,
+            enable: false,
+        };
         // 2 data words of 4 + 1 select + 4 outputs = 13
         assert_eq!(mux.pin_specs().len(), 13);
 
@@ -986,7 +1091,11 @@ mod tests {
         let reg = MicroComponent::Register {
             bits: 4,
             trigger: Trigger::EdgeTriggered,
-            funcs: RegFunctions { load: true, shift_left: false, shift_right: true },
+            funcs: RegFunctions {
+                load: true,
+                shift_left: false,
+                shift_right: true,
+            },
             ctrl: ControlSet::RESET,
         };
         let pins = reg.pin_specs();
@@ -1004,13 +1113,23 @@ mod tests {
     fn arith_select_pins() {
         assert_eq!(ArithOps::ADD.select_pins(), 0);
         assert_eq!(ArithOps::ADD_SUB.select_pins(), 1);
-        let all = ArithOps { add: true, sub: true, inc: true, dec: true };
+        let all = ArithOps {
+            add: true,
+            sub: true,
+            inc: true,
+            dec: true,
+        };
         assert_eq!(all.select_pins(), 2);
     }
 
     #[test]
     fn sequential_flags() {
-        assert!(GenericMacro::Dff { set: false, reset: false, enable: false }.is_sequential());
+        assert!(GenericMacro::Dff {
+            set: false,
+            reset: false,
+            enable: false
+        }
+        .is_sequential());
         assert!(!GenericMacro::Gate(GateFn::And, 2).is_sequential());
         assert!(MicroComponent::Counter {
             bits: 4,

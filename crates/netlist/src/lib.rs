@@ -56,6 +56,6 @@ pub use kind::{
     GateFn, GenericMacro, MicroComponent, PinDir, PinSpec, PowerLevel, RegFunctions, TechCell,
     Trigger,
 };
-pub use netlist::{Component, ComponentKind, Net, Netlist, NetlistError, Pin, Port};
+pub use netlist::{Component, ComponentKind, Net, Netlist, NetlistError, Pin, Port, TouchSet};
 pub use sim::{eval_component, next_state, Simulator};
 pub use validate::{validate, Violation};

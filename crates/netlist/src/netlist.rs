@@ -2,7 +2,6 @@
 
 use crate::kind::{GenericMacro, MicroComponent, PinDir, PinSpec, TechCell};
 use crate::{ComponentId, NetId, PinRef};
-use std::collections::HashMap;
 use std::fmt;
 
 /// What a component is.
@@ -85,14 +84,21 @@ impl Component {
         let pins = kind
             .pin_specs()
             .into_iter()
-            .map(|s| Pin { name: s.name, dir: s.dir, net: None })
+            .map(|s| Pin {
+                name: s.name,
+                dir: s.dir,
+                net: None,
+            })
             .collect();
         Self { name, kind, pins }
     }
 
     /// Index of the pin called `name`.
     pub fn pin_index(&self, name: &str) -> Option<u16> {
-        self.pins.iter().position(|p| p.name == name).map(|i| i as u16)
+        self.pins
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| i as u16)
     }
 
     /// Indices of all input pins.
@@ -208,24 +214,37 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), components: Vec::new(), nets: Vec::new(), ports: Vec::new() }
+        Self {
+            name: name.into(),
+            components: Vec::new(),
+            nets: Vec::new(),
+            ports: Vec::new(),
+        }
     }
 
     /// Adds a net and returns its id.
     pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
-        self.nets.push(Some(Net { name: name.into(), connections: Vec::new() }));
+        self.nets.push(Some(Net {
+            name: name.into(),
+            connections: Vec::new(),
+        }));
         NetId(self.nets.len() as u32 - 1)
     }
 
     /// Adds a component (all pins unconnected) and returns its id.
     pub fn add_component(&mut self, name: impl Into<String>, kind: ComponentKind) -> ComponentId {
-        self.components.push(Some(Component::new(name.into(), kind)));
+        self.components
+            .push(Some(Component::new(name.into(), kind)));
         ComponentId(self.components.len() as u32 - 1)
     }
 
     /// Declares a top-level port bound to `net`.
     pub fn add_port(&mut self, name: impl Into<String>, dir: PinDir, net: NetId) {
-        self.ports.push(Port { name: name.into(), dir, net });
+        self.ports.push(Port {
+            name: name.into(),
+            dir,
+            net,
+        });
     }
 
     /// The component with the given id.
@@ -258,7 +277,10 @@ impl Netlist {
     ///
     /// Returns [`NetlistError::NoSuchNet`] if absent.
     pub fn net(&self, id: NetId) -> Result<&Net, NetlistError> {
-        self.nets.get(id.index()).and_then(Option::as_ref).ok_or(NetlistError::NoSuchNet(id))
+        self.nets
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(NetlistError::NoSuchNet(id))
     }
 
     /// Iterates live component ids.
@@ -272,7 +294,11 @@ impl Netlist {
 
     /// Iterates live net ids.
     pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
-        self.nets.iter().enumerate().filter(|(_, n)| n.is_some()).map(|(i, _)| NetId(i as u32))
+        self.nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_some())
+            .map(|(i, _)| NetId(i as u32))
     }
 
     /// Number of live components.
@@ -283,6 +309,19 @@ impl Netlist {
     /// Number of live nets.
     pub fn net_count(&self) -> usize {
         self.nets.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Arena capacity of the component store: every live
+    /// [`ComponentId::index`] is below this. Lets analyses use dense
+    /// id-indexed vectors instead of hash maps.
+    pub fn component_slot_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Arena capacity of the net store: every live [`NetId::index`] is
+    /// below this.
+    pub fn net_slot_count(&self) -> usize {
+        self.nets.len()
     }
 
     /// Top-level ports.
@@ -303,7 +342,10 @@ impl Netlist {
     pub fn connect(&mut self, pin: PinRef, net: NetId) -> Result<(), NetlistError> {
         self.net(net)?;
         let comp = self.component_mut(pin.component)?;
-        let p = comp.pins.get_mut(pin.pin as usize).ok_or(NetlistError::NoSuchPin(pin))?;
+        let p = comp
+            .pins
+            .get_mut(pin.pin as usize)
+            .ok_or(NetlistError::NoSuchPin(pin))?;
         if p.net.is_some() {
             return Err(NetlistError::PinAlreadyConnected(pin));
         }
@@ -342,9 +384,14 @@ impl Netlist {
     /// Fails if the pin does not exist or is not connected.
     pub fn disconnect(&mut self, pin: PinRef) -> Result<NetId, NetlistError> {
         let comp = self.component_mut(pin.component)?;
-        let p = comp.pins.get_mut(pin.pin as usize).ok_or(NetlistError::NoSuchPin(pin))?;
+        let p = comp
+            .pins
+            .get_mut(pin.pin as usize)
+            .ok_or(NetlistError::NoSuchPin(pin))?;
         let net = p.net.take().ok_or(NetlistError::PinNotConnected(pin))?;
-        let n = self.nets[net.index()].as_mut().expect("net exists while referenced");
+        let n = self.nets[net.index()]
+            .as_mut()
+            .expect("net exists while referenced");
         n.connections.retain(|c| *c != pin);
         Ok(net)
     }
@@ -411,7 +458,11 @@ impl Netlist {
     ///
     /// Panics if the slot is occupied or not the last one.
     pub fn free_component_slot(&mut self, id: ComponentId) {
-        assert_eq!(id.index() + 1, self.components.len(), "only the tail slot can be freed");
+        assert_eq!(
+            id.index() + 1,
+            self.components.len(),
+            "only the tail slot can be freed"
+        );
         assert!(self.components[id.index()].is_none(), "slot still occupied");
         self.components.pop();
     }
@@ -423,7 +474,11 @@ impl Netlist {
     ///
     /// Panics if the slot is occupied or not the last one.
     pub fn free_net_slot(&mut self, id: NetId) {
-        assert_eq!(id.index() + 1, self.nets.len(), "only the tail slot can be freed");
+        assert_eq!(
+            id.index() + 1,
+            self.nets.len(),
+            "only the tail slot can be freed"
+        );
         assert!(self.nets[id.index()].is_none(), "slot still occupied");
         self.nets.pop();
     }
@@ -436,13 +491,15 @@ impl Netlist {
             self.component(p.component)
                 .ok()
                 .and_then(|c| c.pins.get(p.pin as usize))
-                .map_or(false, |pin| pin.dir == PinDir::Out)
+                .is_some_and(|pin| pin.dir == PinDir::Out)
         })
     }
 
     /// Whether an input port drives this net.
     pub fn net_is_port_driven(&self, net: NetId) -> bool {
-        self.ports.iter().any(|p| p.net == net && p.dir == PinDir::In)
+        self.ports
+            .iter()
+            .any(|p| p.net == net && p.dir == PinDir::In)
     }
 
     /// The input pins loading `net`.
@@ -457,7 +514,7 @@ impl Netlist {
                     self.component(p.component)
                         .ok()
                         .and_then(|c| c.pins.get(p.pin as usize))
-                        .map_or(false, |pin| pin.dir == PinDir::In)
+                        .is_some_and(|pin| pin.dir == PinDir::In)
                 })
                 .collect(),
         }
@@ -466,7 +523,11 @@ impl Netlist {
     /// Fanout of a net: input pins plus output ports attached.
     pub fn fanout(&self, net: NetId) -> usize {
         self.loads(net).len()
-            + self.ports.iter().filter(|p| p.net == net && p.dir == PinDir::Out).count()
+            + self
+                .ports
+                .iter()
+                .filter(|p| p.net == net && p.dir == PinDir::Out)
+                .count()
     }
 
     /// The net attached to a named pin of a component, if connected.
@@ -486,8 +547,30 @@ impl Netlist {
     /// cyclic.
     pub fn topo_order(&self) -> Result<Vec<ComponentId>, NetlistError> {
         let ids: Vec<ComponentId> = self.component_ids().collect();
-        let index: HashMap<ComponentId, usize> =
-            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        // Dense id-indexed tables instead of hash maps: position of each
+        // live component, and the driving pin of each net (one pass over
+        // the connection lists, mirroring `driver`'s first-output-pin
+        // choice).
+        let mut pos = vec![usize::MAX; self.components.len()];
+        for (i, id) in ids.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        let mut drv: Vec<Option<PinRef>> = vec![None; self.nets.len()];
+        for (ni, slot) in self.nets.iter().enumerate() {
+            let Some(net) = slot else { continue };
+            for p in &net.connections {
+                let is_out = self
+                    .components
+                    .get(p.component.index())
+                    .and_then(Option::as_ref)
+                    .and_then(|c| c.pins.get(p.pin as usize))
+                    .is_some_and(|pin| pin.dir == PinDir::Out);
+                if is_out {
+                    drv[ni] = Some(*p);
+                    break;
+                }
+            }
+        }
         let mut indegree = vec![0usize; ids.len()];
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
         for (i, id) in ids.iter().enumerate() {
@@ -497,8 +580,8 @@ impl Netlist {
             }
             for pin_idx in comp.input_pins() {
                 if let Some(net) = comp.pins[pin_idx as usize].net {
-                    if let Some(drv) = self.driver(net) {
-                        let j = index[&drv.component];
+                    if let Some(d) = drv[net.index()] {
+                        let j = pos[d.component.index()];
                         edges[j].push(i);
                         indegree[i] += 1;
                     }
@@ -538,7 +621,9 @@ impl Netlist {
         let dead: Vec<NetId> = self
             .net_ids()
             .filter(|&n| {
-                self.nets[n.index()].as_ref().is_some_and(|net| net.connections.is_empty())
+                self.nets[n.index()]
+                    .as_ref()
+                    .is_some_and(|net| net.connections.is_empty())
                     && !self.ports.iter().any(|p| p.net == n)
             })
             .collect();
@@ -546,6 +631,49 @@ impl Netlist {
             self.nets[n.index()] = None;
         }
         dead.len()
+    }
+}
+
+/// The set of components and nets a transaction (or its undo) touched.
+///
+/// Produced by the rules engine's undo log and consumed by incremental
+/// analyses (`milo-timing`'s incremental STA) to re-propagate only the
+/// affected fan-out cone instead of re-analyzing the whole netlist.
+/// Entries may reference components/nets that no longer exist (e.g. after
+/// an undo removed them); consumers must tolerate dead ids.
+#[derive(Clone, Debug, Default)]
+pub struct TouchSet {
+    /// Components added, removed, re-kinded, or re-pinned.
+    pub components: Vec<ComponentId>,
+    /// Nets added, removed, or whose connection list changed.
+    pub nets: Vec<NetId>,
+}
+
+impl TouchSet {
+    /// An empty touch set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a touched component.
+    pub fn component(&mut self, id: ComponentId) {
+        self.components.push(id);
+    }
+
+    /// Records a touched net.
+    pub fn net(&mut self, id: NetId) {
+        self.nets.push(id);
+    }
+
+    /// Merges another touch set into this one.
+    pub fn merge(&mut self, other: &TouchSet) {
+        self.components.extend_from_slice(&other.components);
+        self.nets.extend_from_slice(&other.nets);
+    }
+
+    /// Whether nothing was touched.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty() && self.nets.is_empty()
     }
 }
 
@@ -674,7 +802,10 @@ mod tests {
         nl.connect_named(g1, "Y", b).unwrap();
         nl.connect_named(g2, "A0", b).unwrap();
         nl.connect_named(g2, "Y", a).unwrap();
-        assert_eq!(nl.topo_order().unwrap_err(), NetlistError::CombinationalCycle);
+        assert_eq!(
+            nl.topo_order().unwrap_err(),
+            NetlistError::CombinationalCycle
+        );
     }
 
     #[test]
@@ -684,7 +815,11 @@ mod tests {
         let q = nl.add_net("q");
         let ff = nl.add_component(
             "ff",
-            ComponentKind::Generic(GenericMacro::Dff { set: false, reset: false, enable: false }),
+            ComponentKind::Generic(GenericMacro::Dff {
+                set: false,
+                reset: false,
+                enable: false,
+            }),
         );
         let g = gate(&mut nl, "g", GateFn::Inv, 1);
         let clk = nl.add_net("clk");

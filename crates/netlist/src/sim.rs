@@ -52,10 +52,12 @@ impl<'a> Simulator<'a> {
     /// Fails if the netlist still contains design instances
     /// ([`NetlistError::HierarchyPresent`]) or has a combinational cycle.
     pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
-        if let Some(id) = netlist
-            .component_ids()
-            .find(|&id| matches!(netlist.component(id).map(|c| &c.kind), Ok(ComponentKind::Instance { .. })))
-        {
+        if let Some(id) = netlist.component_ids().find(|&id| {
+            matches!(
+                netlist.component(id).map(|c| &c.kind),
+                Ok(ComponentKind::Instance { .. })
+            )
+        }) {
             return Err(NetlistError::HierarchyPresent(id));
         }
         let order = netlist.topo_order()?;
@@ -65,7 +67,13 @@ impl<'a> Simulator<'a> {
             .filter(|&id| netlist.component(id).is_ok_and(|c| c.kind.is_sequential()))
             .map(|id| (id, 0u64))
             .collect();
-        Ok(Self { nl: netlist, order, net_vals: vec![false; max_net], state, inputs: HashMap::new() })
+        Ok(Self {
+            nl: netlist,
+            order,
+            net_vals: vec![false; max_net],
+            state,
+            inputs: HashMap::new(),
+        })
     }
 
     /// Sets the value of a top-level input port.
@@ -157,7 +165,10 @@ impl<'a> Simulator<'a> {
     ///
     /// [`NetlistError::NoSuchPort`] if the port is unknown.
     pub fn output(&self, name: &str) -> Result<bool, NetlistError> {
-        let p = self.nl.port(name).ok_or_else(|| NetlistError::NoSuchPort(name.to_owned()))?;
+        let p = self
+            .nl
+            .port(name)
+            .ok_or_else(|| NetlistError::NoSuchPort(name.to_owned()))?;
         Ok(self.net_vals[p.net.index()])
     }
 
@@ -171,13 +182,15 @@ impl<'a> Simulator<'a> {
         comp.pins
             .iter()
             .filter(|p| p.dir == PinDir::In)
-            .map(|p| p.net.map_or(false, |n| self.net_vals[n.index()]))
+            .map(|p| p.net.is_some_and(|n| self.net_vals[n.index()]))
             .collect()
     }
 }
 
 fn word(bits: &[bool]) -> u64 {
-    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
 }
 
 fn unword(v: u64, n: u8) -> Vec<bool> {
@@ -265,7 +278,11 @@ fn eval_generic(m: &GenericMacro, ins: &[bool], state: u64) -> Vec<bool> {
 fn eval_micro(m: &MicroComponent, ins: &[bool], state: u64) -> Vec<bool> {
     match *m {
         MicroComponent::Gate { function, inputs } => vec![function.eval(word(ins), inputs)],
-        MicroComponent::Multiplexor { bits, inputs, enable } => {
+        MicroComponent::Multiplexor {
+            bits,
+            inputs,
+            enable,
+        } => {
             let b = bits as usize;
             let n = inputs as usize;
             let selects = crate::kind::sel_bits(inputs) as usize;
@@ -285,7 +302,11 @@ fn eval_micro(m: &MicroComponent, ins: &[bool], state: u64) -> Vec<bool> {
             let bb = word(&ins[b..2 * b]);
             vec![function.eval(a, bb)]
         }
-        MicroComponent::LogicUnit { function, inputs, bits } => {
+        MicroComponent::LogicUnit {
+            function,
+            inputs,
+            bits,
+        } => {
             let b = bits as usize;
             (0..b)
                 .map(|j| {
@@ -337,13 +358,16 @@ fn eval_micro(m: &MicroComponent, ins: &[bool], state: u64) -> Vec<bool> {
             let mut out = unword(state, bits);
             // CO: at terminal count while enabled and counting.
             let lay = counter_layout(bits, funcs, ctrl);
-            let en = lay.en.map_or(true, |i| ins[i]);
-            let up = if funcs.up && funcs.down { ins[lay.up.expect("up pin")] } else { funcs.up };
+            let en = lay.en.is_none_or(|i| ins[i]);
+            let up = if funcs.up && funcs.down {
+                ins[lay.up.expect("up pin")]
+            } else {
+                funcs.up
+            };
             let loading = lay.load.is_some_and(|i| ins[i]);
             let m = mask(bits);
             let counts = funcs.up || funcs.down;
-            let co =
-                counts && en && !loading && ((up && state == m) || (!up && state == 0));
+            let co = counts && en && !loading && ((up && state == m) || (!up && state == 0));
             out.push(co);
             out
         }
@@ -360,13 +384,23 @@ fn eval_tech(c: &TechCell, ins: &[bool], state: u64) -> Vec<bool> {
             vec![ins[sel]]
         }
         CellFunction::Dff { .. } | CellFunction::MuxDff { .. } => vec![state & 1 == 1],
-        CellFunction::Latch { set, reset } => {
-            eval_generic(&GenericMacro::Latch { set: *set, reset: *reset }, ins, state)
-        }
+        CellFunction::Latch { set, reset } => eval_generic(
+            &GenericMacro::Latch {
+                set: *set,
+                reset: *reset,
+            },
+            ins,
+            state,
+        ),
         CellFunction::Const(b) => vec![*b],
-        CellFunction::Adder { bits, cla } => {
-            eval_generic(&GenericMacro::Adder { bits: *bits, cla: *cla }, ins, state)
-        }
+        CellFunction::Adder { bits, cla } => eval_generic(
+            &GenericMacro::Adder {
+                bits: *bits,
+                cla: *cla,
+            },
+            ins,
+            state,
+        ),
         CellFunction::Decoder { inputs } => {
             eval_generic(&GenericMacro::Decoder { inputs: *inputs }, ins, state)
         }
@@ -425,7 +459,14 @@ fn counter_layout(
         i
     });
     // CLK follows but is not needed by the cycle-based model.
-    CounterLayout { load, up, set, rst, en, d_base }
+    CounterLayout {
+        load,
+        up,
+        set,
+        rst,
+        en,
+        d_base,
+    }
 }
 
 /// Computes the post-clock-edge state of a sequential component.
@@ -456,7 +497,14 @@ pub fn next_state(kind: &ComponentKind, ins: &[bool], state: u64) -> u64 {
             }
         }
         ComponentKind::Generic(GenericMacro::Latch { set, reset }) => {
-            let q = eval_generic(&GenericMacro::Latch { set: *set, reset: *reset }, ins, state);
+            let q = eval_generic(
+                &GenericMacro::Latch {
+                    set: *set,
+                    reset: *reset,
+                },
+                ins,
+                state,
+            );
             u64::from(q[0])
         }
         ComponentKind::Generic(GenericMacro::Counter { bits }) => {
@@ -482,7 +530,9 @@ pub fn next_state(kind: &ComponentKind, ins: &[bool], state: u64) -> u64 {
                 state
             }
         }
-        ComponentKind::Micro(MicroComponent::Register { bits, funcs, ctrl, .. }) => {
+        ComponentKind::Micro(MicroComponent::Register {
+            bits, funcs, ctrl, ..
+        }) => {
             // pins: [D bits] [SIL] [SIR] [F sel] [SET] [RST] [EN] CLK
             let b = *bits as usize;
             let mut idx = 0usize;
@@ -503,7 +553,11 @@ pub fn next_state(kind: &ComponentKind, ins: &[bool], state: u64) -> u64 {
                 idx += 1;
                 v
             });
-            let nsel = if funcs.source_count() > 1 { funcs.select_pins() as usize } else { 0 };
+            let nsel = if funcs.source_count() > 1 {
+                funcs.select_pins() as usize
+            } else {
+                0
+            };
             let sel = word(&ins[idx..idx + nsel]) as usize;
             idx += nsel;
             let s = ctrl.set && {
@@ -551,7 +605,7 @@ pub fn next_state(kind: &ComponentKind, ins: &[bool], state: u64) -> u64 {
             if lay.rst.is_some_and(|i| ins[i]) {
                 return 0;
             }
-            if !lay.en.map_or(true, |i| ins[i]) {
+            if !lay.en.is_none_or(|i| ins[i]) {
                 return state;
             }
             if lay.load.is_some_and(|i| ins[i]) {
@@ -588,7 +642,14 @@ pub fn next_state(kind: &ComponentKind, ins: &[bool], state: u64) -> u64 {
                 u64::from(ins[sel])
             }
             CellFunction::Latch { set, reset } => {
-                let q = eval_generic(&GenericMacro::Latch { set: *set, reset: *reset }, ins, state);
+                let q = eval_generic(
+                    &GenericMacro::Latch {
+                        set: *set,
+                        reset: *reset,
+                    },
+                    ins,
+                    state,
+                );
                 u64::from(q[0])
             }
             CellFunction::Counter { bits } => next_state(
@@ -611,7 +672,10 @@ mod tests {
 
     #[test]
     fn adder_generic_eval() {
-        let kind = ComponentKind::Generic(GenericMacro::Adder { bits: 4, cla: false });
+        let kind = ComponentKind::Generic(GenericMacro::Adder {
+            bits: 4,
+            cla: false,
+        });
         // A=5, B=9, CIN=1 -> 15, COUT=0
         let mut ins = vec![true, false, true, false]; // A=5
         ins.extend([true, false, false, true]); // B=9
@@ -659,8 +723,10 @@ mod tests {
 
     #[test]
     fn micro_comparator() {
-        let kind =
-            ComponentKind::Micro(MicroComponent::Comparator { bits: 3, function: CmpOp::Lt });
+        let kind = ComponentKind::Micro(MicroComponent::Comparator {
+            bits: 3,
+            function: CmpOp::Lt,
+        });
         let mut ins = vec![false, true, false]; // A=2
         ins.extend([true, false, true]); // B=5
         assert_eq!(eval_component(&kind, &ins, 0), vec![true]);
@@ -683,10 +749,24 @@ mod tests {
         let clk = nl.add_net("clk");
         let q0 = nl.add_net("q0");
         let q1 = nl.add_net("q1");
-        for (p, n) in [("D0", d0), ("D1", d1), ("F0", f0), ("RST", rst), ("CLK", clk), ("Q0", q0), ("Q1", q1)] {
+        for (p, n) in [
+            ("D0", d0),
+            ("D1", d1),
+            ("F0", f0),
+            ("RST", rst),
+            ("CLK", clk),
+            ("Q0", q0),
+            ("Q1", q1),
+        ] {
             nl.connect_named(r, p, n).unwrap();
         }
-        for (n, d) in [(d0, "d0"), (d1, "d1"), (f0, "f0"), (rst, "rst"), (clk, "clk")] {
+        for (n, d) in [
+            (d0, "d0"),
+            (d1, "d1"),
+            (f0, "f0"),
+            (rst, "rst"),
+            (clk, "clk"),
+        ] {
             nl.add_port(d, PinDir::In, n);
         }
         nl.add_port("q0", PinDir::Out, q0);
@@ -728,8 +808,11 @@ mod tests {
 
     #[test]
     fn dff_with_enable_holds() {
-        let kind =
-            ComponentKind::Generic(GenericMacro::Dff { set: false, reset: false, enable: true });
+        let kind = ComponentKind::Generic(GenericMacro::Dff {
+            set: false,
+            reset: false,
+            enable: true,
+        });
         // ins: D, CLK, EN
         assert_eq!(next_state(&kind, &[true, false, false], 0), 0);
         assert_eq!(next_state(&kind, &[true, false, true], 0), 1);
@@ -741,8 +824,14 @@ mod tests {
         let a = nl.add_net("a");
         let m = nl.add_net("m");
         let y = nl.add_net("y");
-        let g1 = nl.add_component("g1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
-        let g2 = nl.add_component("g2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g1 = nl.add_component(
+            "g1",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
+        let g2 = nl.add_component(
+            "g2",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(g1, "A0", a).unwrap();
         nl.connect_named(g1, "Y", m).unwrap();
         nl.connect_named(g2, "A0", m).unwrap();

@@ -84,13 +84,16 @@ pub fn validate(nl: &Netlist, check_fanout: bool) -> Vec<Violation> {
                 nl.component(p.component)
                     .ok()
                     .and_then(|c| c.pins.get(p.pin as usize))
-                    .map_or(false, |pin| pin.dir == PinDir::Out)
+                    .is_some_and(|pin| pin.dir == PinDir::Out)
             })
             .collect();
         let port_driven = nl.net_is_port_driven(net);
         let total_drivers = drivers.len() + usize::from(port_driven);
         if total_drivers > 1 {
-            out.push(Violation::MultipleDrivers { net, drivers: total_drivers });
+            out.push(Violation::MultipleDrivers {
+                net,
+                drivers: total_drivers,
+            });
         }
         let load_count = nl.fanout(net);
         if total_drivers == 0 && load_count > 0 {
@@ -118,7 +121,10 @@ pub fn validate(nl: &Netlist, check_fanout: bool) -> Vec<Violation> {
         for (i, pin) in comp.pins.iter().enumerate() {
             match pin.dir {
                 PinDir::In if pin.net.is_none() => {
-                    out.push(Violation::UnconnectedInput { component: id, pin: i as u16 });
+                    out.push(Violation::UnconnectedInput {
+                        component: id,
+                        pin: i as u16,
+                    });
                 }
                 PinDir::Out => {
                     let dangling = match pin.net {
@@ -126,7 +132,10 @@ pub fn validate(nl: &Netlist, check_fanout: bool) -> Vec<Violation> {
                         Some(net) => nl.fanout(net) == 0,
                     };
                     if dangling {
-                        out.push(Violation::DanglingOutput { component: id, pin: i as u16 });
+                        out.push(Violation::DanglingOutput {
+                            component: id,
+                            pin: i as u16,
+                        });
                     }
                 }
                 _ => {}
@@ -147,7 +156,10 @@ mod tests {
         let mut nl = Netlist::new("ok");
         let a = nl.add_net("a");
         let y = nl.add_net("y");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         nl.connect_named(g, "Y", y).unwrap();
         nl.add_port("a", PinDir::In, a);
@@ -160,8 +172,14 @@ mod tests {
         let mut nl = Netlist::new("bad");
         let a = nl.add_net("a");
         let y = nl.add_net("y");
-        let g1 = nl.add_component("g1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
-        let g2 = nl.add_component("g2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g1 = nl.add_component(
+            "g1",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
+        let g2 = nl.add_component(
+            "g2",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(g1, "A0", a).unwrap();
         nl.connect_named(g2, "A0", a).unwrap();
         nl.connect_named(g1, "Y", y).unwrap();
@@ -169,7 +187,9 @@ mod tests {
         nl.add_port("a", PinDir::In, a);
         nl.add_port("y", PinDir::Out, y);
         let v = validate(&nl, false);
-        assert!(v.iter().any(|x| matches!(x, Violation::MultipleDrivers { drivers: 2, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MultipleDrivers { drivers: 2, .. })));
     }
 
     #[test]
@@ -177,24 +197,34 @@ mod tests {
         let mut nl = Netlist::new("bad");
         let a = nl.add_net("a"); // no driver
         let y = nl.add_net("y");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         // A1 left unconnected
         nl.connect_named(g, "Y", y).unwrap();
         nl.add_port("y", PinDir::Out, y);
         let v = validate(&nl, false);
         assert!(v.iter().any(|x| matches!(x, Violation::UndrivenNet { .. })));
-        assert!(v.iter().any(|x| matches!(x, Violation::UnconnectedInput { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::UnconnectedInput { .. })));
     }
 
     #[test]
     fn detects_dangling_output() {
         let mut nl = Netlist::new("bad");
         let a = nl.add_net("a");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         nl.add_port("a", PinDir::In, a);
         let v = validate(&nl, false);
-        assert!(v.iter().any(|x| matches!(x, Violation::DanglingOutput { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DanglingOutput { .. })));
     }
 }

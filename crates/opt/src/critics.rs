@@ -52,11 +52,15 @@ impl Rule for InvPairElimination {
             if !is_inv(nl, id) {
                 continue;
             }
-            let Some(y) = single_output_net(nl, id) else { continue };
+            let Some(y) = single_output_net(nl, id) else {
+                continue;
+            };
             if nl.fanout(y) != 1 || nl.ports().iter().any(|p| p.net == y) {
                 continue;
             }
-            let Some(load) = nl.loads(y).first().copied() else { continue };
+            let Some(load) = nl.loads(y).first().copied() else {
+                continue;
+            };
             if is_inv(nl, load.component) {
                 // Second inverter's output must not be a port either when
                 // the first's input is port-driven... moving loads is safe
@@ -74,9 +78,13 @@ impl Rule for InvPairElimination {
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let nl = tx.netlist();
-        let input = nl.pin_net(m.site, "A0").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let input = nl
+            .pin_net(m.site, "A0")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
         let second = m.aux[0];
-        let out = nl.pin_net(second, "Y").ok_or(NetlistError::NoSuchComponent(second))?;
+        let out = nl
+            .pin_net(second, "Y")
+            .ok_or(NetlistError::NoSuchComponent(second))?;
         // If the second inverter's output is a port net, keep the net and
         // fail the rule (a buffer would be needed — no gain).
         if nl.ports().iter().any(|p| p.net == out) {
@@ -104,11 +112,15 @@ impl Rule for BufferElimination {
         let nl = ctx.nl;
         let mut out = Vec::new();
         for id in nl.component_ids() {
-            let Some(cell) = tech_cell_of(nl, id) else { continue };
+            let Some(cell) = tech_cell_of(nl, id) else {
+                continue;
+            };
             if !matches!(cell.function, CellFunction::Gate(GateFn::Buf, 1)) {
                 continue;
             }
-            let Some(y) = single_output_net(nl, id) else { continue };
+            let Some(y) = single_output_net(nl, id) else {
+                continue;
+            };
             if nl.ports().iter().any(|p| p.net == y) {
                 continue;
             }
@@ -118,8 +130,12 @@ impl Rule for BufferElimination {
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let nl = tx.netlist();
-        let input = nl.pin_net(m.site, "A0").ok_or(NetlistError::NoSuchComponent(m.site))?;
-        let y = nl.pin_net(m.site, "Y").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let input = nl
+            .pin_net(m.site, "A0")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let y = nl
+            .pin_net(m.site, "Y")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
         tx.remove_component(m.site)?;
         tx.move_loads(y, input)?;
         Ok(())
@@ -142,7 +158,10 @@ impl Rule for DuplicateGateMerge {
         let signature = |id: ComponentId| -> Option<(String, Vec<NetId>)> {
             let comp = nl.component(id).ok()?;
             let cell = tech_cell_of(nl, id)?;
-            if !matches!(cell.function, CellFunction::Gate(..) | CellFunction::Table(_)) {
+            if !matches!(
+                cell.function,
+                CellFunction::Gate(..) | CellFunction::Table(_)
+            ) {
                 return None;
             }
             let ins: Option<Vec<NetId>> = comp
@@ -182,9 +201,13 @@ impl Rule for DuplicateGateMerge {
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let nl = tx.netlist();
-        let keep_y = nl.pin_net(m.site, "Y").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let keep_y = nl
+            .pin_net(m.site, "Y")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
         let dup = m.aux[0];
-        let dup_y = nl.pin_net(dup, "Y").ok_or(NetlistError::NoSuchComponent(dup))?;
+        let dup_y = nl
+            .pin_net(dup, "Y")
+            .ok_or(NetlistError::NoSuchComponent(dup))?;
         tx.remove_component(dup)?;
         tx.move_loads(dup_y, keep_y)?;
         Ok(())
@@ -217,23 +240,44 @@ impl Rule for MuxDffMerge {
         let nl = ctx.nl;
         let mut out = Vec::new();
         for id in nl.component_ids() {
-            let Some(cell) = tech_cell_of(nl, id) else { continue };
-            let CellFunction::Mux { selects } = cell.function else { continue };
-            if self.lib.cell_at_level(&CellFunction::MuxDff { selects }, PowerLevel::Standard).is_none()
+            let Some(cell) = tech_cell_of(nl, id) else {
+                continue;
+            };
+            let CellFunction::Mux { selects } = cell.function else {
+                continue;
+            };
+            if self
+                .lib
+                .cell_at_level(&CellFunction::MuxDff { selects }, PowerLevel::Standard)
+                .is_none()
             {
                 continue;
             }
-            let Some(y) = single_output_net(nl, id) else { continue };
+            let Some(y) = single_output_net(nl, id) else {
+                continue;
+            };
             if nl.fanout(y) != 1 || nl.ports().iter().any(|p| p.net == y) {
                 continue;
             }
-            let Some(load) = nl.loads(y).first().copied() else { continue };
-            let Some(ff) = tech_cell_of(nl, load.component) else { continue };
-            if !matches!(ff.function, CellFunction::Dff { set: false, reset: false, enable: false })
-            {
+            let Some(load) = nl.loads(y).first().copied() else {
+                continue;
+            };
+            let Some(ff) = tech_cell_of(nl, load.component) else {
+                continue;
+            };
+            if !matches!(
+                ff.function,
+                CellFunction::Dff {
+                    set: false,
+                    reset: false,
+                    enable: false
+                }
+            ) {
                 continue;
             }
-            let Ok(ff_comp) = nl.component(load.component) else { continue };
+            let Ok(ff_comp) = nl.component(load.component) else {
+                continue;
+            };
             if ff_comp.pins[load.pin as usize].name != "D" {
                 continue;
             }
@@ -262,11 +306,18 @@ impl Rule for MuxDffMerge {
             .map(|i| nl.pin_net(m.site, &format!("S{i}")).expect("matched mux"))
             .collect();
         let ff = m.aux[0];
-        let clk = nl.pin_net(ff, "CLK").ok_or(NetlistError::NoSuchComponent(ff))?;
-        let q = nl.pin_net(ff, "Q").ok_or(NetlistError::NoSuchComponent(ff))?;
+        let clk = nl
+            .pin_net(ff, "CLK")
+            .ok_or(NetlistError::NoSuchComponent(ff))?;
+        let q = nl
+            .pin_net(ff, "Q")
+            .ok_or(NetlistError::NoSuchComponent(ff))?;
         tx.remove_component(m.site)?;
         tx.remove_component(ff)?;
-        let c = tx.add_component(format!("mxff{}", m.site.index()), ComponentKind::Tech(merged));
+        let c = tx.add_component(
+            format!("mxff{}", m.site.index()),
+            ComponentKind::Tech(merged),
+        );
         for (i, n) in d_nets.iter().enumerate() {
             tx.connect_named(c, &format!("D{i}"), *n)?;
         }
@@ -304,24 +355,37 @@ impl Rule for MuxIntoMuxDff {
         let nl = ctx.nl;
         let mut out = Vec::new();
         for id in nl.component_ids() {
-            let Some(cell) = tech_cell_of(nl, id) else { continue };
+            let Some(cell) = tech_cell_of(nl, id) else {
+                continue;
+            };
             if !matches!(cell.function, CellFunction::Mux { selects: 1 }) {
                 continue;
             }
-            if self.lib.cell_at_level(&CellFunction::MuxDff { selects: 2 }, PowerLevel::Standard).is_none()
+            if self
+                .lib
+                .cell_at_level(&CellFunction::MuxDff { selects: 2 }, PowerLevel::Standard)
+                .is_none()
             {
                 continue;
             }
-            let Some(y) = single_output_net(nl, id) else { continue };
+            let Some(y) = single_output_net(nl, id) else {
+                continue;
+            };
             if nl.fanout(y) != 1 || nl.ports().iter().any(|p| p.net == y) {
                 continue;
             }
-            let Some(load) = nl.loads(y).first().copied() else { continue };
-            let Some(mxff) = tech_cell_of(nl, load.component) else { continue };
+            let Some(load) = nl.loads(y).first().copied() else {
+                continue;
+            };
+            let Some(mxff) = tech_cell_of(nl, load.component) else {
+                continue;
+            };
             if !matches!(mxff.function, CellFunction::MuxDff { selects: 1 }) {
                 continue;
             }
-            let Ok(mx_comp) = nl.component(load.component) else { continue };
+            let Ok(mx_comp) = nl.component(load.component) else {
+                continue;
+            };
             let pin_name = mx_comp.pins[load.pin as usize].name.clone();
             let word = match pin_name.as_str() {
                 "D0" => 0usize,
@@ -345,19 +409,34 @@ impl Rule for MuxIntoMuxDff {
             .clone();
         let nl = tx.netlist();
         let word = m.choice; // which MXFF2 data pin the mux feeds
-        let a = nl.pin_net(m.site, "D0").ok_or(NetlistError::NoSuchComponent(m.site))?;
-        let b = nl.pin_net(m.site, "D1").ok_or(NetlistError::NoSuchComponent(m.site))?;
-        let t = nl.pin_net(m.site, "S0").ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let a = nl
+            .pin_net(m.site, "D0")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let b = nl
+            .pin_net(m.site, "D1")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let t = nl
+            .pin_net(m.site, "S0")
+            .ok_or(NetlistError::NoSuchComponent(m.site))?;
         let mxff = m.aux[0];
         let other = nl
             .pin_net(mxff, &format!("D{}", 1 - word))
             .ok_or(NetlistError::NoSuchComponent(mxff))?;
-        let s = nl.pin_net(mxff, "S0").ok_or(NetlistError::NoSuchComponent(mxff))?;
-        let clk = nl.pin_net(mxff, "CLK").ok_or(NetlistError::NoSuchComponent(mxff))?;
-        let q = nl.pin_net(mxff, "Q").ok_or(NetlistError::NoSuchComponent(mxff))?;
+        let s = nl
+            .pin_net(mxff, "S0")
+            .ok_or(NetlistError::NoSuchComponent(mxff))?;
+        let clk = nl
+            .pin_net(mxff, "CLK")
+            .ok_or(NetlistError::NoSuchComponent(mxff))?;
+        let q = nl
+            .pin_net(mxff, "Q")
+            .ok_or(NetlistError::NoSuchComponent(mxff))?;
         tx.remove_component(m.site)?;
         tx.remove_component(mxff)?;
-        let c = tx.add_component(format!("mxff4_{}", m.site.index()), ComponentKind::Tech(merged));
+        let c = tx.add_component(
+            format!("mxff4_{}", m.site.index()),
+            ComponentKind::Tech(merged),
+        );
         // Result: S ? D1' : D0' where D{word}' = (T ? b : a), D{other}' = other.
         // Encode as 4:1 with S0=T, S1=S.
         let words: [NetId; 4] = if word == 0 {
@@ -398,11 +477,15 @@ impl Rule for PowerUpCritical {
         RuleClass::Timing
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
-        let Some(sta) = ctx.sta else { return Vec::new() };
+        let Some(sta) = ctx.sta else {
+            return Vec::new();
+        };
         let nl = ctx.nl;
         let mut out = Vec::new();
         for id in nl.component_ids() {
-            let Some(cell) = tech_cell_of(nl, id) else { continue };
+            let Some(cell) = tech_cell_of(nl, id) else {
+                continue;
+            };
             if self.lib.faster_variant(&cell).is_none() {
                 continue;
             }
@@ -413,8 +496,8 @@ impl Rule for PowerUpCritical {
         out
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
-        let cell = tech_cell_of(tx.netlist(), m.site)
-            .ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let cell =
+            tech_cell_of(tx.netlist(), m.site).ok_or(NetlistError::NoSuchComponent(m.site))?;
         let faster = self
             .lib
             .faster_variant(&cell)
@@ -445,11 +528,15 @@ impl Rule for PowerDownSlack {
         RuleClass::Power
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
-        let Some(sta) = ctx.sta else { return Vec::new() };
+        let Some(sta) = ctx.sta else {
+            return Vec::new();
+        };
         let nl = ctx.nl;
         let mut out = Vec::new();
         for id in nl.component_ids() {
-            let Some(cell) = tech_cell_of(nl, id) else { continue };
+            let Some(cell) = tech_cell_of(nl, id) else {
+                continue;
+            };
             if self.lib.slower_variant(&cell).is_none() {
                 continue;
             }
@@ -460,8 +547,8 @@ impl Rule for PowerDownSlack {
         out
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
-        let cell = tech_cell_of(tx.netlist(), m.site)
-            .ok_or(NetlistError::NoSuchComponent(m.site))?;
+        let cell =
+            tech_cell_of(tx.netlist(), m.site).ok_or(NetlistError::NoSuchComponent(m.site))?;
         let slower = self
             .lib
             .slower_variant(&cell)
@@ -497,7 +584,9 @@ impl Rule for FanoutRepair {
         let mut out = Vec::new();
         for net in nl.net_ids() {
             let Some(drv) = nl.driver(net) else { continue };
-            let Some(cell) = tech_cell_of(nl, drv.component) else { continue };
+            let Some(cell) = tech_cell_of(nl, drv.component) else {
+                continue;
+            };
             if nl.fanout(net) > cell.max_fanout as usize {
                 out.push(
                     RuleMatch::at(drv.component)
@@ -605,9 +694,9 @@ pub fn all_rules(lib: &TechLibrary) -> Vec<Box<dyn Rule>> {
 mod tests {
     use super::*;
     use milo_compilers::verify::check_comb_equivalence;
+    use milo_netlist::GenericMacro;
     use milo_rules::{Engine, Selection};
     use milo_techmap::{cmos_library, ecl_library, map_netlist};
-    use milo_netlist::GenericMacro;
 
     fn tech(nl: &Netlist, lib: &TechLibrary) -> Netlist {
         map_netlist(nl, lib).unwrap()
@@ -621,7 +710,10 @@ mod tests {
         let m2 = nl.add_net("m2");
         let y = nl.add_net("y");
         for (name, i, o) in [("i1", a, m1), ("i2", m1, m2), ("i3", m2, y)] {
-            let g = nl.add_component(name, ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+            let g = nl.add_component(
+                name,
+                ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+            );
             nl.connect_named(g, "A0", i).unwrap();
             nl.connect_named(g, "Y", o).unwrap();
         }
@@ -646,13 +738,19 @@ mod tests {
         let y2 = nl.add_net("y2");
         let o1 = nl.add_net("o1");
         for (name, out) in [("g1", y1), ("g2", y2)] {
-            let g = nl.add_component(name, ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)));
+            let g = nl.add_component(
+                name,
+                ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)),
+            );
             nl.connect_named(g, "A0", a).unwrap();
             nl.connect_named(g, "A1", b).unwrap();
             nl.connect_named(g, "Y", out).unwrap();
         }
         // y2 feeds an inverter so it is not port-bound.
-        let inv = nl.add_component("i", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let inv = nl.add_component(
+            "i",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(inv, "A0", y2).unwrap();
         nl.connect_named(inv, "Y", o1).unwrap();
         nl.add_port("a", PinDir::In, a);
@@ -731,15 +829,28 @@ mod tests {
         nl.connect_named(short, "Y", z).unwrap();
         nl.add_port("z", PinDir::Out, z);
 
-        let mut engine = Engine::new(vec![Box::new(PowerUpCritical::new(lib.clone())) as Box<dyn Rule>]);
+        let mut engine = Engine::new(vec![
+            Box::new(PowerUpCritical::new(lib.clone())) as Box<dyn Rule>
+        ]);
         let before = milo_timing::statistics(&nl).unwrap();
-        let fired = engine.run(&mut nl, Selection::MaxGain { delay: 1.0, area: 0.0, power: 0.01 }, None, 10);
+        let fired = engine.run(
+            &mut nl,
+            Selection::MaxGain {
+                delay: 1.0,
+                area: 0.0,
+                power: 0.01,
+            },
+            None,
+            10,
+        );
         assert!(fired >= 1);
         let after = milo_timing::statistics(&nl).unwrap();
         assert!(after.delay < before.delay);
         assert!(after.power > before.power, "speed bought with power");
         // The short-path inverter must still be standard power.
-        let ComponentKind::Tech(c) = &nl.component(short).unwrap().kind else { panic!() };
+        let ComponentKind::Tech(c) = &nl.component(short).unwrap().kind else {
+            panic!()
+        };
         assert_eq!(c.level, PowerLevel::Standard);
     }
 
@@ -764,7 +875,9 @@ mod tests {
             nl.add_port(format!("o{i}"), PinDir::Out, y);
         }
         let golden = nl.clone();
-        let mut engine = Engine::new(vec![Box::new(FanoutRepair::new(lib.clone())) as Box<dyn Rule>]);
+        let mut engine = Engine::new(vec![
+            Box::new(FanoutRepair::new(lib.clone())) as Box<dyn Rule>
+        ]);
         let fired = engine.run(&mut nl, Selection::OpsOrder, None, 10);
         assert!(fired >= 1);
         let violations = milo_netlist::validate(&nl, true);

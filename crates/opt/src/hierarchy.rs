@@ -122,7 +122,12 @@ pub fn optimize_bottom_up(
         let mut engine = Engine::new(logic_rules(lib));
         let fired = engine.run(&mut mapped, Selection::OpsOrder, None, 10_000);
         let after = statistics(&mapped).unwrap_or_default();
-        reports.push(LevelReport { design: name.clone(), before, after, fired });
+        reports.push(LevelReport {
+            design: name.clone(),
+            before,
+            after,
+            fired,
+        });
         mapped.name = name.clone();
         db.insert(mapped);
     }
@@ -147,11 +152,19 @@ mod tests {
             ops: ArithOps::ADD,
             mode: CarryMode::Ripple,
         };
-        let mux = MicroComponent::Multiplexor { bits: 4, inputs: 2, enable: false };
+        let mux = MicroComponent::Multiplexor {
+            bits: 4,
+            inputs: 2,
+            enable: false,
+        };
         let reg = MicroComponent::Register {
             bits: 4,
             trigger: Trigger::EdgeTriggered,
-            funcs: RegFunctions { load: true, shift_left: false, shift_right: true },
+            funcs: RegFunctions {
+                load: true,
+                shift_left: false,
+                shift_right: true,
+            },
             ctrl: ControlSet::NONE,
         };
         let a_c = nl.add_component("add", ComponentKind::Micro(au));

@@ -7,9 +7,11 @@
 use crate::critics::{logic_rules, PowerDownSlack};
 use crate::strategies::{apply_strategy, StrategyCtx, StrategyId};
 use milo_netlist::{ComponentId, Netlist};
-use milo_rules::{Engine, HashRuleTable, LibraryRef, Rule, RuleCtx, Selection, Tx};
+use milo_rules::{
+    refresh_or_rebuild, Engine, HashRuleTable, LibraryRef, Rule, RuleCtx, Selection, Tx,
+};
 use milo_techmap::TechLibrary;
-use milo_timing::{analyze, statistics, DesignStats};
+use milo_timing::{analyze, statistics, DesignStats, IncrementalSta};
 use std::collections::HashSet;
 
 /// One successful strategy application, for traces.
@@ -51,7 +53,14 @@ pub fn strategy_order(deficit_ratio: f64) -> Vec<StrategyId> {
     } else if deficit_ratio < 0.25 {
         // Moderate slack: strategy 4 "will be the first strategy examined
         // for moderate gain", then 6.
-        vec![S4BetterMacro, S6BetterMacroCost, S3Factor, S2PowerUp, S5Duplicate, S1PinSwap]
+        vec![
+            S4BetterMacro,
+            S6BetterMacroCost,
+            S3Factor,
+            S2PowerUp,
+            S5Duplicate,
+            S1PinSwap,
+        ]
     } else {
         // "When the time difference is great … the circuit can be
         // minimized into a two level circuit using strategy 7"; strategy 8
@@ -126,20 +135,25 @@ pub fn optimize_timing_paths(
     max_iters: usize,
 ) -> TimingReport {
     let ctx = StrategyCtx { lib, hash };
-    let initial_delay = analyze(nl).map(|s| s.worst_delay()).unwrap_or(0.0);
+    // The feedback cycle maintains one incremental STA: every strategy
+    // application (and every undo) refreshes only the touched fan-out
+    // cone instead of re-analyzing the whole netlist.
+    let mut inc = IncrementalSta::new(nl).ok();
+    let initial_delay = inc.as_ref().map(|i| i.sta().worst_delay()).unwrap_or(0.0);
     let mut applied = Vec::new();
     let mut exhausted: HashSet<(ComponentId, StrategyId)> = HashSet::new();
     let mut blacklist: HashSet<ComponentId> = HashSet::new();
 
     for _ in 0..max_iters {
-        let Ok(sta) = analyze(nl) else { break };
+        let Some(tracker) = inc.as_ref() else { break };
+        let sta = tracker.sta();
         let worst_delay = sta.worst_delay();
-        let (violation, critical_nets) = violations(&sta, required_at, worst_delay * 0.02);
+        let (violation, critical_nets) = violations(sta, required_at, worst_delay * 0.02);
         if violation <= 0.0 || critical_nets.is_empty() {
             return TimingReport {
                 met: true,
                 initial_delay,
-                final_delay: analyze(nl).map(|s| s.worst_delay()).unwrap_or(0.0),
+                final_delay: worst_delay,
                 applied,
             };
         }
@@ -173,7 +187,8 @@ pub fn optimize_timing_paths(
                 (id, count, out_arrival)
             })
             .max_by(|a, b| {
-                a.1.cmp(&b.1).then(b.2.partial_cmp(&a.2).expect("arrivals are not NaN"))
+                a.1.cmp(&b.1)
+                    .then(b.2.partial_cmp(&a.2).expect("arrivals are not NaN"))
             })
             .map(|(id, _, _)| id);
         let Some(site) = point else { break };
@@ -183,9 +198,16 @@ pub fn optimize_timing_paths(
                 continue;
             }
             exhausted.insert((site, strategy));
-            let Some(log) = apply_strategy(strategy, nl, site, &sta, &ctx) else { continue };
-            let new_violation = analyze(nl)
-                .map(|s| violations(&s, required_at, 0.0).0)
+            let log = match inc.as_ref() {
+                Some(i) => apply_strategy(strategy, nl, site, i.sta(), &ctx),
+                None => None,
+            };
+            let Some(log) = log else { continue };
+            let ts = log.touch_set();
+            refresh_or_rebuild(&mut inc, nl, &ts);
+            let new_violation = inc
+                .as_ref()
+                .map(|i| violations(i.sta(), required_at, 0.0).0)
                 .unwrap_or(f64::MAX);
             if new_violation < violation - 1e-9 {
                 applied.push(StrategyFiring {
@@ -201,6 +223,7 @@ pub fn optimize_timing_paths(
             // fails to achieve a sizeable gain, a new rule will be
             // selected" — undo and try the next strategy.
             log.undo(nl);
+            refresh_or_rebuild(&mut inc, nl, &ts);
         }
         if !progressed {
             // "If the strategy has exhausted all possible rules without
@@ -209,11 +232,17 @@ pub fn optimize_timing_paths(
             blacklist.insert(site);
         }
     }
-    let final_delay = analyze(nl).map(|s| s.worst_delay()).unwrap_or(0.0);
-    let met = analyze(nl)
-        .map(|s| violations(&s, required_at, 0.0).0 <= 0.0)
+    let final_delay = inc.as_ref().map(|i| i.sta().worst_delay()).unwrap_or(0.0);
+    let met = inc
+        .as_ref()
+        .map(|i| violations(i.sta(), required_at, 0.0).0 <= 0.0)
         .unwrap_or(false);
-    TimingReport { met, initial_delay, final_delay, applied }
+    TimingReport {
+        met,
+        initial_delay,
+        final_delay,
+        applied,
+    }
 }
 
 /// Area pass: logic-critic cleanups plus power-down on slack paths, never
@@ -237,60 +266,101 @@ pub fn optimize_area_paths(
     required_at: &dyn Fn(&milo_timing::Endpoint) -> Option<f64>,
     max_steps: usize,
 ) -> usize {
-    let allowed = |nl: &Netlist, baseline: f64| -> bool {
-        analyze(nl)
-            .map(|s| violations(&s, required_at, 0.0).0 <= baseline.max(0.0) + 1e-9)
+    let allowed = |inc: &Option<IncrementalSta>, baseline: f64| -> bool {
+        inc.as_ref()
+            .map(|i| violations(i.sta(), required_at, 0.0).0 <= baseline.max(0.0) + 1e-9)
             .unwrap_or(false)
     };
-    let baseline_violation = analyze(nl)
-        .map(|s| violations(&s, required_at, 0.0).0)
+    let mut inc = IncrementalSta::new(nl).ok();
+    let baseline_violation = inc
+        .as_ref()
+        .map(|i| violations(i.sta(), required_at, 0.0).0)
         .unwrap_or(f64::MIN);
     let mut fired_total = 0usize;
     // Logic critic first: always-beneficial cleanups.
     let mut engine = Engine::new(logic_rules(lib));
     fired_total += engine.run(nl, Selection::OpsOrder, None, max_steps);
+    if fired_total > 0 {
+        inc = IncrementalSta::new(nl).ok();
+    }
     // Area critic: cone merges into smaller macros, guarded by the timing
     // constraints.
-    let hash = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
+    let hash = HashRuleTable::cached(&LibraryRef { cells: lib.cells() });
     let ctx = crate::strategies::StrategyCtx { lib, hash: &hash };
-    for _ in 0..max_steps {
+    // Each pass keeps scanning after a successful merge (every merge
+    // decision re-reads the current netlist, so this only changes visit
+    // order); passes repeat until a full scan fires nothing. This bounds
+    // the quadratic restart-scan-per-fire of the naive loop.
+    let mut merges = 0usize;
+    while merges < max_steps {
         let sites: Vec<_> = nl.component_ids().collect();
-        let mut fired = false;
+        let mut fired_this_pass = false;
         for site in sites {
-            let Some(log) = crate::strategies::area_macro_merge(nl, site, &ctx) else { continue };
-            if allowed(nl, baseline_violation) {
-                fired = true;
-                fired_total += 1;
+            if merges >= max_steps {
                 break;
             }
-            log.undo(nl);
+            let Some(log) = crate::strategies::area_macro_merge(nl, site, &ctx) else {
+                continue;
+            };
+            let ts = log.touch_set();
+            refresh_or_rebuild(&mut inc, nl, &ts);
+            if allowed(&inc, baseline_violation) {
+                fired_this_pass = true;
+                merges += 1;
+                fired_total += 1;
+            } else {
+                log.undo(nl);
+                refresh_or_rebuild(&mut inc, nl, &ts);
+            }
         }
-        if !fired {
+        if !fired_this_pass {
             break;
         }
     }
-    // Re-run the cleanups the merges may have enabled.
-    fired_total += engine.run(nl, Selection::OpsOrder, None, max_steps);
-    // Power/area downsizing under the timing guard.
+    // Re-run the cleanups the merges may have enabled (skip when no
+    // merge fired — the first cleanup run already reached quiescence).
+    if merges > 0 {
+        let cleanup_fired = engine.run(nl, Selection::OpsOrder, None, max_steps);
+        fired_total += cleanup_fired;
+        if cleanup_fired > 0 {
+            inc = IncrementalSta::new(nl).ok();
+        }
+    }
+    // Power/area downsizing under the timing guard. Every candidate of a
+    // pass is tried (guarded individually); a fresh match pass only runs
+    // after a pass that changed something.
     let rule = PowerDownSlack::new(lib.clone());
-    for _ in 0..max_steps {
-        let Ok(sta) = analyze(nl) else { break };
-        let candidates = rule.matches(&RuleCtx { nl, sta: Some(&sta) });
-        let mut fired = false;
+    let mut downsized = 0usize;
+    while downsized < max_steps {
+        let candidates = match inc.as_ref() {
+            Some(i) => rule.matches(&RuleCtx {
+                nl,
+                sta: Some(i.sta()),
+            }),
+            None => break,
+        };
+        let mut fired_this_pass = false;
         for m in candidates {
+            if downsized >= max_steps {
+                break;
+            }
             let mut tx = Tx::new(nl);
             if rule.apply(&mut tx, &m).is_err() {
                 continue;
             }
             let log = tx.commit();
-            if allowed(nl, baseline_violation) {
-                fired = true;
+            let ts = log.touch_set();
+            refresh_or_rebuild(&mut inc, nl, &ts);
+            if allowed(&inc, baseline_violation) {
+                fired_this_pass = true;
+                downsized += 1;
                 fired_total += 1;
-                break;
+            } else {
+                log.undo(nl);
+                refresh_or_rebuild(&mut inc, nl, &ts);
             }
-            log.undo(nl);
         }
-        if !fired {
+        if !fired_this_pass {
             break;
         }
     }
@@ -305,7 +375,7 @@ pub fn optimize(
     required: Option<f64>,
     max_iters: usize,
 ) -> (TimingReport, DesignStats) {
-    let hash = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
+    let hash = HashRuleTable::cached(&LibraryRef { cells: lib.cells() });
     // With no explicit constraint, optimize area only (every path is
     // "non-critical").
     let required_time = required.unwrap_or(f64::INFINITY);
@@ -313,7 +383,12 @@ pub fn optimize(
         optimize_timing(nl, lib, &hash, required_time, max_iters)
     } else {
         let d = analyze(nl).map(|s| s.worst_delay()).unwrap_or(0.0);
-        TimingReport { met: true, initial_delay: d, final_delay: d, applied: Vec::new() }
+        TimingReport {
+            met: true,
+            initial_delay: d,
+            final_delay: d,
+            applied: Vec::new(),
+        }
     };
     optimize_area(nl, lib, required_time, max_iters);
     let stats = statistics(nl).unwrap_or_default();
@@ -367,13 +442,9 @@ mod tests {
             let mut nl = sloppy_circuit(&lib);
             let golden = nl.clone();
             let before = analyze(&nl).unwrap().worst_delay();
-            let hash = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
+            let hash = HashRuleTable::cached(&LibraryRef { cells: lib.cells() });
             let report = optimize_timing(&mut nl, &lib, &hash, before * 0.5, 40);
-            assert!(
-                report.final_delay < before,
-                "{}: {report:?}",
-                lib.name
-            );
+            assert!(report.final_delay < before, "{}: {report:?}", lib.name);
             assert!(!report.applied.is_empty());
             check_comb_equivalence(&golden, &nl, 0).unwrap_or_else(|e| panic!("{}: {e}", lib.name));
         }
@@ -383,7 +454,7 @@ mod tests {
     fn already_met_constraint_is_a_noop() {
         let lib = cmos_library();
         let mut nl = sloppy_circuit(&lib);
-        let hash = HashRuleTable::from_library(&LibraryRef { cells: lib.cells() });
+        let hash = HashRuleTable::cached(&LibraryRef { cells: lib.cells() });
         let report = optimize_timing(&mut nl, &lib, &hash, 1e9, 40);
         assert!(report.met);
         assert!(report.applied.is_empty());

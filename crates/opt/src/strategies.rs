@@ -10,7 +10,7 @@ use milo_netlist::{
     CellFunction, ComponentId, ComponentKind, GateFn, NetId, Netlist, NetlistError, PinDir,
     PowerLevel,
 };
-use milo_rules::{extract_cone, HashRuleTable, Tx, UndoLog};
+use milo_rules::{extract_cone_min, HashRuleTable, Tx, UndoLog};
 use milo_techmap::TechLibrary;
 use milo_timing::Sta;
 
@@ -107,7 +107,9 @@ fn symmetric_gate(f: GateFn) -> bool {
 /// pin. Zero cost, small gain.
 fn s1_pin_swap(nl: &mut Netlist, site: ComponentId, sta: &Sta) -> Option<UndoLog> {
     let cell = tech_cell_of(nl, site)?;
-    let CellFunction::Gate(f, n) = cell.function else { return None };
+    let CellFunction::Gate(f, n) = cell.function else {
+        return None;
+    };
     if !symmetric_gate(f) || n < 2 || cell.pin_delay.is_empty() {
         return None;
     }
@@ -120,12 +122,20 @@ fn s1_pin_swap(nl: &mut Netlist, site: ComponentId, sta: &Sta) -> Option<UndoLog
             continue;
         }
         let net = p.net?;
-        pins.push((i as u16, net, sta.arrival(net), cell.input_delay(input_index)));
+        pins.push((
+            i as u16,
+            net,
+            sta.arrival(net),
+            cell.input_delay(input_index),
+        ));
         input_index += 1;
     }
     // Current worst (arrival + pin delay); optimal assignment pairs the
     // latest arrival with the smallest pin delay.
-    let current: f64 = pins.iter().map(|(_, _, a, d)| a + d).fold(f64::MIN, f64::max);
+    let current: f64 = pins
+        .iter()
+        .map(|(_, _, a, d)| a + d)
+        .fold(f64::MIN, f64::max);
     let mut by_arrival = pins.clone();
     by_arrival.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("not NaN")); // latest first
     let mut by_delay = pins.clone();
@@ -142,12 +152,14 @@ fn s1_pin_swap(nl: &mut Netlist, site: ComponentId, sta: &Sta) -> Option<UndoLog
     let mut tx = Tx::new(nl);
     for ((_, net, _, _), (pin_idx, old_net, _, _)) in by_arrival.iter().zip(&by_delay) {
         if old_net != net {
-            tx.disconnect(milo_netlist::PinRef::new(site, *pin_idx)).ok()?;
+            tx.disconnect(milo_netlist::PinRef::new(site, *pin_idx))
+                .ok()?;
         }
     }
     for ((_, net, _, _), (pin_idx, old_net, _, _)) in by_arrival.iter().zip(&by_delay) {
         if old_net != net {
-            tx.connect(milo_netlist::PinRef::new(site, *pin_idx), *net).ok()?;
+            tx.connect(milo_netlist::PinRef::new(site, *pin_idx), *net)
+                .ok()?;
         }
     }
     Some(tx.commit())
@@ -167,15 +179,27 @@ fn s2_power_up(nl: &mut Netlist, site: ComponentId, lib: &TechLibrary) -> Option
 /// passes through the fewest levels (Fig. 4 / Fig. 9c).
 fn s3_factor(nl: &mut Netlist, site: ComponentId, sta: &Sta, lib: &TechLibrary) -> Option<UndoLog> {
     let cell = tech_cell_of(nl, site)?;
-    let CellFunction::Gate(f, n) = cell.function else { return None };
+    let CellFunction::Gate(f, n) = cell.function else {
+        return None;
+    };
     if n < 3 || !matches!(f, GateFn::And | GateFn::Or | GateFn::Xor) {
         return None;
     }
-    let two_in = lib.cell_at_level(&CellFunction::Gate(f, 2), PowerLevel::Standard)?.clone();
+    let two_in = lib
+        .cell_at_level(&CellFunction::Gate(f, 2), PowerLevel::Standard)?
+        .clone();
     let comp = nl.component(site).ok()?;
-    let inputs: Vec<NetId> =
-        comp.pins.iter().filter(|p| p.dir == PinDir::In).map(|p| p.net).collect::<Option<_>>()?;
-    let y = comp.pins.iter().find(|p| p.dir == PinDir::Out).and_then(|p| p.net)?;
+    let inputs: Vec<NetId> = comp
+        .pins
+        .iter()
+        .filter(|p| p.dir == PinDir::In)
+        .map(|p| p.net)
+        .collect::<Option<_>>()?;
+    let y = comp
+        .pins
+        .iter()
+        .find(|p| p.dir == PinDir::Out)
+        .and_then(|p| p.net)?;
     let arrivals: Vec<f64> = inputs.iter().map(|&net| sta.arrival(net)).collect();
     // Only profitable when arrivals are skewed.
     let spread = arrivals.iter().fold(f64::MIN, |a, &b| a.max(b))
@@ -239,7 +263,7 @@ fn s4_s6_better_macro(
     ctx: &StrategyCtx<'_>,
     zero_cost: bool,
 ) -> Option<UndoLog> {
-    let (tt, inputs, interior) = extract_cone(nl, site, 5)?;
+    let (tt, inputs, interior) = extract_cone_min(nl, site, 5, 2)?;
     if interior.len() < 2 {
         return None; // single cell: nothing to merge
     }
@@ -250,7 +274,8 @@ fn s4_s6_better_macro(
         cone_power += cell.power;
     }
     let entry = if zero_cost {
-        ctx.hash.best_for_delay(&tt, Some(cone_area), Some(cone_power))?
+        ctx.hash
+            .best_for_delay(&tt, Some(cone_area), Some(cone_power))?
     } else {
         ctx.hash.best_for_delay(&tt, None, None)?
     };
@@ -284,7 +309,7 @@ pub(crate) fn area_macro_merge(
     site: ComponentId,
     ctx: &StrategyCtx<'_>,
 ) -> Option<UndoLog> {
-    let (tt, inputs, interior) = extract_cone(nl, site, 5)?;
+    let (tt, inputs, interior) = extract_cone_min(nl, site, 5, 2)?;
     if interior.len() < 2 {
         return None;
     }
@@ -325,7 +350,11 @@ fn s5_duplicate(nl: &mut Netlist, site: ComponentId, _sta: &Sta) -> Option<UndoL
         return None;
     }
     let comp = nl.component(site).ok()?;
-    let y = comp.pins.iter().find(|p| p.dir == PinDir::Out).and_then(|p| p.net)?;
+    let y = comp
+        .pins
+        .iter()
+        .find(|p| p.dir == PinDir::Out)
+        .and_then(|p| p.net)?;
     let loads = nl.loads(y);
     if loads.len() < 2 {
         return None;
@@ -355,7 +384,7 @@ fn s5_duplicate(nl: &mut Netlist, site: ComponentId, _sta: &Sta) -> Option<UndoL
 /// Strategy 7: collapse the cone to two-level SOP, minimize with the
 /// ESPRESSO loop, re-factor through weak division, and re-emit gates.
 fn s7_minimize(nl: &mut Netlist, site: ComponentId, lib: &TechLibrary) -> Option<UndoLog> {
-    let (tt, inputs, interior) = extract_cone(nl, site, 6)?;
+    let (tt, inputs, interior) = extract_cone_min(nl, site, 6, 2)?;
     if interior.len() < 2 {
         return None;
     }
@@ -373,7 +402,15 @@ fn s7_minimize(nl: &mut Netlist, site: ComponentId, lib: &TechLibrary) -> Option
     for &c in &interior {
         tx.remove_component(c).ok()?;
     }
-    let out = emit_expr(&mut tx, &expr, &inputs, lib, &format!("s7_{}", site.index()), &mut 0).ok()?;
+    let out = emit_expr(
+        &mut tx,
+        &expr,
+        &inputs,
+        lib,
+        &format!("s7_{}", site.index()),
+        &mut 0,
+    )
+    .ok()?;
     redrive(&mut tx, out, y, &inputs, lib, site)?;
     Some(tx.commit())
 }
@@ -388,16 +425,22 @@ fn s8_shannon_mux(
     sta: &Sta,
     lib: &TechLibrary,
 ) -> Option<UndoLog> {
-    let (tt, inputs, interior) = extract_cone(nl, site, 5)?;
+    let (tt, inputs, interior) = extract_cone_min(nl, site, 5, 2)?;
     if interior.len() < 2 || inputs.len() < 2 {
         return None;
     }
-    let mux = lib.cell_at_level(&CellFunction::Mux { selects: 1 }, PowerLevel::Standard)?.clone();
+    let mux = lib
+        .cell_at_level(&CellFunction::Mux { selects: 1 }, PowerLevel::Standard)?
+        .clone();
     // Critical input = latest arrival.
     let (crit_idx, crit_net) = inputs
         .iter()
         .enumerate()
-        .max_by(|a, b| sta.arrival(*a.1).partial_cmp(&sta.arrival(*b.1)).expect("not NaN"))
+        .max_by(|a, b| {
+            sta.arrival(*a.1)
+                .partial_cmp(&sta.arrival(*b.1))
+                .expect("not NaN")
+        })
         .map(|(i, &n)| (i, n))?;
     let f0 = tt.cofactor(crit_idx as u8, false);
     let f1 = tt.cofactor(crit_idx as u8, true);
@@ -414,8 +457,24 @@ fn s8_shannon_mux(
     for &c in &interior {
         tx.remove_component(c).ok()?;
     }
-    let n0 = emit_expr(&mut tx, &e0, &inputs, lib, &format!("s8a_{}", site.index()), &mut 0).ok()?;
-    let n1 = emit_expr(&mut tx, &e1, &inputs, lib, &format!("s8b_{}", site.index()), &mut 0).ok()?;
+    let n0 = emit_expr(
+        &mut tx,
+        &e0,
+        &inputs,
+        lib,
+        &format!("s8a_{}", site.index()),
+        &mut 0,
+    )
+    .ok()?;
+    let n1 = emit_expr(
+        &mut tx,
+        &e1,
+        &inputs,
+        lib,
+        &format!("s8b_{}", site.index()),
+        &mut 0,
+    )
+    .ok()?;
     let m = tx.add_component(format!("s8m_{}", site.index()), ComponentKind::Tech(mux));
     tx.connect_named(m, "D0", n0).ok()?;
     tx.connect_named(m, "D1", n1).ok()?;
@@ -437,7 +496,10 @@ fn redrive(
 ) -> Option<()> {
     if inputs.contains(&out) || tx.netlist().driver(out).is_none() {
         let buf = lib.cell_at_level(&CellFunction::Gate(GateFn::Buf, 1), PowerLevel::Standard)?;
-        let g = tx.add_component(format!("rd_{}", site.index()), ComponentKind::Tech(buf.clone()));
+        let g = tx.add_component(
+            format!("rd_{}", site.index()),
+            ComponentKind::Tech(buf.clone()),
+        );
         tx.connect_named(g, "A0", out).ok()?;
         tx.connect_named(g, "Y", y).ok()?;
     } else {
@@ -490,7 +552,11 @@ pub(crate) fn emit_expr(
             Ok(y)
         }
         Expr::And(xs) | Expr::Or(xs) => {
-            let f = if matches!(expr, Expr::And(_)) { GateFn::And } else { GateFn::Or };
+            let f = if matches!(expr, Expr::And(_)) {
+                GateFn::And
+            } else {
+                GateFn::Or
+            };
             let mut nets = Vec::with_capacity(xs.len());
             for x in xs {
                 nets.push(emit_expr(tx, x, inputs, lib, prefix, counter)?);
@@ -508,10 +574,8 @@ pub(crate) fn emit_expr(
                     let take = remaining.min(4);
                     let g_cell = cell(f, take as u8)?;
                     *counter += 1;
-                    let g = tx.add_component(
-                        format!("{prefix}_g{counter}"),
-                        ComponentKind::Tech(g_cell),
-                    );
+                    let g = tx
+                        .add_component(format!("{prefix}_g{counter}"), ComponentKind::Tech(g_cell));
                     for (k, &n) in nets[i..i + take].iter().enumerate() {
                         tx.connect_named(g, &format!("A{k}"), n)?;
                     }
@@ -560,7 +624,10 @@ mod tests {
             nl.connect_named(g, "Y", y).unwrap();
             late = y;
         }
-        let and3 = nl.add_component("and3", ComponentKind::Tech(lib.get("AND3").unwrap().clone()));
+        let and3 = nl.add_component(
+            "and3",
+            ComponentKind::Tech(lib.get("AND3").unwrap().clone()),
+        );
         // Late signal on the SLOWEST pin (A2) — pessimal assignment.
         nl.connect_named(and3, "A0", a).unwrap();
         nl.connect_named(and3, "A1", b).unwrap();
@@ -619,7 +686,10 @@ mod tests {
         let a = nl.add_net("a");
         let g = nl.add_component("g", ComponentKind::Tech(lib.get("NAND2").unwrap().clone()));
         nl.connect_named(g, "A0", a).unwrap();
-        assert!(s2_power_up(&mut nl, g, &lib).is_none(), "strategy 2 is ECL-only");
+        assert!(
+            s2_power_up(&mut nl, g, &lib).is_none(),
+            "strategy 2 is ECL-only"
+        );
     }
 
     #[test]
@@ -666,7 +736,10 @@ mod tests {
         let (mut nl, root) = aoi_cone(&lib);
         let golden = nl.clone();
         let before = milo_timing::statistics(&nl).unwrap();
-        let ctx = StrategyCtx { lib: &lib, hash: &hash };
+        let ctx = StrategyCtx {
+            lib: &lib,
+            hash: &hash,
+        };
         let log = s4_s6_better_macro(&mut nl, root, &ctx, true);
         assert!(log.is_some(), "hash lookup finds AOI21");
         let after = milo_timing::statistics(&nl).unwrap();
@@ -701,7 +774,10 @@ mod tests {
         let log = s5_duplicate(&mut nl, g, &sta);
         assert!(log.is_some());
         let after = analyze(&nl).unwrap().worst_delay();
-        assert!(after < before, "load split reduces delay: {after} vs {before}");
+        assert!(
+            after < before,
+            "load split reduces delay: {after} vs {before}"
+        );
         check_comb_equivalence(&golden, &nl, 0).unwrap();
     }
 
@@ -775,7 +851,10 @@ mod tests {
         let log = s8_shannon_mux(&mut nl, root, &sta, &lib);
         assert!(log.is_some(), "Shannon expansion applies");
         let after = analyze(&nl).unwrap().worst_delay();
-        assert!(after < before, "late input now only drives a mux select: {after} vs {before}");
+        assert!(
+            after < before,
+            "late input now only drives a mux select: {after} vs {before}"
+        );
         check_comb_equivalence(&golden, &nl, 0).unwrap();
     }
 }

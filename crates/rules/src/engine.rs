@@ -2,8 +2,8 @@
 //! resolution and the recognize–act cycle (§2.2.1).
 
 use crate::undo::{Tx, UndoLog};
-use milo_netlist::{ComponentId, Netlist, NetlistError, PinRef};
-use milo_timing::{analyze, statistics, DesignStats, Sta};
+use milo_netlist::{ComponentId, Netlist, NetlistError, PinRef, TouchSet};
+use milo_timing::{statistics, statistics_with_sta, DesignStats, IncrementalSta, Sta};
 use std::collections::HashSet;
 
 /// The rule classification of §6.4 (Fig. 17) plus the Logic Consultant's
@@ -44,7 +44,13 @@ pub struct RuleMatch {
 impl RuleMatch {
     /// A match on a single component.
     pub fn at(site: ComponentId) -> Self {
-        Self { site, aux: Vec::new(), pins: Vec::new(), choice: 0, note: String::new() }
+        Self {
+            site,
+            aux: Vec::new(),
+            pins: Vec::new(),
+            choice: 0,
+            note: String::new(),
+        }
     }
 
     /// Builder: attach auxiliary components.
@@ -82,7 +88,12 @@ impl RuleMatch {
     }
 
     fn fingerprint(&self, rule_name: &str) -> (String, ComponentId, Vec<ComponentId>, usize) {
-        (rule_name.to_owned(), self.site, self.aux.clone(), self.choice)
+        (
+            rule_name.to_owned(),
+            self.site,
+            self.aux.clone(),
+            self.choice,
+        )
     }
 }
 
@@ -134,7 +145,8 @@ impl Effect {
 
     /// Scalar figure of merit under objective weights (bigger = better).
     pub fn merit(&self, delay_weight: f64, area_weight: f64, power_weight: f64) -> f64 {
-        self.delay_gain * delay_weight - self.area_cost * area_weight
+        self.delay_gain * delay_weight
+            - self.area_cost * area_weight
             - self.power_cost * power_weight
     }
 }
@@ -181,7 +193,11 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine over a rule set.
     pub fn new(rules: Vec<Box<dyn Rule>>) -> Self {
-        Self { rules, refraction: HashSet::new(), firings: Vec::new() }
+        Self {
+            rules,
+            refraction: HashSet::new(),
+            firings: Vec::new(),
+        }
     }
 
     /// The rules, for inspection.
@@ -219,21 +235,55 @@ impl Engine {
 
     /// Applies `(rule, match)` and measures the effect; on failure the
     /// change is undone and `None` returned.
-    pub fn try_apply(&self, nl: &mut Netlist, rule_idx: usize, m: &RuleMatch) -> Option<(Effect, UndoLog)> {
-        let before = statistics(nl).ok()?;
+    pub fn try_apply(
+        &self,
+        nl: &mut Netlist,
+        rule_idx: usize,
+        m: &RuleMatch,
+    ) -> Option<(Effect, UndoLog)> {
+        self.try_apply_inc(nl, &mut None, rule_idx, m)
+    }
+
+    /// [`Engine::try_apply`] against an incrementally maintained STA: the
+    /// before/after statistics reuse the tracked analysis (refreshed from
+    /// the transaction's touch set) instead of re-analyzing the netlist.
+    fn try_apply_inc(
+        &self,
+        nl: &mut Netlist,
+        inc: &mut Option<IncrementalSta>,
+        rule_idx: usize,
+        m: &RuleMatch,
+    ) -> Option<(Effect, UndoLog)> {
+        let before = match inc.as_ref() {
+            Some(i) => statistics_with_sta(nl, i.sta()).ok()?,
+            None => statistics(nl).ok()?,
+        };
         let mut tx = Tx::new(nl);
         let result = self.rules[rule_idx].apply(&mut tx, m);
         let log = tx.commit();
+        let ts = log.touch_set();
         match result {
-            Ok(()) => match statistics(nl) {
-                Ok(after) => Some((Effect::between(&before, &after), log)),
-                Err(_) => {
-                    log.undo(nl);
-                    None
+            Ok(()) => {
+                let after = if inc.is_some() {
+                    refresh_or_rebuild(inc, nl, &ts);
+                    inc.as_ref()
+                        .and_then(|i| statistics_with_sta(nl, i.sta()).ok())
+                } else {
+                    statistics(nl).ok()
+                };
+                match after {
+                    Some(after) => Some((Effect::between(&before, &after), log)),
+                    None => {
+                        // Cycle or hierarchy introduced: reject the rule.
+                        log.undo(nl);
+                        refresh_or_rebuild(inc, nl, &ts);
+                        None
+                    }
                 }
-            },
+            }
             Err(_) => {
                 log.undo(nl);
+                refresh_or_rebuild(inc, nl, &ts);
                 None
             }
         }
@@ -247,8 +297,24 @@ impl Engine {
         selection: Selection,
         class: Option<RuleClass>,
     ) -> bool {
-        let sta = analyze(nl).ok();
-        let conflict = self.conflict_set(nl, sta.as_ref(), class);
+        let mut inc = IncrementalSta::new(nl).ok();
+        self.step_inc(nl, &mut inc, selection, class)
+    }
+
+    /// [`Engine::step`] against a maintained incremental STA.
+    fn step_inc(
+        &mut self,
+        nl: &mut Netlist,
+        inc: &mut Option<IncrementalSta>,
+        selection: Selection,
+        class: Option<RuleClass>,
+    ) -> bool {
+        // Mirror the old per-step analyze: a design that was cyclic at
+        // engine start may have been fixed by an earlier firing.
+        if inc.is_none() {
+            *inc = IncrementalSta::new(nl).ok();
+        }
+        let conflict = self.conflict_set(nl, inc.as_ref().map(IncrementalSta::sta), class);
         if conflict.is_empty() {
             return false;
         }
@@ -259,7 +325,7 @@ impl Engine {
                 let mut ordered: Vec<&(usize, RuleMatch)> = conflict.iter().collect();
                 ordered.sort_by_key(|(_, m)| std::cmp::Reverse(m.specificity()));
                 for (idx, m) in ordered {
-                    if let Some((effect, _log)) = self.try_apply(nl, *idx, m) {
+                    if let Some((effect, _log)) = self.try_apply_inc(nl, inc, *idx, m) {
                         self.record(*idx, m, effect);
                         return true;
                     }
@@ -271,17 +337,19 @@ impl Engine {
                 // best positive-merit one.
                 let mut best: Option<(f64, usize, RuleMatch)> = None;
                 for (idx, m) in &conflict {
-                    if let Some((effect, log)) = self.try_apply(nl, *idx, m) {
+                    if let Some((effect, log)) = self.try_apply_inc(nl, inc, *idx, m) {
+                        let ts = log.touch_set();
                         log.undo(nl);
+                        refresh_or_rebuild(inc, nl, &ts);
                         let merit = effect.merit(delay, area, power);
-                        if merit > 1e-9 && best.as_ref().map_or(true, |(b, _, _)| merit > *b) {
+                        if merit > 1e-9 && best.as_ref().is_none_or(|(b, _, _)| merit > *b) {
                             best = Some((merit, *idx, m.clone()));
                         }
                     }
                 }
                 match best {
                     Some((_, idx, m)) => {
-                        if let Some((effect, _log)) = self.try_apply(nl, idx, &m) {
+                        if let Some((effect, _log)) = self.try_apply_inc(nl, inc, idx, &m) {
                             self.record(idx, &m, effect);
                             true
                         } else {
@@ -312,9 +380,26 @@ impl Engine {
     /// keeps local-transformation synthesis time near-linear in design
     /// size — the LSS observation of §2.2.2.
     pub fn sweep(&mut self, nl: &mut Netlist, class: Option<RuleClass>) -> usize {
-        let sta = analyze(nl).ok();
-        let conflict = self.conflict_set(nl, sta.as_ref(), class);
+        let mut inc = IncrementalSta::new(nl).ok();
+        self.sweep_inc(nl, &mut inc, class)
+    }
+
+    /// [`Engine::sweep`] against a maintained incremental STA: the
+    /// conflict set is matched once from the tracked analysis, every
+    /// accepted firing's touch set is merged, and the analysis is
+    /// refreshed once at the end of the pass.
+    fn sweep_inc(
+        &mut self,
+        nl: &mut Netlist,
+        inc: &mut Option<IncrementalSta>,
+        class: Option<RuleClass>,
+    ) -> usize {
+        if inc.is_none() {
+            *inc = IncrementalSta::new(nl).ok();
+        }
+        let conflict = self.conflict_set(nl, inc.as_ref().map(IncrementalSta::sta), class);
         let mut touched: HashSet<ComponentId> = HashSet::new();
+        let mut merged = TouchSet::new();
         let mut fired = 0usize;
         for (idx, m) in conflict {
             if touched.contains(&m.site) || m.aux.iter().any(|a| touched.contains(a)) {
@@ -331,11 +416,15 @@ impl Engine {
                 Ok(()) => {
                     touched.insert(m.site);
                     touched.extend(m.aux.iter().copied());
+                    merged.merge(&log.touch_set());
                     self.record(idx, &m, Effect::default());
                     fired += 1;
                 }
                 Err(_) => log.undo(nl),
             }
+        }
+        if fired > 0 {
+            refresh_or_rebuild(inc, nl, &merged);
         }
         fired
     }
@@ -347,9 +436,10 @@ impl Engine {
         class: Option<RuleClass>,
         max_passes: usize,
     ) -> usize {
+        let mut inc = IncrementalSta::new(nl).ok();
         let mut total = 0;
         for _ in 0..max_passes {
-            let fired = self.sweep(nl, class);
+            let fired = self.sweep_inc(nl, &mut inc, class);
             if fired == 0 {
                 break;
             }
@@ -367,11 +457,26 @@ impl Engine {
         class: Option<RuleClass>,
         max_steps: usize,
     ) -> usize {
+        let mut inc = IncrementalSta::new(nl).ok();
         let mut fired = 0;
-        while fired < max_steps && self.step(nl, selection, class) {
+        while fired < max_steps && self.step_inc(nl, &mut inc, selection, class) {
             fired += 1;
         }
         fired
+    }
+}
+
+/// Refreshes the tracked analysis from a touch set, falling back to a
+/// full rebuild (or dropping the analysis entirely, e.g. on a
+/// combinational cycle) when the incremental path cannot apply.
+pub fn refresh_or_rebuild(inc: &mut Option<IncrementalSta>, nl: &Netlist, ts: &TouchSet) {
+    // With no tracker there is nothing to keep fresh — callers that
+    // want one (re)acquire it per step, so a failure path here must not
+    // pay for a from-scratch analysis that is immediately dropped.
+    if let Some(i) = inc.as_mut() {
+        if i.refresh(nl, ts).is_err() {
+            *inc = IncrementalSta::new(nl).ok();
+        }
     }
 }
 
@@ -395,16 +500,28 @@ mod tests {
             let mut out = Vec::new();
             for id in nl.component_ids() {
                 let Ok(c) = nl.component(id) else { continue };
-                if !matches!(c.kind, ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))) {
+                if !matches!(
+                    c.kind,
+                    ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))
+                ) {
                     continue;
                 }
-                let Some(y) = nl.pin_net(id, "Y") else { continue };
+                let Some(y) = nl.pin_net(id, "Y") else {
+                    continue;
+                };
                 if nl.fanout(y) != 1 {
                     continue;
                 }
-                let Some(load) = nl.loads(y).first().copied() else { continue };
-                let Ok(next) = nl.component(load.component) else { continue };
-                if matches!(next.kind, ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))) {
+                let Some(load) = nl.loads(y).first().copied() else {
+                    continue;
+                };
+                let Ok(next) = nl.component(load.component) else {
+                    continue;
+                };
+                if matches!(
+                    next.kind,
+                    ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))
+                ) {
                     out.push(RuleMatch::at(id).with_aux(vec![load.component]));
                 }
             }
@@ -455,7 +572,11 @@ mod tests {
         let mut engine = Engine::new(vec![Box::new(DoubleInv)]);
         let fired = engine.run(
             &mut nl,
-            Selection::MaxGain { delay: 1.0, area: 1.0, power: 0.1 },
+            Selection::MaxGain {
+                delay: 1.0,
+                area: 1.0,
+                power: 0.1,
+            },
             None,
             100,
         );
@@ -474,7 +595,11 @@ mod tests {
 
     #[test]
     fn effect_merit() {
-        let e = Effect { delay_gain: 2.0, area_cost: 1.0, power_cost: 0.5 };
+        let e = Effect {
+            delay_gain: 2.0,
+            area_cost: 1.0,
+            power_cost: 0.5,
+        };
         assert!(e.merit(1.0, 0.1, 0.1) > 0.0);
         assert!(e.merit(0.0, 1.0, 1.0) < 0.0);
     }

@@ -9,10 +9,12 @@
 //! entry.
 
 use milo_logic::TruthTable;
-use milo_netlist::{CellFunction, ComponentKind, Netlist, NetId, PinDir, TechCell};
 #[cfg(test)]
 use milo_netlist::GateFn;
+use milo_netlist::{CellFunction, ComponentKind, NetId, Netlist, PinDir, TechCell};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A replacement candidate stored under a truth-table key.
 #[derive(Clone, Debug)]
@@ -60,7 +62,9 @@ impl HashRuleTable {
     pub fn from_library(lib: &crate::LibraryRef<'_>) -> Self {
         let mut table = Self::default();
         for cell in lib.cells {
-            let Some(tt) = cell_truth_table(cell) else { continue };
+            let Some(tt) = cell_truth_table(cell) else {
+                continue;
+            };
             let n = tt.vars();
             permutations(n, &mut (0..n).collect::<Vec<u8>>(), 0, &mut |perm| {
                 let permuted = tt.permute(perm);
@@ -68,14 +72,68 @@ impl HashRuleTable {
                 let entries = table.map.entry((n, key)).or_default();
                 // Avoid exact duplicates (symmetric functions generate
                 // identical permuted tables).
-                if !entries.iter().any(|e| e.cell.name == cell.name && e.perm == perm) {
-                    if entries.iter().all(|e| e.cell.name != cell.name) {
-                        entries.push(HashEntry { cell: cell.clone(), perm: perm.to_vec() });
-                    }
+                if !entries
+                    .iter()
+                    .any(|e| e.cell.name == cell.name && e.perm == perm)
+                    && entries.iter().all(|e| e.cell.name != cell.name)
+                {
+                    entries.push(HashEntry {
+                        cell: cell.clone(),
+                        perm: perm.to_vec(),
+                    });
                 }
             });
         }
         table
+    }
+
+    /// [`HashRuleTable::from_library`] through a process-wide memo cache.
+    ///
+    /// Building the table enumerates every input permutation of every
+    /// ≤ 5-input cell — ~100 µs per library — and the result is a pure
+    /// function of the cell list, so synthesis pipelines that construct
+    /// fresh `Milo` instances per run share one build via a fingerprint
+    /// of the cells.
+    pub fn cached(lib: &crate::LibraryRef<'_>) -> Arc<Self> {
+        static CACHE: OnceLock<Mutex<HashMap<u64, Arc<HashRuleTable>>>> = OnceLock::new();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        lib.cells.len().hash(&mut h);
+        for cell in lib.cells {
+            // Every field of the cell participates: entries carry full
+            // TechCell clones, so libraries differing in *any* attribute
+            // (pin skews, fanout limits, power grade, family, function)
+            // must not share a table.
+            cell.name.hash(&mut h);
+            cell.family.hash(&mut h);
+            cell.area.to_bits().hash(&mut h);
+            cell.delay.to_bits().hash(&mut h);
+            cell.load_delay.to_bits().hash(&mut h);
+            cell.power.to_bits().hash(&mut h);
+            cell.max_fanout.hash(&mut h);
+            (cell.level as u8).hash(&mut h);
+            cell.pin_delay.len().hash(&mut h);
+            for d in &cell.pin_delay {
+                d.to_bits().hash(&mut h);
+            }
+            match cell_truth_table(cell) {
+                Some(tt) => {
+                    tt.vars().hash(&mut h);
+                    tt.key32().hash(&mut h);
+                }
+                // No compact truth table (MSI/sequential): hash the
+                // function's debug form instead.
+                None => format!("{:?}", cell.function).hash(&mut h),
+            }
+        }
+        let key = h.finish();
+        let cache = CACHE.get_or_init(Default::default);
+        let mut guard = cache.lock().expect("hash-rule cache poisoned");
+        if let Some(t) = guard.get(&key) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(Self::from_library(lib));
+        guard.insert(key, Arc::clone(&t));
+        t
     }
 
     /// Number of distinct keys.
@@ -113,8 +171,8 @@ impl HashRuleTable {
     ) -> Option<&HashEntry> {
         self.lookup(tt)
             .iter()
-            .filter(|e| max_area.map_or(true, |a| e.cell.area <= a + 1e-9))
-            .filter(|e| max_power.map_or(true, |p| e.cell.power <= p + 1e-9))
+            .filter(|e| max_area.is_none_or(|a| e.cell.area <= a + 1e-9))
+            .filter(|e| max_power.is_none_or(|p| e.cell.power <= p + 1e-9))
             .min_by(|a, b| a.cell.delay.partial_cmp(&b.cell.delay).expect("not NaN"))
     }
 }
@@ -150,6 +208,20 @@ pub fn extract_cone(
     root: milo_netlist::ComponentId,
     max_inputs: usize,
 ) -> Option<(TruthTable, Vec<NetId>, Vec<milo_netlist::ComponentId>)> {
+    extract_cone_min(nl, root, max_inputs, 0)
+}
+
+/// [`extract_cone`] that bails out — *before* the exhaustive cone
+/// simulation — when the cone has fewer than `min_interior` components.
+/// The cone-merge strategies all require ≥ 2 interior cells, and on a
+/// quiesced netlist most cones are single cells, so skipping the
+/// truth-table evaluation for them removes most of the scan cost.
+pub fn extract_cone_min(
+    nl: &Netlist,
+    root: milo_netlist::ComponentId,
+    max_inputs: usize,
+    min_interior: usize,
+) -> Option<(TruthTable, Vec<NetId>, Vec<milo_netlist::ComponentId>)> {
     let comp = nl.component(root).ok()?;
     if comp.kind.is_sequential() {
         return None;
@@ -175,10 +247,7 @@ pub fn extract_cone(
                 let c = nl.component(drv.component).ok()?;
                 let single_out = c.output_pins().count() == 1;
                 let comb = !c.kind.is_sequential();
-                let small = matches!(
-                    &c.kind,
-                    ComponentKind::Tech(_) | ComponentKind::Generic(_)
-                );
+                let small = matches!(&c.kind, ComponentKind::Tech(_) | ComponentKind::Generic(_));
                 // Only expand gates whose *only* fanout is inside the cone
                 // (duplication would change cost accounting).
                 let exclusive = nl.fanout(net) == 1;
@@ -206,7 +275,7 @@ pub fn extract_cone(
             }
         }
     }
-    if inputs.len() > max_inputs || inputs.is_empty() {
+    if inputs.len() > max_inputs || inputs.is_empty() || interior.len() < min_interior {
         return None;
     }
     // Evaluate the cone exhaustively.
@@ -242,12 +311,10 @@ fn eval_cone(
                 .map(|p| p.net.and_then(|n| values.get(&n).copied()).unwrap_or(false))
                 .collect();
             let outs = milo_netlist::eval_component(&comp.kind, &ins, 0);
-            let mut oi = 0;
-            for p in comp.pins.iter().filter(|p| p.dir == PinDir::Out) {
+            for (p, out) in comp.pins.iter().filter(|p| p.dir == PinDir::Out).zip(outs) {
                 if let Some(n) = p.net {
-                    values.insert(n, outs[oi]);
+                    values.insert(n, out);
                 }
-                oi += 1;
             }
         }
     }
@@ -301,10 +368,15 @@ mod tests {
             let d0 = r & 1 == 1;
             let d1 = r >> 1 & 1 == 1;
             let s = r >> 2 & 1 == 1;
-            if s { d1 } else { d0 }
+            if s {
+                d1
+            } else {
+                d0
+            }
         });
         // Structure 2: same function via (D0|S)&(D1|!S) ... evaluated it
         // is the identical table, which is the point of Fig. 10.
+        #[allow(clippy::nonminimal_bool)] // redundant consensus term is the point
         let s2 = TruthTable::from_fn(3, |r| {
             let d0 = r & 1 == 1;
             let d1 = r >> 1 & 1 == 1;
@@ -348,8 +420,14 @@ mod tests {
         let c = nl.add_net("c");
         let ab = nl.add_net("ab");
         let y = nl.add_net("y");
-        let g1 = nl.add_component("g1", ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)));
-        let g2 = nl.add_component("g2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Or, 2)));
+        let g1 = nl.add_component(
+            "g1",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)),
+        );
+        let g2 = nl.add_component(
+            "g2",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Or, 2)),
+        );
         nl.connect_named(g1, "A0", a).unwrap();
         nl.connect_named(g1, "A1", b).unwrap();
         nl.connect_named(g1, "Y", ab).unwrap();
@@ -384,8 +462,14 @@ mod tests {
         let c = nl.add_net("c");
         let ab = nl.add_net("ab");
         let y = nl.add_net("y");
-        let g1 = nl.add_component("g1", ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)));
-        let g2 = nl.add_component("g2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Or, 2)));
+        let g1 = nl.add_component(
+            "g1",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)),
+        );
+        let g2 = nl.add_component(
+            "g2",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Or, 2)),
+        );
         nl.connect_named(g1, "A0", a).unwrap();
         nl.connect_named(g1, "A1", b).unwrap();
         nl.connect_named(g1, "Y", ab).unwrap();

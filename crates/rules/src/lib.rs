@@ -11,6 +11,17 @@
 //!   parameters B, Dmax, Dapp, N and Δcost, plus dynamic metarules;
 //! * [`HashRuleTable`] — the 32-bit truth-table hash rules of strategy 4
 //!   (Fig. 10), with cone extraction ([`extract_cone`]).
+//!
+//! # Performance architecture
+//!
+//! The engine's accept/undo loop maintains an incremental STA
+//! ([`milo_timing::IncrementalSta`]) instead of re-analyzing the whole
+//! netlist per candidate: [`UndoLog::touch_set`] reports exactly which
+//! components and nets a transaction (or its undo) touched, and the
+//! analysis re-propagates only that fan-out cone.
+//! [`HashRuleTable::cached`] memoizes table construction process-wide,
+//! and [`extract_cone_min`] skips the exhaustive cone simulation for
+//! cones below the caller's minimum size. See `docs/PERFORMANCE.md`.
 
 #![warn(missing_docs)]
 
@@ -19,8 +30,12 @@ mod hashrules;
 mod search;
 mod undo;
 
-pub use engine::{Effect, Engine, Firing, Rule, RuleClass, RuleCtx, RuleMatch, Selection};
-pub use hashrules::{cell_truth_table, extract_cone, HashEntry, HashRuleTable, LibraryRef};
+pub use engine::{
+    refresh_or_rebuild, Effect, Engine, Firing, Rule, RuleClass, RuleCtx, RuleMatch, Selection,
+};
+pub use hashrules::{
+    cell_truth_table, extract_cone, extract_cone_min, HashEntry, HashRuleTable, LibraryRef,
+};
 pub use search::{
     component_distances, greedy_optimize, lookahead_optimize, MetaParams, SearchStats,
 };

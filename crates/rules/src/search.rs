@@ -113,8 +113,15 @@ pub fn lookahead_optimize(
     let mut stats = SearchStats::default();
     let mut last_site: Option<ComponentId> = None;
     while stats.rules_fired < max_firings {
-        let (delta, seq) =
-            search(nl, engine, params, dynamic_metarules, params.depth, last_site, &mut stats);
+        let (delta, seq) = search(
+            nl,
+            engine,
+            params,
+            dynamic_metarules,
+            params.depth,
+            last_site,
+            &mut stats,
+        );
         if delta >= -1e-9 || seq.is_empty() {
             break;
         }
@@ -162,7 +169,9 @@ fn search(
     let mut ranked: Vec<(f64, usize, RuleMatch)> = Vec::new();
     for (idx, m) in conflict {
         stats.evaluations += 1;
-        let Some((effect, log)) = engine.try_apply(nl, idx, &m) else { continue };
+        let Some((effect, log)) = engine.try_apply(nl, idx, &m) else {
+            continue;
+        };
         log.undo(nl);
         let merit = effect.merit(params.delay_weight, params.area_weight, 0.0);
         ranked.push((merit, idx, m));
@@ -172,7 +181,9 @@ fn search(
 
     let mut best: (f64, Vec<(usize, RuleMatch)>) = (0.0, Vec::new());
     for (merit, idx, m) in ranked {
-        let Some((_, log)) = engine.try_apply(nl, idx, &m) else { continue };
+        let Some((_, log)) = engine.try_apply(nl, idx, &m) else {
+            continue;
+        };
         let new_cost = cost_of(nl, &params);
         let delta = new_cost - base_cost;
         if delta > params.max_cost_increase {
@@ -195,8 +206,15 @@ fn search(
         } else {
             depth
         };
-        let (future, mut seq) =
-            search(nl, engine, params, dynamic, child_depth - 1, Some(m.site), stats);
+        let (future, mut seq) = search(
+            nl,
+            engine,
+            params,
+            dynamic,
+            child_depth - 1,
+            Some(m.site),
+            stats,
+        );
         log.undo(nl);
         let total = delta + future;
         if total < best.0 {
@@ -217,14 +235,22 @@ pub fn greedy_optimize(
 ) -> usize {
     engine.run(
         nl,
-        Selection::MaxGain { delay: params.delay_weight, area: params.area_weight, power: 0.0 },
+        Selection::MaxGain {
+            delay: params.delay_weight,
+            area: params.area_weight,
+            power: 0.0,
+        },
         None,
         max_firings,
     )
 }
 
 /// Distances used by tests and the neighborhood metarule.
-pub fn component_distances(nl: &Netlist, from: ComponentId, limit: usize) -> HashMap<ComponentId, usize> {
+pub fn component_distances(
+    nl: &Netlist,
+    from: ComponentId,
+    limit: usize,
+) -> HashMap<ComponentId, usize> {
     let mut dist = HashMap::new();
     let mut queue = VecDeque::new();
     dist.insert(from, 0usize);
@@ -239,8 +265,8 @@ pub fn component_distances(nl: &Netlist, from: ComponentId, limit: usize) -> Has
             let Some(net) = pin.net else { continue };
             let Ok(n) = nl.net(net) else { continue };
             for p in &n.connections {
-                if !dist.contains_key(&p.component) {
-                    dist.insert(p.component, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(p.component) {
+                    e.insert(d + 1);
                     queue.push_back(p.component);
                 }
             }
@@ -281,8 +307,14 @@ mod tests {
             let a = tx.netlist().pin_net(m.site, "A0").expect("buf input");
             let y = tx.netlist().pin_net(m.site, "Y").expect("buf output");
             tx.remove_component(m.site)?;
-            let i1 = tx.add_component("li1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
-            let i2 = tx.add_component("li2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+            let i1 = tx.add_component(
+                "li1",
+                ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+            );
+            let i2 = tx.add_component(
+                "li2",
+                ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+            );
             let mid = tx.add_net("lmid");
             tx.connect_named(i1, "A0", a)?;
             tx.connect_named(i1, "Y", mid)?;
@@ -307,16 +339,28 @@ mod tests {
             let mut out = Vec::new();
             for id in nl.component_ids() {
                 let Ok(c) = nl.component(id) else { continue };
-                if !matches!(c.kind, ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))) {
+                if !matches!(
+                    c.kind,
+                    ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))
+                ) {
                     continue;
                 }
-                let Some(y) = nl.pin_net(id, "Y") else { continue };
+                let Some(y) = nl.pin_net(id, "Y") else {
+                    continue;
+                };
                 if nl.fanout(y) != 1 {
                     continue;
                 }
-                let Some(load) = nl.loads(y).first().copied() else { continue };
-                let Ok(n) = nl.component(load.component) else { continue };
-                if matches!(n.kind, ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))) {
+                let Some(load) = nl.loads(y).first().copied() else {
+                    continue;
+                };
+                let Ok(n) = nl.component(load.component) else {
+                    continue;
+                };
+                if matches!(
+                    n.kind,
+                    ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))
+                ) {
                     out.push(RuleMatch::at(id).with_aux(vec![load.component]));
                 }
             }
@@ -360,7 +404,12 @@ mod tests {
         assert_eq!(greedy_fired, 0, "greedy sees no immediate gain");
 
         let mut engine2 = Engine::new(vec![Box::new(BufToInvs), Box::new(InvPair)]);
-        let params = MetaParams { depth: 3, breadth: 4, apply_depth: 2, ..MetaParams::default() };
+        let params = MetaParams {
+            depth: 3,
+            breadth: 4,
+            apply_depth: 2,
+            ..MetaParams::default()
+        };
         let stats = lookahead_optimize(&mut nl, &mut engine2, params, false, 50);
         assert!(stats.rules_fired > 0, "lookahead fires: {stats:?}");
         // Each BUF (area ~0.5, delay 0.3) became nothing.
@@ -372,8 +421,12 @@ mod tests {
         let run = |dynamic: bool| -> (SearchStats, usize) {
             let mut nl = buf_chain(4);
             let mut engine = Engine::new(vec![Box::new(BufToInvs), Box::new(InvPair)]);
-            let params =
-                MetaParams { depth: 4, breadth: 4, apply_depth: 2, ..MetaParams::default() };
+            let params = MetaParams {
+                depth: 4,
+                breadth: 4,
+                apply_depth: 2,
+                ..MetaParams::default()
+            };
             let stats = lookahead_optimize(&mut nl, &mut engine, params, dynamic, 60);
             (stats, nl.component_count())
         };

@@ -6,18 +6,40 @@
 //! log" (§2.2.2). [`Tx`] records every mutation; [`UndoLog::undo`] replays
 //! the inverses in reverse order.
 
-use milo_netlist::{Component, ComponentId, ComponentKind, Net, NetId, Netlist, NetlistError, PinRef};
+use milo_netlist::{
+    Component, ComponentId, ComponentKind, Net, NetId, Netlist, NetlistError, PinRef, TouchSet,
+};
 
 /// One recorded mutation.
 #[derive(Clone, Debug)]
 enum Op {
     AddedComponent(ComponentId),
     RemovedComponent(ComponentId, Component, Vec<(u16, NetId)>),
-    Connected(PinRef),
+    Connected(PinRef, NetId),
     Disconnected(PinRef, NetId),
     AddedNet(NetId),
     RemovedNet(NetId, Net),
     KindChanged(ComponentId, ComponentKind),
+}
+
+impl Op {
+    fn touch(&self, t: &mut TouchSet) {
+        match self {
+            Op::AddedComponent(id) => t.component(*id),
+            Op::RemovedComponent(id, _, conns) => {
+                t.component(*id);
+                for (_, net) in conns {
+                    t.net(*net);
+                }
+            }
+            Op::Connected(pin, net) | Op::Disconnected(pin, net) => {
+                t.component(pin.component);
+                t.net(*net);
+            }
+            Op::AddedNet(id) | Op::RemovedNet(id, _) => t.net(*id),
+            Op::KindChanged(id, _) => t.component(*id),
+        }
+    }
 }
 
 /// A committed change log that can be undone.
@@ -35,6 +57,17 @@ impl UndoLog {
     /// Whether the log is empty (the transaction made no changes).
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// The components and nets this log touches. The same set describes
+    /// both the forward application and its undo, so incremental analyses
+    /// can refresh from it after either direction.
+    pub fn touch_set(&self) -> TouchSet {
+        let mut t = TouchSet::new();
+        for op in &self.ops {
+            op.touch(&mut t);
+        }
+        t
     }
 
     /// Reverts all recorded changes, restoring the netlist to its exact
@@ -56,10 +89,11 @@ impl UndoLog {
                 Op::RemovedComponent(id, comp, conns) => {
                     nl.restore_component(id, comp);
                     for (pin, net) in conns {
-                        nl.connect(PinRef::new(id, pin), net).expect("undo: reconnect");
+                        nl.connect(PinRef::new(id, pin), net)
+                            .expect("undo: reconnect");
                     }
                 }
-                Op::Connected(pin) => {
+                Op::Connected(pin, _) => {
                     nl.disconnect(pin).expect("undo: disconnect");
                 }
                 Op::Disconnected(pin, net) => {
@@ -90,7 +124,10 @@ pub struct Tx<'a> {
 impl<'a> Tx<'a> {
     /// Opens a transaction.
     pub fn new(nl: &'a mut Netlist) -> Self {
-        Self { nl, ops: Vec::new() }
+        Self {
+            nl,
+            ops: Vec::new(),
+        }
     }
 
     /// Read access to the underlying netlist.
@@ -124,7 +161,7 @@ impl<'a> Tx<'a> {
     /// Same as [`Netlist::connect`].
     pub fn connect(&mut self, pin: PinRef, net: NetId) -> Result<(), NetlistError> {
         self.nl.connect(pin, net)?;
-        self.ops.push(Op::Connected(pin));
+        self.ops.push(Op::Connected(pin, net));
         Ok(())
     }
 
@@ -193,7 +230,11 @@ impl<'a> Tx<'a> {
     /// # Errors
     ///
     /// Fails if the component does not exist.
-    pub fn change_kind(&mut self, id: ComponentId, kind: ComponentKind) -> Result<(), NetlistError> {
+    pub fn change_kind(
+        &mut self,
+        id: ComponentId,
+        kind: ComponentKind,
+    ) -> Result<(), NetlistError> {
         let old = self.nl.component(id)?.kind.clone();
         self.nl.component_mut(id)?.kind = kind;
         self.ops.push(Op::KindChanged(id, old));
@@ -226,7 +267,10 @@ mod tests {
         let mut nl = Netlist::new("t");
         let a = nl.add_net("a");
         let y = nl.add_net("y");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         nl.connect_named(g, "Y", y).unwrap();
         nl.add_port("a", PinDir::In, a);
@@ -244,7 +288,10 @@ mod tests {
         let y = tx.netlist().pin_net(g, "Y").unwrap();
         let mid = tx.add_net("mid");
         tx.move_loads(y, mid).unwrap();
-        let b = tx.add_component("b", ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)));
+        let b = tx.add_component(
+            "b",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+        );
         tx.connect_named(b, "A0", y).unwrap();
         // note: output port still on y; buffer output dangles — fine for test
         let log = tx.commit();
@@ -270,7 +317,11 @@ mod tests {
         let mut nl = base();
         let g = nl.component_ids().next().unwrap();
         let mut tx = Tx::new(&mut nl);
-        tx.change_kind(g, ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1))).unwrap();
+        tx.change_kind(
+            g,
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+        )
+        .unwrap();
         let log = tx.commit();
         assert!(matches!(
             nl.component(g).unwrap().kind,

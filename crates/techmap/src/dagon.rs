@@ -10,8 +10,7 @@
 use crate::library::TechLibrary;
 use crate::mapper::MapError;
 use milo_netlist::{
-    CellFunction, ComponentKind, GateFn, GenericMacro, NetId, Netlist, PinDir, PowerLevel,
-    TechCell,
+    CellFunction, ComponentKind, GateFn, GenericMacro, NetId, Netlist, PinDir, PowerLevel, TechCell,
 };
 use std::collections::HashMap;
 
@@ -44,7 +43,8 @@ struct Graph {
 impl Graph {
     fn input(&mut self, name: &str) -> u32 {
         self.input_names.push(name.to_owned());
-        self.nodes.push(Node::Input(self.input_names.len() as u32 - 1));
+        self.nodes
+            .push(Node::Input(self.input_names.len() as u32 - 1));
         self.nodes.len() as u32 - 1
     }
 
@@ -182,10 +182,7 @@ fn gate_ptree(f: GateFn, n: u8) -> Option<PTree> {
         GateFn::Buf => return None, // no pattern: buffers are free wires
         GateFn::And => and_chain(&mut leaves, n),
         GateFn::Nand => nand_chain(&mut leaves, n),
-        GateFn::Or => {
-            let inner = or_chain(&mut leaves, n);
-            inner
-        }
+        GateFn::Or => or_chain(&mut leaves, n),
         GateFn::Nor => PTree::Inv(Box::new(or_chain(&mut leaves, n))),
         GateFn::Xor => xor_chain(&mut leaves, n),
         GateFn::Xnor => PTree::Inv(Box::new(xor_chain(&mut leaves, n))),
@@ -196,7 +193,9 @@ fn gate_ptree(f: GateFn, n: u8) -> Option<PTree> {
 /// Hand-built patterns for the complex AOI/OAI cells (recognized by their
 /// truth tables).
 fn table_ptree(cell: &TechCell) -> Option<PTree> {
-    let CellFunction::Table(tt) = &cell.function else { return None };
+    let CellFunction::Table(tt) = &cell.function else {
+        return None;
+    };
     let aoi21 = milo_logic::TruthTable::from_fn(3, |r| {
         !((r & 1 == 1 && r >> 1 & 1 == 1) || r >> 2 & 1 == 1)
     });
@@ -240,7 +239,11 @@ fn build_patterns(lib: &TechLibrary) -> Vec<Pattern> {
                 CellFunction::Table(tt) => tt.vars(),
                 _ => 0,
             };
-            out.push(Pattern { cell: cell.clone(), tree, nleaves });
+            out.push(Pattern {
+                cell: cell.clone(),
+                tree,
+                nleaves,
+            });
         }
     }
     out
@@ -255,7 +258,11 @@ fn build_patterns(lib: &TechLibrary) -> Vec<Pattern> {
 ///   gates (run on random-logic circuits; MSI components go through the
 ///   lookup-table mapper instead);
 /// * [`MapError::NoCell`] if the library lacks NAND2 or INV.
-pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Result<Netlist, MapError> {
+pub fn dagon_map(
+    nl: &Netlist,
+    lib: &TechLibrary,
+    objective: Objective,
+) -> Result<Netlist, MapError> {
     // 1. Build the subject graph.
     let mut g = Graph::default();
     let mut net_node: HashMap<NetId, u32> = HashMap::new();
@@ -341,7 +348,10 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
 
     // 3. Patterns & DP covering.
     let patterns = build_patterns(lib);
-    if !patterns.iter().any(|p| matches!(p.cell.function, CellFunction::Gate(GateFn::Nand, 2))) {
+    if !patterns
+        .iter()
+        .any(|p| matches!(p.cell.function, CellFunction::Gate(GateFn::Nand, 2)))
+    {
         return Err(MapError::NoCell("NAND2".to_owned()));
     }
     // best[n] = (cost, pattern index, leaf assignment)
@@ -363,12 +373,7 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
             // Trees may cross multi-fanout *inverters* by duplicating them
             // (the standard DAGON inverter heuristic); any other fanout
             // point is a hard tree boundary.
-            _ if !root
-                && is_boundary(n)
-                && !matches!(g.nodes[n as usize], Node::Inv(_)) =>
-            {
-                false
-            }
+            _ if !root && is_boundary(n) && !matches!(g.nodes[n as usize], Node::Inv(_)) => false,
             PTree::Inv(q) => match g.nodes[n as usize] {
                 Node::Inv(x) => match_at(g, x, q, assign, is_boundary, false),
                 _ => false,
@@ -390,7 +395,6 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn cover(
         g: &Graph,
         n: u32,
@@ -398,7 +402,6 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
         best: &mut Vec<Option<(f64, usize, Vec<u32>)>>,
         fanout: &[u32],
         objective: Objective,
-        depth: usize,
     ) -> f64 {
         if matches!(g.nodes[n as usize], Node::Input(_)) {
             return 0.0;
@@ -406,9 +409,8 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
         if let Some((c, _, _)) = &best[n as usize] {
             return *c;
         }
-        let boundary = |x: u32| {
-            matches!(g.nodes[x as usize], Node::Input(_)) || fanout[x as usize] > 1
-        };
+        let boundary =
+            |x: u32| matches!(g.nodes[x as usize], Node::Input(_)) || fanout[x as usize] > 1;
         let mut best_here: Option<(f64, usize, Vec<u32>)> = None;
         for (pi, pat) in patterns.iter().enumerate() {
             let mut assign: Vec<Option<u32>> = vec![None; pat.nleaves as usize];
@@ -429,7 +431,7 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
                                 if boundary(l) {
                                     0.0
                                 } else {
-                                    cover(g, l, patterns, best, fanout, objective, depth + 1)
+                                    cover(g, l, patterns, best, fanout, objective)
                                 }
                             })
                             .sum::<f64>()
@@ -442,13 +444,13 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
                                 if boundary(l) {
                                     0.0
                                 } else {
-                                    cover(g, l, patterns, best, fanout, objective, depth + 1)
+                                    cover(g, l, patterns, best, fanout, objective)
                                 }
                             })
                             .fold(0.0f64, f64::max)
                 }
             };
-            if best_here.as_ref().map_or(true, |(c, _, _)| cost < *c) {
+            if best_here.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                 best_here = Some((cost, pi, leaves));
             }
         }
@@ -468,7 +470,7 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
         }
     }
     for &r in &roots {
-        cover(&g, r, &patterns, &mut best, &fanout, objective, 0);
+        cover(&g, r, &patterns, &mut best, &fanout, objective);
     }
 
     // 4. Emit the mapped netlist.
@@ -486,7 +488,6 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
 
     #[allow(clippy::too_many_arguments)]
     fn emit(
-        g: &Graph,
         n: u32,
         best: &[Option<(f64, usize, Vec<u32>)>],
         patterns: &[Pattern],
@@ -501,7 +502,7 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
         let pat = &patterns[*pi];
         let input_nets: Vec<NetId> = leaves
             .iter()
-            .map(|&l| emit(g, l, best, patterns, out, node_net, counter))
+            .map(|&l| emit(l, best, patterns, out, node_net, counter))
             .collect();
         *counter += 1;
         let comp = out.add_component(
@@ -509,7 +510,8 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
             ComponentKind::Tech(pat.cell.clone()),
         );
         for (i, net) in input_nets.iter().enumerate() {
-            out.connect_named(comp, &format!("A{i}"), *net).expect("fresh cell pin");
+            out.connect_named(comp, &format!("A{i}"), *net)
+                .expect("fresh cell pin");
         }
         let y = out.add_net(format!("dgn{counter}"));
         out.connect_named(comp, "Y", y).expect("fresh cell pin");
@@ -519,14 +521,14 @@ pub fn dagon_map(nl: &Netlist, lib: &TechLibrary, objective: Objective) -> Resul
 
     // Emit roots in dependency order (recursive emit handles it).
     for &r in &roots {
-        emit(&g, r, &best, &patterns, &mut out, &mut node_net, &mut counter);
+        emit(r, &best, &patterns, &mut out, &mut node_net, &mut counter);
     }
     // Bind output ports (insert a buffer for input-passthrough outputs).
     let _ = is_boundary;
     for (name, n) in output_nodes {
         let net = match node_net.get(&n) {
             Some(&net) => net,
-            None => emit(&g, n, &best, &patterns, &mut out, &mut node_net, &mut counter),
+            None => emit(n, &best, &patterns, &mut out, &mut node_net, &mut counter),
         };
         out.add_port(name, PinDir::Out, net);
     }
@@ -549,11 +551,17 @@ mod tests {
         let c = nl.add_net("c");
         let ab = nl.add_net("ab");
         let y = nl.add_net("y");
-        let g1 = nl.add_component("g1", ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)));
+        let g1 = nl.add_component(
+            "g1",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::And, 2)),
+        );
         nl.connect_named(g1, "A0", a).unwrap();
         nl.connect_named(g1, "A1", b).unwrap();
         nl.connect_named(g1, "Y", ab).unwrap();
-        let g2 = nl.add_component("g2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Nor, 2)));
+        let g2 = nl.add_component(
+            "g2",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Nor, 2)),
+        );
         nl.connect_named(g2, "A0", ab).unwrap();
         nl.connect_named(g2, "A1", c).unwrap();
         nl.connect_named(g2, "Y", y).unwrap();
@@ -574,8 +582,7 @@ mod tests {
         for lib in [cmos_library(), ecl_library()] {
             let nl = aoi_tree();
             let mapped = dagon_map(&nl, &lib, Objective::Area).unwrap();
-            check_comb_equivalence(&nl, &mapped, 0)
-                .unwrap_or_else(|e| panic!("{}: {e}", lib.name));
+            check_comb_equivalence(&nl, &mapped, 0).unwrap_or_else(|e| panic!("{}: {e}", lib.name));
         }
     }
 
@@ -607,7 +614,12 @@ mod tests {
                 })
                 .sum()
         };
-        assert!(area(&dagon) <= area(&direct), "dagon {} vs direct {}", area(&dagon), area(&direct));
+        assert!(
+            area(&dagon) <= area(&direct),
+            "dagon {} vs direct {}",
+            area(&dagon),
+            area(&direct)
+        );
     }
 
     #[test]
@@ -616,7 +628,10 @@ mod tests {
         let a = nl.add_net("a");
         let b = nl.add_net("b");
         let y = nl.add_net("y");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Xor, 2)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Xor, 2)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         nl.connect_named(g, "A1", b).unwrap();
         nl.connect_named(g, "Y", y).unwrap();
@@ -630,7 +645,13 @@ mod tests {
     #[test]
     fn dagon_rejects_msi() {
         let mut nl = Netlist::new("m");
-        nl.add_component("u", ComponentKind::Generic(GenericMacro::Adder { bits: 4, cla: false }));
+        nl.add_component(
+            "u",
+            ComponentKind::Generic(GenericMacro::Adder {
+                bits: 4,
+                cla: false,
+            }),
+        );
         assert!(matches!(
             dagon_map(&nl, &cmos_library(), Objective::Area),
             Err(MapError::Unmapped(_))

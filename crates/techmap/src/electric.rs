@@ -17,15 +17,24 @@ use milo_netlist::{ComponentKind, Netlist};
 ///
 /// [`MapError::NoCell`] if the library has no standard buffer cell.
 pub fn enforce_fanout(nl: &mut Netlist, lib: &TechLibrary) -> Result<usize, MapError> {
-    let buf_cell = lib.buffer().ok_or_else(|| MapError::NoCell("BUF".to_owned()))?.clone();
+    let buf_cell = lib
+        .buffer()
+        .ok_or_else(|| MapError::NoCell("BUF".to_owned()))?
+        .clone();
     let mut inserted = 0usize;
     // Iterate until a fixed point: buffers themselves add new nets.
     loop {
         let mut violation = None;
         for net in nl.net_ids() {
-            let Some(driver) = nl.driver(net) else { continue };
-            let Ok(comp) = nl.component(driver.component) else { continue };
-            let ComponentKind::Tech(cell) = &comp.kind else { continue };
+            let Some(driver) = nl.driver(net) else {
+                continue;
+            };
+            let Ok(comp) = nl.component(driver.component) else {
+                continue;
+            };
+            let ComponentKind::Tech(cell) = &comp.kind else {
+                continue;
+            };
             let limit = cell.max_fanout as usize;
             if nl.fanout(net) > limit {
                 violation = Some((net, limit));
@@ -37,7 +46,10 @@ pub fn enforce_fanout(nl: &mut Netlist, lib: &TechLibrary) -> Result<usize, MapE
         // a buffer (which becomes the limit-th load).
         let loads = nl.loads(net);
         let moved: Vec<_> = loads.into_iter().skip(limit.saturating_sub(1)).collect();
-        let buf = nl.add_component(format!("fobuf{inserted}"), ComponentKind::Tech(buf_cell.clone()));
+        let buf = nl.add_component(
+            format!("fobuf{inserted}"),
+            ComponentKind::Tech(buf_cell.clone()),
+        );
         nl.connect_named(buf, "A0", net)?;
         let out = nl.add_net(format!("fobuf{inserted}_y"));
         nl.connect_named(buf, "Y", out)?;
@@ -63,7 +75,10 @@ mod tests {
         let mut nl = Netlist::new("fo");
         let a = nl.add_net("a");
         let mid = nl.add_net("mid");
-        let inv = nl.add_component("i", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let inv = nl.add_component(
+            "i",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(inv, "A0", a).unwrap();
         nl.connect_named(inv, "Y", mid).unwrap();
         nl.add_port("a", PinDir::In, a);
@@ -86,12 +101,16 @@ mod tests {
         let nl = high_fanout(25);
         let mut mapped = map_netlist(&nl, &lib).unwrap();
         let before = validate(&mapped, true);
-        assert!(before.iter().any(|v| matches!(v, Violation::FanoutExceeded { .. })));
+        assert!(before
+            .iter()
+            .any(|v| matches!(v, Violation::FanoutExceeded { .. })));
         let inserted = enforce_fanout(&mut mapped, &lib).unwrap();
         assert!(inserted >= 1);
         let after = validate(&mapped, true);
         assert!(
-            !after.iter().any(|v| matches!(v, Violation::FanoutExceeded { .. })),
+            !after
+                .iter()
+                .any(|v| matches!(v, Violation::FanoutExceeded { .. })),
             "still violated: {after:?}"
         );
         // Behaviour unchanged.

@@ -20,6 +20,7 @@ const GRADES: [(PowerLevel, &str, f64, f64); 3] = [
     (PowerLevel::High, "_H", 0.7, 1.6),
 ];
 
+#[allow(clippy::too_many_arguments)]
 fn push_graded(
     lib: &mut TechLibrary,
     family: &str,
@@ -123,28 +124,184 @@ fn add_storage_cells(lib: &mut TechLibrary, family: &str, area: f64, delay: f64,
 fn add_msi_cells(lib: &mut TechLibrary, family: &str) {
     let f = family;
     // Multiplexors.
-    lib.add(cell("MUX2TO1", f, CellFunction::Mux { selects: 1 }, 1.6, 0.9, 0.1, 0.9, 6, PowerLevel::Standard));
-    lib.add(cell("MUX4TO1", f, CellFunction::Mux { selects: 2 }, 2.8, 1.2, 0.1, 1.4, 6, PowerLevel::Standard));
+    lib.add(cell(
+        "MUX2TO1",
+        f,
+        CellFunction::Mux { selects: 1 },
+        1.6,
+        0.9,
+        0.1,
+        0.9,
+        6,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "MUX4TO1",
+        f,
+        CellFunction::Mux { selects: 2 },
+        2.8,
+        1.2,
+        0.1,
+        1.4,
+        6,
+        PowerLevel::Standard,
+    ));
     // Decoders.
-    lib.add(cell("DEC1TO2", f, CellFunction::Decoder { inputs: 1 }, 1.2, 0.8, 0.1, 0.8, 6, PowerLevel::Standard));
-    lib.add(cell("DEC2TO4", f, CellFunction::Decoder { inputs: 2 }, 2.4, 1.1, 0.1, 1.4, 6, PowerLevel::Standard));
+    lib.add(cell(
+        "DEC1TO2",
+        f,
+        CellFunction::Decoder { inputs: 1 },
+        1.2,
+        0.8,
+        0.1,
+        0.8,
+        6,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "DEC2TO4",
+        f,
+        CellFunction::Decoder { inputs: 2 },
+        2.4,
+        1.1,
+        0.1,
+        1.4,
+        6,
+        PowerLevel::Standard,
+    ));
     // Adders: the CLA variant trades area/power for speed — the swap the
     // microarchitecture critic makes in Fig. 16.
-    lib.add(cell("ADD1", f, CellFunction::Adder { bits: 1, cla: false }, 2.2, 1.3, 0.12, 1.2, 6, PowerLevel::Standard));
-    lib.add(cell("ADD4", f, CellFunction::Adder { bits: 4, cla: false }, 7.0, 3.4, 0.12, 3.6, 6, PowerLevel::Standard));
-    lib.add(cell("ADD4CLA", f, CellFunction::Adder { bits: 4, cla: true }, 10.5, 1.9, 0.12, 5.4, 6, PowerLevel::Standard));
+    lib.add(cell(
+        "ADD1",
+        f,
+        CellFunction::Adder {
+            bits: 1,
+            cla: false,
+        },
+        2.2,
+        1.3,
+        0.12,
+        1.2,
+        6,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "ADD4",
+        f,
+        CellFunction::Adder {
+            bits: 4,
+            cla: false,
+        },
+        7.0,
+        3.4,
+        0.12,
+        3.6,
+        6,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "ADD4CLA",
+        f,
+        CellFunction::Adder { bits: 4, cla: true },
+        10.5,
+        1.9,
+        0.12,
+        5.4,
+        6,
+        PowerLevel::Standard,
+    ));
     // Comparators.
-    lib.add(cell("CMP2", f, CellFunction::Comparator { bits: 2 }, 3.0, 1.5, 0.12, 1.6, 6, PowerLevel::Standard));
-    lib.add(cell("CMP4", f, CellFunction::Comparator { bits: 4 }, 5.2, 2.2, 0.12, 2.8, 6, PowerLevel::Standard));
+    lib.add(cell(
+        "CMP2",
+        f,
+        CellFunction::Comparator { bits: 2 },
+        3.0,
+        1.5,
+        0.12,
+        1.6,
+        6,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "CMP4",
+        f,
+        CellFunction::Comparator { bits: 4 },
+        5.2,
+        2.2,
+        0.12,
+        2.8,
+        6,
+        PowerLevel::Standard,
+    ));
     // Counters.
-    lib.add(cell("CTR2", f, CellFunction::Counter { bits: 2 }, 5.0, 1.6, 0.12, 2.6, 6, PowerLevel::Standard));
-    lib.add(cell("CTR4", f, CellFunction::Counter { bits: 4 }, 9.0, 2.0, 0.12, 4.6, 6, PowerLevel::Standard));
+    lib.add(cell(
+        "CTR2",
+        f,
+        CellFunction::Counter { bits: 2 },
+        5.0,
+        1.6,
+        0.12,
+        2.6,
+        6,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "CTR4",
+        f,
+        CellFunction::Counter { bits: 4 },
+        9.0,
+        2.0,
+        0.12,
+        4.6,
+        6,
+        PowerLevel::Standard,
+    ));
     // Merged mux+FF macros (Fig. 18's hierarchy optimization target).
-    lib.add(cell("MXFF2", f, CellFunction::MuxDff { selects: 1 }, 2.4, 1.4, 0.12, 1.6, 8, PowerLevel::Standard));
-    lib.add(cell("MXFF4", f, CellFunction::MuxDff { selects: 2 }, 3.6, 1.7, 0.12, 2.2, 8, PowerLevel::Standard));
+    lib.add(cell(
+        "MXFF2",
+        f,
+        CellFunction::MuxDff { selects: 1 },
+        2.4,
+        1.4,
+        0.12,
+        1.6,
+        8,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "MXFF4",
+        f,
+        CellFunction::MuxDff { selects: 2 },
+        3.6,
+        1.7,
+        0.12,
+        2.2,
+        8,
+        PowerLevel::Standard,
+    ));
     // Constants.
-    lib.add(cell("TIE1", f, CellFunction::Const(true), 0.1, 0.0, 0.0, 0.05, 32, PowerLevel::Standard));
-    lib.add(cell("TIE0", f, CellFunction::Const(false), 0.1, 0.0, 0.0, 0.05, 32, PowerLevel::Standard));
+    lib.add(cell(
+        "TIE1",
+        f,
+        CellFunction::Const(true),
+        0.1,
+        0.0,
+        0.0,
+        0.05,
+        32,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "TIE0",
+        f,
+        CellFunction::Const(false),
+        0.1,
+        0.0,
+        0.0,
+        0.05,
+        32,
+        PowerLevel::Standard,
+    ));
 }
 
 /// AOI21: Y = !((A0 & A1) | A2).
@@ -185,22 +342,136 @@ fn aoi22() -> TruthTable {
 /// per-pin delay skews. XNOR2 is deliberately absent: the mapper replaces
 /// it with XOR2 + INV, exercising the "set of components" path of §6.2.
 pub fn ecl_library() -> TechLibrary {
+    // The library is immutable and cell storage is Arc-shared, so build
+    // it once per process and hand out cheap clones.
+    static ECL: std::sync::OnceLock<TechLibrary> = std::sync::OnceLock::new();
+    ECL.get_or_init(build_ecl_library).clone()
+}
+
+fn build_ecl_library() -> TechLibrary {
     let mut lib = TechLibrary::new("ecl-ga");
     let f = "ecl-ga";
-    push_graded(&mut lib, f, "INV", CellFunction::Gate(GateFn::Inv, 1), 0.5, 0.30, 0.08, 0.4, 8, false);
-    push_graded(&mut lib, f, "BUF", CellFunction::Gate(GateFn::Buf, 1), 0.5, 0.30, 0.06, 0.4, 12, false);
+    push_graded(
+        &mut lib,
+        f,
+        "INV",
+        CellFunction::Gate(GateFn::Inv, 1),
+        0.5,
+        0.30,
+        0.08,
+        0.4,
+        8,
+        false,
+    );
+    push_graded(
+        &mut lib,
+        f,
+        "BUF",
+        CellFunction::Gate(GateFn::Buf, 1),
+        0.5,
+        0.30,
+        0.06,
+        0.4,
+        12,
+        false,
+    );
     for n in 2..=4u8 {
         let nf = f64::from(n);
-        push_graded(&mut lib, f, &format!("OR{n}"), CellFunction::Gate(GateFn::Or, n), 0.8 + 0.2 * nf, 0.45 + 0.05 * nf, 0.08, 0.5 + 0.1 * nf, 6, true);
-        push_graded(&mut lib, f, &format!("NOR{n}"), CellFunction::Gate(GateFn::Nor, n), 0.8 + 0.2 * nf, 0.40 + 0.05 * nf, 0.08, 0.5 + 0.1 * nf, 6, true);
-        push_graded(&mut lib, f, &format!("AND{n}"), CellFunction::Gate(GateFn::And, n), 1.0 + 0.25 * nf, 0.60 + 0.07 * nf, 0.09, 0.6 + 0.12 * nf, 6, true);
-        push_graded(&mut lib, f, &format!("NAND{n}"), CellFunction::Gate(GateFn::Nand, n), 1.0 + 0.25 * nf, 0.55 + 0.07 * nf, 0.09, 0.6 + 0.12 * nf, 6, true);
+        push_graded(
+            &mut lib,
+            f,
+            &format!("OR{n}"),
+            CellFunction::Gate(GateFn::Or, n),
+            0.8 + 0.2 * nf,
+            0.45 + 0.05 * nf,
+            0.08,
+            0.5 + 0.1 * nf,
+            6,
+            true,
+        );
+        push_graded(
+            &mut lib,
+            f,
+            &format!("NOR{n}"),
+            CellFunction::Gate(GateFn::Nor, n),
+            0.8 + 0.2 * nf,
+            0.40 + 0.05 * nf,
+            0.08,
+            0.5 + 0.1 * nf,
+            6,
+            true,
+        );
+        push_graded(
+            &mut lib,
+            f,
+            &format!("AND{n}"),
+            CellFunction::Gate(GateFn::And, n),
+            1.0 + 0.25 * nf,
+            0.60 + 0.07 * nf,
+            0.09,
+            0.6 + 0.12 * nf,
+            6,
+            true,
+        );
+        push_graded(
+            &mut lib,
+            f,
+            &format!("NAND{n}"),
+            CellFunction::Gate(GateFn::Nand, n),
+            1.0 + 0.25 * nf,
+            0.55 + 0.07 * nf,
+            0.09,
+            0.6 + 0.12 * nf,
+            6,
+            true,
+        );
     }
-    push_graded(&mut lib, f, "XOR2", CellFunction::Gate(GateFn::Xor, 2), 1.8, 1.0, 0.1, 1.0, 5, true);
+    push_graded(
+        &mut lib,
+        f,
+        "XOR2",
+        CellFunction::Gate(GateFn::Xor, 2),
+        1.8,
+        1.0,
+        0.1,
+        1.0,
+        5,
+        true,
+    );
     // No XNOR2 — exercised as XOR2 + INV.
-    lib.add(cell("AOI21", f, CellFunction::Table(aoi21()), 1.6, 0.75, 0.09, 0.9, 6, PowerLevel::Standard));
-    lib.add(cell("OAI21", f, CellFunction::Table(oai21()), 1.6, 0.70, 0.09, 0.9, 6, PowerLevel::Standard));
-    lib.add(cell("AOI22", f, CellFunction::Table(aoi22()), 2.0, 0.85, 0.09, 1.1, 6, PowerLevel::Standard));
+    lib.add(cell(
+        "AOI21",
+        f,
+        CellFunction::Table(aoi21()),
+        1.6,
+        0.75,
+        0.09,
+        0.9,
+        6,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "OAI21",
+        f,
+        CellFunction::Table(oai21()),
+        1.6,
+        0.70,
+        0.09,
+        0.9,
+        6,
+        PowerLevel::Standard,
+    ));
+    lib.add(cell(
+        "AOI22",
+        f,
+        CellFunction::Table(aoi22()),
+        2.0,
+        0.85,
+        0.09,
+        1.1,
+        6,
+        PowerLevel::Standard,
+    ));
     add_storage_cells(&mut lib, f, 2.0, 1.1, 1.2);
     add_msi_cells(&mut lib, f);
     lib
@@ -211,27 +482,142 @@ pub fn ecl_library() -> TechLibrary {
 /// NAND/NOR are native; there is a single power grade (strategy 2 does not
 /// apply to CMOS, per §4.1.2), and complex AOI cells are cheap.
 pub fn cmos_library() -> TechLibrary {
+    static CMOS: std::sync::OnceLock<TechLibrary> = std::sync::OnceLock::new();
+    CMOS.get_or_init(build_cmos_library).clone()
+}
+
+fn build_cmos_library() -> TechLibrary {
     let mut lib = TechLibrary::new("cmos-sc");
     let f = "cmos-sc";
     let std = PowerLevel::Standard;
-    lib.add(cell("INV", f, CellFunction::Gate(GateFn::Inv, 1), 0.5, 0.20, 0.10, 0.10, 10, std));
-    lib.add(cell("BUF", f, CellFunction::Gate(GateFn::Buf, 1), 0.7, 0.35, 0.07, 0.15, 16, std));
+    lib.add(cell(
+        "INV",
+        f,
+        CellFunction::Gate(GateFn::Inv, 1),
+        0.5,
+        0.20,
+        0.10,
+        0.10,
+        10,
+        std,
+    ));
+    lib.add(cell(
+        "BUF",
+        f,
+        CellFunction::Gate(GateFn::Buf, 1),
+        0.7,
+        0.35,
+        0.07,
+        0.15,
+        16,
+        std,
+    ));
     for n in 2..=4u8 {
         let nf = f64::from(n);
-        let mut nand = cell(&format!("NAND{n}"), f, CellFunction::Gate(GateFn::Nand, n), 0.7 + 0.2 * nf, 0.30 + 0.08 * nf, 0.1, 0.08 + 0.03 * nf, 8, std);
+        let mut nand = cell(
+            &format!("NAND{n}"),
+            f,
+            CellFunction::Gate(GateFn::Nand, n),
+            0.7 + 0.2 * nf,
+            0.30 + 0.08 * nf,
+            0.1,
+            0.08 + 0.03 * nf,
+            8,
+            std,
+        );
         nand.pin_delay = skewed_pin_delays(&nand.function.clone(), nand.delay);
         lib.add(nand);
-        let mut nor = cell(&format!("NOR{n}"), f, CellFunction::Gate(GateFn::Nor, n), 0.7 + 0.25 * nf, 0.35 + 0.10 * nf, 0.1, 0.08 + 0.03 * nf, 8, std);
+        let mut nor = cell(
+            &format!("NOR{n}"),
+            f,
+            CellFunction::Gate(GateFn::Nor, n),
+            0.7 + 0.25 * nf,
+            0.35 + 0.10 * nf,
+            0.1,
+            0.08 + 0.03 * nf,
+            8,
+            std,
+        );
         nor.pin_delay = skewed_pin_delays(&nor.function.clone(), nor.delay);
         lib.add(nor);
-        lib.add(cell(&format!("AND{n}"), f, CellFunction::Gate(GateFn::And, n), 0.9 + 0.25 * nf, 0.45 + 0.09 * nf, 0.1, 0.10 + 0.03 * nf, 8, std));
-        lib.add(cell(&format!("OR{n}"), f, CellFunction::Gate(GateFn::Or, n), 0.9 + 0.28 * nf, 0.50 + 0.10 * nf, 0.1, 0.10 + 0.03 * nf, 8, std));
+        lib.add(cell(
+            &format!("AND{n}"),
+            f,
+            CellFunction::Gate(GateFn::And, n),
+            0.9 + 0.25 * nf,
+            0.45 + 0.09 * nf,
+            0.1,
+            0.10 + 0.03 * nf,
+            8,
+            std,
+        ));
+        lib.add(cell(
+            &format!("OR{n}"),
+            f,
+            CellFunction::Gate(GateFn::Or, n),
+            0.9 + 0.28 * nf,
+            0.50 + 0.10 * nf,
+            0.1,
+            0.10 + 0.03 * nf,
+            8,
+            std,
+        ));
     }
-    lib.add(cell("XOR2", f, CellFunction::Gate(GateFn::Xor, 2), 1.6, 0.70, 0.1, 0.25, 6, std));
-    lib.add(cell("XNOR2", f, CellFunction::Gate(GateFn::Xnor, 2), 1.6, 0.70, 0.1, 0.25, 6, std));
-    lib.add(cell("AOI21", f, CellFunction::Table(aoi21()), 1.1, 0.45, 0.1, 0.15, 8, std));
-    lib.add(cell("OAI21", f, CellFunction::Table(oai21()), 1.1, 0.45, 0.1, 0.15, 8, std));
-    lib.add(cell("AOI22", f, CellFunction::Table(aoi22()), 1.4, 0.55, 0.1, 0.18, 8, std));
+    lib.add(cell(
+        "XOR2",
+        f,
+        CellFunction::Gate(GateFn::Xor, 2),
+        1.6,
+        0.70,
+        0.1,
+        0.25,
+        6,
+        std,
+    ));
+    lib.add(cell(
+        "XNOR2",
+        f,
+        CellFunction::Gate(GateFn::Xnor, 2),
+        1.6,
+        0.70,
+        0.1,
+        0.25,
+        6,
+        std,
+    ));
+    lib.add(cell(
+        "AOI21",
+        f,
+        CellFunction::Table(aoi21()),
+        1.1,
+        0.45,
+        0.1,
+        0.15,
+        8,
+        std,
+    ));
+    lib.add(cell(
+        "OAI21",
+        f,
+        CellFunction::Table(oai21()),
+        1.1,
+        0.45,
+        0.1,
+        0.15,
+        8,
+        std,
+    ));
+    lib.add(cell(
+        "AOI22",
+        f,
+        CellFunction::Table(aoi22()),
+        1.4,
+        0.55,
+        0.1,
+        0.18,
+        8,
+        std,
+    ));
     add_storage_cells(&mut lib, f, 1.8, 0.9, 0.4);
     add_msi_cells(&mut lib, f);
     lib
@@ -286,7 +672,9 @@ mod tests {
     #[test]
     fn storage_cells_complete() {
         for lib in [ecl_library(), cmos_library()] {
-            for name in ["DFF", "DFFS", "DFFR", "DFFE", "DFFSR", "DFFSRE", "LATCH", "LATCHSR"] {
+            for name in [
+                "DFF", "DFFS", "DFFR", "DFFE", "DFFSR", "DFFSRE", "LATCH", "LATCHSR",
+            ] {
                 assert!(lib.get(name).is_some(), "{} missing {name}", lib.name);
             }
         }

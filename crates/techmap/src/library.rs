@@ -3,9 +3,14 @@
 
 use milo_netlist::{CellFunction, GateFn, PowerLevel, TechCell};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A technology library (e.g. an ECL gate-array or CMOS standard-cell
 /// family).
+///
+/// Cell storage is shared copy-on-write ([`Arc`]): cloning a library —
+/// which the critics and strategies do freely — is a reference-count
+/// bump, and [`TechLibrary::add`] transparently unshares when needed.
 ///
 /// # Examples
 ///
@@ -20,6 +25,11 @@ use std::collections::HashMap;
 pub struct TechLibrary {
     /// Library family name.
     pub name: String,
+    inner: Arc<LibraryInner>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct LibraryInner {
     cells: Vec<TechCell>,
     index: HashMap<String, usize>,
 }
@@ -27,48 +37,58 @@ pub struct TechLibrary {
 impl TechLibrary {
     /// Creates an empty library.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), cells: Vec::new(), index: HashMap::new() }
+        Self {
+            name: name.into(),
+            inner: Arc::new(LibraryInner::default()),
+        }
     }
 
     /// Adds a cell. Replaces any cell with the same name.
     pub fn add(&mut self, cell: TechCell) {
-        match self.index.get(&cell.name) {
-            Some(&i) => self.cells[i] = cell,
+        let inner = Arc::make_mut(&mut self.inner);
+        match inner.index.get(&cell.name) {
+            Some(&i) => inner.cells[i] = cell,
             None => {
-                self.index.insert(cell.name.clone(), self.cells.len());
-                self.cells.push(cell);
+                inner.index.insert(cell.name.clone(), inner.cells.len());
+                inner.cells.push(cell);
             }
         }
     }
 
     /// Looks a cell up by name.
     pub fn get(&self, name: &str) -> Option<&TechCell> {
-        self.index.get(name).map(|&i| &self.cells[i])
+        self.inner.index.get(name).map(|&i| &self.inner.cells[i])
     }
 
     /// All cells.
     pub fn cells(&self) -> &[TechCell] {
-        &self.cells
+        &self.inner.cells
     }
 
     /// Number of cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.inner.cells.len()
     }
 
     /// Whether the library is empty.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.inner.cells.is_empty()
     }
 
     /// Cells computing exactly `function`, any power level.
     pub fn cells_with_function(&self, function: &CellFunction) -> Vec<&TechCell> {
-        self.cells.iter().filter(|c| &c.function == function).collect()
+        self.inner
+            .cells
+            .iter()
+            .filter(|c| &c.function == function)
+            .collect()
     }
 
     /// The cell computing `function` at the given power level, if any.
     pub fn cell_at_level(&self, function: &CellFunction, level: PowerLevel) -> Option<&TechCell> {
-        self.cells_with_function(function).into_iter().find(|c| c.level == level)
+        self.cells_with_function(function)
+            .into_iter()
+            .find(|c| c.level == level)
     }
 
     /// Power-level alternatives of the same function as `cell`
@@ -99,7 +119,7 @@ impl TechLibrary {
 
     /// Simple gate cells (used by DAGON pattern generation).
     pub fn gate_cells(&self) -> impl Iterator<Item = &TechCell> {
-        self.cells.iter().filter(|c| {
+        self.inner.cells.iter().filter(|c| {
             matches!(c.function, CellFunction::Gate(..)) && c.level == PowerLevel::Standard
         })
     }
@@ -144,10 +164,50 @@ mod tests {
 
     fn lib() -> TechLibrary {
         let mut l = TechLibrary::new("t");
-        l.add(cell("NOR2_L", "t", CellFunction::Gate(GateFn::Nor, 2), 1.0, 0.9, 0.1, 0.3, 4, PowerLevel::Low));
-        l.add(cell("NOR2", "t", CellFunction::Gate(GateFn::Nor, 2), 1.0, 0.6, 0.1, 0.65, 6, PowerLevel::Standard));
-        l.add(cell("NOR2_H", "t", CellFunction::Gate(GateFn::Nor, 2), 1.0, 0.4, 0.08, 1.1, 8, PowerLevel::High));
-        l.add(cell("BUF", "t", CellFunction::Gate(GateFn::Buf, 1), 0.5, 0.3, 0.1, 0.3, 10, PowerLevel::Standard));
+        l.add(cell(
+            "NOR2_L",
+            "t",
+            CellFunction::Gate(GateFn::Nor, 2),
+            1.0,
+            0.9,
+            0.1,
+            0.3,
+            4,
+            PowerLevel::Low,
+        ));
+        l.add(cell(
+            "NOR2",
+            "t",
+            CellFunction::Gate(GateFn::Nor, 2),
+            1.0,
+            0.6,
+            0.1,
+            0.65,
+            6,
+            PowerLevel::Standard,
+        ));
+        l.add(cell(
+            "NOR2_H",
+            "t",
+            CellFunction::Gate(GateFn::Nor, 2),
+            1.0,
+            0.4,
+            0.08,
+            1.1,
+            8,
+            PowerLevel::High,
+        ));
+        l.add(cell(
+            "BUF",
+            "t",
+            CellFunction::Gate(GateFn::Buf, 1),
+            0.5,
+            0.3,
+            0.1,
+            0.3,
+            10,
+            PowerLevel::Standard,
+        ));
         l
     }
 
@@ -179,7 +239,17 @@ mod tests {
     fn add_replaces_same_name() {
         let mut l = lib();
         let n = l.len();
-        l.add(cell("BUF", "t", CellFunction::Gate(GateFn::Buf, 1), 0.4, 0.2, 0.1, 0.2, 12, PowerLevel::Standard));
+        l.add(cell(
+            "BUF",
+            "t",
+            CellFunction::Gate(GateFn::Buf, 1),
+            0.4,
+            0.2,
+            0.1,
+            0.2,
+            12,
+            PowerLevel::Standard,
+        ));
         assert_eq!(l.len(), n);
         assert!((l.get("BUF").unwrap().area - 0.4).abs() < 1e-12);
     }

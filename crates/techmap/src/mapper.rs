@@ -134,7 +134,11 @@ fn map_generic(
                 .filter(|p| p.dir == milo_netlist::PinDir::In)
                 .map(|p| p.net)
                 .collect();
-            let y_net = comp.pins.iter().find(|p| p.dir == milo_netlist::PinDir::Out).and_then(|p| p.net);
+            let y_net = comp
+                .pins
+                .iter()
+                .find(|p| p.dir == milo_netlist::PinDir::Out)
+                .and_then(|p| p.net);
             out.remove_component(id)?;
             let b = out.add_component(format!("{name}_base"), ComponentKind::Tech(base.clone()));
             for (i, net) in input_nets.iter().enumerate() {
@@ -219,7 +223,10 @@ mod tests {
         let a = nl.add_net("a");
         let b = nl.add_net("b");
         let y = nl.add_net("y");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Xnor, 2)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Xnor, 2)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         nl.connect_named(g, "A1", b).unwrap();
         nl.connect_named(g, "Y", y).unwrap();
@@ -259,7 +266,10 @@ mod tests {
         let a = nl2.add_net("a");
         let b = nl2.add_net("b");
         let y = nl2.add_net("y");
-        let g = nl2.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Nand, 2)));
+        let g = nl2.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Nand, 2)),
+        );
         nl2.connect_named(g, "A0", a).unwrap();
         nl2.connect_named(g, "A1", b).unwrap();
         nl2.connect_named(g, "Y", y).unwrap();
@@ -268,7 +278,11 @@ mod tests {
         nl2.add_port("y", PinDir::Out, y);
         let cmos2 = map_netlist(&nl2, &cmos_library()).unwrap();
         let ecl2 = map_netlist(&cmos2, &ecl_library()).unwrap();
-        let ComponentKind::Tech(cell) = &ecl2.component(ecl2.component_ids().next().unwrap()).unwrap().kind else {
+        let ComponentKind::Tech(cell) = &ecl2
+            .component(ecl2.component_ids().next().unwrap())
+            .unwrap()
+            .kind
+        else {
             panic!("expected tech cell");
         };
         assert_eq!(cell.family, "ecl-ga");
@@ -284,7 +298,10 @@ mod tests {
                 inputs: 6,
             }),
         );
-        assert!(matches!(map_netlist(&nl, &ecl_library()), Err(MapError::Unmapped(_))));
+        assert!(matches!(
+            map_netlist(&nl, &ecl_library()),
+            Err(MapError::Unmapped(_))
+        ));
     }
 
     #[test]
@@ -292,7 +309,10 @@ mod tests {
         let mut nl = Netlist::new("x4");
         let nets: Vec<_> = (0..4).map(|i| nl.add_net(format!("a{i}"))).collect();
         let y = nl.add_net("y");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Xor, 4)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Xor, 4)),
+        );
         for (i, n) in nets.iter().enumerate() {
             nl.connect_named(g, &format!("A{i}"), *n).unwrap();
         }
@@ -310,7 +330,10 @@ mod tests {
         let mut nl2 = Netlist::new("xn3");
         let nets: Vec<_> = (0..3).map(|i| nl2.add_net(format!("a{i}"))).collect();
         let y = nl2.add_net("y");
-        let g = nl2.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Xnor, 3)));
+        let g = nl2.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Xnor, 3)),
+        );
         for (i, n) in nets.iter().enumerate() {
             nl2.connect_named(g, &format!("A{i}"), *n).unwrap();
         }

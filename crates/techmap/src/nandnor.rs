@@ -43,13 +43,11 @@ pub fn to_universal(nl: &Netlist, family: UniversalGate) -> Result<Netlist, MapE
     Ok(out)
 }
 
-fn add_gate(
-    out: &mut Netlist,
-    f: GateFn,
-    inputs: &[NetId],
-    name: &str,
-) -> Result<NetId, MapError> {
-    let g = out.add_component(name, ComponentKind::Generic(GenericMacro::Gate(f, inputs.len() as u8)));
+fn add_gate(out: &mut Netlist, f: GateFn, inputs: &[NetId], name: &str) -> Result<NetId, MapError> {
+    let g = out.add_component(
+        name,
+        ComponentKind::Generic(GenericMacro::Gate(f, inputs.len() as u8)),
+    );
     for (i, net) in inputs.iter().enumerate() {
         out.connect_named(g, &format!("A{i}"), *net)?;
     }
@@ -65,7 +63,10 @@ fn add_gate_to(
     y: NetId,
     name: &str,
 ) -> Result<(), MapError> {
-    let g = out.add_component(name, ComponentKind::Generic(GenericMacro::Gate(f, inputs.len() as u8)));
+    let g = out.add_component(
+        name,
+        ComponentKind::Generic(GenericMacro::Gate(f, inputs.len() as u8)),
+    );
     for (i, net) in inputs.iter().enumerate() {
         out.connect_named(g, &format!("A{i}"), *net)?;
     }
@@ -154,7 +155,6 @@ fn convert_gate(
                 mk_inv_to(out, acc, y, &format!("{name}_i"))?;
             }
         }
-        _ => unreachable!("all gate functions covered"),
     }
     Ok(())
 }
@@ -219,7 +219,9 @@ fn xor2_universal(
 pub fn simplify_inverters(nl: &mut Netlist) -> usize {
     fn is_universal_inv(nl: &Netlist, id: ComponentId) -> Option<(NetId, NetId)> {
         let comp = nl.component(id).ok()?;
-        let ComponentKind::Generic(GenericMacro::Gate(f, 2)) = comp.kind else { return None };
+        let ComponentKind::Generic(GenericMacro::Gate(f, 2)) = comp.kind else {
+            return None;
+        };
         if !matches!(f, GateFn::Nand | GateFn::Nor) {
             return None;
         }
@@ -232,33 +234,45 @@ pub fn simplify_inverters(nl: &mut Netlist) -> usize {
         if ins.len() != 2 || ins[0] != ins[1] {
             return None;
         }
-        let y = comp.pins.iter().find(|p| p.dir == PinDir::Out).and_then(|p| p.net)?;
+        let y = comp
+            .pins
+            .iter()
+            .find(|p| p.dir == PinDir::Out)
+            .and_then(|p| p.net)?;
         Some((ins[0], y))
     }
     let mut removed = 0usize;
     loop {
         let mut victim = None;
         for id in nl.component_ids() {
-            let Some((input, mid)) = is_universal_inv(nl, id) else { continue };
+            let Some((input, mid)) = is_universal_inv(nl, id) else {
+                continue;
+            };
             if nl.ports().iter().any(|p| p.net == mid) {
                 continue;
             }
             // All loads of the middle net must be the tied inputs of one
             // follower (a tied-input inverter loads its net twice).
             let loads = nl.loads(mid);
-            let Some(first) = loads.first().copied() else { continue };
+            let Some(first) = loads.first().copied() else {
+                continue;
+            };
             if loads.iter().any(|p| p.component != first.component) {
                 continue;
             }
             let load = first;
-            let Some((_, out)) = is_universal_inv(nl, load.component) else { continue };
+            let Some((_, out)) = is_universal_inv(nl, load.component) else {
+                continue;
+            };
             if nl.ports().iter().any(|p| p.net == out) {
                 continue;
             }
             victim = Some((id, load.component, input, out));
             break;
         }
-        let Some((first, second, input, out)) = victim else { break };
+        let Some((first, second, input, out)) = victim else {
+            break;
+        };
         nl.remove_component(first).expect("live");
         nl.remove_component(second).expect("live");
         let loads = nl.loads(out);
@@ -274,8 +288,8 @@ pub fn simplify_inverters(nl: &mut Netlist) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use milo_compilers::verify::check_comb_equivalence;
     use milo_circuits_free::gate_soup;
+    use milo_compilers::verify::check_comb_equivalence;
 
     /// Local builder (avoids a circular dev-dependency on milo-circuits).
     mod milo_circuits_free {
@@ -358,11 +372,17 @@ mod tests {
         let mut nl = Netlist::new("chain");
         let a = nl.add_net("a");
         nl.add_port("a", PinDir::In, a);
-        let b = nl.add_component("b", ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)));
+        let b = nl.add_component(
+            "b",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+        );
         nl.connect_named(b, "A0", a).unwrap();
         let m = nl.add_net("m");
         nl.connect_named(b, "Y", m).unwrap();
-        let i = nl.add_component("i", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let i = nl.add_component(
+            "i",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(i, "A0", m).unwrap();
         let y = nl.add_net("y");
         nl.connect_named(i, "Y", y).unwrap();

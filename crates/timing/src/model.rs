@@ -33,9 +33,17 @@ pub fn estimate_generic(m: &GenericMacro) -> Estimate {
                 GateFn::Or | GateFn::Nor => (0.45 + 0.07 * nf, 0.9 + 0.22 * nf, 0.5 + 0.1 * nf),
                 GateFn::Xor | GateFn::Xnor => (0.9 + 0.1 * nf, 1.6 + 0.2 * nf, 0.9),
             };
-            Estimate { delay: d, area: a, power: p }
+            Estimate {
+                delay: d,
+                area: a,
+                power: p,
+            }
         }
-        GenericMacro::Vdd | GenericMacro::Vss => Estimate { delay: 0.0, area: 0.1, power: 0.05 },
+        GenericMacro::Vdd | GenericMacro::Vss => Estimate {
+            delay: 0.0,
+            area: 0.1,
+            power: 0.05,
+        },
         GenericMacro::Mux { selects } => Estimate {
             delay: 0.7 + 0.3 * f64::from(selects),
             area: 1.0 + 0.8 * f64::from(1u8 << selects),
@@ -49,26 +57,50 @@ pub fn estimate_generic(m: &GenericMacro) -> Estimate {
         GenericMacro::Adder { bits, cla } => {
             let bf = f64::from(bits);
             if cla {
-                Estimate { delay: 1.1 + 0.2 * bf, area: 2.2 * bf + 2.0, power: 1.3 * bf }
+                Estimate {
+                    delay: 1.1 + 0.2 * bf,
+                    area: 2.2 * bf + 2.0,
+                    power: 1.3 * bf,
+                }
             } else {
-                Estimate { delay: 0.7 * bf + 0.6, area: 1.7 * bf, power: 0.9 * bf }
+                Estimate {
+                    delay: 0.7 * bf + 0.6,
+                    area: 1.7 * bf,
+                    power: 0.9 * bf,
+                }
             }
         }
         GenericMacro::Comparator { bits } => {
             let bf = f64::from(bits);
-            Estimate { delay: 0.8 + 0.35 * bf, area: 1.3 * bf + 0.5, power: 0.7 * bf }
+            Estimate {
+                delay: 0.8 + 0.35 * bf,
+                area: 1.3 * bf + 0.5,
+                power: 0.7 * bf,
+            }
         }
         GenericMacro::Counter { bits } => {
             let bf = f64::from(bits);
-            Estimate { delay: 1.2 + 0.2 * bf, area: 2.3 * bf, power: 1.2 * bf }
+            Estimate {
+                delay: 1.2 + 0.2 * bf,
+                area: 2.3 * bf,
+                power: 1.2 * bf,
+            }
         }
         GenericMacro::Dff { set, reset, enable } => {
             let extra = f64::from(u8::from(set) + u8::from(reset) + u8::from(enable));
-            Estimate { delay: 1.0, area: 2.0 + 0.2 * extra, power: 1.1 + 0.1 * extra }
+            Estimate {
+                delay: 1.0,
+                area: 2.0 + 0.2 * extra,
+                power: 1.1 + 0.1 * extra,
+            }
         }
         GenericMacro::Latch { set, reset } => {
             let extra = f64::from(u8::from(set) + u8::from(reset));
-            Estimate { delay: 0.8, area: 1.4 + 0.2 * extra, power: 0.9 + 0.1 * extra }
+            Estimate {
+                delay: 0.8,
+                area: 1.4 + 0.2 * extra,
+                power: 0.9 + 0.1 * extra,
+            }
         }
     }
 }
@@ -89,7 +121,11 @@ pub fn estimate_micro(m: &MicroComponent) -> Estimate {
                 power: base.power * (f64::from(inputs) / 3.0).max(1.0),
             }
         }
-        MicroComponent::Multiplexor { bits, inputs, enable } => {
+        MicroComponent::Multiplexor {
+            bits,
+            inputs,
+            enable,
+        } => {
             let selects = inputs.trailing_zeros() as f64;
             let bf = f64::from(bits);
             Estimate {
@@ -100,14 +136,22 @@ pub fn estimate_micro(m: &MicroComponent) -> Estimate {
         }
         MicroComponent::Decoder { bits, enable } => Estimate {
             delay: 0.6 + 0.35 * f64::from(bits) + if enable { 0.5 } else { 0.0 },
-            area: 0.7 * f64::from(1u16 << bits) as f64 + 0.5,
+            area: 0.7 * f64::from(1u16 << bits) + 0.5,
             power: 0.5 + 0.4 * f64::from(bits),
         },
         MicroComponent::Comparator { bits, .. } => {
             let bf = f64::from(bits);
-            Estimate { delay: 0.9 + 0.4 * bf / 2.0, area: 1.4 * bf, power: 0.8 * bf }
+            Estimate {
+                delay: 0.9 + 0.4 * bf / 2.0,
+                area: 1.4 * bf,
+                power: 0.8 * bf,
+            }
         }
-        MicroComponent::LogicUnit { function, inputs, bits } => {
+        MicroComponent::LogicUnit {
+            function,
+            inputs,
+            bits,
+        } => {
             let slice = estimate_micro(&MicroComponent::Gate { function, inputs });
             Estimate {
                 delay: slice.delay,
@@ -119,20 +163,32 @@ pub fn estimate_micro(m: &MicroComponent) -> Estimate {
             let bf = f64::from(bits);
             let groups = (bf / 4.0).ceil();
             let base = match mode {
-                CarryMode::Ripple => Estimate { delay: 0.85 * bf + 0.6, area: 1.8 * bf, power: 0.9 * bf },
-                CarryMode::CarryLookahead => {
-                    Estimate { delay: 0.6 * groups + 1.3, area: 2.6 * bf, power: 1.35 * bf }
-                }
+                CarryMode::Ripple => Estimate {
+                    delay: 0.85 * bf + 0.6,
+                    area: 1.8 * bf,
+                    power: 0.9 * bf,
+                },
+                CarryMode::CarryLookahead => Estimate {
+                    delay: 0.6 * groups + 1.3,
+                    area: 2.6 * bf,
+                    power: 1.35 * bf,
+                },
             };
             let op_count = ops.ops().len() as f64;
-            let cond = if ops == ArithOps::ADD { 0.0 } else { 0.4 + 0.2 * op_count };
+            let cond = if ops == ArithOps::ADD {
+                0.0
+            } else {
+                0.4 + 0.2 * op_count
+            };
             Estimate {
                 delay: base.delay + if op_count > 1.0 { 0.6 } else { cond.min(0.3) },
                 area: base.area + cond * bf,
                 power: base.power + 0.3 * cond * bf,
             }
         }
-        MicroComponent::Register { bits, funcs, ctrl, .. } => {
+        MicroComponent::Register {
+            bits, funcs, ctrl, ..
+        } => {
             let bf = f64::from(bits);
             let sources = f64::from(funcs.source_count());
             let ctrl_extra =
@@ -162,7 +218,11 @@ pub fn estimate_kind(kind: &ComponentKind) -> Estimate {
     match kind {
         ComponentKind::Generic(m) => estimate_generic(m),
         ComponentKind::Micro(m) => estimate_micro(m),
-        ComponentKind::Tech(c) => Estimate { delay: c.delay, area: c.area, power: c.power },
+        ComponentKind::Tech(c) => Estimate {
+            delay: c.delay,
+            area: c.area,
+            power: c.power,
+        },
         // Instances must be flattened before analysis; give a neutral
         // placeholder so statistics do not panic mid-flow.
         ComponentKind::Instance { .. } => Estimate::default(),
@@ -216,8 +276,14 @@ mod tests {
 
     #[test]
     fn wider_gates_slower() {
-        let g2 = estimate_micro(&MicroComponent::Gate { function: GateFn::Or, inputs: 4 });
-        let g16 = estimate_micro(&MicroComponent::Gate { function: GateFn::Or, inputs: 16 });
+        let g2 = estimate_micro(&MicroComponent::Gate {
+            function: GateFn::Or,
+            inputs: 4,
+        });
+        let g16 = estimate_micro(&MicroComponent::Gate {
+            function: GateFn::Or,
+            inputs: 16,
+        });
         assert!(g16.delay > g2.delay);
     }
 

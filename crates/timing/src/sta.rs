@@ -1,8 +1,19 @@
 //! Static timing analysis: arrival times, critical paths, slacks and the
 //! point-of-optimization selection criteria of §4.
+//!
+//! Two entry points share one propagation core:
+//!
+//! * [`analyze`] — from-scratch analysis over dense id-indexed vectors
+//!   (fanout counts and net drivers are computed in one pass; no hash
+//!   maps on the hot path);
+//! * [`IncrementalSta`] — keeps the last analysis alive and, given the
+//!   [`milo_netlist::TouchSet`] of a rewrite, re-propagates only the
+//!   fan-out cone of the touched components/nets. The rules engine's
+//!   accept/undo loop refreshes it after every transaction instead of
+//!   re-analyzing the whole netlist.
 
 use crate::model::{input_pin_delay, load_delay};
-use milo_netlist::{ComponentId, NetId, Netlist, NetlistError, PinDir, PinRef};
+use milo_netlist::{ComponentId, NetId, Netlist, NetlistError, PinDir, PinRef, TouchSet};
 use std::collections::HashMap;
 
 /// A timing endpoint: where a path terminates.
@@ -14,13 +25,115 @@ pub enum Endpoint {
     SeqInput(PinRef),
 }
 
-/// Result of a timing run.
+/// Result of a timing run. Arrival and predecessor tables are dense
+/// vectors indexed by [`NetId::index`].
 #[derive(Clone, Debug)]
 pub struct Sta {
-    arrival: HashMap<NetId, f64>,
+    arrival: Vec<Option<f64>>,
     /// The driving pin whose input determined each net's arrival.
-    pred: HashMap<NetId, PinRef>,
+    pred: Vec<Option<PinRef>>,
     endpoints: Vec<(Endpoint, f64, NetId)>,
+}
+
+/// Per-net fanout counts in one pass over components and ports — the
+/// per-net `Netlist::fanout` scan is O(ports) each, which dominated the
+/// old analysis at scale.
+fn fanout_counts(nl: &Netlist) -> Vec<u32> {
+    let mut fanout = vec![0u32; nl.net_slot_count()];
+    for id in nl.component_ids() {
+        let comp = nl.component(id).expect("live id");
+        for pin in &comp.pins {
+            if pin.dir == PinDir::In {
+                if let Some(net) = pin.net {
+                    fanout[net.index()] += 1;
+                }
+            }
+        }
+    }
+    for p in nl.ports() {
+        if p.dir == PinDir::Out {
+            fanout[p.net.index()] += 1;
+        }
+    }
+    fanout
+}
+
+/// Recomputes one combinational component: reads input arrivals, writes
+/// output-net arrivals and predecessors. Mirrors the classic loop exactly
+/// (worst input + per-pin delay, plus fanout-scaled load delay per
+/// output).
+fn propagate_component(
+    nl: &Netlist,
+    id: ComponentId,
+    arrival: &mut [Option<f64>],
+    pred: &mut [Option<PinRef>],
+    fanout: &[u32],
+) {
+    let Ok(comp) = nl.component(id) else { return };
+    let mut worst: Option<(f64, PinRef)> = None;
+    let mut input_index = 0usize;
+    for (pin_idx, pin) in comp.pins.iter().enumerate() {
+        if pin.dir != PinDir::In {
+            continue;
+        }
+        let a = pin.net.and_then(|n| arrival[n.index()]).unwrap_or(0.0)
+            + input_pin_delay(&comp.kind, input_index);
+        input_index += 1;
+        if worst.is_none_or(|(w, _)| a > w) {
+            worst = Some((a, PinRef::new(id, pin_idx as u16)));
+        }
+    }
+    let (base, through) = worst.unwrap_or((
+        0.0,
+        PinRef::new(id, 0), // source-like component (constants)
+    ));
+    let ld = load_delay(&comp.kind);
+    for pin in &comp.pins {
+        if pin.dir != PinDir::Out {
+            continue;
+        }
+        if let Some(net) = pin.net {
+            let a = base + ld * f64::from(fanout[net.index()]);
+            // Max-accumulate: a net driven by several sources (or seeded
+            // at 0 by an input port) keeps the latest arrival. The
+            // incremental path clears cone nets before re-propagating,
+            // so decreases still take effect there.
+            if arrival[net.index()].is_none_or(|cur| a > cur) {
+                arrival[net.index()] = Some(a);
+                pred[net.index()] = Some(through);
+            }
+        }
+    }
+}
+
+/// Builds the endpoint list (output ports + sequential inputs) and their
+/// arrivals.
+fn collect_endpoints(
+    nl: &Netlist,
+    arrival: &[Option<f64>],
+) -> Result<Vec<(Endpoint, f64, NetId)>, NetlistError> {
+    let mut endpoints = Vec::new();
+    for p in nl.ports() {
+        if p.dir == PinDir::Out {
+            let a = arrival[p.net.index()].unwrap_or(0.0);
+            endpoints.push((Endpoint::Port(p.name.clone()), a, p.net));
+        }
+    }
+    for id in nl.component_ids() {
+        let comp = nl.component(id)?;
+        if !comp.kind.is_sequential() {
+            continue;
+        }
+        for (pin_idx, pin) in comp.pins.iter().enumerate() {
+            if pin.dir == PinDir::In {
+                if let Some(net) = pin.net {
+                    let a = arrival[net.index()].unwrap_or(0.0);
+                    endpoints.push((Endpoint::SeqInput(PinRef::new(id, pin_idx as u16)), a, net));
+                }
+            }
+        }
+    }
+    Ok(endpoints)
 }
 
 /// Runs static timing analysis.
@@ -34,11 +147,13 @@ pub struct Sta {
 ///
 /// Propagates topological-order failures (combinational cycles).
 pub fn analyze(nl: &Netlist) -> Result<Sta, NetlistError> {
-    let mut arrival: HashMap<NetId, f64> = HashMap::new();
-    let mut pred: HashMap<NetId, PinRef> = HashMap::new();
+    let net_cap = nl.net_slot_count();
+    let mut arrival: Vec<Option<f64>> = vec![None; net_cap];
+    let mut pred: Vec<Option<PinRef>> = vec![None; net_cap];
+    let fanout = fanout_counts(nl);
     for p in nl.ports() {
         if p.dir == PinDir::In {
-            arrival.insert(p.net, 0.0);
+            arrival[p.net.index()] = Some(0.0);
         }
     }
     let order = nl.topo_order()?;
@@ -48,8 +163,8 @@ pub fn analyze(nl: &Netlist) -> Result<Sta, NetlistError> {
             for (pin_idx, pin) in comp.pins.iter().enumerate() {
                 if pin.dir == PinDir::Out {
                     if let Some(net) = pin.net {
-                        arrival.insert(net, 0.0);
-                        pred.insert(net, PinRef::new(*id, pin_idx as u16));
+                        arrival[net.index()] = Some(0.0);
+                        pred[net.index()] = Some(PinRef::new(*id, pin_idx as u16));
                     }
                 }
             }
@@ -60,71 +175,24 @@ pub fn analyze(nl: &Netlist) -> Result<Sta, NetlistError> {
         if comp.kind.is_sequential() {
             continue;
         }
-        // Worst input arrival + per-pin delay.
-        let mut worst: Option<(f64, PinRef)> = None;
-        let mut input_index = 0usize;
-        for (pin_idx, pin) in comp.pins.iter().enumerate() {
-            if pin.dir != PinDir::In {
-                continue;
-            }
-            let a = pin
-                .net
-                .and_then(|n| arrival.get(&n).copied())
-                .unwrap_or(0.0)
-                + input_pin_delay(&comp.kind, input_index);
-            input_index += 1;
-            if worst.map_or(true, |(w, _)| a > w) {
-                worst = Some((a, PinRef::new(*id, pin_idx as u16)));
-            }
-        }
-        let (base, through) = worst.unwrap_or((
-            0.0,
-            PinRef::new(*id, 0), // source-like component (constants)
-        ));
-        for (pin_idx, pin) in comp.pins.iter().enumerate() {
-            if pin.dir != PinDir::Out {
-                continue;
-            }
-            if let Some(net) = pin.net {
-                let a = base + load_delay(&comp.kind) * nl.fanout(net) as f64;
-                let entry = arrival.entry(net).or_insert(f64::MIN);
-                if a > *entry {
-                    *entry = a;
-                    let _ = pin_idx;
-                    pred.insert(net, through);
-                }
-            }
-        }
+        propagate_component(nl, *id, &mut arrival, &mut pred, &fanout);
     }
-    // Endpoints.
-    let mut endpoints = Vec::new();
-    for p in nl.ports() {
-        if p.dir == PinDir::Out {
-            let a = arrival.get(&p.net).copied().unwrap_or(0.0);
-            endpoints.push((Endpoint::Port(p.name.clone()), a, p.net));
-        }
-    }
-    for id in nl.component_ids() {
-        let comp = nl.component(id)?;
-        if !comp.kind.is_sequential() {
-            continue;
-        }
-        for (pin_idx, pin) in comp.pins.iter().enumerate() {
-            if pin.dir == PinDir::In {
-                if let Some(net) = pin.net {
-                    let a = arrival.get(&net).copied().unwrap_or(0.0);
-                    endpoints.push((Endpoint::SeqInput(PinRef::new(id, pin_idx as u16)), a, net));
-                }
-            }
-        }
-    }
-    Ok(Sta { arrival, pred, endpoints })
+    let endpoints = collect_endpoints(nl, &arrival)?;
+    Ok(Sta {
+        arrival,
+        pred,
+        endpoints,
+    })
 }
 
 impl Sta {
     /// Arrival time at a net (0 if unknown).
     pub fn arrival(&self, net: NetId) -> f64 {
-        self.arrival.get(&net).copied().unwrap_or(0.0)
+        self.arrival
+            .get(net.index())
+            .copied()
+            .flatten()
+            .unwrap_or(0.0)
     }
 
     /// All endpoints with their arrival times.
@@ -151,12 +219,14 @@ impl Sta {
         let mut out = Vec::new();
         let mut net = end_net;
         let mut guard = 0usize;
-        while let Some(pin) = self.pred.get(&net) {
+        while let Some(pin) = self.pred.get(net.index()).copied().flatten().as_ref() {
             guard += 1;
             if guard > nl.component_count() + 2 {
                 break;
             }
-            let Ok(comp) = nl.component(pin.component) else { break };
+            let Ok(comp) = nl.component(pin.component) else {
+                break;
+            };
             out.push(pin.component);
             if comp.kind.is_sequential() {
                 break; // reached a launch point
@@ -197,9 +267,13 @@ impl Sta {
             }
         }
         // Backward propagation over the reversed topological order.
-        let Ok(order) = nl.topo_order() else { return required };
+        let Ok(order) = nl.topo_order() else {
+            return required;
+        };
         for id in order.iter().rev() {
-            let Ok(comp) = nl.component(*id) else { continue };
+            let Ok(comp) = nl.component(*id) else {
+                continue;
+            };
             if comp.kind.is_sequential() {
                 continue;
             }
@@ -208,8 +282,7 @@ impl Sta {
             for pin in &comp.pins {
                 if pin.dir == PinDir::Out {
                     if let Some(net) = pin.net {
-                        out_req = out_req
-                            .min(required.get(&net).copied().unwrap_or(f64::INFINITY));
+                        out_req = out_req.min(required.get(&net).copied().unwrap_or(f64::INFINITY));
                     }
                 }
             }
@@ -240,14 +313,335 @@ impl Sta {
     }
 }
 
+/// Incrementally maintained timing analysis.
+///
+/// Holds the latest [`Sta`] plus the dense helper tables needed to
+/// re-propagate arrivals. After a netlist transaction (or its undo),
+/// [`IncrementalSta::refresh`] re-propagates only the fan-out cone of the
+/// touched components/nets — a levelized worklist over the cone — instead
+/// of re-running [`analyze`] over the whole design. Results are exactly
+/// equal to a from-scratch [`analyze`] (property-tested); pathological
+/// structures (multi-driven nets) fall back to a full rebuild.
+#[derive(Clone, Debug)]
+pub struct IncrementalSta {
+    sta: Sta,
+    fanout: Vec<u32>,
+    /// Output-port fanout contribution per net (ports are immutable
+    /// during optimization; `ports_len` guards that assumption).
+    port_out: Vec<u32>,
+    /// Whether an input port drives each net.
+    port_in: Vec<bool>,
+    ports_len: usize,
+    /// Sequential components, ascending — the endpoint structure cache.
+    seq_comps: Vec<ComponentId>,
+    /// Refresh statistics: components re-propagated incrementally.
+    pub incremental_props: u64,
+    /// Refresh statistics: full rebuilds taken.
+    pub full_rebuilds: u64,
+}
+
+impl IncrementalSta {
+    /// Analyzes from scratch and caches the helper tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`analyze`] failures (combinational cycles).
+    pub fn new(nl: &Netlist) -> Result<Self, NetlistError> {
+        let mut s = Self {
+            sta: Sta {
+                arrival: Vec::new(),
+                pred: Vec::new(),
+                endpoints: Vec::new(),
+            },
+            fanout: Vec::new(),
+            port_out: Vec::new(),
+            port_in: Vec::new(),
+            ports_len: 0,
+            seq_comps: Vec::new(),
+            incremental_props: 0,
+            full_rebuilds: 0,
+        };
+        s.rebuild(nl)?;
+        Ok(s)
+    }
+
+    /// The current analysis.
+    pub fn sta(&self) -> &Sta {
+        &self.sta
+    }
+
+    /// Full re-analysis, refreshing every cached table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`analyze`] failures.
+    pub fn rebuild(&mut self, nl: &Netlist) -> Result<(), NetlistError> {
+        self.full_rebuilds += 1;
+        self.sta = analyze(nl)?;
+        self.fanout = fanout_counts(nl);
+        let net_cap = nl.net_slot_count();
+        self.port_out = vec![0; net_cap];
+        self.port_in = vec![false; net_cap];
+        for p in nl.ports() {
+            match p.dir {
+                PinDir::Out => self.port_out[p.net.index()] += 1,
+                PinDir::In => self.port_in[p.net.index()] = true,
+            }
+        }
+        self.ports_len = nl.ports().len();
+        self.seq_comps = nl
+            .component_ids()
+            .filter(|&id| nl.component(id).is_ok_and(|c| c.kind.is_sequential()))
+            .collect();
+        Ok(())
+    }
+
+    /// Re-propagates the fan-out cone of `touched` after a netlist edit
+    /// (or after undoing one — the same touch set applies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures (combinational cycles); the state is
+    /// rebuilt from scratch when the incremental path cannot apply.
+    pub fn refresh(&mut self, nl: &Netlist, touched: &TouchSet) -> Result<(), NetlistError> {
+        if touched.is_empty() {
+            return Ok(());
+        }
+        // Ports changed (never happens inside rule transactions): the
+        // cached port tables are stale, rebuild.
+        if nl.ports().len() != self.ports_len {
+            return self.rebuild(nl);
+        }
+        let net_cap = nl.net_slot_count();
+        self.sta.arrival.resize(net_cap, None);
+        self.sta.pred.resize(net_cap, None);
+        self.fanout.resize(net_cap, 0);
+        self.port_out.resize(net_cap, 0);
+        self.port_in.resize(net_cap, false);
+
+        // Seed set: touched combinational components, drivers and loads
+        // of touched nets; sequential touches re-seed their outputs.
+        let mut seeds: Vec<ComponentId> = Vec::new();
+        let mut endpoint_dirty = false;
+        for &id in &touched.components {
+            match nl.component(id) {
+                Err(_) => endpoint_dirty = true, // removed component
+                Ok(c) => {
+                    if c.kind.is_sequential() {
+                        self.seq_comps.push(id);
+                        endpoint_dirty = true;
+                        for (pin_idx, pin) in c.pins.iter().enumerate() {
+                            if pin.dir == PinDir::Out {
+                                if let Some(net) = pin.net {
+                                    self.recount_fanout(nl, net);
+                                    self.sta.arrival[net.index()] = Some(0.0);
+                                    self.sta.pred[net.index()] =
+                                        Some(PinRef::new(id, pin_idx as u16));
+                                    self.seed_loads(nl, net, &mut seeds);
+                                }
+                            }
+                        }
+                    } else {
+                        // A kind change may have made a former sequential
+                        // component combinational: drop it from the
+                        // endpoint cache.
+                        if self.seq_comps.contains(&id) {
+                            endpoint_dirty = true;
+                        }
+                        seeds.push(id);
+                    }
+                }
+            }
+        }
+        for &n in &touched.nets {
+            if nl.net(n).is_err() {
+                // Removed net: clear its slots.
+                if n.index() < net_cap {
+                    self.sta.arrival[n.index()] = None;
+                    self.sta.pred[n.index()] = None;
+                    self.fanout[n.index()] = 0;
+                }
+                continue;
+            }
+            self.recount_fanout(nl, n);
+            match nl.driver(n) {
+                Some(d) => {
+                    let comp = nl.component(d.component)?;
+                    if comp.kind.is_sequential() {
+                        self.sta.arrival[n.index()] = Some(0.0);
+                        self.sta.pred[n.index()] = Some(d);
+                        self.seed_loads(nl, n, &mut seeds);
+                    } else {
+                        seeds.push(d.component);
+                    }
+                }
+                None => {
+                    self.sta.arrival[n.index()] = if self.port_in[n.index()] {
+                        Some(0.0)
+                    } else {
+                        None
+                    };
+                    self.sta.pred[n.index()] = None;
+                    self.seed_loads(nl, n, &mut seeds);
+                }
+            }
+        }
+        if endpoint_dirty {
+            self.seq_comps.sort();
+            self.seq_comps.dedup();
+            self.seq_comps
+                .retain(|&id| nl.component(id).is_ok_and(|c| c.kind.is_sequential()));
+        }
+
+        // Downstream cone of the seeds (combinational components only).
+        let comp_cap = nl.component_slot_count();
+        let mut in_cone = vec![false; comp_cap];
+        let mut cone: Vec<ComponentId> = Vec::new();
+        let mut stack = seeds;
+        while let Some(id) = stack.pop() {
+            let Ok(comp) = nl.component(id) else { continue };
+            if comp.kind.is_sequential() || std::mem::replace(&mut in_cone[id.index()], true) {
+                continue;
+            }
+            cone.push(id);
+            for pin in &comp.pins {
+                if pin.dir == PinDir::Out {
+                    if let Some(net) = pin.net {
+                        // Multi-driven nets break the recompute model.
+                        if self.driver_count(nl, net) > 1 {
+                            return self.rebuild(nl);
+                        }
+                        for load in nl.loads(net) {
+                            stack.push(load.component);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Levelize the cone (Kahn over in-cone edges only).
+        let mut cone_pos = vec![usize::MAX; comp_cap];
+        for (i, id) in cone.iter().enumerate() {
+            cone_pos[id.index()] = i;
+        }
+        let mut indegree = vec![0u32; cone.len()];
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); cone.len()];
+        for (i, id) in cone.iter().enumerate() {
+            let comp = nl.component(*id)?;
+            for pin in &comp.pins {
+                if pin.dir != PinDir::In {
+                    continue;
+                }
+                if let Some(net) = pin.net {
+                    if let Some(d) = nl.driver(net) {
+                        let j = cone_pos[d.component.index()];
+                        // Self-edges count too: a component feeding its
+                        // own input is a combinational cycle, and the
+                        // Kahn pass below must fail on it exactly as the
+                        // from-scratch topological sort would.
+                        if j != usize::MAX {
+                            edges[j].push(i as u32);
+                            indegree[i] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Clear the cone's output nets so decreases propagate, re-seeding
+        // input-port-driven nets at 0.
+        for id in &cone {
+            let comp = nl.component(*id)?;
+            for pin in &comp.pins {
+                if pin.dir == PinDir::Out {
+                    if let Some(net) = pin.net {
+                        self.sta.arrival[net.index()] = if self.port_in[net.index()] {
+                            Some(0.0)
+                        } else {
+                            None
+                        };
+                        self.sta.pred[net.index()] = None;
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..cone.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut processed = 0usize;
+        while let Some(i) = queue.pop() {
+            processed += 1;
+            propagate_component(
+                nl,
+                cone[i],
+                &mut self.sta.arrival,
+                &mut self.sta.pred,
+                &self.fanout,
+            );
+            self.incremental_props += 1;
+            for &j in &edges[i] {
+                indegree[j as usize] -= 1;
+                if indegree[j as usize] == 0 {
+                    queue.push(j as usize);
+                }
+            }
+        }
+        if processed != cone.len() {
+            return Err(NetlistError::CombinationalCycle);
+        }
+        // Refresh endpoint arrivals (structure from the cached seq list).
+        self.sta.endpoints.clear();
+        for p in nl.ports() {
+            if p.dir == PinDir::Out {
+                let a = self.sta.arrival[p.net.index()].unwrap_or(0.0);
+                self.sta
+                    .endpoints
+                    .push((Endpoint::Port(p.name.clone()), a, p.net));
+            }
+        }
+        for &id in &self.seq_comps {
+            let comp = nl.component(id)?;
+            for (pin_idx, pin) in comp.pins.iter().enumerate() {
+                if pin.dir == PinDir::In {
+                    if let Some(net) = pin.net {
+                        let a = self.sta.arrival[net.index()].unwrap_or(0.0);
+                        self.sta.endpoints.push((
+                            Endpoint::SeqInput(PinRef::new(id, pin_idx as u16)),
+                            a,
+                            net,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn recount_fanout(&mut self, nl: &Netlist, net: NetId) {
+        self.fanout[net.index()] = nl.loads(net).len() as u32 + self.port_out[net.index()];
+    }
+
+    fn driver_count(&self, nl: &Netlist, net: NetId) -> usize {
+        let Ok(n) = nl.net(net) else { return 0 };
+        n.connections
+            .iter()
+            .filter(|p| {
+                nl.component(p.component)
+                    .ok()
+                    .and_then(|c| c.pins.get(p.pin as usize))
+                    .is_some_and(|pin| pin.dir == PinDir::Out)
+            })
+            .count()
+    }
+
+    fn seed_loads(&self, nl: &Netlist, net: NetId, seeds: &mut Vec<ComponentId>) {
+        for load in nl.loads(net) {
+            seeds.push(load.component);
+        }
+    }
+}
+
 /// Selects the point of optimization per §4: "the component which the most
 /// critical paths pass through", ties broken by "the component … closest
 /// to an external input".
-pub fn point_of_optimization(
-    nl: &Netlist,
-    sta: &Sta,
-    margin: f64,
-) -> Option<ComponentId> {
+pub fn point_of_optimization(nl: &Netlist, sta: &Sta, margin: f64) -> Option<ComponentId> {
     let mut counts: HashMap<ComponentId, usize> = HashMap::new();
     for (_, _, net) in sta.critical_endpoints(margin) {
         for comp in sta.critical_path_components(nl, net) {
@@ -283,7 +677,9 @@ pub fn point_of_optimization(
 
 /// True when the component lies on the worst critical path.
 pub fn on_critical_path(nl: &Netlist, sta: &Sta, id: ComponentId) -> bool {
-    let Some((_, _)) = sta.worst() else { return false };
+    let Some((_, _)) = sta.worst() else {
+        return false;
+    };
     let worst_net = sta
         .endpoints()
         .iter()
@@ -307,9 +703,18 @@ mod tests {
         let m = nl.add_net("m");
         let y = nl.add_net("y");
         let z = nl.add_net("z");
-        let g1 = nl.add_component("g1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
-        let g2 = nl.add_component("g2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
-        let g3 = nl.add_component("g3", ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)));
+        let g1 = nl.add_component(
+            "g1",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
+        let g2 = nl.add_component(
+            "g2",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
+        let g3 = nl.add_component(
+            "g3",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+        );
         nl.connect_named(g1, "A0", a).unwrap();
         nl.connect_named(g1, "Y", m).unwrap();
         nl.connect_named(g2, "A0", m).unwrap();
@@ -342,9 +747,18 @@ mod tests {
         let m = nl.add_net("m");
         let y1 = nl.add_net("y1");
         let y2 = nl.add_net("y2");
-        let g1 = nl.add_component("g1", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
-        let g2 = nl.add_component("g2", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
-        let g3 = nl.add_component("g3", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g1 = nl.add_component(
+            "g1",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
+        let g2 = nl.add_component(
+            "g2",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
+        let g3 = nl.add_component(
+            "g3",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(g1, "A0", a).unwrap();
         nl.connect_named(g1, "Y", m).unwrap();
         nl.connect_named(g2, "A0", m).unwrap();
@@ -367,9 +781,16 @@ mod tests {
         let clk = nl.add_net("clk");
         let ff = nl.add_component(
             "ff",
-            ComponentKind::Generic(GenericMacro::Dff { set: false, reset: false, enable: false }),
+            ComponentKind::Generic(GenericMacro::Dff {
+                set: false,
+                reset: false,
+                enable: false,
+            }),
         );
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(ff, "D", d).unwrap();
         nl.connect_named(ff, "CLK", clk).unwrap();
         nl.connect_named(ff, "Q", q).unwrap();

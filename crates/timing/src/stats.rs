@@ -45,6 +45,18 @@ impl DesignStats {
 /// Fails on combinational cycles (the timing pass needs a topological
 /// order).
 pub fn statistics(nl: &Netlist) -> Result<DesignStats, NetlistError> {
+    let sta = analyze(nl)?;
+    statistics_with_sta(nl, &sta)
+}
+
+/// [`statistics`] reusing an existing timing analysis — the rules
+/// engine's accept/undo loop maintains an incremental STA, so the area,
+/// power and cell totals are the only parts recomputed here.
+///
+/// # Errors
+///
+/// Fails when unexpanded hierarchy is present.
+pub fn statistics_with_sta(nl: &Netlist, sta: &crate::Sta) -> Result<DesignStats, NetlistError> {
     let mut area = 0.0;
     let mut power = 0.0;
     let mut cells = 0usize;
@@ -58,8 +70,12 @@ pub fn statistics(nl: &Netlist) -> Result<DesignStats, NetlistError> {
         power += e.power;
         cells += 1;
     }
-    let sta = analyze(nl)?;
-    Ok(DesignStats { area, power, cells, delay: sta.worst_delay() })
+    Ok(DesignStats {
+        area,
+        power,
+        cells,
+        delay: sta.worst_delay(),
+    })
 }
 
 /// Two-input-equivalent gate count — the complexity measure of Fig. 19
@@ -82,9 +98,7 @@ pub fn gate_equivalents(nl: &Netlist) -> f64 {
                 GenericMacro::Vdd | GenericMacro::Vss => 0.0,
                 GenericMacro::Mux { selects } => 3.0 * f64::from((1u8 << selects) - 1),
                 GenericMacro::Decoder { inputs } => f64::from(1u8 << inputs) + f64::from(inputs),
-                GenericMacro::Adder { bits, cla } => {
-                    f64::from(bits) * if cla { 8.0 } else { 6.0 }
-                }
+                GenericMacro::Adder { bits, cla } => f64::from(bits) * if cla { 8.0 } else { 6.0 },
                 GenericMacro::Comparator { bits } => 5.0 * f64::from(bits),
                 GenericMacro::Counter { bits } => 10.0 * f64::from(bits),
                 GenericMacro::Dff { set, reset, enable } => {
@@ -101,9 +115,7 @@ pub fn gate_equivalents(nl: &Netlist) -> f64 {
                 CellFunction::Dff { set, reset, enable } => {
                     6.0 + f64::from(u8::from(*set) + u8::from(*reset) + u8::from(*enable))
                 }
-                CellFunction::MuxDff { selects } => {
-                    6.0 + 3.0 * f64::from((1u8 << selects) - 1)
-                }
+                CellFunction::MuxDff { selects } => 6.0 + 3.0 * f64::from((1u8 << selects) - 1),
                 CellFunction::Latch { set, reset } => {
                     4.0 + f64::from(u8::from(*set) + u8::from(*reset))
                 }
@@ -111,9 +123,7 @@ pub fn gate_equivalents(nl: &Netlist) -> f64 {
                 CellFunction::Adder { bits, cla } => {
                     f64::from(*bits) * if *cla { 8.0 } else { 6.0 }
                 }
-                CellFunction::Decoder { inputs } => {
-                    f64::from(1u8 << *inputs) + f64::from(*inputs)
-                }
+                CellFunction::Decoder { inputs } => f64::from(1u8 << *inputs) + f64::from(*inputs),
                 CellFunction::Comparator { bits } => 5.0 * f64::from(*bits),
                 CellFunction::Counter { bits } => 10.0 * f64::from(*bits),
             },
@@ -136,7 +146,10 @@ mod tests {
         let mut nl = Netlist::new("s");
         let a = nl.add_net("a");
         let y = nl.add_net("y");
-        let g = nl.add_component("g", ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)));
+        let g = nl.add_component(
+            "g",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
         nl.connect_named(g, "A0", a).unwrap();
         nl.connect_named(g, "Y", y).unwrap();
         nl.add_port("a", PinDir::In, a);
@@ -154,8 +167,18 @@ mod tests {
 
     #[test]
     fn improvement_percentages() {
-        let base = DesignStats { area: 10.0, power: 1.0, cells: 5, delay: 4.0 };
-        let opt = DesignStats { area: 8.0, power: 1.0, cells: 4, delay: 3.0 };
+        let base = DesignStats {
+            area: 10.0,
+            power: 1.0,
+            cells: 5,
+            delay: 4.0,
+        };
+        let opt = DesignStats {
+            area: 8.0,
+            power: 1.0,
+            cells: 4,
+            delay: 3.0,
+        };
         assert!((opt.delay_improvement_pct(&base) - 25.0).abs() < 1e-9);
         assert!((opt.area_improvement_pct(&base) - 20.0).abs() < 1e-9);
     }

@@ -15,7 +15,10 @@ use milo_timing::statistics;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut top = abadd();
-    println!("ABADD entry (Fig. 16): {} microarchitecture components", top.component_count());
+    println!(
+        "ABADD entry (Fig. 16): {} microarchitecture components",
+        top.component_count()
+    );
 
     // Fig. 16: the logic compilers expand ADD4, MUX2:1:4 and REG4;
     // the register compiler calls the multiplexor compiler (MUX4:1:1).
@@ -38,8 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nper-level optimization (Fig. 18):");
     for l in &levels {
-        println!("  {:>10}: area {:>6.2} -> {:>6.2} ({} rules)",
-                 l.design, l.before.area, l.after.area, l.fired);
+        println!(
+            "  {:>10}: area {:>6.2} -> {:>6.2} ({} rules)",
+            l.design, l.before.area, l.after.area, l.fired
+        );
     }
     println!("\ndirect-mapped area: {:.2}", direct_stats.area);
     println!("optimized area:     {:.2}", opt_stats.area);

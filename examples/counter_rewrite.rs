@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut milo = Milo::new(ecl_library());
     let result = milo.synthesize(&entry, &Constraints::none())?;
 
-    let critic = result.critic.as_ref().expect("micro-level entry has a critic report");
+    let critic = result
+        .critic
+        .as_ref()
+        .expect("micro-level entry has a critic report");
     println!("microarchitecture critic fired: {:?}", critic.fired);
     assert!(
         critic.fired.contains(&"adder-register-to-counter"),

@@ -12,7 +12,10 @@ use milo_timing::statistics;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = cmos_library();
     println!("gate circuit mapped three ways (CMOS standard cells):\n");
-    println!("{:>6}  {:>14} {:>14} {:>14}", "gates", "lookup area", "dagon(area)", "dagon(delay)");
+    println!(
+        "{:>6}  {:>14} {:>14} {:>14}",
+        "gates", "lookup area", "dagon(area)", "dagon(delay)"
+    );
     for gates in [50usize, 100, 200] {
         let nl = random_logic(gates, 10, 0xDA60 + gates as u64);
         let direct = map_netlist(&nl, &lib)?;

@@ -28,27 +28,55 @@ comp and2  m2 A0=c A1=sel  Y=q2
 comp or2   m3 A0=q1 A1=q2  Y=g
 ";
     let netlist = parse_netlist(source)?;
-    println!("Parsed `{}`: {} components, {} nets", netlist.name,
-             netlist.component_count(), netlist.net_count());
+    println!(
+        "Parsed `{}`: {} components, {} nets",
+        netlist.name,
+        netlist.component_count(),
+        netlist.net_count()
+    );
 
     let mut milo = Milo::new(ecl_library());
     // Hold the baseline delay while minimizing area and power.
     let baseline = milo.elaborate_unoptimized(&netlist)?;
     let baseline_delay = milo_timing::statistics(&baseline)?.delay;
-    let result = milo.synthesize(&netlist, &Constraints::none().with_max_delay(baseline_delay))?;
+    let result = milo.synthesize(
+        &netlist,
+        &Constraints::none().with_max_delay(baseline_delay),
+    )?;
 
     println!("\n             baseline    MILO");
-    println!("delay (ns)   {:>8.2}  {:>8.2}   ({:.0} % better)",
-             result.baseline.delay, result.stats.delay, result.delay_improvement_pct());
-    println!("area (cells) {:>8.2}  {:>8.2}   ({:.0} % better)",
-             result.baseline.area, result.stats.area, result.area_improvement_pct());
-    println!("power (mA)   {:>8.2}  {:>8.2}",
-             result.baseline.power, result.stats.power);
-    println!("cells        {:>8}  {:>8}", result.baseline.cells, result.stats.cells);
-    println!("\ntiming strategies applied: {}", result.timing.applied.len());
+    println!(
+        "delay (ns)   {:>8.2}  {:>8.2}   ({:.0} % better)",
+        result.baseline.delay,
+        result.stats.delay,
+        result.delay_improvement_pct()
+    );
+    println!(
+        "area (cells) {:>8.2}  {:>8.2}   ({:.0} % better)",
+        result.baseline.area,
+        result.stats.area,
+        result.area_improvement_pct()
+    );
+    println!(
+        "power (mA)   {:>8.2}  {:>8.2}",
+        result.baseline.power, result.stats.power
+    );
+    println!(
+        "cells        {:>8}  {:>8}",
+        result.baseline.cells, result.stats.cells
+    );
+    println!(
+        "\ntiming strategies applied: {}",
+        result.timing.applied.len()
+    );
     for firing in &result.timing.applied {
-        println!("  {} at {:?}: {:.2} -> {:.2} ns",
-                 firing.strategy.label(), firing.site, firing.before, firing.after);
+        println!(
+            "  {} at {:?}: {:.2} -> {:.2} ns",
+            firing.strategy.label(),
+            firing.site,
+            firing.before,
+            firing.after
+        );
     }
     assert!(result.stats.area <= result.baseline.area);
     Ok(())

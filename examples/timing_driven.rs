@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut milo = Milo::new(ecl_library());
 
     let loose = milo.synthesize(&entry, &Constraints::none())?;
-    println!("unconstrained: delay {:.2} ns, area {:.1}", loose.stats.delay, loose.stats.area);
+    println!(
+        "unconstrained: delay {:.2} ns, area {:.1}",
+        loose.stats.delay, loose.stats.area
+    );
 
     let target = loose.stats.delay * 0.75;
     let tight = milo.synthesize(&entry, &Constraints::none().with_max_delay(target))?;
@@ -27,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("timing met: {:?}", critic.met_timing);
     assert!(tight.stats.delay < loose.stats.delay);
-    assert!(tight.stats.area > loose.stats.area, "speed was bought with area");
+    assert!(
+        tight.stats.area > loose.stats.area,
+        "speed was bought with area"
+    );
     assert_eq!(critic.met_timing, Some(true));
     Ok(())
 }

@@ -2,5 +2,5 @@
 //!
 //! Re-exports the public API of [`milo_core`] so examples and integration
 //! tests can use a single `milo` dependency.
-pub use milo_core::*;
 pub use milo_circuits as circuits;
+pub use milo_core::*;

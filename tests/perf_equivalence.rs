@@ -1,0 +1,280 @@
+//! Equivalence properties guarding the hot-path optimizations: the
+//! hashed-dedup division, the memoized kernel extraction, the dense
+//! containment pass, parallel per-output minimization, and the
+//! incremental STA must all agree exactly with their straightforward
+//! (pre-optimization) counterparts.
+
+use milo_logic::{
+    divide, espresso, good_factor, good_factor_with_cache, Cover, Cube, KernelCache, TruthTable,
+};
+use milo_netlist::{ComponentKind, Netlist, PinDir, PinRef, TechCell};
+use milo_rules::Tx;
+use milo_techmap::{cmos_library, map_netlist};
+use milo_timing::{analyze, IncrementalSta};
+use proptest::prelude::*;
+
+fn masked_truth(vars: u8, bits: u64) -> TruthTable {
+    let mask = if vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1u32 << vars)) - 1
+    };
+    TruthTable::new(vars, bits & mask)
+}
+
+/// The pre-optimization algebraic division, verbatim: quadratic
+/// `Vec::contains` candidate intersection and `produced` scan.
+fn reference_divide(f: &Cover, d: &Cover) -> (Cover, Cover) {
+    let nvars = f.nvars();
+    if d.is_empty() {
+        return (Cover::zero(nvars), f.clone());
+    }
+    let mut candidate_sets: Vec<Vec<Cube>> = Vec::new();
+    for dc in d.cubes() {
+        let mut set: Vec<Cube> = Vec::new();
+        for fc in f.cubes() {
+            if let Some(q) = fc.algebraic_quotient(dc) {
+                if q.support_mask() & dc.support_mask() == 0 && !set.contains(&q) {
+                    set.push(q);
+                }
+            }
+        }
+        candidate_sets.push(set);
+    }
+    let mut quotient_cubes: Vec<Cube> = Vec::new();
+    if let Some((first, rest)) = candidate_sets.split_first() {
+        'cand: for q in first {
+            for set in rest {
+                if !set.contains(q) {
+                    continue 'cand;
+                }
+            }
+            quotient_cubes.push(*q);
+        }
+    }
+    let quotient = Cover::from_cubes(nvars, quotient_cubes);
+    let mut produced: Vec<Cube> = Vec::new();
+    for dc in d.cubes() {
+        for qc in quotient.cubes() {
+            produced.push(dc.intersect(qc));
+        }
+    }
+    let remainder: Vec<Cube> = f
+        .cubes()
+        .iter()
+        .filter(|fc| !produced.contains(fc))
+        .copied()
+        .collect();
+    (quotient, Cover::from_cubes(nvars, remainder))
+}
+
+/// The pre-optimization single-cube containment, verbatim.
+fn reference_containment(cover: &Cover) -> Vec<Cube> {
+    let cubes = cover.cubes();
+    let mut kept: Vec<Cube> = Vec::new();
+    'outer: for (i, c) in cubes.iter().enumerate() {
+        for (j, d) in cubes.iter().enumerate() {
+            if i != j && d.contains(c) && !(c.contains(d) && i < j) {
+                continue 'outer;
+            }
+        }
+        kept.push(*c);
+    }
+    kept
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hashed-set division returns cube-for-cube the same quotient
+    /// and remainder as the quadratic reference, and preserves the
+    /// division identity `f ≡ d·q + r` semantically.
+    #[test]
+    fn hashed_divide_matches_reference(vars in 2u8..=6, fbits in any::<u64>(), dbits in any::<u64>()) {
+        let f = espresso::minimize(&Cover::from_truth(&masked_truth(vars, fbits)), None).cover;
+        let d = espresso::minimize(&Cover::from_truth(&masked_truth(vars, dbits)), None).cover;
+        let div = divide::divide(&f, &d);
+        let (rq, rr) = reference_divide(&f, &d);
+        prop_assert_eq!(div.quotient.cubes(), rq.cubes());
+        prop_assert_eq!(div.remainder.cubes(), rr.cubes());
+        // Division identity, checked by truth table.
+        let dq = d.and(&div.quotient);
+        let rebuilt = dq.or(&div.remainder);
+        let mut all = rebuilt.clone();
+        // d·q + r must cover exactly f (algebraic division never changes
+        // the function).
+        all.single_cube_containment();
+        prop_assert_eq!(all.to_truth(), f.to_truth());
+    }
+
+    /// The hashed containment/dedup pass keeps exactly the cubes the
+    /// quadratic reference kept, in the same order.
+    #[test]
+    fn containment_matches_reference(vars in 2u8..=6, bits in any::<u64>(), extra in any::<u64>()) {
+        // A messy cover with duplicates and contained cubes.
+        let base = Cover::from_truth(&masked_truth(vars, bits));
+        let mut cover = base.clone();
+        for c in Cover::from_truth(&masked_truth(vars, bits & extra)).cubes() {
+            cover.push(*c); // duplicates of a subfunction's minterms
+        }
+        for c in espresso::minimize(&base, None).cover.cubes() {
+            cover.push(*c); // large cubes containing earlier minterms
+        }
+        let expected = reference_containment(&cover);
+        let mut got = cover.clone();
+        got.single_cube_containment();
+        prop_assert_eq!(got.cubes(), &expected[..]);
+    }
+
+    /// Memoized kernel extraction factors to the same expression as the
+    /// uncached path, and the factored form preserves the function.
+    #[test]
+    fn kernel_cache_is_transparent(vars in 2u8..=6, bits in any::<u64>()) {
+        let tt = masked_truth(vars, bits);
+        let cover = espresso::minimize(&Cover::from_truth(&tt), None).cover;
+        let plain = good_factor(&cover);
+        let mut cache = KernelCache::new();
+        let cached = good_factor_with_cache(&cover, &mut cache);
+        prop_assert_eq!(&plain, &cached);
+        // Run a second time through the warm cache: still identical.
+        let warm = good_factor_with_cache(&cover, &mut cache);
+        prop_assert_eq!(&plain, &warm);
+        for row in 0..(1u32 << vars) {
+            prop_assert_eq!(cached.eval(row), tt.eval(row), "row {}", row);
+        }
+    }
+
+    /// Parallel per-output minimization returns exactly what one-by-one
+    /// minimization returns, in input order.
+    #[test]
+    fn minimize_many_matches_sequential(count in 1usize..8, bits in any::<u64>(), step in any::<u64>()) {
+        let covers: Vec<Cover> = (0..count as u64)
+            .map(|k| Cover::from_truth(&masked_truth(5, bits ^ (step.wrapping_mul(k + 1)))))
+            .collect();
+        let many = espresso::minimize_many(&covers);
+        prop_assert_eq!(many.len(), covers.len());
+        for (m, c) in many.iter().zip(&covers) {
+            let single = espresso::minimize(c, None);
+            prop_assert_eq!(m.cover.cubes(), single.cover.cubes());
+            prop_assert_eq!(m.cover.to_truth(), c.to_truth());
+        }
+    }
+
+    /// Incremental STA equals from-scratch analysis after every rewrite
+    /// of a randomized apply/undo sequence.
+    #[test]
+    fn incremental_sta_matches_analyze(seed in 0u64..400, script in any::<u64>()) {
+        let lib = cmos_library();
+        let mut nl = map_netlist(&milo::circuits::random_logic(50, 8, seed), &lib).expect("maps");
+        let mut inc = IncrementalSta::new(&nl).expect("analyzes");
+        let mut state = script | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let log = random_rewrite(&mut nl, &lib, next());
+            let ts = log.touch_set();
+            if next() & 1 == 0 {
+                // Keep the rewrite.
+                inc.refresh(&nl, &ts).expect("refreshes");
+            } else {
+                // Back it out — the same touch set describes the undo.
+                log.undo(&mut nl);
+                inc.refresh(&nl, &ts).expect("refreshes");
+            }
+            assert_sta_equal(&nl, &inc);
+        }
+    }
+}
+
+/// Applies one random local rewrite inside a transaction, returning the
+/// undo log: a power-level kind change, a buffer splice, or an input pin
+/// swap — the shapes the critics and strategies produce.
+fn random_rewrite(
+    nl: &mut Netlist,
+    lib: &milo_techmap::TechLibrary,
+    r: u64,
+) -> milo_rules::UndoLog {
+    let comps: Vec<_> = nl.component_ids().collect();
+    let site = comps[(r >> 8) as usize % comps.len()];
+    let cell = match &nl.component(site).expect("live").kind {
+        ComponentKind::Tech(c) => c.clone(),
+        _ => return Tx::new(nl).commit(),
+    };
+    let mut tx = Tx::new(nl);
+    match r % 3 {
+        0 => {
+            // Swap to a power variant when one exists.
+            let variant: Option<TechCell> = lib
+                .faster_variant(&cell)
+                .or_else(|| lib.slower_variant(&cell))
+                .cloned();
+            if let Some(v) = variant {
+                tx.change_kind(site, ComponentKind::Tech(v))
+                    .expect("compatible pins");
+            }
+        }
+        1 => {
+            // Splice a buffer after the site's output net.
+            let y = tx.netlist().pin_net(site, "Y");
+            if let (Some(y), Some(buf)) = (y, lib.buffer().cloned()) {
+                let mid = tx.add_net("prop_mid");
+                tx.move_loads(y, mid).expect("moves loads");
+                let b = tx.add_component("prop_buf", ComponentKind::Tech(buf));
+                tx.connect_named(b, "A0", y).expect("connects");
+                let out = tx.add_net("prop_out");
+                tx.connect_named(b, "Y", out).expect("connects");
+                tx.move_loads(mid, out).expect("moves loads");
+                tx.remove_net(mid).expect("mid is unused");
+            }
+        }
+        _ => {
+            // Swap the first two input pins of a multi-input gate.
+            let comp = tx.netlist().component(site).expect("live");
+            let ins: Vec<(u16, milo_netlist::NetId)> = comp
+                .pins
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.dir == PinDir::In)
+                .filter_map(|(i, p)| p.net.map(|n| (i as u16, n)))
+                .collect();
+            if ins.len() >= 2 && ins[0].1 != ins[1].1 {
+                tx.disconnect(PinRef::new(site, ins[0].0))
+                    .expect("disconnects");
+                tx.disconnect(PinRef::new(site, ins[1].0))
+                    .expect("disconnects");
+                tx.connect(PinRef::new(site, ins[0].0), ins[1].1)
+                    .expect("connects");
+                tx.connect(PinRef::new(site, ins[1].0), ins[0].1)
+                    .expect("connects");
+            }
+        }
+    }
+    tx.commit()
+}
+
+/// Bitwise comparison of the incremental analysis against a from-scratch
+/// run: every net arrival, every endpoint, and the worst delay.
+fn assert_sta_equal(nl: &Netlist, inc: &IncrementalSta) {
+    let fresh = analyze(nl).expect("analyzes");
+    for net in nl.net_ids() {
+        assert_eq!(
+            inc.sta().arrival(net).to_bits(),
+            fresh.arrival(net).to_bits(),
+            "arrival mismatch at {net:?}"
+        );
+    }
+    assert_eq!(
+        inc.sta().worst_delay().to_bits(),
+        fresh.worst_delay().to_bits()
+    );
+    assert_eq!(inc.sta().endpoints().len(), fresh.endpoints().len());
+    for (a, b) in inc.sta().endpoints().iter().zip(fresh.endpoints()) {
+        assert_eq!(a.0, b.0, "endpoint identity");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "endpoint arrival");
+        assert_eq!(a.2, b.2, "endpoint net");
+    }
+}

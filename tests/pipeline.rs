@@ -20,9 +20,15 @@ fn fig19_gate_circuit_full_pipeline_equivalence() {
     let case = fig19::circuit3();
     let mut milo = Milo::new(ecl_library());
     let baseline = milo.elaborate_unoptimized(&case).expect("baseline");
-    let result = milo.synthesize(&case, &Constraints::none()).expect("synthesis");
+    let result = milo
+        .synthesize(&case, &Constraints::none())
+        .expect("synthesis");
     assert!(result.stats.area <= result.baseline.area);
-    assert!(non_dangling(&result.netlist).is_empty(), "{:?}", non_dangling(&result.netlist));
+    assert!(
+        non_dangling(&result.netlist).is_empty(),
+        "{:?}",
+        non_dangling(&result.netlist)
+    );
     check_comb_equivalence(&baseline, &result.netlist, 256).expect("function preserved");
 }
 
@@ -31,7 +37,9 @@ fn fig19_micro_circuit_full_pipeline_equivalence() {
     let case = fig19::circuit8();
     let mut milo = Milo::new(ecl_library());
     let baseline = milo.elaborate_unoptimized(&case).expect("baseline");
-    let result = milo.synthesize(&case, &Constraints::none()).expect("synthesis");
+    let result = milo
+        .synthesize(&case, &Constraints::none())
+        .expect("synthesis");
     let critic = result.critic.as_ref().expect("micro entry");
     assert!(critic.fired.contains(&"adder-register-to-counter"));
     assert!(result.stats.area < result.baseline.area);
@@ -44,8 +52,9 @@ fn timing_constraint_is_met_and_respected() {
     let mut milo = Milo::new(ecl_library());
     let loose = milo.synthesize(&case, &Constraints::none()).expect("loose");
     let target = loose.stats.delay * 0.85;
-    let tight =
-        milo.synthesize(&case, &Constraints::none().with_max_delay(target)).expect("tight");
+    let tight = milo
+        .synthesize(&case, &Constraints::none().with_max_delay(target))
+        .expect("tight");
     assert!(tight.timing.met, "{:?}", tight.timing);
     assert!(tight.stats.delay <= target + 1e-9);
 }
@@ -55,7 +64,9 @@ fn abadd_through_core_pipeline() {
     let entry = abadd();
     let mut milo = Milo::new(ecl_library());
     let baseline = milo.elaborate_unoptimized(&entry).expect("baseline");
-    let result = milo.synthesize(&entry, &Constraints::none()).expect("synthesis");
+    let result = milo
+        .synthesize(&entry, &Constraints::none())
+        .expect("synthesis");
     // Fig. 18: merged mux-FF macros appear.
     let mxff = result
         .netlist
@@ -85,7 +96,9 @@ comp xor2 g4 A0=a A1=c Y=z
     let nl = parse_netlist(src).expect("parses");
     let mut milo = Milo::new(cmos_library());
     let baseline = milo.elaborate_unoptimized(&nl).expect("baseline");
-    let result = milo.synthesize(&nl, &Constraints::none()).expect("synthesis");
+    let result = milo
+        .synthesize(&nl, &Constraints::none())
+        .expect("synthesis");
     // The inverter pair around t must be gone.
     assert!(result.stats.cells < baseline.component_count());
     check_comb_equivalence(&baseline, &result.netlist, 0).expect("equivalent");
@@ -97,7 +110,9 @@ fn random_logic_survives_both_libraries() {
         let nl = random_logic(80, 10, seed);
         let mut milo = Milo::new(lib);
         let baseline = milo.elaborate_unoptimized(&nl).expect("baseline");
-        let result = milo.synthesize(&nl, &Constraints::none()).expect("synthesis");
+        let result = milo
+            .synthesize(&nl, &Constraints::none())
+            .expect("synthesis");
         assert!(result.stats.area <= statistics(&baseline).expect("stats").area + 1e-9);
         check_comb_equivalence(&baseline, &result.netlist, 600).expect("equivalent");
     }
@@ -106,9 +121,11 @@ fn random_logic_survives_both_libraries() {
 #[test]
 fn compiler_cache_reused_across_runs() {
     let mut milo = Milo::new(ecl_library());
-    milo.synthesize(&abadd(), &Constraints::none()).expect("first run");
+    milo.synthesize(&abadd(), &Constraints::none())
+        .expect("first run");
     let designs_after_first = milo.database().len();
-    milo.synthesize(&abadd(), &Constraints::none()).expect("second run");
+    milo.synthesize(&abadd(), &Constraints::none())
+        .expect("second run");
     // Only the per-run top-level entries are new; the compiled component
     // designs (ADD4, MUX2:1:4, REG4…) are cache hits.
     assert!(milo.database().contains("ADD4"));
@@ -130,10 +147,11 @@ fn dagon_baseline_agrees_with_lookup_mapper() {
 fn ports_survive_synthesis() {
     let case = fig19::circuit1();
     let mut milo = Milo::new(ecl_library());
-    let result = milo.synthesize(&case, &Constraints::none()).expect("synthesis");
-    let inputs = |nl: &milo_netlist::Netlist| {
-        nl.ports().iter().filter(|p| p.dir == PinDir::In).count()
-    };
+    let result = milo
+        .synthesize(&case, &Constraints::none())
+        .expect("synthesis");
+    let inputs =
+        |nl: &milo_netlist::Netlist| nl.ports().iter().filter(|p| p.dir == PinDir::In).count();
     assert_eq!(inputs(&case), inputs(&result.netlist));
     assert_eq!(case.ports().len(), result.netlist.ports().len());
 }

@@ -58,7 +58,7 @@ proptest! {
         let name = milo_compilers::compile(&micro, &mut db).expect("compiles");
         let flat = db.flatten(&name).expect("flattens");
         check_comb_equivalence(&micro_wrapper(micro), &flat, 2000)
-            .map_err(|e| TestCaseError::fail(e))?;
+            .map_err(TestCaseError::fail)?;
     }
 
     /// The register compiler is correct for every parameter combination.

@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` benchmarking crate (see
+//! `vendor/README.md`).
+//!
+//! Implements the macro + builder surface the workspace's benches use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size`,
+//! `bench_function` / `bench_with_input`, and [`black_box`]. Each
+//! benchmark runs a short warmup, then a fixed measurement window, and
+//! prints the mean time per iteration. Set `MILO_BENCH_MS` to change the
+//! per-benchmark measurement window (milliseconds).
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement loop handle passed to bench closures.
+pub struct Bencher {
+    measure_window: Duration,
+    /// (total elapsed, iterations) of the measurement phase.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then measuring for the configured
+    /// window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup + per-iteration estimate.
+        let warmup_target = self.measure_window / 4;
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < warmup_target || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let iters = if est_per_iter.is_zero() {
+            1_000_000
+        } else {
+            (self.measure_window.as_nanos() / est_per_iter.as_nanos().max(1)).clamp(1, 5_000_000)
+                as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measure_window: Duration,
+    /// Collected `(id, mean time per iteration)` results.
+    pub results: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("MILO_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Self {
+            measure_window: Duration::from_millis(ms),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            measure_window: self.measure_window,
+            result: None,
+        };
+        f(&mut b);
+        let (elapsed, iters) = b.result.unwrap_or((Duration::ZERO, 1));
+        let per_iter = elapsed / iters.max(1) as u32;
+        println!(
+            "{id:<40} time: {:>12}   ({iters} iterations)",
+            fmt_duration(per_iter)
+        );
+        self.results.push((id, per_iter));
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_owned(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        println!("benchmarks complete: {} measurements", self.results.len());
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-window based
+    /// here, so the count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure_window = d;
+        self
+    }
+
+    /// Runs `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        self.criterion.run_one(id, f);
+        self
+    }
+
+    /// Runs `group/id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_result() {
+        std::env::set_var("MILO_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].0, "noop");
+    }
+
+    #[test]
+    fn group_prefixes_ids() {
+        std::env::set_var("MILO_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert_eq!(c.results[0].0, "grp/f/3");
+    }
+}

@@ -1,0 +1,169 @@
+//! Offline stand-in for the `rand` crate (see `vendor/README.md`).
+//!
+//! Implements the subset the workspace uses: `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range` over integer `Range`/`RangeInclusive`, and
+//! `Rng::gen_bool`. The generator is xoshiro256++ seeded via SplitMix64 —
+//! deterministic per seed, which is the only property callers rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Sampling from a uniform integer range.
+pub trait UniformSample: Copy {
+    /// Widens to the u64 sampling domain.
+    fn to_u64(self) -> u64;
+    /// Narrows back from the u64 sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_uniform!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Bounds as a half-open `[lo, hi)` pair in the u64 domain.
+    fn bounds(self) -> (u64, u64);
+}
+
+impl<T: UniformSample> SampleRange<T> for Range<T> {
+    fn bounds(self) -> (u64, u64) {
+        (self.start.to_u64(), self.end.to_u64())
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for RangeInclusive<T> {
+    fn bounds(self) -> (u64, u64) {
+        (self.start().to_u64(), self.end().to_u64() + 1)
+    }
+}
+
+/// Random-number-generator operations.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T: UniformSample, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        assert!(lo < hi, "gen_range called with an empty range");
+        let span = hi - lo;
+        // Debiased multiply-shift rejection (Lemire).
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(span as u128);
+            let low = m as u64;
+            if low >= span.wrapping_neg() % span.max(1) || span.is_power_of_two() {
+                return T::from_u64(lo + (m >> 64) as u64);
+            }
+        }
+    }
+
+    /// Bernoulli sample.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The workspace's standard generator: xoshiro256++ seeded through
+    /// SplitMix64. (Upstream `StdRng` is a ChaCha variant; only
+    /// determinism-per-seed matters here.)
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(2u8..=3);
+            assert!((2..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn all_values_reachable() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
