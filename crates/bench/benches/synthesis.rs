@@ -79,6 +79,28 @@ fn bench_sweep_scaling(c: &mut Criterion) {
                 engine.run_sweeps(&mut work, None, 20)
             });
         });
+        // Incremental conflict-set maintenance in isolation: repair the
+        // match index from a one-component touch set.
+        let engine = Engine::new(metarule_rule_set(&lib));
+        let mut index = engine.build_index(&mapped, None, None);
+        let victim = mapped.component_ids().nth(gates / 2).expect("components");
+        let ts = {
+            let mut t = milo_netlist::TouchSet::new();
+            t.component(victim);
+            t
+        };
+        group.bench_with_input(BenchmarkId::new("match_repair", gates), &(), |b, ()| {
+            b.iter(|| {
+                index.repair(
+                    engine.rules(),
+                    &milo_rules::RuleCtx {
+                        nl: &mapped,
+                        sta: None,
+                    },
+                    &ts,
+                )
+            });
+        });
     }
     group.finish();
 }

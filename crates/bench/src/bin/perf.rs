@@ -132,7 +132,8 @@ fn main() {
             .expect("synthesizes")
     });
 
-    // Rule-engine sweeps at scale.
+    // Rule-engine sweeps at scale (served from the incremental
+    // conflict-set index since the Rete-matcher PR).
     {
         let lib = cmos_library();
         let mapped = map_netlist(&random_logic(800, 16, 9), &lib).expect("maps");
@@ -140,6 +141,31 @@ fn main() {
             let mut work = mapped.clone();
             let mut engine = Engine::new(milo_opt::logic_rules(&lib));
             engine.run_sweeps(&mut work, None, 20)
+        });
+
+        // Conflict-set index: the one-time full matching pass...
+        let engine = Engine::new(milo_opt::logic_rules(&lib));
+        snap.bench("engine/index_build/800", || {
+            engine.build_index(&mapped, None, None).len()
+        });
+        // ...versus repairing it after one local rewrite — the cost
+        // every accepted firing pays instead of a rescan.
+        let mut index = engine.build_index(&mapped, None, None);
+        let victim = mapped.component_ids().nth(400).expect("has components");
+        let ts = {
+            let mut t = milo_netlist::TouchSet::new();
+            t.component(victim);
+            t
+        };
+        snap.bench("engine/match_repair/800", || {
+            index.repair(
+                engine.rules(),
+                &milo_rules::RuleCtx {
+                    nl: &mapped,
+                    sta: None,
+                },
+                &ts,
+            );
         });
     }
 

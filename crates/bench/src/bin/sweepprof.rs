@@ -1,0 +1,122 @@
+//! Ad-hoc profiling of one `run_sweeps` call (not part of the perf
+//! snapshot): prints per-pass firing counts and phase timings.
+
+use milo_bench::metarule_rules::metarule_rule_set;
+use milo_circuits::random_logic;
+use milo_rules::Engine;
+use milo_techmap::{cmos_library, map_netlist};
+use std::time::Instant;
+
+fn main() {
+    let lib = cmos_library();
+    let mapped = map_netlist(&random_logic(800, 16, 9), &lib).expect("maps");
+
+    // Pass-by-pass via the public sweep API (fresh index each pass —
+    // the old behavior) to see the pass structure.
+    let mut work = mapped.clone();
+    let mut engine = Engine::new(metarule_rule_set(&lib));
+    let mut pass = 0;
+    loop {
+        let t = Instant::now();
+        let fired = engine.sweep(&mut work, None);
+        println!(
+            "pass {pass}: fired {fired}  ({:.1} us)  comps {}",
+            t.elapsed().as_secs_f64() * 1e6,
+            work.component_count()
+        );
+        pass += 1;
+        if fired == 0 || pass > 20 {
+            break;
+        }
+    }
+
+    // Whole run with the maintained index.
+    let t = Instant::now();
+    let mut work = mapped.clone();
+    let mut engine = Engine::new(metarule_rule_set(&lib));
+    let fired = engine.run_sweeps(&mut work, None, 20);
+    println!(
+        "run_sweeps(maintained index): fired {fired} in {:.1} us",
+        t.elapsed().as_secs_f64() * 1e6
+    );
+
+    // Manual maintained-index pass loop with per-phase timing.
+    {
+        use milo_netlist::{ComponentId, TouchSet};
+        use milo_rules::{RuleCtx, Tx};
+        use std::collections::HashSet;
+        let mut work = mapped.clone();
+        let engine = Engine::new(metarule_rule_set(&lib));
+        let t = Instant::now();
+        let mut index = engine.build_index(&work, None, None);
+        println!("build: {:.1} us", t.elapsed().as_secs_f64() * 1e6);
+        for pass in 0..20 {
+            let t = Instant::now();
+            let conflict = engine.conflict_set_indexed(&index);
+            let t_read = t.elapsed();
+            let mut touched: HashSet<ComponentId> = HashSet::new();
+            let mut merged = TouchSet::new();
+            let mut fired = 0usize;
+            let t = Instant::now();
+            for (idx, m) in conflict {
+                if touched.contains(&m.site) || m.aux.iter().any(|a| touched.contains(a)) {
+                    continue;
+                }
+                let mut tx = Tx::new(&mut work);
+                let result = engine.rules()[idx].apply(&mut tx, &m);
+                let log = tx.commit();
+                match result {
+                    Ok(()) => {
+                        touched.insert(m.site);
+                        touched.extend(m.aux.iter().copied());
+                        merged.merge(&log.touch_set());
+                        fired += 1;
+                    }
+                    Err(_) => log.undo(&mut work),
+                }
+            }
+            let t_fire = t.elapsed();
+            let t = Instant::now();
+            if fired > 0 {
+                index.repair(
+                    engine.rules(),
+                    &RuleCtx {
+                        nl: &work,
+                        sta: None,
+                    },
+                    &merged,
+                );
+            }
+            println!(
+                "pass {pass}: fired {fired}  read {:.1} us  fire {:.1} us  repair {:.1} us  (anchors {} globals {})",
+                t_read.as_secs_f64() * 1e6,
+                t_fire.as_secs_f64() * 1e6,
+                t.elapsed().as_secs_f64() * 1e6,
+                index.stats().anchors_rematched,
+                index.stats().global_rematches,
+            );
+            if fired == 0 {
+                break;
+            }
+        }
+    }
+
+    // Cost of one full index build alone.
+    let work = mapped.clone();
+    let engine = Engine::new(metarule_rule_set(&lib));
+    let t = Instant::now();
+    for _ in 0..10 {
+        std::hint::black_box(engine.build_index(&work, None, None));
+    }
+    println!(
+        "index build: {:.1} us",
+        t.elapsed().as_secs_f64() * 1e6 / 10.0
+    );
+
+    // Cost of the netlist clone the bench loop includes.
+    let t = Instant::now();
+    for _ in 0..10 {
+        std::hint::black_box(mapped.clone());
+    }
+    println!("clone: {:.1} us", t.elapsed().as_secs_f64() * 1e6 / 10.0);
+}

@@ -11,7 +11,7 @@
 use milo_netlist::{
     CellFunction, ComponentKind, GateFn, Netlist, NetlistError, PinDir, PowerLevel,
 };
-use milo_rules::{Rule, RuleClass, RuleCtx, RuleMatch, Tx};
+use milo_rules::{Locality, Rule, RuleClass, RuleCtx, RuleMatch, Tx};
 use milo_techmap::TechLibrary;
 
 /// De Morgan rewrite: `NAND2(a,b) → OR2(INV a, INV b)`.
@@ -34,19 +34,24 @@ impl Rule for NandToInvOr {
         RuleClass::Area
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
-        let nl = ctx.nl;
-        let mut out = Vec::new();
-        for id in nl.component_ids() {
-            let Ok(c) = nl.component(id) else { continue };
-            let ComponentKind::Tech(cell) = &c.kind else {
-                continue;
-            };
-            if !matches!(cell.function, CellFunction::Gate(GateFn::Nand, 2)) {
-                continue;
-            }
-            out.push(RuleMatch::at(id).with_note("NAND2 -> INV+INV+OR2"));
+        milo_rules::scan_all_components(self, ctx)
+    }
+    // Support: only the anchor's own kind.
+    fn locality(&self) -> Locality {
+        Locality::Local
+    }
+    fn matches_at(&self, ctx: &RuleCtx, id: milo_netlist::ComponentId) -> Vec<RuleMatch> {
+        let Ok(c) = ctx.nl.component(id) else {
+            return Vec::new();
+        };
+        let ComponentKind::Tech(cell) = &c.kind else {
+            return Vec::new();
+        };
+        if matches!(cell.function, CellFunction::Gate(GateFn::Nand, 2)) {
+            vec![RuleMatch::at(id).with_note("NAND2 -> INV+INV+OR2")]
+        } else {
+            Vec::new()
         }
-        out
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let or2 = self

@@ -502,27 +502,49 @@ impl Netlist {
             .any(|p| p.net == net && p.dir == PinDir::In)
     }
 
+    /// The load pins of `net`, lazily — one definition of "load" (a
+    /// connection whose pin is an input) backing [`Netlist::loads`],
+    /// [`Netlist::load_count`], [`Netlist::first_load`], and
+    /// [`Netlist::fanout`].
+    fn load_pins(&self, net: NetId) -> impl Iterator<Item = PinRef> + '_ {
+        self.nets
+            .get(net.index())
+            .and_then(Option::as_ref)
+            .into_iter()
+            .flat_map(|n| n.connections.iter().copied())
+            .filter(|p| {
+                self.component(p.component)
+                    .ok()
+                    .and_then(|c| c.pins.get(p.pin as usize))
+                    .is_some_and(|pin| pin.dir == PinDir::In)
+            })
+    }
+
     /// The input pins loading `net`.
     pub fn loads(&self, net: NetId) -> Vec<PinRef> {
-        match self.nets.get(net.index()).and_then(Option::as_ref) {
-            None => Vec::new(),
-            Some(n) => n
-                .connections
-                .iter()
-                .copied()
-                .filter(|p| {
-                    self.component(p.component)
-                        .ok()
-                        .and_then(|c| c.pins.get(p.pin as usize))
-                        .is_some_and(|pin| pin.dir == PinDir::In)
-                })
-                .collect(),
-        }
+        self.load_pins(net).collect()
+    }
+
+    /// Number of input pins loading `net` — the port-free part of
+    /// [`Netlist::fanout`], without allocating.
+    pub fn load_count(&self, net: NetId) -> usize {
+        self.load_pins(net).count()
+    }
+
+    /// The first input pin loading `net` (the head of
+    /// [`Netlist::loads`]), without allocating.
+    pub fn first_load(&self, net: NetId) -> Option<PinRef> {
+        self.load_pins(net).next()
+    }
+
+    /// Whether any top-level port (either direction) binds `net`.
+    pub fn net_is_port_bound(&self, net: NetId) -> bool {
+        self.ports.iter().any(|p| p.net == net)
     }
 
     /// Fanout of a net: input pins plus output ports attached.
     pub fn fanout(&self, net: NetId) -> usize {
-        self.loads(net).len()
+        self.load_count(net)
             + self
                 .ports
                 .iter()

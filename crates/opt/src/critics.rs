@@ -6,31 +6,38 @@ use milo_netlist::{
     CellFunction, ComponentId, ComponentKind, GateFn, NetId, Netlist, NetlistError, PinDir,
     PowerLevel, TechCell,
 };
-use milo_rules::{Rule, RuleClass, RuleCtx, RuleMatch, Tx};
+use milo_rules::{Locality, Rule, RuleClass, RuleCtx, RuleMatch, Tx};
 use milo_techmap::TechLibrary;
 use milo_timing::on_critical_path;
 
 fn tech_cell_of(nl: &Netlist, id: ComponentId) -> Option<TechCell> {
+    tech_cell_ref(nl, id).cloned()
+}
+
+/// Borrowing variant for match predicates — re-run thousands of times
+/// per index repair, so they must not clone the cell.
+fn tech_cell_ref(nl: &Netlist, id: ComponentId) -> Option<&TechCell> {
     match &nl.component(id).ok()?.kind {
-        ComponentKind::Tech(c) => Some(c.clone()),
+        ComponentKind::Tech(c) => Some(c),
         _ => None,
     }
 }
 
 fn is_inv(nl: &Netlist, id: ComponentId) -> bool {
     matches!(
-        tech_cell_of(nl, id).map(|c| c.function),
+        tech_cell_ref(nl, id).map(|c| &c.function),
         Some(CellFunction::Gate(GateFn::Inv, 1))
     )
 }
 
 fn single_output_net(nl: &Netlist, id: ComponentId) -> Option<NetId> {
     let comp = nl.component(id).ok()?;
-    let outs: Vec<_> = comp.output_pins().collect();
-    if outs.len() == 1 {
-        comp.pins[outs[0] as usize].net
-    } else {
+    let mut outs = comp.pins.iter().filter(|p| p.dir == PinDir::Out);
+    let first = outs.next()?;
+    if outs.next().is_some() {
         None
+    } else {
+        first.net
     }
 }
 
@@ -46,35 +53,39 @@ impl Rule for InvPairElimination {
         RuleClass::Logic
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        milo_rules::scan_all_components(self, ctx)
+    }
+    // Support: the anchor's kind, its output net's fanout/port-binding,
+    // and the load's kind — all inside the 1-hop contract.
+    fn locality(&self) -> Locality {
+        Locality::Local
+    }
+    fn matches_at(&self, ctx: &RuleCtx, id: ComponentId) -> Vec<RuleMatch> {
         let nl = ctx.nl;
-        let mut out = Vec::new();
-        for id in nl.component_ids() {
-            if !is_inv(nl, id) {
-                continue;
-            }
-            let Some(y) = single_output_net(nl, id) else {
-                continue;
-            };
-            if nl.fanout(y) != 1 || nl.ports().iter().any(|p| p.net == y) {
-                continue;
-            }
-            let Some(load) = nl.loads(y).first().copied() else {
-                continue;
-            };
-            if is_inv(nl, load.component) {
-                // Second inverter's output must not be a port either when
-                // the first's input is port-driven... moving loads is safe
-                // regardless; only skip if the PAIR shares a component.
-                if load.component != id {
-                    out.push(
-                        RuleMatch::at(id)
-                            .with_aux(vec![load.component])
-                            .with_note("INV-INV pair removed"),
-                    );
-                }
-            }
+        if !is_inv(nl, id) {
+            return Vec::new();
         }
-        out
+        let Some(y) = single_output_net(nl, id) else {
+            return Vec::new();
+        };
+        // Port-bound nets are excluded anyway, so `fanout == 1` reduces
+        // to the allocation-free load count.
+        if nl.net_is_port_bound(y) || nl.load_count(y) != 1 {
+            return Vec::new();
+        }
+        let Some(load) = nl.first_load(y) else {
+            return Vec::new();
+        };
+        // Second inverter's output must not be a port either when
+        // the first's input is port-driven... moving loads is safe
+        // regardless; only skip if the PAIR shares a component.
+        if is_inv(nl, load.component) && load.component != id {
+            vec![RuleMatch::at(id)
+                .with_aux(vec![load.component])
+                .with_note("INV-INV pair removed")]
+        } else {
+            Vec::new()
+        }
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let nl = tx.netlist();
@@ -109,24 +120,27 @@ impl Rule for BufferElimination {
         RuleClass::Logic
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        milo_rules::scan_all_components(self, ctx)
+    }
+    // Support: the anchor's kind and its output net's port-binding.
+    fn locality(&self) -> Locality {
+        Locality::Local
+    }
+    fn matches_at(&self, ctx: &RuleCtx, id: ComponentId) -> Vec<RuleMatch> {
         let nl = ctx.nl;
-        let mut out = Vec::new();
-        for id in nl.component_ids() {
-            let Some(cell) = tech_cell_of(nl, id) else {
-                continue;
-            };
-            if !matches!(cell.function, CellFunction::Gate(GateFn::Buf, 1)) {
-                continue;
-            }
-            let Some(y) = single_output_net(nl, id) else {
-                continue;
-            };
-            if nl.ports().iter().any(|p| p.net == y) {
-                continue;
-            }
-            out.push(RuleMatch::at(id).with_note("buffer removed"));
+        let Some(cell) = tech_cell_ref(nl, id) else {
+            return Vec::new();
+        };
+        if !matches!(cell.function, CellFunction::Gate(GateFn::Buf, 1)) {
+            return Vec::new();
         }
-        out
+        let Some(y) = single_output_net(nl, id) else {
+            return Vec::new();
+        };
+        if nl.net_is_port_bound(y) {
+            return Vec::new();
+        }
+        vec![RuleMatch::at(id).with_note("buffer removed")]
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let nl = tx.netlist();
@@ -144,6 +158,12 @@ impl Rule for BufferElimination {
 
 /// Logic critic: merge structurally identical gates driving separate nets
 /// (common-subexpression elimination at cell level).
+///
+/// Stays [`Locality::Global`] (the default): a match pairs the
+/// lowest-id holder of a signature with a later duplicate, so removing
+/// or re-kinding one component can move matches anchored arbitrarily
+/// far away — there is no 1-hop support bound. The full re-match is a
+/// single hashed O(design) pass, no worse than the scan it replaces.
 pub struct DuplicateGateMerge;
 
 impl Rule for DuplicateGateMerge {
@@ -155,38 +175,71 @@ impl Rule for DuplicateGateMerge {
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
         let nl = ctx.nl;
-        let signature = |id: ComponentId| -> Option<(String, Vec<NetId>)> {
+        // This rule re-matches in full on every index repair (it is
+        // `Global`), so the scan must not allocate per component: the
+        // signature (cell name + ordered input nets) is pre-hashed to a
+        // u64 (FNV-1a — SipHash costs ~5x here) and only hash-bucket
+        // collisions compare the real thing.
+        let signature_hash = |id: ComponentId| -> Option<u64> {
             let comp = nl.component(id).ok()?;
-            let cell = tech_cell_of(nl, id)?;
+            let ComponentKind::Tech(cell) = &comp.kind else {
+                return None;
+            };
             if !matches!(
                 cell.function,
                 CellFunction::Gate(..) | CellFunction::Table(_)
             ) {
                 return None;
             }
-            let ins: Option<Vec<NetId>> = comp
-                .pins
-                .iter()
-                .filter(|p| p.dir == PinDir::In)
-                .map(|p| p.net)
-                .collect();
-            Some((cell.name, ins?))
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            let mut eat = |v: u64| {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            };
+            for &b in cell.name.as_bytes() {
+                eat(u64::from(b));
+            }
+            for p in comp.pins.iter().filter(|p| p.dir == PinDir::In) {
+                eat(p.net?.index() as u64 + 1);
+            }
+            Some(h)
         };
-        // Hash by signature so matching stays linear in design size.
-        let mut by_sig: std::collections::HashMap<(String, Vec<NetId>), ComponentId> =
+        let same_signature = |a: ComponentId, b: ComponentId| -> bool {
+            let (Ok(ca), Ok(cb)) = (nl.component(a), nl.component(b)) else {
+                return false;
+            };
+            let (ComponentKind::Tech(ta), ComponentKind::Tech(tb)) = (&ca.kind, &cb.kind) else {
+                return false;
+            };
+            ta.name == tb.name
+                && ca
+                    .pins
+                    .iter()
+                    .filter(|p| p.dir == PinDir::In)
+                    .map(|p| p.net)
+                    .eq(cb
+                        .pins
+                        .iter()
+                        .filter(|p| p.dir == PinDir::In)
+                        .map(|p| p.net))
+        };
+        // Bucket by hash; each bucket holds the first-seen component of
+        // every distinct signature landing there (collisions are rare).
+        let mut by_sig: std::collections::HashMap<u64, Vec<ComponentId>> =
             std::collections::HashMap::new();
         let mut out = Vec::new();
         for id in nl.component_ids() {
-            let Some(sig) = signature(id) else { continue };
-            match by_sig.get(&sig) {
-                None => {
-                    by_sig.insert(sig, id);
-                }
+            let Some(h) = signature_hash(id) else {
+                continue;
+            };
+            let bucket = by_sig.entry(h).or_default();
+            match bucket.iter().find(|&&keep| same_signature(keep, id)) {
+                None => bucket.push(id),
                 Some(&keep) => {
                     // Do not merge when the duplicate's output is a port
                     // net (the port binding cannot be moved).
                     if let Some(y) = single_output_net(nl, id) {
-                        if !nl.ports().iter().any(|p| p.net == y) {
+                        if !nl.net_is_port_bound(y) {
                             out.push(
                                 RuleMatch::at(keep)
                                     .with_aux(vec![id])
@@ -198,6 +251,12 @@ impl Rule for DuplicateGateMerge {
             }
         }
         out
+    }
+    // `Global` for support (a match pairs the lowest-id signature
+    // holder with a later duplicate — no local bound), but the match
+    // scan never reads timing.
+    fn uses_sta(&self) -> bool {
+        false
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let nl = tx.netlist();
@@ -237,58 +296,60 @@ impl Rule for MuxDffMerge {
         RuleClass::Logic
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        milo_rules::scan_all_components(self, ctx)
+    }
+    // Support: the anchor mux's kind, its output net, and the kind and
+    // entry pin of the single load — 1-hop.
+    fn locality(&self) -> Locality {
+        Locality::Local
+    }
+    fn matches_at(&self, ctx: &RuleCtx, id: ComponentId) -> Vec<RuleMatch> {
         let nl = ctx.nl;
-        let mut out = Vec::new();
-        for id in nl.component_ids() {
-            let Some(cell) = tech_cell_of(nl, id) else {
-                continue;
-            };
-            let CellFunction::Mux { selects } = cell.function else {
-                continue;
-            };
-            if self
-                .lib
-                .cell_at_level(&CellFunction::MuxDff { selects }, PowerLevel::Standard)
-                .is_none()
-            {
-                continue;
-            }
-            let Some(y) = single_output_net(nl, id) else {
-                continue;
-            };
-            if nl.fanout(y) != 1 || nl.ports().iter().any(|p| p.net == y) {
-                continue;
-            }
-            let Some(load) = nl.loads(y).first().copied() else {
-                continue;
-            };
-            let Some(ff) = tech_cell_of(nl, load.component) else {
-                continue;
-            };
-            if !matches!(
-                ff.function,
-                CellFunction::Dff {
-                    set: false,
-                    reset: false,
-                    enable: false
-                }
-            ) {
-                continue;
-            }
-            let Ok(ff_comp) = nl.component(load.component) else {
-                continue;
-            };
-            if ff_comp.pins[load.pin as usize].name != "D" {
-                continue;
-            }
-            out.push(
-                RuleMatch::at(id)
-                    .with_aux(vec![load.component])
-                    .with_choice(selects as usize)
-                    .with_note(format!("mux{}+DFF -> MXFF", 1 << selects)),
-            );
+        let Some(cell) = tech_cell_ref(nl, id) else {
+            return Vec::new();
+        };
+        let CellFunction::Mux { selects } = cell.function else {
+            return Vec::new();
+        };
+        if self
+            .lib
+            .cell_at_level(&CellFunction::MuxDff { selects }, PowerLevel::Standard)
+            .is_none()
+        {
+            return Vec::new();
         }
-        out
+        let Some(y) = single_output_net(nl, id) else {
+            return Vec::new();
+        };
+        if nl.net_is_port_bound(y) || nl.load_count(y) != 1 {
+            return Vec::new();
+        }
+        let Some(load) = nl.first_load(y) else {
+            return Vec::new();
+        };
+        let Some(ff) = tech_cell_ref(nl, load.component) else {
+            return Vec::new();
+        };
+        if !matches!(
+            ff.function,
+            CellFunction::Dff {
+                set: false,
+                reset: false,
+                enable: false
+            }
+        ) {
+            return Vec::new();
+        }
+        let Ok(ff_comp) = nl.component(load.component) else {
+            return Vec::new();
+        };
+        if ff_comp.pins[load.pin as usize].name != "D" {
+            return Vec::new();
+        }
+        vec![RuleMatch::at(id)
+            .with_aux(vec![load.component])
+            .with_choice(selects as usize)
+            .with_note(format!("mux{}+DFF -> MXFF", 1 << selects))]
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let selects = m.choice as u8;
@@ -352,54 +413,55 @@ impl Rule for MuxIntoMuxDff {
         RuleClass::Logic
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        milo_rules::scan_all_components(self, ctx)
+    }
+    // Support: the anchor mux's kind, its output net, and the kind and
+    // entry pin of the single load — 1-hop.
+    fn locality(&self) -> Locality {
+        Locality::Local
+    }
+    fn matches_at(&self, ctx: &RuleCtx, id: ComponentId) -> Vec<RuleMatch> {
         let nl = ctx.nl;
-        let mut out = Vec::new();
-        for id in nl.component_ids() {
-            let Some(cell) = tech_cell_of(nl, id) else {
-                continue;
-            };
-            if !matches!(cell.function, CellFunction::Mux { selects: 1 }) {
-                continue;
-            }
-            if self
-                .lib
-                .cell_at_level(&CellFunction::MuxDff { selects: 2 }, PowerLevel::Standard)
-                .is_none()
-            {
-                continue;
-            }
-            let Some(y) = single_output_net(nl, id) else {
-                continue;
-            };
-            if nl.fanout(y) != 1 || nl.ports().iter().any(|p| p.net == y) {
-                continue;
-            }
-            let Some(load) = nl.loads(y).first().copied() else {
-                continue;
-            };
-            let Some(mxff) = tech_cell_of(nl, load.component) else {
-                continue;
-            };
-            if !matches!(mxff.function, CellFunction::MuxDff { selects: 1 }) {
-                continue;
-            }
-            let Ok(mx_comp) = nl.component(load.component) else {
-                continue;
-            };
-            let pin_name = mx_comp.pins[load.pin as usize].name.clone();
-            let word = match pin_name.as_str() {
-                "D0" => 0usize,
-                "D1" => 1,
-                _ => continue,
-            };
-            out.push(
-                RuleMatch::at(id)
-                    .with_aux(vec![load.component])
-                    .with_choice(word)
-                    .with_note("2:1 mux + MXFF2 -> MXFF4"),
-            );
+        let Some(cell) = tech_cell_ref(nl, id) else {
+            return Vec::new();
+        };
+        if !matches!(cell.function, CellFunction::Mux { selects: 1 }) {
+            return Vec::new();
         }
-        out
+        if self
+            .lib
+            .cell_at_level(&CellFunction::MuxDff { selects: 2 }, PowerLevel::Standard)
+            .is_none()
+        {
+            return Vec::new();
+        }
+        let Some(y) = single_output_net(nl, id) else {
+            return Vec::new();
+        };
+        if nl.net_is_port_bound(y) || nl.load_count(y) != 1 {
+            return Vec::new();
+        }
+        let Some(load) = nl.first_load(y) else {
+            return Vec::new();
+        };
+        let Some(mxff) = tech_cell_ref(nl, load.component) else {
+            return Vec::new();
+        };
+        if !matches!(mxff.function, CellFunction::MuxDff { selects: 1 }) {
+            return Vec::new();
+        }
+        let Ok(mx_comp) = nl.component(load.component) else {
+            return Vec::new();
+        };
+        let word = match mx_comp.pins[load.pin as usize].name.as_str() {
+            "D0" => 0usize,
+            "D1" => 1,
+            _ => return Vec::new(),
+        };
+        vec![RuleMatch::at(id)
+            .with_aux(vec![load.component])
+            .with_choice(word)
+            .with_note("2:1 mux + MXFF2 -> MXFF4")]
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         let merged = self
@@ -584,15 +646,37 @@ impl Rule for FanoutRepair {
         let mut out = Vec::new();
         for net in nl.net_ids() {
             let Some(drv) = nl.driver(net) else { continue };
-            let Some(cell) = tech_cell_of(nl, drv.component) else {
+            if let Some(m) = fanout_violation(nl, drv, net) {
+                out.push(m);
+            }
+        }
+        out
+    }
+    // Support: the anchor driver's kind and the driven net's load
+    // count — 1-hop (anchored at the driver, so a load change touches
+    // the net and re-matches the anchor).
+    fn locality(&self) -> Locality {
+        Locality::Local
+    }
+    fn matches_at(&self, ctx: &RuleCtx, id: ComponentId) -> Vec<RuleMatch> {
+        let nl = ctx.nl;
+        let Ok(comp) = nl.component(id) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, pin) in comp.pins.iter().enumerate() {
+            if pin.dir != PinDir::Out {
                 continue;
-            };
-            if nl.fanout(net) > cell.max_fanout as usize {
-                out.push(
-                    RuleMatch::at(drv.component)
-                        .with_pins(vec![drv])
-                        .with_note(format!("fanout {} > {}", nl.fanout(net), cell.max_fanout)),
-                );
+            }
+            let Some(net) = pin.net else { continue };
+            let pr = milo_netlist::PinRef::new(id, i as u16);
+            // Multi-driven nets anchor at whichever pin `driver`
+            // reports, exactly like the full scan.
+            if nl.driver(net) != Some(pr) {
+                continue;
+            }
+            if let Some(m) = fanout_violation(nl, pr, net) {
+                out.push(m);
             }
         }
         out
@@ -627,6 +711,21 @@ impl Rule for FanoutRepair {
     }
 }
 
+/// One `FanoutRepair` match when `drv`'s `net` exceeds the cell's
+/// fanout limit (shared by the full scan and the per-anchor re-match).
+fn fanout_violation(nl: &Netlist, drv: milo_netlist::PinRef, net: NetId) -> Option<RuleMatch> {
+    let cell = tech_cell_ref(nl, drv.component)?;
+    if nl.fanout(net) > cell.max_fanout as usize {
+        Some(
+            RuleMatch::at(drv.component)
+                .with_pins(vec![drv])
+                .with_note(format!("fanout {} > {}", nl.fanout(net), cell.max_fanout)),
+        )
+    } else {
+        None
+    }
+}
+
 /// Cleanup: dead combinational logic at the technology level.
 pub struct DeadCellRemoval;
 
@@ -638,31 +737,39 @@ impl Rule for DeadCellRemoval {
         RuleClass::Cleanup
     }
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+        milo_rules::scan_all_components(self, ctx)
+    }
+    // Support: the anchor's kind and its output nets' fanout and
+    // port-binding — 1-hop.
+    fn locality(&self) -> Locality {
+        Locality::Local
+    }
+    fn matches_at(&self, ctx: &RuleCtx, id: ComponentId) -> Vec<RuleMatch> {
         let nl = ctx.nl;
-        let mut out = Vec::new();
-        for id in nl.component_ids() {
-            let Ok(comp) = nl.component(id) else { continue };
-            if comp.kind.is_sequential() {
-                continue;
-            }
-            let mut has_out = false;
-            let mut dead = true;
-            for p in &comp.pins {
-                if p.dir == PinDir::Out {
-                    has_out = true;
-                    if let Some(net) = p.net {
-                        if nl.fanout(net) > 0 || nl.ports().iter().any(|port| port.net == net) {
-                            dead = false;
-                            break;
-                        }
+        let Ok(comp) = nl.component(id) else {
+            return Vec::new();
+        };
+        if comp.kind.is_sequential() {
+            return Vec::new();
+        }
+        let mut has_out = false;
+        let mut dead = true;
+        for p in &comp.pins {
+            if p.dir == PinDir::Out {
+                has_out = true;
+                if let Some(net) = p.net {
+                    if nl.load_count(net) > 0 || nl.net_is_port_bound(net) {
+                        dead = false;
+                        break;
                     }
                 }
             }
-            if has_out && dead {
-                out.push(RuleMatch::at(id).with_note("dead cell"));
-            }
         }
-        out
+        if has_out && dead {
+            vec![RuleMatch::at(id).with_note("dead cell")]
+        } else {
+            Vec::new()
+        }
     }
     fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
         tx.remove_component(m.site)

@@ -1,10 +1,12 @@
 //! The OPS-style rule engine: rule trait, conflict set, conflict
 //! resolution and the recognize–act cycle (§2.2.1).
 
+use crate::matcher::{Locality, MatchIndex};
 use crate::undo::{Tx, UndoLog};
 use milo_netlist::{ComponentId, Netlist, NetlistError, PinRef, TouchSet};
 use milo_timing::{statistics, statistics_with_sta, DesignStats, IncrementalSta, Sta};
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 /// The rule classification of §6.4 (Fig. 17) plus the Logic Consultant's
 /// high-priority "clean up" class (§2.2.1).
@@ -113,6 +115,36 @@ pub trait Rule {
     fn class(&self) -> RuleClass;
     /// Finds all applicable sites.
     fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch>;
+    /// The rule's support radius — the [`MatchIndex`] repair contract.
+    ///
+    /// Return [`Locality::Local`] only when a match anchored at a
+    /// component is fully determined by that component, its adjacent
+    /// nets, and the loads on nets the anchor drives, and matching
+    /// never reads `ctx.sta` (see `crate::matcher` docs for the exact
+    /// support contract). The safe default is [`Locality::Global`]:
+    /// the rule is fully re-matched on every index repair.
+    fn locality(&self) -> Locality {
+        Locality::Global
+    }
+    /// Whether [`Rule::matches`] reads `ctx.sta`. [`Locality::Local`]
+    /// rules contractually never do; `Global` rules default to a
+    /// conservative "yes". When no rule in an engine's set uses the
+    /// STA, sweep mode skips timing maintenance entirely.
+    fn uses_sta(&self) -> bool {
+        !matches!(self.locality(), Locality::Local)
+    }
+    /// All matches anchored exactly at `anchor` (`RuleMatch::site ==
+    /// anchor`). Must agree with [`Rule::matches`] filtered by site.
+    /// The default does exactly that — correct but O(design); rules
+    /// declaring [`Locality::Local`] should override it with a
+    /// constant-time neighborhood check, which is where the
+    /// incremental matcher's speedup comes from.
+    fn matches_at(&self, ctx: &RuleCtx, anchor: ComponentId) -> Vec<RuleMatch> {
+        self.matches(ctx)
+            .into_iter()
+            .filter(|m| m.site == anchor)
+            .collect()
+    }
     /// Applies the rule at a match, inside a transaction.
     ///
     /// # Errors
@@ -182,10 +214,58 @@ pub struct Firing {
     pub effect: Effect,
 }
 
+/// Full-design scan for rules whose [`Rule::matches`] is just
+/// [`Rule::matches_at`] over every component — the usual body of a
+/// [`Locality::Local`] rule's `matches` implementation.
+///
+/// **The rule must override [`Rule::matches_at`].** The default
+/// `matches_at` delegates back to `matches`; calling this helper from
+/// `matches` without that override would recurse infinitely, so the
+/// cycle is detected and reported as a panic naming the missing
+/// override instead of a bare stack overflow.
+///
+/// # Panics
+///
+/// Panics when re-entered for the same rule — the signature of a
+/// missing `matches_at` override.
+pub fn scan_all_components(rule: &dyn Rule, ctx: &RuleCtx) -> Vec<RuleMatch> {
+    use std::cell::Cell;
+    thread_local! {
+        static SCANNING: Cell<bool> = const { Cell::new(false) };
+    }
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            SCANNING.with(|s| s.set(false));
+        }
+    }
+    assert!(
+        !SCANNING.with(|s| s.replace(true)),
+        "scan_all_components re-entered while scanning `{}`: the rule \
+         calls the helper from `matches` without overriding `matches_at` \
+         (whose default delegates back to `matches`)",
+        rule.name()
+    );
+    let _reset = Reset;
+    ctx.nl
+        .component_ids()
+        .flat_map(|id| rule.matches_at(ctx, id))
+        .collect()
+}
+
+/// Whether `MILO_MATCH_ORACLE` asks every indexed conflict set to be
+/// cross-checked against a full rescan (set to anything but `0`).
+fn oracle_from_env() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG
+        .get_or_init(|| std::env::var("MILO_MATCH_ORACLE").is_ok_and(|v| !v.is_empty() && v != "0"))
+}
+
 /// The recognize–act engine.
 pub struct Engine {
     rules: Vec<Box<dyn Rule>>,
     refraction: HashSet<(String, ComponentId, Vec<ComponentId>, usize)>,
+    match_oracle: bool,
     /// Trace of fired rules.
     pub firings: Vec<Firing>,
 }
@@ -196,6 +276,7 @@ impl Engine {
         Self {
             rules,
             refraction: HashSet::new(),
+            match_oracle: oracle_from_env(),
             firings: Vec::new(),
         }
     }
@@ -210,8 +291,19 @@ impl Engine {
         self.refraction.clear();
     }
 
-    /// Builds the conflict set: all (rule, match) pairs, refraction
-    /// filtered, optionally restricted to one class.
+    /// Forces the full-rescan oracle on or off (defaults to the
+    /// `MILO_MATCH_ORACLE` environment variable): every conflict set
+    /// served from the incremental [`MatchIndex`] is compared against
+    /// [`Engine::conflict_set`], panicking on divergence.
+    pub fn set_match_oracle(&mut self, on: bool) {
+        self.match_oracle = on;
+    }
+
+    /// Builds the conflict set by **full rescan**: all (rule, match)
+    /// pairs, refraction filtered, optionally restricted to one class.
+    /// The engine's own loops serve conflict sets from an incremental
+    /// [`MatchIndex`] instead; this path remains as the debug oracle
+    /// (`MILO_MATCH_ORACLE`) and for one-shot callers.
     pub fn conflict_set(
         &self,
         nl: &Netlist,
@@ -231,6 +323,107 @@ impl Engine {
             }
         }
         out
+    }
+
+    /// Builds a [`MatchIndex`] over this engine's rules — the full
+    /// matching pass that incremental repair then keeps alive.
+    pub fn build_index(
+        &self,
+        nl: &Netlist,
+        sta: Option<&Sta>,
+        class: Option<RuleClass>,
+    ) -> MatchIndex {
+        MatchIndex::build(&self.rules, &RuleCtx { nl, sta }, class)
+    }
+
+    /// Reads the conflict set from an index (refraction filtered) —
+    /// the incremental counterpart of [`Engine::conflict_set`].
+    pub fn conflict_set_indexed(&self, index: &MatchIndex) -> Vec<(usize, RuleMatch)> {
+        index
+            .matches()
+            .into_iter()
+            .filter(|(i, m)| {
+                !self
+                    .refraction
+                    .contains(&m.fingerprint(self.rules[*i].name()))
+            })
+            .collect()
+    }
+
+    /// Drops a stale index and (re)builds as needed, returning the
+    /// refraction-filtered conflict set. An index goes stale when STA
+    /// availability flips (global rules may read it) or the class
+    /// restriction changes.
+    fn indexed_conflict(
+        &self,
+        nl: &Netlist,
+        inc: &Option<IncrementalSta>,
+        index: &mut Option<MatchIndex>,
+        class: Option<RuleClass>,
+    ) -> Vec<(usize, RuleMatch)> {
+        let sta = inc.as_ref().map(IncrementalSta::sta);
+        if index
+            .as_ref()
+            .is_some_and(|ix| ix.with_sta() != sta.is_some() || ix.class() != class)
+        {
+            *index = None;
+        }
+        let ix = index.get_or_insert_with(|| self.build_index(nl, sta, class));
+        let conflict = self.conflict_set_indexed(ix);
+        if self.match_oracle {
+            self.oracle_check(&conflict, nl, sta, class);
+        }
+        conflict
+    }
+
+    /// Repairs a maintained index after a committed rewrite (or undo)
+    /// with touch set `ts`; `inc` must already be refreshed from the
+    /// same touch set.
+    fn repair_index(
+        &self,
+        nl: &Netlist,
+        inc: &Option<IncrementalSta>,
+        index: &mut Option<MatchIndex>,
+        ts: &TouchSet,
+    ) {
+        if let Some(ix) = index.as_mut() {
+            let ctx = RuleCtx {
+                nl,
+                sta: inc.as_ref().map(IncrementalSta::sta),
+            };
+            ix.repair(&self.rules, &ctx, ts);
+        }
+    }
+
+    /// The debug oracle: assert the indexed conflict set equals the
+    /// full rescan (as multisets — index order is anchor-major, scan
+    /// order is discovery-major).
+    fn oracle_check(
+        &self,
+        indexed: &[(usize, RuleMatch)],
+        nl: &Netlist,
+        sta: Option<&Sta>,
+        class: Option<RuleClass>,
+    ) {
+        let full = self.conflict_set(nl, sta, class);
+        let key = |(i, m): &(usize, RuleMatch)| {
+            (
+                *i,
+                m.site,
+                m.aux.clone(),
+                m.pins.clone(),
+                m.choice,
+                m.note.clone(),
+            )
+        };
+        let mut a: Vec<_> = indexed.iter().map(key).collect();
+        let mut b: Vec<_> = full.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(
+            a, b,
+            "match-index conflict set diverged from full rescan (MILO_MATCH_ORACLE)"
+        );
     }
 
     /// Applies `(rule, match)` and measures the effect; on failure the
@@ -298,14 +491,20 @@ impl Engine {
         class: Option<RuleClass>,
     ) -> bool {
         let mut inc = IncrementalSta::new(nl).ok();
-        self.step_inc(nl, &mut inc, selection, class)
+        self.step_inc(nl, &mut inc, &mut None, false, selection, class)
     }
 
-    /// [`Engine::step`] against a maintained incremental STA.
+    /// [`Engine::step`] against a maintained incremental STA and match
+    /// index; both are repaired from the accepted firing's touch set.
+    /// `maintain` is false for one-shot callers whose index dies with
+    /// the call — repairing it (a full `Global` re-match) would be
+    /// thrown-away work.
     fn step_inc(
         &mut self,
         nl: &mut Netlist,
         inc: &mut Option<IncrementalSta>,
+        index: &mut Option<MatchIndex>,
+        maintain: bool,
         selection: Selection,
         class: Option<RuleClass>,
     ) -> bool {
@@ -314,7 +513,7 @@ impl Engine {
         if inc.is_none() {
             *inc = IncrementalSta::new(nl).ok();
         }
-        let conflict = self.conflict_set(nl, inc.as_ref().map(IncrementalSta::sta), class);
+        let conflict = self.indexed_conflict(nl, inc, index, class);
         if conflict.is_empty() {
             return false;
         }
@@ -325,8 +524,11 @@ impl Engine {
                 let mut ordered: Vec<&(usize, RuleMatch)> = conflict.iter().collect();
                 ordered.sort_by_key(|(_, m)| std::cmp::Reverse(m.specificity()));
                 for (idx, m) in ordered {
-                    if let Some((effect, _log)) = self.try_apply_inc(nl, inc, *idx, m) {
+                    if let Some((effect, log)) = self.try_apply_inc(nl, inc, *idx, m) {
                         self.record(*idx, m, effect);
+                        if maintain {
+                            self.repair_index(nl, inc, index, &log.touch_set());
+                        }
                         return true;
                     }
                 }
@@ -334,7 +536,9 @@ impl Engine {
             }
             Selection::MaxGain { delay, area, power } => {
                 // Evaluate each candidate by applying + undoing, fire the
-                // best positive-merit one.
+                // best positive-merit one. The apply/undo pairs restore
+                // the netlist exactly, so the index needs no repair
+                // until the winner is committed.
                 let mut best: Option<(f64, usize, RuleMatch)> = None;
                 for (idx, m) in &conflict {
                     if let Some((effect, log)) = self.try_apply_inc(nl, inc, *idx, m) {
@@ -349,8 +553,11 @@ impl Engine {
                 }
                 match best {
                     Some((_, idx, m)) => {
-                        if let Some((effect, _log)) = self.try_apply_inc(nl, inc, idx, &m) {
+                        if let Some((effect, log)) = self.try_apply_inc(nl, inc, idx, &m) {
                             self.record(idx, &m, effect);
+                            if maintain {
+                                self.repair_index(nl, inc, index, &log.touch_set());
+                            }
                             true
                         } else {
                             false
@@ -380,24 +587,33 @@ impl Engine {
     /// keeps local-transformation synthesis time near-linear in design
     /// size — the LSS observation of §2.2.2.
     pub fn sweep(&mut self, nl: &mut Netlist, class: Option<RuleClass>) -> usize {
-        let mut inc = IncrementalSta::new(nl).ok();
-        self.sweep_inc(nl, &mut inc, class)
+        self.sweep_inc(nl, &mut None, &mut None, false, class)
     }
 
-    /// [`Engine::sweep`] against a maintained incremental STA: the
-    /// conflict set is matched once from the tracked analysis, every
-    /// accepted firing's touch set is merged, and the analysis is
-    /// refreshed once at the end of the pass.
+    /// [`Engine::sweep`] against a maintained incremental STA and match
+    /// index: the conflict set is served from the index, every accepted
+    /// firing's touch set is merged, and analysis + index are repaired
+    /// once at the end of the pass — so a multi-pass run re-matches
+    /// only where the previous pass rewrote.
     fn sweep_inc(
         &mut self,
         nl: &mut Netlist,
         inc: &mut Option<IncrementalSta>,
+        index: &mut Option<MatchIndex>,
+        maintain: bool,
         class: Option<RuleClass>,
     ) -> usize {
-        if inc.is_none() {
+        // Sweep mode never measures per-firing statistics, so timing
+        // analysis exists only for `matches` to read — skip building
+        // and refreshing it when no rule in scope looks at it.
+        let needs_sta = self
+            .rules
+            .iter()
+            .any(|r| !class.is_some_and(|c| r.class() != c) && r.uses_sta());
+        if inc.is_none() && needs_sta {
             *inc = IncrementalSta::new(nl).ok();
         }
-        let conflict = self.conflict_set(nl, inc.as_ref().map(IncrementalSta::sta), class);
+        let conflict = self.indexed_conflict(nl, inc, index, class);
         let mut touched: HashSet<ComponentId> = HashSet::new();
         let mut merged = TouchSet::new();
         let mut fired = 0usize;
@@ -425,21 +641,27 @@ impl Engine {
         }
         if fired > 0 {
             refresh_or_rebuild(inc, nl, &merged);
+            if maintain {
+                self.repair_index(nl, inc, index, &merged);
+            }
         }
         fired
     }
 
-    /// Repeats [`Engine::sweep`] until quiescence or `max_passes`.
+    /// Repeats [`Engine::sweep`] until quiescence or `max_passes`,
+    /// keeping one match index alive across passes (built on the first
+    /// pass, repaired from each pass's merged touch set after that).
     pub fn run_sweeps(
         &mut self,
         nl: &mut Netlist,
         class: Option<RuleClass>,
         max_passes: usize,
     ) -> usize {
-        let mut inc = IncrementalSta::new(nl).ok();
+        let mut inc = None;
+        let mut index = None;
         let mut total = 0;
         for _ in 0..max_passes {
-            let fired = self.sweep_inc(nl, &mut inc, class);
+            let fired = self.sweep_inc(nl, &mut inc, &mut index, true, class);
             if fired == 0 {
                 break;
             }
@@ -458,8 +680,9 @@ impl Engine {
         max_steps: usize,
     ) -> usize {
         let mut inc = IncrementalSta::new(nl).ok();
+        let mut index = None;
         let mut fired = 0;
-        while fired < max_steps && self.step_inc(nl, &mut inc, selection, class) {
+        while fired < max_steps && self.step_inc(nl, &mut inc, &mut index, true, selection, class) {
             fired += 1;
         }
         fired
@@ -496,36 +719,36 @@ mod tests {
             RuleClass::Logic
         }
         fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+            scan_all_components(self, ctx)
+        }
+        fn locality(&self) -> crate::matcher::Locality {
+            crate::matcher::Locality::Local
+        }
+        fn matches_at(&self, ctx: &RuleCtx, id: ComponentId) -> Vec<RuleMatch> {
             let nl = ctx.nl;
-            let mut out = Vec::new();
-            for id in nl.component_ids() {
-                let Ok(c) = nl.component(id) else { continue };
-                if !matches!(
-                    c.kind,
-                    ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))
-                ) {
-                    continue;
-                }
-                let Some(y) = nl.pin_net(id, "Y") else {
-                    continue;
-                };
-                if nl.fanout(y) != 1 {
-                    continue;
-                }
-                let Some(load) = nl.loads(y).first().copied() else {
-                    continue;
-                };
-                let Ok(next) = nl.component(load.component) else {
-                    continue;
-                };
-                if matches!(
-                    next.kind,
-                    ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1))
-                ) {
-                    out.push(RuleMatch::at(id).with_aux(vec![load.component]));
-                }
+            let is_inv = |c: ComponentId| {
+                matches!(
+                    nl.component(c).map(|x| &x.kind),
+                    Ok(ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)))
+                )
+            };
+            if !is_inv(id) {
+                return Vec::new();
             }
-            out
+            let Some(y) = nl.pin_net(id, "Y") else {
+                return Vec::new();
+            };
+            if nl.fanout(y) != 1 {
+                return Vec::new();
+            }
+            let Some(load) = nl.loads(y).first().copied() else {
+                return Vec::new();
+            };
+            if is_inv(load.component) {
+                vec![RuleMatch::at(id).with_aux(vec![load.component])]
+            } else {
+                Vec::new()
+            }
         }
         fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
             let nl = tx.netlist();
@@ -591,6 +814,104 @@ mod tests {
         let mut engine = Engine::new(vec![Box::new(DoubleInv)]);
         let fired = engine.run(&mut nl, Selection::OpsOrder, Some(RuleClass::Timing), 100);
         assert_eq!(fired, 0);
+    }
+
+    #[test]
+    fn indexed_run_matches_oracle() {
+        // With the oracle on, every conflict set served from the index
+        // is asserted equal to a full rescan — across all firings.
+        let mut nl = inv_chain(7);
+        let mut engine = Engine::new(vec![Box::new(DoubleInv)]);
+        engine.set_match_oracle(true);
+        let fired = engine.run(&mut nl, Selection::OpsOrder, None, 100);
+        assert_eq!(fired, 3);
+        assert_eq!(nl.component_count(), 1);
+    }
+
+    #[test]
+    fn indexed_sweeps_match_oracle() {
+        let mut nl = inv_chain(8);
+        let mut engine = Engine::new(vec![Box::new(DoubleInv)]);
+        engine.set_match_oracle(true);
+        let fired = engine.run_sweeps(&mut nl, None, 20);
+        assert_eq!(fired, 4);
+        assert_eq!(nl.component_count(), 0);
+    }
+
+    #[test]
+    fn repair_tracks_apply_and_undo() {
+        let mut nl = inv_chain(6);
+        let engine = Engine::new(vec![Box::new(DoubleInv)]);
+        let mut index = engine.build_index(&nl, None, None);
+        let full = engine.conflict_set(&nl, None, None);
+        assert_eq!(index.matches().len(), full.len());
+
+        // Apply the first match, repair, and check against a rescan.
+        let (idx, m) = full[0].clone();
+        let mut tx = Tx::new(&mut nl);
+        engine.rules()[idx].apply(&mut tx, &m).unwrap();
+        let log = tx.commit();
+        let ts = log.touch_set();
+        index.repair(engine.rules(), &RuleCtx { nl: &nl, sta: None }, &ts);
+        assert_eq!(
+            index.matches().len(),
+            engine.conflict_set(&nl, None, None).len()
+        );
+
+        // Undo it; the same touch set describes the reverse repair.
+        log.undo(&mut nl);
+        index.repair(engine.rules(), &RuleCtx { nl: &nl, sta: None }, &ts);
+        assert_eq!(
+            index.matches().len(),
+            engine.conflict_set(&nl, None, None).len()
+        );
+        assert!(index.stats().repairs == 2 && index.stats().anchors_rematched > 0);
+    }
+
+    /// Multi-driven nets make `IncrementalSta::refresh` bail out;
+    /// `refresh_or_rebuild` must fall back to a full rebuild (keeping
+    /// the analysis usable for the matcher's rule context) instead of
+    /// panicking or going stale.
+    #[test]
+    fn multi_driven_net_falls_back_to_rebuild() {
+        let mut nl = inv_chain(2);
+        let mut inc = IncrementalSta::new(&nl).ok();
+        assert!(inc.is_some());
+
+        // Second driver onto the chain's middle net.
+        let mid = nl.pin_net(nl.component_ids().next().unwrap(), "Y").unwrap();
+        let mut tx = Tx::new(&mut nl);
+        let extra = tx.add_component(
+            "extra_drv",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        );
+        let a = tx.netlist().ports()[0].net;
+        tx.connect_named(extra, "A0", a).unwrap();
+        tx.connect_named(extra, "Y", mid).unwrap();
+        let log = tx.commit();
+        let ts = log.touch_set();
+
+        refresh_or_rebuild(&mut inc, &nl, &ts);
+        let fresh = milo_timing::analyze(&nl).expect("still analyzable");
+        assert_eq!(
+            inc.as_ref().map(|i| i.sta().worst_delay().to_bits()),
+            Some(fresh.worst_delay().to_bits()),
+            "fallback rebuild matches a from-scratch analysis"
+        );
+
+        // And the index repair path survives the same shape.
+        let engine = Engine::new(vec![Box::new(DoubleInv)]);
+        let mut index = engine.build_index(&nl, inc.as_ref().map(IncrementalSta::sta), None);
+        let mut tx = Tx::new(&mut nl);
+        tx.disconnect(milo_netlist::PinRef::new(extra, 1)).unwrap();
+        let log2 = tx.commit();
+        index.repair(
+            engine.rules(),
+            &RuleCtx { nl: &nl, sta: None },
+            &log2.touch_set(),
+        );
+        let full = engine.conflict_set(&nl, None, None);
+        assert_eq!(index.matches().len(), full.len());
     }
 
     #[test]

@@ -21,21 +21,32 @@
 //! analysis re-propagates only that fan-out cone.
 //! [`HashRuleTable::cached`] memoizes table construction process-wide,
 //! and [`extract_cone_min`] skips the exhaustive cone simulation for
-//! cones below the caller's minimum size. See `docs/PERFORMANCE.md`.
+//! cones below the caller's minimum size.
+//!
+//! Conflict-set matching is incremental too: [`MatchIndex`] keeps a
+//! Rete-style per-rule match memory keyed by anchor component, repaired
+//! from [`UndoLog::touch_set`] after every committed rewrite instead of
+//! rescanning every rule against every component ([`Rule::locality`] /
+//! [`Rule::matches_at`] define the repair contract; the full-rescan
+//! [`Engine::conflict_set`] remains as the `MILO_MATCH_ORACLE` debug
+//! oracle). See `docs/PERFORMANCE.md`.
 
 #![warn(missing_docs)]
 
 mod engine;
 mod hashrules;
+mod matcher;
 mod search;
 mod undo;
 
 pub use engine::{
-    refresh_or_rebuild, Effect, Engine, Firing, Rule, RuleClass, RuleCtx, RuleMatch, Selection,
+    refresh_or_rebuild, scan_all_components, Effect, Engine, Firing, Rule, RuleClass, RuleCtx,
+    RuleMatch, Selection,
 };
 pub use hashrules::{
     cell_truth_table, extract_cone, extract_cone_min, HashEntry, HashRuleTable, LibraryRef,
 };
+pub use matcher::{Locality, MatchIndex, RepairStats};
 pub use search::{
     component_distances, greedy_optimize, lookahead_optimize, MetaParams, SearchStats,
 };

@@ -1,0 +1,249 @@
+//! Rete-style incremental conflict-set matching.
+//!
+//! OPS-family production systems avoid re-running every rule against
+//! every working-memory element per cycle: "once a test has been
+//! performed … it is not redone until a change in data occurs" (§2.2.1).
+//! [`MatchIndex`] is that discipline for the netlist rule engine. It is
+//! an alpha memory per rule, keyed by the *anchor* component of each
+//! [`RuleMatch`] (`RuleMatch::site`), built once by full matching and
+//! then **repaired** from [`UndoLog::touch_set`] after each accepted or
+//! undone rewrite — instead of rescanned from scratch every
+//! recognize–act cycle or sweep pass.
+//!
+//! # Repair contract
+//!
+//! A rule declares its support radius through [`Rule::locality`]:
+//!
+//! * [`Locality::Local`] — a match anchored at component `a` is fully
+//!   determined by (1) `a`'s own kind and pin connections, (2) the
+//!   nets on `a`'s pins — their driver/load lists (including order),
+//!   fanout, and port bindings — and (3) the kinds and pin names of
+//!   components loading nets that **`a` drives**. Matching must not
+//!   read the STA, and must not read the internals (kind, other pins)
+//!   of any component `a` does not drive — neither a net's driver from
+//!   the load side nor a *sibling* load on a shared input net; rules
+//!   that need any of those must stay `Global`. Under this contract,
+//!   any match created or destroyed by a rewrite has its anchor inside
+//!   a small closure of the touch set (touched components, components
+//!   on touched nets, drivers of touched components' nets), so repair
+//!   re-runs [`Rule::matches_at`] only there.
+//! * [`Locality::Global`] — no support bound is promised (signature
+//!   joins like duplicate-gate merging, STA-dependent criticality
+//!   tests). The rule is re-matched in full on every repair; this is
+//!   still no worse than the rescans it replaces.
+//!
+//! Correctness (index ≡ full rescan after every apply/undo step) is
+//! property-tested in `tests/perf_equivalence.rs`, and the engine can
+//! cross-check every indexed conflict set against a rescan when the
+//! `MILO_MATCH_ORACLE` oracle flag is set (see `docs/PERFORMANCE.md`).
+//!
+//! [`UndoLog::touch_set`]: crate::UndoLog::touch_set
+//! [`Rule::locality`]: crate::Rule::locality
+//! [`Rule::matches_at`]: crate::Rule::matches_at
+
+use crate::engine::{Rule, RuleClass, RuleCtx, RuleMatch};
+use milo_netlist::{ComponentId, NetId, TouchSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How far a rule's match predicate reads from its anchor component —
+/// the repair contract of [`MatchIndex`] (see the module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Locality {
+    /// Matches are determined by the anchor itself, its adjacent nets,
+    /// and the loads on nets the anchor drives — and never read the
+    /// STA (see the module docs for the exact support contract).
+    Local,
+    /// No support bound: re-match the whole rule on every repair.
+    Global,
+}
+
+/// Counters describing how much work repairs did, for perf assertions
+/// and traces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RepairStats {
+    /// Number of `repair` calls that did any work.
+    pub repairs: u64,
+    /// Anchor components re-matched across all local rules.
+    pub anchors_rematched: u64,
+    /// Full re-matches of `Global` rules.
+    pub global_rematches: u64,
+}
+
+/// Per-rule storage: anchored matches for local rules, a flat list for
+/// global ones, nothing for rules excluded by the class filter.
+enum Entry {
+    /// Rule filtered out by the index's class restriction.
+    Skipped,
+    /// `Locality::Local`: matches grouped by anchor, in anchor order
+    /// (deterministic iteration regardless of repair history).
+    Local(BTreeMap<ComponentId, Vec<RuleMatch>>),
+    /// `Locality::Global`: matches exactly as `Rule::matches` returned
+    /// them at the last (re)build.
+    Global(Vec<RuleMatch>),
+}
+
+/// The incremental conflict-set index. Build once per optimization run,
+/// repair after every committed rewrite (or undo) with the same touch
+/// set that refreshes the incremental STA.
+pub struct MatchIndex {
+    class: Option<RuleClass>,
+    with_sta: bool,
+    entries: Vec<Entry>,
+    stats: RepairStats,
+}
+
+impl MatchIndex {
+    /// Full matching pass over `rules`, restricted to `class` when
+    /// given. Records whether an STA was available so callers can
+    /// detect staleness when the analysis appears or disappears.
+    pub fn build(rules: &[Box<dyn Rule>], ctx: &RuleCtx, class: Option<RuleClass>) -> Self {
+        let entries = rules
+            .iter()
+            .map(|rule| {
+                if class.is_some_and(|c| rule.class() != c) {
+                    return Entry::Skipped;
+                }
+                match rule.locality() {
+                    Locality::Global => Entry::Global(rule.matches(ctx)),
+                    Locality::Local => {
+                        let mut map: BTreeMap<ComponentId, Vec<RuleMatch>> = BTreeMap::new();
+                        for m in rule.matches(ctx) {
+                            map.entry(m.site).or_default().push(m);
+                        }
+                        Entry::Local(map)
+                    }
+                }
+            })
+            .collect();
+        Self {
+            class,
+            with_sta: ctx.sta.is_some(),
+            entries,
+            stats: RepairStats::default(),
+        }
+    }
+
+    /// The class restriction the index was built with.
+    pub fn class(&self) -> Option<RuleClass> {
+        self.class
+    }
+
+    /// Whether the index was built with an STA in the rule context.
+    /// Local rules never read it, but `Global` matches may; callers
+    /// must rebuild when STA availability flips.
+    pub fn with_sta(&self) -> bool {
+        self.with_sta
+    }
+
+    /// Repair counters since construction.
+    pub fn stats(&self) -> RepairStats {
+        self.stats
+    }
+
+    /// Total matches currently indexed.
+    pub fn len(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| match e {
+                Entry::Skipped => 0,
+                Entry::Local(map) => map.values().map(Vec::len).sum(),
+                Entry::Global(v) => v.len(),
+            })
+            .sum()
+    }
+
+    /// Whether no matches are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Repairs the index after a rewrite (or its undo) described by
+    /// `ts`. `ctx` must reflect the *current* netlist — and, for
+    /// `Global` rules that read timing, an STA already refreshed from
+    /// the same touch set.
+    pub fn repair(&mut self, rules: &[Box<dyn Rule>], ctx: &RuleCtx, ts: &TouchSet) {
+        if ts.is_empty() {
+            return;
+        }
+        self.stats.repairs += 1;
+        self.with_sta = ctx.sta.is_some();
+
+        // Dirty anchors — every anchor whose support can intersect the
+        // touch set under the `Local` contract:
+        //   * every touched component (its own state changed);
+        //   * every component on a touched net (it may read that net's
+        //     connection list, fanout, or load order as one of its
+        //     adjacent nets);
+        //   * the driver of every net adjacent to a touched component
+        //     (an anchor may read the kinds/pin names of loads on nets
+        //     it drives, and a kind-change touches only the component —
+        //     its drivers' load view changed without any net touched).
+        // Removed components no longer resolve, but the undo log records
+        // their connections, so their former nets are in `ts.nets`.
+        let nl = ctx.nl;
+        let mut anchors: BTreeSet<ComponentId> = ts.components.iter().copied().collect();
+        for &n in &ts.nets {
+            if let Ok(net) = nl.net(n) {
+                for conn in &net.connections {
+                    anchors.insert(conn.component);
+                }
+            }
+        }
+        let mut driver_nets: BTreeSet<NetId> = BTreeSet::new();
+        for &c in &ts.components {
+            if let Ok(comp) = nl.component(c) {
+                for pin in &comp.pins {
+                    if let Some(net) = pin.net {
+                        driver_nets.insert(net);
+                    }
+                }
+            }
+        }
+        for &n in &driver_nets {
+            if let Some(drv) = nl.driver(n) {
+                anchors.insert(drv.component);
+            }
+        }
+
+        for (rule, entry) in rules.iter().zip(self.entries.iter_mut()) {
+            match entry {
+                Entry::Skipped => {}
+                Entry::Global(stored) => {
+                    self.stats.global_rematches += 1;
+                    *stored = rule.matches(ctx);
+                }
+                Entry::Local(map) => {
+                    for &a in &anchors {
+                        self.stats.anchors_rematched += 1;
+                        map.remove(&a);
+                        let fresh = rule.matches_at(ctx, a);
+                        if !fresh.is_empty() {
+                            map.insert(a, fresh);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The indexed conflict set: `(rule index, match)` pairs in
+    /// deterministic order (rule-major; local rules by ascending anchor
+    /// id). Refraction filtering is the engine's job.
+    pub fn matches(&self) -> Vec<(usize, RuleMatch)> {
+        let mut out = Vec::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            match entry {
+                Entry::Skipped => {}
+                Entry::Local(map) => {
+                    for ms in map.values() {
+                        out.extend(ms.iter().map(|m| (i, m.clone())));
+                    }
+                }
+                Entry::Global(v) => {
+                    out.extend(v.iter().map(|m| (i, m.clone())));
+                }
+            }
+        }
+        out
+    }
+}

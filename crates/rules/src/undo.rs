@@ -349,4 +349,94 @@ mod tests {
         }
         assert_eq!(format!("{nl:?}"), before);
     }
+
+    /// Undo across nested checkpoints whose transactions build on each
+    /// other structurally (later transactions rewire what earlier ones
+    /// created): unwinding to any checkpoint restores that exact state,
+    /// and new work can stack on top of a partial unwind.
+    #[test]
+    fn undo_across_nested_checkpoints() {
+        let mut nl = base();
+        let mut checkpoints = vec![format!("{nl:?}")];
+        let mut logs = Vec::new();
+
+        // Checkpoint 1: splice a buffer after the inverter.
+        let g = nl.component_ids().next().unwrap();
+        let y = nl.pin_net(g, "Y").unwrap();
+        let mut tx = Tx::new(&mut nl);
+        let mid = tx.add_net("mid");
+        tx.move_loads(y, mid).unwrap();
+        let b = tx.add_component(
+            "b",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+        );
+        tx.connect_named(b, "A0", y).unwrap();
+        tx.connect_named(b, "Y", mid).unwrap();
+        logs.push(tx.commit());
+        checkpoints.push(format!("{nl:?}"));
+
+        // Checkpoint 2: re-kind the buffer the previous checkpoint added.
+        let mut tx = Tx::new(&mut nl);
+        tx.change_kind(
+            b,
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+        )
+        .unwrap();
+        logs.push(tx.commit());
+        checkpoints.push(format!("{nl:?}"));
+
+        // Checkpoint 3: remove the original inverter entirely.
+        let mut tx = Tx::new(&mut nl);
+        tx.remove_component(g).unwrap();
+        logs.push(tx.commit());
+        checkpoints.push(format!("{nl:?}"));
+
+        // Unwind to checkpoint 1, verify, stack new work, then unwind
+        // everything to the initial state.
+        logs.pop().unwrap().undo(&mut nl);
+        logs.pop().unwrap().undo(&mut nl);
+        assert_eq!(format!("{nl:?}"), checkpoints[1]);
+        let mut tx = Tx::new(&mut nl);
+        tx.add_net("scratch");
+        let redo = tx.commit();
+        redo.undo(&mut nl);
+        assert_eq!(format!("{nl:?}"), checkpoints[1]);
+        logs.pop().unwrap().undo(&mut nl);
+        assert_eq!(format!("{nl:?}"), checkpoints[0]);
+    }
+
+    /// A rejected (errored) rewrite still leaves a log whose touch set
+    /// covers every element the partial work touched — the contract the
+    /// incremental STA and the match-index repair both rely on.
+    #[test]
+    fn rejected_rewrite_touch_set_covers_partial_work() {
+        let mut nl = base();
+        let g = nl.component_ids().next().unwrap();
+        let y = nl.pin_net(g, "Y").unwrap();
+        let before = format!("{nl:?}");
+
+        // Partial work, then a failing operation (removing a net that is
+        // still in use), as a rule's apply would produce before erroring.
+        let mut tx = Tx::new(&mut nl);
+        let extra = tx.add_net("extra");
+        let b = tx.add_component(
+            "rej",
+            ComponentKind::Generic(GenericMacro::Gate(GateFn::Buf, 1)),
+        );
+        tx.connect_named(b, "A0", y).unwrap();
+        tx.connect_named(b, "Y", extra).unwrap();
+        assert!(tx.remove_net(y).is_err(), "net in use: the rewrite fails");
+        let log = tx.commit();
+
+        let ts = log.touch_set();
+        assert!(ts.components.contains(&b), "added component touched");
+        assert!(ts.nets.contains(&extra), "added net touched");
+        assert!(ts.nets.contains(&y), "connected-to net touched");
+        // The failed op contributed nothing.
+        assert_eq!(ts.components.len(), 3, "{ts:?}");
+
+        // The same touch set describes the undo.
+        log.undo(&mut nl);
+        assert_eq!(format!("{nl:?}"), before);
+    }
 }

@@ -8,7 +8,7 @@ use milo_logic::{
     divide, espresso, good_factor, good_factor_with_cache, Cover, Cube, KernelCache, TruthTable,
 };
 use milo_netlist::{ComponentKind, Netlist, PinDir, PinRef, TechCell};
-use milo_rules::Tx;
+use milo_rules::{Engine, MatchIndex, RuleCtx, Tx};
 use milo_techmap::{cmos_library, map_netlist};
 use milo_timing::{analyze, IncrementalSta};
 use proptest::prelude::*;
@@ -188,6 +188,116 @@ proptest! {
             assert_sta_equal(&nl, &inc);
         }
     }
+
+    /// The incremental `MatchIndex` conflict set equals the full-rescan
+    /// conflict set after every step of a randomized apply/undo
+    /// sequence — the matcher-side analog of
+    /// `incremental_sta_matches_analyze`, mixing rule firings (the
+    /// rewrites the engine itself produces) with the generic rewrite
+    /// shapes of `random_rewrite`.
+    #[test]
+    fn match_index_equals_rescan(seed in 0u64..300, script in any::<u64>()) {
+        let lib = cmos_library();
+        let mut nl = map_netlist(&milo::circuits::random_logic(40, 8, seed), &lib).expect("maps");
+        let mut rules = milo_opt::logic_rules(&lib);
+        rules.push(Box::new(milo_opt::critics::FanoutRepair::new(lib.clone())));
+        let engine = Engine::new(rules);
+        let mut index = MatchIndex::build(engine.rules(), &RuleCtx { nl: &nl, sta: None }, None);
+        assert_index_equals_rescan(&engine, &index, &nl);
+        let mut state = script | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10 {
+            let r = next();
+            // Half the steps fire one of the engine's own rule matches;
+            // the other half run a generic random rewrite.
+            let log = if r & 1 == 0 {
+                let conflict = engine.conflict_set(&nl, None, None);
+                if conflict.is_empty() {
+                    random_rewrite(&mut nl, &lib, next())
+                } else {
+                    let (idx, m) = conflict[(r >> 8) as usize % conflict.len()].clone();
+                    let mut tx = Tx::new(&mut nl);
+                    let applied = engine.rules()[idx].apply(&mut tx, &m);
+                    let log = tx.commit();
+                    match applied {
+                        Ok(()) => log,
+                        Err(_) => {
+                            // Rejected rewrite: back out, repair from the
+                            // same touch set (it describes both directions).
+                            let ts = log.touch_set();
+                            log.undo(&mut nl);
+                            index.repair(engine.rules(), &RuleCtx { nl: &nl, sta: None }, &ts);
+                            assert_index_equals_rescan(&engine, &index, &nl);
+                            continue;
+                        }
+                    }
+                }
+            } else {
+                random_rewrite(&mut nl, &lib, next())
+            };
+            let ts = log.touch_set();
+            if next() & 3 == 0 {
+                // Back the rewrite out — the same touch set describes
+                // the undo's repair.
+                log.undo(&mut nl);
+            }
+            index.repair(engine.rules(), &RuleCtx { nl: &nl, sta: None }, &ts);
+            assert_index_equals_rescan(&engine, &index, &nl);
+        }
+    }
+
+    /// A full indexed sweep run with the rescan oracle enabled: every
+    /// conflict set the engine serves from the repaired index is
+    /// asserted equal to a full rescan, and the result still preserves
+    /// the circuit function.
+    #[test]
+    fn indexed_sweeps_agree_with_oracle(seed in 0u64..60) {
+        let lib = cmos_library();
+        let mut nl = map_netlist(&milo::circuits::random_logic(60, 10, seed), &lib).expect("maps");
+        let golden = nl.clone();
+        let mut engine = Engine::new(milo_bench::metarule_rules::metarule_rule_set(&lib));
+        engine.set_match_oracle(true);
+        engine.run_sweeps(&mut nl, None, 20);
+        milo_compilers::verify::check_comb_equivalence(&golden, &nl, 64).expect("function preserved");
+    }
+}
+
+/// Multiset comparison of the index's conflict set against a raw
+/// full-rescan of every rule (no refraction is recorded in these tests,
+/// so `Engine::conflict_set` is exactly the rescan).
+fn assert_index_equals_rescan(engine: &Engine, index: &MatchIndex, nl: &Netlist) {
+    type Key = (
+        usize,
+        milo_netlist::ComponentId,
+        Vec<milo_netlist::ComponentId>,
+        Vec<PinRef>,
+        usize,
+        String,
+    );
+    let key = |(i, m): &(usize, milo_rules::RuleMatch)| -> Key {
+        (
+            *i,
+            m.site,
+            m.aux.clone(),
+            m.pins.clone(),
+            m.choice,
+            m.note.clone(),
+        )
+    };
+    let mut indexed: Vec<Key> = index.matches().iter().map(key).collect();
+    let mut rescan: Vec<Key> = engine
+        .conflict_set(nl, None, None)
+        .iter()
+        .map(key)
+        .collect();
+    indexed.sort();
+    rescan.sort();
+    assert_eq!(indexed, rescan, "index diverged from full rescan");
 }
 
 /// Applies one random local rewrite inside a transaction, returning the
