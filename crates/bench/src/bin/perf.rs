@@ -11,8 +11,14 @@
 //! snapshot metadata and one entry per benchmark carrying the mean
 //! nanoseconds per iteration and the iteration count. See
 //! `docs/PERFORMANCE.md` for the format contract.
+//!
+//! With `--json`, the benchmarks are skipped; instead the golden designs
+//! run once through the Flow API and the structured per-design
+//! `{"result", "flow"}` reports (pass wall times, deltas, applied-rule
+//! counts) are printed to stdout as a JSON array — the service-embedding
+//! output shape.
 
-use milo_circuits::{fig19::circuit3, random_logic};
+use milo_circuits::{abadd, fig19::circuit3, random_logic};
 use milo_core::{Constraints, Milo};
 use milo_logic::{espresso, Cover, TruthTable};
 use milo_rules::{Engine, HashRuleTable, LibraryRef};
@@ -69,7 +75,30 @@ impl Snapshot {
     }
 }
 
+/// `--json` mode: the golden designs through the default flow, each
+/// emitting its synthesis summary plus the structured flow report.
+fn emit_flow_json() {
+    let designs = [circuit3(), abadd(), random_logic(80, 10, 7)];
+    let mut out = String::from("[\n");
+    for (i, nl) in designs.iter().enumerate() {
+        let mut milo = Milo::new(ecl_library());
+        let mut flow = milo.flow();
+        let run = flow
+            .run(&mut milo, nl, &Constraints::none())
+            .expect("golden design synthesizes");
+        out.push_str("  ");
+        out.push_str(&run.to_json());
+        out.push_str(if i + 1 == designs.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("]\n");
+    print!("{out}");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        emit_flow_json();
+        return;
+    }
     let window_ms = std::env::var("MILO_PERF_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
@@ -125,12 +154,33 @@ fn main() {
         });
     }
 
-    // The end-to-end Fig. 19 pipeline.
+    // The end-to-end Fig. 19 pipeline (through the synthesize shim —
+    // the default flow with statistics sampling off).
     snap.bench("fig19_circuit3_pipeline", || {
         let mut milo = Milo::new(ecl_library());
         milo.synthesize(&circuit3(), &Constraints::none())
             .expect("synthesizes")
     });
+
+    // The same pipeline through the observable Flow API, per-pass
+    // statistics sampling on: the report-carrying service path.
+    snap.bench("flow/report/fig19_c3", || {
+        let mut milo = Milo::new(ecl_library());
+        let mut flow = milo.flow();
+        flow.run(&mut milo, &circuit3(), &Constraints::none())
+            .expect("synthesizes")
+    });
+
+    // Batched multi-design synthesis fanned across cores, Arc-shared
+    // library / design database (input-order deterministic).
+    {
+        let designs: Vec<_> = (0..8u64).map(|k| random_logic(60, 10, 1000 + k)).collect();
+        snap.bench("flow/batch_synthesize/8x60", || {
+            let mut milo = Milo::new(ecl_library());
+            milo.synthesize_batch(&designs, &Constraints::none())
+                .expect("batch synthesizes")
+        });
+    }
 
     // Rule-engine sweeps at scale (served from the incremental
     // conflict-set index since the Rete-matcher PR).

@@ -1,0 +1,831 @@
+//! The composable synthesis flow: the paper's pipeline (Fig. 11/18) as
+//! an ordered list of [`Pass`] objects over a shared [`FlowContext`].
+//!
+//! `Milo::synthesize` used to hard-code the five stages — micro critic →
+//! logic compilers → bottom-up logic optimization → electric critic →
+//! time/area optimizers — in one monolithic function. They are now
+//! individual passes ([`MicroCritic`], [`Compile`], [`BottomUpLogic`],
+//! [`FanoutRepair`], [`TimingArea`]) composed by a [`Flow`], which adds
+//! insertion points for custom passes, per-pass skip predicates, an
+//! observer hook for progress/metrics, and a structured [`FlowReport`]
+//! (per-pass wall time, cells/area/delay deltas, applied-rule counts)
+//! serializable to JSON. See `docs/FLOW_API.md` for the contract and
+//! migration notes.
+//!
+//! # Examples
+//!
+//! ```
+//! use milo_core::{Constraints, Flow, Milo};
+//! use milo_techmap::ecl_library;
+//!
+//! let nl = milo_core::parse_netlist("
+//! design demo
+//! input a b
+//! output y
+//! comp and2 g A0=a A1=b Y=y
+//! ")?;
+//! let mut milo = Milo::new(ecl_library());
+//! let mut flow = milo.flow(); // the default paper flow
+//! let out = flow.run(&mut milo, &nl, &Constraints::none())?;
+//! assert_eq!(out.report.passes.len(), 5);
+//! assert!(out.result.stats.cells >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::constraints::Constraints;
+use crate::pipeline::{elaborate_baseline, Milo, MiloError, SynthesisResult};
+use milo_compilers::expand_micro_components;
+use milo_microarch::CriticReport;
+use milo_netlist::{validate, DesignDb, Netlist, Violation};
+use milo_opt::{LevelReport, TimingReport};
+use milo_techmap::{enforce_fanout, map_netlist, TechLibrary};
+use milo_timing::{statistics, DesignStats};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------
+
+/// The shared state a [`Flow`] threads through its passes.
+///
+/// `work` is the netlist being transformed: the entry design before the
+/// compilers run, the expanded hierarchy top afterwards, and the
+/// technology-mapped implementation once a mapping pass ([`BottomUpLogic`]
+/// or [`FlowContext::ensure_mapped`]) has run.
+pub struct FlowContext<'a> {
+    /// The entry netlist, untouched (micro- or gate-level).
+    pub entry: &'a Netlist,
+    /// The user constraints for this run.
+    pub constraints: &'a Constraints,
+    /// The target technology library.
+    pub lib: &'a TechLibrary,
+    /// The design database compiled designs accumulate into.
+    pub db: &'a mut DesignDb,
+    /// The netlist being transformed.
+    pub work: Netlist,
+    /// The database name of the compiled top, once [`Compile`] has run.
+    pub top_name: Option<String>,
+    /// Whether `work` is technology-mapped.
+    pub mapped: bool,
+    /// Microarchitecture critic report, once [`MicroCritic`] has run on a
+    /// micro-level entry.
+    pub critic: Option<CriticReport>,
+    /// Per-level reports from [`BottomUpLogic`].
+    pub levels: Vec<LevelReport>,
+    /// Timing-optimizer report, once [`TimingArea`] has run.
+    pub timing: Option<TimingReport>,
+    /// Buffers inserted by electric-critic passes so far.
+    pub buffers_inserted: usize,
+}
+
+impl FlowContext<'_> {
+    /// Ensures `work` is a flat, technology-mapped netlist, so electric
+    /// and timing passes can run even when the mapping pass
+    /// ([`BottomUpLogic`]) was skipped or reordered away: the compiled
+    /// hierarchy (or the raw entry) is flattened and direct-mapped,
+    /// exactly like the unoptimized baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile / flatten / mapping errors.
+    pub fn ensure_mapped(&mut self) -> Result<(), MiloError> {
+        if self.mapped {
+            return Ok(());
+        }
+        let top = self.sync_top()?;
+        let flat = self.db.flatten(&top)?;
+        self.work = map_netlist(&flat, self.lib)?;
+        self.mapped = true;
+        Ok(())
+    }
+
+    /// Ensures `work` is the compiled (micro-expanded) top, running the
+    /// logic compilers if [`Compile`] has not. The top itself is
+    /// published to the database lazily, by [`FlowContext::sync_top`] —
+    /// so passes between compilation and mapping are free to keep
+    /// transforming `work` in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors.
+    pub fn ensure_compiled(&mut self) -> Result<(), MiloError> {
+        if self.top_name.is_some() {
+            return Ok(());
+        }
+        let mut compiled = std::mem::take(&mut self.work);
+        compiled.name = format!("{}__milo", self.entry.name);
+        expand_micro_components(&mut compiled, self.db)
+            .map_err(|e| MiloError::Compile(e.to_string()))?;
+        self.top_name = Some(compiled.name.clone());
+        self.work = compiled;
+        Ok(())
+    }
+
+    /// Publishes the current `work` into the database as the top design
+    /// and returns its name. Mapping passes call this right before
+    /// flattening, so any in-place edits a custom pass made to `work`
+    /// since compilation always take effect.
+    ///
+    /// After this call `work` is logically owned by the database; the
+    /// caller is expected to replace it (with the mapped result).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors.
+    pub fn sync_top(&mut self) -> Result<String, MiloError> {
+        self.ensure_compiled()?;
+        let name = self.db.insert(std::mem::take(&mut self.work));
+        self.top_name = Some(name.clone());
+        Ok(name)
+    }
+
+    /// Best-effort statistics of `work` (None while `work` still has
+    /// unexpanded hierarchy or components without timing models).
+    pub fn sample_stats(&self) -> Option<DesignStats> {
+        statistics(&self.work).ok()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass trait and reports
+// ---------------------------------------------------------------------
+
+/// One stage of a synthesis flow.
+///
+/// Passes must be [`Send`]: the flow body runs on a worker thread,
+/// overlapped with the baseline ("human designer") elaboration.
+pub trait Pass: Send {
+    /// Stable pass name, used for insertion points and skip predicates.
+    fn name(&self) -> &str;
+
+    /// Transforms `ctx`, returning what the pass applied. The flow
+    /// driver fills in the name, wall time, and before/after statistics
+    /// of the returned report.
+    ///
+    /// # Errors
+    ///
+    /// A failing pass aborts the flow with its error.
+    fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError>;
+}
+
+/// A boxed pass is itself a pass, so `flow.remove("…")`'s return value
+/// can be handed straight back to `push` / `insert_before` /
+/// `insert_after` — the remove-and-reinsert reorder idiom.
+impl Pass for Box<dyn Pass> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError> {
+        self.as_mut().run(ctx)
+    }
+}
+
+/// What one pass did: filled partly by the pass (`rules_applied`,
+/// `note`), partly by the [`Flow`] driver (name, wall time, sampled
+/// statistics).
+#[derive(Clone, Debug, Default)]
+pub struct PassReport {
+    /// Pass name.
+    pub name: String,
+    /// Whether the pass was skipped (by its skip predicate).
+    pub skipped: bool,
+    /// Wall-clock time spent in the pass.
+    pub wall: Duration,
+    /// Rules / strategies / repairs the pass applied.
+    pub rules_applied: usize,
+    /// Free-form detail ("3 levels", "timing met", …).
+    pub note: String,
+    /// Statistics of `work` as the pass started (best effort).
+    pub before: Option<DesignStats>,
+    /// Statistics of `work` as the pass finished (best effort).
+    pub after: Option<DesignStats>,
+}
+
+impl PassReport {
+    /// A report carrying only an applied-rule count.
+    pub fn applied(rules_applied: usize) -> Self {
+        Self {
+            rules_applied,
+            ..Self::default()
+        }
+    }
+
+    /// A report with an applied count and a free-form note.
+    pub fn noted(rules_applied: usize, note: impl Into<String>) -> Self {
+        Self {
+            rules_applied,
+            note: note.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Cell-count delta across the pass (`after - before`), when both
+    /// sides were measurable.
+    pub fn cells_delta(&self) -> Option<i64> {
+        Some(self.after?.cells as i64 - self.before?.cells as i64)
+    }
+
+    /// Area delta across the pass, when measurable.
+    pub fn area_delta(&self) -> Option<f64> {
+        Some(self.after?.area - self.before?.area)
+    }
+
+    /// Delay delta across the pass, when measurable.
+    pub fn delay_delta(&self) -> Option<f64> {
+        Some(self.after?.delay - self.before?.delay)
+    }
+}
+
+/// The structured record of a whole flow run: per-pass reports plus
+/// total wall time. Serializable with [`FlowReport::to_json`] for
+/// service embedding.
+#[derive(Clone, Debug, Default)]
+pub struct FlowReport {
+    /// Name of the synthesized design.
+    pub design: String,
+    /// One report per configured pass, in execution order (skipped
+    /// passes included, flagged).
+    pub passes: Vec<PassReport>,
+    /// Wall-clock time of the whole run, including the final electric
+    /// check and the overlapped baseline elaboration.
+    pub total_wall: Duration,
+}
+
+impl FlowReport {
+    /// Hand-rolled JSON encoding (the build environment has no serde):
+    /// `{"design", "total_ns", "passes": [{name, skipped, wall_ns,
+    /// rules_applied, cells_delta, area_delta, delay_delta, note}]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"design\": {}", json_string(&self.design)));
+        out.push_str(&format!(", \"total_ns\": {}", self.total_wall.as_nanos()));
+        out.push_str(", \"passes\": [");
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": {}, \"skipped\": {}, \"wall_ns\": {}, \"rules_applied\": {}, \
+                 \"cells_delta\": {}, \"area_delta\": {}, \"delay_delta\": {}, \"note\": {}}}",
+                json_string(&p.name),
+                p.skipped,
+                p.wall.as_nanos(),
+                p.rules_applied,
+                json_opt_i64(p.cells_delta()),
+                json_opt_f64(p.area_delta()),
+                json_opt_f64(p.delay_delta()),
+                json_string(&p.note),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Everything [`Flow::run`] produces: the synthesis result plus the
+/// structured flow report.
+#[derive(Debug)]
+pub struct FlowOutput {
+    /// The synthesis result (same shape `Milo::synthesize` returns).
+    pub result: SynthesisResult,
+    /// Per-pass timings and deltas for this run.
+    pub report: FlowReport,
+}
+
+impl FlowOutput {
+    /// JSON object nesting the [`SynthesisResult`] summary and the
+    /// [`FlowReport`].
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"result\": {}, \"flow\": {}}}",
+            self.result.to_json(),
+            self.report.to_json()
+        )
+    }
+}
+
+/// Escapes a string for JSON.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite floats as-is; non-finite (and absent) values as `null`.
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".to_owned())
+}
+
+fn json_opt_i64(v: Option<i64>) -> String {
+    v.map(|x| x.to_string())
+        .unwrap_or_else(|| "null".to_owned())
+}
+
+// ---------------------------------------------------------------------
+// Observer
+// ---------------------------------------------------------------------
+
+/// Progress events delivered to a flow observer.
+#[derive(Debug)]
+pub enum FlowEvent<'a> {
+    /// The flow is starting `passes` passes on `design`.
+    FlowStarted {
+        /// Entry design name.
+        design: &'a str,
+        /// Number of configured passes.
+        passes: usize,
+    },
+    /// A pass is about to run.
+    PassStarted {
+        /// Position in the pass list.
+        index: usize,
+        /// Pass name.
+        name: &'a str,
+    },
+    /// A pass finished (or was skipped — see [`PassReport::skipped`]).
+    PassFinished {
+        /// Position in the pass list.
+        index: usize,
+        /// The driver-completed report.
+        report: &'a PassReport,
+    },
+}
+
+type ObserverFn = dyn FnMut(&FlowEvent<'_>) + Send;
+type SkipFn = dyn Fn(&FlowContext<'_>) -> bool + Send;
+
+// ---------------------------------------------------------------------
+// Flow
+// ---------------------------------------------------------------------
+
+struct Slot {
+    pass: Box<dyn Pass>,
+    skip: Option<Box<SkipFn>>,
+}
+
+/// An ordered, composable list of passes plus run policy (baseline
+/// elaboration, statistics sampling, observer).
+///
+/// [`Flow::standard`] is the paper pipeline; [`Milo::flow`] returns it.
+/// Passes can be appended, inserted before/after a named pass, removed,
+/// or skipped per-run through a predicate over the [`FlowContext`].
+pub struct Flow {
+    slots: Vec<Slot>,
+    observer: Option<Box<ObserverFn>>,
+    baseline: bool,
+    sample_stats: bool,
+}
+
+impl Default for Flow {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl Flow {
+    /// An empty flow (the driver epilogue still maps, repairs fanout,
+    /// and validates, so even this produces a legal mapped netlist).
+    pub fn empty() -> Self {
+        Self {
+            slots: Vec::new(),
+            observer: None,
+            baseline: true,
+            sample_stats: true,
+        }
+    }
+
+    /// The default paper flow: [`MicroCritic`] → [`Compile`] →
+    /// [`BottomUpLogic`] → [`FanoutRepair`] → [`TimingArea`].
+    pub fn standard() -> Self {
+        let mut flow = Self::empty();
+        flow.push(MicroCritic);
+        flow.push(Compile);
+        flow.push(BottomUpLogic);
+        flow.push(FanoutRepair);
+        flow.push(TimingArea);
+        flow
+    }
+
+    /// The configured pass names, in order.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.slots.iter().map(|s| s.pass.name()).collect()
+    }
+
+    /// Appends a pass.
+    pub fn push(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.slots.push(Slot {
+            pass: Box::new(pass),
+            skip: None,
+        });
+        self
+    }
+
+    /// Inserts a pass before the pass named `anchor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass is named `anchor` (a mis-built flow is a
+    /// programming error, caught at construction).
+    pub fn insert_before(&mut self, anchor: &str, pass: impl Pass + 'static) -> &mut Self {
+        let at = self.position(anchor);
+        self.slots.insert(
+            at,
+            Slot {
+                pass: Box::new(pass),
+                skip: None,
+            },
+        );
+        self
+    }
+
+    /// Inserts a pass after the pass named `anchor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass is named `anchor`.
+    pub fn insert_after(&mut self, anchor: &str, pass: impl Pass + 'static) -> &mut Self {
+        let at = self.position(anchor) + 1;
+        self.slots.insert(
+            at,
+            Slot {
+                pass: Box::new(pass),
+                skip: None,
+            },
+        );
+        self
+    }
+
+    /// Removes (and returns) the pass named `name`, if present.
+    pub fn remove(&mut self, name: &str) -> Option<Box<dyn Pass>> {
+        let at = self.slots.iter().position(|s| s.pass.name() == name)?;
+        Some(self.slots.remove(at).pass)
+    }
+
+    /// Skips the pass named `name` whenever `pred` holds at its turn.
+    /// The skipped pass still appears in the [`FlowReport`], flagged.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass is named `name`.
+    pub fn skip_when(
+        &mut self,
+        name: &str,
+        pred: impl Fn(&FlowContext<'_>) -> bool + Send + 'static,
+    ) -> &mut Self {
+        let at = self.position(name);
+        self.slots[at].skip = Some(Box::new(pred));
+        self
+    }
+
+    /// Installs the observer called on every [`FlowEvent`].
+    pub fn observe(&mut self, f: impl FnMut(&FlowEvent<'_>) + Send + 'static) -> &mut Self {
+        self.observer = Some(Box::new(f));
+        self
+    }
+
+    /// Disables the parallel baseline ("human designer") elaboration;
+    /// the result's `baseline` statistics come back zeroed.
+    pub fn without_baseline(&mut self) -> &mut Self {
+        self.baseline = false;
+        self
+    }
+
+    /// Enables / disables best-effort per-pass statistics sampling
+    /// (on by default; disable to shave STA runs off very hot loops).
+    pub fn sample_stats(&mut self, on: bool) -> &mut Self {
+        self.sample_stats = on;
+        self
+    }
+
+    fn position(&self, name: &str) -> usize {
+        self.slots
+            .iter()
+            .position(|s| s.pass.name() == name)
+            .unwrap_or_else(|| panic!("flow has no pass named {name:?}"))
+    }
+
+    /// Runs the flow on `nl` under `constraints`, against `milo`'s
+    /// library and design database. The baseline elaboration (when
+    /// enabled) runs on a parallel arm over an `Arc`-shared database
+    /// snapshot while the pass list runs here; results are
+    /// deterministic — both arms are pure functions of their inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing pass / stage error.
+    pub fn run(
+        &mut self,
+        milo: &mut Milo,
+        nl: &Netlist,
+        constraints: &Constraints,
+    ) -> Result<FlowOutput, MiloError> {
+        let started = Instant::now();
+        let (lib, db) = milo.parts_mut();
+        let (baseline_res, main_res) = if self.baseline {
+            // The snapshot clone copies Arc pointers, not netlists.
+            let snapshot = db.clone();
+            let baseline_lib = lib.clone();
+            milo_par::join(
+                move || Some(elaborate_baseline(snapshot, &baseline_lib, nl)),
+                || self.run_passes(lib, db, nl, constraints),
+            )
+        } else {
+            (None, self.run_passes(lib, db, nl, constraints))
+        };
+        let baseline = match baseline_res {
+            Some(r) => r?,
+            None => DesignStats::default(),
+        };
+        let (mut result, mut report) = main_res?;
+        result.baseline = baseline;
+        report.total_wall = started.elapsed();
+        Ok(FlowOutput { result, report })
+    }
+
+    /// The main arm: every pass in order, then the final electric check.
+    fn run_passes(
+        &mut self,
+        lib: &TechLibrary,
+        db: &mut DesignDb,
+        nl: &Netlist,
+        constraints: &Constraints,
+    ) -> Result<(SynthesisResult, FlowReport), MiloError> {
+        let mut ctx = FlowContext {
+            entry: nl,
+            constraints,
+            lib,
+            db,
+            work: nl.clone(),
+            top_name: None,
+            mapped: false,
+            critic: None,
+            levels: Vec::new(),
+            timing: None,
+            buffers_inserted: 0,
+        };
+        let mut report = FlowReport {
+            design: nl.name.clone(),
+            ..FlowReport::default()
+        };
+        if let Some(obs) = self.observer.as_mut() {
+            obs(&FlowEvent::FlowStarted {
+                design: &nl.name,
+                passes: self.slots.len(),
+            });
+        }
+        // One pass's `after` statistics double as the next pass's
+        // `before` — the netlist is untouched at the boundary (and by
+        // skipped passes), so sampling once per transition suffices.
+        let mut carried: Option<DesignStats> = None;
+        for (index, slot) in self.slots.iter_mut().enumerate() {
+            let name = slot.pass.name().to_owned();
+            if let Some(obs) = self.observer.as_mut() {
+                obs(&FlowEvent::PassStarted { index, name: &name });
+            }
+            let skipped = slot.skip.as_ref().is_some_and(|pred| pred(&ctx));
+            let before = if self.sample_stats && !skipped {
+                carried.take().or_else(|| ctx.sample_stats())
+            } else {
+                None
+            };
+            let pass_started = Instant::now();
+            let mut pr = if skipped {
+                PassReport {
+                    skipped: true,
+                    ..PassReport::default()
+                }
+            } else {
+                slot.pass.run(&mut ctx)?
+            };
+            pr.name = name;
+            pr.wall = pass_started.elapsed();
+            pr.before = before;
+            pr.after = if self.sample_stats && !skipped {
+                carried = ctx.sample_stats();
+                carried
+            } else {
+                None
+            };
+            if let Some(obs) = self.observer.as_mut() {
+                obs(&FlowEvent::PassFinished { index, report: &pr });
+            }
+            report.passes.push(pr);
+        }
+
+        // Final electric check (the fixed epilogue): whatever passes ran
+        // or were skipped, the output is a mapped netlist with legal
+        // fanout, no dead nets, and a timing report.
+        ctx.ensure_mapped()?;
+        let buffers2 = enforce_fanout(&mut ctx.work, lib)?;
+        ctx.work.sweep_dead_nets();
+        let violations: Vec<Violation> = validate(&ctx.work, true)
+            .into_iter()
+            .filter(|v| !matches!(v, Violation::DanglingOutput { .. }))
+            .collect();
+        let stats = statistics(&ctx.work)?;
+        let timing = match ctx.timing {
+            Some(t) => t,
+            None => {
+                let d = milo_timing::analyze(&ctx.work)
+                    .map(|s| s.worst_delay())
+                    .unwrap_or(0.0);
+                TimingReport {
+                    met: true,
+                    initial_delay: d,
+                    final_delay: d,
+                    applied: Vec::new(),
+                }
+            }
+        };
+        let result = SynthesisResult {
+            netlist: ctx.work,
+            stats,
+            baseline: DesignStats::default(), // overlapped arm fills this in
+            critic: ctx.critic,
+            levels: ctx.levels,
+            timing,
+            violations,
+            buffers_inserted: ctx.buffers_inserted + buffers2,
+        };
+        Ok((result, report))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The five paper passes
+// ---------------------------------------------------------------------
+
+/// Stage 1: the microarchitecture critic (§5) — structural rewrites plus
+/// the compile→map feedback loop, on micro-level entries only.
+pub struct MicroCritic;
+
+impl Pass for MicroCritic {
+    fn name(&self) -> &str {
+        "micro-critic"
+    }
+
+    fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError> {
+        let has_micro = ctx.work.component_ids().any(|id| {
+            matches!(
+                ctx.work.component(id).map(|c| &c.kind),
+                Ok(milo_netlist::ComponentKind::Micro(_))
+            )
+        });
+        if !has_micro {
+            return Ok(PassReport::noted(0, "gate-level entry"));
+        }
+        let critic = milo_microarch::optimize(
+            &mut ctx.work,
+            ctx.db,
+            ctx.lib,
+            ctx.constraints.tightest_delay(),
+        )?;
+        let applied = critic.fired.len() + critic.cla_upgrades + critic.ripple_downgrades;
+        let note = format!("fired {:?}", critic.fired);
+        ctx.critic = Some(critic);
+        Ok(PassReport::noted(applied, note))
+    }
+}
+
+/// Stage 2a: the parameterized logic compilers (§6.1) — expands micro
+/// components into generic macros, caching designs in the database.
+pub struct Compile;
+
+impl Pass for Compile {
+    fn name(&self) -> &str {
+        "compile"
+    }
+
+    fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError> {
+        let before = ctx.db.len();
+        ctx.ensure_compiled()?;
+        let added = ctx.db.len().saturating_sub(before);
+        Ok(PassReport::noted(
+            added,
+            format!("{added} designs compiled into the database"),
+        ))
+    }
+}
+
+/// Stage 2b: hierarchical bottom-up logic optimization (Fig. 18) —
+/// maps every level and runs the rule engine, leaves `work` mapped.
+pub struct BottomUpLogic;
+
+impl Pass for BottomUpLogic {
+    fn name(&self) -> &str {
+        "bottom-up-logic"
+    }
+
+    fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError> {
+        let top = ctx.sync_top()?;
+        let (mapped, levels) = milo_opt::optimize_bottom_up(&top, ctx.db, ctx.lib)?;
+        let fired: usize = levels.iter().map(|l| l.fired).sum();
+        let note = format!("{} levels", levels.len());
+        ctx.work = mapped;
+        ctx.mapped = true;
+        ctx.levels = levels;
+        Ok(PassReport::noted(fired, note))
+    }
+}
+
+/// Stage 3: the electric critic (§4.2) — fanout repair by buffer
+/// insertion.
+pub struct FanoutRepair;
+
+impl Pass for FanoutRepair {
+    fn name(&self) -> &str {
+        "fanout-repair"
+    }
+
+    fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError> {
+        ctx.ensure_mapped()?;
+        let buffers = enforce_fanout(&mut ctx.work, ctx.lib)?;
+        ctx.buffers_inserted += buffers;
+        Ok(PassReport::noted(
+            buffers,
+            format!("{buffers} buffers inserted"),
+        ))
+    }
+}
+
+/// Stages 4+: the time optimizer (per-path constraints, §6's path-delay
+/// parameters), then the area/power optimizer on the remaining slack.
+pub struct TimingArea;
+
+impl Pass for TimingArea {
+    fn name(&self) -> &str {
+        "timing-area"
+    }
+
+    fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError> {
+        ctx.ensure_mapped()?;
+        let hash = milo_rules::HashRuleTable::cached(&milo_rules::LibraryRef {
+            cells: ctx.lib.cells(),
+        });
+        let timing = if ctx.constraints.has_timing() {
+            let c = ctx.constraints.clone();
+            milo_opt::optimize_timing_paths(
+                &mut ctx.work,
+                ctx.lib,
+                &hash,
+                &move |e| match e {
+                    milo_timing::Endpoint::Port(p) => c.required_for(p),
+                    milo_timing::Endpoint::SeqInput(_) => c.max_delay,
+                },
+                200,
+            )
+        } else {
+            let d = milo_timing::analyze(&ctx.work)
+                .map(|s| s.worst_delay())
+                .unwrap_or(0.0);
+            TimingReport {
+                met: true,
+                initial_delay: d,
+                final_delay: d,
+                applied: Vec::new(),
+            }
+        };
+        let area_steps = {
+            let c = ctx.constraints.clone();
+            milo_opt::optimize_area_paths(
+                &mut ctx.work,
+                ctx.lib,
+                &move |e| match e {
+                    milo_timing::Endpoint::Port(p) => c.required_for(p),
+                    milo_timing::Endpoint::SeqInput(_) => c.max_delay,
+                },
+                200,
+            )
+        };
+        let applied = timing.applied.len() + area_steps;
+        let note = format!(
+            "timing {}, {} strategies, {} area steps",
+            if timing.met { "met" } else { "missed" },
+            timing.applied.len(),
+            area_steps
+        );
+        ctx.timing = Some(timing);
+        Ok(PassReport::noted(applied, note))
+    }
+}

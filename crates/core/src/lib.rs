@@ -32,11 +32,16 @@
 #![warn(missing_docs)]
 
 mod constraints;
+mod flow;
 mod parse;
 mod pipeline;
 mod report;
 
 pub use constraints::Constraints;
+pub use flow::{
+    BottomUpLogic, Compile, FanoutRepair, Flow, FlowContext, FlowEvent, FlowOutput, FlowReport,
+    MicroCritic, Pass, PassReport, TimingArea,
+};
 pub use parse::{emit_netlist, parse_netlist, ParseError};
 pub use pipeline::{Milo, MiloError, SynthesisResult};
 pub use report::{f2, pct, Table};

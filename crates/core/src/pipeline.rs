@@ -1,13 +1,19 @@
 //! The MILO pipeline (Fig. 11): microarchitecture critic → logic
 //! compilers → technology mapper → logic optimizer, with the statistics
 //! generator feeding back at every stage.
+//!
+//! Since the Flow/pass redesign the stages live in [`crate::flow`] as
+//! individual [`crate::Pass`] objects; [`Milo::synthesize`] is a thin
+//! shim over the default [`Flow`](crate::Flow), and
+//! [`Milo::synthesize_batch`] fans independent designs across all cores.
 
 use crate::constraints::Constraints;
+use crate::flow::{json_f64, json_string, Flow};
 use milo_compilers::expand_micro_components;
 use milo_microarch::{CriticReport, FeedbackError};
-use milo_netlist::{validate, DesignDb, Netlist, Violation};
-use milo_opt::{optimize_bottom_up, LevelReport, TimingReport};
-use milo_techmap::{enforce_fanout, map_netlist, TechLibrary};
+use milo_netlist::{DesignDb, Netlist, Violation};
+use milo_opt::{LevelReport, TimingReport};
+use milo_techmap::{map_netlist, TechLibrary};
 use milo_timing::{statistics, DesignStats};
 use std::fmt;
 
@@ -95,6 +101,72 @@ impl SynthesisResult {
     pub fn area_improvement_pct(&self) -> f64 {
         self.stats.area_improvement_pct(&self.baseline)
     }
+
+    /// Hand-rolled JSON summary (the build environment has no serde):
+    /// design name, optimized and baseline statistics, improvements,
+    /// critic and timing summaries, level reports, and electric counts.
+    pub fn to_json(&self) -> String {
+        let stats = |s: &DesignStats| {
+            format!(
+                "{{\"cells\": {}, \"area\": {}, \"delay\": {}, \"power\": {}}}",
+                s.cells,
+                json_f64(s.area),
+                json_f64(s.delay),
+                json_f64(s.power)
+            )
+        };
+        let critic = match &self.critic {
+            None => "null".to_owned(),
+            Some(c) => {
+                let fired: Vec<String> = c.fired.iter().map(|f| json_string(f)).collect();
+                format!(
+                    "{{\"fired\": [{}], \"cla_upgrades\": {}, \"ripple_downgrades\": {}, \
+                     \"met_timing\": {}}}",
+                    fired.join(", "),
+                    c.cla_upgrades,
+                    c.ripple_downgrades,
+                    match c.met_timing {
+                        Some(m) => m.to_string(),
+                        None => "null".to_owned(),
+                    }
+                )
+            }
+        };
+        let levels: Vec<String> = self
+            .levels
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"design\": {}, \"fired\": {}, \"before\": {}, \"after\": {}}}",
+                    json_string(&l.design),
+                    l.fired,
+                    stats(&l.before),
+                    stats(&l.after)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"design\": {}, \"stats\": {}, \"baseline\": {}, \
+             \"delay_improvement_pct\": {}, \"area_improvement_pct\": {}, \
+             \"critic\": {}, \"levels\": [{}], \
+             \"timing\": {{\"met\": {}, \"initial_delay\": {}, \"final_delay\": {}, \
+             \"strategies_applied\": {}}}, \
+             \"violations\": {}, \"buffers_inserted\": {}}}",
+            json_string(&self.netlist.name),
+            stats(&self.stats),
+            stats(&self.baseline),
+            json_f64(self.delay_improvement_pct()),
+            json_f64(self.area_improvement_pct()),
+            critic,
+            levels.join(", "),
+            self.timing.met,
+            json_f64(self.timing.initial_delay),
+            json_f64(self.timing.final_delay),
+            self.timing.applied.len(),
+            self.violations.len(),
+            self.buffers_inserted,
+        )
+    }
 }
 
 /// The MILO system: a technology library plus the design database the
@@ -122,8 +194,27 @@ impl SynthesisResult {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Milo {
-    lib: TechLibrary,
+    pub(crate) lib: TechLibrary,
+    pub(crate) db: DesignDb,
+}
+
+/// The baseline ("human designer") elaboration as a pure function of a
+/// database snapshot: [`Milo::elaborate_unoptimized`] on a throwaway
+/// side instance. The flow driver runs this on a parallel arm; the
+/// snapshot shares its netlists with the caller's database through
+/// `Arc`, so forking costs a name-table copy, not a deep clone (and the
+/// library clone is a reference bump).
+pub(crate) fn elaborate_baseline(
     db: DesignDb,
+    lib: &TechLibrary,
+    nl: &Netlist,
+) -> Result<DesignStats, MiloError> {
+    let mut side = Milo {
+        lib: lib.clone(),
+        db,
+    };
+    let mapped = side.elaborate_unoptimized(nl)?;
+    Ok(statistics(&mapped)?)
 }
 
 impl Milo {
@@ -146,6 +237,11 @@ impl Milo {
         &self.db
     }
 
+    /// Library and database views for the flow driver.
+    pub(crate) fn parts_mut(&mut self) -> (&TechLibrary, &mut DesignDb) {
+        (&self.lib, &mut self.db)
+    }
+
     /// The "human designer" reference flow: compile and map the entry
     /// as-is, with no optimization. Used as the comparison baseline.
     ///
@@ -163,8 +259,20 @@ impl Milo {
         Ok(mapped)
     }
 
+    /// The default paper flow: microarchitecture critic → logic
+    /// compilers → bottom-up logic optimization → electric critic →
+    /// time/area optimizers. Customize it with [`Flow`]'s builder
+    /// methods before [`Flow::run`]ning it against this instance.
+    pub fn flow(&self) -> Flow {
+        Flow::standard()
+    }
+
     /// Runs the full MILO pipeline on a microarchitecture- or gate-level
     /// netlist.
+    ///
+    /// This is a thin shim over the default [`Flow`] (per-pass
+    /// statistics sampling off, since the report is discarded); it
+    /// produces exactly the same result the flow API does.
     ///
     /// # Errors
     ///
@@ -174,119 +282,58 @@ impl Milo {
         nl: &Netlist,
         constraints: &Constraints,
     ) -> Result<SynthesisResult, MiloError> {
-        // The baseline ("human designer") elaboration is independent of
-        // the optimizing flow, so it runs on a database snapshot in a
-        // parallel fork while the critic/compile/bottom-up pipeline runs
-        // here. Joining preserves deterministic results — both arms are
-        // pure functions of their inputs.
-        let baseline_db = self.db.clone();
-        let baseline_lib = self.lib.clone();
-        let (baseline_res, main_res) = milo_par::join(
-            move || -> Result<DesignStats, MiloError> {
-                let mut side = Milo {
-                    lib: baseline_lib,
-                    db: baseline_db,
-                };
-                let baseline_nl = side.elaborate_unoptimized(nl)?;
-                Ok(statistics(&baseline_nl)?)
-            },
-            || -> Result<_, MiloError> {
-                // 1. Microarchitecture critic (only meaningful when micro
-                //    components are present).
-                let mut work = nl.clone();
-                let has_micro = work.component_ids().any(|id| {
-                    matches!(
-                        work.component(id).map(|c| &c.kind),
-                        Ok(milo_netlist::ComponentKind::Micro(_))
-                    )
-                });
-                let critic = if has_micro {
-                    Some(milo_microarch::optimize(
-                        &mut work,
-                        &mut self.db,
-                        &self.lib,
-                        constraints.tightest_delay(),
-                    )?)
-                } else {
-                    None
-                };
+        let mut flow = Flow::standard();
+        flow.sample_stats(false);
+        Ok(flow.run(self, nl, constraints)?.result)
+    }
 
-                // 2. Logic compilers + hierarchical bottom-up logic
-                //    optimization (Fig. 18).
-                let mut compiled = work.clone();
-                compiled.name = format!("{}__milo", nl.name);
-                expand_micro_components(&mut compiled, &mut self.db)
-                    .map_err(|e| MiloError::Compile(e.to_string()))?;
-                let top_name = self.db.insert(compiled);
-                let (mapped, levels) = optimize_bottom_up(&top_name, &mut self.db, &self.lib)?;
-                Ok((mapped, levels, critic))
+    /// Synthesizes independent designs in parallel through the default
+    /// flow, fanning across all cores via `milo-par`.
+    ///
+    /// Results come back in input order, deterministically. Every arm
+    /// starts from an `Arc`-shared snapshot of the current database and
+    /// the shared library — no deep clones — so each design sees the
+    /// same compiler cache, and compiled designs from one batch member
+    /// do not feed another (snapshot semantics). Afterwards each arm's
+    /// new designs are folded back into this instance's database in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing design's error (in input order).
+    pub fn synthesize_batch(
+        &mut self,
+        designs: &[Netlist],
+        constraints: &Constraints,
+    ) -> Result<Vec<SynthesisResult>, MiloError> {
+        let lib = self.lib.clone();
+        let snapshot = self.db.clone();
+        let runs = milo_par::par_map(
+            designs,
+            |nl| -> Result<(SynthesisResult, DesignDb), MiloError> {
+                let mut arm = Milo {
+                    lib: lib.clone(),
+                    db: snapshot.clone(),
+                };
+                let mut flow = Flow::standard();
+                flow.sample_stats(false);
+                let out = flow.run(&mut arm, nl, constraints)?;
+                Ok((out.result, arm.db))
             },
         );
-        let baseline = baseline_res?;
-        let (mut mapped, levels, critic) = main_res?;
-
-        // 3. Electric critic: fanout repair.
-        let buffers_inserted = enforce_fanout(&mut mapped, &self.lib)?;
-
-        // 4. Time optimizer (per-path constraints, §6's path-delay
-        //    parameters), then area/power on the slack.
-        let hash = milo_rules::HashRuleTable::cached(&milo_rules::LibraryRef {
-            cells: self.lib.cells(),
-        });
-        let timing = if constraints.has_timing() {
-            let c = constraints.clone();
-            milo_opt::optimize_timing_paths(
-                &mut mapped,
-                &self.lib,
-                &hash,
-                &move |e| match e {
-                    milo_timing::Endpoint::Port(p) => c.required_for(p),
-                    milo_timing::Endpoint::SeqInput(_) => c.max_delay,
-                },
-                200,
-            )
-        } else {
-            let d = milo_timing::analyze(&mapped)
-                .map(|s| s.worst_delay())
-                .unwrap_or(0.0);
-            milo_opt::TimingReport {
-                met: true,
-                initial_delay: d,
-                final_delay: d,
-                applied: Vec::new(),
-            }
-        };
-        {
-            let c = constraints.clone();
-            milo_opt::optimize_area_paths(
-                &mut mapped,
-                &self.lib,
-                &move |e| match e {
-                    milo_timing::Endpoint::Port(p) => c.required_for(p),
-                    milo_timing::Endpoint::SeqInput(_) => c.max_delay,
-                },
-                200,
-            );
+        // Fail atomically: surface the first error (input order) before
+        // merging anything, so a failed batch leaves the database
+        // untouched.
+        let mut completed: Vec<(SynthesisResult, DesignDb)> = Vec::with_capacity(designs.len());
+        for run in runs {
+            completed.push(run?);
         }
-
-        // 5. Final electric check.
-        let buffers2 = enforce_fanout(&mut mapped, &self.lib)?;
-        mapped.sweep_dead_nets();
-        let violations: Vec<Violation> = validate(&mapped, true)
-            .into_iter()
-            .filter(|v| !matches!(v, Violation::DanglingOutput { .. }))
-            .collect();
-        let stats = statistics(&mapped)?;
-        Ok(SynthesisResult {
-            netlist: mapped,
-            stats,
-            baseline,
-            critic,
-            levels,
-            timing,
-            violations,
-            buffers_inserted: buffers_inserted + buffers2,
-        })
+        let mut results = Vec::with_capacity(completed.len());
+        for (result, db) in completed {
+            self.db.merge_from(&db);
+            results.push(result);
+        }
+        Ok(results)
     }
 }
 

@@ -11,8 +11,14 @@ use crate::kind::PinSpec;
 use crate::netlist::{ComponentKind, Netlist, NetlistError};
 use crate::{ComponentId, NetId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A store of named designs.
+///
+/// Designs are held behind [`Arc`], so cloning a database — e.g. to hand
+/// a read-mostly snapshot to a parallel synthesis arm — copies only the
+/// name table, never the netlists themselves. Mutation through
+/// [`DesignDb::get_mut`] is copy-on-write.
 ///
 /// # Examples
 ///
@@ -26,7 +32,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct DesignDb {
-    designs: HashMap<String, Netlist>,
+    designs: HashMap<String, Arc<Netlist>>,
 }
 
 impl DesignDb {
@@ -38,18 +44,29 @@ impl DesignDb {
     /// Stores a design under its own name, replacing any previous entry.
     pub fn insert(&mut self, design: Netlist) -> String {
         let name = design.name.clone();
-        self.designs.insert(name.clone(), design);
+        self.designs.insert(name.clone(), Arc::new(design));
         name
     }
 
     /// Looks up a design by name.
     pub fn get(&self, name: &str) -> Option<&Netlist> {
-        self.designs.get(name)
+        self.designs.get(name).map(Arc::as_ref)
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup (copy-on-write when the design is shared with a
+    /// snapshot of this database).
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Netlist> {
-        self.designs.get_mut(name)
+        self.designs.get_mut(name).map(Arc::make_mut)
+    }
+
+    /// Adopts every design of `other`, overwriting same-name entries.
+    /// Sharing is by [`Arc`], so this moves pointers, not netlists —
+    /// the merge step batched synthesis uses to fold each arm's compiled
+    /// designs back into the caller's cache.
+    pub fn merge_from(&mut self, other: &DesignDb) {
+        for (name, design) in &other.designs {
+            self.designs.insert(name.clone(), Arc::clone(design));
+        }
     }
 
     /// Whether a design exists (the compilers' cache check).

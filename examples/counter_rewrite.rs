@@ -1,6 +1,8 @@
 //! The Fig. 14/15 microarchitecture rule: an adder incrementing a
 //! register is recognized and replaced by a counter, with measured
-//! statistics from the compile→map feedback loop of §6.3.
+//! statistics from the compile→map feedback loop of §6.3. Runs through
+//! the Flow API and prints the per-pass report (and its JSON form, the
+//! shape a synthesis service would return).
 //!
 //! ```text
 //! cargo run --example counter_rewrite
@@ -15,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // feeds a register that feeds back into the adder, with B == 1.
     let entry = circuit8();
     let mut milo = Milo::new(ecl_library());
-    let result = milo.synthesize(&entry, &Constraints::none())?;
+    let mut flow = milo.flow();
+    let out = flow.run(&mut milo, &entry, &Constraints::none())?;
+    let result = &out.result;
 
     let critic = result
         .critic
@@ -34,12 +38,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "mapped statistics after critic:  area {:.1}, delay {:.2} ns",
         critic.after.area, critic.after.delay
     );
+
+    println!("\nper-pass flow report:");
+    for pass in &out.report.passes {
+        println!(
+            "  {:<16} {:>8.1} µs  {:>3} applied  {}",
+            pass.name,
+            pass.wall.as_nanos() as f64 / 1000.0,
+            pass.rules_applied,
+            pass.note
+        );
+    }
     println!(
         "\nfull pipeline: area {:.1} -> {:.1} ({:.0} % better)",
         result.baseline.area,
         result.stats.area,
         result.area_improvement_pct()
     );
+    println!("\nflow report as JSON:\n{}", out.report.to_json());
     assert!(result.stats.area < result.baseline.area);
     Ok(())
 }

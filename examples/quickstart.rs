@@ -1,11 +1,11 @@
-//! Quickstart: parse a textual netlist, run the MILO pipeline, and print
-//! the before/after statistics.
+//! Quickstart: parse a textual netlist, run the MILO flow with a
+//! progress observer, and print the before/after statistics.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use milo::{parse_netlist, Constraints, Milo};
+use milo::{parse_netlist, Constraints, FlowEvent, Milo};
 use milo_techmap::ecl_library;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,10 +39,31 @@ comp or2   m3 A0=q1 A1=q2  Y=g
     // Hold the baseline delay while minimizing area and power.
     let baseline = milo.elaborate_unoptimized(&netlist)?;
     let baseline_delay = milo_timing::statistics(&baseline)?.delay;
-    let result = milo.synthesize(
+
+    // The default paper flow, observed pass by pass.
+    let mut flow = milo.flow();
+    flow.observe(|event| {
+        if let FlowEvent::PassFinished { report, .. } = event {
+            println!(
+                "  pass {:<16} {:>8.1} µs  ({} applied{})",
+                report.name,
+                report.wall.as_nanos() as f64 / 1000.0,
+                report.rules_applied,
+                if report.note.is_empty() {
+                    String::new()
+                } else {
+                    format!("; {}", report.note)
+                }
+            );
+        }
+    });
+    println!("\nrunning the default flow:");
+    let out = flow.run(
+        &mut milo,
         &netlist,
         &Constraints::none().with_max_delay(baseline_delay),
     )?;
+    let result = out.result;
 
     println!("\n             baseline    MILO");
     println!(
@@ -79,5 +100,6 @@ comp or2   m3 A0=q1 A1=q2  Y=g
         );
     }
     assert!(result.stats.area <= result.baseline.area);
+    assert_eq!(out.report.passes.len(), 5);
     Ok(())
 }

@@ -1,7 +1,10 @@
 //! Constraint-driven synthesis: the same 8-bit adder datapath under a
 //! loose and a tight timing constraint. The tight run makes the
 //! microarchitecture critic swap the ripple adder for carry-lookahead
-//! (the Fig. 16 tradeoff), buying speed with area.
+//! (the Fig. 16 tradeoff), buying speed with area. The tight run goes
+//! through a customized flow — a skip predicate drops the electric
+//! critic's first pass when no fanout work is possible — to show the
+//! pass-level control the Flow API adds.
 //!
 //! ```text
 //! cargo run --example timing_driven
@@ -22,13 +25,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let target = loose.stats.delay * 0.75;
-    let tight = milo.synthesize(&entry, &Constraints::none().with_max_delay(target))?;
+    let mut flow = milo.flow();
+    // Skip the dedicated fanout pass on small designs — the driver's
+    // final electric check still repairs any violations.
+    flow.skip_when("fanout-repair", |ctx| ctx.work.component_count() < 256);
+    let out = flow.run(
+        &mut milo,
+        &entry,
+        &Constraints::none().with_max_delay(target),
+    )?;
+    let tight = &out.result;
     let critic = tight.critic.as_ref().expect("micro entry");
     println!(
         "constrained to {target:.2} ns: delay {:.2} ns, area {:.1} ({} CLA upgrades)",
         tight.stats.delay, tight.stats.area, critic.cla_upgrades
     );
     println!("timing met: {:?}", critic.met_timing);
+    println!("\nper-pass wall time:");
+    for pass in &out.report.passes {
+        println!(
+            "  {:<16} {:>8.1} µs{}",
+            pass.name,
+            pass.wall.as_nanos() as f64 / 1000.0,
+            if pass.skipped { "  (skipped)" } else { "" }
+        );
+    }
     assert!(tight.stats.delay < loose.stats.delay);
     assert!(
         tight.stats.area > loose.stats.area,

@@ -44,6 +44,45 @@ fn golden_abadd_datapath_pipeline() {
     assert_close("delay", s.delay, 4.52);
 }
 
+/// The three golden synthesis designs through `synthesize_batch`: the
+/// batched path runs the same Pass API stages, so it must reproduce the
+/// committed per-design snapshots exactly, in input order.
+#[test]
+fn golden_batch_matches_sequential_snapshots() {
+    let designs = [fig19::circuit3(), abadd(), random_logic(80, 10, 7)];
+    let mut milo = Milo::new(ecl_library());
+    let results = milo
+        .synthesize_batch(&designs, &Constraints::none())
+        .expect("batch synthesizes");
+    assert_eq!(results.len(), 3);
+
+    // fig19 circuit 3 — same constants as the sequential golden above.
+    let s = &results[0].stats;
+    assert_eq!(s.cells, 6, "area {} delay {}", s.area, s.delay);
+    assert_close("c3 area", s.area, 8.2);
+    assert_close("c3 delay", s.delay, 2.2922);
+
+    // ABADD datapath — same constants as the sequential golden above.
+    let s = &results[1].stats;
+    assert_eq!(s.cells, 9, "area {} delay {}", s.area, s.delay);
+    assert_close("abadd area", s.area, 27.8);
+    assert_close("abadd delay", s.delay, 4.52);
+
+    // 80-gate random logic — pinned here (no sequential twin above).
+    let s = &results[2].stats;
+    let mut seq = Milo::new(ecl_library());
+    let want = seq
+        .synthesize(&random_logic(80, 10, 7), &Constraints::none())
+        .expect("sequential synthesizes");
+    assert_eq!(
+        s.cells, want.stats.cells,
+        "area {} delay {}",
+        s.area, s.delay
+    );
+    assert_close("rand area", s.area, want.stats.area);
+    assert_close("rand delay", s.delay, want.stats.delay);
+}
+
 #[test]
 fn golden_random_logic_sweeps() {
     let lib = cmos_library();
