@@ -86,7 +86,7 @@ impl Constraints {
             .iter()
             .map(|(_, ns)| *ns)
             .chain(self.max_delay)
-            .min_by(|a, b| a.partial_cmp(b).expect("constraints are not NaN"))
+            .min_by(f64::total_cmp)
     }
 
     /// Whether any timing constraint is present.

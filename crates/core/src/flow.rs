@@ -33,13 +33,16 @@
 //! ```
 
 use crate::constraints::Constraints;
-use crate::pipeline::{elaborate_baseline, Milo, MiloError, SynthesisResult};
+use crate::fault::{FaultInjector, FaultKind};
+use crate::pipeline::{elaborate_baseline, Milo, MiloError, RecoveryAction, SynthesisResult};
 use milo_compilers::expand_micro_components;
 use milo_microarch::CriticReport;
-use milo_netlist::{validate, DesignDb, Netlist, Violation};
+use milo_netlist::{fatal_violations, validate, DesignDb, Netlist, Violation};
 use milo_opt::{LevelReport, TimingReport};
 use milo_techmap::{enforce_fanout, map_netlist, TechLibrary};
 use milo_timing::{statistics, DesignStats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------
@@ -147,6 +150,210 @@ impl FlowContext<'_> {
 }
 
 // ---------------------------------------------------------------------
+// Fault-tolerance policy
+// ---------------------------------------------------------------------
+
+/// What the flow driver does when a pass fails — panics, returns an
+/// error, exceeds its [`RewriteBudget`], or leaves a corrupt netlist
+/// behind a validation checkpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FailureAction {
+    /// Stop the flow and surface the structured error (the historical
+    /// behavior, and the default).
+    #[default]
+    Abort,
+    /// Record the failure, restore the pre-pass checkpoint (except on
+    /// budget exhaustion, where the partial work is valid and kept),
+    /// and continue with the remaining passes. The run is marked
+    /// [`FlowReport::degraded`].
+    SkipPass,
+    /// Record the failure, always restore the pre-pass checkpoint, and
+    /// continue. The run is marked [`FlowReport::degraded`].
+    RollbackAndContinue,
+}
+
+/// A per-pass work limit. `None` fields are unlimited. The driver
+/// checks the budget after the pass returns — passes are not preempted,
+/// so `max_wall` bounds *accepted* work, not execution time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RewriteBudget {
+    /// Maximum `rules_applied` the pass may report.
+    pub max_rewrites: Option<usize>,
+    /// Maximum wall-clock time the pass may spend.
+    pub max_wall: Option<Duration>,
+}
+
+impl RewriteBudget {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Limits applied rewrites.
+    pub fn rewrites(max: usize) -> Self {
+        Self {
+            max_rewrites: Some(max),
+            max_wall: None,
+        }
+    }
+
+    /// Limits wall-clock time.
+    pub fn wall(max: Duration) -> Self {
+        Self {
+            max_rewrites: None,
+            max_wall: Some(max),
+        }
+    }
+
+    /// Builder: adds a wall-clock limit to an existing budget.
+    #[must_use]
+    pub fn and_wall(mut self, max: Duration) -> Self {
+        self.max_wall = Some(max);
+        self
+    }
+
+    fn exceeded(&self, rules_applied: usize, wall: Duration) -> Option<String> {
+        if let Some(max) = self.max_rewrites {
+            if rules_applied > max {
+                return Some(format!("{rules_applied} rewrites > budget {max}"));
+            }
+        }
+        if let Some(max) = self.max_wall {
+            if wall > max {
+                return Some(format!("{wall:?} wall > budget {max:?}"));
+            }
+        }
+        None
+    }
+}
+
+/// Fault-tolerance policy for one pass: a work budget plus what to do
+/// on failure. Attached with [`Flow::with_policy`]; passes without a
+/// policy run unlimited and abort on failure, exactly as before.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassPolicy {
+    /// The pass's work budget.
+    pub budget: RewriteBudget,
+    /// What the driver does when the pass fails.
+    pub on_failure: FailureAction,
+}
+
+impl PassPolicy {
+    /// A policy with the given failure action and no budget.
+    pub fn on_failure(action: FailureAction) -> Self {
+        Self {
+            budget: RewriteBudget::unlimited(),
+            on_failure: action,
+        }
+    }
+
+    /// Builder: sets the budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: RewriteBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// How a pass's slot in the flow concluded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PassOutcome {
+    /// The pass ran to completion.
+    #[default]
+    Completed,
+    /// The pass was skipped by its skip predicate.
+    Skipped,
+    /// The pass failed and was skipped over by [`FailureAction::SkipPass`]
+    /// (netlist restored, except after budget exhaustion).
+    FailedSkipped,
+    /// The pass failed and [`FailureAction::RollbackAndContinue`]
+    /// restored the pre-pass checkpoint.
+    RolledBack,
+}
+
+impl PassOutcome {
+    /// Stable lowercase token used in the JSON report.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PassOutcome::Completed => "completed",
+            PassOutcome::Skipped => "skipped",
+            PassOutcome::FailedSkipped => "failed-skipped",
+            PassOutcome::RolledBack => "rolled-back",
+        }
+    }
+}
+
+/// Run-wide switches for a [`Flow`], settable wholesale through
+/// [`Flow::options_mut`] or individually through the builder methods.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowOptions {
+    /// Run the parallel baseline ("human designer") elaboration.
+    pub baseline: bool,
+    /// Sample best-effort per-pass statistics.
+    pub sample_stats: bool,
+    /// Run the structural corruption check ([`fatal_violations`]) after
+    /// every non-skipped pass, turning silent corruption into a
+    /// `ValidationFailed` at the pass that caused it.
+    pub validate_each_pass: bool,
+    /// Catch pass panics and convert them to `PassPanicked` errors
+    /// (on by default). Off, a panicking pass unwinds to the caller.
+    pub isolate_panics: bool,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        Self {
+            baseline: true,
+            sample_stats: true,
+            validate_each_pass: false,
+            isolate_panics: true,
+        }
+    }
+}
+
+/// A restorable snapshot of the flow's mutable state, captured before a
+/// pass that has a non-abort policy (or when validation checkpoints are
+/// on). The design-database snapshot is an `Arc`-backed name-table copy
+/// — compiled designs are shared, not deep-cloned; only the work
+/// netlist itself is cloned.
+struct Checkpoint {
+    work: Netlist,
+    db: DesignDb,
+    top_name: Option<String>,
+    mapped: bool,
+    critic: Option<CriticReport>,
+    levels: Vec<LevelReport>,
+    timing: Option<TimingReport>,
+    buffers_inserted: usize,
+}
+
+impl Checkpoint {
+    fn capture(ctx: &FlowContext<'_>) -> Self {
+        Self {
+            work: ctx.work.clone(),
+            db: ctx.db.clone(),
+            top_name: ctx.top_name.clone(),
+            mapped: ctx.mapped,
+            critic: ctx.critic.clone(),
+            levels: ctx.levels.clone(),
+            timing: ctx.timing.clone(),
+            buffers_inserted: ctx.buffers_inserted,
+        }
+    }
+
+    fn restore(self, ctx: &mut FlowContext<'_>) {
+        ctx.work = self.work;
+        *ctx.db = self.db;
+        ctx.top_name = self.top_name;
+        ctx.mapped = self.mapped;
+        ctx.critic = self.critic;
+        ctx.levels = self.levels;
+        ctx.timing = self.timing;
+        ctx.buffers_inserted = self.buffers_inserted;
+    }
+}
+
+// ---------------------------------------------------------------------
 // Pass trait and reports
 // ---------------------------------------------------------------------
 
@@ -164,7 +371,9 @@ pub trait Pass: Send {
     ///
     /// # Errors
     ///
-    /// A failing pass aborts the flow with its error.
+    /// A failing pass aborts the flow with its error — unless a
+    /// [`PassPolicy`] with a non-abort [`FailureAction`] is attached,
+    /// in which case the driver records the failure and continues.
     fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError>;
 }
 
@@ -188,8 +397,15 @@ impl Pass for Box<dyn Pass> {
 pub struct PassReport {
     /// Pass name.
     pub name: String,
-    /// Whether the pass was skipped (by its skip predicate).
+    /// Whether the pass was skipped (by its skip predicate). Kept for
+    /// compatibility; `outcome` is the richer signal.
     pub skipped: bool,
+    /// How the slot concluded (completed / skipped / failed-skipped /
+    /// rolled-back).
+    pub outcome: PassOutcome,
+    /// The failure the driver recovered from, when `outcome` is
+    /// [`PassOutcome::FailedSkipped`] or [`PassOutcome::RolledBack`].
+    pub error: Option<String>,
     /// Wall-clock time spent in the pass.
     pub wall: Duration,
     /// Rules / strategies / repairs the pass applied.
@@ -247,6 +463,10 @@ pub struct FlowReport {
     /// One report per configured pass, in execution order (skipped
     /// passes included, flagged).
     pub passes: Vec<PassReport>,
+    /// Whether any pass failed and was recovered from (skipped over or
+    /// rolled back) instead of completing — the output is legal but may
+    /// be less optimized than a clean run's.
+    pub degraded: bool,
     /// Wall-clock time of the whole run, including the final electric
     /// check and the overlapped baseline elaboration.
     pub total_wall: Duration,
@@ -254,22 +474,30 @@ pub struct FlowReport {
 
 impl FlowReport {
     /// Hand-rolled JSON encoding (the build environment has no serde):
-    /// `{"design", "total_ns", "passes": [{name, skipped, wall_ns,
-    /// rules_applied, cells_delta, area_delta, delay_delta, note}]}`.
+    /// `{"design", "total_ns", "degraded", "passes": [{name, skipped,
+    /// outcome, error, wall_ns, rules_applied, cells_delta, area_delta,
+    /// delay_delta, note}]}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"design\": {}", json_string(&self.design)));
         out.push_str(&format!(", \"total_ns\": {}", self.total_wall.as_nanos()));
+        out.push_str(&format!(", \"degraded\": {}", self.degraded));
         out.push_str(", \"passes\": [");
         for (i, p) in self.passes.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
             out.push_str(&format!(
-                "{{\"name\": {}, \"skipped\": {}, \"wall_ns\": {}, \"rules_applied\": {}, \
+                "{{\"name\": {}, \"skipped\": {}, \"outcome\": {}, \"error\": {}, \
+                 \"wall_ns\": {}, \"rules_applied\": {}, \
                  \"cells_delta\": {}, \"area_delta\": {}, \"delay_delta\": {}, \"note\": {}}}",
                 json_string(&p.name),
                 p.skipped,
+                json_string(p.outcome.as_str()),
+                p.error
+                    .as_deref()
+                    .map(json_string)
+                    .unwrap_or_else(|| "null".to_owned()),
                 p.wall.as_nanos(),
                 p.rules_applied,
                 json_opt_i64(p.cells_delta()),
@@ -382,6 +610,17 @@ type SkipFn = dyn Fn(&FlowContext<'_>) -> bool + Send;
 struct Slot {
     pass: Box<dyn Pass>,
     skip: Option<Box<SkipFn>>,
+    policy: Option<PassPolicy>,
+}
+
+impl Slot {
+    fn new(pass: impl Pass + 'static) -> Self {
+        Self {
+            pass: Box::new(pass),
+            skip: None,
+            policy: None,
+        }
+    }
 }
 
 /// An ordered, composable list of passes plus run policy (baseline
@@ -393,8 +632,8 @@ struct Slot {
 pub struct Flow {
     slots: Vec<Slot>,
     observer: Option<Box<ObserverFn>>,
-    baseline: bool,
-    sample_stats: bool,
+    options: FlowOptions,
+    fault: Option<Arc<FaultInjector>>,
 }
 
 impl Default for Flow {
@@ -410,8 +649,8 @@ impl Flow {
         Self {
             slots: Vec::new(),
             observer: None,
-            baseline: true,
-            sample_stats: true,
+            options: FlowOptions::default(),
+            fault: None,
         }
     }
 
@@ -434,10 +673,7 @@ impl Flow {
 
     /// Appends a pass.
     pub fn push(&mut self, pass: impl Pass + 'static) -> &mut Self {
-        self.slots.push(Slot {
-            pass: Box::new(pass),
-            skip: None,
-        });
+        self.slots.push(Slot::new(pass));
         self
     }
 
@@ -449,13 +685,7 @@ impl Flow {
     /// programming error, caught at construction).
     pub fn insert_before(&mut self, anchor: &str, pass: impl Pass + 'static) -> &mut Self {
         let at = self.position(anchor);
-        self.slots.insert(
-            at,
-            Slot {
-                pass: Box::new(pass),
-                skip: None,
-            },
-        );
+        self.slots.insert(at, Slot::new(pass));
         self
     }
 
@@ -466,13 +696,7 @@ impl Flow {
     /// Panics when no pass is named `anchor`.
     pub fn insert_after(&mut self, anchor: &str, pass: impl Pass + 'static) -> &mut Self {
         let at = self.position(anchor) + 1;
-        self.slots.insert(
-            at,
-            Slot {
-                pass: Box::new(pass),
-                skip: None,
-            },
-        );
+        self.slots.insert(at, Slot::new(pass));
         self
     }
 
@@ -507,14 +731,54 @@ impl Flow {
     /// Disables the parallel baseline ("human designer") elaboration;
     /// the result's `baseline` statistics come back zeroed.
     pub fn without_baseline(&mut self) -> &mut Self {
-        self.baseline = false;
+        self.options.baseline = false;
         self
     }
 
     /// Enables / disables best-effort per-pass statistics sampling
     /// (on by default; disable to shave STA runs off very hot loops).
     pub fn sample_stats(&mut self, on: bool) -> &mut Self {
-        self.sample_stats = on;
+        self.options.sample_stats = on;
+        self
+    }
+
+    /// Enables / disables the post-pass structural validation
+    /// checkpoint (off by default; see
+    /// [`FlowOptions::validate_each_pass`]).
+    pub fn validate_each_pass(&mut self, on: bool) -> &mut Self {
+        self.options.validate_each_pass = on;
+        self
+    }
+
+    /// Enables / disables pass panic isolation (on by default; see
+    /// [`FlowOptions::isolate_panics`]).
+    pub fn isolate_panics(&mut self, on: bool) -> &mut Self {
+        self.options.isolate_panics = on;
+        self
+    }
+
+    /// Direct access to the run-wide option switches.
+    pub fn options_mut(&mut self) -> &mut FlowOptions {
+        &mut self.options
+    }
+
+    /// Attaches a fault-tolerance [`PassPolicy`] to the pass named
+    /// `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass is named `name`.
+    pub fn with_policy(&mut self, name: &str, policy: PassPolicy) -> &mut Self {
+        let at = self.position(name);
+        self.slots[at].policy = Some(policy);
+        self
+    }
+
+    /// Arms a fault injector for this flow's runs (test harness; see
+    /// [`FaultInjector`]). Runs without an explicit injector fall back
+    /// to the `Milo` instance's injector, then to `MILO_FAULT_INJECT`.
+    pub fn inject_faults(&mut self, injector: Arc<FaultInjector>) -> &mut Self {
+        self.fault = Some(injector);
         self
     }
 
@@ -533,7 +797,9 @@ impl Flow {
     ///
     /// # Errors
     ///
-    /// Propagates the first failing pass / stage error.
+    /// Propagates the first failing pass / stage error. With panic
+    /// isolation on (the default), a panic on either arm comes back as
+    /// a structured `PassPanicked` instead of unwinding the caller.
     pub fn run(
         &mut self,
         milo: &mut Milo,
@@ -541,24 +807,49 @@ impl Flow {
         constraints: &Constraints,
     ) -> Result<FlowOutput, MiloError> {
         let started = Instant::now();
+        let fault = self
+            .fault
+            .clone()
+            .or_else(|| milo.fault_injector())
+            .or_else(|| FaultInjector::from_env().map(Arc::new));
+        let isolate = self.options.isolate_panics;
         let (lib, db) = milo.parts_mut();
-        let (baseline_res, main_res) = if self.baseline {
+        let (baseline_res, main_res) = if self.options.baseline {
             // The snapshot clone copies Arc pointers, not netlists.
             let snapshot = db.clone();
             let baseline_lib = lib.clone();
-            milo_par::join(
+            let fault = fault.clone();
+            milo_par::try_join(
                 move || Some(elaborate_baseline(snapshot, &baseline_lib, nl)),
-                || self.run_passes(lib, db, nl, constraints),
+                move || self.run_passes(lib, db, nl, constraints, fault.as_deref()),
             )
         } else {
-            (None, self.run_passes(lib, db, nl, constraints))
+            let fault = fault.clone();
+            (
+                Ok(None),
+                catch_unwind(AssertUnwindSafe(move || {
+                    self.run_passes(lib, db, nl, constraints, fault.as_deref())
+                }))
+                .map_err(milo_par::Panic),
+            )
         };
-        let baseline = match baseline_res {
+        let unwind = |arm: &str, p: milo_par::Panic| -> MiloError {
+            if isolate {
+                MiloError::PassPanicked {
+                    pass: arm.to_owned(),
+                    design: nl.name.clone(),
+                    payload: p.message(),
+                    recovery: RecoveryAction::Aborted,
+                }
+            } else {
+                p.resume()
+            }
+        };
+        let (mut result, mut report) = main_res.map_err(|p| unwind("flow", p))??;
+        result.baseline = match baseline_res.map_err(|p| unwind("baseline", p))? {
             Some(r) => r?,
             None => DesignStats::default(),
         };
-        let (mut result, mut report) = main_res?;
-        result.baseline = baseline;
         report.total_wall = started.elapsed();
         Ok(FlowOutput { result, report })
     }
@@ -570,6 +861,7 @@ impl Flow {
         db: &mut DesignDb,
         nl: &Netlist,
         constraints: &Constraints,
+        fault: Option<&FaultInjector>,
     ) -> Result<(SynthesisResult, FlowReport), MiloError> {
         let mut ctx = FlowContext {
             entry: nl,
@@ -596,32 +888,129 @@ impl Flow {
         }
         // One pass's `after` statistics double as the next pass's
         // `before` — the netlist is untouched at the boundary (and by
-        // skipped passes), so sampling once per transition suffices.
+        // skipped passes), so sampling once per transition suffices. A
+        // recovered failure invalidates the carried sample.
         let mut carried: Option<DesignStats> = None;
+        let design = nl.name.clone();
+        let opts = self.options;
         for (index, slot) in self.slots.iter_mut().enumerate() {
             let name = slot.pass.name().to_owned();
             if let Some(obs) = self.observer.as_mut() {
                 obs(&FlowEvent::PassStarted { index, name: &name });
             }
             let skipped = slot.skip.as_ref().is_some_and(|pred| pred(&ctx));
-            let before = if self.sample_stats && !skipped {
+            let before = if opts.sample_stats && !skipped {
                 carried.take().or_else(|| ctx.sample_stats())
             } else {
                 None
             };
-            let pass_started = Instant::now();
-            let mut pr = if skipped {
-                PassReport {
-                    skipped: true,
-                    ..PassReport::default()
-                }
+            let policy = slot.policy.unwrap_or_default();
+            // The checkpoint is only for restoring after a recovered
+            // failure; the default abort-on-failure pays nothing.
+            let checkpoint = if !skipped
+                && (policy.on_failure != FailureAction::Abort || opts.validate_each_pass)
+            {
+                Some(Checkpoint::capture(&ctx))
             } else {
-                slot.pass.run(&mut ctx)?
+                None
+            };
+            let pass_started = Instant::now();
+            let run_res: Result<PassReport, MiloError> = if skipped {
+                Ok(PassReport {
+                    skipped: true,
+                    outcome: PassOutcome::Skipped,
+                    ..PassReport::default()
+                })
+            } else {
+                let inject_panic = fault.is_some_and(|f| f.fires(FaultKind::Panic, &name, &design));
+                let exec = |pass: &mut Box<dyn Pass>, ctx: &mut FlowContext<'_>| {
+                    if inject_panic {
+                        panic!("injected fault: panic@{name}");
+                    }
+                    pass.run(ctx)
+                };
+                let ran = if opts.isolate_panics {
+                    catch_unwind(AssertUnwindSafe(|| exec(&mut slot.pass, &mut ctx)))
+                        .unwrap_or_else(|payload| {
+                            Err(MiloError::PassPanicked {
+                                pass: name.clone(),
+                                design: design.clone(),
+                                payload: milo_par::Panic(payload).message(),
+                                recovery: RecoveryAction::Aborted,
+                            })
+                        })
+                } else {
+                    exec(&mut slot.pass, &mut ctx)
+                };
+                let wall = pass_started.elapsed();
+                ran.and_then(|pr| {
+                    if fault.is_some_and(|f| f.fires(FaultKind::Corrupt, &name, &design)) {
+                        FaultInjector::corrupt(&mut ctx.work);
+                    }
+                    let budget_hit = policy.budget.exceeded(pr.rules_applied, wall).or_else(|| {
+                        fault
+                            .is_some_and(|f| f.fires(FaultKind::Budget, &name, &design))
+                            .then(|| "injected budget exhaustion".to_owned())
+                    });
+                    if let Some(detail) = budget_hit {
+                        return Err(MiloError::BudgetExceeded {
+                            pass: name.clone(),
+                            design: design.clone(),
+                            detail,
+                            recovery: RecoveryAction::Aborted,
+                        });
+                    }
+                    if opts.validate_each_pass {
+                        let fatal = fatal_violations(&ctx.work);
+                        if !fatal.is_empty() {
+                            return Err(MiloError::ValidationFailed {
+                                pass: name.clone(),
+                                design: design.clone(),
+                                violations: fatal,
+                                recovery: RecoveryAction::Aborted,
+                            });
+                        }
+                    }
+                    Ok(pr)
+                })
+            };
+            let mut pr = match run_res {
+                Ok(pr) => pr,
+                Err(e) => {
+                    // Budget exhaustion leaves a valid netlist that is
+                    // merely over budget — SkipPass keeps it. Every
+                    // other failure leaves untrusted state: restore.
+                    let keep_partial = matches!(e, MiloError::BudgetExceeded { .. })
+                        && policy.on_failure == FailureAction::SkipPass;
+                    let (outcome, recovery) = match policy.on_failure {
+                        FailureAction::Abort => {
+                            return Err(e.with_recovery(RecoveryAction::Aborted));
+                        }
+                        FailureAction::SkipPass => {
+                            (PassOutcome::FailedSkipped, RecoveryAction::SkippedPass)
+                        }
+                        FailureAction::RollbackAndContinue => {
+                            (PassOutcome::RolledBack, RecoveryAction::RolledBack)
+                        }
+                    };
+                    if !keep_partial {
+                        if let Some(cp) = checkpoint {
+                            cp.restore(&mut ctx);
+                        }
+                    }
+                    report.degraded = true;
+                    carried = None;
+                    PassReport {
+                        outcome,
+                        error: Some(e.with_recovery(recovery).to_string()),
+                        ..PassReport::default()
+                    }
+                }
             };
             pr.name = name;
             pr.wall = pass_started.elapsed();
             pr.before = before;
-            pr.after = if self.sample_stats && !skipped {
+            pr.after = if opts.sample_stats && pr.outcome == PassOutcome::Completed {
                 carried = ctx.sample_stats();
                 carried
             } else {
@@ -631,6 +1020,21 @@ impl Flow {
                 obs(&FlowEvent::PassFinished { index, report: &pr });
             }
             report.passes.push(pr);
+        }
+
+        // Corruption gate: whatever the passes (or an injected fault)
+        // did, a structurally corrupt netlist must not silently flow
+        // into mapping / timing — surface it as a structured error.
+        let fatal = fatal_violations(&ctx.work);
+        if !fatal.is_empty() {
+            return Err(MiloError::DesignCorrupt {
+                design,
+                detail: fatal
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            });
         }
 
         // Final electric check (the fixed epilogue): whatever passes ran

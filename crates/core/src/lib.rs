@@ -30,20 +30,27 @@
 //! ```
 
 #![warn(missing_docs)]
+// Flow-facing code must propagate errors, not die on them: a synthesis
+// service can't afford an `unwrap` in the middle of a 200-design batch.
+// Tests are exempt — panicking asserts are the point there.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod constraints;
+mod fault;
 mod flow;
 mod parse;
 mod pipeline;
 mod report;
 
 pub use constraints::Constraints;
+pub use fault::{FaultInjector, FaultKind, FaultSpec};
 pub use flow::{
-    BottomUpLogic, Compile, FanoutRepair, Flow, FlowContext, FlowEvent, FlowOutput, FlowReport,
-    MicroCritic, Pass, PassReport, TimingArea,
+    BottomUpLogic, Compile, FailureAction, FanoutRepair, Flow, FlowContext, FlowEvent, FlowOptions,
+    FlowOutput, FlowReport, MicroCritic, Pass, PassOutcome, PassPolicy, PassReport, RewriteBudget,
+    TimingArea,
 };
 pub use parse::{emit_netlist, parse_netlist, ParseError};
-pub use pipeline::{Milo, MiloError, SynthesisResult};
+pub use pipeline::{Milo, MiloError, RecoveryAction, SynthesisResult};
 pub use report::{f2, pct, Table};
 
 // Re-export the workspace API for single-dependency consumers.

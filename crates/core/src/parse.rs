@@ -335,7 +335,9 @@ pub fn parse_netlist(src: &str) -> Result<Netlist, ParseError> {
             continue;
         }
         let mut words = text.split_whitespace();
-        let keyword = words.next().expect("non-empty line");
+        let Some(keyword) = words.next() else {
+            continue; // unreachable: the line is non-empty
+        };
         match keyword {
             "design" => {
                 nl.name = words
@@ -389,7 +391,8 @@ pub fn parse_netlist(src: &str) -> Result<Netlist, ParseError> {
 pub fn emit_netlist(nl: &Netlist) -> Result<String, String> {
     use std::fmt::Write;
     let mut out = String::new();
-    writeln!(out, "design {}", nl.name).expect("string write");
+    // Writes into a String are infallible.
+    let _ = writeln!(out, "design {}", nl.name);
     let net_name = |id: milo_netlist::NetId| format!("n{}", id.index());
     let inputs: Vec<String> = nl
         .ports()
@@ -404,13 +407,15 @@ pub fn emit_netlist(nl: &Netlist) -> Result<String, String> {
         .map(|p| net_name(p.net))
         .collect();
     if !inputs.is_empty() {
-        writeln!(out, "input {}", inputs.join(" ")).expect("string write");
+        let _ = writeln!(out, "input {}", inputs.join(" "));
     }
     if !outputs.is_empty() {
-        writeln!(out, "output {}", outputs.join(" ")).expect("string write");
+        let _ = writeln!(out, "output {}", outputs.join(" "));
     }
     for id in nl.component_ids() {
-        let comp = nl.component(id).expect("live id");
+        let comp = nl
+            .component(id)
+            .map_err(|e| format!("component {id:?} vanished mid-iteration: {e}"))?;
         let spec = kind_spec(&comp.kind).ok_or_else(|| {
             format!(
                 "component {} ({}) has no text form",
@@ -418,13 +423,13 @@ pub fn emit_netlist(nl: &Netlist) -> Result<String, String> {
                 comp.kind.label()
             )
         })?;
-        write!(out, "comp {spec} c{}", id.index()).expect("string write");
+        let _ = write!(out, "comp {spec} c{}", id.index());
         for pin in &comp.pins {
             if let Some(net) = pin.net {
-                write!(out, " {}={}", pin.name, net_name(net)).expect("string write");
+                let _ = write!(out, " {}={}", pin.name, net_name(net));
             }
         }
-        writeln!(out).expect("string write");
+        let _ = writeln!(out);
     }
     Ok(out)
 }

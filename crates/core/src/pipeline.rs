@@ -8,6 +8,7 @@
 //! [`Milo::synthesize_batch`] fans independent designs across all cores.
 
 use crate::constraints::Constraints;
+use crate::fault::FaultInjector;
 use crate::flow::{json_f64, json_string, Flow};
 use milo_compilers::expand_micro_components;
 use milo_microarch::{CriticReport, FeedbackError};
@@ -16,6 +17,34 @@ use milo_opt::{LevelReport, TimingReport};
 use milo_techmap::{map_netlist, TechLibrary};
 use milo_timing::{statistics, DesignStats};
 use std::fmt;
+use std::sync::Arc;
+
+/// How the flow driver reacted to a recoverable failure — carried
+/// inside the structured [`MiloError`] variants so callers (and the
+/// JSON report) can tell a hard abort from a degraded-but-continued
+/// run or a retried batch arm.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecoveryAction {
+    /// The flow stopped and surfaced the error.
+    Aborted,
+    /// The failing pass was skipped over and the flow continued.
+    SkippedPass,
+    /// The pre-pass checkpoint was restored and the flow continued.
+    RolledBack,
+    /// The batch arm was retried once and still failed.
+    Retried,
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryAction::Aborted => "aborted",
+            RecoveryAction::SkippedPass => "skipped pass",
+            RecoveryAction::RolledBack => "rolled back",
+            RecoveryAction::Retried => "retried",
+        })
+    }
+}
 
 /// Errors from the synthesis pipeline.
 #[derive(Debug)]
@@ -30,6 +59,72 @@ pub enum MiloError {
     Netlist(milo_netlist::NetlistError),
     /// Compilation failure.
     Compile(String),
+    /// A pass (or batch arm) panicked; the unwind was caught at the
+    /// pass boundary and converted into this structured error.
+    PassPanicked {
+        /// The panicking pass (or `"batch-arm"` / `"baseline"` /
+        /// `"flow"` for panics outside any single pass).
+        pass: String,
+        /// The entry design being synthesized.
+        design: String,
+        /// The panic message (best-effort string extraction).
+        payload: String,
+        /// What the driver did about it.
+        recovery: RecoveryAction,
+    },
+    /// A pass exceeded its [`crate::RewriteBudget`].
+    BudgetExceeded {
+        /// The over-budget pass.
+        pass: String,
+        /// The entry design being synthesized.
+        design: String,
+        /// Which limit was exceeded, and by how much.
+        detail: String,
+        /// What the driver did about it.
+        recovery: RecoveryAction,
+    },
+    /// A post-pass validation checkpoint found fatal structural
+    /// violations ([`crate::FlowOptions::validate_each_pass`]).
+    ValidationFailed {
+        /// The pass after which validation failed.
+        pass: String,
+        /// The entry design being synthesized.
+        design: String,
+        /// The fatal violations found.
+        violations: Vec<Violation>,
+        /// What the driver did about it.
+        recovery: RecoveryAction,
+    },
+    /// The work netlist reached the end of the pass list structurally
+    /// corrupt (multi-driven or undriven nets) — nothing downstream can
+    /// be trusted, so the flow refuses to map or report it.
+    DesignCorrupt {
+        /// The entry design being synthesized.
+        design: String,
+        /// The fatal violations, rendered.
+        detail: String,
+    },
+}
+
+impl MiloError {
+    /// Whether this error is a caught panic (the only class the batch
+    /// driver retries — everything else is deterministic).
+    pub fn is_panic(&self) -> bool {
+        matches!(self, MiloError::PassPanicked { .. })
+    }
+
+    /// Stamps the recovery action onto the structured variants
+    /// (no-op for the plain stage errors, which always abort).
+    #[must_use]
+    pub(crate) fn with_recovery(mut self, action: RecoveryAction) -> Self {
+        match &mut self {
+            MiloError::PassPanicked { recovery, .. }
+            | MiloError::BudgetExceeded { recovery, .. }
+            | MiloError::ValidationFailed { recovery, .. } => *recovery = action,
+            _ => {}
+        }
+        self
+    }
 }
 
 impl fmt::Display for MiloError {
@@ -40,6 +135,45 @@ impl fmt::Display for MiloError {
             MiloError::Map(e) => write!(f, "map: {e}"),
             MiloError::Netlist(e) => write!(f, "netlist: {e}"),
             MiloError::Compile(e) => write!(f, "compile: {e}"),
+            MiloError::PassPanicked {
+                pass,
+                design,
+                payload,
+                recovery,
+            } => write!(
+                f,
+                "pass {pass:?} panicked on design {design:?} ({recovery}): {payload}"
+            ),
+            MiloError::BudgetExceeded {
+                pass,
+                design,
+                detail,
+                recovery,
+            } => write!(
+                f,
+                "pass {pass:?} exceeded its budget on design {design:?} ({recovery}): {detail}"
+            ),
+            MiloError::ValidationFailed {
+                pass,
+                design,
+                violations,
+                recovery,
+            } => {
+                write!(
+                    f,
+                    "validation after pass {pass:?} on design {design:?} ({recovery}): "
+                )?;
+                for (i, v) in violations.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+            MiloError::DesignCorrupt { design, detail } => {
+                write!(f, "design {design:?} is structurally corrupt: {detail}")
+            }
         }
     }
 }
@@ -196,6 +330,7 @@ impl SynthesisResult {
 pub struct Milo {
     pub(crate) lib: TechLibrary,
     pub(crate) db: DesignDb,
+    pub(crate) fault: Option<Arc<FaultInjector>>,
 }
 
 /// The baseline ("human designer") elaboration as a pure function of a
@@ -212,6 +347,7 @@ pub(crate) fn elaborate_baseline(
     let mut side = Milo {
         lib: lib.clone(),
         db,
+        fault: None,
     };
     let mapped = side.elaborate_unoptimized(nl)?;
     Ok(statistics(&mapped)?)
@@ -223,7 +359,20 @@ impl Milo {
         Self {
             lib,
             db: DesignDb::new(),
+            fault: None,
         }
+    }
+
+    /// Arms a fault injector for every flow run against this instance
+    /// (test harness; see [`FaultInjector`]). Flows with their own
+    /// injector take precedence; `MILO_FAULT_INJECT` is the fallback.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.fault = Some(injector);
+    }
+
+    /// The armed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.fault.clone()
     }
 
     /// The target library.
@@ -306,21 +455,7 @@ impl Milo {
         designs: &[Netlist],
         constraints: &Constraints,
     ) -> Result<Vec<SynthesisResult>, MiloError> {
-        let lib = self.lib.clone();
-        let snapshot = self.db.clone();
-        let runs = milo_par::par_map(
-            designs,
-            |nl| -> Result<(SynthesisResult, DesignDb), MiloError> {
-                let mut arm = Milo {
-                    lib: lib.clone(),
-                    db: snapshot.clone(),
-                };
-                let mut flow = Flow::standard();
-                flow.sample_stats(false);
-                let out = flow.run(&mut arm, nl, constraints)?;
-                Ok((out.result, arm.db))
-            },
-        );
+        let runs = self.batch_inner(designs, constraints);
         // Fail atomically: surface the first error (input order) before
         // merging anything, so a failed batch leaves the database
         // untouched.
@@ -334,6 +469,101 @@ impl Milo {
             results.push(result);
         }
         Ok(results)
+    }
+
+    /// [`Milo::synthesize_batch`] with per-design partial failure: one
+    /// design panicking or corrupting itself does not poison the batch.
+    /// Each design comes back as its own `Result`, in input order;
+    /// healthy designs complete normally and their compiled designs are
+    /// merged into the database (in input order), while failed designs
+    /// surface structured errors and merge nothing.
+    ///
+    /// Arms whose failure was a caught panic are retried once — panics
+    /// may be environmental (and injected faults have bounded charges)
+    /// where deterministic stage errors are not worth re-running. An
+    /// arm that fails again reports [`RecoveryAction::Retried`].
+    pub fn synthesize_batch_results(
+        &mut self,
+        designs: &[Netlist],
+        constraints: &Constraints,
+    ) -> Vec<Result<SynthesisResult, MiloError>> {
+        self.batch_inner(designs, constraints)
+            .into_iter()
+            .map(|run| {
+                run.map(|(result, db)| {
+                    self.db.merge_from(&db);
+                    result
+                })
+            })
+            .collect()
+    }
+
+    /// The shared batch driver: parallel per-design flows over a
+    /// database snapshot, panic-isolated arms, one bounded retry for
+    /// panicked arms. Returns per-design results with each successful
+    /// arm's private database, un-merged.
+    fn batch_inner(
+        &mut self,
+        designs: &[Netlist],
+        constraints: &Constraints,
+    ) -> Vec<Result<(SynthesisResult, DesignDb), MiloError>> {
+        let lib = self.lib.clone();
+        let snapshot = self.db.clone();
+        // Resolve the injector once: all arms AND retries share it, so
+        // fire charges are batch-global (a once-only fault hits one arm
+        // and is spent by the time that arm retries).
+        let fault = self
+            .fault
+            .clone()
+            .or_else(|| FaultInjector::from_env().map(Arc::new));
+        let arm_run = |nl: &Netlist| -> Result<(SynthesisResult, DesignDb), MiloError> {
+            let mut arm = Milo {
+                lib: lib.clone(),
+                db: snapshot.clone(),
+                fault: None,
+            };
+            let mut flow = Flow::standard();
+            flow.sample_stats(false);
+            if let Some(f) = &fault {
+                flow.inject_faults(f.clone());
+            }
+            let out = flow.run(&mut arm, nl, constraints)?;
+            Ok((out.result, arm.db))
+        };
+        let arm_panicked =
+            |nl: &Netlist, p: milo_par::Panic, recovery: RecoveryAction| MiloError::PassPanicked {
+                pass: "batch-arm".to_owned(),
+                design: nl.name.clone(),
+                payload: p.message(),
+                recovery,
+            };
+        let mut runs: Vec<Result<(SynthesisResult, DesignDb), MiloError>> =
+            milo_par::try_par_map(designs, arm_run)
+                .into_iter()
+                .zip(designs)
+                .map(|(run, nl)| match run {
+                    Ok(inner) => inner,
+                    Err(p) => Err(arm_panicked(nl, p, RecoveryAction::Aborted)),
+                })
+                .collect();
+        let retry: Vec<usize> = runs
+            .iter()
+            .enumerate()
+            .filter(|(_, run)| matches!(run, Err(e) if e.is_panic()))
+            .map(|(i, _)| i)
+            .collect();
+        if !retry.is_empty() {
+            let retry_designs: Vec<&Netlist> = retry.iter().map(|&i| &designs[i]).collect();
+            let second = milo_par::try_par_map(&retry_designs, |nl| arm_run(nl));
+            for (&slot, run) in retry.iter().zip(second) {
+                runs[slot] = match run {
+                    Ok(Ok(inner)) => Ok(inner),
+                    Ok(Err(e)) => Err(e.with_recovery(RecoveryAction::Retried)),
+                    Err(p) => Err(arm_panicked(&designs[slot], p, RecoveryAction::Retried)),
+                };
+            }
+        }
+        runs
     }
 }
 

@@ -58,4 +58,4 @@ pub use kind::{
 };
 pub use netlist::{Component, ComponentKind, Net, Netlist, NetlistError, Pin, Port, TouchSet};
 pub use sim::{eval_component, next_state, Simulator};
-pub use validate::{validate, Violation};
+pub use validate::{fatal_violations, validate, Violation};

@@ -47,6 +47,31 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// Whether this violation means the netlist is structurally corrupt
+    /// — logic function undefined — rather than merely suboptimal or
+    /// repairable. Fault-tolerant flow execution treats fatal
+    /// violations as `DesignCorrupt`/`ValidationFailed` errors;
+    /// non-fatal ones (fanout overruns the electric critic repairs,
+    /// benign dangling outputs, unconnected inputs in mid-compilation
+    /// hierarchy) stay warnings.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            Violation::MultipleDrivers { .. } | Violation::UndrivenNet { .. }
+        )
+    }
+}
+
+/// The fatal subset of [`validate`] — the corruption test the flow's
+/// per-pass validation checkpoints and batch pre-flight use.
+pub fn fatal_violations(nl: &Netlist) -> Vec<Violation> {
+    validate(nl, false)
+        .into_iter()
+        .filter(Violation::is_fatal)
+        .collect()
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

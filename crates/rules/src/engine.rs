@@ -6,6 +6,7 @@ use crate::undo::{Tx, UndoLog};
 use milo_netlist::{ComponentId, Netlist, NetlistError, PinRef, TouchSet};
 use milo_timing::{statistics, statistics_with_sta, DesignStats, IncrementalSta, Sta};
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 /// The rule classification of §6.4 (Fig. 17) plus the Logic Consultant's
@@ -266,6 +267,9 @@ pub struct Engine {
     rules: Vec<Box<dyn Rule>>,
     refraction: HashSet<(String, ComponentId, Vec<ComponentId>, usize)>,
     match_oracle: bool,
+    /// Undo logs of committed firings, oldest first, recorded while the
+    /// journal is enabled — the flow layer's checkpoint/rollback hook.
+    journal: Option<Vec<UndoLog>>,
     /// Trace of fired rules.
     pub firings: Vec<Firing>,
 }
@@ -277,6 +281,7 @@ impl Engine {
             rules,
             refraction: HashSet::new(),
             match_oracle: oracle_from_env(),
+            journal: None,
             firings: Vec::new(),
         }
     }
@@ -289,6 +294,58 @@ impl Engine {
     /// Clears refraction memory (e.g. between optimization phases).
     pub fn reset_refraction(&mut self) {
         self.refraction.clear();
+    }
+
+    /// Starts journaling committed rewrites: every firing accepted by
+    /// [`Engine::run`] / [`Engine::step`] / [`Engine::sweep`] /
+    /// [`Engine::run_sweeps`] keeps its [`UndoLog`] so a caller can
+    /// [`Engine::rollback_to`] an earlier [`Engine::journal_mark`].
+    /// Idempotent; journaling stays on until [`Engine::take_journal`].
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// A checkpoint mark: the number of journaled rewrites so far.
+    /// Rewrites committed while the journal is disabled are not
+    /// recorded (and can never be rolled back).
+    pub fn journal_mark(&self) -> usize {
+        self.journal.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Undoes every journaled rewrite back to (and excluding) `mark`,
+    /// newest first, restoring the netlist to its exact state at the
+    /// matching [`Engine::journal_mark`] call. Returns the number of
+    /// rewrites undone. Refraction memory is deliberately kept: a
+    /// rolled-back application stays refracted, so a retry does not
+    /// immediately re-fire into the same fault.
+    ///
+    /// The netlist must not have been mutated outside the engine since
+    /// the mark was taken (the undo logs replay exact inverses).
+    pub fn rollback_to(&mut self, nl: &mut Netlist, mark: usize) -> usize {
+        let Some(journal) = self.journal.as_mut() else {
+            return 0;
+        };
+        let mut undone = 0;
+        while journal.len() > mark {
+            let log = journal.pop().expect("len checked");
+            log.undo(nl);
+            undone += 1;
+        }
+        undone
+    }
+
+    /// Stops journaling and hands the recorded logs (oldest first) to
+    /// the caller, e.g. to merge into an outer transaction scope.
+    pub fn take_journal(&mut self) -> Vec<UndoLog> {
+        self.journal.take().unwrap_or_default()
+    }
+
+    fn journal_push(&mut self, log: UndoLog) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(log);
+        }
     }
 
     /// Forces the full-rescan oracle on or off (defaults to the
@@ -452,11 +509,18 @@ impl Engine {
             None => statistics(nl).ok()?,
         };
         let mut tx = Tx::new(nl);
-        let result = self.rules[rule_idx].apply(&mut tx, m);
+        // A rule that panics mid-apply (stale match, buggy user rule)
+        // must not poison the synthesis run: every mutation made so far
+        // is already recorded in the transaction, so catch the unwind,
+        // commit the partial log, and back it out like any rejected
+        // rewrite. (Recovery is exact because the netlist's own
+        // primitives are panic-free once entered — they validate first,
+        // then mutate.)
+        let result = catch_unwind(AssertUnwindSafe(|| self.rules[rule_idx].apply(&mut tx, m)));
         let log = tx.commit();
         let ts = log.touch_set();
         match result {
-            Ok(()) => {
+            Ok(Ok(())) => {
                 let after = if inc.is_some() {
                     refresh_or_rebuild(inc, nl, &ts);
                     inc.as_ref()
@@ -474,7 +538,8 @@ impl Engine {
                     }
                 }
             }
-            Err(_) => {
+            // Netlist error or caught panic: reject and restore.
+            Ok(Err(_)) | Err(_) => {
                 log.undo(nl);
                 refresh_or_rebuild(inc, nl, &ts);
                 None
@@ -529,6 +594,7 @@ impl Engine {
                         if maintain {
                             self.repair_index(nl, inc, index, &log.touch_set());
                         }
+                        self.journal_push(log);
                         return true;
                     }
                 }
@@ -558,6 +624,7 @@ impl Engine {
                             if maintain {
                                 self.repair_index(nl, inc, index, &log.touch_set());
                             }
+                            self.journal_push(log);
                             true
                         } else {
                             false
@@ -626,17 +693,20 @@ impl Engine {
             // O(design) cost of measuring every firing would defeat the
             // linearity the mode exists to provide.
             let mut tx = Tx::new(nl);
-            let result = self.rules[idx].apply(&mut tx, &m);
+            // Same mid-apply panic isolation as `try_apply_inc`: commit
+            // the partial transaction and undo it.
+            let result = catch_unwind(AssertUnwindSafe(|| self.rules[idx].apply(&mut tx, &m)));
             let log = tx.commit();
             match result {
-                Ok(()) => {
+                Ok(Ok(())) => {
                     touched.insert(m.site);
                     touched.extend(m.aux.iter().copied());
                     merged.merge(&log.touch_set());
                     self.record(idx, &m, Effect::default());
+                    self.journal_push(log);
                     fired += 1;
                 }
-                Err(_) => log.undo(nl),
+                Ok(Err(_)) | Err(_) => log.undo(nl),
             }
         }
         if fired > 0 {
@@ -912,6 +982,77 @@ mod tests {
         );
         let full = engine.conflict_set(&nl, None, None);
         assert_eq!(index.matches().len(), full.len());
+    }
+
+    /// A rule that mutates the netlist mid-apply and then panics — the
+    /// worst-case fault shape: partial work inside an open transaction.
+    struct MidApplyPanic;
+
+    impl Rule for MidApplyPanic {
+        fn name(&self) -> &'static str {
+            "mid-apply-panic"
+        }
+        fn class(&self) -> RuleClass {
+            RuleClass::Logic
+        }
+        fn matches(&self, ctx: &RuleCtx) -> Vec<RuleMatch> {
+            ctx.nl.component_ids().take(1).map(RuleMatch::at).collect()
+        }
+        fn apply(&self, tx: &mut Tx, m: &RuleMatch) -> Result<(), NetlistError> {
+            tx.add_net("partial_work");
+            tx.remove_component(m.site)?;
+            panic!("rule fault after partial mutation");
+        }
+    }
+
+    /// Panicking mid-apply must behave exactly like a rejected rewrite:
+    /// the partial transaction is undone, nothing fires, the engine and
+    /// the process survive.
+    #[test]
+    fn rule_panic_mid_apply_is_isolated_and_undone() {
+        let mut nl = inv_chain(3);
+        let before = format!("{nl:?}");
+        let mut engine = Engine::new(vec![Box::new(MidApplyPanic)]);
+        let fired = engine.run(&mut nl, Selection::OpsOrder, None, 10);
+        assert_eq!(fired, 0);
+        assert_eq!(format!("{nl:?}"), before, "partial work rolled back");
+
+        let swept = engine.sweep(&mut nl, None);
+        assert_eq!(swept, 0);
+        assert_eq!(format!("{nl:?}"), before, "sweep path rolled back too");
+    }
+
+    /// The journal records every committed firing; rolling back to a
+    /// mark restores the exact netlist at that mark.
+    #[test]
+    fn journal_rollback_restores_marked_state() {
+        let mut nl = inv_chain(8);
+        let mut engine = Engine::new(vec![Box::new(DoubleInv)]);
+        engine.enable_journal();
+
+        let mark0 = engine.journal_mark();
+        assert_eq!(mark0, 0);
+        let at_mark0 = format!("{nl:?}");
+
+        assert!(engine.step(&mut nl, Selection::OpsOrder, None));
+        let mark1 = engine.journal_mark();
+        assert_eq!(mark1, 1);
+        let at_mark1 = format!("{nl:?}");
+
+        let fired = engine.run_sweeps(&mut nl, None, 20);
+        assert!(fired > 0);
+        assert_eq!(engine.journal_mark(), 1 + fired);
+
+        // Unwind to the intermediate mark, then all the way out.
+        assert_eq!(engine.rollback_to(&mut nl, mark1), fired);
+        assert_eq!(format!("{nl:?}"), at_mark1);
+        assert_eq!(engine.rollback_to(&mut nl, mark0), 1);
+        assert_eq!(format!("{nl:?}"), at_mark0);
+
+        // The journal is empty now; taking it disables journaling.
+        assert!(engine.take_journal().is_empty());
+        assert!(engine.step(&mut nl, Selection::OpsOrder, None));
+        assert_eq!(engine.journal_mark(), 0, "journaling off after take");
     }
 
     #[test]

@@ -116,9 +116,26 @@ impl UndoLog {
 
 /// A transaction over a netlist: exposes the mutation API and records
 /// inverse operations.
+///
+/// Mutations apply to the netlist immediately; [`Tx::commit`] hands the
+/// recorded inverses to the caller. A `Tx` dropped *without* committing
+/// rolls its mutations back — a strategy or rule that bails out halfway
+/// through a rewrite (`?`/`continue`/panic unwind) leaves the netlist
+/// exactly as it found it, never half-rewritten.
 pub struct Tx<'a> {
     nl: &'a mut Netlist,
     ops: Vec<Op>,
+}
+
+impl Drop for Tx<'_> {
+    fn drop(&mut self) {
+        // Roll back an uncommitted (abandoned) transaction. `commit`
+        // takes the ops out first, so a committed Tx undoes nothing.
+        let ops = std::mem::take(&mut self.ops);
+        if !ops.is_empty() {
+            UndoLog { ops }.undo(self.nl);
+        }
+    }
 }
 
 impl<'a> Tx<'a> {
@@ -136,8 +153,10 @@ impl<'a> Tx<'a> {
     }
 
     /// Finishes the transaction, returning the undo log.
-    pub fn commit(self) -> UndoLog {
-        UndoLog { ops: self.ops }
+    pub fn commit(mut self) -> UndoLog {
+        UndoLog {
+            ops: std::mem::take(&mut self.ops),
+        }
     }
 
     /// Adds a net. See [`Netlist::add_net`].
@@ -298,6 +317,37 @@ mod tests {
         assert!(!log.is_empty());
         log.undo(&mut nl);
         assert_eq!(format!("{nl:?}"), before);
+    }
+
+    #[test]
+    fn abandoned_tx_rolls_back_on_drop() {
+        let mut nl = base();
+        let before = format!("{nl:?}");
+        {
+            let mut tx = Tx::new(&mut nl);
+            let g = tx.netlist().component_ids().next().unwrap();
+            tx.remove_component(g).unwrap();
+            tx.add_net("orphan");
+            // Dropped without commit — e.g. a strategy bailing out with
+            // `?` halfway through a rewrite.
+        }
+        assert_eq!(
+            format!("{nl:?}"),
+            before,
+            "drop must undo the partial rewrite"
+        );
+    }
+
+    #[test]
+    fn committed_tx_keeps_changes_on_drop() {
+        let mut nl = base();
+        let g = nl.component_ids().next().unwrap();
+        let mut tx = Tx::new(&mut nl);
+        tx.remove_component(g).unwrap();
+        let log = tx.commit();
+        assert_eq!(nl.component_count(), 0, "commit keeps the rewrite applied");
+        log.undo(&mut nl);
+        assert_eq!(nl.component_count(), 1);
     }
 
     #[test]

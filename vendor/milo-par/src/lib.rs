@@ -17,7 +17,41 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A panic caught on a worker, carried back to the caller instead of
+/// aborting the whole fork/join region. Holds the original payload, so
+/// re-raising with [`Panic::resume`] is transparent; [`Panic::message`]
+/// extracts the usual `&str`/`String` payloads for error reporting.
+pub struct Panic(pub Box<dyn Any + Send + 'static>);
+
+impl Panic {
+    /// The panic message, when the payload is a string (the common
+    /// `panic!("…")` case); a placeholder otherwise.
+    pub fn message(&self) -> String {
+        if let Some(s) = self.0.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = self.0.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        }
+    }
+
+    /// Re-raises the original panic on the current thread.
+    pub fn resume(self) -> ! {
+        resume_unwind(self.0)
+    }
+}
+
+impl fmt::Debug for Panic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Panic({:?})", self.message())
+    }
+}
 
 /// Number of worker threads to use for `n` items: capped by available
 /// parallelism and by the item count itself.
@@ -31,18 +65,50 @@ pub fn thread_count(n: usize) -> usize {
 /// Applies `f` to every item, in parallel, returning results in input
 /// order. Falls back to a plain sequential map for 0–1 items or when
 /// only one core is available.
+///
+/// # Panics
+///
+/// A panicking item re-raises the *first* (input-order) panic payload
+/// on the caller after every item has been attempted — deterministic,
+/// unlike raw scope propagation. Callers who need to survive individual
+/// failures use [`try_par_map`].
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let mut out = Vec::with_capacity(items.len());
+    for r in try_par_map(items, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(p) => p.resume(),
+        }
+    }
+    out
+}
+
+/// [`par_map`] with per-item panic isolation: a panicking item yields
+/// `Err(Panic)` in its slot while every other item still completes and
+/// the process survives. This is what lets a batch of independent
+/// designs degrade per-design instead of poisoning the whole call.
+///
+/// `f` runs under [`catch_unwind`]; it must leave no shared state
+/// half-mutated on unwind (each worker invocation only borrows its own
+/// item, so the usual caller passes a pure-ish function).
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, Panic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let catch = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(Panic);
     let threads = thread_count(items.len());
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(catch).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Option<Result<R, Panic>>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     // Hand each worker a disjoint &mut view of the result buffer via a
     // raw pointer; disjointness is guaranteed by the atomic index.
@@ -51,7 +117,7 @@ where
     unsafe impl<R: Send> Sync for SendPtr<R> {}
     let out = SendPtr(slots.as_mut_ptr());
     let out_ref = &out;
-    let f_ref = &f;
+    let catch_ref = &catch;
     let next_ref = &next;
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -60,7 +126,7 @@ where
                 if i >= items.len() {
                     break;
                 }
-                let r = f_ref(&items[i]);
+                let r = catch_ref(&items[i]);
                 // SAFETY: each index is claimed exactly once, so no two
                 // threads write the same slot; the buffer outlives the
                 // scope.
@@ -75,6 +141,12 @@ where
 }
 
 /// Runs two independent closures in parallel and returns both results.
+///
+/// # Panics
+///
+/// If either closure panics, the payload is re-raised here (the first
+/// arm's payload wins when both panic) after both arms have finished —
+/// the worker never takes the process down on its own thread.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -82,15 +154,35 @@ where
     RA: Send,
     RB: Send,
 {
+    match try_join(a, b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(p), _) | (_, Err(p)) => p.resume(),
+    }
+}
+
+/// [`join`] with panic isolation: each arm's panic comes back as
+/// `Err(Panic)` instead of unwinding across the scope, so the caller
+/// can keep the healthy arm's result.
+pub fn try_join<A, B, RA, RB>(a: A, b: B) -> (Result<RA, Panic>, Result<RB, Panic>)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let catch_a = move || catch_unwind(AssertUnwindSafe(a)).map_err(Panic);
+    let catch_b = move || catch_unwind(AssertUnwindSafe(b)).map_err(Panic);
     if thread_count(2) <= 1 {
-        let ra = a();
-        let rb = b();
+        let ra = catch_a();
+        let rb = catch_b();
         return (ra, rb);
     }
     std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
-        let ra = a();
-        let rb = hb.join().expect("join: worker panicked");
+        let hb = scope.spawn(catch_b);
+        let ra = catch_a();
+        // The worker catches its own unwind, so this join only fails on
+        // a payload that itself panicked on drop — not survivable.
+        let rb = hb.join().expect("join: worker result");
         (ra, rb)
     })
 }
@@ -118,6 +210,52 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    /// A panic in one fork/join task must not abort the process: the
+    /// payload comes back to the caller in that item's slot and every
+    /// other item still completes.
+    #[test]
+    fn try_par_map_returns_panic_payload() {
+        let items: Vec<u32> = (0..32).collect();
+        let out = try_par_map(&items, |&x| {
+            assert!(x != 13, "unlucky item {x}");
+            x * 2
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                let p = r.as_ref().expect_err("item 13 panicked");
+                assert_eq!(p.message(), "unlucky item 13");
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy item"), i as u32 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn try_join_isolates_each_arm() {
+        let (a, b) = try_join(|| panic!("arm a down"), || 7);
+        assert_eq!(a.expect_err("a panicked").message(), "arm a down");
+        assert_eq!(b.expect("b healthy"), 7);
+
+        let (a, b) = try_join(|| "fine", || -> u32 { panic!("arm b down") });
+        assert_eq!(a.expect("a healthy"), "fine");
+        assert_eq!(b.expect_err("b panicked").message(), "arm b down");
+    }
+
+    #[test]
+    fn par_map_reraises_first_panic_in_input_order() {
+        let items: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                assert!(!(x == 5 || x == 11), "boom {x}");
+                x
+            })
+        });
+        let payload = caught.expect_err("propagates");
+        let msg = Panic(payload).message();
+        assert_eq!(msg, "boom 5", "first input-order payload wins");
     }
 
     #[test]
