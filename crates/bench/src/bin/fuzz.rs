@@ -1,0 +1,125 @@
+//! Differential-fuzz driver over the scenario zoo, plus the 10k-gate
+//! scale smoke.
+//!
+//! Run with `cargo run --release -p milo-bench --bin fuzz [-- options]`:
+//!
+//! * `--seeds N` — number of seeds to run (default 100);
+//! * `--start S` — first seed (default 1);
+//! * `--scale-smoke` — instead of fuzzing, push one 10k-gate control
+//!   design through `Flow::standard()` and print the per-pass report
+//!   (the CI scale gate).
+//!
+//! `MILO_FUZZ_SEED=<seed>` replays exactly one seed, overriding
+//! `--seeds`/`--start`. Every failure line embeds the seed to replay.
+//! Exit status is non-zero if any seed diverges — seeds are echoed on
+//! failure so CI logs are directly replayable.
+
+use milo_bench::fuzz::{fuzz_case, seeds_from_env};
+use milo_circuits::random_control;
+use milo_core::{Constraints, Milo};
+use milo_netlist::{validate, Violation};
+use milo_techmap::ecl_library;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+fn arg_value(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// One 10k-gate design through the default flow: the CI scale smoke.
+/// Prints the per-pass wall times and validates the result.
+fn scale_smoke() -> Result<(), String> {
+    let gates = 10_000;
+    let nl = random_control(gates, 24, 7);
+    println!(
+        "scale-smoke: {} ({} components, {} ports)",
+        nl.name,
+        nl.component_count(),
+        nl.ports().len()
+    );
+    let start = Instant::now();
+    let mut milo = Milo::new(ecl_library());
+    let mut flow = milo.flow();
+    let out = flow
+        .run(&mut milo, &nl, &Constraints::none())
+        .map_err(|e| format!("scale-smoke flow failed: {e}"))?;
+    let total = start.elapsed();
+    for p in &out.report.passes {
+        println!(
+            "  {:<18} {:>12.3?} applied={}{}",
+            p.name,
+            p.wall,
+            p.rules_applied,
+            if p.skipped { " (skipped)" } else { "" }
+        );
+    }
+    println!(
+        "scale-smoke: {} -> {} cells, area {:.1}, delay {:.3} in {total:.3?}",
+        gates, out.result.stats.cells, out.result.stats.area, out.result.stats.delay
+    );
+    let v: Vec<Violation> = validate(&out.result.netlist, true)
+        .into_iter()
+        .filter(|v| !matches!(v, Violation::DanglingOutput { .. }))
+        .collect();
+    if !v.is_empty() {
+        return Err(format!("scale-smoke result fails validation: {v:?}"));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--scale-smoke") {
+        if let Err(e) = scale_smoke() {
+            eprintln!("FAIL {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let count = arg_value(&args, "--seeds").unwrap_or(100);
+    let start = arg_value(&args, "--start").unwrap_or(1);
+    let seeds = seeds_from_env(start, count);
+    println!(
+        "differential fuzz: {} seed(s) starting at {}",
+        seeds.len(),
+        seeds.first().copied().unwrap_or(0)
+    );
+
+    let began = Instant::now();
+    let mut failures = 0usize;
+    for &seed in &seeds {
+        // Tag even panics (simulator asserts, port-list mismatches)
+        // with the seed, so every failure mode is replayable.
+        match catch_unwind(AssertUnwindSafe(|| fuzz_case(seed))) {
+            Ok(Ok(report)) => {
+                println!(
+                    "  ok seed {:<6} {:<20} {:>5} -> {:>5} components",
+                    report.seed, report.family, report.source_components, report.result_components
+                );
+            }
+            Ok(Err(msg)) => {
+                failures += 1;
+                eprintln!("FAIL {msg}");
+            }
+            Err(payload) => {
+                failures += 1;
+                let msg = milo_par::Panic(payload).message();
+                eprintln!("FAIL seed {seed}: panicked: {msg}; replay with MILO_FUZZ_SEED={seed}");
+            }
+        }
+    }
+    println!(
+        "differential fuzz: {}/{} seeds passed in {:.3?}",
+        seeds.len() - failures,
+        seeds.len(),
+        began.elapsed()
+    );
+    if failures > 0 {
+        eprintln!("{failures} seed(s) diverged — rerun each with MILO_FUZZ_SEED=<seed>");
+        std::process::exit(1);
+    }
+}

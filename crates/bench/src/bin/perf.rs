@@ -18,7 +18,7 @@
 //! counts) are printed to stdout as a JSON array — the service-embedding
 //! output shape.
 
-use milo_circuits::{abadd, fig19::circuit3, random_logic};
+use milo_circuits::{abadd, fig19::circuit3, random_control, random_logic};
 use milo_core::{Constraints, Milo};
 use milo_logic::{espresso, Cover, TruthTable};
 use milo_rules::{Engine, HashRuleTable, LibraryRef};
@@ -224,6 +224,41 @@ fn main() {
         let lib = cmos_library();
         snap.bench("hashrules/cached_build", || {
             HashRuleTable::cached(&LibraryRef { cells: lib.cells() }).len()
+        });
+    }
+
+    // Scale family: the 10k-gate layered control design from the
+    // scenario zoo (`milo_circuits::zoo`), exercising generation,
+    // technology mapping, from-scratch and incremental STA, and one
+    // bounded rule-engine sweep at a size two orders of magnitude above
+    // the golden designs.
+    {
+        let lib = cmos_library();
+        snap.bench("scale/generate/10k", || random_control(10_000, 24, 7));
+        let big = random_control(10_000, 24, 7);
+        snap.bench("scale/map_netlist/10k", || {
+            map_netlist(&big, &lib).expect("maps")
+        });
+        let mapped = map_netlist(&big, &lib).expect("maps");
+        snap.bench("scale/sta_analyze/10k", || {
+            analyze(&mapped).expect("analyzes")
+        });
+        {
+            let mut inc = IncrementalSta::new(&mapped).expect("analyzes");
+            let victim = mapped.component_ids().nth(5_000).expect("has components");
+            let ts = {
+                let mut t = milo_netlist::TouchSet::new();
+                t.component(victim);
+                t
+            };
+            snap.bench("scale/sta_refresh/10k", || {
+                inc.refresh(&mapped, &ts).expect("refreshes");
+            });
+        }
+        snap.bench("scale/sweep/10k", || {
+            let mut work = mapped.clone();
+            let mut engine = Engine::new(milo_opt::logic_rules(&lib));
+            engine.run_sweeps(&mut work, None, 1)
         });
     }
 

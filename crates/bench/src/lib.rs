@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fuzz;
 pub mod metarule_rules;
 
 pub use experiments::{

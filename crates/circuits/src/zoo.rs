@@ -1,0 +1,576 @@
+//! The scenario zoo: deterministic seeded generators for large and
+//! pathological workloads, 10–100× beyond the paper's demonstration
+//! circuits.
+//!
+//! Every generator is a pure function of its parameters and seed — the
+//! differential-fuzz harness (`milo-bench`'s `fuzz` bin) relies on this
+//! to replay any failure from its printed seed, and `tests/zoo_golden.rs`
+//! pins a structural hash per family so refactors cannot silently change
+//! the zoo. Families:
+//!
+//! * [`pipelined_datapath`] — deep chains of the ABADD stage shape
+//!   (adder → bypass mux → register) at the microarchitecture level;
+//! * [`random_control`] — ISCAS-style layered random control logic,
+//!   NAND/NOR-heavy, engineered to generate 10k–100k gates in linear
+//!   time;
+//! * [`fsm_bank`] — many small independent state machines sharing a
+//!   clock and a few inputs (multi-output sequential logic);
+//! * [`high_fanout`] — one net loaded far beyond any library cell's
+//!   drive limit (stresses `FanoutRepair`'s buffer trees);
+//! * [`reconvergent_ladder`] — chained reconvergent fanout diamonds
+//!   (stresses incremental STA cone refresh and the matcher).
+
+use milo_netlist::{
+    ArithOps, CarryMode, ComponentKind, ControlSet, GateFn, GenericMacro, MicroComponent, NetId,
+    Netlist, PinDir, RegFunctions, Trigger,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gate_kind(f: GateFn, n: u8) -> ComponentKind {
+    ComponentKind::Generic(GenericMacro::Gate(f, n))
+}
+
+/// A deep pipelined datapath: `stages` copies of the ABADD stage shape
+/// (ripple adder → 2:1 bypass multiplexor → load register) chained
+/// register-to-adder, with per-stage operand rotation drawn from the
+/// seed. Stage 0 reads the `A*`/`B*` input ports; stage `s` adds the
+/// previous stage's register outputs to a rotation of themselves, and
+/// its mux can bypass the adder with the stage's own A operand (a
+/// forwarding path). Carries chain stage to stage.
+///
+/// Ports: `A*`/`B*`/`CIN`/`SEL`/`LOAD`/`CLK` in, `OUT*`/`COUT` out.
+///
+/// # Panics
+///
+/// Panics if `stages` is zero or `bits` is zero.
+pub fn pipelined_datapath(stages: usize, bits: u8, seed: u64) -> Netlist {
+    assert!(stages > 0, "pipelined_datapath needs at least one stage");
+    assert!(bits > 0, "pipelined_datapath needs at least one bit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = Netlist::new(format!("pipe{stages}x{bits}_{seed}"));
+    let width = bits as usize;
+
+    let sel = nl.add_net("SEL");
+    nl.add_port("SEL", PinDir::In, sel);
+    let load = nl.add_net("LOAD");
+    nl.add_port("LOAD", PinDir::In, load);
+    let clk = nl.add_net("CLK");
+    nl.add_port("CLK", PinDir::In, clk);
+    let mut carry = nl.add_net("CIN");
+    nl.add_port("CIN", PinDir::In, carry);
+
+    // Stage 0 operands come from ports; later stages from the previous
+    // stage's register outputs.
+    let mut q: Vec<NetId> = Vec::new();
+    for s in 0..stages {
+        let au = nl.add_component(
+            format!("s{s}_add"),
+            ComponentKind::Micro(MicroComponent::ArithmeticUnit {
+                bits,
+                ops: ArithOps::ADD,
+                mode: CarryMode::Ripple,
+            }),
+        );
+        let mux = nl.add_component(
+            format!("s{s}_mux"),
+            ComponentKind::Micro(MicroComponent::Multiplexor {
+                bits,
+                inputs: 2,
+                enable: false,
+            }),
+        );
+        let reg = nl.add_component(
+            format!("s{s}_reg"),
+            ComponentKind::Micro(MicroComponent::Register {
+                bits,
+                trigger: Trigger::EdgeTriggered,
+                funcs: RegFunctions::LOAD,
+                ctrl: ControlSet::NONE,
+            }),
+        );
+
+        // Per-stage operand rotation keeps deep pipelines from being
+        // `stages` identical slices (and exercises crossing routes).
+        let rot = if width > 1 {
+            rng.gen_range(1..width)
+        } else {
+            0
+        };
+        let (a_nets, b_nets): (Vec<NetId>, Vec<NetId>) = if s == 0 {
+            let mut a = Vec::with_capacity(width);
+            let mut b = Vec::with_capacity(width);
+            for i in 0..width {
+                let an = nl.add_net(format!("A{i}"));
+                nl.add_port(format!("A{i}"), PinDir::In, an);
+                a.push(an);
+                let bn = nl.add_net(format!("B{i}"));
+                nl.add_port(format!("B{i}"), PinDir::In, bn);
+                b.push(bn);
+            }
+            (a, b)
+        } else {
+            let a = q.clone();
+            let b: Vec<NetId> = (0..width).map(|i| q[(i + rot) % width]).collect();
+            (a, b)
+        };
+
+        nl.connect_named(au, "CIN", carry).expect("fresh pin");
+        carry = nl.add_net(format!("s{s}_cout"));
+        nl.connect_named(au, "COUT", carry).expect("fresh pin");
+        nl.connect_named(mux, "S0", sel).expect("fresh pin");
+        nl.connect_named(reg, "F0", load).expect("fresh pin");
+        nl.connect_named(reg, "CLK", clk).expect("fresh pin");
+
+        let mut next_q = Vec::with_capacity(width);
+        for i in 0..width {
+            nl.connect_named(au, &format!("A{i}"), a_nets[i])
+                .expect("fresh pin");
+            nl.connect_named(au, &format!("B{i}"), b_nets[i])
+                .expect("fresh pin");
+            let sum = nl.add_net(format!("s{s}_sum{i}"));
+            nl.connect_named(au, &format!("S{i}"), sum)
+                .expect("fresh pin");
+            nl.connect_named(mux, &format!("D0_{i}"), sum)
+                .expect("fresh pin");
+            // Bypass: the mux can forward the stage's A operand.
+            nl.connect_named(mux, &format!("D1_{i}"), a_nets[i])
+                .expect("fresh pin");
+            let my = nl.add_net(format!("s{s}_my{i}"));
+            nl.connect_named(mux, &format!("Y{i}"), my)
+                .expect("fresh pin");
+            nl.connect_named(reg, &format!("D{i}"), my)
+                .expect("fresh pin");
+            let qn = nl.add_net(format!("s{s}_q{i}"));
+            nl.connect_named(reg, &format!("Q{i}"), qn)
+                .expect("fresh pin");
+            next_q.push(qn);
+        }
+        q = next_q;
+    }
+
+    for (i, qn) in q.iter().enumerate() {
+        nl.add_port(format!("OUT{i}"), PinDir::Out, *qn);
+    }
+    nl.add_port("COUT", PinDir::Out, carry);
+    nl
+}
+
+/// ISCAS-style layered random control logic: roughly `gates` gates over
+/// `inputs` primary inputs, organized into layers whose gates read mostly
+/// from the one or two layers directly above (with occasional long taps
+/// back to the primary inputs). The function mix is NAND/NOR-heavy like
+/// real control logic, and a fixed rate of duplicated gates and inverter
+/// pairs gives the optimizers realistic work.
+///
+/// Every step is O(1), so generation stays linear at 100k gates — the
+/// dangling-output scan tracks load counts itself instead of calling
+/// `Netlist::fanout` (which rescans the port list per call and turns
+/// quadratic exactly at the sizes this generator exists for).
+pub fn random_control(gates: usize, inputs: usize, seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = Netlist::new(format!("ctrl{gates}_{seed}"));
+    let primary: Vec<NetId> = (0..inputs)
+        .map(|i| {
+            let net = nl.add_net(format!("in{i}"));
+            nl.add_port(format!("in{i}"), PinDir::In, net);
+            net
+        })
+        .collect();
+    // NAND/NOR-heavy control mix.
+    let functions = [
+        GateFn::Nand,
+        GateFn::Nand,
+        GateFn::Nand,
+        GateFn::Nor,
+        GateFn::Nor,
+        GateFn::And,
+        GateFn::Or,
+        GateFn::Xor,
+        GateFn::Inv,
+    ];
+    // Layer width sized for control-like depth (a few dozen levels).
+    let width = (gates / 32).max(inputs.max(4));
+
+    // loads[net.index()] counts input-pin loads placed by this
+    // generator; nets that end with zero become output ports.
+    let mut loads: Vec<u32> = vec![0; primary.len()];
+    let mut prev: Vec<NetId> = primary.clone();
+    let mut above: Vec<NetId> = Vec::new();
+    let mut made = 0usize;
+    let mut last: Option<(GateFn, Vec<NetId>)> = None;
+    while made < gates {
+        let layer_len = width.min(gates - made);
+        let mut current = Vec::with_capacity(layer_len);
+        for k in 0..layer_len {
+            // 1-in-24: duplicate the previous gate verbatim (fresh
+            // output) — food for the duplicate-merge rule.
+            let (f, chosen) =
+                if let Some((lf, lc)) = last.as_ref().filter(|_| rng.gen_range(0..24u32) == 0) {
+                    (*lf, lc.clone())
+                } else {
+                    let f = functions[rng.gen_range(0..functions.len())];
+                    let n: usize = match f {
+                        GateFn::Inv => 1,
+                        _ => rng.gen_range(2..=3),
+                    };
+                    let chosen: Vec<NetId> = (0..n)
+                        .map(|_| {
+                            // Mostly the previous layer, sometimes the one
+                            // above it, occasionally a primary input.
+                            let bucket = rng.gen_range(0..10u32);
+                            let pool: &[NetId] = if bucket < 7 || above.is_empty() {
+                                &prev
+                            } else if bucket < 9 {
+                                &above
+                            } else {
+                                &primary
+                            };
+                            pool[rng.gen_range(0..pool.len())]
+                        })
+                        .collect();
+                    (f, chosen)
+                };
+            let g = nl.add_component(format!("g{made}"), gate_kind(f, chosen.len() as u8));
+            for (i, net) in chosen.iter().enumerate() {
+                nl.connect_named(g, &format!("A{i}"), *net)
+                    .expect("fresh pin");
+                loads[net.index()] += 1;
+            }
+            let mut y = nl.add_net(format!("l{made}"));
+            nl.connect_named(g, "Y", y).expect("fresh pin");
+            loads.push(0);
+            last = Some((f, chosen));
+            made += 1;
+            // 1-in-12: follow with an inverter pair (removable
+            // redundancy), budget permitting.
+            if rng.gen_range(0..12u32) == 0 && made + 2 <= gates && k + 2 < layer_len {
+                for _ in 0..2 {
+                    let iv = nl.add_component(format!("g{made}"), gate_kind(GateFn::Inv, 1));
+                    nl.connect_named(iv, "A0", y).expect("fresh pin");
+                    loads[y.index()] += 1;
+                    y = nl.add_net(format!("l{made}"));
+                    nl.connect_named(iv, "Y", y).expect("fresh pin");
+                    loads.push(0);
+                    made += 1;
+                }
+            }
+            current.push(y);
+            if made >= gates {
+                break;
+            }
+        }
+        above = std::mem::replace(&mut prev, current);
+    }
+    // Expose every undriven-load net as an output port, in net order.
+    let mut out_count = 0usize;
+    for net in nl.net_ids().collect::<Vec<_>>() {
+        if net.index() >= primary.len() && loads[net.index()] == 0 {
+            nl.add_port(format!("out{out_count}"), PinDir::Out, net);
+            out_count += 1;
+        }
+    }
+    nl
+}
+
+/// A bank of `machines` independent little Moore machines sharing one
+/// clock and four inputs: per machine, `state_bits` D flip-flops with
+/// two-level random next-state logic over the machine's own state and
+/// the shared inputs, plus one gate-level output per machine. Stresses
+/// sequential paths, multi-output designs, and per-register endpoint
+/// bookkeeping.
+///
+/// # Panics
+///
+/// Panics if `machines` or `state_bits` is zero.
+pub fn fsm_bank(machines: usize, state_bits: usize, seed: u64) -> Netlist {
+    assert!(machines > 0, "fsm_bank needs at least one machine");
+    assert!(state_bits > 0, "fsm_bank needs at least one state bit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = Netlist::new(format!("fsm{machines}x{state_bits}_{seed}"));
+    let clk = nl.add_net("CLK");
+    nl.add_port("CLK", PinDir::In, clk);
+    let ins: Vec<NetId> = (0..4)
+        .map(|i| {
+            let net = nl.add_net(format!("IN{i}"));
+            nl.add_port(format!("IN{i}"), PinDir::In, net);
+            net
+        })
+        .collect();
+    let comb = [
+        GateFn::Nand,
+        GateFn::Nor,
+        GateFn::Xor,
+        GateFn::And,
+        GateFn::Or,
+    ];
+    for m in 0..machines {
+        // State registers first; their Q nets feed the next-state logic.
+        let q: Vec<NetId> = (0..state_bits)
+            .map(|j| {
+                let qn = nl.add_net(format!("m{m}_q{j}"));
+                let ff = nl.add_component(
+                    format!("m{m}_ff{j}"),
+                    ComponentKind::Generic(GenericMacro::Dff {
+                        set: false,
+                        reset: false,
+                        enable: false,
+                    }),
+                );
+                nl.connect_named(ff, "CLK", clk).expect("fresh pin");
+                nl.connect_named(ff, "Q", qn).expect("fresh pin");
+                qn
+            })
+            .collect();
+        let pick = |rng: &mut StdRng, q: &[NetId], ins: &[NetId]| -> NetId {
+            if rng.gen_bool(0.6) {
+                q[rng.gen_range(0..q.len())]
+            } else {
+                ins[rng.gen_range(0..ins.len())]
+            }
+        };
+        for j in 0..state_bits {
+            // Two-level next-state: t = f(s, x); d = g(t, s or x).
+            let f = comb[rng.gen_range(0..comb.len())];
+            let t1 = nl.add_component(format!("m{m}_t{j}"), gate_kind(f, 2));
+            nl.connect_named(t1, "A0", pick(&mut rng, &q, &ins))
+                .expect("fresh pin");
+            nl.connect_named(t1, "A1", pick(&mut rng, &q, &ins))
+                .expect("fresh pin");
+            let tn = nl.add_net(format!("m{m}_tn{j}"));
+            nl.connect_named(t1, "Y", tn).expect("fresh pin");
+            let g = comb[rng.gen_range(0..comb.len())];
+            let d = nl.add_component(format!("m{m}_d{j}"), gate_kind(g, 2));
+            nl.connect_named(d, "A0", tn).expect("fresh pin");
+            nl.connect_named(d, "A1", pick(&mut rng, &q, &ins))
+                .expect("fresh pin");
+            let dn = nl.add_net(format!("m{m}_dn{j}"));
+            nl.connect_named(d, "Y", dn).expect("fresh pin");
+            let ff = nl
+                .component_ids()
+                .find(|&id| {
+                    nl.component(id)
+                        .is_ok_and(|c| c.name == format!("m{m}_ff{j}"))
+                })
+                .expect("register exists");
+            nl.connect_named(ff, "D", dn).expect("fresh pin");
+        }
+        // Moore output: a gate over the first two state bits (or an
+        // inverter for one-bit machines).
+        let on = nl.add_net(format!("m{m}_out"));
+        if state_bits >= 2 {
+            let f = comb[rng.gen_range(0..comb.len())];
+            let og = nl.add_component(format!("m{m}_og"), gate_kind(f, 2));
+            nl.connect_named(og, "A0", q[0]).expect("fresh pin");
+            nl.connect_named(og, "A1", q[1]).expect("fresh pin");
+            nl.connect_named(og, "Y", on).expect("fresh pin");
+        } else {
+            let og = nl.add_component(format!("m{m}_og"), gate_kind(GateFn::Inv, 1));
+            nl.connect_named(og, "A0", q[0]).expect("fresh pin");
+            nl.connect_named(og, "Y", on).expect("fresh pin");
+        }
+        nl.add_port(format!("OUT{m}"), PinDir::Out, on);
+    }
+    nl
+}
+
+/// One net driven far beyond any cell's drive limit: an inverter whose
+/// output feeds `width` load gates (each with its own output port) plus
+/// a short inverter chain. `FanoutRepair` must split this into a buffer
+/// tree; incremental STA must refresh the whole wide cone when the
+/// driver changes.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn high_fanout(width: usize, seed: u64) -> Netlist {
+    assert!(width > 0, "high_fanout needs at least one load");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = Netlist::new(format!("fan{width}_{seed}"));
+    let a = nl.add_net("a");
+    nl.add_port("a", PinDir::In, a);
+    let b = nl.add_net("b");
+    nl.add_port("b", PinDir::In, b);
+    let root = nl.add_component("root", gate_kind(GateFn::Inv, 1));
+    nl.connect_named(root, "A0", a).expect("fresh pin");
+    let h = nl.add_net("h");
+    nl.connect_named(root, "Y", h).expect("fresh pin");
+    for k in 0..width {
+        let f = [GateFn::Inv, GateFn::Nand, GateFn::Nor][rng.gen_range(0..3usize)];
+        let n: u8 = if f == GateFn::Inv { 1 } else { 2 };
+        let g = nl.add_component(format!("load{k}"), gate_kind(f, n));
+        nl.connect_named(g, "A0", h).expect("fresh pin");
+        if n == 2 {
+            nl.connect_named(g, "A1", b).expect("fresh pin");
+        }
+        let y = nl.add_net(format!("y{k}"));
+        nl.connect_named(g, "Y", y).expect("fresh pin");
+        nl.add_port(format!("out{k}"), PinDir::Out, y);
+    }
+    // A little depth behind the wide net, so the repaired tree sits on
+    // a real path rather than directly at the ports.
+    let mut cur = h;
+    for k in 0..8 {
+        let iv = nl.add_component(format!("chain{k}"), gate_kind(GateFn::Inv, 1));
+        nl.connect_named(iv, "A0", cur).expect("fresh pin");
+        cur = nl.add_net(format!("c{k}"));
+        nl.connect_named(iv, "Y", cur).expect("fresh pin");
+    }
+    nl.add_port("tail", PinDir::Out, cur);
+    nl
+}
+
+/// Chained reconvergent-fanout diamonds: each rung splits the running
+/// net into a short and a long inverter branch and reconverges them
+/// through a seeded two-input gate. Every fourth rung is tapped as an
+/// output. The dense reconvergence makes single-component touches fan
+/// out into wide STA cones and overlapping rule matches.
+///
+/// # Panics
+///
+/// Panics if `rungs` is zero.
+pub fn reconvergent_ladder(rungs: usize, seed: u64) -> Netlist {
+    assert!(rungs > 0, "reconvergent_ladder needs at least one rung");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = Netlist::new(format!("ladder{rungs}_{seed}"));
+    let x = nl.add_net("x");
+    nl.add_port("x", PinDir::In, x);
+    let merge_fns = [GateFn::Xor, GateFn::Nand, GateFn::Nor];
+    let mut cur = x;
+    let mut taps = 0usize;
+    for r in 0..rungs {
+        let branch = |nl: &mut Netlist, from: NetId, depth: usize, tag: &str| -> NetId {
+            let mut net = from;
+            for d in 0..depth {
+                let iv = nl.add_component(format!("r{r}_{tag}{d}"), gate_kind(GateFn::Inv, 1));
+                nl.connect_named(iv, "A0", net).expect("fresh pin");
+                net = nl.add_net(format!("r{r}_{tag}n{d}"));
+                nl.connect_named(iv, "Y", net).expect("fresh pin");
+            }
+            net
+        };
+        let short = branch(&mut nl, cur, 1, "s");
+        let long_depth = rng.gen_range(2..=3usize);
+        let long = branch(&mut nl, cur, long_depth, "l");
+        let f = merge_fns[rng.gen_range(0..merge_fns.len())];
+        let m = nl.add_component(format!("r{r}_m"), gate_kind(f, 2));
+        nl.connect_named(m, "A0", short).expect("fresh pin");
+        nl.connect_named(m, "A1", long).expect("fresh pin");
+        let out = nl.add_net(format!("r{r}_out"));
+        nl.connect_named(m, "Y", out).expect("fresh pin");
+        if r % 4 == 3 {
+            nl.add_port(format!("tap{taps}"), PinDir::Out, out);
+            taps += 1;
+        }
+        cur = out;
+    }
+    nl.add_port("y", PinDir::Out, cur);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::{validate, Simulator, Violation};
+
+    fn clean(nl: &Netlist) -> Vec<Violation> {
+        validate(nl, false)
+            .into_iter()
+            .filter(|x| !matches!(x, Violation::DanglingOutput { .. }))
+            .collect()
+    }
+
+    #[test]
+    fn every_family_is_deterministic_per_seed() {
+        type Family<'a> = (&'a str, Box<dyn Fn(u64) -> Netlist>);
+        let families: Vec<Family> = vec![
+            ("pipe", Box::new(|s| pipelined_datapath(4, 4, s))),
+            ("ctrl", Box::new(|s| random_control(300, 12, s))),
+            ("fsm", Box::new(|s| fsm_bank(5, 3, s))),
+            ("fan", Box::new(|s| high_fanout(40, s))),
+            ("ladder", Box::new(|s| reconvergent_ladder(20, s))),
+        ];
+        for (name, make) in &families {
+            let a = make(42);
+            let b = make(42);
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{name} not deterministic"
+            );
+            let c = make(43);
+            assert_ne!(
+                format!("{a:?}"),
+                format!("{c:?}"),
+                "{name} ignores its seed"
+            );
+        }
+    }
+
+    #[test]
+    fn every_family_is_structurally_clean() {
+        let cases = [
+            pipelined_datapath(6, 4, 7),
+            random_control(1000, 16, 7),
+            fsm_bank(8, 4, 7),
+            high_fanout(64, 7),
+            reconvergent_ladder(32, 7),
+        ];
+        for nl in &cases {
+            let v = clean(nl);
+            assert!(v.is_empty(), "{}: {v:?}", nl.name);
+        }
+    }
+
+    #[test]
+    fn comb_families_elaborate_and_settle() {
+        for nl in [
+            random_control(400, 10, 3),
+            high_fanout(48, 3),
+            reconvergent_ladder(24, 3),
+        ] {
+            let mut sim = Simulator::new(&nl).expect("elaborates");
+            sim.settle();
+        }
+    }
+
+    #[test]
+    fn pipelined_datapath_shape() {
+        let nl = pipelined_datapath(8, 4, 1);
+        assert_eq!(nl.component_count(), 3 * 8);
+        // A*, B*, CIN, SEL, LOAD, CLK in; OUT*, COUT out.
+        assert_eq!(nl.ports().len(), 2 * 4 + 4 + 4 + 1);
+        assert!(clean(&nl).is_empty());
+    }
+
+    #[test]
+    fn random_control_hits_its_size_at_scale() {
+        for gates in [1000usize, 10_000, 100_000] {
+            let nl = random_control(gates, 24, 5);
+            assert_eq!(nl.component_count(), gates, "asked {gates}");
+        }
+    }
+
+    #[test]
+    fn high_fanout_concentrates_load() {
+        let nl = high_fanout(100, 9);
+        let h = nl
+            .net_ids()
+            .find(|&n| nl.net(n).unwrap().name == "h")
+            .unwrap();
+        assert_eq!(nl.fanout(h), 101, "width loads plus the chain head");
+    }
+
+    #[test]
+    fn fsm_bank_is_sequential_and_multi_output() {
+        let nl = fsm_bank(6, 3, 11);
+        let ffs = nl
+            .component_ids()
+            .filter(|&id| nl.component(id).unwrap().kind.is_sequential())
+            .count();
+        assert_eq!(ffs, 18);
+        let outs = nl.ports().iter().filter(|p| p.dir == PinDir::Out).count();
+        assert_eq!(outs, 6);
+        assert!(clean(&nl).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Structural fingerprints: a canonical text summary of a netlist and a
+//! stable 64-bit hash of it.
+//!
+//! The differential-fuzz harness compares synthesis arms by fingerprint
+//! (identical summaries ⇒ identical structure), and the zoo's golden
+//! tests pin [`structural_hash`] per generator family so refactors
+//! cannot silently change a generated design. Unlike `emit_netlist`,
+//! the summary handles every component kind, including technology
+//! cells; unlike `Debug`, its format is a stability contract — change
+//! it only together with the pinned golden hashes.
+
+use crate::netlist::Netlist;
+use std::fmt::Write;
+
+/// Canonical structural summary: design name, net count, one line per
+/// live component (name, kind label, `pin=net` bindings in pin order),
+/// one line per port. Two netlists with equal summaries are
+/// structurally identical up to dead arena slots.
+pub fn structural_summary(nl: &Netlist) -> String {
+    let mut out = format!("design {} nets {}\n", nl.name, nl.net_count());
+    for id in nl.component_ids() {
+        let c = nl.component(id).expect("live id");
+        write!(out, "comp {} {}", c.name, c.kind.label()).expect("string write");
+        for pin in &c.pins {
+            if let Some(net) = pin.net {
+                write!(out, " {}=n{}", pin.name, net.index()).expect("string write");
+            }
+        }
+        out.push('\n');
+    }
+    for p in nl.ports() {
+        writeln!(out, "port {} {:?} n{}", p.name, p.dir, p.net.index()).expect("string write");
+    }
+    out
+}
+
+/// FNV-1a hash of [`structural_summary`] — a compact, stable structural
+/// fingerprint suitable for pinning in golden tests and for cheap
+/// equality checks across synthesis arms.
+pub fn structural_hash(nl: &Netlist) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in structural_summary(nl).bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{GateFn, GenericMacro, PinDir};
+    use crate::netlist::ComponentKind;
+
+    fn inv_chain(name: &str, len: usize) -> Netlist {
+        let mut nl = Netlist::new(name);
+        let mut cur = nl.add_net("a");
+        nl.add_port("a", PinDir::In, cur);
+        for k in 0..len {
+            let iv = nl.add_component(
+                format!("i{k}"),
+                ComponentKind::Generic(GenericMacro::Gate(GateFn::Inv, 1)),
+            );
+            nl.connect_named(iv, "A0", cur).unwrap();
+            cur = nl.add_net(format!("n{k}"));
+            nl.connect_named(iv, "Y", cur).unwrap();
+        }
+        nl.add_port("y", PinDir::Out, cur);
+        nl
+    }
+
+    #[test]
+    fn equal_structures_hash_equal() {
+        let a = inv_chain("t", 5);
+        let b = inv_chain("t", 5);
+        assert_eq!(structural_summary(&a), structural_summary(&b));
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn different_structures_hash_differently() {
+        let a = inv_chain("t", 5);
+        let b = inv_chain("t", 6);
+        let c = inv_chain("u", 5);
+        assert_ne!(structural_hash(&a), structural_hash(&b));
+        assert_ne!(structural_hash(&a), structural_hash(&c), "name is covered");
+    }
+
+    #[test]
+    fn summary_covers_components_nets_and_ports() {
+        let nl = inv_chain("t", 2);
+        let s = structural_summary(&nl);
+        assert!(s.starts_with("design t nets 3\n"));
+        assert!(s.contains("comp i0 INV A0=n0 Y=n1"));
+        assert!(s.contains("port a In n0"));
+        assert!(s.contains("port y Out n2"));
+    }
+}

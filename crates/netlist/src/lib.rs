@@ -42,6 +42,7 @@
 
 mod db;
 mod dot;
+mod fingerprint;
 mod ids;
 mod kind;
 mod netlist;
@@ -50,6 +51,7 @@ mod validate;
 
 pub use db::DesignDb;
 pub use dot::to_dot;
+pub use fingerprint::{structural_hash, structural_summary};
 pub use ids::{ComponentId, NetId, PinRef};
 pub use kind::{
     sel_bits, ArithOp, ArithOps, CarryMode, CellFunction, CmpOp, ControlSet, CounterFunctions,

@@ -7,11 +7,18 @@
 
 use crate::library::TechLibrary;
 use crate::mapper::MapError;
-use milo_netlist::{ComponentKind, Netlist};
+use milo_netlist::{ComponentKind, Netlist, PinDir};
+use std::collections::VecDeque;
 
 /// Splits over-loaded nets by inserting buffers from `lib` until every net
 /// respects its driver's `max_fanout`. Returns the number of buffers
 /// inserted.
+///
+/// Output ports count toward fanout but cannot be moved behind a buffer
+/// (the net *is* the design interface), so each port permanently consumes
+/// one slot of its net's budget. A net whose out-port count alone reaches
+/// the limit is left for [`milo_netlist::validate`] to report — buffering
+/// its loads could never clear the violation.
 ///
 /// # Errors
 ///
@@ -21,31 +28,40 @@ pub fn enforce_fanout(nl: &mut Netlist, lib: &TechLibrary) -> Result<usize, MapE
         .buffer()
         .ok_or_else(|| MapError::NoCell("BUF".to_owned()))?
         .clone();
-    let mut inserted = 0usize;
-    // Iterate until a fixed point: buffers themselves add new nets.
-    loop {
-        let mut violation = None;
-        for net in nl.net_ids() {
-            let Some(driver) = nl.driver(net) else {
-                continue;
-            };
-            let Ok(comp) = nl.component(driver.component) else {
-                continue;
-            };
-            let ComponentKind::Tech(cell) = &comp.kind else {
-                continue;
-            };
-            let limit = cell.max_fanout as usize;
-            if nl.fanout(net) > limit {
-                violation = Some((net, limit));
-                break;
-            }
+    // Out ports are fixed sinks; count them per net once (ports do not
+    // change below, and freshly inserted buffer nets carry none).
+    let mut out_ports = vec![0usize; nl.net_slot_count()];
+    for p in nl.ports() {
+        if p.dir == PinDir::Out {
+            out_ports[p.net.index()] += 1;
         }
-        let Some((net, limit)) = violation else { break };
-        // Keep (limit - 1) loads on the original net, move the rest behind
-        // a buffer (which becomes the limit-th load).
-        let loads = nl.loads(net);
-        let moved: Vec<_> = loads.into_iter().skip(limit.saturating_sub(1)).collect();
+    }
+    let mut inserted = 0usize;
+    // Worklist: every net once, plus each freshly inserted buffer net —
+    // whose load set may itself exceed the buffer's limit, extending the
+    // chain. A repaired net never re-violates, so no full rescans.
+    let mut pending: VecDeque<_> = nl.net_ids().collect();
+    while let Some(net) = pending.pop_front() {
+        let Some(driver) = nl.driver(net) else {
+            continue;
+        };
+        let Ok(comp) = nl.component(driver.component) else {
+            continue;
+        };
+        let ComponentKind::Tech(cell) = &comp.kind else {
+            continue;
+        };
+        let limit = cell.max_fanout as usize;
+        let ports = out_ports.get(net.index()).copied().unwrap_or(0);
+        if nl.load_count(net) + ports <= limit {
+            continue;
+        }
+        // Budget: the immovable ports each take a slot, the buffer's own
+        // input takes another; whatever is left stays on the net.
+        let Some(keep) = limit.checked_sub(ports + 1) else {
+            continue; // ports alone saturate the limit: unrepairable here
+        };
+        let moved: Vec<_> = nl.loads(net).into_iter().skip(keep).collect();
         let buf = nl.add_component(
             format!("fobuf{inserted}"),
             ComponentKind::Tech(buf_cell.clone()),
@@ -58,6 +74,7 @@ pub fn enforce_fanout(nl: &mut Netlist, lib: &TechLibrary) -> Result<usize, MapE
             nl.connect(pin, out)?;
         }
         inserted += 1;
+        pending.push_back(out);
     }
     Ok(inserted)
 }
@@ -123,5 +140,32 @@ mod tests {
         let nl = high_fanout(3);
         let mut mapped = map_netlist(&nl, &lib).unwrap();
         assert_eq!(enforce_fanout(&mut mapped, &lib).unwrap(), 0);
+    }
+
+    /// Regression: a violating net that also carries an out port used to
+    /// loop forever — the port counts toward fanout but the repair only
+    /// moved component loads, and each inserted buffer *added* a load, so
+    /// the net never dropped back under its limit.
+    #[test]
+    fn port_bound_violation_converges() {
+        let lib = cmos_library();
+        let mut nl = high_fanout(25);
+        // Bind an out port directly to the overloaded net.
+        let over = nl
+            .net_ids()
+            .find(|&n| nl.fanout(n) > 20)
+            .expect("the inverter output is overloaded");
+        nl.add_port("probe", PinDir::Out, over);
+        let mut mapped = map_netlist(&nl, &lib).unwrap();
+        let inserted = enforce_fanout(&mut mapped, &lib).unwrap();
+        assert!(inserted >= 1);
+        let after = validate(&mapped, true);
+        assert!(
+            !after
+                .iter()
+                .any(|v| matches!(v, Violation::FanoutExceeded { .. })),
+            "still violated: {after:?}"
+        );
+        check_comb_equivalence(&nl, &mapped, 0).unwrap();
     }
 }

@@ -1,0 +1,142 @@
+//! Scale regression tests for `IncrementalSta`'s full-rebuild fallbacks.
+//!
+//! The incremental refresh path is property-tested against from-scratch
+//! `analyze` on small designs; these tests pin the two *fallback* triggers
+//! at 10k gates — the scale where silently degenerating to full rebuilds
+//! on every refresh (or, worse, refreshing from stale cached port tables)
+//! would either tank sweep performance or corrupt arrival times:
+//!
+//! * a multi-driven net inside the refresh cone must force a rebuild;
+//! * a port-list change must force a rebuild (the cached per-net port
+//!   tables are stale);
+//! * a healthy local rewrite (power-level kind change) must *not* force
+//!   a rebuild, and must still match a fresh analysis exactly.
+
+use milo::circuits::random_control;
+use milo_netlist::{ComponentKind, Netlist, PinDir, TouchSet};
+use milo_techmap::{cmos_library, ecl_library, map_netlist};
+use milo_timing::{analyze, IncrementalSta};
+
+const GATES: usize = 10_000;
+
+fn big_mapped() -> Netlist {
+    map_netlist(&random_control(GATES, 24, 11), &cmos_library()).expect("maps")
+}
+
+/// Every net's arrival (and the worst delay) must agree with a
+/// from-scratch analysis of the same netlist.
+fn assert_matches_fresh(inc: &IncrementalSta, nl: &Netlist) {
+    let fresh = analyze(nl).expect("analyzes");
+    for net in nl.net_ids() {
+        let a = inc.sta().arrival(net);
+        let b = fresh.arrival(net);
+        assert!(
+            (a - b).abs() < 1e-9,
+            "net {net:?}: incremental arrival {a} vs fresh {b}"
+        );
+    }
+    let (a, b) = (inc.sta().worst_delay(), fresh.worst_delay());
+    assert!((a - b).abs() < 1e-9, "worst delay: {a} vs {b}");
+}
+
+#[test]
+fn multi_driven_net_falls_back_to_rebuild() {
+    let lib = cmos_library();
+    let mut nl = big_mapped();
+    let mut inc = IncrementalSta::new(&nl).expect("analyzes");
+    assert_eq!(inc.full_rebuilds, 1, "only the initial build");
+
+    // Attach a second driver to an already-driven net. Feeding the extra
+    // buffer from a primary input keeps the graph acyclic.
+    let victim = nl
+        .net_ids()
+        .find(|&n| nl.driver(n).is_some() && nl.load_count(n) > 0)
+        .expect("a driven net with loads");
+    let src = nl
+        .ports()
+        .iter()
+        .find(|p| p.dir == PinDir::In)
+        .expect("an input port")
+        .net;
+    let buf_cell = lib.buffer().expect("buffer cell").clone();
+    let buf = nl.add_component("dup_drv", ComponentKind::Tech(buf_cell));
+    nl.connect_named(buf, "A0", src).expect("connects");
+    nl.connect_named(buf, "Y", victim).expect("connects");
+
+    let mut touched = TouchSet::new();
+    touched.component(buf);
+    touched.net(victim);
+    inc.refresh(&nl, &touched).expect("refreshes");
+    assert_eq!(
+        inc.full_rebuilds, 2,
+        "a multi-driven net must force a full rebuild"
+    );
+    assert_matches_fresh(&inc, &nl);
+}
+
+#[test]
+fn port_list_change_falls_back_to_rebuild() {
+    let mut nl = big_mapped();
+    let mut inc = IncrementalSta::new(&nl).expect("analyzes");
+    assert_eq!(inc.full_rebuilds, 1, "only the initial build");
+
+    // A new out port adds fanout (and thus delay) its net's cached port
+    // tables know nothing about.
+    let net = nl
+        .net_ids()
+        .find(|&n| nl.driver(n).is_some() && nl.load_count(n) > 0)
+        .expect("a driven net");
+    nl.add_port("late_probe", PinDir::Out, net);
+
+    let mut touched = TouchSet::new();
+    touched.net(net);
+    inc.refresh(&nl, &touched).expect("refreshes");
+    assert_eq!(
+        inc.full_rebuilds, 2,
+        "a port-list change must force a full rebuild"
+    );
+    assert_matches_fresh(&inc, &nl);
+}
+
+#[test]
+fn power_level_kind_change_refreshes_without_rebuild() {
+    // The ECL library carries power-level variants (the CMOS one does
+    // not); it is also the library the default flow rewrites under.
+    let lib = ecl_library();
+    let mut nl = map_netlist(&random_control(GATES, 24, 11), &lib).expect("maps");
+    let mut inc = IncrementalSta::new(&nl).expect("analyzes");
+    assert_eq!(inc.full_rebuilds, 1, "only the initial build");
+
+    // The timing-area pass's bread-and-butter rewrite: swap a cell for a
+    // power variant of the same function. Pins are unchanged, so the
+    // refresh must stay on the incremental cone path.
+    let (victim, alt) = nl
+        .component_ids()
+        .find_map(|id| {
+            let c = nl.component(id).ok()?;
+            let ComponentKind::Tech(cell) = &c.kind else {
+                return None;
+            };
+            if c.kind.is_sequential() {
+                return None;
+            }
+            let alt = lib
+                .power_variants(cell)
+                .into_iter()
+                .find(|v| v.name != cell.name)?
+                .clone();
+            Some((id, alt))
+        })
+        .expect("a cell with a power variant");
+    nl.component_mut(victim).expect("live id").kind = ComponentKind::Tech(alt);
+
+    let mut touched = TouchSet::new();
+    touched.component(victim);
+    inc.refresh(&nl, &touched).expect("refreshes");
+    assert_eq!(
+        inc.full_rebuilds, 1,
+        "a healthy local rewrite must stay incremental"
+    );
+    assert!(inc.incremental_props > 0, "the cone must have recomputed");
+    assert_matches_fresh(&inc, &nl);
+}

@@ -1,0 +1,105 @@
+//! Seed-pinned golden fingerprints for every scenario-zoo generator
+//! family (plus the long-standing `random_logic`).
+//!
+//! The differential-fuzz harness and the `scale/*` benches both lean on
+//! the generators being bit-for-bit deterministic *across releases*: a
+//! replayed `MILO_FUZZ_SEED` must rebuild the exact failing design, and
+//! a bench delta must mean the synthesizer changed, not the workload.
+//! These constants pin that contract — if a generator (or the vendored
+//! `StdRng` stream it consumes) changes shape, the hash moves and this
+//! test names the family that broke.
+//!
+//! When a generator change is *intentional*, regenerate the constant:
+//! `milo_netlist::structural_hash(&<family>(<args>))` and update the pin
+//! together with a note in the commit message.
+
+use milo::circuits::{
+    fsm_bank, high_fanout, pipelined_datapath, random_control, random_logic, reconvergent_ladder,
+};
+use milo_netlist::{structural_hash, structural_summary, Netlist};
+
+fn pin(name: &str, nl: &Netlist, expect: u64) {
+    let got = structural_hash(nl);
+    assert_eq!(
+        got,
+        expect,
+        "{name}: structural hash moved (got 0x{got:016x}, pinned 0x{expect:016x}).\n\
+         If the generator change is intentional, re-pin the constant.\n\
+         Summary head:\n{}",
+        structural_summary(nl)
+            .lines()
+            .take(12)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn pipelined_datapath_pinned() {
+    pin(
+        "pipelined_datapath(3, 4, 42)",
+        &pipelined_datapath(3, 4, 42),
+        0xb4c6_a160_b9ec_baf5,
+    );
+}
+
+#[test]
+fn random_control_pinned() {
+    pin(
+        "random_control(500, 12, 42)",
+        &random_control(500, 12, 42),
+        0x9f1f_4ab9_ed90_68ec,
+    );
+}
+
+#[test]
+fn fsm_bank_pinned() {
+    pin(
+        "fsm_bank(3, 2, 42)",
+        &fsm_bank(3, 2, 42),
+        0xca4b_e299_6cd6_52e0,
+    );
+}
+
+#[test]
+fn high_fanout_pinned() {
+    pin(
+        "high_fanout(24, 42)",
+        &high_fanout(24, 42),
+        0xddde_353a_7410_5cca,
+    );
+}
+
+#[test]
+fn reconvergent_ladder_pinned() {
+    pin(
+        "reconvergent_ladder(12, 42)",
+        &reconvergent_ladder(12, 42),
+        0xdc4b_2b32_1c81_7654,
+    );
+}
+
+#[test]
+fn random_logic_pinned() {
+    pin(
+        "random_logic(80, 10, 7)",
+        &random_logic(80, 10, 7),
+        0xe09f_80f9_c643_f04e,
+    );
+}
+
+/// The hash is a digest of the summary: if the two ever disagree on
+/// what "the structure" is, replayability tooling built on either one
+/// silently diverges from the other.
+#[test]
+fn hash_digests_summary() {
+    let nl = random_control(200, 8, 3);
+    let a = structural_hash(&nl);
+    let b = structural_hash(&nl.clone());
+    assert_eq!(a, b, "hash must be pure");
+    assert_ne!(
+        structural_summary(&nl),
+        structural_summary(&random_control(200, 8, 4)),
+        "different seeds must differ structurally"
+    );
+}

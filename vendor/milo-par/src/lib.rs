@@ -1,10 +1,25 @@
 //! # milo-par
 //!
-//! Minimal fork/join parallelism for the MILO workspace, built on
-//! [`std::thread::scope`]. This plays the role `rayon` normally would
-//! (the build environment cannot download crates), exposing exactly the
-//! shape the synthesis hot paths need: *map a function over independent
-//! items on all cores, collecting results in input order*.
+//! Minimal fork/join parallelism for the MILO workspace, built on a
+//! lazily-initialized persistent worker pool. This plays the role
+//! `rayon` normally would (the build environment cannot download
+//! crates), exposing exactly the shape the synthesis hot paths need:
+//! *map a function over independent items on all cores, collecting
+//! results in input order*.
+//!
+//! The pool spawns `threads - 1` workers on first use and keeps them
+//! parked between calls, so a service synthesizing thousands of designs
+//! pays thread startup once instead of once per batch (the previous
+//! scoped-thread implementation re-spawned on every call, which large
+//! fuzz and scale workloads made measurable). The submitting thread
+//! always participates in its own job, which both keeps the pool
+//! deadlock-free under nested parallelism (ESPRESSO fan-out inside a
+//! batch arm) and degrades gracefully to a plain sequential map on
+//! single-core machines, where the pool has no workers at all.
+//!
+//! Thread budget: `MILO_PAR_THREADS` (total threads including the
+//! caller, minimum 1) overrides [`std::thread::available_parallelism`].
+//! It is read once, at first pool use.
 //!
 //! Determinism policy: results are written to a pre-sized buffer at the
 //! item's input index, so the output order never depends on thread
@@ -18,9 +33,11 @@
 //! ```
 
 use std::any::Any;
+use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// A panic caught on a worker, carried back to the caller instead of
 /// aborting the whole fork/join region. Holds the original payload, so
@@ -53,18 +70,190 @@ impl fmt::Debug for Panic {
     }
 }
 
-/// Number of worker threads to use for `n` items: capped by available
-/// parallelism and by the item count itself.
+/// Total thread budget (workers + caller): `MILO_PAR_THREADS` when set,
+/// otherwise available parallelism. Read once.
+fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Some(n) = std::env::var("MILO_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Number of threads that would cooperate on `n` items: capped by the
+/// configured thread budget and by the item count itself.
 pub fn thread_count(n: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    cores.min(n).max(1)
+    configured_threads().min(n).max(1)
+}
+
+/// One fork/join region, shared between the submitting thread and the
+/// pool workers. Items are claimed by atomic index-stealing; the region
+/// is complete when `done == len`.
+///
+/// The raw pointers target buffers on the submitting thread's stack.
+/// They stay valid for the whole region because the submitter blocks in
+/// [`Job::wait`] until every item has finished, and a worker never
+/// dereferences them after the claim counter passes `len` — stale queue
+/// entries popped later claim an out-of-range index and return
+/// immediately.
+struct Job {
+    /// Next unclaimed item index.
+    next: AtomicUsize,
+    /// Completed item count.
+    done: AtomicUsize,
+    /// Total items.
+    len: usize,
+    /// `*const T` — the input slice.
+    items: *const (),
+    /// `*const F` (or a `Mutex<Option<B>>` for join jobs).
+    func: *const (),
+    /// `*mut Option<Result<R, Panic>>` — the result buffer.
+    slots: *const (),
+    /// Monomorphized per-item dispatcher that re-types the pointers.
+    drive: unsafe fn(&Job, usize),
+    /// Completion latch (guards the condvar, not the result buffer).
+    finished: Mutex<bool>,
+    complete: Condvar,
+}
+
+// SAFETY: the erased pointers are only dereferenced for exclusively
+// claimed in-range indices while the submitting thread is blocked in
+// `wait`, per the struct-level invariant above.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs items until none remain. Called by workers and by
+    /// the submitting thread alike; `drive` never unwinds (it catches
+    /// per-item panics into the item's slot).
+    fn run(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.len {
+                return;
+            }
+            // SAFETY: `i` is in range and this thread exclusively owns
+            // it (fetch_add hands out each index once).
+            unsafe { (self.drive)(self, i) };
+            // `Release` pairs with the `Acquire` in `wait`: the caller
+            // must observe every slot write before reading the buffer.
+            if self.done.fetch_add(1, Ordering::Release) + 1 == self.len {
+                let mut flag = self.finished.lock().expect("job latch poisoned");
+                *flag = true;
+                drop(flag);
+                self.complete.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every item has completed (possibly finishing the
+    /// final items on other threads after the caller ran out of claims).
+    fn wait(&self) {
+        {
+            let mut flag = self.finished.lock().expect("job latch poisoned");
+            while !*flag {
+                flag = self.complete.wait(flag).expect("job latch poisoned");
+            }
+        }
+        // Synchronize with every worker's Release increment (the latch
+        // only proves the *last* finisher's writes are visible).
+        let done = self.done.load(Ordering::Acquire);
+        debug_assert_eq!(done, self.len);
+    }
+}
+
+/// Queue shared by the pool's workers.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    ready: Condvar,
+}
+
+/// The persistent worker pool: `threads - 1` parked OS threads feeding
+/// off a shared job queue. With one configured thread there are no
+/// workers and every call degrades to a sequential map in the caller.
+struct Pool {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl Pool {
+    /// The process-wide pool, spawned on first use.
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool::with_workers(configured_threads().saturating_sub(1)))
+    }
+
+    /// A pool with exactly `workers` worker threads (tests force a
+    /// multi-worker pool on single-core machines this way). Spawn
+    /// failures reduce the worker count instead of propagating: the
+    /// caller participates in every job, so zero workers still works.
+    fn with_workers(workers: usize) -> Pool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        let mut spawned = 0;
+        for i in 0..workers {
+            let sh = Arc::clone(&shared);
+            let ok = std::thread::Builder::new()
+                .name(format!("milo-par-{i}"))
+                .spawn(move || worker_loop(&sh))
+                .is_ok();
+            if !ok {
+                break;
+            }
+            spawned += 1;
+        }
+        Pool {
+            shared,
+            workers: spawned,
+        }
+    }
+
+    /// Enqueues `copies` handles to `job` for the workers. The caller
+    /// then participates via `job.run()`, so jobs complete even if every
+    /// worker is busy elsewhere.
+    fn submit(&self, job: &Arc<Job>, copies: usize) {
+        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+        for _ in 0..copies {
+            q.push_back(Arc::clone(job));
+        }
+        drop(q);
+        if copies == 1 {
+            self.shared.ready.notify_one();
+        } else {
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+/// Worker body: pop a job, help drain it, repeat forever. Stale handles
+/// for already-finished jobs cost one atomic claim and are discarded.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared.ready.wait(q).expect("pool queue poisoned");
+            }
+        };
+        job.run();
+    }
 }
 
 /// Applies `f` to every item, in parallel, returning results in input
 /// order. Falls back to a plain sequential map for 0–1 items or when
-/// only one core is available.
+/// the pool has no workers (single-core machines).
 ///
 /// # Panics
 ///
@@ -102,38 +291,62 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let catch = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(Panic);
-    let threads = thread_count(items.len());
-    if threads <= 1 {
-        return items.iter().map(catch).collect();
+    try_par_map_on(Pool::global(), items, f)
+}
+
+/// [`try_par_map`] against an explicit pool (the global one in
+/// production; tests force multi-worker pools on single-core machines).
+fn try_par_map_on<T, R, F>(pool: &Pool, items: &[T], f: F) -> Vec<Result<R, Panic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let helpers = pool.workers.min(items.len().saturating_sub(1));
+    if helpers == 0 {
+        return items
+            .iter()
+            .map(|item| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(Panic))
+            .collect();
     }
-    let next = AtomicUsize::new(0);
+
     let mut slots: Vec<Option<Result<R, Panic>>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
-    // Hand each worker a disjoint &mut view of the result buffer via a
-    // raw pointer; disjointness is guaranteed by the atomic index.
-    struct SendPtr<R>(*mut Option<R>);
-    unsafe impl<R: Send> Send for SendPtr<R> {}
-    unsafe impl<R: Send> Sync for SendPtr<R> {}
-    let out = SendPtr(slots.as_mut_ptr());
-    let out_ref = &out;
-    let catch_ref = &catch;
-    let next_ref = &next;
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(move || loop {
-                let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = catch_ref(&items[i]);
-                // SAFETY: each index is claimed exactly once, so no two
-                // threads write the same slot; the buffer outlives the
-                // scope.
-                unsafe { *out_ref.0.add(i) = Some(r) };
-            });
+
+    /// Re-types the erased job pointers and runs one item, catching its
+    /// panic into the slot.
+    unsafe fn drive_map<T, R, F>(job: &Job, i: usize)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        // SAFETY: the pointers were erased from live borrows in
+        // `try_par_map_on`, which outlives the job; `i` is in range and
+        // exclusively claimed, so the slot write is unaliased.
+        unsafe {
+            let item = &*(job.items as *const T).add(i);
+            let f = &*(job.func as *const F);
+            let slot = (job.slots as *mut Option<Result<R, Panic>>).add(i);
+            *slot = Some(catch_unwind(AssertUnwindSafe(|| f(item))).map_err(Panic));
         }
+    }
+
+    let job = Arc::new(Job {
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        len: items.len(),
+        items: items.as_ptr() as *const (),
+        func: (&raw const f).cast(),
+        slots: slots.as_mut_ptr() as *const (),
+        drive: drive_map::<T, R, F>,
+        finished: Mutex::new(false),
+        complete: Condvar::new(),
     });
+    pool.submit(&job, helpers);
+    job.run();
+    job.wait();
+
     slots
         .into_iter()
         .map(|s| s.expect("every slot filled"))
@@ -161,7 +374,7 @@ where
 }
 
 /// [`join`] with panic isolation: each arm's panic comes back as
-/// `Err(Panic)` instead of unwinding across the scope, so the caller
+/// `Err(Panic)` instead of unwinding across the pool, so the caller
 /// can keep the healthy arm's result.
 pub fn try_join<A, B, RA, RB>(a: A, b: B) -> (Result<RA, Panic>, Result<RB, Panic>)
 where
@@ -170,21 +383,69 @@ where
     RA: Send,
     RB: Send,
 {
-    let catch_a = move || catch_unwind(AssertUnwindSafe(a)).map_err(Panic);
-    let catch_b = move || catch_unwind(AssertUnwindSafe(b)).map_err(Panic);
-    if thread_count(2) <= 1 {
-        let ra = catch_a();
-        let rb = catch_b();
+    try_join_on(Pool::global(), a, b)
+}
+
+/// [`try_join`] against an explicit pool. Arm `b` is offered to the
+/// pool as a one-item job; whoever gets there first runs it — a parked
+/// worker, or the caller itself right after finishing arm `a` (which
+/// is also the single-core fallback, where the offer is never made).
+fn try_join_on<A, B, RA, RB>(pool: &Pool, a: A, b: B) -> (Result<RA, Panic>, Result<RB, Panic>)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if pool.workers == 0 {
+        let ra = catch_unwind(AssertUnwindSafe(a)).map_err(Panic);
+        let rb = catch_unwind(AssertUnwindSafe(b)).map_err(Panic);
         return (ra, rb);
     }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(catch_b);
-        let ra = catch_a();
-        // The worker catches its own unwind, so this join only fails on
-        // a payload that itself panicked on drop — not survivable.
-        let rb = hb.join().expect("join: worker result");
-        (ra, rb)
-    })
+
+    let func: Mutex<Option<B>> = Mutex::new(Some(b));
+    let mut slot: Option<Result<RB, Panic>> = None;
+
+    /// Takes the one-shot closure out of its mutex and runs it into the
+    /// single result slot.
+    unsafe fn drive_join<B, RB>(job: &Job, _i: usize)
+    where
+        B: FnOnce() -> RB + Send,
+        RB: Send,
+    {
+        // SAFETY: pointers erased from live borrows in `try_join_on`;
+        // the job has exactly one item, claimed exactly once, so the
+        // take and the slot write are unaliased.
+        unsafe {
+            let func = &*(job.func as *const Mutex<Option<B>>);
+            let b = func
+                .lock()
+                .expect("join arm lock poisoned")
+                .take()
+                .expect("join arm claimed once");
+            let slot = job.slots as *mut Option<Result<RB, Panic>>;
+            *slot = Some(catch_unwind(AssertUnwindSafe(b)).map_err(Panic));
+        }
+    }
+
+    let job = Arc::new(Job {
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        len: 1,
+        items: std::ptr::null(),
+        func: (&raw const func).cast(),
+        slots: (&raw mut slot).cast(),
+        drive: drive_join::<B, RB>,
+        finished: Mutex::new(false),
+        complete: Condvar::new(),
+    });
+    pool.submit(&job, 1);
+    let ra = catch_unwind(AssertUnwindSafe(a)).map_err(Panic);
+    job.run();
+    job.wait();
+
+    let rb = slot.take().expect("join arm filled");
+    (ra, rb)
 }
 
 #[cfg(test)]
@@ -272,5 +533,126 @@ mod tests {
         for (i, (x, _)) in out.iter().enumerate() {
             assert_eq!(*x, i as u64);
         }
+    }
+
+    // The tests above run against the global pool, which has no workers
+    // on a single-core CI machine (the sequential fallback). The tests
+    // below force a multi-worker pool so the pooled code path is always
+    // exercised regardless of the host's core count.
+
+    #[test]
+    fn pooled_map_preserves_order() {
+        let pool = Pool::with_workers(3);
+        let items: Vec<usize> = (0..2000).collect();
+        let out = try_par_map_on(&pool, &items, |&x| x * 3);
+        for (i, r) in out.into_iter().enumerate() {
+            assert_eq!(r.expect("healthy item"), i * 3);
+        }
+    }
+
+    #[test]
+    fn pooled_map_isolates_panics() {
+        let pool = Pool::with_workers(2);
+        let items: Vec<u32> = (0..64).collect();
+        let out = try_par_map_on(&pool, &items, |&x| {
+            assert!(x % 17 != 13, "boom {x}");
+            x + 1
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i % 17 == 13 {
+                assert_eq!(
+                    r.as_ref().expect_err("panicked").message(),
+                    format!("boom {i}")
+                );
+            } else {
+                assert_eq!(*r.as_ref().expect("healthy"), i as u32 + 1);
+            }
+        }
+    }
+
+    /// The pool is persistent: back-to-back jobs reuse the same workers
+    /// and stale queue handles from finished jobs are discarded without
+    /// touching the (long-gone) result buffers.
+    #[test]
+    fn pooled_map_reuses_workers_across_jobs() {
+        let pool = Pool::with_workers(3);
+        for round in 0..200u64 {
+            let items: Vec<u64> = (0..9).collect();
+            let out = try_par_map_on(&pool, &items, |&x| x + round);
+            for (i, r) in out.into_iter().enumerate() {
+                assert_eq!(r.expect("healthy"), i as u64 + round);
+            }
+        }
+    }
+
+    /// Nested fan-out (a parallel map inside a parallel map, the
+    /// ESPRESSO-inside-batch shape) must not deadlock even when every
+    /// worker is busy: the submitting thread always participates.
+    #[test]
+    fn pooled_map_survives_nesting() {
+        let pool = Pool::with_workers(2);
+        let outer: Vec<u64> = (0..8).collect();
+        let out = try_par_map_on(&pool, &outer, |&x| {
+            let inner: Vec<u64> = (0..16).collect();
+            try_par_map_on(&pool, &inner, |&y| x * 100 + y)
+                .into_iter()
+                .map(|r| r.expect("inner healthy"))
+                .sum::<u64>()
+        });
+        for (i, r) in out.into_iter().enumerate() {
+            let expect: u64 = (0..16).map(|y| i as u64 * 100 + y).sum();
+            assert_eq!(r.expect("outer healthy"), expect);
+        }
+    }
+
+    /// Multiple threads submitting to one pool concurrently (the batch
+    /// service shape) all complete with correct, ordered results.
+    #[test]
+    fn pooled_map_supports_concurrent_submitters() {
+        let pool = Pool::with_workers(3);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                scope.spawn(move || {
+                    for round in 0..50u64 {
+                        let items: Vec<u64> = (0..13).collect();
+                        let out = try_par_map_on(pool, &items, |&x| x + t * 1000 + round);
+                        for (i, r) in out.into_iter().enumerate() {
+                            assert_eq!(r.expect("healthy"), i as u64 + t * 1000 + round);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn pooled_join_runs_both_arms_and_isolates_panics() {
+        let pool = Pool::with_workers(2);
+        let (a, b) = try_join_on(&pool, || 40 + 2, || "pooled");
+        assert_eq!(a.expect("a healthy"), 42);
+        assert_eq!(b.expect("b healthy"), "pooled");
+
+        let (a, b) = try_join_on(&pool, || panic!("left down"), || 9);
+        assert_eq!(a.expect_err("a panicked").message(), "left down");
+        assert_eq!(b.expect("b healthy"), 9);
+
+        let (a, b) = try_join_on(&pool, || "ok", || -> u32 { panic!("right down") });
+        assert_eq!(a.expect("a healthy"), "ok");
+        assert_eq!(b.expect_err("b panicked").message(), "right down");
+    }
+
+    /// A zero-worker pool (single-core fallback) still completes every
+    /// shape sequentially.
+    #[test]
+    fn zero_worker_pool_falls_back_sequentially() {
+        let pool = Pool::with_workers(0);
+        let items: Vec<u32> = (0..10).collect();
+        let out = try_par_map_on(&pool, &items, |&x| x * x);
+        for (i, r) in out.into_iter().enumerate() {
+            assert_eq!(r.expect("healthy"), (i * i) as u32);
+        }
+        let (a, b) = try_join_on(&pool, || 1, || 2);
+        assert_eq!((a.expect("a"), b.expect("b")), (1, 2));
     }
 }
