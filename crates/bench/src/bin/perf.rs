@@ -262,6 +262,45 @@ fn main() {
         });
     }
 
+    // Service family: full client-observed round-trips through the
+    // milo-serve loopback — TCP, JSON-lines protocol, job queue, and
+    // worker dispatch included. `submit_roundtrip` gives every
+    // iteration a unique design name (the structural fingerprint
+    // covers the name), so each trip is a genuine cache-miss
+    // synthesis; `cache_hit` resubmits one identical job forever, so
+    // after the first trip every answer replays from the exact tier —
+    // the pair brackets what the cache is worth end to end.
+    {
+        let mut handle = milo_serve::spawn(
+            milo_serve::ServerConfig::new(ecl_library())
+                .with_addr("127.0.0.1:0")
+                .with_workers(2),
+        )
+        .expect("service binds");
+        let mut client = milo_serve::Client::connect(handle.addr()).expect("connects");
+        let constraints = Constraints::none().with_max_delay(6.0);
+        let mut unique = 0u64;
+        snap.bench("service/submit_roundtrip", || {
+            unique += 1;
+            let design = format!(
+                "design rt{unique}\ninput a b c\noutput y\n\
+                 comp and2 g1 A0=a A1=b Y=t\ncomp or2 g2 A0=t A1=c Y=y\n"
+            );
+            let job = client
+                .submit(&design, &constraints, false)
+                .expect("submits");
+            client.result_raw(job).expect("round-trips").len()
+        });
+        let cached = "design cached\ninput a b c\noutput y\n\
+                      comp and2 g1 A0=a A1=b Y=t\ncomp or2 g2 A0=t A1=c Y=y\n";
+        snap.bench("service/cache_hit", || {
+            let job = client.submit(cached, &constraints, false).expect("submits");
+            client.result_raw(job).expect("round-trips").len()
+        });
+        client.shutdown().expect("shuts down");
+        handle.shutdown();
+    }
+
     let json = snap.to_json();
     std::fs::write(&out_path, &json).expect("writes snapshot");
     println!("wrote {out_path}");

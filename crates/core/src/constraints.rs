@@ -93,11 +93,68 @@ impl Constraints {
     pub fn has_timing(&self) -> bool {
         self.max_delay.is_some() || !self.path_delays.is_empty()
     }
+
+    /// A canonical text rendering of every field, for fingerprinting:
+    /// folding this into a netlist's structural hash (via
+    /// `milo_netlist::fnv1a`) yields a cache key that cannot alias two
+    /// jobs differing only in constraints. Path delays are sorted so
+    /// builder-call order does not leak into the key; floats render via
+    /// their exact bit pattern so `-0.0`/`0.0` and subnormal noise
+    /// cannot collide distinct constraint sets.
+    pub fn cache_summary(&self) -> String {
+        let f = |v: &Option<f64>| match v {
+            Some(x) => format!("{:016x}", x.to_bits()),
+            None => "-".to_owned(),
+        };
+        let mut paths: Vec<String> = self
+            .path_delays
+            .iter()
+            .map(|(p, ns)| format!("{p}={:016x}", ns.to_bits()))
+            .collect();
+        paths.sort_unstable();
+        format!(
+            "delay:{} area:{} power:{} paths:[{}]",
+            f(&self.max_delay),
+            f(&self.max_area),
+            f(&self.max_power),
+            paths.join(",")
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_summary_distinguishes_every_field() {
+        let base = Constraints::none();
+        let variants = [
+            base.clone().with_max_delay(4.5),
+            base.clone().with_max_delay(9.0),
+            base.clone().with_max_area(50.0),
+            base.clone().with_max_power(9.0),
+            base.clone().with_path_delay("C0", 4.5),
+            base.clone().with_path_delay("C1", 4.5),
+        ];
+        let mut seen = vec![base.cache_summary()];
+        for v in &variants {
+            let s = v.cache_summary();
+            assert!(!seen.contains(&s), "aliased constraint summary: {s}");
+            seen.push(s);
+        }
+        // Path order is canonicalized; repeated renders are stable.
+        let a = base
+            .clone()
+            .with_path_delay("C0", 1.0)
+            .with_path_delay("C1", 2.0);
+        let b = base
+            .clone()
+            .with_path_delay("C1", 2.0)
+            .with_path_delay("C0", 1.0);
+        assert_eq!(a.cache_summary(), b.cache_summary());
+        assert_eq!(a.cache_summary(), a.cache_summary());
+    }
 
     #[test]
     fn builder_chains() {

@@ -467,6 +467,11 @@ pub struct FlowReport {
     /// rolled back) instead of completing — the output is legal but may
     /// be less optimized than a clean run's.
     pub degraded: bool,
+    /// Structural fingerprint (`milo_netlist::structural_hash`) of the
+    /// result netlist, filled by the flow driver after the epilogue.
+    /// Clients and fuzz harnesses verify result identity from the JSON
+    /// report alone — no netlist reload needed.
+    pub result_hash: Option<u64>,
     /// Wall-clock time of the whole run, including the final electric
     /// check and the overlapped baseline elaboration.
     pub total_wall: Duration,
@@ -474,12 +479,23 @@ pub struct FlowReport {
 
 impl FlowReport {
     /// Hand-rolled JSON encoding (the build environment has no serde):
-    /// `{"design", "total_ns", "degraded", "passes": [{name, skipped,
-    /// outcome, error, wall_ns, rules_applied, cells_delta, area_delta,
-    /// delay_delta, note}]}`.
+    /// `{"design", "structural_hash", "total_ns", "degraded", "passes":
+    /// [{name, skipped, outcome, error, wall_ns, rules_applied,
+    /// cells_delta, area_delta, delay_delta, note}]}`.
+    ///
+    /// `structural_hash` is the result netlist's fingerprint as a hex
+    /// string (`"0x…"`, 16 digits) — a string because u64 fingerprints
+    /// exceed JSON's interoperable 2^53 integer range.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         out.push_str(&format!("\"design\": {}", json_string(&self.design)));
+        out.push_str(&format!(
+            ", \"structural_hash\": {}",
+            match self.result_hash {
+                Some(h) => format!("\"{h:#018x}\""),
+                None => "null".to_owned(),
+            }
+        ));
         out.push_str(&format!(", \"total_ns\": {}", self.total_wall.as_nanos()));
         out.push_str(&format!(", \"degraded\": {}", self.degraded));
         out.push_str(", \"passes\": [");
@@ -533,8 +549,12 @@ impl FlowOutput {
     }
 }
 
-/// Escapes a string for JSON.
-pub(crate) fn json_string(s: &str) -> String {
+/// Escapes a string for JSON. Covers the full RFC 8259 mandatory set
+/// (quote, backslash, C0 controls as `\u` escapes) plus DEL and the
+/// U+2028/U+2029 line separators — the latter are legal raw in JSON but
+/// break JSON-lines framing and JavaScript embedding, and a wire
+/// protocol makes that a real bug rather than a cosmetic one.
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -544,7 +564,9 @@ pub(crate) fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
+                out.push_str(&format!("\\u{:04x}", c as u32))
+            }
             c => out.push(c),
         }
     }
@@ -1072,6 +1094,7 @@ impl Flow {
             violations,
             buffers_inserted: ctx.buffers_inserted + buffers2,
         };
+        report.result_hash = Some(milo_netlist::structural_hash(&result.netlist));
         Ok((result, report))
     }
 }

@@ -363,6 +363,26 @@ impl Milo {
         }
     }
 
+    /// Creates a MILO instance seeded with an existing design database.
+    /// This is how a long-lived service rehydrates a worker: the shared
+    /// compiler cache is assembled from storage shards, handed to a
+    /// fresh `Milo`, and recovered with [`Milo::into_database`] after
+    /// the run to merge newly compiled designs back.
+    pub fn with_database(lib: TechLibrary, db: DesignDb) -> Self {
+        Self {
+            lib,
+            db,
+            fault: None,
+        }
+    }
+
+    /// Consumes the instance, yielding its design database (every
+    /// design compiled across all runs, plus whatever it was seeded
+    /// with).
+    pub fn into_database(self) -> DesignDb {
+        self.db
+    }
+
     /// Arms a fault injector for every flow run against this instance
     /// (test harness; see [`FaultInjector`]). Flows with their own
     /// injector take precedence; `MILO_FAULT_INJECT` is the fallback.

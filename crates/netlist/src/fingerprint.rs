@@ -12,6 +12,27 @@
 use crate::netlist::Netlist;
 use std::fmt::Write;
 
+/// The FNV-1a 64-bit offset basis — the seed every fingerprint chain
+/// starts from.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a hash chain starting at `h`. Feeding
+/// [`FNV_OFFSET`] as the seed yields the plain FNV-1a hash; feeding a
+/// previous fingerprint extends it — which is how cache keys cover data
+/// beyond the netlist itself (e.g. the synthesis constraints: hashing
+/// a canonical constraint rendering on top of [`structural_hash`] keeps
+/// two jobs that differ only in constraints from aliasing).
+pub fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 /// Canonical structural summary: design name, net count, one line per
 /// live component (name, kind label, `pin=net` bindings in pin order),
 /// one line per port. Two netlists with equal summaries are
@@ -38,14 +59,7 @@ pub fn structural_summary(nl: &Netlist) -> String {
 /// fingerprint suitable for pinning in golden tests and for cheap
 /// equality checks across synthesis arms.
 pub fn structural_hash(nl: &Netlist) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for b in structural_summary(nl).bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
+    fnv1a(FNV_OFFSET, structural_summary(nl).as_bytes())
 }
 
 #[cfg(test)]
@@ -86,6 +100,22 @@ mod tests {
         let c = inv_chain("u", 5);
         assert_ne!(structural_hash(&a), structural_hash(&b));
         assert_ne!(structural_hash(&a), structural_hash(&c), "name is covered");
+    }
+
+    #[test]
+    fn fnv_chain_extends_the_structural_hash() {
+        let nl = inv_chain("t", 3);
+        let base = structural_hash(&nl);
+        assert_eq!(
+            base,
+            fnv1a(FNV_OFFSET, structural_summary(&nl).as_bytes()),
+            "structural_hash is the plain FNV-1a of the summary"
+        );
+        let a = fnv1a(base, b"max_delay=4.5");
+        let b = fnv1a(base, b"max_delay=9.0");
+        assert_ne!(a, base);
+        assert_ne!(a, b, "different suffixes diverge");
+        assert_eq!(a, fnv1a(base, b"max_delay=4.5"), "chain is deterministic");
     }
 
     #[test]

@@ -51,7 +51,7 @@ mod validate;
 
 pub use db::DesignDb;
 pub use dot::to_dot;
-pub use fingerprint::{structural_hash, structural_summary};
+pub use fingerprint::{fnv1a, structural_hash, structural_summary, FNV_OFFSET};
 pub use ids::{ComponentId, NetId, PinRef};
 pub use kind::{
     sel_bits, ArithOp, ArithOps, CarryMode, CellFunction, CmpOp, ControlSet, CounterFunctions,

@@ -1,0 +1,292 @@
+//! Fingerprint-keyed result caching.
+//!
+//! Two tiers, both keyed off the netlist's structural fingerprint
+//! ([`milo_netlist::structural_hash`]) extended with constraint data
+//! via the FNV-1a chain:
+//!
+//! * **Exact tier** — key covers the full structure *and* the full
+//!   constraint set ([`Constraints::cache_summary`]). A hit means an
+//!   identical job already ran: the stored [`FlowOutput`] JSON is
+//!   returned verbatim, no passes execute. Covering constraints in the
+//!   key is load-bearing — two jobs differing only in `max_delay` must
+//!   not alias.
+//! * **Prefix tier** — key covers the structure and only the *tightest
+//!   delay bound*. Of the five standard passes, only `micro-critic`
+//!   (reads `Constraints::tightest_delay`) and `timing-area` (reads the
+//!   full set) look at constraints at all; `compile`,
+//!   `bottom-up-logic` and `fanout-repair` are constraint-blind. So
+//!   the flow state right after `fanout-repair` is reusable across any
+//!   two jobs that agree on structure and tightest bound — a near-miss
+//!   resubmission restores that snapshot and runs only `timing-area`,
+//!   the first constraint-dirty pass, plus the (always identical)
+//!   driver epilogue.
+//!
+//! Byte-identity: the resumed flow reconstructs exactly the
+//! `FlowContext` a full run would have at the same point, and the
+//! epilogue is shared, so the `SynthesisResult` JSON is byte-identical
+//! to an offline `synthesize_batch_results` run — the contract the
+//! loopback tests pin.
+
+use milo_core::netlist::{fnv1a, structural_hash, DesignDb, Netlist};
+use milo_core::{Constraints, FlowContext, MiloError, Pass, PassReport};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Exact-tier cache key: structure ⊕ full constraint rendering.
+pub fn job_key(nl: &Netlist, constraints: &Constraints) -> u64 {
+    let h = fnv1a(structural_hash(nl), b"|constraints|");
+    fnv1a(h, constraints.cache_summary().as_bytes())
+}
+
+/// Prefix-tier cache key: structure ⊕ tightest delay bound only (the
+/// single scalar the constraint-reading prefix pass, `micro-critic`,
+/// consumes).
+pub fn prefix_key(nl: &Netlist, constraints: &Constraints) -> u64 {
+    let h = fnv1a(structural_hash(nl), b"|prefix|");
+    let tag = match constraints.tightest_delay() {
+        Some(ns) => format!("t{:016x}", ns.to_bits()),
+        None => "t-".to_owned(),
+    };
+    fnv1a(h, tag.as_bytes())
+}
+
+/// A finished job's wire payload: the `FlowOutput` JSON exactly as the
+/// first run rendered it, plus the result fingerprint for cheap
+/// identity checks.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// `FlowOutput::to_json()` of the original run, spliced verbatim
+    /// into cache-hit responses.
+    pub json: String,
+    /// `structural_hash` of the result netlist.
+    pub result_hash: Option<u64>,
+}
+
+/// Flow state captured right after `fanout-repair` — everything a
+/// resumed run needs to reconstruct the context for `timing-area`.
+/// The database snapshot is `Arc`-backed (name-table copy), so the
+/// expensive clone here is the work netlist.
+#[derive(Clone)]
+pub struct PrefixSnapshot {
+    work: Netlist,
+    db: DesignDb,
+    top_name: Option<String>,
+    mapped: bool,
+    critic: Option<milo_core::microarch::CriticReport>,
+    levels: Vec<milo_core::opt::LevelReport>,
+    buffers_inserted: usize,
+}
+
+/// The two cache tiers behind one lock each.
+pub struct ResultCache {
+    exact: Mutex<HashMap<u64, Arc<CachedResult>>>,
+    prefix: Mutex<HashMap<u64, Arc<PrefixSnapshot>>>,
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            exact: Mutex::new(HashMap::new()),
+            prefix: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Exact-tier lookup.
+    pub fn lookup(&self, key: u64) -> Option<Arc<CachedResult>> {
+        self.exact
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned()
+    }
+
+    /// Stores a finished job's payload under its exact key.
+    pub fn store(&self, key: u64, payload: Arc<CachedResult>) {
+        self.exact
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, payload);
+    }
+
+    /// Prefix-tier lookup.
+    pub fn lookup_prefix(&self, key: u64) -> Option<Arc<PrefixSnapshot>> {
+        self.prefix
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned()
+    }
+
+    /// Stores a prefix snapshot (first writer wins — all writers for a
+    /// key hold equivalent state, so there is nothing to prefer).
+    pub fn store_prefix(&self, key: u64, snap: Arc<PrefixSnapshot>) {
+        self.prefix
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_insert(snap);
+    }
+
+    /// (exact entries, prefix entries) — for the stats report.
+    pub fn sizes(&self) -> (usize, usize) {
+        (
+            self.exact.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            self.prefix.lock().unwrap_or_else(|e| e.into_inner()).len(),
+        )
+    }
+}
+
+/// A pass that records the flow state into a shared slot and changes
+/// nothing. The server inserts it after `fanout-repair` on full runs;
+/// the worker moves the captured snapshot into the prefix tier once
+/// the run succeeds (a failed run must not poison the cache).
+pub struct CapturePrefix {
+    slot: Arc<Mutex<Option<PrefixSnapshot>>>,
+}
+
+impl CapturePrefix {
+    /// Creates the pass and the slot the snapshot lands in.
+    pub fn new() -> (Self, Arc<Mutex<Option<PrefixSnapshot>>>) {
+        let slot = Arc::new(Mutex::new(None));
+        (Self { slot: slot.clone() }, slot)
+    }
+}
+
+impl Pass for CapturePrefix {
+    fn name(&self) -> &str {
+        "capture-prefix"
+    }
+
+    fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError> {
+        let snap = PrefixSnapshot {
+            work: ctx.work.clone(),
+            db: ctx.db.clone(),
+            top_name: ctx.top_name.clone(),
+            mapped: ctx.mapped,
+            critic: ctx.critic.clone(),
+            levels: ctx.levels.clone(),
+            buffers_inserted: ctx.buffers_inserted,
+        };
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(snap);
+        Ok(PassReport::noted(0, "snapshot captured"))
+    }
+}
+
+/// A pass that overwrites the flow state with a [`PrefixSnapshot`],
+/// placing the context exactly where a full run stands after
+/// `fanout-repair`. Used as the first pass of the resume flow
+/// (`restore-prefix` → `timing-area`).
+pub struct RestorePrefix {
+    snap: Arc<PrefixSnapshot>,
+}
+
+impl RestorePrefix {
+    /// Creates the restore pass for `snap`.
+    pub fn new(snap: Arc<PrefixSnapshot>) -> Self {
+        Self { snap }
+    }
+}
+
+impl Pass for RestorePrefix {
+    fn name(&self) -> &str {
+        "restore-prefix"
+    }
+
+    fn run(&mut self, ctx: &mut FlowContext<'_>) -> Result<PassReport, MiloError> {
+        ctx.work = self.snap.work.clone();
+        ctx.db.merge_from(&self.snap.db);
+        ctx.top_name = self.snap.top_name.clone();
+        ctx.mapped = self.snap.mapped;
+        ctx.critic = self.snap.critic.clone();
+        ctx.levels = self.snap.levels.clone();
+        ctx.timing = None;
+        ctx.buffers_inserted = self.snap.buffers_inserted;
+        Ok(PassReport::noted(0, "prefix restored"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(name: &str, nets: usize) -> Netlist {
+        let mut nl = Netlist::new(name);
+        for i in 0..nets {
+            nl.add_net(format!("n{i}"));
+        }
+        nl
+    }
+
+    /// The regression the exact key exists for: identical structure,
+    /// different constraints, distinct keys. Before constraints were
+    /// folded in, these aliased and a cached answer for one delay
+    /// budget was served for another.
+    #[test]
+    fn job_key_covers_constraints() {
+        let nl = toy("t", 3);
+        let loose = Constraints::none().with_max_delay(9.0);
+        let tight = Constraints::none().with_max_delay(4.5);
+        assert_ne!(job_key(&nl, &loose), job_key(&nl, &tight));
+        assert_ne!(
+            job_key(&nl, &Constraints::none()),
+            job_key(&nl, &Constraints::none().with_max_area(50.0)),
+            "area-only difference still diverges"
+        );
+        assert_eq!(job_key(&nl, &loose), job_key(&nl, &loose), "deterministic");
+    }
+
+    #[test]
+    fn job_key_covers_structure() {
+        let c = Constraints::none();
+        assert_ne!(job_key(&toy("t", 3), &c), job_key(&toy("t", 4), &c));
+        assert_ne!(job_key(&toy("t", 3), &c), job_key(&toy("u", 3), &c));
+    }
+
+    #[test]
+    fn prefix_key_tracks_only_the_tightest_delay() {
+        let nl = toy("t", 3);
+        let a = Constraints::none().with_max_delay(4.5);
+        let b = Constraints::none().with_max_delay(4.5).with_max_area(50.0);
+        let c = Constraints::none().with_max_delay(9.0);
+        assert_eq!(
+            prefix_key(&nl, &a),
+            prefix_key(&nl, &b),
+            "area budget does not dirty the prefix"
+        );
+        assert_ne!(prefix_key(&nl, &a), prefix_key(&nl, &c), "delay bound does");
+        assert_ne!(
+            prefix_key(&nl, &a),
+            prefix_key(&nl, &Constraints::none()),
+            "unconstrained is its own bucket"
+        );
+    }
+
+    #[test]
+    fn exact_and_prefix_keys_never_share_a_chain() {
+        let nl = toy("t", 3);
+        let c = Constraints::none();
+        assert_ne!(job_key(&nl, &c), prefix_key(&nl, &c));
+    }
+
+    #[test]
+    fn cache_tiers_store_and_return() {
+        let cache = ResultCache::new();
+        assert!(cache.lookup(1).is_none());
+        cache.store(
+            1,
+            Arc::new(CachedResult {
+                json: "{}".into(),
+                result_hash: Some(7),
+            }),
+        );
+        assert_eq!(cache.lookup(1).map(|r| r.result_hash), Some(Some(7)));
+        assert_eq!(cache.sizes(), (1, 0));
+    }
+}

@@ -1,0 +1,220 @@
+//! A small blocking client for the JSON-lines protocol — what the
+//! loopback tests, benches, and the `--smoke` self-check drive the
+//! daemon with.
+
+use crate::json::{self, Value};
+use crate::protocol::constraints_to_json;
+use milo_core::Constraints;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure: transport, protocol, or a server-reported
+/// error line.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something that is not valid JSON.
+    BadJson(json::JsonError),
+    /// The server answered `{"ok": false, …}` or an unexpected shape.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::BadJson(e) => write!(f, "bad server json: {e}"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a running server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Streaming event lines read while waiting for a response.
+    events: Vec<Value>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Small request lines must not sit in Nagle's buffer waiting
+        // for an ACK the server won't send until it sees them.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+            events: Vec::new(),
+        })
+    }
+
+    /// Sends one raw request line and returns the next *response* line
+    /// unparsed. `{"event": …}` lines that arrive first (streamed flow
+    /// progress) are parsed and buffered into [`Client::take_events`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or EOF before a response arrives.
+    pub fn request_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        loop {
+            let mut reply = String::new();
+            if self.reader.read_line(&mut reply)? == 0 {
+                return Err(ClientError::Server("connection closed".to_owned()));
+            }
+            let trimmed = reply.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            // Event lines interleave with responses on streaming
+            // connections; only they carry an "event" key.
+            if let Ok(v) = json::parse(trimmed) {
+                if v.get("event").is_some() {
+                    self.events.push(v);
+                    continue;
+                }
+            }
+            return Ok(trimmed.to_owned());
+        }
+    }
+
+    /// Sends one request line and parses the response, surfacing
+    /// `{"ok": false}` as [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Transport, parse, and server-reported failures.
+    pub fn request(&mut self, line: &str) -> Result<Value, ClientError> {
+        let raw = self.request_raw(line)?;
+        let v = json::parse(&raw).map_err(ClientError::BadJson)?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(v),
+            _ => Err(ClientError::Server(
+                v.get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("missing ok field")
+                    .to_owned(),
+            )),
+        }
+    }
+
+    /// Submits a job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Transport and server-reported failures.
+    pub fn submit(
+        &mut self,
+        design_text: &str,
+        constraints: &Constraints,
+        stream: bool,
+    ) -> Result<u64, ClientError> {
+        let line = format!(
+            "{{\"op\": \"submit\", \"design\": {}, \"constraints\": {}, \"stream\": {stream}}}",
+            milo_core::json_string(design_text),
+            constraints_to_json(constraints),
+        );
+        let v = self.request(&line)?;
+        v.get("job")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ClientError::Server("submit response missing job id".to_owned()))
+    }
+
+    /// Polls a job's state label (`queued` / `running` / `done` / …).
+    ///
+    /// # Errors
+    ///
+    /// Transport and server-reported failures.
+    pub fn status(&mut self, job: u64) -> Result<String, ClientError> {
+        let v = self.request(&format!("{{\"op\": \"status\", \"job\": {job}}}"))?;
+        v.get("state")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::Server("status response missing state".to_owned()))
+    }
+
+    /// Blocks until `job` is terminal; returns the raw response line
+    /// (byte-exact, for splice comparisons against offline runs).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn result_raw(&mut self, job: u64) -> Result<String, ClientError> {
+        self.request_raw(&format!("{{\"op\": \"result\", \"job\": {job}}}"))
+    }
+
+    /// Blocks until `job` is terminal; returns the parsed response.
+    ///
+    /// # Errors
+    ///
+    /// Transport, parse, and server-reported failures.
+    pub fn result(&mut self, job: u64) -> Result<Value, ClientError> {
+        let raw = self.result_raw(job)?;
+        let v = json::parse(&raw).map_err(ClientError::BadJson)?;
+        match v.get("ok").and_then(Value::as_bool) {
+            Some(true) => Ok(v),
+            _ => Err(ClientError::Server(
+                v.get("error")
+                    .and_then(Value::as_str)
+                    .unwrap_or("missing ok field")
+                    .to_owned(),
+            )),
+        }
+    }
+
+    /// Requests cancellation; `true` when the job was still queued.
+    ///
+    /// # Errors
+    ///
+    /// Transport and server-reported failures.
+    pub fn cancel(&mut self, job: u64) -> Result<bool, ClientError> {
+        let v = self.request(&format!("{{\"op\": \"cancel\", \"job\": {job}}}"))?;
+        Ok(v.get("cancelled").and_then(Value::as_bool).unwrap_or(false))
+    }
+
+    /// Fetches the service counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport and server-reported failures.
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        let v = self.request("{\"op\": \"stats\"}")?;
+        v.get("stats")
+            .cloned()
+            .ok_or_else(|| ClientError::Server("stats response missing stats".to_owned()))
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport and server-reported failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.request("{\"op\": \"shutdown\"}").map(|_| ())
+    }
+
+    /// Drains the streamed event lines collected so far.
+    pub fn take_events(&mut self) -> Vec<Value> {
+        std::mem::take(&mut self.events)
+    }
+}

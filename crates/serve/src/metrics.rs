@@ -1,0 +1,241 @@
+//! Service metrics: job counters, cache effectiveness, per-pass wall
+//! time, and worker utilization — everything the `stats` request
+//! reports.
+//!
+//! Counters are lock-free atomics; the per-pass table takes a small
+//! mutex only when a job finishes. Wall times accumulate in
+//! nanoseconds and are reported as totals plus run counts, so clients
+//! can derive means without the server smoothing anything away. The
+//! pass-run counts double as the cache-effectiveness oracle in tests:
+//! a cache-hit job increments job counters but no pass counters.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One pass's accumulated service-lifetime cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassCost {
+    /// Times the pass ran (skipped slots excluded).
+    pub runs: u64,
+    /// Total wall nanoseconds across those runs.
+    pub total_ns: u64,
+}
+
+/// Live service counters.
+pub struct Metrics {
+    started: Instant,
+    workers: u64,
+    jobs_submitted: AtomicU64,
+    jobs_running: AtomicU64,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    cache_hits: AtomicU64,
+    prefix_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    busy_ns: AtomicU64,
+    per_pass: Mutex<BTreeMap<String, PassCost>>,
+}
+
+impl Metrics {
+    /// Fresh counters for a server with `workers` worker threads.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            started: Instant::now(),
+            workers: workers as u64,
+            jobs_submitted: AtomicU64::new(0),
+            jobs_running: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            prefix_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            per_pass: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A job entered the queue.
+    pub fn submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker picked a job up.
+    pub fn running(&self) {
+        self.jobs_running.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job left the running state, successfully.
+    pub fn done(&self) {
+        self.jobs_running.fetch_sub(1, Ordering::Relaxed);
+        self.jobs_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job left the running state with an error.
+    pub fn failed(&self) {
+        self.jobs_running.fetch_sub(1, Ordering::Relaxed);
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job was cancelled before (or instead of) running.
+    pub fn cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Exact-tier cache hit (no passes ran).
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Prefix-tier hit (resume flow ran from the first dirty pass).
+    pub fn prefix_hit(&self) {
+        self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Full synthesis run.
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker busy time spent on one job.
+    pub fn busy(&self, ns: u64) {
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Folds one finished flow's per-pass wall times in.
+    pub fn record_passes<'a>(&self, passes: impl Iterator<Item = (&'a str, bool, u64)>) {
+        let mut table = self.per_pass.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, skipped, wall_ns) in passes {
+            if skipped {
+                continue;
+            }
+            let cost = table.entry(name.to_owned()).or_default();
+            cost.runs += 1;
+            cost.total_ns += wall_ns;
+        }
+    }
+
+    /// Lifetime run count of one pass (test oracle).
+    pub fn pass_runs(&self, name: &str) -> u64 {
+        self.per_pass
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .map_or(0, |c| c.runs)
+    }
+
+    /// Renders the full counter set as a JSON object. Cache hit rate is
+    /// exact hits over terminal lookups; utilization is busy time over
+    /// `workers × uptime`.
+    pub fn to_json(
+        &self,
+        queued: usize,
+        cache_sizes: (usize, usize),
+        shard_sizes: &[usize],
+    ) -> String {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let prefix = self.prefix_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let looked = hits + prefix + misses;
+        let hit_rate = if looked == 0 {
+            0.0
+        } else {
+            hits as f64 / looked as f64
+        };
+        let uptime_ns = self.started.elapsed().as_nanos() as u64;
+        let capacity = self.workers.saturating_mul(uptime_ns);
+        let utilization = if capacity == 0 {
+            0.0
+        } else {
+            (self.busy_ns.load(Ordering::Relaxed) as f64 / capacity as f64).min(1.0)
+        };
+        let mut passes = String::from("{");
+        {
+            let table = self.per_pass.lock().unwrap_or_else(|e| e.into_inner());
+            for (i, (name, cost)) in table.iter().enumerate() {
+                if i > 0 {
+                    passes.push_str(", ");
+                }
+                passes.push_str(&format!(
+                    "{}: {{\"runs\": {}, \"total_ns\": {}}}",
+                    milo_core::json_string(name),
+                    cost.runs,
+                    cost.total_ns
+                ));
+            }
+        }
+        passes.push('}');
+        let shards = shard_sizes
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"workers\": {}, \"uptime_ns\": {}, \"jobs\": {{\"submitted\": {}, \"queued\": {}, \"running\": {}, \"done\": {}, \"failed\": {}, \"cancelled\": {}}}, \
+             \"cache\": {{\"hits\": {}, \"prefix_hits\": {}, \"misses\": {}, \"hit_rate\": {}, \"exact_entries\": {}, \"prefix_entries\": {}}}, \
+             \"worker_utilization\": {}, \"passes\": {}, \"shard_sizes\": [{}]}}",
+            self.workers,
+            uptime_ns,
+            self.jobs_submitted.load(Ordering::Relaxed),
+            queued,
+            self.jobs_running.load(Ordering::Relaxed),
+            self.jobs_done.load(Ordering::Relaxed),
+            self.jobs_failed.load(Ordering::Relaxed),
+            self.jobs_cancelled.load(Ordering::Relaxed),
+            hits,
+            prefix,
+            misses,
+            hit_rate,
+            cache_sizes.0,
+            cache_sizes.1,
+            utilization,
+            passes,
+            shards,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = Metrics::new(2);
+        m.submitted();
+        m.submitted();
+        m.running();
+        m.cache_miss();
+        m.done();
+        m.running();
+        m.cache_hit();
+        m.done();
+        m.busy(1_000);
+        m.record_passes([("compile", false, 500u64), ("timing-area", false, 300)].into_iter());
+        m.record_passes([("compile", false, 100u64), ("skipped", true, 9)].into_iter());
+
+        assert_eq!(m.pass_runs("compile"), 2);
+        assert_eq!(m.pass_runs("timing-area"), 1);
+        assert_eq!(m.pass_runs("skipped"), 0, "skipped slots don't count");
+
+        let json = m.to_json(0, (1, 0), &[1, 0]);
+        let v = crate::json::parse(&json).expect("stats json parses");
+        let jobs = v.get("jobs").expect("jobs object");
+        assert_eq!(jobs.get("done").and_then(|x| x.as_u64()), Some(2));
+        let cache = v.get("cache").expect("cache object");
+        assert_eq!(cache.get("hits").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(cache.get("misses").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(cache.get("hit_rate").and_then(|x| x.as_f64()), Some(0.5));
+        let passes = v.get("passes").expect("passes object");
+        assert_eq!(
+            passes
+                .get("compile")
+                .and_then(|c| c.get("runs"))
+                .and_then(|x| x.as_u64()),
+            Some(2)
+        );
+    }
+}

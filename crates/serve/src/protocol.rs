@@ -1,0 +1,258 @@
+//! The wire protocol: JSON-lines over TCP, one request or response
+//! object per `\n`-terminated line.
+//!
+//! Requests (`op` selects the operation):
+//!
+//! ```text
+//! {"op": "submit", "design": "<netlist text>", "constraints": {…}, "stream": true?}
+//! {"op": "status", "job": N}
+//! {"op": "result", "job": N}          ← blocks until the job is terminal
+//! {"op": "cancel", "job": N}
+//! {"op": "stats"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! `design` carries the engine's own netlist text format
+//! ([`milo_core::parse_netlist`]); `constraints` is an object with
+//! optional `max_delay` / `max_area` / `max_power` numbers and a
+//! `path_delays` array of `[port, ns]` pairs. Responses always carry
+//! `"ok"`; protocol errors come back as `{"ok": false, "error": …}`
+//! on the offending line without killing the connection. Jobs
+//! submitted with `"stream": true` additionally emit
+//! `{"event": …, "job": N, …}` lines on the submitting connection as
+//! the flow progresses — clients distinguish events from responses by
+//! the `event` key.
+
+use crate::json::{self, Value};
+use milo_core::netlist::Netlist;
+use milo_core::{parse_netlist, Constraints};
+
+/// A parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Enqueue a synthesis job.
+    Submit {
+        /// The design to synthesize.
+        netlist: Box<Netlist>,
+        /// Its constraints.
+        constraints: Constraints,
+        /// Stream flow events back on this connection.
+        stream: bool,
+    },
+    /// Poll a job's state.
+    Status(u64),
+    /// Block until a job is terminal, then fetch its payload.
+    Result(u64),
+    /// Cancel a queued job.
+    Cancel(u64),
+    /// Service counters.
+    Stats,
+    /// Stop the server.
+    Shutdown,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing \"op\"")?;
+    let job = |v: &Value| -> Result<u64, String> {
+        v.get("job")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| "missing or invalid \"job\" id".to_owned())
+    };
+    match op {
+        "submit" => {
+            let text = v
+                .get("design")
+                .and_then(Value::as_str)
+                .ok_or("submit needs a \"design\" netlist text")?;
+            let netlist = parse_netlist(text).map_err(|e| format!("design does not parse: {e}"))?;
+            let constraints = match v.get("constraints") {
+                None => Constraints::none(),
+                Some(c) => parse_constraints(c)?,
+            };
+            let stream = v.get("stream").and_then(Value::as_bool).unwrap_or(false);
+            Ok(Request::Submit {
+                netlist: Box::new(netlist),
+                constraints,
+                stream,
+            })
+        }
+        "status" => Ok(Request::Status(job(&v)?)),
+        "result" => Ok(Request::Result(job(&v)?)),
+        "cancel" => Ok(Request::Cancel(job(&v)?)),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Parses a constraints object. Unknown keys are rejected — silently
+/// dropping a constraint the client thought it set is the worst
+/// possible service behavior.
+pub fn parse_constraints(v: &Value) -> Result<Constraints, String> {
+    let Value::Obj(members) = v else {
+        return Err("\"constraints\" must be an object".to_owned());
+    };
+    let mut c = Constraints::none();
+    let finite = |key: &str, v: &Value| -> Result<f64, String> {
+        let n = v
+            .as_f64()
+            .filter(|n| n.is_finite())
+            .ok_or_else(|| format!("\"{key}\" must be a finite number"))?;
+        Ok(n)
+    };
+    for (key, val) in members {
+        match key.as_str() {
+            "max_delay" => c.max_delay = Some(finite(key, val)?),
+            "max_area" => c.max_area = Some(finite(key, val)?),
+            "max_power" => c.max_power = Some(finite(key, val)?),
+            "path_delays" => {
+                let items = val
+                    .as_array()
+                    .ok_or("\"path_delays\" must be an array of [port, ns] pairs")?;
+                for item in items {
+                    let pair = item.as_array().unwrap_or(&[]);
+                    let (Some(port), Some(ns)) = (
+                        pair.first().and_then(Value::as_str),
+                        pair.get(1)
+                            .and_then(Value::as_f64)
+                            .filter(|n| n.is_finite()),
+                    ) else {
+                        return Err("\"path_delays\" entries must be [port, ns]".to_owned());
+                    };
+                    if pair.len() != 2 {
+                        return Err("\"path_delays\" entries must be [port, ns]".to_owned());
+                    }
+                    c.path_delays.push((port.to_owned(), ns));
+                }
+            }
+            other => return Err(format!("unknown constraints key {other:?}")),
+        }
+    }
+    Ok(c)
+}
+
+/// Renders constraints as a protocol object (the client side of
+/// [`parse_constraints`]; `Display` for `f64` prints the shortest
+/// round-tripping form, so values survive the wire exactly).
+pub fn constraints_to_json(c: &Constraints) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(ns) = c.max_delay {
+        parts.push(format!("\"max_delay\": {ns}"));
+    }
+    if let Some(cells) = c.max_area {
+        parts.push(format!("\"max_area\": {cells}"));
+    }
+    if let Some(ma) = c.max_power {
+        parts.push(format!("\"max_power\": {ma}"));
+    }
+    if !c.path_delays.is_empty() {
+        let pairs = c
+            .path_delays
+            .iter()
+            .map(|(p, ns)| format!("[{}, {ns}]", milo_core::json_string(p)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        parts.push(format!("\"path_delays\": [{pairs}]"));
+    }
+    format!("{{{}}}", parts.join(", "))
+}
+
+/// `{"ok": false, "error": …}` — the universal failure line.
+pub fn error_line(message: &str) -> String {
+    format!(
+        "{{\"ok\": false, \"error\": {}}}",
+        milo_core::json_string(message)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DESIGN: &str = "design demo\ninput a b\noutput y\ncomp and2 g1 A0=a A1=b Y=y\n";
+
+    fn submit_line(constraints: &str) -> String {
+        format!(
+            "{{\"op\": \"submit\", \"design\": {}, \"constraints\": {constraints}}}",
+            milo_core::json_string(DESIGN)
+        )
+    }
+
+    #[test]
+    fn parses_submit_with_constraints() {
+        let line =
+            submit_line(r#"{"max_delay": 4.5, "max_area": 50, "path_delays": [["y", 3.25]]}"#);
+        let Request::Submit {
+            netlist,
+            constraints,
+            stream,
+        } = parse_request(&line).expect("parses")
+        else {
+            panic!("not a submit");
+        };
+        assert_eq!(netlist.name, "demo");
+        assert!(!stream);
+        assert_eq!(constraints.max_delay, Some(4.5));
+        assert_eq!(constraints.max_area, Some(50.0));
+        assert_eq!(constraints.required_for("y"), Some(3.25));
+    }
+
+    #[test]
+    fn constraints_round_trip_through_the_wire_format() {
+        let c = Constraints::none()
+            .with_max_delay(4.5)
+            .with_max_power(9.0)
+            .with_path_delay("C0", 0.1); // 0.1 is not exact in binary — Display round-trips it
+        let v = json::parse(&constraints_to_json(&c)).expect("client json parses");
+        let back = parse_constraints(&v).expect("server accepts it");
+        assert_eq!(back, c);
+        assert_eq!(back.cache_summary(), c.cache_summary(), "bit-exact floats");
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        for (line, why) in [
+            ("not json", "malformed json"),
+            ("{}", "missing op"),
+            (r#"{"op": "frobnicate"}"#, "unknown op"),
+            (r#"{"op": "status"}"#, "missing job id"),
+            (r#"{"op": "status", "job": -1}"#, "negative job id"),
+            (r#"{"op": "submit"}"#, "missing design"),
+            (
+                r#"{"op": "submit", "design": "design x\nbogus line"}"#,
+                "unparseable design",
+            ),
+        ] {
+            assert!(parse_request(line).is_err(), "accepted: {why}");
+        }
+        let bad_constraints = [
+            r#"{"max_delay": "fast"}"#,
+            r#"{"max_delay": 1e999}"#,
+            r#"{"tightest": 1}"#,
+            r#"{"path_delays": [["y"]]}"#,
+            r#"{"path_delays": [["y", 1, 2]]}"#,
+        ];
+        for c in bad_constraints {
+            assert!(
+                parse_request(&submit_line(c)).is_err(),
+                "accepted constraints: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_line_is_json() {
+        let line = error_line("bad \"stuff\"\nhere");
+        let v = json::parse(&line).expect("error line parses");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("bad \"stuff\"\nhere")
+        );
+    }
+}

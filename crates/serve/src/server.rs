@@ -1,0 +1,671 @@
+//! The daemon: a std-only TCP server (no async runtime) with a
+//! thread-per-connection front end and a fixed pool of synthesis
+//! workers behind a condvar-signaled job queue.
+//!
+//! Determinism contract: every job's `SynthesisResult` JSON is
+//! byte-identical to what an offline
+//! [`milo_core::Milo::synthesize_batch_results`] call produces for the
+//! same design and constraints — regardless of arrival order, queue
+//! interleaving, worker count, or cache state. The pieces that make
+//! that true:
+//!
+//! * workers run the exact arm recipe the batch driver uses
+//!   (`Flow::standard()` with statistics sampling off, seeded with an
+//!   `Arc`-shared database snapshot), and results are already pinned
+//!   to be database-independent by the engine's `batch_matches_
+//!   sequential` property test;
+//! * panicked jobs retry once against a fresh snapshot, mirroring the
+//!   batch driver's retry (fault-injector charges are server-global,
+//!   so a once-only injected fault is spent, not re-fired);
+//! * cache hits replay the first run's bytes verbatim, and prefix
+//!   resumes reconstruct the mid-flow context exactly (see
+//!   [`crate::cache`]).
+
+use crate::cache::{job_key, prefix_key, CachedResult, CapturePrefix, RestorePrefix, ResultCache};
+use crate::metrics::Metrics;
+use crate::protocol::{error_line, parse_request, Request};
+use crate::shard::ShardedDb;
+use milo_core::netlist::Netlist;
+use milo_core::techmap::TechLibrary;
+use milo_core::{Constraints, FaultInjector, Flow, FlowEvent, Milo};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// How a finished job's answer was produced (reported in `status` /
+/// `result` responses and counted in the metrics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Full synthesis ran.
+    Miss,
+    /// Exact-tier hit: stored bytes replayed, no passes ran.
+    Hit,
+    /// Prefix-tier hit: resumed from the first constraint-dirty pass.
+    PrefixHit,
+}
+
+impl CacheOutcome {
+    fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::PrefixHit => "prefix-hit",
+        }
+    }
+}
+
+/// A job's lifecycle state.
+enum JobState {
+    Queued,
+    Running,
+    Done {
+        payload: Arc<CachedResult>,
+        cache: CacheOutcome,
+    },
+    Failed(String),
+    Cancelled,
+}
+
+impl JobState {
+    fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done { .. } | JobState::Failed(_) | JobState::Cancelled
+        )
+    }
+}
+
+/// A line-atomic writer shared between a connection handler and the
+/// streaming observer of any job submitted on that connection.
+#[derive(Clone)]
+struct LineWriter {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl LineWriter {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// Writes `line` plus the terminating newline under one lock hold,
+    /// so concurrent event and response lines never interleave bytes.
+    fn send(&self, line: &str) -> std::io::Result<()> {
+        let mut guard = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        guard.write_all(line.as_bytes())?;
+        guard.write_all(b"\n")?;
+        guard.flush()
+    }
+}
+
+struct Job {
+    id: u64,
+    netlist: Netlist,
+    constraints: Constraints,
+    key: u64,
+    pkey: u64,
+    state: Mutex<JobState>,
+    cv: Condvar,
+    cancel: AtomicBool,
+    /// Event sink for `"stream": true` submissions.
+    stream: Option<LineWriter>,
+}
+
+impl Job {
+    fn set_state(&self, next: JobState) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = next;
+        self.cv.notify_all();
+    }
+}
+
+/// Server construction knobs.
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` (any free port) by default, or the
+    /// `MILO_SERVE_ADDR` environment variable when set.
+    pub addr: String,
+    /// Synthesis worker threads (defaults to `MILO_PAR_THREADS`, then
+    /// to the machine's parallelism).
+    pub workers: usize,
+    /// Design-database shards.
+    pub shards: usize,
+    /// Target technology library.
+    pub library: TechLibrary,
+    /// Server-global fault injector (test harness; the programmatic
+    /// equivalent of `MILO_FAULT_INJECT`).
+    pub fault: Option<Arc<FaultInjector>>,
+}
+
+impl ServerConfig {
+    /// Defaults: env-configured address, auto worker count, 8 shards,
+    /// the given library, no fault injection.
+    pub fn new(library: TechLibrary) -> Self {
+        let workers = std::env::var("MILO_PAR_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+            });
+        Self {
+            addr: std::env::var("MILO_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_owned()),
+            workers,
+            shards: 8,
+            library,
+            fault: None,
+        }
+    }
+
+    /// Overrides the bind address.
+    #[must_use]
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Overrides the worker count (minimum 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the shard count (minimum 1).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Arms a server-global fault injector.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.fault = Some(injector);
+        self
+    }
+}
+
+/// Everything the accept loop, connection handlers, and workers share.
+struct Shared {
+    addr: SocketAddr,
+    lib: TechLibrary,
+    fault: Option<Arc<FaultInjector>>,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    shards: ShardedDb,
+    cache: ResultCache,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn job(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    fn enqueue(&self, job: Arc<Job>) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(job.id, job.clone());
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job.id);
+        self.metrics.submitted();
+        self.queue_cv.notify_one();
+    }
+
+    /// Blocks for the next queued job id; `None` once shutdown is
+    /// requested *and* the queue has drained (accepted work finishes).
+    fn next_job(&self) -> Option<u64> {
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(id) = queue.pop_front() {
+                return Some(id);
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self.queue_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A running server: its bound address plus the handles needed to stop
+/// it. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves `:0` ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a `shutdown` request arrives over the wire, then
+    /// joins every thread — the daemon main's serve-forever call.
+    pub fn shutdown_on_request(&mut self) {
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        self.shutdown();
+    }
+
+    /// Stops the server: no new connections, queued jobs finish,
+    /// workers exit. Idempotent; blocks until all threads join.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds and spawns the daemon: one accept thread, `config.workers`
+/// synthesis workers.
+///
+/// # Errors
+///
+/// Fails when the address cannot be bound.
+pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        addr,
+        lib: config.library,
+        fault: config.fault,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        jobs: Mutex::new(HashMap::new()),
+        next_id: AtomicU64::new(1),
+        shards: ShardedDb::new(config.shards),
+        cache: ResultCache::new(),
+        metrics: Metrics::new(config.workers.max(1)),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("milo-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    let accept = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("milo-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // JSON-lines means many latency-sensitive small writes; Nagle
+        // batching would add delayed-ACK stalls to every round trip.
+        let _ = stream.set_nodelay(true);
+        let shared = shared.clone();
+        // Handlers are detached: they die with their connection (or the
+        // process). Join bookkeeping would add nothing — a handler
+        // blocked in read() can't be joined without closing the socket
+        // anyway.
+        let _ = std::thread::Builder::new()
+            .name("milo-serve-conn".to_owned())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = LineWriter::new(stream);
+    let mut lines = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match lines.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // EOF or connection gone
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_request(line.trim_end_matches(['\n', '\r'])) {
+            Err(e) => error_line(&e),
+            Ok(req) => dispatch(req, &writer, shared),
+        };
+        if writer.send(&reply).is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn dispatch(req: Request, writer: &LineWriter, shared: &Arc<Shared>) -> String {
+    match req {
+        Request::Submit {
+            netlist,
+            constraints,
+            stream,
+        } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return error_line("server is shutting down");
+            }
+            let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+            let job = Arc::new(Job {
+                id,
+                key: job_key(&netlist, &constraints),
+                pkey: prefix_key(&netlist, &constraints),
+                netlist: *netlist,
+                constraints,
+                state: Mutex::new(JobState::Queued),
+                cv: Condvar::new(),
+                cancel: AtomicBool::new(false),
+                stream: stream.then(|| writer.clone()),
+            });
+            shared.enqueue(job);
+            format!("{{\"ok\": true, \"op\": \"submit\", \"job\": {id}}}")
+        }
+        Request::Status(id) => match shared.job(id) {
+            None => error_line(&format!("no such job {id}")),
+            Some(job) => {
+                let state = job.state.lock().unwrap_or_else(|e| e.into_inner());
+                let cache = match &*state {
+                    JobState::Done { cache, .. } => {
+                        format!(", \"cache\": \"{}\"", cache.as_str())
+                    }
+                    _ => String::new(),
+                };
+                format!(
+                    "{{\"ok\": true, \"op\": \"status\", \"job\": {id}, \"state\": \"{}\"{cache}}}",
+                    state.label()
+                )
+            }
+        },
+        Request::Result(id) => match shared.job(id) {
+            None => error_line(&format!("no such job {id}")),
+            Some(job) => {
+                let mut state = job.state.lock().unwrap_or_else(|e| e.into_inner());
+                while !state.terminal() {
+                    state = job.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                match &*state {
+                    JobState::Done { payload, cache } => format!(
+                        "{{\"ok\": true, \"op\": \"result\", \"job\": {id}, \"state\": \"done\", \
+                         \"cache\": \"{}\", \"output\": {}}}",
+                        cache.as_str(),
+                        payload.json
+                    ),
+                    JobState::Failed(message) => format!(
+                        "{{\"ok\": true, \"op\": \"result\", \"job\": {id}, \"state\": \"failed\", \
+                         \"error\": {}}}",
+                        milo_core::json_string(message)
+                    ),
+                    JobState::Cancelled => format!(
+                        "{{\"ok\": true, \"op\": \"result\", \"job\": {id}, \"state\": \"cancelled\"}}"
+                    ),
+                    _ => error_line("unreachable: non-terminal state after wait"),
+                }
+            }
+        },
+        Request::Cancel(id) => match shared.job(id) {
+            None => error_line(&format!("no such job {id}")),
+            Some(job) => {
+                // Flag-set and queued-check happen under the state
+                // lock, and the worker's queued→running transition
+                // checks the flag under the same lock — so a `true`
+                // here guarantees the job ends `cancelled`, never a
+                // late `done`.
+                let queued = {
+                    let state = job.state.lock().unwrap_or_else(|e| e.into_inner());
+                    let queued = matches!(&*state, JobState::Queued);
+                    if queued {
+                        job.cancel.store(true, Ordering::SeqCst);
+                    }
+                    queued
+                };
+                format!(
+                    "{{\"ok\": true, \"op\": \"cancel\", \"job\": {id}, \"cancelled\": {queued}}}"
+                )
+            }
+        },
+        Request::Stats => {
+            let queued = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+            format!(
+                "{{\"ok\": true, \"op\": \"stats\", \"stats\": {}}}",
+                shared
+                    .metrics
+                    .to_json(queued, shared.cache.sizes(), &shared.shards.shard_sizes())
+            )
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            // Poke the accept loop with a throwaway connection so it
+            // observes the flag instead of blocking in accept().
+            let _ = TcpStream::connect(shared.addr);
+            "{\"ok\": true, \"op\": \"shutdown\"}".to_owned()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(id) = shared.next_job() {
+        let Some(job) = shared.job(id) else { continue };
+        // Queued→running (or →cancelled) transitions atomically with
+        // the cancel handler's flag check; see `Request::Cancel`.
+        let cancelled = {
+            let mut state = job.state.lock().unwrap_or_else(|e| e.into_inner());
+            if job.cancel.load(Ordering::SeqCst) {
+                *state = JobState::Cancelled;
+                true
+            } else {
+                *state = JobState::Running;
+                false
+            }
+        };
+        job.cv.notify_all();
+        if cancelled {
+            shared.metrics.cancelled();
+            continue;
+        }
+        shared.metrics.running();
+        let started = Instant::now();
+        run_job(shared, &job);
+        shared.metrics.busy(started.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Executes one job: exact cache → prefix resume → full run (with the
+/// batch driver's one-retry-on-panic recovery).
+fn run_job(shared: &Arc<Shared>, job: &Job) {
+    // Exact tier: identical design + constraints already answered.
+    if let Some(payload) = shared.cache.lookup(job.key) {
+        shared.metrics.cache_hit();
+        shared.metrics.done();
+        job.set_state(JobState::Done {
+            payload,
+            cache: CacheOutcome::Hit,
+        });
+        return;
+    }
+
+    let prefix = shared.cache.lookup_prefix(job.pkey);
+    let outcome = if prefix.is_some() {
+        CacheOutcome::PrefixHit
+    } else {
+        CacheOutcome::Miss
+    };
+
+    let mut attempt = execute(shared, job, prefix.clone());
+    if let Err(e) = &attempt {
+        if e.is_panic() {
+            // Mirror the batch driver: one retry against a fresh
+            // snapshot. Injector charges are server-global, so a
+            // once-only fault is spent by now; an `#inf` fault fails
+            // the retry too, exactly like the offline batch.
+            attempt = execute(shared, job, prefix);
+        }
+    }
+
+    match attempt {
+        Ok(payload) => {
+            match outcome {
+                CacheOutcome::PrefixHit => shared.metrics.prefix_hit(),
+                _ => shared.metrics.cache_miss(),
+            }
+            shared.cache.store(job.key, payload.clone());
+            shared.metrics.done();
+            job.set_state(JobState::Done {
+                payload,
+                cache: outcome,
+            });
+        }
+        Err(e) => {
+            shared.metrics.cache_miss();
+            shared.metrics.failed();
+            job.set_state(JobState::Failed(e.to_string()));
+        }
+    }
+}
+
+/// One synthesis attempt. Full runs use the standard flow with a
+/// prefix-capture pass spliced in after `fanout-repair`; prefix resumes
+/// run `restore-prefix` → `timing-area` only. Either way the worker's
+/// `Milo` is seeded with a whole-store snapshot and its database is
+/// absorbed back on success.
+fn execute(
+    shared: &Arc<Shared>,
+    job: &Job,
+    prefix: Option<Arc<crate::cache::PrefixSnapshot>>,
+) -> Result<Arc<CachedResult>, milo_core::MiloError> {
+    let mut milo = Milo::with_database(shared.lib.clone(), shared.shards.snapshot());
+    let mut capture_slot = None;
+    let mut flow = match prefix {
+        Some(snap) => {
+            let mut flow = Flow::empty();
+            flow.push(RestorePrefix::new(snap));
+            flow.push(milo_core::TimingArea);
+            flow
+        }
+        None => {
+            let mut flow = Flow::standard();
+            let (capture, slot) = CapturePrefix::new();
+            flow.insert_after("fanout-repair", capture);
+            capture_slot = Some(slot);
+            flow
+        }
+    };
+    flow.sample_stats(false);
+    if let Some(f) = &shared.fault {
+        flow.inject_faults(f.clone());
+    }
+    if let Some(sink) = &job.stream {
+        let sink = sink.clone();
+        let id = job.id;
+        flow.observe(move |event| {
+            let line = match event {
+                FlowEvent::FlowStarted { design, passes } => format!(
+                    "{{\"event\": \"flow-started\", \"job\": {id}, \"design\": {}, \"passes\": {passes}}}",
+                    milo_core::json_string(design)
+                ),
+                FlowEvent::PassStarted { index, name } => format!(
+                    "{{\"event\": \"pass-started\", \"job\": {id}, \"index\": {index}, \"pass\": {}}}",
+                    milo_core::json_string(name)
+                ),
+                FlowEvent::PassFinished { index, report } => format!(
+                    "{{\"event\": \"pass-finished\", \"job\": {id}, \"index\": {index}, \
+                     \"pass\": {}, \"outcome\": \"{}\", \"wall_ns\": {}, \"rules_applied\": {}}}",
+                    milo_core::json_string(&report.name),
+                    report.outcome.as_str(),
+                    report.wall.as_nanos(),
+                    report.rules_applied
+                ),
+            };
+            // A dead client connection must not fail the job.
+            let _ = sink.send(&line);
+        });
+    }
+
+    let output = flow.run(&mut milo, &job.netlist, &job.constraints)?;
+
+    // Success: fold compiled designs back into the sharded store and
+    // promote the captured mid-flow state into the prefix tier.
+    shared.shards.absorb(&milo.into_database());
+    if let Some(slot) = capture_slot {
+        let snap = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(snap) = snap {
+            shared.cache.store_prefix(job.pkey, Arc::new(snap));
+        }
+    }
+    shared
+        .metrics
+        .record_passes(output.report.passes.iter().map(|p| {
+            (
+                p.name.as_str(),
+                p.skipped,
+                u64::try_from(p.wall.as_nanos()).unwrap_or(u64::MAX),
+            )
+        }));
+    Ok(Arc::new(CachedResult {
+        json: output.to_json(),
+        result_hash: output.report.result_hash,
+    }))
+}

@@ -1,0 +1,157 @@
+//! The sharded design database: the service-wide compiler cache.
+//!
+//! A long-lived daemon accumulates compiled designs across every job it
+//! runs (the paper's design compilers "see if the requested design
+//! already exists in the database" before building). With one global
+//! lock, every job's merge-back would serialize; instead the store is
+//! split into N shards keyed by the FNV-1a hash of the design name, so
+//! concurrent workers merging disjoint name sets mostly touch disjoint
+//! locks.
+
+use milo_netlist::{fnv1a, DesignDb, FNV_OFFSET};
+use std::sync::Mutex;
+
+/// A design database split across independently locked shards.
+pub struct ShardedDb {
+    shards: Vec<Mutex<DesignDb>>,
+}
+
+impl ShardedDb {
+    /// Creates an empty store with `shards` shards (minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        Self {
+            shards: (0..n).map(|_| Mutex::new(DesignDb::new())).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a design name lives in.
+    pub fn shard_of(&self, name: &str) -> usize {
+        (fnv1a(FNV_OFFSET, name.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Assembles a single [`DesignDb`] snapshot of the whole store.
+    /// Designs are `Arc`-shared, so this copies name tables only — it
+    /// is how a worker seeds its `Milo` instance before a run.
+    pub fn snapshot(&self) -> DesignDb {
+        let mut out = DesignDb::new();
+        for shard in &self.shards {
+            let guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            out.merge_from(&guard);
+        }
+        out
+    }
+
+    /// Distributes every design of `db` into its home shard,
+    /// overwriting same-name entries (last write wins, as in
+    /// [`DesignDb::merge_from`]). Each shard is locked once, with only
+    /// that shard's group of entries in hand.
+    pub fn absorb(&self, db: &DesignDb) {
+        let n = self.shards.len();
+        let mut groups: Vec<Vec<(&str, &std::sync::Arc<milo_netlist::Netlist>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for (name, design) in db.entries() {
+            groups[self.shard_of(name)].push((name, design));
+        }
+        for (idx, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut guard = self.shards[idx].lock().unwrap_or_else(|e| e.into_inner());
+            for (name, design) in group {
+                guard.insert_shared(name, std::sync::Arc::clone(design));
+            }
+        }
+    }
+
+    /// Total number of stored designs across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the store holds no designs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard design counts (ops introspection: spot hot shards).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_netlist::Netlist;
+
+    #[test]
+    fn absorb_routes_by_name_hash_and_snapshot_reassembles() {
+        let store = ShardedDb::new(4);
+        let mut db = DesignDb::new();
+        for i in 0..32 {
+            db.insert(Netlist::new(format!("D{i}")));
+        }
+        store.absorb(&db);
+        assert_eq!(store.len(), 32);
+        // Every design landed in exactly its home shard.
+        let sizes = store.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 32);
+        assert!(
+            sizes.iter().filter(|&&s| s > 0).count() > 1,
+            "spread across shards"
+        );
+
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 32);
+        for i in 0..32 {
+            assert!(snap.contains(&format!("D{i}")), "D{i} survives round-trip");
+        }
+    }
+
+    #[test]
+    fn absorb_overwrites_same_name_entries() {
+        let store = ShardedDb::new(2);
+        let mut a = DesignDb::new();
+        let mut old = Netlist::new("X");
+        old.add_net("only_in_old");
+        a.insert(old);
+        store.absorb(&a);
+
+        let mut b = DesignDb::new();
+        let mut new = Netlist::new("X");
+        new.add_net("n0");
+        new.add_net("n1");
+        b.insert(new);
+        store.absorb(&b);
+
+        assert_eq!(store.len(), 1);
+        let snap = store.snapshot();
+        assert_eq!(
+            snap.get("X").map(|nl| nl.net_count()),
+            Some(2),
+            "last write wins"
+        );
+    }
+
+    #[test]
+    fn single_shard_still_works() {
+        let store = ShardedDb::new(0); // clamped to 1
+        assert_eq!(store.shard_count(), 1);
+        let mut db = DesignDb::new();
+        db.insert(Netlist::new("A"));
+        store.absorb(&db);
+        assert_eq!(store.snapshot().len(), 1);
+    }
+}

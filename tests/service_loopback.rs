@@ -1,0 +1,386 @@
+//! Loopback integration tests for the milo-serve daemon: the service's
+//! determinism contract (per-job results byte-identical to the offline
+//! batch driver), both cache tiers, fault isolation, cancellation, and
+//! protocol robustness — all over real TCP connections.
+
+use milo_circuits::{abadd, fig19, pipelined_datapath, random_control, random_logic};
+use milo_core::netlist::Netlist;
+use milo_core::{
+    emit_netlist, parse_netlist, Constraints, FaultInjector, FaultKind, FaultSpec, Milo,
+};
+use milo_serve::{spawn, Client, ServerConfig, Value};
+use milo_techmap::ecl_library;
+use std::sync::Arc;
+
+/// A design's wire text, plus the same design as the offline driver
+/// will see it (the wire round-trip renames nets, so offline runs must
+/// consume the parsed form, not the original).
+fn wire(nl: &Netlist) -> (String, Netlist) {
+    let text = emit_netlist(nl).expect("benchmark circuits emit cleanly");
+    let parsed = parse_netlist(&text).expect("emitted text parses back");
+    (text, parsed)
+}
+
+/// The offline ground truth: `synthesize_batch_results` over the
+/// parsed designs, rendered to the same deterministic JSON the server
+/// splices into responses.
+fn offline_results(designs: &[Netlist], constraints: &Constraints) -> Vec<String> {
+    let mut milo = Milo::new(ecl_library());
+    milo.synthesize_batch_results(designs, constraints)
+        .into_iter()
+        .map(|r| r.expect("offline synthesis succeeds").to_json())
+        .collect()
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key).and_then(Value::as_str).unwrap_or("<missing>")
+}
+
+fn stat_u64(stats: &Value, path: &[&str]) -> u64 {
+    let mut v = stats;
+    for key in path {
+        v = v.get(key).unwrap_or(&Value::Null);
+    }
+    v.as_u64().unwrap_or(u64::MAX)
+}
+
+#[test]
+fn concurrent_jobs_byte_match_the_offline_batch() {
+    let originals = [
+        fig19::circuit3(),
+        abadd(),
+        random_logic(80, 16, 7),
+        pipelined_datapath(2, 4, 3),
+        random_control(60, 8, 5),
+    ];
+    let constraints = Constraints::none().with_max_delay(6.0);
+    let pairs: Vec<(String, Netlist)> = originals.iter().map(wire).collect();
+    let parsed: Vec<Netlist> = pairs.iter().map(|(_, nl)| nl.clone()).collect();
+    let expected = offline_results(&parsed, &constraints);
+
+    let handle = spawn(
+        ServerConfig::new(ecl_library())
+            .with_workers(3)
+            .with_shards(4),
+    )
+    .expect("server binds");
+    let addr = handle.addr();
+
+    // One connection per job, all submitting at once: arrival order and
+    // worker interleaving must not leak into the results.
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let threads: Vec<_> = pairs
+            .iter()
+            .map(|(text, _)| {
+                let constraints = constraints.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connects");
+                    let job = client.submit(text, &constraints, false).expect("submits");
+                    client.result_raw(job).expect("gets a result")
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("no panic"))
+            .collect()
+    });
+
+    for (i, (raw, want)) in responses.iter().zip(&expected).enumerate() {
+        let v = milo_serve::parse_json(raw).expect("response parses");
+        assert_eq!(get_str(&v, "state"), "done", "job {i}: {raw}");
+        assert_eq!(get_str(&v, "cache"), "miss", "job {i} was a first run");
+        assert!(
+            raw.contains(want.as_str()),
+            "job {i} ({}): served result is not byte-identical to the offline batch",
+            parsed[i].name
+        );
+    }
+
+    // Identical resubmission from a fresh connection: exact-tier hit,
+    // same bytes.
+    let mut client = Client::connect(addr).expect("connects");
+    let job = client
+        .submit(&pairs[0].0, &constraints, false)
+        .expect("resubmits");
+    let raw = client.result_raw(job).expect("gets cached result");
+    let v = milo_serve::parse_json(&raw).expect("response parses");
+    assert_eq!(get_str(&v, "cache"), "hit");
+    assert!(
+        raw.contains(expected[0].as_str()),
+        "cache replays the same bytes"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stat_u64(&stats, &["jobs", "done"]), 6);
+    assert_eq!(stat_u64(&stats, &["cache", "hits"]), 1);
+    assert_eq!(stat_u64(&stats, &["cache", "misses"]), 5);
+    assert_eq!(stat_u64(&stats, &["jobs", "failed"]), 0);
+}
+
+#[test]
+fn near_miss_resumes_from_the_first_dirty_pass() {
+    let (text, parsed) = wire(&fig19::circuit3());
+    let loose = Constraints::none().with_max_delay(6.0);
+    // Same tightest delay, different area budget: structurally the same
+    // job up to `fanout-repair`, dirty only from `timing-area` on.
+    let with_area = Constraints::none().with_max_delay(6.0).with_max_area(500.0);
+    let expected = offline_results(std::slice::from_ref(&parsed), &with_area);
+
+    let handle = spawn(ServerConfig::new(ecl_library()).with_workers(1)).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    let first = client.submit(&text, &loose, false).expect("submits");
+    let raw = client.result_raw(first).expect("first result");
+    assert_eq!(
+        get_str(&milo_serve::parse_json(&raw).expect("parses"), "cache"),
+        "miss"
+    );
+    let stats = client.stats().expect("stats");
+    let compile_runs = stat_u64(&stats, &["passes", "compile", "runs"]);
+    assert_eq!(compile_runs, 1, "full run executed the compile pass");
+
+    let second = client.submit(&text, &with_area, false).expect("resubmits");
+    let raw = client.result_raw(second).expect("second result");
+    let v = milo_serve::parse_json(&raw).expect("parses");
+    assert_eq!(get_str(&v, "state"), "done");
+    assert_eq!(
+        get_str(&v, "cache"),
+        "prefix-hit",
+        "area-only change must reuse the constraint-blind prefix"
+    );
+    assert!(
+        raw.contains(expected[0].as_str()),
+        "resumed run is byte-identical to a full offline run under the new constraints"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stat_u64(&stats, &["passes", "compile", "runs"]),
+        1,
+        "prefix resume must not re-run compile"
+    );
+    assert_eq!(
+        stat_u64(&stats, &["passes", "timing-area", "runs"]),
+        2,
+        "the dirty pass runs again"
+    );
+    assert_eq!(stat_u64(&stats, &["cache", "prefix_hits"]), 1);
+}
+
+#[test]
+fn injected_panic_fails_one_job_and_leaves_the_service_healthy() {
+    let victim = random_control(40, 8, 11); // named ctrl40_11
+    let (victim_text, _) = wire(&victim);
+    let siblings = [fig19::circuit3(), abadd()];
+    let constraints = Constraints::none().with_max_delay(6.0);
+    let pairs: Vec<(String, Netlist)> = siblings.iter().map(wire).collect();
+    let parsed: Vec<Netlist> = pairs.iter().map(|(_, nl)| nl.clone()).collect();
+    let expected = offline_results(&parsed, &constraints);
+
+    // `repeated(MAX)` defeats the worker's one-retry-on-panic, so the
+    // victim genuinely fails instead of recovering.
+    let injector = Arc::new(FaultInjector::new(vec![FaultSpec::once(
+        FaultKind::Panic,
+        "timing-area",
+        victim.name.clone(),
+    )
+    .repeated(u32::MAX)]));
+    let handle = spawn(
+        ServerConfig::new(ecl_library())
+            .with_workers(2)
+            .with_fault_injector(injector),
+    )
+    .expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    let victim_job = client
+        .submit(&victim_text, &constraints, false)
+        .expect("submits victim");
+    let sibling_jobs: Vec<u64> = pairs
+        .iter()
+        .map(|(text, _)| {
+            client
+                .submit(text, &constraints, false)
+                .expect("submits sibling")
+        })
+        .collect();
+
+    let raw = client.result_raw(victim_job).expect("victim result");
+    let v = milo_serve::parse_json(&raw).expect("parses");
+    assert_eq!(get_str(&v, "state"), "failed", "victim fails: {raw}");
+    assert!(
+        get_str(&v, "error").contains("panicked"),
+        "failure surfaces the panic: {raw}"
+    );
+
+    for (i, job) in sibling_jobs.iter().enumerate() {
+        let raw = client.result_raw(*job).expect("sibling result");
+        let v = milo_serve::parse_json(&raw).expect("parses");
+        assert_eq!(get_str(&v, "state"), "done", "sibling {i} unharmed");
+        assert!(
+            raw.contains(expected[i].as_str()),
+            "sibling {i} still byte-matches the offline batch"
+        );
+    }
+
+    // The server keeps serving: stats respond, and a fresh submission
+    // of an already-seen design comes straight from the cache.
+    let stats = client.stats().expect("stats after failure");
+    assert_eq!(stat_u64(&stats, &["jobs", "failed"]), 1);
+    assert_eq!(stat_u64(&stats, &["jobs", "done"]), 2);
+    let again = client
+        .submit(&pairs[0].0, &constraints, false)
+        .expect("still accepting");
+    let raw = client.result_raw(again).expect("still answering");
+    assert_eq!(
+        get_str(&milo_serve::parse_json(&raw).expect("parses"), "cache"),
+        "hit"
+    );
+}
+
+#[test]
+fn cancellation_and_protocol_robustness() {
+    let handle = spawn(ServerConfig::new(ecl_library()).with_workers(1)).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    // Garbage and bad requests get error lines, not a dropped
+    // connection.
+    assert!(client.request("this is not json").is_err());
+    assert!(client
+        .request("{\"op\": \"status\", \"job\": 999}")
+        .is_err());
+    assert!(client
+        .request("{\"op\": \"submit\", \"design\": \"design x\\nbogus\"}")
+        .is_err());
+    assert!(
+        client.stats().is_ok(),
+        "connection survives protocol errors"
+    );
+
+    // With one worker, a long first job keeps the second queued long
+    // enough to cancel deterministically.
+    let (big, _) = wire(&random_control(300, 12, 3));
+    let (small, _) = wire(&fig19::circuit3());
+    let none = Constraints::none();
+    let first = client.submit(&big, &none, false).expect("submits big job");
+    let second = client
+        .submit(&small, &none, false)
+        .expect("submits queued job");
+    let cancelled = client.cancel(second).expect("cancel responds");
+    if cancelled {
+        // The atomic cancel contract: `true` means the job ends
+        // cancelled, never done.
+        let raw = client.result_raw(second).expect("result after cancel");
+        let v = milo_serve::parse_json(&raw).expect("parses");
+        assert_eq!(get_str(&v, "state"), "cancelled");
+    }
+    let raw = client.result_raw(first).expect("big job result");
+    let v = milo_serve::parse_json(&raw).expect("parses");
+    assert_eq!(
+        get_str(&v, "state"),
+        "done",
+        "running job unaffected by cancel"
+    );
+
+    // Cancelling a finished job is a polite no-op.
+    assert!(!client.cancel(first).expect("cancel responds"));
+}
+
+#[test]
+fn streamed_events_narrate_the_flow() {
+    let (text, _) = wire(&fig19::circuit3());
+    let handle = spawn(ServerConfig::new(ecl_library()).with_workers(1)).expect("server binds");
+    let mut client = Client::connect(handle.addr()).expect("connects");
+
+    let job = client
+        .submit(&text, &Constraints::none().with_max_delay(6.0), true)
+        .expect("submits streaming job");
+    let raw = client.result_raw(job).expect("result");
+    assert!(raw.contains("\"state\": \"done\""));
+
+    let events = client.take_events();
+    assert!(!events.is_empty(), "streaming job emitted events");
+    let kinds: Vec<&str> = events.iter().map(|e| get_str(e, "event")).collect();
+    assert!(kinds.contains(&"flow-started"), "events: {kinds:?}");
+    assert!(kinds.contains(&"pass-finished"), "events: {kinds:?}");
+    let passes: Vec<&str> = events
+        .iter()
+        .filter(|e| get_str(e, "event") == "pass-finished")
+        .map(|e| get_str(e, "pass"))
+        .collect();
+    assert!(
+        passes.contains(&"compile"),
+        "saw the paper passes: {passes:?}"
+    );
+    assert!(
+        passes.contains(&"timing-area"),
+        "saw the paper passes: {passes:?}"
+    );
+    for e in &events {
+        assert_eq!(
+            e.get("job").and_then(Value::as_u64),
+            Some(job),
+            "events carry the job id"
+        );
+    }
+
+    // A cache-hit resubmission runs no flow, so it streams nothing.
+    let again = client
+        .submit(&text, &Constraints::none().with_max_delay(6.0), true)
+        .expect("resubmits");
+    let raw = client.result_raw(again).expect("cached result");
+    assert!(raw.contains("\"cache\": \"hit\""));
+    assert!(client.take_events().is_empty(), "cache hits are silent");
+}
+
+/// Satellite (a): the hardened `json_string` escaping round-trips
+/// through the service's strict parser — including the characters the
+/// old escaper passed through raw (DEL, U+2028/U+2029) that would
+/// break JSON-lines framing.
+#[test]
+fn report_json_round_trips_through_the_service_parser() {
+    use milo_core::{json_string, FlowReport, PassReport};
+    use std::time::Duration;
+
+    let nasty = "quote\" slash\\ newline\n cr\r tab\t nul\u{0} del\u{7f} ls\u{2028} ps\u{2029} é😀";
+    let escaped = json_string(nasty);
+    assert!(
+        !escaped.contains(['\n', '\r', '\u{2028}', '\u{2029}']),
+        "no raw line terminators survive escaping: {escaped:?}"
+    );
+    let back = milo_serve::parse_json(&escaped).expect("escaped string parses");
+    assert_eq!(back.as_str(), Some(nasty), "lossless round-trip");
+
+    let report = FlowReport {
+        design: nasty.to_owned(),
+        passes: vec![PassReport {
+            name: "weird\u{2028}pass".to_owned(),
+            error: Some("failed: \"deep\"\nreason\u{7f}".to_owned()),
+            note: nasty.to_owned(),
+            ..PassReport::default()
+        }],
+        degraded: true,
+        result_hash: Some(0xdead_beef_cafe_f00d),
+        total_wall: Duration::from_nanos(1234),
+    };
+    let json = report.to_json();
+    assert_eq!(json.lines().count(), 1, "a report is always one JSON line");
+    let v = milo_serve::parse_json(&json).expect("report json parses strictly");
+    assert_eq!(v.get("design").and_then(Value::as_str), Some(nasty));
+    assert_eq!(
+        v.get("structural_hash").and_then(Value::as_str),
+        Some("0xdeadbeefcafef00d"),
+        "fingerprints travel as hex strings"
+    );
+    let pass = v
+        .get("passes")
+        .and_then(Value::as_array)
+        .and_then(<[Value]>::first)
+        .expect("one pass");
+    assert_eq!(
+        pass.get("name").and_then(Value::as_str),
+        Some("weird\u{2028}pass")
+    );
+    assert_eq!(pass.get("note").and_then(Value::as_str), Some(nasty));
+}
