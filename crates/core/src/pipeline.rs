@@ -9,7 +9,7 @@
 
 use crate::constraints::Constraints;
 use crate::fault::FaultInjector;
-use crate::flow::{json_f64, json_string, Flow};
+use crate::flow::{json_f64, json_string, Flow, FlowOutput};
 use milo_compilers::expand_micro_components;
 use milo_microarch::{CriticReport, FeedbackError};
 use milo_netlist::{DesignDb, Netlist, Violation};
@@ -479,14 +479,14 @@ impl Milo {
         // Fail atomically: surface the first error (input order) before
         // merging anything, so a failed batch leaves the database
         // untouched.
-        let mut completed: Vec<(SynthesisResult, DesignDb)> = Vec::with_capacity(designs.len());
+        let mut completed: Vec<(FlowOutput, DesignDb)> = Vec::with_capacity(designs.len());
         for run in runs {
             completed.push(run?);
         }
         let mut results = Vec::with_capacity(completed.len());
-        for (result, db) in completed {
+        for (output, db) in completed {
             self.db.merge_from(&db);
-            results.push(result);
+            results.push(output.result);
         }
         Ok(results)
     }
@@ -510,9 +510,33 @@ impl Milo {
         self.batch_inner(designs, constraints)
             .into_iter()
             .map(|run| {
-                run.map(|(result, db)| {
+                run.map(|(output, db)| {
                     self.db.merge_from(&db);
-                    result
+                    output.result
+                })
+            })
+            .collect()
+    }
+
+    /// [`Milo::synthesize_batch_results`], keeping each healthy arm's
+    /// full [`FlowOutput`] (synthesis result *and* flow report) instead
+    /// of just the result. Per-design merge and retry semantics are
+    /// identical — both methods are thin maps over the same batch
+    /// driver, so the `SynthesisResult` bytes cannot diverge. This is
+    /// what `milo-serve` answers `submit_batch` requests through: the
+    /// service splices `FlowOutput::to_json` into every job response,
+    /// batch or not.
+    pub fn synthesize_batch_outputs(
+        &mut self,
+        designs: &[Netlist],
+        constraints: &Constraints,
+    ) -> Vec<Result<FlowOutput, MiloError>> {
+        self.batch_inner(designs, constraints)
+            .into_iter()
+            .map(|run| {
+                run.map(|(output, db)| {
+                    self.db.merge_from(&db);
+                    output
                 })
             })
             .collect()
@@ -526,7 +550,7 @@ impl Milo {
         &mut self,
         designs: &[Netlist],
         constraints: &Constraints,
-    ) -> Vec<Result<(SynthesisResult, DesignDb), MiloError>> {
+    ) -> Vec<Result<(FlowOutput, DesignDb), MiloError>> {
         let lib = self.lib.clone();
         let snapshot = self.db.clone();
         // Resolve the injector once: all arms AND retries share it, so
@@ -536,7 +560,7 @@ impl Milo {
             .fault
             .clone()
             .or_else(|| FaultInjector::from_env().map(Arc::new));
-        let arm_run = |nl: &Netlist| -> Result<(SynthesisResult, DesignDb), MiloError> {
+        let arm_run = |nl: &Netlist| -> Result<(FlowOutput, DesignDb), MiloError> {
             let mut arm = Milo {
                 lib: lib.clone(),
                 db: snapshot.clone(),
@@ -548,7 +572,7 @@ impl Milo {
                 flow.inject_faults(f.clone());
             }
             let out = flow.run(&mut arm, nl, constraints)?;
-            Ok((out.result, arm.db))
+            Ok((out, arm.db))
         };
         let arm_panicked =
             |nl: &Netlist, p: milo_par::Panic, recovery: RecoveryAction| MiloError::PassPanicked {
@@ -557,7 +581,7 @@ impl Milo {
                 payload: p.message(),
                 recovery,
             };
-        let mut runs: Vec<Result<(SynthesisResult, DesignDb), MiloError>> =
+        let mut runs: Vec<Result<(FlowOutput, DesignDb), MiloError>> =
             milo_par::try_par_map(designs, arm_run)
                 .into_iter()
                 .zip(designs)

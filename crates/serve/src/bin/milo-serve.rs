@@ -1,8 +1,15 @@
 //! The `milo-serve` daemon binary.
 //!
 //! ```text
-//! milo-serve [--addr HOST:PORT] [--workers N] [--shards N] [--smoke]
+//! milo-serve [--addr HOST:PORT] [--workers N] [--shards N]
+//!            [--cache-bytes SIZE] [--cache-dir DIR] [--smoke]
 //! ```
+//!
+//! `--cache-bytes` bounds the in-memory result cache (suffixes `k`,
+//! `m`, `g` accepted, e.g. `--cache-bytes 64m`); `--cache-dir` spills
+//! evicted and committed exact-tier results to disk and warm-starts
+//! from it on the next boot. Both also read the environment
+//! (`MILO_SERVE_CACHE_BYTES`, `MILO_SERVE_CACHE_DIR`); flags win.
 //!
 //! Without `--smoke`, binds (default `MILO_SERVE_ADDR`, else
 //! `127.0.0.1:7171`), prints the bound address, and serves until a
@@ -13,9 +20,23 @@
 //! self-check.
 
 use milo_core::Constraints;
-use milo_serve::{spawn, Client, ServerConfig, Value};
+use milo_serve::{spawn, Client, ServerConfig, SubmitOptions, Value};
 use milo_techmap::ecl_library;
 use std::process::ExitCode;
+
+/// Parses a byte size with an optional `k`/`m`/`g` suffix (powers of
+/// 1024, case-insensitive).
+fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, shift) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 10u32),
+        'm' | 'M' => (&s[..s.len() - 1], 20),
+        'g' | 'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n = digits.parse::<usize>().ok()?;
+    n.checked_shl(shift)
+}
 
 fn main() -> ExitCode {
     let mut config = ServerConfig::new(ecl_library());
@@ -39,6 +60,14 @@ fn main() -> ExitCode {
             "--shards" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n > 0 => config = config.with_shards(n),
                 _ => return usage("--shards needs a positive integer"),
+            },
+            "--cache-bytes" => match args.next().as_deref().and_then(parse_bytes) {
+                Some(n) => config = config.with_cache_bytes(n),
+                None => return usage("--cache-bytes needs a size like 1048576, 64m, or 1g"),
+            },
+            "--cache-dir" => match args.next() {
+                Some(dir) => config = config.with_cache_dir(dir),
+                None => return usage("--cache-dir needs a directory path"),
             },
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument {other:?}")),
@@ -82,7 +111,10 @@ fn usage(error: &str) -> ExitCode {
     if !error.is_empty() {
         eprintln!("milo-serve: {error}");
     }
-    eprintln!("usage: milo-serve [--addr HOST:PORT] [--workers N] [--shards N] [--smoke]");
+    eprintln!(
+        "usage: milo-serve [--addr HOST:PORT] [--workers N] [--shards N] \
+         [--cache-bytes SIZE] [--cache-dir DIR] [--smoke]"
+    );
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {
@@ -101,7 +133,7 @@ fn run_smoke(config: ServerConfig) -> Result<(), String> {
     let constraints = Constraints::none().with_max_delay(6.0);
 
     let first = client
-        .submit(design, &constraints, true)
+        .submit_with(design, &constraints, &SubmitOptions::new().stream(true))
         .map_err(|e| format!("submit: {e}"))?;
     let reply = client.result(first).map_err(|e| format!("result: {e}"))?;
     expect_str(&reply, "state", "done")?;
@@ -121,7 +153,7 @@ fn run_smoke(config: ServerConfig) -> Result<(), String> {
 
     // Identical resubmission: must be answered from the exact tier.
     let second = client
-        .submit(design, &constraints, false)
+        .submit_with(design, &constraints, &SubmitOptions::new())
         .map_err(|e| format!("resubmit: {e}"))?;
     let reply = client.result(second).map_err(|e| format!("result2: {e}"))?;
     expect_str(&reply, "state", "done")?;

@@ -21,15 +21,34 @@
 //!   the first constraint-dirty pass, plus the (always identical)
 //!   driver epilogue.
 //!
+//! # Bounded memory
+//!
+//! Both tiers live under one byte budget ([`ResultCache::bounded`]).
+//! Every entry is size-accounted — exact entries by their stored
+//! response bytes (which is their real footprint), prefix snapshots by
+//! an estimated netlist+artifact footprint — and when the combined
+//! resident total exceeds the budget, the globally least-recently-used
+//! entry is evicted, regardless of tier. Eviction never changes
+//! response bytes: an evicted exact entry replays from disk (when a
+//! [`DiskCache`] is attached) or re-runs the flow, and determinism
+//! makes both byte-identical to the original; an evicted prefix
+//! snapshot only costs re-running the constraint-blind prefix.
+//!
+//! Exact entries are written through to the disk tier on store, so
+//! eviction from memory is a pure drop — the spill already happened,
+//! on the non-latency-critical store path.
+//!
 //! Byte-identity: the resumed flow reconstructs exactly the
 //! `FlowContext` a full run would have at the same point, and the
 //! epilogue is shared, so the `SynthesisResult` JSON is byte-identical
 //! to an offline `synthesize_batch_results` run — the contract the
 //! loopback tests pin.
 
+use crate::disk::DiskCache;
 use milo_core::netlist::{fnv1a, structural_hash, DesignDb, Netlist};
 use milo_core::{Constraints, FlowContext, MiloError, Pass, PassReport};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Exact-tier cache key: structure ⊕ full constraint rendering.
@@ -77,10 +96,122 @@ pub struct PrefixSnapshot {
     buffers_inserted: usize,
 }
 
-/// The two cache tiers behind one lock each.
+/// Fixed bookkeeping charged per cache entry on top of its payload.
+const ENTRY_OVERHEAD: usize = 64;
+
+impl PrefixSnapshot {
+    /// Estimated resident footprint in bytes. A deliberate estimate,
+    /// not a measurement: netlists are slot-counted at a conservative
+    /// per-slot cost, and the `Arc`-shared database snapshot is charged
+    /// shallowly (name-table entries only — the designs themselves are
+    /// shared with the live store, so charging them here would bill the
+    /// same bytes twice). What matters for the budget is that the
+    /// estimate is deterministic and scales with the real footprint.
+    pub fn estimated_bytes(&self) -> usize {
+        let netlist = 256
+            + self.work.net_slot_count() * 96
+            + self.work.component_slot_count() * 128
+            + self.work.ports().len() * 48;
+        let artifacts = self.levels.len() * 64
+            + if self.critic.is_some() { 256 } else { 0 }
+            + self.db.len() * 48;
+        ENTRY_OVERHEAD + netlist + artifacts
+    }
+}
+
+/// Which tier answered an exact-cache lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitTier {
+    /// Served from resident memory.
+    Memory,
+    /// Memory-evicted (or never resident this boot); replayed from the
+    /// disk store and re-promoted into memory.
+    Disk,
+}
+
+/// One resident entry of either tier.
+struct Slot<T> {
+    val: Arc<T>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Identifies which tier an LRU victim belongs to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Exact,
+    Prefix,
+}
+
+/// Everything that moves together under the cache lock: both tier
+/// maps, their recency orders, and the byte accounting. A single lock
+/// (rather than the old one-per-tier) is what makes *global* LRU —
+/// evict the coldest entry of either tier — race-free.
+struct Inner {
+    exact: HashMap<u64, Slot<CachedResult>>,
+    prefix: HashMap<u64, Slot<PrefixSnapshot>>,
+    /// tick → key, oldest first. Ticks are unique, so this is a exact
+    /// recency order.
+    exact_lru: BTreeMap<u64, u64>,
+    prefix_lru: BTreeMap<u64, u64>,
+    tick: u64,
+    resident: usize,
+}
+
+impl Inner {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// The globally least-recently-used entry across both tiers.
+    fn coldest(&self) -> Option<(Tier, u64, u64)> {
+        let exact = self
+            .exact_lru
+            .first_key_value()
+            .map(|(&t, &k)| (Tier::Exact, t, k));
+        let prefix = self
+            .prefix_lru
+            .first_key_value()
+            .map(|(&t, &k)| (Tier::Prefix, t, k));
+        match (exact, prefix) {
+            (Some(e), Some(p)) => Some(if e.1 <= p.1 { e } else { p }),
+            (e, p) => e.or(p),
+        }
+    }
+}
+
+/// The two cache tiers behind one lock, with optional byte budget and
+/// disk spill.
 pub struct ResultCache {
-    exact: Mutex<HashMap<u64, Arc<CachedResult>>>,
-    prefix: Mutex<HashMap<u64, Arc<PrefixSnapshot>>>,
+    inner: Mutex<Inner>,
+    /// `usize::MAX` means unbounded (the pre-v1.1 behavior).
+    budget: usize,
+    disk: Option<DiskCache>,
+    evictions: AtomicU64,
+    spilled: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache's storage counters — what the
+/// `stats` response reports under `"cache"` (alongside the outcome
+/// counters the server's `Metrics` tracks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Bytes resident in memory across both tiers (size-accounted).
+    pub resident_bytes: usize,
+    /// Exact-tier entries resident in memory.
+    pub exact_entries: usize,
+    /// Prefix-tier entries resident in memory.
+    pub prefix_entries: usize,
+    /// Distinct keys in the disk store (0 without `--cache-dir`).
+    pub disk_entries: usize,
+    /// Entries dropped from memory by the LRU budget, either tier.
+    pub evictions: u64,
+    /// Records written to the disk store.
+    pub spilled: u64,
+    /// Exact lookups served from disk after a memory miss.
+    pub disk_hits: u64,
 }
 
 impl Default for ResultCache {
@@ -90,56 +221,186 @@ impl Default for ResultCache {
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An unbounded, memory-only cache.
     pub fn new() -> Self {
+        Self::bounded(None, None)
+    }
+
+    /// A cache with an optional byte `budget` (both tiers combined;
+    /// `None` = unbounded) and an optional disk store for the exact
+    /// tier.
+    pub fn bounded(budget: Option<usize>, disk: Option<DiskCache>) -> Self {
         Self {
-            exact: Mutex::new(HashMap::new()),
-            prefix: Mutex::new(HashMap::new()),
+            inner: Mutex::new(Inner {
+                exact: HashMap::new(),
+                prefix: HashMap::new(),
+                exact_lru: BTreeMap::new(),
+                prefix_lru: BTreeMap::new(),
+                tick: 0,
+                resident: 0,
+            }),
+            budget: budget.unwrap_or(usize::MAX),
+            disk,
+            evictions: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
         }
     }
 
-    /// Exact-tier lookup.
-    pub fn lookup(&self, key: u64) -> Option<Arc<CachedResult>> {
-        self.exact
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
-            .cloned()
+    /// The disk store, when one is attached.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
     }
 
-    /// Stores a finished job's payload under its exact key.
+    /// Exact-tier lookup: memory first, then the disk store. A disk
+    /// hit is re-promoted into memory (and may evict colder entries to
+    /// make room).
+    pub fn lookup(&self, key: u64) -> Option<(Arc<CachedResult>, HitTier)> {
+        {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(slot) = inner.exact.get(&key) {
+                let (old, val) = (slot.tick, slot.val.clone());
+                let fresh = inner.next_tick();
+                inner.exact_lru.remove(&old);
+                inner.exact_lru.insert(fresh, key);
+                if let Some(slot) = inner.exact.get_mut(&key) {
+                    slot.tick = fresh;
+                }
+                return Some((val, HitTier::Memory));
+            }
+        }
+        // Memory miss: probe the disk tier without holding the memory
+        // lock across the read.
+        let payload = Arc::new(self.disk.as_ref()?.get(key)?);
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.insert_exact(key, payload.clone(), false);
+        Some((payload, HitTier::Disk))
+    }
+
+    /// Stores a finished job's payload under its exact key, writing
+    /// through to the disk store when one is attached.
     pub fn store(&self, key: u64, payload: Arc<CachedResult>) {
-        self.exact
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, payload);
+        self.insert_exact(key, payload, true);
+    }
+
+    fn insert_exact(&self, key: u64, payload: Arc<CachedResult>, spill: bool) {
+        if spill {
+            if let Some(disk) = &self.disk {
+                if disk.append(key, &payload) {
+                    self.spilled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let bytes = ENTRY_OVERHEAD + payload.json.len();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let tick = inner.next_tick();
+        if let Some(old) = inner.exact.insert(
+            key,
+            Slot {
+                val: payload,
+                bytes,
+                tick,
+            },
+        ) {
+            // Racing stores of the same key carry identical bytes;
+            // only the accounting needs reconciling.
+            inner.exact_lru.remove(&old.tick);
+            inner.resident -= old.bytes;
+        }
+        inner.exact_lru.insert(tick, key);
+        inner.resident += bytes;
+        self.enforce_budget(&mut inner);
     }
 
     /// Prefix-tier lookup.
     pub fn lookup_prefix(&self, key: u64) -> Option<Arc<PrefixSnapshot>> {
-        self.prefix
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
-            .cloned()
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = inner.prefix.get(&key)?;
+        let (old, val) = (slot.tick, slot.val.clone());
+        let fresh = inner.next_tick();
+        inner.prefix_lru.remove(&old);
+        inner.prefix_lru.insert(fresh, key);
+        if let Some(slot) = inner.prefix.get_mut(&key) {
+            slot.tick = fresh;
+        }
+        Some(val)
     }
 
     /// Stores a prefix snapshot (first writer wins — all writers for a
     /// key hold equivalent state, so there is nothing to prefer).
     pub fn store_prefix(&self, key: u64, snap: Arc<PrefixSnapshot>) {
-        self.prefix
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .entry(key)
-            .or_insert(snap);
+        let bytes = snap.estimated_bytes();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.prefix.contains_key(&key) {
+            return;
+        }
+        let tick = inner.next_tick();
+        inner.prefix.insert(
+            key,
+            Slot {
+                val: snap,
+                bytes,
+                tick,
+            },
+        );
+        inner.prefix_lru.insert(tick, key);
+        inner.resident += bytes;
+        self.enforce_budget(&mut inner);
     }
 
-    /// (exact entries, prefix entries) — for the stats report.
+    /// Evicts globally-coldest entries until the resident total fits
+    /// the budget (or nothing is left — a single over-budget entry is
+    /// stored, served once, and immediately dropped).
+    fn enforce_budget(&self, inner: &mut Inner) {
+        while inner.resident > self.budget {
+            let Some((tier, tick, key)) = inner.coldest() else {
+                break;
+            };
+            let freed = match tier {
+                Tier::Exact => {
+                    inner.exact_lru.remove(&tick);
+                    inner.exact.remove(&key).map_or(0, |s| s.bytes)
+                }
+                Tier::Prefix => {
+                    inner.prefix_lru.remove(&tick);
+                    inner.prefix.remove(&key).map_or(0, |s| s.bytes)
+                }
+            };
+            inner.resident -= freed;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// (exact entries, prefix entries) resident in memory — for the
+    /// stats report.
     pub fn sizes(&self) -> (usize, usize) {
-        (
-            self.exact.lock().unwrap_or_else(|e| e.into_inner()).len(),
-            self.prefix.lock().unwrap_or_else(|e| e.into_inner()).len(),
-        )
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (inner.exact.len(), inner.prefix.len())
+    }
+
+    /// Bytes currently resident in memory across both tiers.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resident
+    }
+
+    /// Snapshot of every storage counter, for `stats`.
+    pub fn stats(&self) -> CacheStats {
+        let (resident, exact_entries, prefix_entries) = {
+            let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            (inner.resident, inner.exact.len(), inner.prefix.len())
+        };
+        CacheStats {
+            resident_bytes: resident,
+            exact_entries,
+            prefix_entries,
+            disk_entries: self.disk.as_ref().map_or(0, DiskCache::len),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            spilled: self.spilled.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -224,6 +485,25 @@ mod tests {
         nl
     }
 
+    fn payload(json: &str) -> Arc<CachedResult> {
+        Arc::new(CachedResult {
+            json: json.to_owned(),
+            result_hash: Some(7),
+        })
+    }
+
+    fn snapshot(nets: usize) -> Arc<PrefixSnapshot> {
+        Arc::new(PrefixSnapshot {
+            work: toy("snap", nets),
+            db: DesignDb::new(),
+            top_name: None,
+            mapped: false,
+            critic: None,
+            levels: Vec::new(),
+            buffers_inserted: 0,
+        })
+    }
+
     /// The regression the exact key exists for: identical structure,
     /// different constraints, distinct keys. Before constraints were
     /// folded in, these aliased and a cached answer for one delay
@@ -279,14 +559,104 @@ mod tests {
     fn cache_tiers_store_and_return() {
         let cache = ResultCache::new();
         assert!(cache.lookup(1).is_none());
-        cache.store(
-            1,
-            Arc::new(CachedResult {
-                json: "{}".into(),
-                result_hash: Some(7),
-            }),
-        );
-        assert_eq!(cache.lookup(1).map(|r| r.result_hash), Some(Some(7)));
+        cache.store(1, payload("{}"));
+        let (got, tier) = cache.lookup(1).expect("stored entry returns");
+        assert_eq!(got.result_hash, Some(7));
+        assert_eq!(tier, HitTier::Memory);
         assert_eq!(cache.sizes(), (1, 0));
+        assert!(cache.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        // Each entry costs ENTRY_OVERHEAD + 100 bytes; budget fits two.
+        let body = "x".repeat(100);
+        let cache = ResultCache::bounded(Some(2 * (ENTRY_OVERHEAD + 100)), None);
+        cache.store(1, payload(&body));
+        cache.store(2, payload(&body));
+        assert_eq!(cache.sizes().0, 2);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.lookup(1).is_some());
+        cache.store(3, payload(&body));
+        assert!(cache.lookup(2).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(1).is_some(), "recently-touched survives");
+        assert!(cache.lookup(3).is_some(), "newest survives");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.resident_bytes <= 2 * (ENTRY_OVERHEAD + 100));
+    }
+
+    #[test]
+    fn budget_spans_both_tiers() {
+        // A large prefix snapshot and a budget that can't also hold two
+        // exact entries: storing exacts must push the cold snapshot out.
+        let snap = snapshot(64);
+        let snap_bytes = snap.estimated_bytes();
+        let body = "y".repeat(200);
+        let cache = ResultCache::bounded(Some(snap_bytes + 2 * (ENTRY_OVERHEAD + 200)), None);
+        cache.store_prefix(9, snap);
+        cache.store(1, payload(&body));
+        cache.store(2, payload(&body));
+        assert_eq!(cache.sizes(), (2, 1), "everything fits so far");
+        cache.store(3, payload(&body));
+        let stats = cache.stats();
+        assert!(stats.evictions >= 1);
+        assert_eq!(
+            cache.sizes().1,
+            0,
+            "the cold prefix snapshot was the global LRU victim"
+        );
+        assert!(cache.lookup(3).is_some());
+    }
+
+    #[test]
+    fn zero_budget_keeps_nothing_resident_but_disk_still_serves() {
+        let dir = std::env::temp_dir().join(format!(
+            "milo-serve-cache-zero-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = DiskCache::open(&dir).expect("disk opens");
+        let cache = ResultCache::bounded(Some(0), Some(disk));
+        cache.store(5, payload("{\"z\": 0}"));
+        assert_eq!(cache.sizes(), (0, 0), "nothing stays resident");
+        let (got, tier) = cache.lookup(5).expect("disk replays");
+        assert_eq!(got.json, "{\"z\": 0}");
+        assert_eq!(tier, HitTier::Disk);
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.spilled, 1);
+        assert!(stats.evictions >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_write_through_and_promotion() {
+        let dir = std::env::temp_dir().join(format!(
+            "milo-serve-cache-wt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = DiskCache::open(&dir).expect("disk opens");
+        let body = "w".repeat(50);
+        let cache = ResultCache::bounded(Some(ENTRY_OVERHEAD + 50), Some(disk));
+        cache.store(1, payload(&body));
+        cache.store(2, payload(&body)); // evicts 1 from memory
+        assert_eq!(cache.stats().spilled, 2, "write-through spills on store");
+        let (got, tier) = cache.lookup(1).expect("evicted entry replays from disk");
+        assert_eq!(tier, HitTier::Disk);
+        assert_eq!(got.json, body);
+        // Promotion made 1 resident again, evicting 2.
+        assert_eq!(cache.lookup(2).map(|(_, t)| t), Some(HitTier::Disk));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefix_snapshot_estimate_scales_with_the_netlist() {
+        let small = snapshot(4).estimated_bytes();
+        let large = snapshot(400).estimated_bytes();
+        assert!(large > small + 300 * 96, "estimate tracks net count");
     }
 }

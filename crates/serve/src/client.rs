@@ -3,11 +3,81 @@
 //! daemon with.
 
 use crate::json::{self, Value};
-use crate::protocol::constraints_to_json;
+use crate::protocol::{constraints_to_json, Priority, PROTOCOL_VERSION};
 use milo_core::Constraints;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Submission options for [`Client::submit_with`] and
+/// [`Client::submit_batch`] — the v1.1 replacement for the old
+/// positional `submit(design, constraints, stream)` signature, which
+/// had nowhere to grow (every new knob meant another positional bool).
+///
+/// ```no_run
+/// # use milo_serve::{Client, SubmitOptions, Priority};
+/// # use milo_core::Constraints;
+/// # let mut client = Client::connect("127.0.0.1:0")?;
+/// let job = client.submit_with(
+///     "design d\ninput a\noutput y\ncomp inv g A=a Y=y\n",
+///     &Constraints::none(),
+///     &SubmitOptions::new().priority(Priority::High).client("me"),
+/// )?;
+/// # Ok::<(), milo_serve::ClientError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOptions {
+    priority: Priority,
+    stream: bool,
+    client: Option<String>,
+}
+
+impl SubmitOptions {
+    /// Defaults: `normal` priority, no streaming, per-connection
+    /// client identity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the scheduling band.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Streams flow events back on this connection as the job runs.
+    #[must_use]
+    pub fn stream(mut self, stream: bool) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Tags the submission with a client identity — fairness is
+    /// per-tag, so submissions sharing a tag share one scheduling
+    /// turn even across connections.
+    #[must_use]
+    pub fn client(mut self, tag: impl Into<String>) -> Self {
+        self.client = Some(tag.into());
+        self
+    }
+
+    /// The trailing request fields this option set contributes
+    /// (always leads with `", "`; the caller supplies the braces).
+    fn wire_suffix(&self) -> String {
+        let mut s = format!(
+            ", \"v\": \"{PROTOCOL_VERSION}\", \"priority\": \"{}\"",
+            self.priority.as_str()
+        );
+        if self.stream {
+            s.push_str(", \"stream\": true");
+        }
+        if let Some(tag) = &self.client {
+            s.push_str(&format!(", \"client\": {}", milo_core::json_string(tag)));
+        }
+        s
+    }
+}
 
 /// A client-side failure: transport, protocol, or a server-reported
 /// error line.
@@ -123,21 +193,77 @@ impl Client {
     /// # Errors
     ///
     /// Transport and server-reported failures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit_with` and `SubmitOptions` — positional bools don't scale to \
+                priority/client/batch"
+    )]
     pub fn submit(
         &mut self,
         design_text: &str,
         constraints: &Constraints,
         stream: bool,
     ) -> Result<u64, ClientError> {
+        self.submit_with(
+            design_text,
+            constraints,
+            &SubmitOptions::new().stream(stream),
+        )
+    }
+
+    /// Submits a job with explicit [`SubmitOptions`]; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Transport and server-reported failures.
+    pub fn submit_with(
+        &mut self,
+        design_text: &str,
+        constraints: &Constraints,
+        opts: &SubmitOptions,
+    ) -> Result<u64, ClientError> {
         let line = format!(
-            "{{\"op\": \"submit\", \"design\": {}, \"constraints\": {}, \"stream\": {stream}}}",
+            "{{\"op\": \"submit\", \"design\": {}, \"constraints\": {}{}}}",
             milo_core::json_string(design_text),
             constraints_to_json(constraints),
+            opts.wire_suffix(),
         );
         let v = self.request(&line)?;
         v.get("job")
             .and_then(Value::as_u64)
             .ok_or_else(|| ClientError::Server("submit response missing job id".to_owned()))
+    }
+
+    /// Submits N designs as one batch sharing one database snapshot
+    /// and one constraint set; returns the member job ids in design
+    /// order. Each member is individually `status`/`result`/`cancel`-
+    /// able. (`opts.stream` is ignored — batch members don't stream.)
+    ///
+    /// # Errors
+    ///
+    /// Transport and server-reported failures.
+    pub fn submit_batch(
+        &mut self,
+        design_texts: &[&str],
+        constraints: &Constraints,
+        opts: &SubmitOptions,
+    ) -> Result<Vec<u64>, ClientError> {
+        let designs = design_texts
+            .iter()
+            .map(|t| milo_core::json_string(t))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let line = format!(
+            "{{\"op\": \"submit_batch\", \"designs\": [{designs}], \"constraints\": {}{}}}",
+            constraints_to_json(constraints),
+            opts.wire_suffix(),
+        );
+        let v = self.request(&line)?;
+        v.get("jobs")
+            .and_then(Value::as_array)
+            .map(|ids| ids.iter().filter_map(Value::as_u64).collect::<Vec<u64>>())
+            .filter(|ids| ids.len() == design_texts.len())
+            .ok_or_else(|| ClientError::Server("submit_batch response missing job ids".to_owned()))
     }
 
     /// Polls a job's state label (`queued` / `running` / `done` / …).

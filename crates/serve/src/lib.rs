@@ -18,6 +18,14 @@
 //!   the engine's `FlowEvent`s bridged onto their connection as JSON
 //!   lines.
 //!
+//! Since protocol v1.1 the service is also **bounded, persistent, and
+//! fair**: the cache evicts least-recently-used entries to stay under
+//! a byte budget (`--cache-bytes`), evicted or stored exact results
+//! spill to a disk store (`--cache-dir`) that warm-starts the next
+//! boot, and the FIFO queue is replaced by a priority + per-client
+//! weighted-round-robin [`Scheduler`] so one client's backlog can't
+//! starve another's interactive submit.
+//!
 //! Determinism is the service's core contract: a job's result JSON is
 //! byte-identical to an offline `synthesize_batch_results` run of the
 //! same design and constraints, regardless of arrival order, worker
@@ -31,12 +39,14 @@
 //! use milo_core::Constraints;
 //! use milo_techmap::ecl_library;
 //!
+//! use milo_serve::SubmitOptions;
+//!
 //! let handle = spawn(ServerConfig::new(ecl_library()).with_workers(1))?;
 //! let mut client = Client::connect(handle.addr())?;
-//! let job = client.submit(
+//! let job = client.submit_with(
 //!     "design demo\ninput a b\noutput y\ncomp and2 g1 A0=a A1=b Y=y\n",
 //!     &Constraints::none(),
-//!     false,
+//!     &SubmitOptions::new(),
 //! )?;
 //! let result = client.result(job)?;
 //! assert_eq!(result.get("state").and_then(|s| s.as_str()), Some("done"));
@@ -49,18 +59,22 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod disk;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
+pub mod scheduler;
 pub mod shard;
 
 mod client;
 mod server;
 
-pub use cache::{job_key, prefix_key, CachedResult, ResultCache};
-pub use client::{Client, ClientError};
+pub use cache::{job_key, prefix_key, CacheStats, CachedResult, HitTier, ResultCache};
+pub use client::{Client, ClientError, SubmitOptions};
+pub use disk::DiskCache;
 pub use json::{parse as parse_json, JsonError, Value};
 pub use metrics::Metrics;
-pub use protocol::{constraints_to_json, parse_request, Request};
+pub use protocol::{constraints_to_json, parse_request, Priority, Request, PROTOCOL_VERSION};
+pub use scheduler::{QueueStats, Scheduler, WorkUnit};
 pub use server::{spawn, CacheOutcome, ServerConfig, ServerHandle};
 pub use shard::ShardedDb;

@@ -9,6 +9,8 @@
 //! pass-run counts double as the cache-effectiveness oracle in tests:
 //! a cache-hit job increments job counters but no pass counters.
 
+use crate::cache::CacheStats;
+use crate::scheduler::QueueStats;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -34,6 +36,7 @@ pub struct Metrics {
     jobs_cancelled: AtomicU64,
     cache_hits: AtomicU64,
     prefix_hits: AtomicU64,
+    disk_hits: AtomicU64,
     cache_misses: AtomicU64,
     busy_ns: AtomicU64,
     per_pass: Mutex<BTreeMap<String, PassCost>>,
@@ -52,6 +55,7 @@ impl Metrics {
             jobs_cancelled: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             prefix_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
             per_pass: Mutex::new(BTreeMap::new()),
@@ -95,6 +99,12 @@ impl Metrics {
         self.prefix_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Exact hit served from the disk spill store (no passes ran; the
+    /// entry was promoted back into memory).
+    pub fn disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Full synthesis run.
     pub fn cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -128,22 +138,23 @@ impl Metrics {
     }
 
     /// Renders the full counter set as a JSON object. Cache hit rate is
-    /// exact hits over terminal lookups; utilization is busy time over
-    /// `workers × uptime`.
-    pub fn to_json(
-        &self,
-        queued: usize,
-        cache_sizes: (usize, usize),
-        shard_sizes: &[usize],
-    ) -> String {
+    /// exact hits (memory or disk) over terminal lookups; utilization
+    /// is busy time over `workers × uptime`.
+    ///
+    /// The v1.1 schema groups cache counters under `"cache"` and
+    /// scheduler counters under `"queue"`; the pre-1.1 flat keys
+    /// (`jobs.queued`, `cache.hits`, …) are still rendered for one
+    /// release so existing dashboards keep working.
+    pub fn to_json(&self, queue: &QueueStats, cache: &CacheStats, shard_sizes: &[usize]) -> String {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let prefix = self.prefix_hits.load(Ordering::Relaxed);
+        let disk_hits = self.disk_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
-        let looked = hits + prefix + misses;
+        let looked = hits + disk_hits + prefix + misses;
         let hit_rate = if looked == 0 {
             0.0
         } else {
-            hits as f64 / looked as f64
+            (hits + disk_hits) as f64 / looked as f64
         };
         let uptime_ns = self.started.elapsed().as_nanos() as u64;
         let capacity = self.workers.saturating_mul(uptime_ns);
@@ -173,24 +184,44 @@ impl Metrics {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(", ");
+        let bands = ["high", "normal", "low"]
+            .iter()
+            .zip(&queue.bands)
+            .map(|(name, b)| {
+                format!(
+                    "\"{name}\": {{\"depth\": {}, \"scheduled\": {}}}",
+                    b.depth, b.scheduled
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\"workers\": {}, \"uptime_ns\": {}, \"jobs\": {{\"submitted\": {}, \"queued\": {}, \"running\": {}, \"done\": {}, \"failed\": {}, \"cancelled\": {}}}, \
-             \"cache\": {{\"hits\": {}, \"prefix_hits\": {}, \"misses\": {}, \"hit_rate\": {}, \"exact_entries\": {}, \"prefix_entries\": {}}}, \
+             \"cache\": {{\"hits\": {}, \"prefix_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"hit_rate\": {}, \"evictions\": {}, \"spilled\": {}, \"resident_bytes\": {}, \"exact_entries\": {}, \"prefix_entries\": {}, \"disk_entries\": {}}}, \
+             \"queue\": {{\"depth\": {}, \"clients\": {}, \"bands\": {{{}}}}}, \
              \"worker_utilization\": {}, \"passes\": {}, \"shard_sizes\": [{}]}}",
             self.workers,
             uptime_ns,
             self.jobs_submitted.load(Ordering::Relaxed),
-            queued,
+            queue.depth,
             self.jobs_running.load(Ordering::Relaxed),
             self.jobs_done.load(Ordering::Relaxed),
             self.jobs_failed.load(Ordering::Relaxed),
             self.jobs_cancelled.load(Ordering::Relaxed),
             hits,
             prefix,
+            disk_hits,
             misses,
             hit_rate,
-            cache_sizes.0,
-            cache_sizes.1,
+            cache.evictions,
+            cache.spilled,
+            cache.resident_bytes,
+            cache.exact_entries,
+            cache.prefix_entries,
+            cache.disk_entries,
+            queue.depth,
+            queue.clients,
+            bands,
             utilization,
             passes,
             shards,
@@ -221,14 +252,58 @@ mod tests {
         assert_eq!(m.pass_runs("timing-area"), 1);
         assert_eq!(m.pass_runs("skipped"), 0, "skipped slots don't count");
 
-        let json = m.to_json(0, (1, 0), &[1, 0]);
+        m.disk_hit();
+
+        let queue = QueueStats {
+            depth: 3,
+            clients: 2,
+            bands: {
+                let mut bands = [crate::scheduler::BandStats::default(); 3];
+                bands[1].depth = 3;
+                bands[1].scheduled = 7;
+                bands
+            },
+        };
+        let cache_stats = CacheStats {
+            resident_bytes: 4096,
+            exact_entries: 1,
+            prefix_entries: 0,
+            disk_entries: 5,
+            evictions: 2,
+            spilled: 3,
+            disk_hits: 1,
+        };
+        let json = m.to_json(&queue, &cache_stats, &[1, 0]);
         let v = crate::json::parse(&json).expect("stats json parses");
         let jobs = v.get("jobs").expect("jobs object");
         assert_eq!(jobs.get("done").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(
+            jobs.get("queued").and_then(|x| x.as_u64()),
+            Some(3),
+            "pre-1.1 flat key still rendered"
+        );
         let cache = v.get("cache").expect("cache object");
         assert_eq!(cache.get("hits").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(cache.get("disk_hits").and_then(|x| x.as_u64()), Some(1));
         assert_eq!(cache.get("misses").and_then(|x| x.as_u64()), Some(1));
-        assert_eq!(cache.get("hit_rate").and_then(|x| x.as_f64()), Some(0.5));
+        // 1 memory hit + 1 disk hit over 3 terminal lookups.
+        assert_eq!(
+            cache.get("hit_rate").and_then(|x| x.as_f64()),
+            Some(2.0 / 3.0)
+        );
+        assert_eq!(cache.get("evictions").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(cache.get("spilled").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(
+            cache.get("resident_bytes").and_then(|x| x.as_u64()),
+            Some(4096)
+        );
+        assert_eq!(cache.get("disk_entries").and_then(|x| x.as_u64()), Some(5));
+        let q = v.get("queue").expect("queue object");
+        assert_eq!(q.get("depth").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(q.get("clients").and_then(|x| x.as_u64()), Some(2));
+        let normal = q.get("bands").and_then(|b| b.get("normal")).expect("band");
+        assert_eq!(normal.get("depth").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(normal.get("scheduled").and_then(|x| x.as_u64()), Some(7));
         let passes = v.get("passes").expect("passes object");
         assert_eq!(
             passes

@@ -1,10 +1,26 @@
 //! The wire protocol: JSON-lines over TCP, one request or response
 //! object per `\n`-terminated line.
 //!
+//! # Versioning (v1.1)
+//!
+//! Every request may carry an optional `"v"` field; every response
+//! echoes `"v": "1.1"` ([`PROTOCOL_VERSION`]). The server accepts any
+//! `1.x` version string (additive-change contract within a major
+//! version) and rejects other majors with an error line. Unknown
+//! *top-level* request fields are tolerated and ignored — a newer
+//! client may send fields this server has never heard of and still get
+//! served (forward compatibility). Keys inside `"constraints"` remain
+//! strict: silently dropping a constraint the client thought it set is
+//! the worst possible service behavior, so an unknown constraint key
+//! is an error, not a shrug.
+//!
 //! Requests (`op` selects the operation):
 //!
 //! ```text
-//! {"op": "submit", "design": "<netlist text>", "constraints": {…}, "stream": true?}
+//! {"op": "submit", "design": "<netlist text>", "constraints": {…},
+//!  "stream": true?, "priority": "high"|"normal"|"low"?, "client": "tag"?, "v": "1.1"?}
+//! {"op": "submit_batch", "designs": ["<netlist text>", …], "constraints": {…},
+//!  "priority": …?, "client": …?, "v": …?}
 //! {"op": "status", "job": N}
 //! {"op": "result", "job": N}          ← blocks until the job is terminal
 //! {"op": "cancel", "job": N}
@@ -15,17 +31,78 @@
 //! `design` carries the engine's own netlist text format
 //! ([`milo_core::parse_netlist`]); `constraints` is an object with
 //! optional `max_delay` / `max_area` / `max_power` numbers and a
-//! `path_delays` array of `[port, ns]` pairs. Responses always carry
-//! `"ok"`; protocol errors come back as `{"ok": false, "error": …}`
-//! on the offending line without killing the connection. Jobs
-//! submitted with `"stream": true` additionally emit
-//! `{"event": …, "job": N, …}` lines on the submitting connection as
-//! the flow progresses — clients distinguish events from responses by
-//! the `event` key.
+//! `path_delays` array of `[port, ns]` pairs. A batch's constraints
+//! apply to every member (mirroring the offline batch driver's
+//! signature). Responses always carry `"ok"` and `"v"`; protocol
+//! errors come back as `{"ok": false, …}` on the offending line
+//! without killing the connection. Jobs submitted with
+//! `"stream": true` additionally emit `{"event": …, "job": N, …}`
+//! lines on the submitting connection as the flow progresses — clients
+//! distinguish events from responses by the `event` key. (Event lines
+//! are not responses and carry no `"v"`.)
 
 use crate::json::{self, Value};
 use milo_core::netlist::Netlist;
 use milo_core::{parse_netlist, Constraints};
+
+/// The protocol version every response announces. Within major
+/// version 1 all changes are additive; requests carrying another major
+/// are rejected.
+pub const PROTOCOL_VERSION: &str = "1.1";
+
+/// Most designs one `submit_batch` request may carry — a backstop
+/// against a single request monopolizing the queue and the parser.
+pub const MAX_BATCH: usize = 256;
+
+/// A job's scheduling band. `Normal` is the default; `High` is for
+/// interactive latency-sensitive work, `Low` for bulk backfill.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Interactive: served first (8 of every 13 scheduler picks).
+    High,
+    /// The default band (4 of every 13 picks when `High` is busy).
+    #[default]
+    Normal,
+    /// Bulk: never starved, but yields to everyone else.
+    Low,
+}
+
+impl Priority {
+    /// Band index, `High` first — the scheduler's array order.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses the wire spelling.
+    ///
+    /// # Errors
+    ///
+    /// Unknown spellings (a *known* field with a bad value is an
+    /// error, unlike unknown fields).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(format!(
+                "unknown priority {other:?} (expected \"high\", \"normal\", or \"low\")"
+            )),
+        }
+    }
+}
 
 /// A parsed request line.
 #[derive(Debug)]
@@ -38,6 +115,24 @@ pub enum Request {
         constraints: Constraints,
         /// Stream flow events back on this connection.
         stream: bool,
+        /// Scheduling band.
+        priority: Priority,
+        /// Optional client identity tag (fairness is per-tag; untagged
+        /// submissions are per-connection).
+        client: Option<String>,
+    },
+    /// Enqueue N designs as one batch: arms share one database
+    /// snapshot and fan out through the batch driver, but each member
+    /// is its own job id for `status`/`result`/`cancel`.
+    SubmitBatch {
+        /// The member designs, in request order.
+        netlists: Vec<Netlist>,
+        /// Constraints applied to every member.
+        constraints: Constraints,
+        /// Scheduling band for the whole batch.
+        priority: Priority,
+        /// Optional client identity tag.
+        client: Option<String>,
     },
     /// Poll a job's state.
     Status(u64),
@@ -54,6 +149,7 @@ pub enum Request {
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = json::parse(line).map_err(|e| e.to_string())?;
+    check_version(&v)?;
     let op = v
         .get("op")
         .and_then(Value::as_str)
@@ -70,15 +166,44 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .and_then(Value::as_str)
                 .ok_or("submit needs a \"design\" netlist text")?;
             let netlist = parse_netlist(text).map_err(|e| format!("design does not parse: {e}"))?;
-            let constraints = match v.get("constraints") {
-                None => Constraints::none(),
-                Some(c) => parse_constraints(c)?,
-            };
             let stream = v.get("stream").and_then(Value::as_bool).unwrap_or(false);
             Ok(Request::Submit {
                 netlist: Box::new(netlist),
-                constraints,
+                constraints: constraints_field(&v)?,
                 stream,
+                priority: priority_field(&v)?,
+                client: client_field(&v)?,
+            })
+        }
+        "submit_batch" => {
+            let items = v
+                .get("designs")
+                .and_then(Value::as_array)
+                .ok_or("submit_batch needs a \"designs\" array of netlist texts")?;
+            if items.is_empty() {
+                return Err("submit_batch needs at least one design".to_owned());
+            }
+            if items.len() > MAX_BATCH {
+                return Err(format!(
+                    "submit_batch carries {} designs; the limit is {MAX_BATCH}",
+                    items.len()
+                ));
+            }
+            let mut netlists = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let text = item
+                    .as_str()
+                    .ok_or_else(|| format!("\"designs\"[{i}] must be a netlist text string"))?;
+                netlists.push(
+                    parse_netlist(text)
+                        .map_err(|e| format!("\"designs\"[{i}] does not parse: {e}"))?,
+                );
+            }
+            Ok(Request::SubmitBatch {
+                netlists,
+                constraints: constraints_field(&v)?,
+                priority: priority_field(&v)?,
+                client: client_field(&v)?,
             })
         }
         "status" => Ok(Request::Status(job(&v)?)),
@@ -87,6 +212,51 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Validates the optional `"v"` field: absent (pre-1.1 client) or any
+/// `1.x` string is accepted; anything else is rejected.
+fn check_version(v: &Value) -> Result<(), String> {
+    let Some(field) = v.get("v") else {
+        return Ok(());
+    };
+    let s = field
+        .as_str()
+        .ok_or("\"v\" must be a version string like \"1.1\"")?;
+    if s == "1" || s.starts_with("1.") {
+        Ok(())
+    } else {
+        Err(format!(
+            "unsupported protocol version {s:?} (this server speaks {PROTOCOL_VERSION})"
+        ))
+    }
+}
+
+fn constraints_field(v: &Value) -> Result<Constraints, String> {
+    match v.get("constraints") {
+        None => Ok(Constraints::none()),
+        Some(c) => parse_constraints(c),
+    }
+}
+
+fn priority_field(v: &Value) -> Result<Priority, String> {
+    match v.get("priority") {
+        None => Ok(Priority::Normal),
+        Some(p) => Priority::parse(p.as_str().ok_or("\"priority\" must be a string")?),
+    }
+}
+
+fn client_field(v: &Value) -> Result<Option<String>, String> {
+    match v.get("client") {
+        None => Ok(None),
+        Some(c) => {
+            let tag = c.as_str().ok_or("\"client\" must be a string tag")?;
+            if tag.is_empty() || tag.len() > 128 {
+                return Err("\"client\" must be 1–128 characters".to_owned());
+            }
+            Ok(Some(tag.to_owned()))
+        }
     }
 }
 
@@ -162,10 +332,11 @@ pub fn constraints_to_json(c: &Constraints) -> String {
     format!("{{{}}}", parts.join(", "))
 }
 
-/// `{"ok": false, "error": …}` — the universal failure line.
+/// `{"ok": false, "v": "1.1", "error": …}` — the universal failure
+/// line.
 pub fn error_line(message: &str) -> String {
     format!(
-        "{{\"ok\": false, \"error\": {}}}",
+        "{{\"ok\": false, \"v\": \"{PROTOCOL_VERSION}\", \"error\": {}}}",
         milo_core::json_string(message)
     )
 }
@@ -191,15 +362,135 @@ mod tests {
             netlist,
             constraints,
             stream,
+            priority,
+            client,
         } = parse_request(&line).expect("parses")
         else {
             panic!("not a submit");
         };
         assert_eq!(netlist.name, "demo");
         assert!(!stream);
+        assert_eq!(priority, Priority::Normal, "default band");
+        assert_eq!(client, None);
         assert_eq!(constraints.max_delay, Some(4.5));
         assert_eq!(constraints.max_area, Some(50.0));
         assert_eq!(constraints.required_for("y"), Some(3.25));
+    }
+
+    #[test]
+    fn parses_priority_client_and_version() {
+        let line = format!(
+            "{{\"op\": \"submit\", \"v\": \"1.1\", \"design\": {}, \
+             \"priority\": \"low\", \"client\": \"batch-farm\"}}",
+            milo_core::json_string(DESIGN)
+        );
+        let Request::Submit {
+            priority, client, ..
+        } = parse_request(&line).expect("parses")
+        else {
+            panic!("not a submit");
+        };
+        assert_eq!(priority, Priority::Low);
+        assert_eq!(client.as_deref(), Some("batch-farm"));
+    }
+
+    /// The v1.1 version contract: pre-`v` requests and any `1.x` are
+    /// accepted, other majors are refused, and round-tripping a request
+    /// through the version check never alters its meaning.
+    #[test]
+    fn version_field_round_trip() {
+        for ok in ["", ", \"v\": \"1\"", ", \"v\": \"1.0\"", ", \"v\": \"1.9\""] {
+            let line = format!("{{\"op\": \"stats\"{ok}}}");
+            assert!(
+                matches!(parse_request(&line), Ok(Request::Stats)),
+                "accepted and unchanged: {line}"
+            );
+        }
+        for (bad, why) in [
+            (", \"v\": \"2.0\"", "other major"),
+            (", \"v\": \"0.9\"", "ancient major"),
+            (", \"v\": 1.1", "non-string version"),
+        ] {
+            let line = format!("{{\"op\": \"stats\"{bad}}}");
+            assert!(parse_request(&line).is_err(), "rejected: {why}");
+        }
+    }
+
+    /// Forward compatibility: unknown top-level fields are ignored, on
+    /// every op — a 1.2 client with new bells must still be served.
+    #[test]
+    fn unknown_top_level_fields_are_tolerated() {
+        for line in [
+            "{\"op\": \"stats\", \"shiny_new_field\": [1, 2, 3]}".to_owned(),
+            "{\"op\": \"status\", \"job\": 4, \"deadline_ms\": 250}".to_owned(),
+            format!(
+                "{{\"op\": \"submit\", \"design\": {}, \"trace_id\": \"abc\", \
+                 \"nested\": {{\"future\": true}}}}",
+                milo_core::json_string(DESIGN)
+            ),
+        ] {
+            assert!(
+                parse_request(&line).is_ok(),
+                "unknown fields must not reject: {line}"
+            );
+        }
+        // …but unknown *constraint* keys still do (strictness is the
+        // documented exception to tolerance).
+        assert!(parse_request(&submit_line(r#"{"max_frobs": 3}"#)).is_err());
+    }
+
+    #[test]
+    fn parses_submit_batch() {
+        let line = format!(
+            "{{\"op\": \"submit_batch\", \"designs\": [{}, {}], \
+             \"constraints\": {{\"max_delay\": 6}}, \"priority\": \"high\"}}",
+            milo_core::json_string(DESIGN),
+            milo_core::json_string(
+                "design second\ninput p q\noutput z\ncomp or2 g1 A0=p A1=q Y=z\n"
+            )
+        );
+        let Request::SubmitBatch {
+            netlists,
+            constraints,
+            priority,
+            client,
+        } = parse_request(&line).expect("parses")
+        else {
+            panic!("not a batch");
+        };
+        assert_eq!(netlists.len(), 2);
+        assert_eq!(netlists[0].name, "demo");
+        assert_eq!(netlists[1].name, "second");
+        assert_eq!(constraints.max_delay, Some(6.0));
+        assert_eq!(priority, Priority::High);
+        assert_eq!(client, None);
+    }
+
+    #[test]
+    fn rejects_bad_batches() {
+        for (line, why) in [
+            (
+                "{\"op\": \"submit_batch\"}".to_owned(),
+                "missing designs array",
+            ),
+            (
+                "{\"op\": \"submit_batch\", \"designs\": []}".to_owned(),
+                "empty batch",
+            ),
+            (
+                "{\"op\": \"submit_batch\", \"designs\": [42]}".to_owned(),
+                "non-string member",
+            ),
+            (
+                format!(
+                    "{{\"op\": \"submit_batch\", \"designs\": [{}, \"design x\\nbogus\"]}}",
+                    milo_core::json_string(DESIGN)
+                ),
+                "unparseable member",
+            ),
+        ] {
+            assert!(parse_request(&line).is_err(), "accepted: {why}");
+        }
     }
 
     #[test]
@@ -227,7 +518,21 @@ mod tests {
                 r#"{"op": "submit", "design": "design x\nbogus line"}"#,
                 "unparseable design",
             ),
+            (
+                r#"{"op": "stats", "priority": "urgent"}"#,
+                "bad value for a known field",
+            ),
         ] {
+            // `stats` ignores priority, so the last case asserts on
+            // submit instead.
+            if line.contains("urgent") {
+                let submit = format!(
+                    "{{\"op\": \"submit\", \"design\": {}, \"priority\": \"urgent\"}}",
+                    milo_core::json_string(DESIGN)
+                );
+                assert!(parse_request(&submit).is_err(), "accepted: {why}");
+                continue;
+            }
             assert!(parse_request(line).is_err(), "accepted: {why}");
         }
         let bad_constraints = [
@@ -246,10 +551,11 @@ mod tests {
     }
 
     #[test]
-    fn error_line_is_json() {
+    fn error_line_is_json_and_versioned() {
         let line = error_line("bad \"stuff\"\nhere");
         let v = json::parse(&line).expect("error line parses");
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("v").and_then(Value::as_str), Some(PROTOCOL_VERSION));
         assert_eq!(
             v.get("error").and_then(Value::as_str),
             Some("bad \"stuff\"\nhere")

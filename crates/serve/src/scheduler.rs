@@ -1,0 +1,291 @@
+//! Priority + per-client fairness scheduling.
+//!
+//! The v1.0 queue was a strict FIFO: one bulk client submitting a
+//! thousand jobs starved every interactive client behind it. The v1.1
+//! scheduler replaces it with **weighted round-robin across three
+//! priority bands, round-robin across clients within each band**:
+//!
+//! * Bands (`high` / `normal` / `low`) are drained by credit-weighted
+//!   round-robin ([`BAND_CREDITS`]): out of every full credit cycle,
+//!   `high` gets 8 picks, `normal` 4, and `low` 1 — so higher bands
+//!   dominate but can never fully starve a lower one (bounded wait,
+//!   not priority inversion).
+//! * Within a band, clients take strict turns: each pick goes to the
+//!   next client in rotation, and a client's own jobs run in FIFO
+//!   order. A client is whoever shares a `"client"` tag — or, absent a
+//!   tag, a single connection — so one client's 64-job backlog costs
+//!   another client at most one job's wait, never the whole backlog.
+//!
+//! The schedulable unit is a [`WorkUnit`]: one job id for `submit`,
+//! all member ids for `submit_batch` (a batch is picked as a unit so
+//! its arms share one database snapshot and fan out through the batch
+//! driver inside a single worker).
+//!
+//! Cancellation keeps its contract untouched: cancelled jobs stay in
+//! their queue until popped, and the worker's queued→running check
+//! (under the job's state lock) discards them — the scheduler never
+//! needs to reach into job state.
+
+use crate::protocol::Priority;
+use std::collections::{HashMap, VecDeque};
+
+/// Credits per band per refill cycle, indexed by [`Priority::index`]
+/// (`high`, `normal`, `low`). The ratios are the fairness contract:
+/// a saturated `high` band still cedes 4-of-13 picks to `normal` and
+/// 1-of-13 to `low`.
+pub const BAND_CREDITS: [u32; 3] = [8, 4, 1];
+
+/// One schedulable unit: the job ids a worker executes together.
+#[derive(Clone, Debug)]
+pub struct WorkUnit {
+    /// Member job ids — one for `submit`, N for `submit_batch`.
+    pub jobs: Vec<u64>,
+}
+
+impl WorkUnit {
+    /// A single-job unit.
+    pub fn single(job: u64) -> Self {
+        Self { jobs: vec![job] }
+    }
+}
+
+/// Live scheduler counters for one band.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BandStats {
+    /// Jobs currently queued in this band.
+    pub depth: usize,
+    /// Jobs handed to workers from this band over the server lifetime.
+    pub scheduled: u64,
+}
+
+/// Point-in-time scheduler state, reported under `"queue"` in `stats`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueStats {
+    /// Total jobs queued across all bands.
+    pub depth: usize,
+    /// Clients with at least one queued job.
+    pub clients: usize,
+    /// Per-band depth and lifetime scheduled counts, `[high, normal,
+    /// low]`.
+    pub bands: [BandStats; 3],
+}
+
+/// One band: per-client FIFO queues plus the rotation order.
+#[derive(Default)]
+struct Band {
+    queues: HashMap<String, VecDeque<WorkUnit>>,
+    /// Clients with queued work, in turn order. Invariant: `rotation`
+    /// holds exactly the keys of `queues`, each once.
+    rotation: VecDeque<String>,
+    /// Jobs (not units) queued in this band.
+    depth: usize,
+    scheduled: u64,
+}
+
+impl Band {
+    fn is_empty(&self) -> bool {
+        self.rotation.is_empty()
+    }
+
+    fn push(&mut self, client: &str, unit: WorkUnit) {
+        self.depth += unit.jobs.len();
+        match self.queues.get_mut(client) {
+            Some(q) => q.push_back(unit),
+            None => {
+                self.queues
+                    .insert(client.to_owned(), VecDeque::from([unit]));
+                self.rotation.push_back(client.to_owned());
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<WorkUnit> {
+        let client = self.rotation.pop_front()?;
+        let queue = self.queues.get_mut(&client)?;
+        let unit = queue.pop_front()?;
+        if queue.is_empty() {
+            self.queues.remove(&client);
+        } else {
+            self.rotation.push_back(client);
+        }
+        self.depth -= unit.jobs.len();
+        self.scheduled += unit.jobs.len() as u64;
+        Some(unit)
+    }
+}
+
+/// The scheduler: three bands and their round-robin credits. Lives
+/// behind the server's queue mutex; every method is plain mutable
+/// state, no interior locking.
+#[derive(Default)]
+pub struct Scheduler {
+    bands: [Band; 3],
+    credits: [u32; 3],
+}
+
+impl Scheduler {
+    /// An empty scheduler with a fresh credit cycle.
+    pub fn new() -> Self {
+        Self {
+            bands: Default::default(),
+            credits: BAND_CREDITS,
+        }
+    }
+
+    /// Enqueues a unit for `client` at `priority`.
+    pub fn push(&mut self, priority: Priority, client: &str, unit: WorkUnit) {
+        self.bands[priority.index()].push(client, unit);
+    }
+
+    /// Takes the next unit to run, or `None` when nothing is queued.
+    ///
+    /// Band choice is credit-weighted: the highest-priority non-empty
+    /// band with remaining credit wins; when every non-empty band is
+    /// out of credit, all credits refill and the cycle restarts.
+    pub fn pop(&mut self) -> Option<WorkUnit> {
+        if self.is_empty() {
+            return None;
+        }
+        loop {
+            for i in 0..self.bands.len() {
+                if self.credits[i] == 0 || self.bands[i].is_empty() {
+                    continue;
+                }
+                self.credits[i] -= 1;
+                // Bands in rotation are never empty (invariant), so
+                // this pop always yields.
+                if let Some(unit) = self.bands[i].pop() {
+                    return Some(unit);
+                }
+            }
+            // Work exists but every non-empty band is out of credit.
+            self.credits = BAND_CREDITS;
+        }
+    }
+
+    /// Whether any job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.bands.iter().all(Band::is_empty)
+    }
+
+    /// Total queued jobs across all bands.
+    pub fn depth(&self) -> usize {
+        self.bands.iter().map(|b| b.depth).sum()
+    }
+
+    /// Counter snapshot for `stats`.
+    pub fn stats(&self) -> QueueStats {
+        let mut bands = [BandStats::default(); 3];
+        for (out, band) in bands.iter_mut().zip(&self.bands) {
+            out.depth = band.depth;
+            out.scheduled = band.scheduled;
+        }
+        QueueStats {
+            depth: self.depth(),
+            clients: self.bands.iter().map(|b| b.queues.len()).sum(),
+            bands,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(s: &mut Scheduler, n: usize) -> Vec<u64> {
+        (0..n)
+            .filter_map(|_| s.pop())
+            .flat_map(|u| u.jobs)
+            .collect()
+    }
+
+    #[test]
+    fn clients_in_one_band_take_strict_turns() {
+        let mut s = Scheduler::new();
+        for i in 0..4 {
+            s.push(Priority::Normal, "bulk", WorkUnit::single(i));
+        }
+        s.push(Priority::Normal, "interactive", WorkUnit::single(100));
+        // The interactive job rides the very next rotation turn, not
+        // the end of the bulk backlog.
+        let order = drain(&mut s, 5);
+        assert_eq!(order[1], 100, "second pick is the other client: {order:?}");
+        assert_eq!(order.len(), 5);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn higher_band_wins_but_lower_bands_are_never_starved() {
+        let mut s = Scheduler::new();
+        for i in 0..26 {
+            s.push(Priority::High, "h", WorkUnit::single(i));
+        }
+        s.push(Priority::Low, "l", WorkUnit::single(900));
+        s.push(Priority::Normal, "n", WorkUnit::single(500));
+        let order = drain(&mut s, 28);
+        let high_before_low = order.iter().position(|&j| j == 900).expect("low runs");
+        let high_before_normal = order.iter().position(|&j| j == 500).expect("normal runs");
+        assert!(order[0] < 26, "high band goes first");
+        assert!(
+            high_before_normal <= BAND_CREDITS[0] as usize + 1,
+            "normal is served within one credit cycle: {order:?}"
+        );
+        assert!(
+            high_before_low <= (BAND_CREDITS[0] + BAND_CREDITS[1]) as usize + 1,
+            "low is served within one credit cycle: {order:?}"
+        );
+    }
+
+    #[test]
+    fn batch_units_pop_whole() {
+        let mut s = Scheduler::new();
+        s.push(
+            Priority::Normal,
+            "a",
+            WorkUnit {
+                jobs: vec![1, 2, 3],
+            },
+        );
+        s.push(Priority::Normal, "b", WorkUnit::single(9));
+        assert_eq!(s.depth(), 4);
+        let first = s.pop().expect("batch pops");
+        assert_eq!(first.jobs, vec![1, 2, 3], "a batch is one unit");
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.pop().expect("single pops").jobs, vec![9]);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn stats_track_depth_scheduled_and_clients() {
+        let mut s = Scheduler::new();
+        s.push(Priority::High, "a", WorkUnit::single(1));
+        s.push(Priority::Normal, "b", WorkUnit::single(2));
+        s.push(Priority::Normal, "c", WorkUnit::single(3));
+        let stats = s.stats();
+        assert_eq!(stats.depth, 3);
+        assert_eq!(stats.clients, 3);
+        assert_eq!(stats.bands[0].depth, 1);
+        assert_eq!(stats.bands[1].depth, 2);
+        let _ = s.pop();
+        let _ = s.pop();
+        let stats = s.stats();
+        assert_eq!(stats.depth, 1);
+        assert_eq!(stats.bands[0].scheduled, 1);
+        assert_eq!(stats.bands[1].scheduled, 1);
+    }
+
+    #[test]
+    fn a_client_backlog_cannot_starve_a_late_joiner() {
+        let mut s = Scheduler::new();
+        for i in 0..64 {
+            s.push(Priority::Normal, "bulk", WorkUnit::single(i));
+        }
+        // Joins after the backlog exists.
+        s.push(Priority::Normal, "late", WorkUnit::single(777));
+        let order = drain(&mut s, 3);
+        assert!(
+            order.contains(&777),
+            "late joiner runs within two picks: {order:?}"
+        );
+    }
+}

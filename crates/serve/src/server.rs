@@ -1,36 +1,44 @@
 //! The daemon: a std-only TCP server (no async runtime) with a
 //! thread-per-connection front end and a fixed pool of synthesis
-//! workers behind a condvar-signaled job queue.
+//! workers behind a condvar-signaled [`Scheduler`].
 //!
 //! Determinism contract: every job's `SynthesisResult` JSON is
 //! byte-identical to what an offline
 //! [`milo_core::Milo::synthesize_batch_results`] call produces for the
 //! same design and constraints — regardless of arrival order, queue
-//! interleaving, worker count, or cache state. The pieces that make
-//! that true:
+//! interleaving, scheduling band, worker count, or cache state
+//! (memory hit, disk hit, prefix resume, or full run). The pieces
+//! that make that true:
 //!
 //! * workers run the exact arm recipe the batch driver uses
 //!   (`Flow::standard()` with statistics sampling off, seeded with an
 //!   `Arc`-shared database snapshot), and results are already pinned
 //!   to be database-independent by the engine's `batch_matches_
 //!   sequential` property test;
+//! * `submit_batch` members run through the batch driver itself
+//!   ([`Milo::synthesize_batch_outputs`]) against one shared snapshot;
 //! * panicked jobs retry once against a fresh snapshot, mirroring the
 //!   batch driver's retry (fault-injector charges are server-global,
 //!   so a once-only injected fault is spent, not re-fired);
-//! * cache hits replay the first run's bytes verbatim, and prefix
-//!   resumes reconstruct the mid-flow context exactly (see
-//!   [`crate::cache`]).
+//! * cache hits — memory or disk — replay the first run's bytes
+//!   verbatim, and prefix resumes reconstruct the mid-flow context
+//!   exactly (see [`crate::cache`] and [`crate::disk`]).
 
-use crate::cache::{job_key, prefix_key, CachedResult, CapturePrefix, RestorePrefix, ResultCache};
+use crate::cache::{
+    job_key, prefix_key, CachedResult, CapturePrefix, HitTier, RestorePrefix, ResultCache,
+};
+use crate::disk::DiskCache;
 use crate::metrics::Metrics;
-use crate::protocol::{error_line, parse_request, Request};
+use crate::protocol::{error_line, parse_request, Priority, Request, PROTOCOL_VERSION};
+use crate::scheduler::{Scheduler, WorkUnit};
 use crate::shard::ShardedDb;
 use milo_core::netlist::Netlist;
 use milo_core::techmap::TechLibrary;
 use milo_core::{Constraints, FaultInjector, Flow, FlowEvent, Milo};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -42,8 +50,11 @@ use std::time::Instant;
 pub enum CacheOutcome {
     /// Full synthesis ran.
     Miss,
-    /// Exact-tier hit: stored bytes replayed, no passes ran.
+    /// Exact-tier memory hit: stored bytes replayed, no passes ran.
     Hit,
+    /// Exact-tier disk hit: bytes replayed from the spill store after
+    /// a memory miss (entry promoted back into memory), no passes ran.
+    DiskHit,
     /// Prefix-tier hit: resumed from the first constraint-dirty pass.
     PrefixHit,
 }
@@ -53,6 +64,7 @@ impl CacheOutcome {
         match self {
             CacheOutcome::Miss => "miss",
             CacheOutcome::Hit => "hit",
+            CacheOutcome::DiskHit => "disk-hit",
             CacheOutcome::PrefixHit => "prefix-hit",
         }
     }
@@ -131,6 +143,24 @@ impl Job {
         *self.state.lock().unwrap_or_else(|e| e.into_inner()) = next;
         self.cv.notify_all();
     }
+
+    /// Queued→running (or →cancelled) atomically with the cancel
+    /// handler's flag check; see `Request::Cancel`. Returns `false`
+    /// when the job was cancelled instead of claimed.
+    fn claim(&self) -> bool {
+        let cancelled = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if self.cancel.load(Ordering::SeqCst) {
+                *state = JobState::Cancelled;
+                true
+            } else {
+                *state = JobState::Running;
+                false
+            }
+        };
+        self.cv.notify_all();
+        !cancelled
+    }
 }
 
 /// Server construction knobs.
@@ -148,11 +178,19 @@ pub struct ServerConfig {
     /// Server-global fault injector (test harness; the programmatic
     /// equivalent of `MILO_FAULT_INJECT`).
     pub fault: Option<Arc<FaultInjector>>,
+    /// In-memory cache budget in bytes (`None` = unbounded; defaults
+    /// to the `MILO_SERVE_CACHE_BYTES` environment variable when set).
+    pub cache_bytes: Option<usize>,
+    /// Disk spill directory for the exact tier (`None` = memory-only;
+    /// defaults to the `MILO_SERVE_CACHE_DIR` environment variable
+    /// when set).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
     /// Defaults: env-configured address, auto worker count, 8 shards,
-    /// the given library, no fault injection.
+    /// the given library, no fault injection, env-configured cache
+    /// budget and spill directory.
     pub fn new(library: TechLibrary) -> Self {
         let workers = std::env::var("MILO_PAR_THREADS")
             .ok()
@@ -167,6 +205,12 @@ impl ServerConfig {
             shards: 8,
             library,
             fault: None,
+            cache_bytes: std::env::var("MILO_SERVE_CACHE_BYTES")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok()),
+            cache_dir: std::env::var("MILO_SERVE_CACHE_DIR")
+                .ok()
+                .map(PathBuf::from),
         }
     }
 
@@ -197,6 +241,20 @@ impl ServerConfig {
         self.fault = Some(injector);
         self
     }
+
+    /// Bounds the in-memory cache to `bytes` (both tiers together).
+    #[must_use]
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Spills and warm-starts the exact tier from `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
 }
 
 /// Everything the accept loop, connection handlers, and workers share.
@@ -204,10 +262,11 @@ struct Shared {
     addr: SocketAddr,
     lib: TechLibrary,
     fault: Option<Arc<FaultInjector>>,
-    queue: Mutex<VecDeque<u64>>,
+    queue: Mutex<Scheduler>,
     queue_cv: Condvar,
     jobs: Mutex<HashMap<u64, Arc<Job>>>,
     next_id: AtomicU64,
+    next_conn: AtomicU64,
     shards: ShardedDb,
     cache: ResultCache,
     metrics: Metrics,
@@ -223,26 +282,35 @@ impl Shared {
             .cloned()
     }
 
-    fn enqueue(&self, job: Arc<Job>) {
-        self.jobs
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(job.id, job.clone());
+    /// Registers `jobs` and queues them as one schedulable unit for
+    /// `client` at `priority`.
+    fn enqueue(&self, priority: Priority, client: &str, jobs: Vec<Arc<Job>>) {
+        let unit = WorkUnit {
+            jobs: jobs.iter().map(|j| j.id).collect(),
+        };
+        {
+            let mut table = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            for job in jobs {
+                table.insert(job.id, job);
+            }
+        }
+        for _ in &unit.jobs {
+            self.metrics.submitted();
+        }
         self.queue
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push_back(job.id);
-        self.metrics.submitted();
+            .push(priority, client, unit);
         self.queue_cv.notify_one();
     }
 
-    /// Blocks for the next queued job id; `None` once shutdown is
+    /// Blocks for the next schedulable unit; `None` once shutdown is
     /// requested *and* the queue has drained (accepted work finishes).
-    fn next_job(&self) -> Option<u64> {
+    fn next_work(&self) -> Option<WorkUnit> {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(id) = queue.pop_front() {
-                return Some(id);
+            if let Some(unit) = queue.pop() {
+                return Some(unit);
             }
             if self.shutdown.load(Ordering::SeqCst) {
                 return None;
@@ -303,20 +371,26 @@ impl Drop for ServerHandle {
 ///
 /// # Errors
 ///
-/// Fails when the address cannot be bound.
+/// Fails when the address cannot be bound or the cache directory
+/// cannot be opened.
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let disk = match &config.cache_dir {
+        Some(dir) => Some(DiskCache::open(dir)?),
+        None => None,
+    };
     let shared = Arc::new(Shared {
         addr,
         lib: config.library,
         fault: config.fault,
-        queue: Mutex::new(VecDeque::new()),
+        queue: Mutex::new(Scheduler::new()),
         queue_cv: Condvar::new(),
         jobs: Mutex::new(HashMap::new()),
         next_id: AtomicU64::new(1),
+        next_conn: AtomicU64::new(1),
         shards: ShardedDb::new(config.shards),
-        cache: ResultCache::new(),
+        cache: ResultCache::bounded(config.cache_bytes, disk),
         metrics: Metrics::new(config.workers.max(1)),
         shutdown: AtomicBool::new(false),
     });
@@ -370,6 +444,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         return;
     };
     let writer = LineWriter::new(stream);
+    // Untagged submissions are fair per-connection: every connection
+    // gets a distinct default client identity.
+    let conn_client = format!("conn-{}", shared.next_conn.fetch_add(1, Ordering::Relaxed));
     let mut lines = BufReader::new(read_half);
     let mut line = String::new();
     loop {
@@ -383,7 +460,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         }
         let reply = match parse_request(line.trim_end_matches(['\n', '\r'])) {
             Err(e) => error_line(&e),
-            Ok(req) => dispatch(req, &writer, shared),
+            Ok(req) => dispatch(req, &writer, &conn_client, shared),
         };
         if writer.send(&reply).is_err() {
             return;
@@ -394,12 +471,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn dispatch(req: Request, writer: &LineWriter, shared: &Arc<Shared>) -> String {
+fn dispatch(req: Request, writer: &LineWriter, conn_client: &str, shared: &Arc<Shared>) -> String {
     match req {
         Request::Submit {
             netlist,
             constraints,
             stream,
+            priority,
+            client,
         } => {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return error_line("server is shutting down");
@@ -416,8 +495,50 @@ fn dispatch(req: Request, writer: &LineWriter, shared: &Arc<Shared>) -> String {
                 cancel: AtomicBool::new(false),
                 stream: stream.then(|| writer.clone()),
             });
-            shared.enqueue(job);
-            format!("{{\"ok\": true, \"op\": \"submit\", \"job\": {id}}}")
+            shared.enqueue(
+                priority,
+                client.as_deref().unwrap_or(conn_client),
+                vec![job],
+            );
+            format!(
+                "{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"submit\", \"job\": {id}}}"
+            )
+        }
+        Request::SubmitBatch {
+            netlists,
+            constraints,
+            priority,
+            client,
+        } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return error_line("server is shutting down");
+            }
+            let jobs: Vec<Arc<Job>> = netlists
+                .into_iter()
+                .map(|netlist| {
+                    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+                    Arc::new(Job {
+                        id,
+                        key: job_key(&netlist, &constraints),
+                        pkey: prefix_key(&netlist, &constraints),
+                        netlist,
+                        constraints: constraints.clone(),
+                        state: Mutex::new(JobState::Queued),
+                        cv: Condvar::new(),
+                        cancel: AtomicBool::new(false),
+                        stream: None,
+                    })
+                })
+                .collect();
+            let ids = jobs
+                .iter()
+                .map(|j| j.id.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            shared.enqueue(priority, client.as_deref().unwrap_or(conn_client), jobs);
+            format!(
+                "{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"submit_batch\", \"jobs\": [{ids}]}}"
+            )
         }
         Request::Status(id) => match shared.job(id) {
             None => error_line(&format!("no such job {id}")),
@@ -430,7 +551,7 @@ fn dispatch(req: Request, writer: &LineWriter, shared: &Arc<Shared>) -> String {
                     _ => String::new(),
                 };
                 format!(
-                    "{{\"ok\": true, \"op\": \"status\", \"job\": {id}, \"state\": \"{}\"{cache}}}",
+                    "{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"status\", \"job\": {id}, \"state\": \"{}\"{cache}}}",
                     state.label()
                 )
             }
@@ -444,18 +565,18 @@ fn dispatch(req: Request, writer: &LineWriter, shared: &Arc<Shared>) -> String {
                 }
                 match &*state {
                     JobState::Done { payload, cache } => format!(
-                        "{{\"ok\": true, \"op\": \"result\", \"job\": {id}, \"state\": \"done\", \
+                        "{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"result\", \"job\": {id}, \"state\": \"done\", \
                          \"cache\": \"{}\", \"output\": {}}}",
                         cache.as_str(),
                         payload.json
                     ),
                     JobState::Failed(message) => format!(
-                        "{{\"ok\": true, \"op\": \"result\", \"job\": {id}, \"state\": \"failed\", \
+                        "{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"result\", \"job\": {id}, \"state\": \"failed\", \
                          \"error\": {}}}",
                         milo_core::json_string(message)
                     ),
                     JobState::Cancelled => format!(
-                        "{{\"ok\": true, \"op\": \"result\", \"job\": {id}, \"state\": \"cancelled\"}}"
+                        "{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"result\", \"job\": {id}, \"state\": \"cancelled\"}}"
                     ),
                     _ => error_line("unreachable: non-terminal state after wait"),
                 }
@@ -478,17 +599,21 @@ fn dispatch(req: Request, writer: &LineWriter, shared: &Arc<Shared>) -> String {
                     queued
                 };
                 format!(
-                    "{{\"ok\": true, \"op\": \"cancel\", \"job\": {id}, \"cancelled\": {queued}}}"
+                    "{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"cancel\", \"job\": {id}, \"cancelled\": {queued}}}"
                 )
             }
         },
         Request::Stats => {
-            let queued = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+            let queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .stats();
             format!(
-                "{{\"ok\": true, \"op\": \"stats\", \"stats\": {}}}",
+                "{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"stats\", \"stats\": {}}}",
                 shared
                     .metrics
-                    .to_json(queued, shared.cache.sizes(), &shared.shards.shard_sizes())
+                    .to_json(&queue, &shared.cache.stats(), &shared.shards.shard_sizes())
             )
         }
         Request::Shutdown => {
@@ -497,7 +622,7 @@ fn dispatch(req: Request, writer: &LineWriter, shared: &Arc<Shared>) -> String {
             // Poke the accept loop with a throwaway connection so it
             // observes the flag instead of blocking in accept().
             let _ = TcpStream::connect(shared.addr);
-            "{\"ok\": true, \"op\": \"shutdown\"}".to_owned()
+            format!("{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"shutdown\"}}")
         }
     }
 }
@@ -507,43 +632,59 @@ fn dispatch(req: Request, writer: &LineWriter, shared: &Arc<Shared>) -> String {
 // ---------------------------------------------------------------------
 
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(id) = shared.next_job() {
-        let Some(job) = shared.job(id) else { continue };
-        // Queued→running (or →cancelled) transitions atomically with
-        // the cancel handler's flag check; see `Request::Cancel`.
-        let cancelled = {
-            let mut state = job.state.lock().unwrap_or_else(|e| e.into_inner());
-            if job.cancel.load(Ordering::SeqCst) {
-                *state = JobState::Cancelled;
-                true
+    while let Some(unit) = shared.next_work() {
+        let jobs: Vec<Arc<Job>> = unit.jobs.iter().filter_map(|&id| shared.job(id)).collect();
+        let mut live = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.claim() {
+                shared.metrics.running();
+                live.push(job);
             } else {
-                *state = JobState::Running;
-                false
+                shared.metrics.cancelled();
             }
-        };
-        job.cv.notify_all();
-        if cancelled {
-            shared.metrics.cancelled();
+        }
+        if live.is_empty() {
             continue;
         }
-        shared.metrics.running();
         let started = Instant::now();
-        run_job(shared, &job);
+        if live.len() == 1 {
+            run_job(shared, &live[0]);
+        } else {
+            run_batch(shared, &live);
+        }
         shared.metrics.busy(started.elapsed().as_nanos() as u64);
     }
 }
 
-/// Executes one job: exact cache → prefix resume → full run (with the
-/// batch driver's one-retry-on-panic recovery).
+/// Resolves an exact-tier lookup into a terminal `Done` state,
+/// counting the right metric for the tier that answered. Returns
+/// `false` on a miss.
+fn resolve_from_cache(shared: &Arc<Shared>, job: &Job) -> bool {
+    let Some((payload, tier)) = shared.cache.lookup(job.key) else {
+        return false;
+    };
+    let outcome = match tier {
+        HitTier::Memory => {
+            shared.metrics.cache_hit();
+            CacheOutcome::Hit
+        }
+        HitTier::Disk => {
+            shared.metrics.disk_hit();
+            CacheOutcome::DiskHit
+        }
+    };
+    shared.metrics.done();
+    job.set_state(JobState::Done {
+        payload,
+        cache: outcome,
+    });
+    true
+}
+
+/// Executes one job: exact cache (memory, then disk) → prefix resume →
+/// full run (with the batch driver's one-retry-on-panic recovery).
 fn run_job(shared: &Arc<Shared>, job: &Job) {
-    // Exact tier: identical design + constraints already answered.
-    if let Some(payload) = shared.cache.lookup(job.key) {
-        shared.metrics.cache_hit();
-        shared.metrics.done();
-        job.set_state(JobState::Done {
-            payload,
-            cache: CacheOutcome::Hit,
-        });
+    if resolve_from_cache(shared, job) {
         return;
     }
 
@@ -582,6 +723,67 @@ fn run_job(shared: &Arc<Shared>, job: &Job) {
             shared.metrics.cache_miss();
             shared.metrics.failed();
             job.set_state(JobState::Failed(e.to_string()));
+        }
+    }
+}
+
+/// Executes a `submit_batch` unit: cache-resolved members answer
+/// immediately, the misses fan out through the offline batch driver
+/// against one shared database snapshot. The driver already
+/// panic-isolates arms and retries once, so per-member failures land
+/// as per-member `Failed` states without touching their siblings.
+///
+/// Batch misses populate the exact tier only — the prefix-capture pass
+/// is a service-flow splice, and the whole point of the batch path is
+/// running the driver's recipe verbatim.
+fn run_batch(shared: &Arc<Shared>, jobs: &[Arc<Job>]) {
+    let misses: Vec<&Arc<Job>> = jobs
+        .iter()
+        .filter(|job| !resolve_from_cache(shared, job))
+        .collect();
+    if misses.is_empty() {
+        return;
+    }
+
+    let designs: Vec<Netlist> = misses.iter().map(|j| j.netlist.clone()).collect();
+    // Members of one batch share one constraint set by protocol
+    // construction.
+    let constraints = misses[0].constraints.clone();
+    let mut milo = Milo::with_database(shared.lib.clone(), shared.shards.snapshot());
+    if let Some(f) = &shared.fault {
+        milo.set_fault_injector(f.clone());
+    }
+    let outputs = milo.synthesize_batch_outputs(&designs, &constraints);
+    shared.shards.absorb(&milo.into_database());
+
+    for (job, run) in misses.into_iter().zip(outputs) {
+        shared.metrics.cache_miss();
+        match run {
+            Ok(output) => {
+                shared
+                    .metrics
+                    .record_passes(output.report.passes.iter().map(|p| {
+                        (
+                            p.name.as_str(),
+                            p.skipped,
+                            u64::try_from(p.wall.as_nanos()).unwrap_or(u64::MAX),
+                        )
+                    }));
+                let payload = Arc::new(CachedResult {
+                    json: output.to_json(),
+                    result_hash: output.report.result_hash,
+                });
+                shared.cache.store(job.key, payload.clone());
+                shared.metrics.done();
+                job.set_state(JobState::Done {
+                    payload,
+                    cache: CacheOutcome::Miss,
+                });
+            }
+            Err(e) => {
+                shared.metrics.failed();
+                job.set_state(JobState::Failed(e.to_string()));
+            }
         }
     }
 }
