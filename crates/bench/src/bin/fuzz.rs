@@ -13,6 +13,11 @@
 //! `--seeds`/`--start`. Every failure line embeds the seed to replay.
 //! Exit status is non-zero if any seed diverges — seeds are echoed on
 //! failure so CI logs are directly replayable.
+//!
+//! `MILO_TRACE=1` (or `--trace-out <file>`, which forces tracing on)
+//! arms the `milo-trace` spans; with `--trace-out` the buffered events
+//! are written to `<file>` as Chrome trace-event JSON at exit — see
+//! `docs/OBSERVABILITY.md`.
 
 use milo_bench::fuzz::{fuzz_case, seeds_from_env};
 use milo_circuits::random_control;
@@ -70,13 +75,31 @@ fn scale_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// Drains the buffered trace events into `path` (no-op without
+/// `--trace-out`).
+fn write_trace(path: Option<&str>) {
+    let Some(path) = path else { return };
+    std::fs::write(path, milo_trace::drain_chrome_json()).expect("writes trace");
+    println!("wrote trace {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    milo_trace::init_from_env();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if trace_out.is_some() {
+        milo_trace::set_enabled(true);
+    }
     if args.iter().any(|a| a == "--scale-smoke") {
         if let Err(e) = scale_smoke() {
             eprintln!("FAIL {e}");
             std::process::exit(1);
         }
+        write_trace(trace_out.as_deref());
         return;
     }
 
@@ -118,6 +141,7 @@ fn main() {
         seeds.len(),
         began.elapsed()
     );
+    write_trace(trace_out.as_deref());
     if failures > 0 {
         eprintln!("{failures} seed(s) diverged — rerun each with MILO_FUZZ_SEED=<seed>");
         std::process::exit(1);

@@ -17,6 +17,12 @@
 //! `{"result", "flow"}` reports (pass wall times, deltas, applied-rule
 //! counts) are printed to stdout as a JSON array — the service-embedding
 //! output shape.
+//!
+//! Tracing: `MILO_TRACE=1` (or `--trace-out <file>`, which also forces
+//! tracing on) arms the `milo-trace` spans; at exit the buffered
+//! events are written to `<file>` as Chrome trace-event JSON — load it
+//! in Perfetto or `chrome://tracing`. Works in both the benchmark and
+//! `--json` modes. See `docs/OBSERVABILITY.md`.
 
 use milo_circuits::{abadd, fig19::circuit3, random_control, random_logic};
 use milo_core::{Constraints, Milo};
@@ -94,9 +100,34 @@ fn emit_flow_json() {
     print!("{out}");
 }
 
+/// The value following `flag` on the command line, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Drains the buffered trace events into `path` (no-op without
+/// `--trace-out`).
+fn write_trace(path: Option<&str>) {
+    let Some(path) = path else { return };
+    std::fs::write(path, milo_trace::drain_chrome_json()).expect("writes trace");
+    println!("wrote trace {path}");
+}
+
 fn main() {
+    milo_trace::init_from_env();
+    let trace_out = arg_value("--trace-out");
+    if trace_out.is_some() {
+        milo_trace::set_enabled(true);
+    }
     if std::env::args().any(|a| a == "--json") {
         emit_flow_json();
+        write_trace(trace_out.as_deref());
         return;
     }
     let window_ms = std::env::var("MILO_PERF_MS")
@@ -227,6 +258,32 @@ fn main() {
         });
     }
 
+    // Tracing overhead: the same bounded rule-engine sweep with
+    // tracing off versus enabled-but-undrained (events buffered in the
+    // per-thread rings, nobody draining). The pair is the observability
+    // contract: `on` must stay within a few percent of `off`, because
+    // span bookkeeping amortizes over real matching work.
+    {
+        let lib = cmos_library();
+        let mapped = map_netlist(&random_logic(400, 12, 5), &lib).expect("maps");
+        let was_enabled = milo_trace::enabled();
+        let mut sweep = || {
+            let mut work = mapped.clone();
+            let mut engine = Engine::new(milo_opt::logic_rules(&lib));
+            engine.run_sweeps(&mut work, None, 4)
+        };
+        milo_trace::set_enabled(false);
+        snap.bench("trace/overhead/off", &mut sweep);
+        milo_trace::set_enabled(true);
+        snap.bench("trace/overhead/on", &mut sweep);
+        milo_trace::set_enabled(was_enabled);
+        if !was_enabled {
+            // Discard the bench's own span flood so a later
+            // `--trace-out`-less run leaves nothing behind.
+            let _ = milo_trace::drain_chrome_json();
+        }
+    }
+
     // Scale family: the 10k-gate layered control design from the
     // scenario zoo (`milo_circuits::zoo`), exercising generation,
     // technology mapping, from-scratch and incremental STA, and one
@@ -354,4 +411,5 @@ fn main() {
     let json = snap.to_json();
     std::fs::write(&out_path, &json).expect("writes snapshot");
     println!("wrote {out_path}");
+    write_trace(trace_out.as_deref());
 }

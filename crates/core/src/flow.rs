@@ -915,11 +915,17 @@ impl Flow {
         let mut carried: Option<DesignStats> = None;
         let design = nl.name.clone();
         let opts = self.options;
+        // One span per flow and one per pass (docs/OBSERVABILITY.md).
+        // Names are formatted only when tracing is on, so the disabled
+        // path stays allocation-free.
+        let _flow_span = milo_trace::enabled().then(|| milo_trace::span(&format!("flow:{design}")));
         for (index, slot) in self.slots.iter_mut().enumerate() {
             let name = slot.pass.name().to_owned();
             if let Some(obs) = self.observer.as_mut() {
                 obs(&FlowEvent::PassStarted { index, name: &name });
             }
+            let _pass_span =
+                milo_trace::enabled().then(|| milo_trace::span(&format!("pass:{name}")));
             let skipped = slot.skip.as_ref().is_some_and(|pred| pred(&ctx));
             let before = if opts.sample_stats && !skipped {
                 carried.take().or_else(|| ctx.sample_stats())
@@ -945,6 +951,9 @@ impl Flow {
                 })
             } else {
                 let inject_panic = fault.is_some_and(|f| f.fires(FaultKind::Panic, &name, &design));
+                if inject_panic && milo_trace::enabled() {
+                    milo_trace::instant_with("fault.inject", &format!("panic@{name}/{design}"));
+                }
                 let exec = |pass: &mut Box<dyn Pass>, ctx: &mut FlowContext<'_>| {
                     if inject_panic {
                         panic!("injected fault: panic@{name}");
@@ -967,12 +976,26 @@ impl Flow {
                 let wall = pass_started.elapsed();
                 ran.and_then(|pr| {
                     if fault.is_some_and(|f| f.fires(FaultKind::Corrupt, &name, &design)) {
+                        if milo_trace::enabled() {
+                            milo_trace::instant_with(
+                                "fault.inject",
+                                &format!("corrupt@{name}/{design}"),
+                            );
+                        }
                         FaultInjector::corrupt(&mut ctx.work);
                     }
                     let budget_hit = policy.budget.exceeded(pr.rules_applied, wall).or_else(|| {
                         fault
                             .is_some_and(|f| f.fires(FaultKind::Budget, &name, &design))
-                            .then(|| "injected budget exhaustion".to_owned())
+                            .then(|| {
+                                if milo_trace::enabled() {
+                                    milo_trace::instant_with(
+                                        "fault.inject",
+                                        &format!("budget@{name}/{design}"),
+                                    );
+                                }
+                                "injected budget exhaustion".to_owned()
+                            })
                     });
                     if let Some(detail) = budget_hit {
                         return Err(MiloError::BudgetExceeded {

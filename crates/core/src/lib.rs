@@ -62,3 +62,4 @@ pub use milo_opt as opt;
 pub use milo_rules as rules;
 pub use milo_techmap as techmap;
 pub use milo_timing as timing;
+pub use milo_trace as trace;

@@ -9,6 +9,38 @@ use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
+/// Cached handles into the global metrics registry
+/// (docs/OBSERVABILITY.md). Resolved once; recording afterwards is a
+/// single relaxed atomic op, cheap enough for the recognize–act loop.
+mod obs {
+    use milo_trace::{Counter, Histogram, Registry};
+    use std::sync::{Arc, OnceLock};
+
+    /// `engine.rewrites` — committed rule firings.
+    pub fn rewrites() -> &'static Counter {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| Registry::global().counter("engine.rewrites"))
+    }
+
+    /// `engine.sweeps` — sweep passes executed.
+    pub fn sweeps() -> &'static Counter {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| Registry::global().counter("engine.sweeps"))
+    }
+
+    /// `engine.match_repairs` — incremental match-index repairs.
+    pub fn match_repairs() -> &'static Counter {
+        static C: OnceLock<Arc<Counter>> = OnceLock::new();
+        C.get_or_init(|| Registry::global().counter("engine.match_repairs"))
+    }
+
+    /// `engine.repair_ns` — wall time of each match-index repair.
+    pub fn repair_ns() -> &'static Histogram {
+        static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+        H.get_or_init(|| Registry::global().histogram("engine.repair_ns"))
+    }
+}
+
 /// The rule classification of §6.4 (Fig. 17) plus the Logic Consultant's
 /// high-priority "clean up" class (§2.2.1).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -448,7 +480,10 @@ impl Engine {
                 nl,
                 sta: inc.as_ref().map(IncrementalSta::sta),
             };
+            let started = std::time::Instant::now();
             ix.repair(&self.rules, &ctx, ts);
+            obs::match_repairs().inc();
+            obs::repair_ns().record(started.elapsed().as_nanos() as u64);
         }
     }
 
@@ -637,6 +672,7 @@ impl Engine {
     }
 
     fn record(&mut self, rule_idx: usize, m: &RuleMatch, effect: Effect) {
+        obs::rewrites().inc();
         let rule = &self.rules[rule_idx];
         self.refraction.insert(m.fingerprint(rule.name()));
         self.firings.push(Firing {
@@ -670,6 +706,8 @@ impl Engine {
         maintain: bool,
         class: Option<RuleClass>,
     ) -> usize {
+        let _span = milo_trace::span("engine.sweep");
+        obs::sweeps().inc();
         // Sweep mode never measures per-firing statistics, so timing
         // analysis exists only for `matches` to read — skip building
         // and refreshing it when no rule in scope looks at it.

@@ -288,6 +288,7 @@ impl ResultCache {
             if let Some(disk) = &self.disk {
                 if disk.append(key, &payload) {
                     self.spilled.fetch_add(1, Ordering::Relaxed);
+                    milo_trace::instant("cache.spill");
                 }
             }
         }
@@ -368,6 +369,7 @@ impl ResultCache {
             };
             inner.resident -= freed;
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            milo_trace::instant("cache.evict");
         }
     }
 

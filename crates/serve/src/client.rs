@@ -330,6 +330,21 @@ impl Client {
             .ok_or_else(|| ClientError::Server("stats response missing stats".to_owned()))
     }
 
+    /// Drains the server's buffered trace events as a Chrome trace
+    /// object (`{"traceEvents": […], …}` — load it in Perfetto or
+    /// `chrome://tracing`). Empty unless the server process runs with
+    /// tracing enabled.
+    ///
+    /// # Errors
+    ///
+    /// Transport and server-reported failures.
+    pub fn trace(&mut self) -> Result<Value, ClientError> {
+        let v = self.request("{\"op\": \"trace\"}")?;
+        v.get("trace")
+            .cloned()
+            .ok_or_else(|| ClientError::Server("trace response missing trace".to_owned()))
+    }
+
     /// Asks the server to shut down.
     ///
     /// # Errors

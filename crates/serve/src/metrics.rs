@@ -2,28 +2,30 @@
 //! time, and worker utilization — everything the `stats` request
 //! reports.
 //!
-//! Counters are lock-free atomics; the per-pass table takes a small
-//! mutex only when a job finishes. Wall times accumulate in
-//! nanoseconds and are reported as totals plus run counts, so clients
-//! can derive means without the server smoothing anything away. The
-//! pass-run counts double as the cache-effectiveness oracle in tests:
-//! a cache-hit job increments job counters but no pass counters.
+//! Counters are lock-free atomics. Since v1.1 the per-pass table and
+//! the per-band queue-wait distributions live in a private
+//! [`milo_trace::Registry`] as log-bucketed histograms
+//! (`serve.pass_ns.<pass>`, `serve.queue_wait_ns.<band>`), so `stats`
+//! can report p50/p95/p99 without the server smoothing anything away.
+//! The registry is per-instance, not [`milo_trace::Registry::global`],
+//! so concurrent servers in one test process never see each other's
+//! samples. The pass-run counts double as the cache-effectiveness
+//! oracle in tests: a cache-hit job increments job counters but no
+//! pass counters.
 
 use crate::cache::CacheStats;
 use crate::scheduler::QueueStats;
-use std::collections::BTreeMap;
+use milo_trace::{Histogram, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// One pass's accumulated service-lifetime cost.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct PassCost {
-    /// Times the pass ran (skipped slots excluded).
-    pub runs: u64,
-    /// Total wall nanoseconds across those runs.
-    pub total_ns: u64,
-}
+/// Registry prefix for per-pass wall-time histograms.
+const PASS_PREFIX: &str = "serve.pass_ns.";
+/// Registry prefix for per-band queue-wait histograms.
+const WAIT_PREFIX: &str = "serve.queue_wait_ns.";
+/// Band names, indexed by [`crate::protocol::Priority::index`].
+const BAND_NAMES: [&str; 3] = ["high", "normal", "low"];
 
 /// Live service counters.
 pub struct Metrics {
@@ -39,12 +41,16 @@ pub struct Metrics {
     disk_hits: AtomicU64,
     cache_misses: AtomicU64,
     busy_ns: AtomicU64,
-    per_pass: Mutex<BTreeMap<String, PassCost>>,
+    registry: Registry,
+    queue_wait: [Arc<Histogram>; 3],
 }
 
 impl Metrics {
     /// Fresh counters for a server with `workers` worker threads.
     pub fn new(workers: usize) -> Self {
+        let registry = Registry::new();
+        let queue_wait =
+            std::array::from_fn(|i| registry.histogram(&format!("{WAIT_PREFIX}{}", BAND_NAMES[i])));
         Self {
             started: Instant::now(),
             workers: workers as u64,
@@ -58,8 +64,14 @@ impl Metrics {
             disk_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
-            per_pass: Mutex::new(BTreeMap::new()),
+            registry,
+            queue_wait,
         }
+    }
+
+    /// This server's private metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// A job entered the queue.
@@ -115,26 +127,32 @@ impl Metrics {
         self.busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Records how long a work unit sat queued in `band` (a
+    /// [`crate::protocol::Priority::index`]) before a worker claimed
+    /// it.
+    pub fn queue_wait(&self, band: usize, wait_ns: u64) {
+        if let Some(h) = self.queue_wait.get(band) {
+            h.record(wait_ns);
+        }
+    }
+
     /// Folds one finished flow's per-pass wall times in.
     pub fn record_passes<'a>(&self, passes: impl Iterator<Item = (&'a str, bool, u64)>) {
-        let mut table = self.per_pass.lock().unwrap_or_else(|e| e.into_inner());
         for (name, skipped, wall_ns) in passes {
             if skipped {
                 continue;
             }
-            let cost = table.entry(name.to_owned()).or_default();
-            cost.runs += 1;
-            cost.total_ns += wall_ns;
+            self.registry
+                .histogram(&format!("{PASS_PREFIX}{name}"))
+                .record(wall_ns);
         }
     }
 
     /// Lifetime run count of one pass (test oracle).
     pub fn pass_runs(&self, name: &str) -> u64 {
-        self.per_pass
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(name)
-            .map_or(0, |c| c.runs)
+        self.registry
+            .histogram(&format!("{PASS_PREFIX}{name}"))
+            .count()
     }
 
     /// Renders the full counter set as a JSON object. Cache hit rate is
@@ -142,9 +160,12 @@ impl Metrics {
     /// is busy time over `workers × uptime`.
     ///
     /// The v1.1 schema groups cache counters under `"cache"` and
-    /// scheduler counters under `"queue"`; the pre-1.1 flat keys
-    /// (`jobs.queued`, `cache.hits`, …) are still rendered for one
-    /// release so existing dashboards keep working.
+    /// scheduler counters under `"queue"`, and adds `"histograms"`
+    /// (per-band queue wait and per-pass wall time, each summarized as
+    /// `{"count", "sum", "mean", "p50", "p95", "p99"}`). The pre-1.1
+    /// keys — flat `jobs.queued` and the `"passes"` `{runs, total_ns}`
+    /// table, now derived from the histograms — are still rendered for
+    /// one release so existing dashboards keep working.
     pub fn to_json(&self, queue: &QueueStats, cache: &CacheStats, shard_sizes: &[usize]) -> String {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let prefix = self.prefix_hits.load(Ordering::Relaxed);
@@ -163,28 +184,35 @@ impl Metrics {
         } else {
             (self.busy_ns.load(Ordering::Relaxed) as f64 / capacity as f64).min(1.0)
         };
+        let pass_snaps = self.registry.histograms_with_prefix(PASS_PREFIX);
         let mut passes = String::from("{");
-        {
-            let table = self.per_pass.lock().unwrap_or_else(|e| e.into_inner());
-            for (i, (name, cost)) in table.iter().enumerate() {
-                if i > 0 {
-                    passes.push_str(", ");
-                }
-                passes.push_str(&format!(
-                    "{}: {{\"runs\": {}, \"total_ns\": {}}}",
-                    milo_core::json_string(name),
-                    cost.runs,
-                    cost.total_ns
-                ));
+        let mut pass_summaries = String::from("{");
+        for (i, (name, snap)) in pass_snaps.iter().enumerate() {
+            let short = milo_core::json_string(&name[PASS_PREFIX.len()..]);
+            if i > 0 {
+                passes.push_str(", ");
+                pass_summaries.push_str(", ");
             }
+            passes.push_str(&format!(
+                "{short}: {{\"runs\": {}, \"total_ns\": {}}}",
+                snap.count, snap.sum
+            ));
+            pass_summaries.push_str(&format!("{short}: {}", snap.summary_json()));
         }
         passes.push('}');
+        pass_summaries.push('}');
+        let queue_wait = BAND_NAMES
+            .iter()
+            .zip(&self.queue_wait)
+            .map(|(name, h)| format!("\"{name}\": {}", h.snapshot().summary_json()))
+            .collect::<Vec<_>>()
+            .join(", ");
         let shards = shard_sizes
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(", ");
-        let bands = ["high", "normal", "low"]
+        let bands = BAND_NAMES
             .iter()
             .zip(&queue.bands)
             .map(|(name, b)| {
@@ -199,6 +227,7 @@ impl Metrics {
             "{{\"workers\": {}, \"uptime_ns\": {}, \"jobs\": {{\"submitted\": {}, \"queued\": {}, \"running\": {}, \"done\": {}, \"failed\": {}, \"cancelled\": {}}}, \
              \"cache\": {{\"hits\": {}, \"prefix_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"hit_rate\": {}, \"evictions\": {}, \"spilled\": {}, \"resident_bytes\": {}, \"exact_entries\": {}, \"prefix_entries\": {}, \"disk_entries\": {}}}, \
              \"queue\": {{\"depth\": {}, \"clients\": {}, \"bands\": {{{}}}}}, \
+             \"histograms\": {{\"queue_wait\": {{{}}}, \"passes\": {}}}, \
              \"worker_utilization\": {}, \"passes\": {}, \"shard_sizes\": [{}]}}",
             self.workers,
             uptime_ns,
@@ -222,6 +251,8 @@ impl Metrics {
             queue.depth,
             queue.clients,
             bands,
+            queue_wait,
+            pass_summaries,
             utilization,
             passes,
             shards,
@@ -253,6 +284,8 @@ mod tests {
         assert_eq!(m.pass_runs("skipped"), 0, "skipped slots don't count");
 
         m.disk_hit();
+        m.queue_wait(1, 2_000);
+        m.queue_wait(1, 4_000);
 
         let queue = QueueStats {
             depth: 3,
@@ -312,5 +345,30 @@ mod tests {
                 .and_then(|x| x.as_u64()),
             Some(2)
         );
+        assert_eq!(
+            passes
+                .get("compile")
+                .and_then(|c| c.get("total_ns"))
+                .and_then(|x| x.as_u64()),
+            Some(600),
+            "passes table is derived from the histograms"
+        );
+        let hists = v.get("histograms").expect("histograms object");
+        let wait = hists
+            .get("queue_wait")
+            .and_then(|w| w.get("normal"))
+            .expect("normal-band queue wait");
+        assert_eq!(wait.get("count").and_then(|x| x.as_u64()), Some(2));
+        assert_eq!(wait.get("sum").and_then(|x| x.as_u64()), Some(6_000));
+        assert!(
+            wait.get("p95").and_then(|x| x.as_u64()).expect("p95") >= 4_000,
+            "p95 bound covers the slowest wait"
+        );
+        let compile = hists
+            .get("passes")
+            .and_then(|p| p.get("compile"))
+            .expect("pass summary");
+        assert_eq!(compile.get("count").and_then(|x| x.as_u64()), Some(2));
+        assert!(compile.get("p50").is_some());
     }
 }

@@ -25,6 +25,7 @@
 //! {"op": "result", "job": N}          ← blocks until the job is terminal
 //! {"op": "cancel", "job": N}
 //! {"op": "stats"}
+//! {"op": "trace"}                     ← drain buffered trace events
 //! {"op": "shutdown"}
 //! ```
 //!
@@ -142,6 +143,11 @@ pub enum Request {
     Cancel(u64),
     /// Service counters.
     Stats,
+    /// Drain the process's buffered trace events as a Chrome trace
+    /// (`{"ok": true, "trace": {"traceEvents": […], …}}`). Empty
+    /// unless tracing is enabled (`MILO_TRACE=1` in the server's
+    /// environment); see `docs/OBSERVABILITY.md`.
+    Trace,
     /// Stop the server.
     Shutdown,
 }
@@ -210,6 +216,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "result" => Ok(Request::Result(job(&v)?)),
         "cancel" => Ok(Request::Cancel(job(&v)?)),
         "stats" => Ok(Request::Stats),
+        "trace" => Ok(Request::Trace),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
     }
@@ -392,6 +399,14 @@ mod tests {
         };
         assert_eq!(priority, Priority::Low);
         assert_eq!(client.as_deref(), Some("batch-farm"));
+    }
+
+    #[test]
+    fn parses_trace_op() {
+        assert!(matches!(
+            parse_request("{\"op\": \"trace\"}"),
+            Ok(Request::Trace)
+        ));
     }
 
     /// The v1.1 version contract: pre-`v` requests and any `1.x` are

@@ -28,6 +28,7 @@
 
 use crate::protocol::Priority;
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Credits per band per refill cycle, indexed by [`Priority::index`]
 /// (`high`, `normal`, `low`). The ratios are the fairness contract:
@@ -40,12 +41,28 @@ pub const BAND_CREDITS: [u32; 3] = [8, 4, 1];
 pub struct WorkUnit {
     /// Member job ids — one for `submit`, N for `submit_batch`.
     pub jobs: Vec<u64>,
+    /// When the unit entered the scheduler. [`Scheduler::push`] stamps
+    /// this, so claim time minus `enqueued` is the queue wait the
+    /// server feeds its per-band histograms.
+    pub enqueued: Instant,
+    /// Band index ([`Priority::index`]) the unit was queued at; also
+    /// stamped by [`Scheduler::push`].
+    pub band: usize,
 }
 
 impl WorkUnit {
     /// A single-job unit.
     pub fn single(job: u64) -> Self {
-        Self { jobs: vec![job] }
+        Self::batch(vec![job])
+    }
+
+    /// A multi-job unit (one `submit_batch`).
+    pub fn batch(jobs: Vec<u64>) -> Self {
+        Self {
+            jobs,
+            enqueued: Instant::now(),
+            band: Priority::Normal.index(),
+        }
     }
 }
 
@@ -132,8 +149,11 @@ impl Scheduler {
         }
     }
 
-    /// Enqueues a unit for `client` at `priority`.
-    pub fn push(&mut self, priority: Priority, client: &str, unit: WorkUnit) {
+    /// Enqueues a unit for `client` at `priority`, (re)stamping its
+    /// queue-entry time and band.
+    pub fn push(&mut self, priority: Priority, client: &str, mut unit: WorkUnit) {
+        unit.enqueued = Instant::now();
+        unit.band = priority.index();
         self.bands[priority.index()].push(client, unit);
     }
 
@@ -239,13 +259,7 @@ mod tests {
     #[test]
     fn batch_units_pop_whole() {
         let mut s = Scheduler::new();
-        s.push(
-            Priority::Normal,
-            "a",
-            WorkUnit {
-                jobs: vec![1, 2, 3],
-            },
-        );
+        s.push(Priority::Normal, "a", WorkUnit::batch(vec![1, 2, 3]));
         s.push(Priority::Normal, "b", WorkUnit::single(9));
         assert_eq!(s.depth(), 4);
         let first = s.pop().expect("batch pops");
@@ -272,6 +286,21 @@ mod tests {
         assert_eq!(stats.depth, 1);
         assert_eq!(stats.bands[0].scheduled, 1);
         assert_eq!(stats.bands[1].scheduled, 1);
+    }
+
+    #[test]
+    fn push_stamps_band_and_enqueue_time() {
+        let mut s = Scheduler::new();
+        s.push(Priority::High, "a", WorkUnit::single(1));
+        s.push(Priority::Low, "b", WorkUnit::batch(vec![2, 3]));
+        let first = s.pop().expect("high pops first");
+        assert_eq!(first.band, Priority::High.index());
+        let second = s.pop().expect("low pops");
+        assert_eq!(second.band, Priority::Low.index());
+        assert!(
+            second.enqueued.elapsed().as_secs() < 60,
+            "enqueue stamp is recent"
+        );
     }
 
     #[test]

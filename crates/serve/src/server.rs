@@ -285,17 +285,18 @@ impl Shared {
     /// Registers `jobs` and queues them as one schedulable unit for
     /// `client` at `priority`.
     fn enqueue(&self, priority: Priority, client: &str, jobs: Vec<Arc<Job>>) {
-        let unit = WorkUnit {
-            jobs: jobs.iter().map(|j| j.id).collect(),
-        };
+        let unit = WorkUnit::batch(jobs.iter().map(|j| j.id).collect());
         {
             let mut table = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
             for job in jobs {
                 table.insert(job.id, job);
             }
         }
-        for _ in &unit.jobs {
+        for &id in &unit.jobs {
             self.metrics.submitted();
+            if milo_trace::enabled() {
+                milo_trace::instant_with("job.submit", &format!("job {id}"));
+            }
         }
         self.queue
             .lock()
@@ -310,6 +311,11 @@ impl Shared {
         let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(unit) = queue.pop() {
+                drop(queue);
+                // Claim time minus enqueue time, into the band's
+                // queue-wait histogram (`stats` → histograms.queue_wait).
+                self.metrics
+                    .queue_wait(unit.band, unit.enqueued.elapsed().as_nanos() as u64);
                 return Some(unit);
             }
             if self.shutdown.load(Ordering::SeqCst) {
@@ -374,6 +380,11 @@ impl Drop for ServerHandle {
 /// Fails when the address cannot be bound or the cache directory
 /// cannot be opened.
 pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    // Honor MILO_TRACE for daemon runs; embedders (and tests) that
+    // already called `set_enabled` are not overridden.
+    if std::env::var_os("MILO_TRACE").is_some() {
+        milo_trace::init_from_env();
+    }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let disk = match &config.cache_dir {
@@ -616,6 +627,15 @@ fn dispatch(req: Request, writer: &LineWriter, conn_client: &str, shared: &Arc<S
                     .to_json(&queue, &shared.cache.stats(), &shared.shards.shard_sizes())
             )
         }
+        Request::Trace => {
+            // `drain_chrome_json` is itself a JSON object, spliced in
+            // raw; it's `{"traceEvents": []}`-shaped and empty unless
+            // the server process runs with tracing enabled.
+            format!(
+                "{{\"ok\": true, \"v\": \"{PROTOCOL_VERSION}\", \"op\": \"trace\", \"trace\": {}}}",
+                milo_trace::drain_chrome_json()
+            )
+        }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue_cv.notify_all();
@@ -647,6 +667,14 @@ fn worker_loop(shared: &Arc<Shared>) {
             continue;
         }
         let started = Instant::now();
+        let _unit_span = milo_trace::enabled().then(|| {
+            let ids = live
+                .iter()
+                .map(|j| j.id.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            milo_trace::span(&format!("job:{ids}"))
+        });
         if live.len() == 1 {
             run_job(shared, &live[0]);
         } else {
@@ -666,10 +694,12 @@ fn resolve_from_cache(shared: &Arc<Shared>, job: &Job) -> bool {
     let outcome = match tier {
         HitTier::Memory => {
             shared.metrics.cache_hit();
+            milo_trace::instant("cache.hit");
             CacheOutcome::Hit
         }
         HitTier::Disk => {
             shared.metrics.disk_hit();
+            milo_trace::instant("cache.disk_hit");
             CacheOutcome::DiskHit
         }
     };
@@ -690,6 +720,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) {
 
     let prefix = shared.cache.lookup_prefix(job.pkey);
     let outcome = if prefix.is_some() {
+        milo_trace::instant("cache.prefix_hit");
         CacheOutcome::PrefixHit
     } else {
         CacheOutcome::Miss

@@ -16,6 +16,21 @@ use crate::model::{input_pin_delay, load_delay};
 use milo_netlist::{ComponentId, NetId, Netlist, NetlistError, PinDir, PinRef, TouchSet};
 use std::collections::HashMap;
 
+/// `sta.full_rebuilds` in the global metrics registry: how often the
+/// incremental path gave up and re-analyzed from scratch — the
+/// fallback rate docs/OBSERVABILITY.md tracks.
+fn obs_full_rebuilds() -> &'static milo_trace::Counter {
+    static C: std::sync::OnceLock<std::sync::Arc<milo_trace::Counter>> = std::sync::OnceLock::new();
+    C.get_or_init(|| milo_trace::Registry::global().counter("sta.full_rebuilds"))
+}
+
+/// `sta.refreshes`: incremental refresh requests (the denominator for
+/// the fallback rate).
+fn obs_refreshes() -> &'static milo_trace::Counter {
+    static C: std::sync::OnceLock<std::sync::Arc<milo_trace::Counter>> = std::sync::OnceLock::new();
+    C.get_or_init(|| milo_trace::Registry::global().counter("sta.refreshes"))
+}
+
 /// A timing endpoint: where a path terminates.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Endpoint {
@@ -377,6 +392,7 @@ impl IncrementalSta {
     /// Propagates [`analyze`] failures.
     pub fn rebuild(&mut self, nl: &Netlist) -> Result<(), NetlistError> {
         self.full_rebuilds += 1;
+        obs_full_rebuilds().inc();
         self.sta = analyze(nl)?;
         self.fanout = fanout_counts(nl);
         let net_cap = nl.net_slot_count();
@@ -407,6 +423,7 @@ impl IncrementalSta {
         if touched.is_empty() {
             return Ok(());
         }
+        obs_refreshes().inc();
         // Ports changed (never happens inside rule transactions): the
         // cached port tables are stale, rebuild.
         if nl.ports().len() != self.ports_len {

@@ -1,0 +1,60 @@
+//! Pins the disabled-tracing contract: with the enabled flag off, the
+//! span/instant API emits zero events and performs zero heap
+//! allocations. This lives in its own integration-test binary so the
+//! counting global allocator cannot interfere with unit tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; only adds
+// a relaxed counter bump on the allocation path.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_span_path_allocates_nothing_and_emits_nothing() {
+    milo_trace::set_enabled(false);
+    // Flush any startup events and let lazy statics initialize outside
+    // the measured window.
+    let _ = milo_trace::drain_chrome_json();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        let _span = milo_trace::span("disabled.span");
+        milo_trace::instant("disabled.instant");
+        milo_trace::instant_with("disabled.detail", "ignored");
+        milo_trace::complete("disabled.complete", 0);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing must not touch the heap"
+    );
+
+    let json = milo_trace::drain_chrome_json();
+    assert!(
+        !json.contains("disabled."),
+        "disabled tracing must emit zero events, drained: {json}"
+    );
+}

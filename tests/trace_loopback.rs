@@ -1,0 +1,153 @@
+//! Loopback test for the `trace` op: Chrome trace-event JSON drained
+//! over the wire must survive the service's own strict JSON parser and
+//! come back well-formed — balanced `B`/`E` span pairs per thread, the
+//! expected span names from every instrumented layer, and an empty
+//! event list while tracing is disabled.
+//!
+//! This suite lives in its own integration-test binary on purpose: it
+//! flips the process-wide tracing flag, and sibling tests running in
+//! parallel threads mid-span would break the balance assertion.
+
+use milo_core::Constraints;
+use milo_serve::{spawn, Client, ServerConfig, SubmitOptions, Value};
+use milo_techmap::ecl_library;
+
+const DESIGN: &str = "design traced\ninput a b c\noutput y\n\
+                      comp and2 g1 A0=a A1=b Y=t\ncomp or2 g2 A0=t A1=c Y=y\n";
+
+/// Flattens a `trace` response into its event objects.
+fn events(trace: &Value) -> Vec<Value> {
+    trace
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("trace carries a traceEvents array")
+        .to_vec()
+}
+
+fn field<'a>(event: &'a Value, key: &str) -> &'a Value {
+    event.get(key).unwrap_or(&Value::Null)
+}
+
+/// Per-tid `B`/`E` balance: every begin has a later end on the same
+/// thread, and no end arrives without an open begin.
+fn is_balanced(events: &[Value]) -> bool {
+    let mut open: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    for e in events {
+        let tid = field(e, "tid").as_u64().unwrap_or(0);
+        match field(e, "ph").as_str() {
+            Some("B") => *open.entry(tid).or_insert(0) += 1,
+            Some("E") => {
+                let depth = open.entry(tid).or_insert(0);
+                if *depth == 0 {
+                    return false;
+                }
+                *depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    open.values().all(|&d| d == 0)
+}
+
+fn span_names(events: &[Value]) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| {
+            matches!(
+                field(e, "ph").as_str(),
+                Some("B") | Some("X") | Some("i") | Some("I")
+            )
+        })
+        .filter_map(|e| field(e, "name").as_str().map(str::to_owned))
+        .collect()
+}
+
+#[test]
+fn chrome_trace_round_trips_through_the_service_json() {
+    // Phase 1 — tracing off (the default): the op answers, the event
+    // list is empty, and nothing was buffered by the submissions.
+    milo_trace::set_enabled(false);
+    let _ = milo_trace::drain_chrome_json(); // flush any prior state
+    let handle = spawn(
+        ServerConfig::new(ecl_library())
+            .with_addr("127.0.0.1:0")
+            .with_workers(1),
+    )
+    .expect("service binds");
+    let mut client = Client::connect(handle.addr()).expect("connects");
+    let constraints = Constraints::none().with_max_delay(6.0);
+    let job = client
+        .submit_with(DESIGN, &constraints, &SubmitOptions::new())
+        .expect("submits");
+    let result = client.result(job).expect("round-trips");
+    assert_eq!(result.get("state").and_then(Value::as_str), Some("done"));
+    let quiet = client.trace().expect("trace op answers");
+    assert!(
+        events(&quiet).is_empty(),
+        "disabled tracing must emit zero events"
+    );
+
+    // Phase 2 — tracing on: a fresh synthesis (new design name, so the
+    // cache can't answer) must produce flow/pass/engine spans that
+    // round-trip through `serve::json` balanced.
+    milo_trace::set_enabled(true);
+    let design2 = DESIGN.replace("traced", "traced2");
+    let job2 = client
+        .submit_with(&design2, &constraints, &SubmitOptions::new())
+        .expect("submits");
+    let result2 = client.result(job2).expect("round-trips");
+    assert_eq!(result2.get("state").and_then(Value::as_str), Some("done"));
+
+    // The worker closes its job span moments after publishing the
+    // terminal state, so accumulate consuming drains until the picture
+    // is complete and balanced.
+    let mut all: Vec<Value> = Vec::new();
+    for _ in 0..100 {
+        all.extend(events(&client.trace().expect("trace op answers")));
+        let names = span_names(&all);
+        let complete = names.iter().any(|n| n.starts_with("job:"))
+            && names.iter().any(|n| n.starts_with("flow:"))
+            && names.iter().any(|n| n.starts_with("pass:"))
+            && names.iter().any(|n| n == "job.submit");
+        if complete && is_balanced(&all) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    milo_trace::set_enabled(false);
+
+    let names = span_names(&all);
+    for expected in ["job:", "flow:", "pass:"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(expected)),
+            "missing a {expected}* span in {names:?}"
+        );
+    }
+    assert!(
+        names.iter().any(|n| n == "job.submit"),
+        "missing the job.submit instant in {names:?}"
+    );
+    assert!(is_balanced(&all), "B/E pairs must balance per thread");
+
+    // Every event row is well-formed Chrome trace shape: a string
+    // name, a phase, and integer pid/tid.
+    for e in &all {
+        assert!(field(e, "name").as_str().is_some(), "event has a name: {e}");
+        assert!(field(e, "ph").as_str().is_some(), "event has a phase: {e}");
+        assert!(field(e, "pid").as_u64().is_some(), "event has a pid: {e}");
+        assert!(field(e, "tid").as_u64().is_some(), "event has a tid: {e}");
+    }
+
+    // Metadata rows name the service threads, so Perfetto's track
+    // labels are human-readable.
+    assert!(
+        all.iter().any(|e| {
+            field(e, "ph").as_str() == Some("M") && field(e, "name").as_str() == Some("thread_name")
+        }),
+        "thread_name metadata rows present"
+    );
+
+    drop(client);
+    drop(handle);
+    let _ = milo_trace::drain_chrome_json(); // leave the process clean
+}

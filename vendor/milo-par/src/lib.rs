@@ -70,6 +70,20 @@ impl fmt::Debug for Panic {
     }
 }
 
+/// `par.steals` in the global metrics registry: items executed by pool
+/// workers rather than the submitting thread — how much work actually
+/// migrated across threads (docs/OBSERVABILITY.md).
+fn obs_steals() -> &'static milo_trace::Counter {
+    static C: OnceLock<Arc<milo_trace::Counter>> = OnceLock::new();
+    C.get_or_init(|| milo_trace::Registry::global().counter("par.steals"))
+}
+
+/// `par.jobs`: fork/join regions submitted to the pool.
+fn obs_jobs() -> &'static milo_trace::Counter {
+    static C: OnceLock<Arc<milo_trace::Counter>> = OnceLock::new();
+    C.get_or_init(|| milo_trace::Registry::global().counter("par.jobs"))
+}
+
 /// Total thread budget (workers + caller): `MILO_PAR_THREADS` when set,
 /// otherwise available parallelism. Read once.
 fn configured_threads() -> usize {
@@ -130,15 +144,18 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claims and runs items until none remain. Called by workers and by
-    /// the submitting thread alike; `drive` never unwinds (it catches
-    /// per-item panics into the item's slot).
-    fn run(&self) {
+    /// Claims and runs items until none remain, returning how many this
+    /// thread claimed. Called by workers and by the submitting thread
+    /// alike; `drive` never unwinds (it catches per-item panics into
+    /// the item's slot).
+    fn run(&self) -> usize {
+        let mut claimed = 0usize;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.len {
-                return;
+                return claimed;
             }
+            claimed += 1;
             // SAFETY: `i` is in range and this thread exclusively owns
             // it (fetch_add hands out each index once).
             unsafe { (self.drive)(self, i) };
@@ -221,6 +238,7 @@ impl Pool {
     /// then participates via `job.run()`, so jobs complete even if every
     /// worker is busy elsewhere.
     fn submit(&self, job: &Arc<Job>, copies: usize) {
+        obs_jobs().inc();
         let mut q = self.shared.queue.lock().expect("pool queue poisoned");
         for _ in 0..copies {
             q.push_back(Arc::clone(job));
@@ -236,8 +254,12 @@ impl Pool {
 
 /// Worker body: pop a job, help drain it, repeat forever. Stale handles
 /// for already-finished jobs cost one atomic claim and are discarded.
+/// Each parked wait becomes one `par.idle` complete event and each
+/// drained job one `par.busy` span, so a trace shows exactly when each
+/// worker was working; stolen item counts feed `par.steals`.
 fn worker_loop(shared: &Shared) {
     loop {
+        let idle_from = milo_trace::now_ns();
         let job = {
             let mut q = shared.queue.lock().expect("pool queue poisoned");
             loop {
@@ -247,7 +269,13 @@ fn worker_loop(shared: &Shared) {
                 q = shared.ready.wait(q).expect("pool queue poisoned");
             }
         };
-        job.run();
+        milo_trace::complete("par.idle", idle_from);
+        let busy = milo_trace::span("par.busy");
+        let claimed = job.run();
+        drop(busy);
+        if claimed > 0 {
+            obs_steals().add(claimed as u64);
+        }
     }
 }
 
